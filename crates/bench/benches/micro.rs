@@ -1,0 +1,212 @@
+//! Criterion micro-benchmarks of the substrate algorithms: the per-frame
+//! mobile-side primitives (§III), the edge-side selection primitives (§IV)
+//! and the tile encoder (§V).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use edgeis_geometry::{
+    fundamental_eight_point, ransac, refine_pose, sampson_distance, triangulate_dlt, BaConfig,
+    Camera, Observation, RansacConfig, SE3, SO3, Vec2, Vec3,
+};
+use edgeis_imaging::{
+    detect_orb, extract_contours, fill_polygon, match_descriptors, GrayImage, Mask, MatchConfig,
+    MotionVectorField, OrbConfig,
+};
+use edgeis_scene::datasets;
+use edgeis_segnet::{fast_nms, greedy_nms, prune_rois, AnchorGrid, BBox, FpnConfig, Roi};
+use edgeis_vo::transfer::{transfer_mask, DepthAnchor, TransferConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn test_frame() -> GrayImage {
+    let camera = Camera::with_hfov(1.2, 320, 240);
+    let world = datasets::indoor_simple(1);
+    world
+        .scene
+        .render(&camera, &world.trajectory.pose_at(0.0))
+        .image
+}
+
+fn bench_features(c: &mut Criterion) {
+    let frame = test_frame();
+    let config = OrbConfig::default();
+    c.bench_function("orb_detect_320x240", |b| {
+        b.iter(|| detect_orb(&frame, &config))
+    });
+
+    let (_, descs) = detect_orb(&frame, &config);
+    let world2 = datasets::indoor_simple(1);
+    let camera = Camera::with_hfov(1.2, 320, 240);
+    let frame2 = world2
+        .scene
+        .render(&camera, &world2.trajectory.pose_at(0.2))
+        .image;
+    let (_, descs2) = detect_orb(&frame2, &config);
+    c.bench_function("match_descriptors", |b| {
+        b.iter(|| match_descriptors(&descs, &descs2, &MatchConfig::default()))
+    });
+}
+
+fn two_view_points(n: usize) -> (Vec<Vec2>, Vec<Vec2>) {
+    let cam = Camera::with_hfov(1.2, 320, 240);
+    let pose = SE3::new(SO3::exp(Vec3::new(0.0, -0.02, 0.0)), Vec3::new(0.3, 0.0, 0.0));
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    while a.len() < n {
+        let p = Vec3::new(
+            rng.random_range(-2.0..2.0),
+            rng.random_range(-1.5..1.5),
+            rng.random_range(2.0..8.0),
+        );
+        if let (Some(pa), Some(pb)) = (cam.project(&SE3::identity(), p), cam.project(&pose, p)) {
+            if cam.contains(pa) && cam.contains(pb) {
+                a.push(pa);
+                b.push(pb);
+            }
+        }
+    }
+    (a, b)
+}
+
+fn bench_geometry(c: &mut Criterion) {
+    let (p0, p1) = two_view_points(100);
+    c.bench_function("eight_point_100pts", |b| {
+        b.iter(|| fundamental_eight_point(&p0, &p1).unwrap())
+    });
+
+    let cfg = RansacConfig {
+        max_iterations: 100,
+        inlier_threshold: 2.0,
+        confidence: 0.999,
+        seed: 7,
+    };
+    c.bench_function("ransac_fundamental", |b| {
+        b.iter(|| {
+            ransac(
+                p0.len(),
+                8,
+                &cfg,
+                |idx| {
+                    let s0: Vec<Vec2> = idx.iter().map(|&i| p0[i]).collect();
+                    let s1: Vec<Vec2> = idx.iter().map(|&i| p1[i]).collect();
+                    fundamental_eight_point(&s0, &s1).ok()
+                },
+                |f, i| sampson_distance(f, p0[i], p1[i]),
+            )
+        })
+    });
+
+    let cam = Camera::with_hfov(1.2, 320, 240);
+    let pose = SE3::new(SO3::identity(), Vec3::new(0.3, 0.0, 0.0));
+    c.bench_function("triangulate_dlt", |b| {
+        b.iter(|| triangulate_dlt(&cam, &SE3::identity(), p0[0], &pose, p1[0]))
+    });
+
+    // Pose-only BA over 80 observations.
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut obs = Vec::new();
+    while obs.len() < 80 {
+        let p = Vec3::new(
+            rng.random_range(-2.0..2.0),
+            rng.random_range(-1.5..1.5),
+            rng.random_range(2.0..8.0),
+        );
+        if let Some(px) = cam.project(&SE3::identity(), p) {
+            if cam.contains(px) {
+                obs.push(Observation { point: p, pixel: px });
+            }
+        }
+    }
+    let init = SE3::new(SO3::exp(Vec3::new(0.01, 0.01, 0.0)), Vec3::new(0.02, 0.0, 0.0));
+    c.bench_function("pose_ba_80obs", |b| {
+        b.iter(|| refine_pose(&cam, &init, &obs, &BaConfig::default()))
+    });
+}
+
+fn bench_masks(c: &mut Criterion) {
+    let mut mask = Mask::new(320, 240);
+    mask.fill_rect(80, 60, 120, 100);
+    c.bench_function("extract_contours", |b| b.iter(|| extract_contours(&mask)));
+
+    let contour = extract_contours(&mask).remove(0);
+    let poly: Vec<(f64, f64)> = contour
+        .points
+        .iter()
+        .map(|&(x, y)| (x as f64, y as f64))
+        .collect();
+    c.bench_function("fill_polygon", |b| b.iter(|| fill_polygon(320, 240, &poly)));
+
+    // Mask transfer.
+    let cam = Camera::with_hfov(1.2, 320, 240);
+    let anchors: Vec<DepthAnchor> = (0..30)
+        .map(|i| DepthAnchor {
+            pixel: Vec2::new(90.0 + (i % 6) as f64 * 18.0, 70.0 + (i / 6) as f64 * 16.0),
+            depth: 3.0,
+        })
+        .collect();
+    let t_rel = SE3::new(SO3::identity(), Vec3::new(-0.1, 0.0, 0.0));
+    c.bench_function("mask_transfer", |b| {
+        b.iter(|| transfer_mask(&cam, &mask, &anchors, &t_rel, &TransferConfig::default()))
+    });
+
+    // Motion-vector field (the EAAR tracker's per-frame cost).
+    let f0 = test_frame();
+    let world = datasets::indoor_simple(1);
+    let f1 = world
+        .scene
+        .render(&cam, &world.trajectory.pose_at(0.1))
+        .image;
+    c.bench_function("motion_vector_field", |b| {
+        b.iter(|| MotionVectorField::estimate(&f0, &f1, 16, 8))
+    });
+}
+
+fn random_rois(n: usize) -> Vec<Roi> {
+    let mut rng = StdRng::seed_from_u64(11);
+    (0..n)
+        .map(|_| {
+            let x = rng.random_range(0.0..280.0);
+            let y = rng.random_range(0.0..200.0);
+            Roi {
+                bbox: BBox::new(x, y, x + rng.random_range(20.0..60.0), y + rng.random_range(20.0..60.0)),
+                score: rng.random_range(0.2..1.0),
+                area_id: if rng.random_bool(0.5) { Some(0) } else { None },
+            }
+        })
+        .collect()
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let rois = random_rois(400);
+    c.bench_function("greedy_nms_400", |b| {
+        b.iter_batched(|| rois.clone(), |r| greedy_nms(r, 0.5), BatchSize::SmallInput)
+    });
+    c.bench_function("fast_nms_400", |b| {
+        b.iter_batched(|| rois.clone(), |r| fast_nms(r, 0.5), BatchSize::SmallInput)
+    });
+    let init = [BBox::new(100.0, 80.0, 200.0, 160.0)];
+    c.bench_function("roi_pruning_400", |b| {
+        b.iter_batched(|| rois.clone(), |r| prune_rois(r, &init), BatchSize::SmallInput)
+    });
+
+    let grid = AnchorGrid::new(FpnConfig::default(), 640, 480);
+    c.bench_function("anchor_grid_full_640x480", |b| b.iter(|| grid.full_frame()));
+}
+
+fn bench_codec(c: &mut Criterion) {
+    use edgeis_codec::{encode, QualityLevel, TileGrid, TilePlan};
+    let frame = test_frame();
+    let grid = TileGrid::new(32, 320, 240);
+    let plan = TilePlan::uniform(grid, QualityLevel::High);
+    c.bench_function("tile_encode_320x240", |b| b.iter(|| encode(&frame, &plan)));
+}
+
+criterion_group!(
+    benches,
+    bench_features,
+    bench_geometry,
+    bench_masks,
+    bench_selection,
+    bench_codec
+);
+criterion_main!(benches);

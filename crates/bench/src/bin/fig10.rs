@@ -1,0 +1,21 @@
+//! Fig. 10: false segmentation rate under different network conditions.
+
+use edgeis_bench::figures::{self, pct};
+
+fn main() {
+    let config = figures::default_config();
+    println!("Fig. 10 — false rate (IoU<0.75) by network\n");
+    println!("{:<12} {:>12} {:>12}   paper", "system", "WiFi 2.4GHz", "WiFi 5GHz");
+    let rows = figures::fig10_network(&config);
+    for chunk in rows.chunks(2) {
+        let name = chunk[0].0.name();
+        let paper = match name {
+            "edgeIS" => "6.1% / 4.1%",
+            "EAAR" => "- / 21%",
+            "EdgeDuet" => "- / 41%",
+            _ => "",
+        };
+        println!("{:<12} {:>12} {:>12}   {paper}",
+                 name, pct(chunk[0].2.false_rate(0.75)), pct(chunk[1].2.false_rate(0.75)));
+    }
+}

@@ -1,0 +1,13 @@
+//! Fig. 17: oil-field field study (LTE + WiFi 2.4 deployment mix).
+
+use edgeis_bench::figures::{self, pct};
+
+fn main() {
+    let config = figures::default_config();
+    let study = figures::fig17_field(&config);
+    println!("Fig. 17 — oil-field case study\n");
+    println!("segmentation accuracy : {}   (paper 87%)", pct(study.seg_accuracy));
+    println!("false segmentation    : {}   (paper 8%)", pct(study.false_seg));
+    println!("rendered info accuracy: {}   (paper 92%)", pct(study.render_accuracy));
+    println!("false rendering       : {}   (paper 2%)", pct(study.false_render));
+}

@@ -1,0 +1,374 @@
+//! Per-figure experiment runners. Each `figNN_*` function regenerates the
+//! rows/series of one figure or table of the paper; the `bin/` targets are
+//! thin printers around these.
+
+use edgeis::experiment::{run_pooled, run_system, ExperimentConfig, SystemKind};
+use edgeis::metrics::Report;
+use edgeis_imaging::{iou, LabelMap};
+use edgeis_netsim::LinkKind;
+use edgeis_scene::datasets::{self, Complexity};
+use edgeis_scene::trajectory::{MotionSpeed, Trajectory};
+use edgeis_scene::World;
+use edgeis_segnet::{EdgeModel, FrameObservation, ModelKind};
+use std::collections::BTreeMap;
+
+/// Default evaluation seeds — each behaves like one "video clip".
+pub const SEEDS: [u64; 3] = [2, 5, 9];
+
+/// Default experiment configuration used by the figure harnesses.
+pub fn default_config() -> ExperimentConfig {
+    ExperimentConfig { frames: 150, ..Default::default() }
+}
+
+/// A mixed-dataset world generator (the paper pools DAVIS/KITTI/Xiph plus
+/// its own clips; we rotate presets by seed).
+pub fn mixed_world(seed: u64) -> World {
+    match seed % 4 {
+        0 => datasets::davis_like(seed),
+        1 => datasets::xiph_like(seed),
+        2 => datasets::indoor_simple(seed),
+        _ => datasets::ar_handheld(seed),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2b — model accuracy/latency trade-off on the edge
+// ---------------------------------------------------------------------------
+
+/// One row of the Fig. 2b trade-off.
+#[derive(Debug, Clone)]
+pub struct TradeoffRow {
+    /// Model name.
+    pub model: &'static str,
+    /// Mean mask IoU against ground truth.
+    pub iou: f64,
+    /// Mean inference latency (full frame, no acceleration), ms.
+    pub latency_ms: f64,
+}
+
+/// Measures each candidate model's accuracy and latency on a standard
+/// full-quality frame (640×480, one mid-sized object).
+pub fn fig02_tradeoff() -> Vec<TradeoffRow> {
+    let kinds = [
+        ("YOLOv3 (boxes)", ModelKind::YoloV3),
+        ("YOLACT", ModelKind::Yolact),
+        ("Mask R-CNN", ModelKind::MaskRcnn),
+    ];
+    let mut rows = Vec::new();
+    for (name, kind) in kinds {
+        let mut lat = 0.0;
+        let mut quality = 0.0;
+        let n = 10;
+        for seed in 0..n {
+            let mut labels = LabelMap::new(640, 480);
+            for y in 160..330 {
+                for x in 230..420 {
+                    labels.set(x, y, 1);
+                }
+            }
+            let mut classes = BTreeMap::new();
+            classes.insert(1u16, 1u8);
+            let gt = labels.instance_mask(1);
+            let obs = FrameObservation::pristine(labels, classes);
+            let mut model = EdgeModel::new(kind, 640, 480, seed);
+            let r = model.infer(&obs, None);
+            lat += r.stats.total_ms();
+            quality += r
+                .detections
+                .iter()
+                .find(|d| d.instance == 1)
+                .map(|d| iou(&gt, &d.mask))
+                .unwrap_or(0.0);
+        }
+        rows.push(TradeoffRow {
+            model: name,
+            iou: quality / n as f64,
+            latency_ms: lat / n as f64,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 9 — overall accuracy comparison (CDF + false rates)
+// ---------------------------------------------------------------------------
+
+/// Runs the Fig. 9 roster over the mixed datasets; returns one pooled
+/// report per system.
+pub fn fig09_overall(config: &ExperimentConfig) -> Vec<Report> {
+    SystemKind::FIG9
+        .iter()
+        .map(|&kind| run_pooled(kind, mixed_world, &SEEDS, LinkKind::Wifi5, config))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 10 — false rate under different networks
+// ---------------------------------------------------------------------------
+
+/// (system, link, pooled report) for the network study.
+pub fn fig10_network(config: &ExperimentConfig) -> Vec<(SystemKind, LinkKind, Report)> {
+    let mut out = Vec::new();
+    for kind in [SystemKind::EdgeIs, SystemKind::Eaar, SystemKind::EdgeDuet] {
+        for link in [LinkKind::Wifi24, LinkKind::Wifi5] {
+            let report = run_pooled(kind, mixed_world, &SEEDS, link, config);
+            out.push((kind, link, report));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 11 — latency & accuracy per system
+// ---------------------------------------------------------------------------
+
+/// Pooled reports for the latency comparison (WiFi 5 GHz).
+pub fn fig11_latency(config: &ExperimentConfig) -> Vec<Report> {
+    [SystemKind::EdgeIs, SystemKind::Eaar, SystemKind::EdgeDuet]
+        .iter()
+        .map(|&kind| run_pooled(kind, mixed_world, &SEEDS, LinkKind::Wifi5, config))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 12 — robustness against camera motion
+// ---------------------------------------------------------------------------
+
+/// (speed, pooled report) rows for walking / striding / jogging.
+pub fn fig12_motion(config: &ExperimentConfig) -> Vec<(MotionSpeed, Report)> {
+    [MotionSpeed::Walk, MotionSpeed::Stride, MotionSpeed::Jog]
+        .iter()
+        .map(|&speed| {
+            let make = move |seed: u64| {
+                let mut world = datasets::indoor_simple(seed);
+                world.trajectory = Trajectory::lateral(speed);
+                world.name = format!("motion-{speed:?}-{seed}");
+                world
+            };
+            let report =
+                run_pooled(SystemKind::EdgeIs, make, &SEEDS, LinkKind::Wifi5, config);
+            (speed, report)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 13 — scene complexity
+// ---------------------------------------------------------------------------
+
+/// (complexity, pooled report) rows for easy / medium / hard scenes.
+pub fn fig13_complexity(config: &ExperimentConfig) -> Vec<(Complexity, Report)> {
+    [Complexity::Easy, Complexity::Medium, Complexity::Hard]
+        .iter()
+        .map(|&level| {
+            let make = move |seed: u64| datasets::complexity_world(level, seed);
+            let report =
+                run_pooled(SystemKind::EdgeIs, make, &SEEDS, LinkKind::Wifi5, config);
+            (level, report)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 14 — model acceleration breakdown
+// ---------------------------------------------------------------------------
+
+/// One acceleration configuration's measured latency split.
+#[derive(Debug, Clone)]
+pub struct AccelRow {
+    /// Configuration name.
+    pub config: &'static str,
+    /// Mean RPN latency, ms.
+    pub rpn_ms: f64,
+    /// Mean second-stage latency, ms.
+    pub head_ms: f64,
+    /// Mean total latency (incl. backbone), ms.
+    pub total_ms: f64,
+    /// Mean detection mask IoU.
+    pub iou: f64,
+}
+
+/// Measures Mask R-CNN latency with (a) no guidance, (b) dynamic anchor
+/// placement only, (c) anchors + RoI pruning — the Fig. 14 bars.
+pub fn fig14_acceleration() -> Vec<AccelRow> {
+    use edgeis_segnet::{BBox, Guidance, GuidanceBox};
+    let configs: [(&'static str, bool, bool); 3] = [
+        ("vanilla", false, false),
+        ("+dynamic anchors", true, false),
+        ("+anchors +pruning", true, true),
+    ];
+    let mut rows = Vec::new();
+    for (name, guided, pruning) in configs {
+        let mut rpn = 0.0;
+        let mut head = 0.0;
+        let mut total = 0.0;
+        let mut quality = 0.0;
+        let mut q_n = 0usize;
+        let n = 12;
+        for seed in 0..n {
+            // Two objects plus a new area, like a typical guided frame.
+            let mut labels = LabelMap::new(640, 480);
+            for y in 140..300 {
+                for x in 120..300 {
+                    labels.set(x, y, 1);
+                }
+            }
+            for y in 200..360 {
+                for x in 400..540 {
+                    labels.set(x, y, 2);
+                }
+            }
+            let mut classes = BTreeMap::new();
+            classes.insert(1u16, 1u8);
+            classes.insert(2u16, 2u8);
+            let gt1 = labels.instance_mask(1);
+            let obs = FrameObservation::pristine(labels, classes);
+            let guidance = Guidance {
+                boxes: vec![
+                    GuidanceBox {
+                        bbox: BBox::new(115.0, 135.0, 305.0, 305.0),
+                        class_id: Some(1),
+                        instance: Some(1),
+                    },
+                    GuidanceBox {
+                        bbox: BBox::new(395.0, 195.0, 545.0, 365.0),
+                        class_id: Some(2),
+                        instance: Some(2),
+                    },
+                    GuidanceBox {
+                        bbox: BBox::new(0.0, 0.0, 120.0, 160.0),
+                        class_id: None,
+                        instance: None,
+                    },
+                ],
+            };
+            let mut model = EdgeModel::new(ModelKind::MaskRcnn, 640, 480, seed);
+            model.set_roi_pruning(pruning);
+            let r = model.infer(&obs, guided.then_some(&guidance));
+            rpn += r.stats.rpn_ms;
+            head += r.stats.head_ms;
+            total += r.stats.total_ms();
+            if let Some(d) = r.detections.iter().find(|d| d.instance == 1) {
+                quality += iou(&gt1, &d.mask);
+                q_n += 1;
+            }
+        }
+        rows.push(AccelRow {
+            config: name,
+            rpn_ms: rpn / n as f64,
+            head_ms: head / n as f64,
+            total_ms: total / n as f64,
+            iou: if q_n > 0 { quality / q_n as f64 } else { 0.0 },
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 16 — per-module ablation
+// ---------------------------------------------------------------------------
+
+/// (configuration, link, pooled report) rows for the module ablation.
+pub fn fig16_ablation(config: &ExperimentConfig) -> Vec<(SystemKind, LinkKind, Report)> {
+    let kinds = [
+        SystemKind::BestEffort,
+        SystemKind::EdgeIsCfrsOnly,
+        SystemKind::EdgeIsCiiaOnly,
+        SystemKind::EdgeIsMamtOnly,
+        SystemKind::EdgeIs,
+    ];
+    let mut out = Vec::new();
+    for kind in kinds {
+        for link in [LinkKind::Wifi24, LinkKind::Wifi5] {
+            let report = run_pooled(kind, mixed_world, &SEEDS, link, config);
+            out.push((kind, link, report));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 17 — field study
+// ---------------------------------------------------------------------------
+
+/// Field-study style summary.
+#[derive(Debug, Clone)]
+pub struct FieldStudy {
+    /// Mean segmentation IoU ("segmentation accuracy").
+    pub seg_accuracy: f64,
+    /// False segmentation rate at the loose threshold.
+    pub false_seg: f64,
+    /// Fraction of rendered visual effects judged satisfying.
+    pub render_accuracy: f64,
+    /// False rendering rate among attended objects.
+    pub false_render: f64,
+}
+
+/// Runs the oil-field preset over LTE (outdoor devices) and WiFi 2.4
+/// (near-campus glasses), mimicking the deployment mix.
+pub fn fig17_field(config: &ExperimentConfig) -> FieldStudy {
+    let mut reports = Vec::new();
+    for (i, link) in [LinkKind::Lte, LinkKind::Wifi24].iter().enumerate() {
+        for &seed in &SEEDS {
+            let world = datasets::oil_field(seed + i as u64 * 100);
+            let mut cfg = config.clone();
+            cfg.seed = seed;
+            reports.push(run_system(SystemKind::EdgeIs, &world, *link, &cfg));
+        }
+    }
+    let pooled = Report::pooled("edgeIS", "oil-field", &reports);
+
+    // Rendered-information accuracy: users attend to large central objects
+    // and judge the visual effect, a looser notion than pixel IoU.
+    let samples = pooled.iou_samples();
+    let render_ok = samples.iter().filter(|&&v| v >= 0.5).count();
+    let render_accuracy = render_ok as f64 / samples.len().max(1) as f64;
+    FieldStudy {
+        seg_accuracy: pooled.mean_iou(),
+        false_seg: pooled.false_rate(0.5),
+        render_accuracy,
+        false_render: 1.0 - render_accuracy,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Extra ablation: transmission trigger threshold sweep
+// ---------------------------------------------------------------------------
+
+/// (threshold, pooled report) rows sweeping the §V trigger `t`.
+pub fn ablation_trigger(config: &ExperimentConfig) -> Vec<(f64, Report)> {
+    use edgeis::pipeline::{class_map, run_pipeline, PipelineConfig};
+    use edgeis::system::{EdgeIsConfig, EdgeIsSystem};
+
+    let mut out = Vec::new();
+    for &threshold in &[0.10, 0.25, 0.50, 0.90] {
+        let mut reports = Vec::new();
+        for &seed in &SEEDS {
+            let world = mixed_world(seed);
+            let mut sys_cfg = EdgeIsConfig::full(config.camera, seed);
+            sys_cfg.cfrs.new_area_threshold = threshold;
+            let mut system = EdgeIsSystem::new(sys_cfg, LinkKind::Wifi5);
+            let classes = class_map(&world);
+            let pipe = PipelineConfig {
+                fps: config.fps,
+                frames: config.frames,
+                min_scored_area: config.min_scored_area,
+                warmup_frames: config.warmup_frames,
+            };
+            reports.push(run_pipeline(
+                &mut system,
+                &world,
+                &config.camera,
+                &classes,
+                &pipe,
+            ));
+        }
+        out.push((threshold, Report::pooled("edgeIS", "trigger-sweep", &reports)));
+    }
+    out
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}

@@ -1,0 +1,15 @@
+//! Figure/table regeneration harness for the edgeIS reproduction.
+//!
+//! One binary per paper figure lives under `src/bin/`; each calls into
+//! [`figures`] and prints the measured rows next to the paper's reported
+//! values. Criterion micro-benchmarks of the substrate algorithms live in
+//! `benches/micro.rs`.
+//!
+//! Regenerate everything with:
+//!
+//! ```text
+//! for f in fig02 fig09 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17; do
+//!     cargo run --release -p edgeis-bench --bin $f; done
+//! ```
+
+pub mod figures;

@@ -1,0 +1,84 @@
+//! Property-based tests of the tile codec's rate/distortion invariants.
+
+use edgeis_codec::{encode, QualityLevel, TileGrid, TilePlan};
+use edgeis_imaging::{GrayImage, Mask};
+use proptest::prelude::*;
+
+fn frame_strategy() -> impl Strategy<Value = GrayImage> {
+    (0u64..10_000).prop_map(|seed| {
+        let mut img = GrayImage::new(96, 64);
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        for y in 0..64 {
+            for x in 0..96 {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                // Mix flat areas and texture.
+                let v = if (x / 24 + y / 16) % 2 == 0 { 120 } else { (s & 0xff) as u8 };
+                img.set(x, y, v);
+            }
+        }
+        img
+    })
+}
+
+proptest! {
+    #[test]
+    fn higher_quality_never_cheaper(frame in frame_strategy()) {
+        let grid = TileGrid::new(16, 96, 64);
+        let hi = encode(&frame, &TilePlan::uniform(grid, QualityLevel::High));
+        let md = encode(&frame, &TilePlan::uniform(grid, QualityLevel::Medium));
+        let lo = encode(&frame, &TilePlan::uniform(grid, QualityLevel::Low));
+        prop_assert!(hi.total_bytes() >= md.total_bytes());
+        prop_assert!(md.total_bytes() >= lo.total_bytes());
+    }
+
+    #[test]
+    fn raising_tiles_monotone_in_bytes(
+        frame in frame_strategy(),
+        tiles in proptest::collection::vec(0usize..24, 0..10),
+    ) {
+        let grid = TileGrid::new(16, 96, 64);
+        let base = TilePlan::uniform(grid, QualityLevel::Low);
+        let mut raised = base.clone();
+        raised.raise(&tiles, QualityLevel::High);
+        let b0 = encode(&frame, &base).total_bytes();
+        let b1 = encode(&frame, &raised).total_bytes();
+        prop_assert!(b1 >= b0);
+    }
+
+    #[test]
+    fn instance_quality_bounded(frame in frame_strategy(), x in 0u32..80, y in 0u32..48) {
+        let grid = TileGrid::new(16, 96, 64);
+        let mut plan = TilePlan::uniform(grid, QualityLevel::Low);
+        plan.raise(&[0, 1, 2], QualityLevel::High);
+        let encoded = encode(&frame, &plan);
+        let mut mask = Mask::new(96, 64);
+        mask.fill_rect(x, y, 12, 12);
+        let q = encoded.instance_quality(&mask);
+        prop_assert!((0.0..=1.0).contains(&q));
+        prop_assert!(q >= QualityLevel::Low.decoded_quality() - 1e-9);
+        prop_assert!(q <= QualityLevel::High.decoded_quality() + 1e-9);
+    }
+
+    #[test]
+    fn every_pixel_belongs_to_exactly_one_tile(ts in 1u32..40) {
+        let grid = TileGrid::new(ts, 96, 64);
+        let mut counts = vec![0u32; grid.len()];
+        for y in 0..64 {
+            for x in 0..96 {
+                counts[grid.tile_of(x, y)] += 1;
+            }
+        }
+        let total: u32 = counts.iter().sum();
+        prop_assert_eq!(total, 96 * 64);
+        // Tile rects tile the plane: sum of areas equals the frame.
+        let rect_total: u32 = (0..grid.len())
+            .map(|i| {
+                let (_, _, w, h) = grid.tile_rect(i);
+                w * h
+            })
+            .sum();
+        prop_assert_eq!(rect_total, 96 * 64);
+    }
+}

@@ -1,0 +1,182 @@
+//! Experiment runner: builds a system and drives it over a world.
+
+use crate::baselines::{EaarSystem, EdgeDuetSystem, PureMobileSystem};
+use crate::metrics::Report;
+use crate::pipeline::{class_map, run_pipeline, PipelineConfig};
+use crate::system::{EdgeIsConfig, EdgeIsSystem, SegmentationSystem};
+use edgeis_geometry::Camera;
+use edgeis_netsim::LinkKind;
+use edgeis_scene::World;
+use serde::{Deserialize, Serialize};
+
+/// Systems under evaluation (Fig. 9/16 rosters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// On-device inference only.
+    PureMobile,
+    /// Best-effort offloading with motion-vector local tracking — the
+    /// baseline of the §VI-E ablations.
+    BestEffort,
+    /// EAAR retrofitted for segmentation.
+    Eaar,
+    /// EdgeDuet retrofitted for segmentation.
+    EdgeDuet,
+    /// Full edgeIS.
+    EdgeIs,
+    /// Ablation: baseline + MAMT only.
+    EdgeIsMamtOnly,
+    /// Ablation: baseline + CIIA only.
+    EdgeIsCiiaOnly,
+    /// Ablation: baseline + CFRS only.
+    EdgeIsCfrsOnly,
+}
+
+impl SystemKind {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::PureMobile => "pure-mobile",
+            SystemKind::BestEffort => "best-effort",
+            SystemKind::Eaar => "EAAR",
+            SystemKind::EdgeDuet => "EdgeDuet",
+            SystemKind::EdgeIs => "edgeIS",
+            SystemKind::EdgeIsMamtOnly => "baseline+MAMT",
+            SystemKind::EdgeIsCiiaOnly => "baseline+CIIA",
+            SystemKind::EdgeIsCfrsOnly => "baseline+CFRS",
+        }
+    }
+
+    /// The Fig. 9 roster.
+    pub const FIG9: [SystemKind; 5] = [
+        SystemKind::PureMobile,
+        SystemKind::BestEffort,
+        SystemKind::EdgeDuet,
+        SystemKind::Eaar,
+        SystemKind::EdgeIs,
+    ];
+}
+
+/// Experiment-level configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Camera (shared by renderer and systems).
+    pub camera: Camera,
+    /// Frames per run.
+    pub frames: usize,
+    /// Camera frame rate.
+    pub fps: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Minimum scored instance area.
+    pub min_scored_area: usize,
+    /// Warmup frames excluded from scoring.
+    pub warmup_frames: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            camera: Camera::with_hfov(1.2, 320, 240),
+            frames: 150,
+            fps: 30.0,
+            seed: 1,
+            min_scored_area: 80,
+            warmup_frames: 30,
+        }
+    }
+}
+
+/// Builds a system instance.
+pub fn build_system(
+    kind: SystemKind,
+    camera: Camera,
+    link: LinkKind,
+    seed: u64,
+) -> Box<dyn SegmentationSystem> {
+    match kind {
+        SystemKind::PureMobile => Box::new(PureMobileSystem::new(camera, seed)),
+        SystemKind::Eaar => Box::new(EaarSystem::new(camera, link, seed)),
+        SystemKind::EdgeDuet => Box::new(EdgeDuetSystem::new(camera, link, seed)),
+        SystemKind::BestEffort => {
+            let mut cfg = EdgeIsConfig::full(camera, seed);
+            cfg.use_mamt = false;
+            cfg.use_ciia = false;
+            cfg.use_cfrs = false;
+            Box::new(EdgeIsSystem::new(cfg, link))
+        }
+        SystemKind::EdgeIs => Box::new(EdgeIsSystem::new(EdgeIsConfig::full(camera, seed), link)),
+        SystemKind::EdgeIsMamtOnly => {
+            let mut cfg = EdgeIsConfig::full(camera, seed);
+            cfg.use_ciia = false;
+            cfg.use_cfrs = false;
+            Box::new(EdgeIsSystem::new(cfg, link))
+        }
+        SystemKind::EdgeIsCiiaOnly => {
+            let mut cfg = EdgeIsConfig::full(camera, seed);
+            cfg.use_mamt = false;
+            cfg.use_cfrs = false;
+            Box::new(EdgeIsSystem::new(cfg, link))
+        }
+        SystemKind::EdgeIsCfrsOnly => {
+            let mut cfg = EdgeIsConfig::full(camera, seed);
+            cfg.use_mamt = false;
+            cfg.use_ciia = false;
+            Box::new(EdgeIsSystem::new(cfg, link))
+        }
+    }
+}
+
+/// Runs one system over one world and returns the scored report.
+pub fn run_system(
+    kind: SystemKind,
+    world: &World,
+    link: LinkKind,
+    config: &ExperimentConfig,
+) -> Report {
+    let mut system = build_system(kind, config.camera, link, config.seed);
+    let classes = class_map(world);
+    let pipeline = PipelineConfig {
+        fps: config.fps,
+        frames: config.frames,
+        min_scored_area: config.min_scored_area,
+        warmup_frames: config.warmup_frames,
+    };
+    run_pipeline(system.as_mut(), world, &config.camera, &classes, &pipeline)
+}
+
+/// Runs a system over several seeded variants of a preset and pools the
+/// records (the paper averages 3 runs per clip).
+pub fn run_pooled<F>(
+    kind: SystemKind,
+    make_world: F,
+    seeds: &[u64],
+    link: LinkKind,
+    config: &ExperimentConfig,
+) -> Report
+where
+    F: Fn(u64) -> World + Sync,
+{
+    // Seeded runs are independent; fan them out across threads.
+    let reports: Vec<Report> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&s| {
+                let make_world = &make_world;
+                let config = config.clone();
+                scope.spawn(move |_| {
+                    let world = make_world(s);
+                    let mut cfg = config;
+                    cfg.seed = s;
+                    run_system(kind, &world, link, &cfg)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("run panicked")).collect()
+    })
+    .expect("scope panicked");
+    let scenario = reports
+        .first()
+        .map(|r| r.scenario.clone())
+        .unwrap_or_default();
+    Report::pooled(kind.name(), &scenario, &reports)
+}

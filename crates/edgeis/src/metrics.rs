@@ -1,0 +1,202 @@
+//! Per-frame scoring and report aggregation (Eq. 8 and the §VI metrics).
+
+use serde::{Deserialize, Serialize};
+
+/// Everything recorded about one rendered frame.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrameRecord {
+    /// Frame index.
+    pub frame: u64,
+    /// Virtual time, ms.
+    pub time_ms: f64,
+    /// IoU per scored ground-truth instance in this frame.
+    pub ious: Vec<(u16, f64)>,
+    /// Mobile-side processing latency, ms.
+    pub mobile_ms: f64,
+    /// Bytes sent uplink for this frame (0 when not transmitted).
+    pub tx_bytes: usize,
+    /// Whether this frame was offloaded.
+    pub transmitted: bool,
+    /// How many frames behind the rendered result was (backlog staleness).
+    pub stale_frames: usize,
+}
+
+/// Aggregated results of one experiment run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// System under test.
+    pub system: String,
+    /// Scenario description.
+    pub scenario: String,
+    /// Per-frame records.
+    pub records: Vec<FrameRecord>,
+}
+
+impl Report {
+    /// All per-instance IoU samples.
+    pub fn iou_samples(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .flat_map(|r| r.ious.iter().map(|&(_, v)| v))
+            .collect()
+    }
+
+    /// Mean IoU over all instance samples (0 when nothing was scored).
+    pub fn mean_iou(&self) -> f64 {
+        let s = self.iou_samples();
+        if s.is_empty() {
+            0.0
+        } else {
+            s.iter().sum::<f64>() / s.len() as f64
+        }
+    }
+
+    /// Fraction of samples below an IoU threshold — the paper's "false
+    /// rate" (strict threshold 0.75, loose 0.5).
+    pub fn false_rate(&self, threshold: f64) -> f64 {
+        let s = self.iou_samples();
+        if s.is_empty() {
+            return 1.0;
+        }
+        s.iter().filter(|&&v| v < threshold).count() as f64 / s.len() as f64
+    }
+
+    /// Empirical CDF of IoU, sampled at `bins` evenly spaced thresholds in
+    /// `[0, 1]`; returns `(threshold, fraction ≤ threshold)` pairs
+    /// (Fig. 9's axes).
+    pub fn iou_cdf(&self, bins: usize) -> Vec<(f64, f64)> {
+        let mut s = self.iou_samples();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = s.len().max(1) as f64;
+        (0..=bins)
+            .map(|i| {
+                let thr = i as f64 / bins as f64;
+                let count = s.iter().filter(|&&v| v <= thr).count();
+                (thr, count as f64 / n)
+            })
+            .collect()
+    }
+
+    /// Mean mobile-side latency per frame, ms.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.mobile_ms).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Total uplink traffic in bytes.
+    pub fn total_tx_bytes(&self) -> usize {
+        self.records.iter().map(|r| r.tx_bytes).sum()
+    }
+
+    /// Fraction of frames transmitted.
+    pub fn transmit_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.transmitted).count() as f64 / self.records.len() as f64
+    }
+
+    /// Mean uplink bandwidth in Mbit/s given the camera frame rate.
+    pub fn mean_uplink_mbps(&self, fps: f64) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let seconds = self.records.len() as f64 / fps;
+        self.total_tx_bytes() as f64 * 8.0 / 1e6 / seconds
+    }
+
+    /// Mean staleness in frames.
+    pub fn mean_staleness(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records
+            .iter()
+            .map(|r| r.stale_frames as f64)
+            .sum::<f64>()
+            / self.records.len() as f64
+    }
+
+    /// Merges several runs (e.g. different seeds) into one pooled report.
+    pub fn pooled(system: &str, scenario: &str, reports: &[Report]) -> Report {
+        Report {
+            system: system.to_string(),
+            scenario: scenario.to_string(),
+            records: reports.iter().flat_map(|r| r.records.clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(ious: &[f64], mobile_ms: f64, tx: usize) -> FrameRecord {
+        FrameRecord {
+            frame: 0,
+            time_ms: 0.0,
+            ious: ious.iter().map(|&v| (1u16, v)).collect(),
+            mobile_ms,
+            tx_bytes: tx,
+            transmitted: tx > 0,
+            stale_frames: 0,
+        }
+    }
+
+    fn report(records: Vec<FrameRecord>) -> Report {
+        Report {
+            system: "t".into(),
+            scenario: "s".into(),
+            records,
+        }
+    }
+
+    #[test]
+    fn mean_and_false_rate() {
+        let r = report(vec![record(&[0.9, 0.8], 10.0, 0), record(&[0.4], 10.0, 0)]);
+        assert!((r.mean_iou() - 0.7).abs() < 1e-12);
+        assert!((r.false_rate(0.75) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((r.false_rate(0.5) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((r.false_rate(0.95) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_degenerates_safely() {
+        let r = report(vec![]);
+        assert_eq!(r.mean_iou(), 0.0);
+        assert_eq!(r.false_rate(0.5), 1.0);
+        assert_eq!(r.mean_latency_ms(), 0.0);
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let r = report(vec![record(&[0.2, 0.5, 0.9, 0.95], 0.0, 0)]);
+        let cdf = r.iou_cdf(10);
+        assert_eq!(cdf.first().unwrap().1, 0.0);
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        for w in cdf.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        let r = report(vec![record(&[1.0], 20.0, 50_000), record(&[1.0], 30.0, 0)]);
+        assert_eq!(r.total_tx_bytes(), 50_000);
+        assert_eq!(r.transmit_fraction(), 0.5);
+        assert!((r.mean_latency_ms() - 25.0).abs() < 1e-12);
+        // 2 frames at 30 fps = 1/15 s; 50 kB = 0.4 Mbit -> 6 Mbps.
+        assert!((r.mean_uplink_mbps(30.0) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pooled_concatenates() {
+        let a = report(vec![record(&[0.9], 0.0, 0)]);
+        let b = report(vec![record(&[0.5], 0.0, 0)]);
+        let p = Report::pooled("x", "y", &[a, b]);
+        assert_eq!(p.records.len(), 2);
+        assert!((p.mean_iou() - 0.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,523 @@
+//! The [`SegmentationSystem`] trait and the full edgeIS system.
+
+use crate::cfrs::{CfrsConfig, CfrsDecision, CfrsPlanner};
+use crate::cost::MobileCostModel;
+use crate::edge::{EdgeServer, PendingResponse, SharedEdge};
+use crate::resources::{ResourceConfig, ResourceLedger};
+use edgeis_codec::{encode, QualityLevel, TileGrid, TilePlan};
+use edgeis_geometry::Camera;
+use edgeis_imaging::{GrayImage, LabelMap, Mask, MotionVectorField};
+use edgeis_netsim::{Direction, Link, LinkKind, SimMs};
+use edgeis_scene::RenderedFrame;
+use edgeis_segnet::{Detection, EdgeModel, FrameObservation, ModelKind};
+use edgeis_vo::{VisualOdometry, VoConfig};
+use std::collections::BTreeMap;
+
+/// Input to one frame step: the rendered frame plus scene class metadata.
+#[derive(Debug)]
+pub struct FrameInput<'a> {
+    /// Frame index (0-based).
+    pub index: u64,
+    /// Virtual capture time, ms.
+    pub time_ms: SimMs,
+    /// The rendered frame (image + ground-truth labels used by the edge
+    /// simulator; the mobile side only looks at the image).
+    pub frame: &'a RenderedFrame,
+    /// Class id per instance label.
+    pub classes: &'a BTreeMap<u16, u8>,
+}
+
+/// What a system hands to the renderer for one frame.
+#[derive(Debug, Clone, Default)]
+pub struct FrameOutput {
+    /// Masks rendered to the user this frame.
+    pub masks: Vec<(u16, Mask)>,
+    /// Mobile-side processing latency, ms (modeled).
+    pub mobile_ms: f64,
+    /// Bytes sent uplink this frame.
+    pub tx_bytes: usize,
+    /// Whether a frame was offloaded.
+    pub transmitted: bool,
+}
+
+/// A mobile+edge segmentation system under test.
+pub trait SegmentationSystem {
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Processes one camera frame at virtual time `now` and returns what
+    /// would be rendered.
+    fn process_frame(&mut self, input: &FrameInput<'_>, now: SimMs) -> FrameOutput;
+
+    /// Resource ledger, when the system tracks one.
+    fn resources(&self) -> Option<&ResourceLedger> {
+        None
+    }
+}
+
+/// Paints detections into a label map (ascending confidence so the most
+/// confident detection wins contested pixels).
+pub(crate) fn label_map_from_detections(
+    width: u32,
+    height: u32,
+    detections: &[Detection],
+) -> LabelMap {
+    let mut sorted: Vec<&Detection> = detections.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.confidence
+            .partial_cmp(&b.confidence)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut lm = LabelMap::new(width, height);
+    for det in sorted {
+        for (x, y) in det.mask.iter_set() {
+            lm.set(x, y, det.instance);
+        }
+    }
+    lm
+}
+
+/// Configuration of the edgeIS system (and its ablations).
+#[derive(Debug, Clone)]
+pub struct EdgeIsConfig {
+    /// Camera intrinsics shared with the renderer.
+    pub camera: Camera,
+    /// VO parameters (§III).
+    pub vo: VoConfig,
+    /// CFRS parameters (§V).
+    pub cfrs: CfrsConfig,
+    /// Mobile compute-cost calibration.
+    pub cost: MobileCostModel,
+    /// Resource-model calibration.
+    pub resources: ResourceConfig,
+    /// Edge model (Mask R-CNN in the paper).
+    pub model: ModelKind,
+    /// Enable motion-aware mobile mask transfer; when off, the mobile side
+    /// falls back to motion-vector warping (the Fig. 16 baseline tracker).
+    pub use_mamt: bool,
+    /// Enable contour instructed inference acceleration (guidance to the
+    /// edge model).
+    pub use_ciia: bool,
+    /// Enable content-based fine-grained RoI selection; when off, frames
+    /// are offloaded back-to-back at uniform high quality.
+    pub use_cfrs: bool,
+    /// Detections below this confidence are dropped on the mobile side.
+    pub min_confidence: f64,
+    /// RNG seed for the edge model.
+    pub seed: u64,
+}
+
+impl EdgeIsConfig {
+    /// Full edgeIS for a camera.
+    pub fn full(camera: Camera, seed: u64) -> Self {
+        Self {
+            camera,
+            vo: VoConfig::default(),
+            cfrs: CfrsConfig::default(),
+            cost: MobileCostModel::default(),
+            resources: ResourceConfig::default(),
+            model: ModelKind::MaskRcnn,
+            use_mamt: true,
+            use_ciia: true,
+            use_cfrs: true,
+            min_confidence: 0.5,
+            seed,
+        }
+    }
+}
+
+/// Which local tracker the mobile side runs.
+enum MobileTracker {
+    /// The paper's §III VO-based transfer.
+    Vo {
+        vo: VisualOdometry,
+        /// Previous world-motion translation per object, for the CFRS
+        /// motion trigger.
+        prev_motion: BTreeMap<u16, edgeis_geometry::Vec3>,
+    },
+    /// Motion-vector warping of the last received masks (ablation /
+    /// baseline tracker).
+    MotionVector {
+        prev_image: Option<GrayImage>,
+        cached: Vec<(u16, Mask)>,
+        /// Mean displacement accumulated since the last transmission.
+        motion_since_tx: f64,
+    },
+}
+
+/// The edgeIS system: mobile (VO + CFRS) + edge (CIIA) over a link.
+pub struct EdgeIsSystem {
+    config: EdgeIsConfig,
+    tracker: MobileTracker,
+    planner: CfrsPlanner,
+    link: Link,
+    server: SharedEdge,
+    pending: Vec<PendingResponse>,
+    ledger: ResourceLedger,
+    /// Last frame index each object was successfully rendered, with its
+    /// last known mask — drives the lost-object mask-correction regions.
+    last_seen: BTreeMap<u16, (u64, Mask)>,
+    /// Transmissions issued so far (drives periodic full scans in
+    /// continuous mode).
+    tx_count: u64,
+    name: &'static str,
+}
+
+impl EdgeIsSystem {
+    /// Builds the system over the given link.
+    pub fn new(config: EdgeIsConfig, link_kind: LinkKind) -> Self {
+        let camera = config.camera;
+        let tracker = if config.use_mamt {
+            MobileTracker::Vo {
+                vo: VisualOdometry::new(camera, config.vo.clone()),
+                prev_motion: BTreeMap::new(),
+            }
+        } else {
+            MobileTracker::MotionVector {
+                prev_image: None,
+                cached: Vec::new(),
+                motion_since_tx: 0.0,
+            }
+        };
+        let name = match (config.use_mamt, config.use_ciia, config.use_cfrs) {
+            (true, true, true) => "edgeIS",
+            (true, false, false) => "edgeIS (MAMT only)",
+            (false, true, false) => "edgeIS (CIIA only)",
+            (false, false, true) => "edgeIS (CFRS only)",
+            (false, false, false) => "best-effort+MV",
+            _ => "edgeIS (partial)",
+        };
+        Self {
+            planner: CfrsPlanner::new(config.cfrs),
+            link: Link::of_kind(link_kind, config.seed ^ 0x11),
+            server: SharedEdge::new(EdgeServer::new(EdgeModel::new(
+                config.model,
+                camera.width,
+                camera.height,
+                config.seed ^ 0x22,
+            ))),
+            pending: Vec::new(),
+            ledger: ResourceLedger::new(config.resources),
+            last_seen: BTreeMap::new(),
+            tx_count: 0,
+            tracker,
+            config,
+            name,
+        }
+    }
+
+    /// Builds the system against an existing (shared) edge server — used
+    /// for multi-device experiments where several mobiles contend for one
+    /// GPU.
+    pub fn with_shared_edge(
+        config: EdgeIsConfig,
+        link_kind: LinkKind,
+        server: SharedEdge,
+    ) -> Self {
+        let mut sys = Self::new(config, link_kind);
+        sys.server = server;
+        sys
+    }
+
+    /// Whether the mobile map / cache is initialized.
+    fn initialized(&self) -> bool {
+        match &self.tracker {
+            MobileTracker::Vo { vo, .. } => vo.is_tracking(),
+            MobileTracker::MotionVector { cached, .. } => !cached.is_empty(),
+        }
+    }
+
+    fn deliver_responses(&mut self, now: SimMs) {
+        let (ready, later): (Vec<PendingResponse>, Vec<PendingResponse>) =
+            self.pending.drain(..).partition(|p| p.arrive_ms <= now);
+        self.pending = later;
+        for resp in ready {
+            let kept: Vec<&Detection> = resp
+                .detections
+                .iter()
+                .filter(|d| d.confidence >= self.config.min_confidence)
+                .collect();
+            match &mut self.tracker {
+                MobileTracker::Vo { vo, .. } => {
+                    let lm = label_map_from_detections(
+                        self.config.camera.width,
+                        self.config.camera.height,
+                        &kept.iter().map(|d| (*d).clone()).collect::<Vec<_>>(),
+                    );
+                    let _ = vo.apply_edge_masks(resp.frame_id, &lm);
+                }
+                MobileTracker::MotionVector {
+                    cached,
+                    motion_since_tx,
+                    ..
+                } => {
+                    *cached = kept.iter().map(|d| (d.instance, d.mask.clone())).collect();
+                    *motion_since_tx = 0.0;
+                }
+            }
+        }
+    }
+}
+
+impl SegmentationSystem for EdgeIsSystem {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn process_frame(&mut self, input: &FrameInput<'_>, now: SimMs) -> FrameOutput {
+        self.deliver_responses(now);
+
+        // --- Mobile tracking & mask prediction. ---
+        let (masks, new_area_fraction, new_pixels, vo_frame_id, features, matches, poses) =
+            match &mut self.tracker {
+                MobileTracker::Vo { vo, prev_motion } => {
+                    let out = vo.process_frame(&input.frame.image, input.time_ms / 1000.0);
+                    // Feed the CFRS motion trigger from per-object motion.
+                    for obj in &out.objects {
+                        if let Some(d) = obj.world_motion {
+                            let prev = prev_motion
+                                .insert(obj.label, d.translation)
+                                .unwrap_or(d.translation);
+                            self.planner
+                                .record_motion(obj.label, (d.translation - prev).norm());
+                        }
+                    }
+                    let masks: Vec<(u16, Mask)> = out
+                        .objects
+                        .iter()
+                        .filter_map(|o| o.mask.clone().map(|m| (o.label, m)))
+                        .collect();
+                    let poses = 1 + out.objects.iter().filter(|o| o.matched_points >= 3).count();
+                    (
+                        masks,
+                        out.new_area_fraction,
+                        out.unlabeled_feature_pixels,
+                        out.frame_id,
+                        out.features,
+                        out.matches,
+                        poses,
+                    )
+                }
+                MobileTracker::MotionVector {
+                    prev_image,
+                    cached,
+                    motion_since_tx,
+                } => {
+                    let mut masks = Vec::new();
+                    let mut magnitude = 0.0;
+                    if let Some(prev) = prev_image.as_ref() {
+                        let field = MotionVectorField::estimate(prev, &input.frame.image, 16, 12);
+                        magnitude = field.mean_magnitude();
+                        *motion_since_tx += magnitude;
+                        for (label, mask) in cached.iter_mut() {
+                            *mask = field.warp_mask(mask);
+                            masks.push((*label, mask.clone()));
+                        }
+                    }
+                    *prev_image = Some(input.frame.image.clone());
+                    // Without a map, "newly observed" is approximated by the
+                    // amount of motion since the caches were refreshed.
+                    let new_area = (*motion_since_tx / 40.0).min(1.0);
+                    let _ = magnitude;
+                    (masks, new_area, Vec::new(), input.index, 0, 0, 0)
+                }
+            };
+
+        // Short-horizon fallback: a single-frame transfer failure should
+        // not blank an object the cache knew 1-5 frames ago — render the
+        // most recent mask instead (it is at most ~150 ms old).
+        let mut masks = masks;
+        for (label, (seen, mask)) in &self.last_seen {
+            let age = input.index.saturating_sub(*seen);
+            if (1..=5).contains(&age) && !masks.iter().any(|(l, _)| l == label) {
+                masks.push((*label, mask.clone()));
+            }
+        }
+
+        // Lost-object bookkeeping: an object rendered recently but missing
+        // this frame gets a "mask correction" region so the tile plan and
+        // the edge's anchors keep covering it (§V triggers transmission
+        // for mask correction).
+        for (label, mask) in &masks {
+            self.last_seen.insert(*label, (input.index, mask.clone()));
+        }
+        let lost: Vec<(u16, Mask)> = self
+            .last_seen
+            .iter()
+            .filter(|(label, (seen, _))| {
+                let age = input.index.saturating_sub(*seen);
+                (1..=90).contains(&age) && !masks.iter().any(|(l, _)| l == *label)
+            })
+            .map(|(label, (_, mask))| (*label, mask.clone()))
+            .collect();
+        let object_lost = !lost.is_empty();
+
+        // --- Transmission decision. ---
+        // Backpressure: bounded request pipelining per device plus
+        // admission control against the edge queue horizon. Without this,
+        // a shared edge (multi-device deployments) builds an unbounded FIFO
+        // and every response arrives too stale to use.
+        let edge_backlogged = self.server.busy_until() > now + 400.0;
+        let decision = if self.pending.len() >= 3 || edge_backlogged {
+            CfrsDecision::Hold
+        } else if self.config.use_cfrs {
+            // A lost object counts as significant change (mask correction).
+            let effective_new_area = if object_lost {
+                1.0
+            } else {
+                new_area_fraction
+            };
+            self.planner
+                .decide(input.index, self.initialized(), effective_new_area)
+        } else {
+            // Non-CFRS: back-to-back best-effort offloading (a new frame is
+            // sent whenever no request is outstanding).
+            if self.pending.is_empty() {
+                CfrsDecision::Transmit(crate::cfrs::TransmitReason::Continuous)
+            } else {
+                CfrsDecision::Hold
+            }
+        };
+        let transmit = matches!(decision, CfrsDecision::Transmit(_));
+
+        // --- Mobile latency model. ---
+        let mobile_ms = match &self.tracker {
+            MobileTracker::Vo { .. } => {
+                self.config
+                    .cost
+                    .edgeis_frame_ms(features, matches, poses, masks.len(), transmit)
+            }
+            MobileTracker::MotionVector { .. } => {
+                self.config.cost.mv_frame_ms(masks.len(), transmit, 0.0)
+            }
+        };
+
+        // --- Encode + offload. ---
+        let mut tx_bytes = 0;
+        if transmit {
+            let w = self.config.camera.width;
+            let h = self.config.camera.height;
+            // Lost objects' last known regions are treated as new areas:
+            // encoded at medium quality and marked for the anchor grid.
+            let mut area_pixels = new_pixels.clone();
+            for (_, mask) in &lost {
+                if let Some((x0, y0, x1, y1)) = mask.bounding_box() {
+                    let step = self.config.cfrs.tile_size as usize;
+                    for y in (y0..y1).step_by(step.max(1)) {
+                        for x in (x0..x1).step_by(step.max(1)) {
+                            area_pixels.push((x as f64, y as f64));
+                        }
+                    }
+                }
+            }
+            let plan = if self.config.use_cfrs {
+                self.planner.tile_plan(w, h, &masks, &area_pixels)
+            } else {
+                TilePlan::uniform(
+                    TileGrid::new(self.config.cfrs.tile_size, w, h),
+                    QualityLevel::High,
+                )
+            };
+            let encoded = encode(&input.frame.image, &plan);
+            tx_bytes = encoded.total_bytes();
+
+            // Edge-side observation: ground-truth labels through the
+            // encoding quality of each instance's region.
+            let mut quality = BTreeMap::new();
+            for id in input.frame.labels.instance_ids() {
+                let gt_mask = input.frame.labels.instance_mask(id);
+                quality.insert(id, encoded.instance_quality(&gt_mask));
+            }
+            let obs = FrameObservation {
+                labels: input.frame.labels.clone(),
+                classes: input.classes.clone(),
+                quality,
+            };
+            // Periodic / bootstrap refreshes scan the full frame so objects
+            // the mobile cache lost entirely can be rediscovered; guided
+            // anchors only cover cached and new regions. Continuous-mode
+            // (non-CFRS) transmissions interleave a full scan every 8th
+            // request for the same reason.
+            self.tx_count += 1;
+            let full_scan = matches!(
+                decision,
+                CfrsDecision::Transmit(
+                    crate::cfrs::TransmitReason::Periodic
+                        | crate::cfrs::TransmitReason::Bootstrap
+                )
+            ) || (matches!(
+                decision,
+                CfrsDecision::Transmit(crate::cfrs::TransmitReason::Continuous)
+            ) && self.tx_count % 8 == 1);
+            let guidance = if self.config.use_ciia && !full_scan {
+                Some(
+                    self.planner
+                        .guidance(w, h, &masks, input.classes, &area_pixels),
+                )
+            } else {
+                None
+            };
+
+            let arrival = self
+                .link
+                .transmit(tx_bytes, now + mobile_ms, Direction::Uplink);
+            let resp = self.server.submit(
+                vo_frame_id,
+                &obs,
+                guidance.as_ref().filter(|g| !g.is_empty()),
+                arrival,
+                &mut self.link,
+            );
+            self.pending.push(resp);
+        }
+
+        self.ledger.record_frame(now, mobile_ms, tx_bytes);
+
+        FrameOutput {
+            masks,
+            mobile_ms,
+            tx_bytes,
+            transmitted: transmit,
+        }
+    }
+
+    fn resources(&self) -> Option<&ResourceLedger> {
+        Some(&self.ledger)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgeis_segnet::BBox;
+
+    #[test]
+    fn label_map_paints_by_confidence() {
+        let mut m1 = Mask::new(10, 10);
+        m1.fill_rect(0, 0, 6, 6);
+        let mut m2 = Mask::new(10, 10);
+        m2.fill_rect(3, 3, 6, 6);
+        let detections = vec![
+            Detection {
+                instance: 1,
+                class_id: 0,
+                confidence: 0.9,
+                bbox: BBox::new(0.0, 0.0, 6.0, 6.0),
+                mask: m1,
+            },
+            Detection {
+                instance: 2,
+                class_id: 1,
+                confidence: 0.6,
+                bbox: BBox::new(3.0, 3.0, 9.0, 9.0),
+                mask: m2,
+            },
+        ];
+        let lm = label_map_from_detections(10, 10, &detections);
+        // Contested pixel (4,4) goes to the higher-confidence instance 1.
+        assert_eq!(lm.get(4, 4), 1);
+        assert_eq!(lm.get(8, 8), 2);
+        assert_eq!(lm.get(0, 0), 1);
+        assert_eq!(lm.get(9, 0), 0);
+    }
+}

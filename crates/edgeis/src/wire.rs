@@ -1,0 +1,198 @@
+//! Wire format for edge → mobile result messages.
+//!
+//! The paper serializes "information such as vertices of the contour" with
+//! Boost and ships it back to the device; this module is the equivalent
+//! binary format: a fixed header plus, per detection, instance / class /
+//! confidence / box and the RLE-encoded mask. The byte counts the network
+//! simulator charges are the *actual* encoded sizes.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use edgeis_imaging::Mask;
+use edgeis_segnet::{BBox, Detection};
+
+/// Magic bytes guarding the message framing.
+const MAGIC: u32 = 0xed6e_1500;
+
+/// Errors from decoding a response message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than its header claims.
+    Truncated,
+    /// The magic number did not match.
+    BadMagic,
+    /// A mask's run data was inconsistent with its dimensions.
+    CorruptMask,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "message truncated"),
+            Self::BadMagic => write!(f, "bad magic number"),
+            Self::CorruptMask => write!(f, "corrupt mask payload"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A decoded detection (a [`Detection`] without the simulator-only
+/// internals).
+#[derive(Debug, Clone)]
+pub struct WireDetection {
+    /// Instance id.
+    pub instance: u16,
+    /// Class id.
+    pub class_id: u8,
+    /// Confidence.
+    pub confidence: f64,
+    /// Detection box.
+    pub bbox: BBox,
+    /// The mask.
+    pub mask: Mask,
+}
+
+/// Encodes a response message.
+pub fn encode_response(frame_id: u64, detections: &[Detection]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    buf.put_u32(MAGIC);
+    buf.put_u64(frame_id);
+    buf.put_u16(detections.len() as u16);
+    for d in detections {
+        buf.put_u16(d.instance);
+        buf.put_u8(d.class_id);
+        buf.put_f32(d.confidence as f32);
+        buf.put_f32(d.bbox.x0 as f32);
+        buf.put_f32(d.bbox.y0 as f32);
+        buf.put_f32(d.bbox.x1 as f32);
+        buf.put_f32(d.bbox.y1 as f32);
+        // Mask as dimensions + RLE runs.
+        buf.put_u32(d.mask.width());
+        buf.put_u32(d.mask.height());
+        let rle = d.mask.to_rle();
+        let runs = rle.runs();
+        buf.put_u32(runs.len() as u32);
+        for &r in runs {
+            buf.put_u32(r);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a response message.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on framing or payload corruption.
+pub fn decode_response(mut data: Bytes) -> Result<(u64, Vec<WireDetection>), WireError> {
+    if data.remaining() < 14 {
+        return Err(WireError::Truncated);
+    }
+    if data.get_u32() != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let frame_id = data.get_u64();
+    let count = data.get_u16() as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if data.remaining() < 2 + 1 + 4 * 5 + 4 * 3 {
+            return Err(WireError::Truncated);
+        }
+        let instance = data.get_u16();
+        let class_id = data.get_u8();
+        let confidence = data.get_f32() as f64;
+        let x0 = data.get_f32() as f64;
+        let y0 = data.get_f32() as f64;
+        let x1 = data.get_f32() as f64;
+        let y1 = data.get_f32() as f64;
+        let width = data.get_u32();
+        let height = data.get_u32();
+        let n_runs = data.get_u32() as usize;
+        if data.remaining() < n_runs * 4 {
+            return Err(WireError::Truncated);
+        }
+        let runs: Vec<u32> = (0..n_runs).map(|_| data.get_u32()).collect();
+        if width == 0 || height == 0 {
+            return Err(WireError::CorruptMask);
+        }
+        let total: u64 = runs.iter().map(|&r| r as u64).sum();
+        if total != width as u64 * height as u64 {
+            return Err(WireError::CorruptMask);
+        }
+        let mask = edgeis_imaging::RleMask::from_parts(width, height, runs)
+            .ok_or(WireError::CorruptMask)?
+            .to_mask();
+        out.push(WireDetection {
+            instance,
+            class_id,
+            confidence,
+            bbox: BBox::new(x0.min(x1), y0.min(y1), x0.max(x1), y0.max(y1)),
+            mask,
+        });
+    }
+    Ok((frame_id, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detection(instance: u16) -> Detection {
+        let mut mask = Mask::new(40, 30);
+        mask.fill_rect(5 + instance as u32, 5, 10, 8);
+        Detection {
+            instance,
+            class_id: (instance % 7) as u8,
+            confidence: 0.875,
+            bbox: BBox::new(5.0, 5.0, 15.0, 13.0),
+            mask,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dets = vec![detection(1), detection(2), detection(7)];
+        let encoded = encode_response(42, &dets);
+        let (frame_id, decoded) = decode_response(encoded).unwrap();
+        assert_eq!(frame_id, 42);
+        assert_eq!(decoded.len(), 3);
+        for (a, b) in dets.iter().zip(decoded.iter()) {
+            assert_eq!(a.instance, b.instance);
+            assert_eq!(a.class_id, b.class_id);
+            assert!((a.confidence - b.confidence).abs() < 1e-6);
+            assert_eq!(a.mask, b.mask);
+        }
+    }
+
+    #[test]
+    fn empty_response() {
+        let encoded = encode_response(7, &[]);
+        let (frame_id, decoded) = decode_response(encoded).unwrap();
+        assert_eq!(frame_id, 7);
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut raw = encode_response(1, &[detection(1)]).to_vec();
+        raw[0] ^= 0xff;
+        assert!(matches!(
+            decode_response(Bytes::from(raw)),
+            Err(WireError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let raw = encode_response(1, &[detection(1)]);
+        let cut = raw.slice(0..raw.len() - 5);
+        assert!(decode_response(cut).is_err());
+    }
+
+    #[test]
+    fn size_grows_with_detections() {
+        let one = encode_response(0, &[detection(1)]).len();
+        let two = encode_response(0, &[detection(1), detection(2)]).len();
+        assert!(two > one);
+    }
+}

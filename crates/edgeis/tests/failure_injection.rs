@@ -1,0 +1,63 @@
+//! Failure injection: the system must degrade gracefully, not crash or
+//! collapse, under hostile link conditions.
+
+use edgeis::pipeline::{class_map, run_pipeline, PipelineConfig};
+use edgeis::system::{EdgeIsConfig, EdgeIsSystem};
+use edgeis_netsim::LinkKind;
+use edgeis_scene::datasets;
+
+#[test]
+fn survives_terrible_lte() {
+    // LTE with its high RTT + loss; edgeIS should still work.
+    let world = datasets::indoor_simple(2);
+    let cfg = EdgeIsConfig::full(edgeis_geometry::Camera::with_hfov(1.2, 320, 240), 2);
+    let camera = cfg.camera;
+    let mut system = EdgeIsSystem::new(cfg, LinkKind::Lte);
+    let classes = class_map(&world);
+    let pipe = PipelineConfig { frames: 120, ..Default::default() };
+    let report = run_pipeline(&mut system, &world, &camera, &classes, &pipe);
+    assert!(
+        report.mean_iou() > 0.3,
+        "edgeIS collapsed on LTE: {:.3}",
+        report.mean_iou()
+    );
+}
+
+#[test]
+fn no_objects_in_scene_is_fine() {
+    // A world with only background structure: nothing to segment, nothing
+    // to crash on.
+    let mut world = datasets::indoor_simple(3);
+    // Remove all instances, keep background structure.
+    let objects: Vec<_> = world
+        .scene
+        .objects()
+        .iter()
+        .filter(|o| o.is_background)
+        .cloned()
+        .collect();
+    world.scene = edgeis_scene::Scene::new(objects);
+
+    let cfg = EdgeIsConfig::full(edgeis_geometry::Camera::with_hfov(1.2, 320, 240), 3);
+    let camera = cfg.camera;
+    let mut system = EdgeIsSystem::new(cfg, LinkKind::Wifi5);
+    let classes = class_map(&world);
+    let pipe = PipelineConfig { frames: 60, ..Default::default() };
+    let report = run_pipeline(&mut system, &world, &camera, &classes, &pipe);
+    // Nothing scored (no instances), and no panic.
+    assert!(report.iou_samples().is_empty());
+}
+
+#[test]
+fn tiny_frames_do_not_break_the_stack() {
+    let world = datasets::indoor_simple(4);
+    let camera = edgeis_geometry::Camera::with_hfov(1.2, 96, 72);
+    let cfg = EdgeIsConfig::full(camera, 4);
+    let mut system = EdgeIsSystem::new(cfg, LinkKind::Wifi5);
+    let classes = class_map(&world);
+    let pipe = PipelineConfig { frames: 45, ..Default::default() };
+    // At 96x72 the feature budget is tiny; tracking may fail — the
+    // requirement is only that nothing panics and records are produced.
+    let report = run_pipeline(&mut system, &world, &camera, &classes, &pipe);
+    assert_eq!(report.records.len(), 45);
+}

@@ -1,0 +1,297 @@
+//! Pose-only bundle adjustment (Eq. 4 of the paper).
+//!
+//! Given a set of 3-D map points with observed pixel locations, refine a
+//! camera pose `T_cw` by minimizing the robustified reprojection error
+//! `Σ ρ(‖π(T_cw, Pₖ) − pₖ‖²)` with Gauss–Newton and a Huber kernel. The
+//! same routine serves both the device pose (background points) and the
+//! per-object poses (points labeled with that object), as described in
+//! §III-B.
+
+use crate::camera::Camera;
+use crate::linalg::solve_spd6;
+use crate::mat::Mat3;
+use crate::se3::SE3;
+use crate::vec::{Vec2, Vec3};
+
+/// One 3-D → 2-D correspondence used in bundle adjustment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// The map point in world coordinates.
+    pub point: Vec3,
+    /// The observed pixel in the current frame.
+    pub pixel: Vec2,
+}
+
+/// Configuration for [`refine_pose`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaConfig {
+    /// Maximum Gauss–Newton iterations.
+    pub max_iterations: usize,
+    /// Huber kernel width in pixels.
+    pub huber_delta: f64,
+    /// Convergence threshold on the update-step norm.
+    pub epsilon: f64,
+    /// Observations with a residual beyond this many pixels are treated as
+    /// outliers (zero weight) after the first iteration.
+    pub outlier_pixels: f64,
+}
+
+impl Default for BaConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 10,
+            huber_delta: 2.0,
+            epsilon: 1e-8,
+            outlier_pixels: 20.0,
+        }
+    }
+}
+
+/// Result of a pose refinement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaResult {
+    /// The refined pose.
+    pub pose: SE3,
+    /// Final root-mean-square reprojection error over inliers, in pixels.
+    pub rms_error: f64,
+    /// Number of observations that ended as inliers.
+    pub inliers: usize,
+    /// Gauss–Newton iterations executed.
+    pub iterations: usize,
+}
+
+/// Minimum observations required for a 6-DoF pose solve. The paper notes
+/// that per-object BA needs "at least 3 pairs" (§III-B); we enforce the same
+/// bound.
+pub const MIN_OBSERVATIONS: usize = 3;
+
+/// Refines `initial` pose against `observations` by robust Gauss–Newton.
+///
+/// Returns `None` when fewer than [`MIN_OBSERVATIONS`] observations are
+/// given, or the normal equations become singular on the first iteration.
+pub fn refine_pose(
+    camera: &Camera,
+    initial: &SE3,
+    observations: &[Observation],
+    config: &BaConfig,
+) -> Option<BaResult> {
+    if observations.len() < MIN_OBSERVATIONS {
+        return None;
+    }
+    let mut pose = *initial;
+    let mut iterations = 0;
+
+    for iter in 0..config.max_iterations {
+        iterations = iter + 1;
+        let mut h = [[0.0f64; 6]; 6];
+        let mut g = [0.0f64; 6];
+        let mut n_inliers = 0usize;
+
+        for obs in observations {
+            let pc = pose.transform(obs.point);
+            if pc.z <= 1e-6 {
+                continue;
+            }
+            let proj = Vec2::new(
+                camera.fx * pc.x / pc.z + camera.cx,
+                camera.fy * pc.y / pc.z + camera.cy,
+            );
+            let r = proj - obs.pixel;
+            let err = r.norm();
+            if iter > 0 && err > config.outlier_pixels {
+                continue;
+            }
+            n_inliers += 1;
+
+            // Huber weight.
+            let w = if err <= config.huber_delta {
+                1.0
+            } else {
+                config.huber_delta / err
+            };
+
+            // d(u,v)/d(pc)
+            let iz = 1.0 / pc.z;
+            let iz2 = iz * iz;
+            let duv_dpc = [
+                [camera.fx * iz, 0.0, -camera.fx * pc.x * iz2],
+                [0.0, camera.fy * iz, -camera.fy * pc.y * iz2],
+            ];
+            // d(pc)/d(xi) = [I | -hat(pc)] for left perturbation.
+            let neg_hat = Mat3::hat(pc).scaled(-1.0);
+            // Full 2x6 Jacobian.
+            let mut jac = [[0.0f64; 6]; 2];
+            for (row, duv) in duv_dpc.iter().enumerate() {
+                for col in 0..3 {
+                    jac[row][col] = duv[col];
+                }
+                for col in 0..3 {
+                    jac[row][3 + col] = duv[0] * neg_hat.m[0][col]
+                        + duv[1] * neg_hat.m[1][col]
+                        + duv[2] * neg_hat.m[2][col];
+                }
+            }
+
+            let res = [r.x, r.y];
+            for a in 0..6 {
+                for b in a..6 {
+                    let mut v = 0.0;
+                    for jrow in &jac {
+                        v += jrow[a] * jrow[b];
+                    }
+                    h[a][b] += w * v;
+                    if a != b {
+                        h[b][a] = h[a][b];
+                    }
+                }
+                let mut gv = 0.0;
+                for (row, jrow) in jac.iter().enumerate() {
+                    gv += jrow[a] * res[row];
+                }
+                g[a] -= w * gv;
+            }
+        }
+
+        if n_inliers < MIN_OBSERVATIONS {
+            return None;
+        }
+        let Some(delta) = solve_spd6(&h, &g) else {
+            if iter == 0 {
+                return None;
+            }
+            break;
+        };
+        let step = SE3::exp(delta);
+        pose = step * pose;
+        let step_norm = delta.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if step_norm < config.epsilon {
+            break;
+        }
+    }
+
+    // Final statistics pass.
+    let mut sum_sq = 0.0;
+    let mut inliers = 0usize;
+    for obs in observations {
+        let pc = pose.transform(obs.point);
+        if pc.z <= 1e-6 {
+            continue;
+        }
+        let proj = Vec2::new(
+            camera.fx * pc.x / pc.z + camera.cx,
+            camera.fy * pc.y / pc.z + camera.cy,
+        );
+        let err = (proj - obs.pixel).norm();
+        if err <= config.outlier_pixels {
+            sum_sq += err * err;
+            inliers += 1;
+        }
+    }
+    if inliers < MIN_OBSERVATIONS {
+        return None;
+    }
+    Some(BaResult {
+        pose,
+        rms_error: (sum_sq / inliers as f64).sqrt(),
+        inliers,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::se3::SO3;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn cam() -> Camera {
+        Camera::new(500.0, 500.0, 320.0, 240.0, 640, 480)
+    }
+
+    fn make_observations(
+        seed: u64,
+        n: usize,
+        pose: &SE3,
+        noise_px: f64,
+        outlier_frac: f64,
+    ) -> Vec<Observation> {
+        let c = cam();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        while out.len() < n {
+            let p = Vec3::new(
+                rng.random_range(-3.0..3.0),
+                rng.random_range(-2.0..2.0),
+                rng.random_range(2.0..10.0),
+            );
+            if let Some(px) = c.project(pose, p) {
+                if !c.contains(px) {
+                    continue;
+                }
+                let px = if rng.random_bool(outlier_frac) {
+                    Vec2::new(rng.random_range(0.0..640.0), rng.random_range(0.0..480.0))
+                } else {
+                    px + Vec2::new(
+                        rng.random_range(-noise_px..noise_px.max(1e-12)),
+                        rng.random_range(-noise_px..noise_px.max(1e-12)),
+                    )
+                };
+                out.push(Observation { point: p, pixel: px });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn converges_from_perturbed_pose() {
+        let true_pose = SE3::new(
+            SO3::exp(Vec3::new(0.05, -0.1, 0.02)),
+            Vec3::new(0.2, -0.1, 0.3),
+        );
+        let obs = make_observations(1, 60, &true_pose, 0.0, 0.0);
+        let init = SE3::new(
+            SO3::exp(Vec3::new(0.08, -0.05, 0.0)),
+            Vec3::new(0.1, 0.0, 0.2),
+        );
+        let result = refine_pose(&cam(), &init, &obs, &BaConfig::default()).unwrap();
+        assert!(result.rms_error < 1e-6, "rms {}", result.rms_error);
+        assert!(result.pose.rotation_angle_to(&true_pose) < 1e-6);
+        assert!(result.pose.translation_distance(&true_pose) < 1e-6);
+    }
+
+    #[test]
+    fn robust_to_outliers() {
+        let true_pose = SE3::new(SO3::identity(), Vec3::new(0.0, 0.0, 0.5));
+        let obs = make_observations(2, 100, &true_pose, 0.3, 0.2);
+        let init = SE3::new(SO3::exp(Vec3::new(0.02, 0.02, 0.0)), Vec3::new(0.05, 0.0, 0.4));
+        let result = refine_pose(&cam(), &init, &obs, &BaConfig::default()).unwrap();
+        assert!(result.pose.translation_distance(&true_pose) < 0.05);
+        assert!(result.inliers >= 70);
+    }
+
+    #[test]
+    fn too_few_observations_is_none() {
+        let obs = make_observations(3, 2, &SE3::identity(), 0.0, 0.0);
+        assert!(refine_pose(&cam(), &SE3::identity(), &obs, &BaConfig::default()).is_none());
+    }
+
+    #[test]
+    fn minimum_three_points_works() {
+        // The paper: per-object BA needs >= 3 pairs.
+        let pose = SE3::new(SO3::identity(), Vec3::new(0.1, 0.0, 0.2));
+        let obs = make_observations(4, 3, &pose, 0.0, 0.0);
+        let init = SE3::new(SO3::identity(), Vec3::new(0.05, 0.0, 0.15));
+        let r = refine_pose(&cam(), &init, &obs, &BaConfig::default()).unwrap();
+        assert!(r.rms_error < 1e-5);
+    }
+
+    #[test]
+    fn already_optimal_converges_fast() {
+        let pose = SE3::identity();
+        let obs = make_observations(5, 30, &pose, 0.0, 0.0);
+        let r = refine_pose(&cam(), &pose, &obs, &BaConfig::default()).unwrap();
+        assert!(r.iterations <= 2);
+        assert!(r.rms_error < 1e-9);
+    }
+}

@@ -1,0 +1,345 @@
+//! Two-view epipolar geometry: the normalized 8-point algorithm, essential
+//! matrix recovery and pose decomposition with cheirality disambiguation.
+//!
+//! This implements Eq. (1)–(2) of the paper: the initializer solves the
+//! fundamental matrix `F₁₀` from matched features (`p₁ᵀ F₁₀ p₀ = 0`), lifts
+//! it to the essential matrix `E = Kᵀ F K` and factors `E = [t]ₓ R`.
+
+use crate::camera::Camera;
+use crate::linalg::{svd3, sym_eigen, SymMat};
+use crate::mat::Mat3;
+use crate::se3::{SE3, SO3};
+use crate::triangulate::triangulate_midpoint;
+use crate::vec::{Vec2, Vec3};
+
+/// Errors from fundamental-matrix estimation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FundamentalError {
+    /// Fewer than 8 correspondences were supplied.
+    NotEnoughMatches {
+        /// Number of matches supplied.
+        got: usize,
+    },
+    /// The correspondences were degenerate (e.g. all collinear / coincident).
+    Degenerate,
+}
+
+impl std::fmt::Display for FundamentalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotEnoughMatches { got } => {
+                write!(f, "need at least 8 matches for the 8-point algorithm, got {got}")
+            }
+            Self::Degenerate => write!(f, "degenerate correspondence configuration"),
+        }
+    }
+}
+
+impl std::error::Error for FundamentalError {}
+
+/// Isotropic normalization: translate centroid to origin, scale mean
+/// distance to √2. Returns the similarity transform as a `Mat3`.
+fn normalization_transform(pts: &[Vec2]) -> (Mat3, Vec<Vec2>) {
+    let n = pts.len() as f64;
+    let mut cx = 0.0;
+    let mut cy = 0.0;
+    for p in pts {
+        cx += p.x;
+        cy += p.y;
+    }
+    cx /= n;
+    cy /= n;
+    let mut mean_dist = 0.0;
+    for p in pts {
+        mean_dist += ((p.x - cx).powi(2) + (p.y - cy).powi(2)).sqrt();
+    }
+    mean_dist /= n;
+    let s = if mean_dist > 1e-12 {
+        std::f64::consts::SQRT_2 / mean_dist
+    } else {
+        1.0
+    };
+    let t = Mat3::from_rows([[s, 0.0, -s * cx], [0.0, s, -s * cy], [0.0, 0.0, 1.0]]);
+    let mapped = pts
+        .iter()
+        .map(|p| Vec2::new(s * (p.x - cx), s * (p.y - cy)))
+        .collect();
+    (t, mapped)
+}
+
+/// Estimates the fundamental matrix `F₁₀` (so that `p₁ᵀ F p₀ = 0`) from
+/// matched pixel coordinates using the normalized 8-point algorithm with a
+/// rank-2 projection.
+///
+/// # Errors
+///
+/// Returns [`FundamentalError::NotEnoughMatches`] for fewer than 8 pairs and
+/// [`FundamentalError::Degenerate`] for degenerate configurations.
+pub fn fundamental_eight_point(
+    pts0: &[Vec2],
+    pts1: &[Vec2],
+) -> Result<Mat3, FundamentalError> {
+    assert_eq!(pts0.len(), pts1.len(), "correspondence lists must align");
+    if pts0.len() < 8 {
+        return Err(FundamentalError::NotEnoughMatches { got: pts0.len() });
+    }
+
+    let (t0, n0) = normalization_transform(pts0);
+    let (t1, n1) = normalization_transform(pts1);
+
+    // Build the constraint rows a·f = 0 with f = vec(F) row-major.
+    let mut rows: Vec<[f64; 9]> = Vec::with_capacity(pts0.len());
+    for (a, b) in n0.iter().zip(n1.iter()) {
+        // p1' F p0 = 0, row = [x1x0, x1y0, x1, y1x0, y1y0, y1, x0, y0, 1]
+        rows.push([
+            b.x * a.x,
+            b.x * a.y,
+            b.x,
+            b.y * a.x,
+            b.y * a.y,
+            b.y,
+            a.x,
+            a.y,
+            1.0,
+        ]);
+    }
+    let gram = SymMat::gram(&rows);
+    let eig = sym_eigen(&gram);
+    // A unique (up to scale) solution needs a 1-D null space: the second
+    // eigenvalue must be clearly above the smallest one.
+    let scale_ref = eig.values[8].abs().max(1e-12);
+    if eig.values[1].abs() / scale_ref < 1e-10 {
+        return Err(FundamentalError::Degenerate);
+    }
+    let f_vec = &eig.vectors[0];
+    if !f_vec.iter().all(|v| v.is_finite()) {
+        return Err(FundamentalError::Degenerate);
+    }
+    let f_norm = f_vec.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if f_norm < 1e-12 {
+        return Err(FundamentalError::Degenerate);
+    }
+
+    let f_raw = Mat3::from_rows([
+        [f_vec[0], f_vec[1], f_vec[2]],
+        [f_vec[3], f_vec[4], f_vec[5]],
+        [f_vec[6], f_vec[7], f_vec[8]],
+    ]);
+
+    // Enforce rank 2 by zeroing the smallest singular value.
+    let svd = svd3(&f_raw);
+    if svd.s.x < 1e-12 {
+        return Err(FundamentalError::Degenerate);
+    }
+    let f_rank2 = svd.u
+        * Mat3::from_diagonal(Vec3::new(svd.s.x, svd.s.y, 0.0))
+        * svd.v.transpose();
+
+    // De-normalize: F = T1ᵀ F̂ T0.
+    let f = t1.transpose() * f_rank2 * t0;
+    let scale = f.frobenius_norm();
+    if scale < 1e-15 || !f.is_finite() {
+        return Err(FundamentalError::Degenerate);
+    }
+    Ok(f.scaled(1.0 / scale))
+}
+
+/// Lifts a fundamental matrix to the essential matrix: `E = K₁ᵀ F K₀`
+/// (Eq. 2 of the paper, with both cameras sharing `K` here).
+pub fn essential_from_fundamental(f: &Mat3, camera: &Camera) -> Mat3 {
+    let k = camera.k();
+    k.transpose() * *f * k
+}
+
+/// The epipolar Sampson distance of a correspondence under `F` (a first-order
+/// geometric error, in pixels²).
+pub fn sampson_distance(f: &Mat3, p0: Vec2, p1: Vec2) -> f64 {
+    let x0 = p0.homogeneous();
+    let x1 = p1.homogeneous();
+    let fx0 = *f * x0;
+    let ftx1 = f.transpose() * x1;
+    let e = x1.dot(fx0);
+    let denom = fx0.x * fx0.x + fx0.y * fx0.y + ftx1.x * ftx1.x + ftx1.y * ftx1.y;
+    if denom < 1e-15 {
+        f64::INFINITY
+    } else {
+        e * e / denom
+    }
+}
+
+/// The four candidate decompositions `(R, t)` of an essential matrix.
+///
+/// `t` is returned with unit norm (scale is unobservable from two views).
+pub fn decompose_essential(e: &Mat3) -> [(SO3, Vec3); 4] {
+    let svd = svd3(e);
+    let w = Mat3::from_rows([[0.0, -1.0, 0.0], [1.0, 0.0, 0.0], [0.0, 0.0, 1.0]]);
+
+    let mut u = svd.u;
+    let mut v = svd.v;
+    // Make both proper rotations.
+    if u.det() < 0.0 {
+        u = Mat3::from_col_vecs(u.col(0), u.col(1), -u.col(2));
+    }
+    if v.det() < 0.0 {
+        v = Mat3::from_col_vecs(v.col(0), v.col(1), -v.col(2));
+    }
+
+    let r1 = SO3::from_matrix_orthogonalized(u * w * v.transpose());
+    let r2 = SO3::from_matrix_orthogonalized(u * w.transpose() * v.transpose());
+    let t = u.col(2);
+    let t = if t.norm() > 1e-12 { t.normalized() } else { Vec3::Z };
+
+    [(r1, t), (r1, -t), (r2, t), (r2, -t)]
+}
+
+/// Recovers the relative pose `T₁₀` (frame-0 coordinates to frame-1
+/// coordinates) from an essential matrix and correspondences, using the
+/// cheirality test: the decomposition that places the most triangulated
+/// points in front of both cameras wins.
+///
+/// Returns the winning pose and the number of points passing cheirality.
+/// Returns `None` when no decomposition puts any point in front of both
+/// cameras (e.g. pure-rotation or corrupt input).
+pub fn recover_pose(
+    e: &Mat3,
+    camera: &Camera,
+    pts0: &[Vec2],
+    pts1: &[Vec2],
+) -> Option<(SE3, usize)> {
+    let candidates = decompose_essential(e);
+    let t0 = SE3::identity();
+    let mut best: Option<(SE3, usize)> = None;
+    for (r, t) in candidates {
+        let pose = SE3::new(r, t);
+        let mut good = 0;
+        for (a, b) in pts0.iter().zip(pts1.iter()) {
+            if let Some(p) = triangulate_midpoint(camera, &t0, *a, &pose, *b) {
+                let pc0 = t0.transform(p);
+                let pc1 = pose.transform(p);
+                if pc0.z > 1e-6 && pc1.z > 1e-6 {
+                    good += 1;
+                }
+            }
+        }
+        if best.as_ref().map_or(true, |(_, g)| good > *g) {
+            best = Some((pose, good));
+        }
+    }
+    best.filter(|(_, good)| *good > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn camera() -> Camera {
+        Camera::new(500.0, 500.0, 320.0, 240.0, 640, 480)
+    }
+
+    /// Generates a synthetic two-view problem with known relative pose.
+    fn synthetic_pair(
+        seed: u64,
+        n: usize,
+        pose10: SE3,
+    ) -> (Vec<Vec2>, Vec<Vec2>, Vec<Vec3>) {
+        let cam = camera();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p0 = Vec::new();
+        let mut p1 = Vec::new();
+        let mut pts = Vec::new();
+        while p0.len() < n {
+            let p = Vec3::new(
+                rng.random_range(-2.0..2.0),
+                rng.random_range(-1.5..1.5),
+                rng.random_range(2.0..8.0),
+            );
+            let a = cam.project(&SE3::identity(), p);
+            let b = cam.project(&pose10, p);
+            if let (Some(a), Some(b)) = (a, b) {
+                if cam.contains(a) && cam.contains(b) {
+                    p0.push(a);
+                    p1.push(b);
+                    pts.push(p);
+                }
+            }
+        }
+        (p0, p1, pts)
+    }
+
+    #[test]
+    fn eight_point_satisfies_epipolar_constraint() {
+        let pose10 = SE3::new(
+            SO3::exp(Vec3::new(0.02, -0.05, 0.01)),
+            Vec3::new(0.3, 0.02, 0.05),
+        );
+        let (p0, p1, _) = synthetic_pair(7, 40, pose10);
+        let f = fundamental_eight_point(&p0, &p1).unwrap();
+        for (a, b) in p0.iter().zip(p1.iter()) {
+            assert!(sampson_distance(&f, *a, *b) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn eight_point_rejects_too_few() {
+        let p = vec![Vec2::ZERO; 5];
+        match fundamental_eight_point(&p, &p) {
+            Err(FundamentalError::NotEnoughMatches { got: 5 }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eight_point_rejects_coincident_points() {
+        let p = vec![Vec2::new(10.0, 10.0); 12];
+        assert!(fundamental_eight_point(&p, &p).is_err());
+    }
+
+    #[test]
+    fn recover_pose_finds_correct_rotation_and_direction() {
+        let true_pose = SE3::new(
+            SO3::exp(Vec3::new(0.0, -0.08, 0.02)),
+            Vec3::new(0.4, 0.0, 0.1),
+        );
+        let (p0, p1, _) = synthetic_pair(11, 60, true_pose);
+        let f = fundamental_eight_point(&p0, &p1).unwrap();
+        let cam = camera();
+        let e = essential_from_fundamental(&f, &cam);
+        let (pose, good) = recover_pose(&e, &cam, &p0, &p1).unwrap();
+        assert!(good > 50, "cheirality should pass for most points, got {good}");
+        // Rotation close to truth.
+        assert!(
+            pose.rotation.angle_to(&true_pose.rotation) < 1e-3,
+            "rotation error too large"
+        );
+        // Translation direction close to truth (scale is unobservable).
+        let dir_est = pose.translation.normalized();
+        let dir_true = true_pose.translation.normalized();
+        assert!(dir_est.dot(dir_true) > 0.999);
+    }
+
+    #[test]
+    fn sampson_distance_zero_on_epipolar_line() {
+        let pose10 = SE3::new(SO3::identity(), Vec3::new(0.5, 0.0, 0.0));
+        let (p0, p1, _) = synthetic_pair(3, 20, pose10);
+        let f = fundamental_eight_point(&p0, &p1).unwrap();
+        // On-model points: near-zero distance. Perturbed: larger.
+        let d_good = sampson_distance(&f, p0[0], p1[0]);
+        let d_bad = sampson_distance(&f, p0[0], p1[0] + Vec2::new(0.0, 8.0));
+        assert!(d_good < 1e-8);
+        assert!(d_bad > 1.0);
+    }
+
+    #[test]
+    fn decompose_essential_contains_truth() {
+        let r_true = SO3::exp(Vec3::new(0.1, 0.05, -0.02));
+        let t_true = Vec3::new(0.6, -0.1, 0.2).normalized();
+        let e = Mat3::hat(t_true) * r_true.matrix();
+        let cands = decompose_essential(&e);
+        let found = cands.iter().any(|(r, t)| {
+            r.angle_to(&r_true) < 1e-6 && (*t - t_true).norm() < 1e-6
+        });
+        assert!(found, "true decomposition not among candidates");
+    }
+}

@@ -1,0 +1,205 @@
+//! A generic, deterministic RANSAC driver.
+
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+
+/// Configuration for [`ransac`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RansacConfig {
+    /// Maximum number of hypothesis iterations.
+    pub max_iterations: usize,
+    /// Inlier threshold passed to the residual predicate.
+    pub inlier_threshold: f64,
+    /// Early-exit confidence in `(0, 1)`: iterations adapt to the current
+    /// inlier ratio.
+    pub confidence: f64,
+    /// RNG seed — RANSAC is fully deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for RansacConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 200,
+            inlier_threshold: 1.0,
+            confidence: 0.999,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Result of a RANSAC run.
+#[derive(Debug, Clone)]
+pub struct RansacResult<M> {
+    /// The best model found.
+    pub model: M,
+    /// Indices of data points consistent with the model.
+    pub inliers: Vec<usize>,
+    /// Number of hypothesis iterations actually executed.
+    pub iterations: usize,
+}
+
+/// Runs RANSAC over `n` data items.
+///
+/// * `estimate(indices)` fits a model to a minimal `sample_size` subset and
+///   may fail (degenerate sample).
+/// * `residual(model, index)` is the per-datum error; a datum is an inlier
+///   when the residual is below `config.inlier_threshold`.
+///
+/// Returns `None` if no sample ever produced a model with at least
+/// `sample_size` inliers.
+///
+/// # Panics
+///
+/// Panics if `sample_size == 0` or `sample_size > n`.
+pub fn ransac<M, E, R>(
+    n: usize,
+    sample_size: usize,
+    config: &RansacConfig,
+    mut estimate: E,
+    mut residual: R,
+) -> Option<RansacResult<M>>
+where
+    E: FnMut(&[usize]) -> Option<M>,
+    R: FnMut(&M, usize) -> f64,
+{
+    assert!(sample_size > 0, "sample size must be positive");
+    assert!(sample_size <= n, "sample size larger than dataset");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut best: Option<RansacResult<M>> = None;
+    let mut max_iters = config.max_iterations;
+    let mut iter = 0;
+
+    while iter < max_iters {
+        iter += 1;
+        let idx: Vec<usize> = sample(&mut rng, n, sample_size).into_vec();
+        let Some(model) = estimate(&idx) else {
+            continue;
+        };
+        let inliers: Vec<usize> = (0..n)
+            .filter(|&i| residual(&model, i) < config.inlier_threshold)
+            .collect();
+        if inliers.len() < sample_size {
+            continue;
+        }
+        let better = best
+            .as_ref()
+            .map_or(true, |b| inliers.len() > b.inliers.len());
+        if better {
+            // Adaptive termination: iterations needed for the current ratio.
+            let w = inliers.len() as f64 / n as f64;
+            let p_all_inliers = w.powi(sample_size as i32);
+            if p_all_inliers > 1e-9 {
+                let needed =
+                    ((1.0 - config.confidence).ln() / (1.0 - p_all_inliers).max(1e-12).ln())
+                        .ceil() as usize;
+                max_iters = max_iters.min(iter + needed);
+            }
+            best = Some(RansacResult { model, inliers, iterations: iter });
+        }
+    }
+
+    if let Some(b) = &mut best {
+        b.iterations = iter;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Fits a 1-D line y = a x + b through 70% inliers and 30% outliers.
+    #[test]
+    fn line_fitting_with_outliers() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let (a_true, b_true) = (2.0, -1.0);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..100 {
+            let x = i as f64 / 10.0;
+            let y = if i % 10 < 7 {
+                a_true * x + b_true + rng.random_range(-0.01..0.01)
+            } else {
+                rng.random_range(-50.0..50.0)
+            };
+            xs.push(x);
+            ys.push(y);
+        }
+        let cfg = RansacConfig { inlier_threshold: 0.1, ..Default::default() };
+        let result = ransac(
+            100,
+            2,
+            &cfg,
+            |idx| {
+                let (i, j) = (idx[0], idx[1]);
+                let dx = xs[i] - xs[j];
+                if dx.abs() < 1e-9 {
+                    return None;
+                }
+                let a = (ys[i] - ys[j]) / dx;
+                let b = ys[i] - a * xs[i];
+                Some((a, b))
+            },
+            |&(a, b), i| (ys[i] - (a * xs[i] + b)).abs(),
+        )
+        .unwrap();
+        assert!(result.inliers.len() >= 65, "found {}", result.inliers.len());
+        let (a, b) = result.model;
+        assert!((a - a_true).abs() < 0.05);
+        assert!((b - b_true).abs() < 0.1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let cfg = RansacConfig::default();
+        let run = || {
+            ransac(
+                data.len(),
+                1,
+                &cfg,
+                |idx| Some(data[idx[0]]),
+                |m, i| (data[i] - m).abs(),
+            )
+            .map(|r| (r.model as i64, r.inliers.len()))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn all_estimates_fail_returns_none() {
+        let out: Option<RansacResult<()>> = ransac(
+            10,
+            2,
+            &RansacConfig::default(),
+            |_| None,
+            |_: &(), _| 0.0,
+        );
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn early_exit_with_perfect_data() {
+        let data: Vec<f64> = vec![5.0; 30];
+        let cfg = RansacConfig { max_iterations: 10_000, ..Default::default() };
+        let r = ransac(
+            data.len(),
+            1,
+            &cfg,
+            |idx| Some(data[idx[0]]),
+            |m, i| (data[i] - m).abs(),
+        )
+        .unwrap();
+        assert_eq!(r.inliers.len(), 30);
+        assert!(r.iterations < 100, "should terminate early, took {}", r.iterations);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample size larger than dataset")]
+    fn oversized_sample_panics() {
+        let _ = ransac::<(), _, _>(3, 5, &RansacConfig::default(), |_| None, |_, _| 0.0);
+    }
+}

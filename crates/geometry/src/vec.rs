@@ -1,0 +1,357 @@
+//! Fixed-size 2-D and 3-D vectors.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 2-D vector / image-plane point in `f64`.
+///
+/// # Example
+///
+/// ```
+/// use edgeis_geometry::Vec2;
+/// let a = Vec2::new(3.0, 4.0);
+/// assert_eq!(a.norm(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// Horizontal component (image `u` axis).
+    pub x: f64,
+    /// Vertical component (image `v` axis).
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// Creates a vector from components.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Self = Self::new(0.0, 0.0);
+
+    /// Dot product.
+    pub fn dot(self, rhs: Self) -> f64 {
+        self.x * rhs.x + self.y * rhs.y
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm (cheaper than [`Vec2::norm`]).
+    pub fn norm_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean distance to `rhs`.
+    pub fn distance(self, rhs: Self) -> f64 {
+        (self - rhs).norm()
+    }
+
+    /// 2-D cross product (the `z` component of the 3-D cross product).
+    pub fn cross(self, rhs: Self) -> f64 {
+        self.x * rhs.y - self.y * rhs.x
+    }
+
+    /// Lifts to homogeneous 3-D coordinates `(x, y, 1)`.
+    pub fn homogeneous(self) -> Vec3 {
+        Vec3::new(self.x, self.y, 1.0)
+    }
+
+    /// Returns `true` if both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Self;
+    fn mul(self, s: f64) -> Self {
+        Self::new(self.x * s, self.y * s)
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Self;
+    fn div(self, s: f64) -> Self {
+        Self::new(self.x / s, self.y / s)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(-self.x, -self.y)
+    }
+}
+
+/// A 3-D vector / point in `f64`.
+///
+/// # Example
+///
+/// ```
+/// use edgeis_geometry::Vec3;
+/// let a = Vec3::new(1.0, 0.0, 0.0);
+/// let b = Vec3::new(0.0, 1.0, 0.0);
+/// assert_eq!(a.cross(b), Vec3::new(0.0, 0.0, 1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component (camera looks down +Z in camera frame).
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Creates a vector from components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Self = Self::new(0.0, 0.0, 0.0);
+
+    /// Unit X axis.
+    pub const X: Self = Self::new(1.0, 0.0, 0.0);
+    /// Unit Y axis.
+    pub const Y: Self = Self::new(0.0, 1.0, 0.0);
+    /// Unit Z axis.
+    pub const Z: Self = Self::new(0.0, 0.0, 1.0);
+
+    /// Dot product.
+    pub fn dot(self, rhs: Self) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, rhs: Self) -> Self {
+        Self::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean distance to `rhs`.
+    pub fn distance(self, rhs: Self) -> f64 {
+        (self - rhs).norm()
+    }
+
+    /// Returns a unit vector in the same direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the norm is zero.
+    pub fn normalized(self) -> Self {
+        let n = self.norm();
+        debug_assert!(n > 0.0, "cannot normalize a zero vector");
+        self / n
+    }
+
+    /// Perspective division: `(x/z, y/z)`.
+    ///
+    /// Returns `None` when `z` is (numerically) zero.
+    pub fn hnormalized(self) -> Option<Vec2> {
+        if self.z.abs() < 1e-12 {
+            None
+        } else {
+            Some(Vec2::new(self.x / self.z, self.y / self.z))
+        }
+    }
+
+    /// Component-wise access by index (0, 1, 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 2`.
+    pub fn get(self, i: usize) -> f64 {
+        match i {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+
+    /// Returns `true` if all components are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Self;
+    fn mul(self, s: f64) -> Self {
+        Self::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Self;
+    fn div(self, s: f64) -> Self {
+        Self::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    fn from(a: [f64; 3]) -> Self {
+        Self::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<Vec3> for [f64; 3] {
+    fn from(v: Vec3) -> Self {
+        [v.x, v.y, v.z]
+    }
+}
+
+impl From<[f64; 2]> for Vec2 {
+    fn from(a: [f64; 2]) -> Self {
+        Self::new(a[0], a[1])
+    }
+}
+
+impl From<Vec2> for [f64; 2] {
+    fn from(v: Vec2) -> Self {
+        [v.x, v.y]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec2_arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Vec2::new(1.5, -0.5));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn vec2_dot_cross_norm() {
+        let a = Vec2::new(3.0, 4.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm_squared(), 25.0);
+        assert_eq!(a.dot(Vec2::new(1.0, 1.0)), 7.0);
+        assert_eq!(Vec2::new(1.0, 0.0).cross(Vec2::new(0.0, 1.0)), 1.0);
+    }
+
+    #[test]
+    fn vec3_cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 0.5, 1.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vec3_hnormalized() {
+        let p = Vec3::new(2.0, 4.0, 2.0);
+        assert_eq!(p.hnormalized(), Some(Vec2::new(1.0, 2.0)));
+        assert_eq!(Vec3::new(1.0, 1.0, 0.0).hnormalized(), None);
+    }
+
+    #[test]
+    fn vec3_normalized_is_unit() {
+        let v = Vec3::new(0.3, -2.0, 5.0).normalized();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn homogeneous_roundtrip() {
+        let p = Vec2::new(5.0, -7.0);
+        assert_eq!(p.homogeneous().hnormalized(), Some(p));
+    }
+
+    #[test]
+    fn conversions() {
+        let v: Vec3 = [1.0, 2.0, 3.0].into();
+        let a: [f64; 3] = v.into();
+        assert_eq!(a, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn vec3_get_components() {
+        let v = Vec3::new(7.0, 8.0, 9.0);
+        assert_eq!((v.get(0), v.get(1), v.get(2)), (7.0, 8.0, 9.0));
+    }
+}

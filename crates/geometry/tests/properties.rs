@@ -1,0 +1,113 @@
+//! Property-based tests of the geometric invariants.
+
+use edgeis_geometry::{Camera, Mat3, SE3, SO3, Vec2, Vec3};
+use proptest::prelude::*;
+
+fn small_vec3() -> impl Strategy<Value = Vec3> {
+    (-2.0..2.0f64, -2.0..2.0f64, -2.0..2.0f64).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn rotation_vec() -> impl Strategy<Value = Vec3> {
+    // Stay away from the pi singularity for exact roundtrips.
+    (-2.8..2.8f64, -2.8..2.8f64, -2.8..2.8f64)
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+        .prop_filter("|w| < pi", |w| w.norm() < 3.0)
+}
+
+proptest! {
+    #[test]
+    fn so3_exp_log_roundtrip(w in rotation_vec()) {
+        let r = SO3::exp(w);
+        let w2 = r.log();
+        prop_assert!((w - w2).norm() < 1e-6, "{w:?} -> {w2:?}");
+    }
+
+    #[test]
+    fn so3_preserves_norm(w in rotation_vec(), v in small_vec3()) {
+        let r = SO3::exp(w);
+        prop_assert!(((r * v).norm() - v.norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn so3_matrix_is_orthonormal(w in rotation_vec()) {
+        let m = SO3::exp(w).matrix();
+        let should_be_i = m.transpose() * m;
+        for r in 0..3 {
+            for c in 0..3 {
+                let e = if r == c { 1.0 } else { 0.0 };
+                prop_assert!((should_be_i.m[r][c] - e).abs() < 1e-9);
+            }
+        }
+        prop_assert!((m.det() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn se3_inverse_is_identity(w in rotation_vec(), t in small_vec3()) {
+        let pose = SE3::new(SO3::exp(w), t);
+        let id = pose * pose.inverse();
+        prop_assert!(id.translation.norm() < 1e-9);
+        prop_assert!(id.rotation.log().norm() < 1e-6);
+    }
+
+    #[test]
+    fn se3_composition_associative(
+        w1 in rotation_vec(), t1 in small_vec3(),
+        w2 in rotation_vec(), t2 in small_vec3(),
+        p in small_vec3(),
+    ) {
+        let a = SE3::new(SO3::exp(w1), t1);
+        let b = SE3::new(SO3::exp(w2), t2);
+        let via_compose = (a * b).transform(p);
+        let via_apply = a.transform(b.transform(p));
+        prop_assert!((via_compose - via_apply).norm() < 1e-9);
+    }
+
+    #[test]
+    fn camera_project_unproject_roundtrip(
+        u in 1.0..639.0f64, v in 1.0..479.0f64, z in 0.5..50.0f64,
+    ) {
+        let cam = Camera::new(500.0, 480.0, 320.0, 240.0, 640, 480);
+        let p = cam.unproject(Vec2::new(u, v), z);
+        let px = cam.project_camera(p).unwrap();
+        prop_assert!((px - Vec2::new(u, v)).norm() < 1e-9);
+        prop_assert!((p.z - z).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mat3_inverse_roundtrip(
+        a in -3.0..3.0f64, b in -3.0..3.0f64, c in -3.0..3.0f64,
+        d in -3.0..3.0f64, e in -3.0..3.0f64, f in -3.0..3.0f64,
+        g in -3.0..3.0f64, h in -3.0..3.0f64, i in -3.0..3.0f64,
+    ) {
+        let m = Mat3::from_rows([[a, b, c], [d, e, f], [g, h, i]]);
+        prop_assume!(m.det().abs() > 0.1);
+        let inv = m.inverse().unwrap();
+        let prod = m * inv;
+        for r in 0..3 {
+            for cc in 0..3 {
+                let exp = if r == cc { 1.0 } else { 0.0 };
+                prop_assert!((prod.m[r][cc] - exp).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn svd3_reconstructs(
+        a in -3.0..3.0f64, b in -3.0..3.0f64, c in -3.0..3.0f64,
+        d in -3.0..3.0f64, e in -3.0..3.0f64, f in -3.0..3.0f64,
+        g in -3.0..3.0f64, h in -3.0..3.0f64, i in -3.0..3.0f64,
+    ) {
+        let m = Mat3::from_rows([[a, b, c], [d, e, f], [g, h, i]]);
+        let svd = edgeis_geometry::linalg::svd3(&m);
+        let rec = svd.u * Mat3::from_diagonal(svd.s) * svd.v.transpose();
+        prop_assert!((rec - m).frobenius_norm() < 1e-6 * (1.0 + m.frobenius_norm()));
+        prop_assert!(svd.s.x >= svd.s.y && svd.s.y >= svd.s.z && svd.s.z >= -1e-9);
+    }
+
+    #[test]
+    fn camera_center_consistent(w in rotation_vec(), t in small_vec3()) {
+        let pose = SE3::new(SO3::exp(w), t);
+        // The camera center maps to the origin of the camera frame.
+        prop_assert!(pose.transform(pose.camera_center()).norm() < 1e-9);
+    }
+}

@@ -1,0 +1,115 @@
+//! Debug output: dump frames and mask overlays as PGM/PPM files.
+//!
+//! Useful when inspecting what the synthetic renderer, the VO transfer or
+//! the edge model actually produced — `eog`/`feh`/any viewer opens the
+//! netpbm formats directly.
+
+use crate::image::GrayImage;
+use crate::mask::Mask;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes a grayscale image as binary PGM (P5).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the filesystem.
+pub fn write_pgm<P: AsRef<Path>>(path: P, image: &GrayImage) -> io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    writeln!(file, "P5\n{} {}\n255", image.width(), image.height())?;
+    file.write_all(image.as_bytes())?;
+    Ok(())
+}
+
+/// Writes the frame as binary PPM (P6) with each mask tinted in a distinct
+/// color (blended 50 % over the grayscale pixels).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the filesystem.
+pub fn write_overlay_ppm<P: AsRef<Path>>(
+    path: P,
+    image: &GrayImage,
+    masks: &[(u16, &Mask)],
+) -> io::Result<()> {
+    const PALETTE: [(u8, u8, u8); 6] = [
+        (230, 60, 60),
+        (60, 200, 60),
+        (70, 90, 235),
+        (230, 200, 40),
+        (200, 70, 220),
+        (60, 210, 210),
+    ];
+    let w = image.width();
+    let h = image.height();
+    let mut rgb = vec![0u8; (w * h * 3) as usize];
+    for y in 0..h {
+        for x in 0..w {
+            let g = image.get(x, y);
+            let mut pixel = (g, g, g);
+            for (i, (_, mask)) in masks.iter().enumerate() {
+                if mask.get_or_false(x as i64, y as i64) {
+                    let (r, gg, b) = PALETTE[i % PALETTE.len()];
+                    pixel = (
+                        ((pixel.0 as u16 + r as u16) / 2) as u8,
+                        ((pixel.1 as u16 + gg as u16) / 2) as u8,
+                        ((pixel.2 as u16 + b as u16) / 2) as u8,
+                    );
+                }
+            }
+            let idx = ((y * w + x) * 3) as usize;
+            rgb[idx] = pixel.0;
+            rgb[idx + 1] = pixel.1;
+            rgb[idx + 2] = pixel.2;
+        }
+    }
+    let mut file = std::fs::File::create(path)?;
+    writeln!(file, "P6\n{w} {h}\n255")?;
+    file.write_all(&rgb)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_roundtrip_header_and_size() {
+        let dir = std::env::temp_dir().join("edgeis_debug_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("frame.pgm");
+        let mut img = GrayImage::new(8, 4);
+        img.set(3, 2, 200);
+        write_pgm(&path, &img).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        let header = b"P5\n8 4\n255\n";
+        assert!(data.starts_with(header));
+        assert_eq!(data.len(), header.len() + 32);
+        // Pixel (3,2) is at offset 2*8+3.
+        assert_eq!(data[header.len() + 19], 200);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn overlay_tints_mask_pixels() {
+        let dir = std::env::temp_dir().join("edgeis_debug_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("overlay.ppm");
+        let mut img = GrayImage::new(4, 4);
+        img.fill(100);
+        let mut mask = Mask::new(4, 4);
+        mask.set(1, 1, true);
+        write_overlay_ppm(&path, &img, &[(1, &mask)]).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        let header = b"P6\n4 4\n255\n";
+        assert!(data.starts_with(header));
+        let px = |x: usize, y: usize| {
+            let i = header.len() + (y * 4 + x) * 3;
+            (data[i], data[i + 1], data[i + 2])
+        };
+        assert_eq!(px(0, 0), (100, 100, 100), "background untinted");
+        let (r, g, b) = px(1, 1);
+        assert!(r > g && r > b, "mask pixel should be red-tinted: {:?}", (r, g, b));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,417 @@
+//! ORB features: FAST-9 corners with non-maximum suppression, intensity-
+//! centroid orientation and rotated BRIEF descriptors over an image pyramid.
+//!
+//! The paper uses ORB "for its efficiency in computing and robustness
+//! against the change of viewpoints" (§III-A); this is a from-scratch
+//! implementation with the same structure.
+
+use crate::image::GrayImage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A detected keypoint in full-resolution image coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Keypoint {
+    /// Sub-pixel x in the original image.
+    pub x: f64,
+    /// Sub-pixel y in the original image.
+    pub y: f64,
+    /// Pyramid level the keypoint was detected at (0 = full resolution).
+    pub level: u8,
+    /// FAST corner response (sum of absolute differences over the arc).
+    pub response: f32,
+    /// Orientation angle in radians from the intensity centroid.
+    pub angle: f32,
+}
+
+/// A 256-bit binary descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Descriptor(pub [u64; 4]);
+
+impl Descriptor {
+    /// Hamming distance to another descriptor (0..=256).
+    #[inline]
+    pub fn distance(&self, other: &Descriptor) -> u32 {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+}
+
+/// Configuration for [`detect_orb`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OrbConfig {
+    /// FAST intensity threshold.
+    pub fast_threshold: u8,
+    /// Maximum keypoints kept (highest response first).
+    pub max_features: usize,
+    /// Number of pyramid levels (1 = no pyramid).
+    pub n_levels: u8,
+    /// Suppression radius in pixels for greedy non-maximum suppression.
+    pub nms_radius: u32,
+}
+
+impl Default for OrbConfig {
+    fn default() -> Self {
+        Self {
+            fast_threshold: 20,
+            max_features: 500,
+            n_levels: 3,
+            nms_radius: 4,
+        }
+    }
+}
+
+/// Bresenham circle of radius 3 used by FAST-9 (16 pixels).
+const FAST_CIRCLE: [(i64, i64); 16] = [
+    (0, -3),
+    (1, -3),
+    (2, -2),
+    (3, -1),
+    (3, 0),
+    (3, 1),
+    (2, 2),
+    (1, 3),
+    (0, 3),
+    (-1, 3),
+    (-2, 2),
+    (-3, 1),
+    (-3, 0),
+    (-3, -1),
+    (-2, -2),
+    (-1, -3),
+];
+
+/// FAST-9 corner test: returns the response if ≥ 9 contiguous circle pixels
+/// are all brighter or all darker than center ± threshold.
+fn fast9_response(img: &GrayImage, x: u32, y: u32, threshold: u8) -> Option<f32> {
+    let c = img.get(x, y) as i32;
+    let t = threshold as i32;
+    let mut brighter = [false; 16];
+    let mut darker = [false; 16];
+    let mut diffs = [0i32; 16];
+    for (i, &(dx, dy)) in FAST_CIRCLE.iter().enumerate() {
+        let v = img.get_clamped(x as i64 + dx, y as i64 + dy) as i32;
+        diffs[i] = v - c;
+        brighter[i] = v > c + t;
+        darker[i] = v < c - t;
+    }
+    // Quick reject using the 4 compass points: a contiguous arc of 9 always
+    // covers at least 2 of the 4 points spaced 4 apart.
+    let compass = [0usize, 4, 8, 12];
+    let nb = compass.iter().filter(|&&i| brighter[i]).count();
+    let nd = compass.iter().filter(|&&i| darker[i]).count();
+    if nb < 2 && nd < 2 {
+        return None;
+    }
+
+    let arc_len = |flags: &[bool; 16]| -> usize {
+        // Longest circular run of true.
+        let mut best = 0;
+        let mut run = 0;
+        for i in 0..32 {
+            if flags[i % 16] {
+                run += 1;
+                best = best.max(run);
+                if best >= 16 {
+                    break;
+                }
+            } else {
+                run = 0;
+            }
+        }
+        best.min(16)
+    };
+
+    if arc_len(&brighter) >= 9 || arc_len(&darker) >= 9 {
+        let response: i32 = diffs.iter().map(|d| d.abs()).sum();
+        Some(response as f32)
+    } else {
+        None
+    }
+}
+
+/// Intensity-centroid orientation in a circular patch of radius `r`.
+fn orientation(img: &GrayImage, x: u32, y: u32, r: i64) -> f32 {
+    let mut m01 = 0.0f64;
+    let mut m10 = 0.0f64;
+    for dy in -r..=r {
+        for dx in -r..=r {
+            if dx * dx + dy * dy > r * r {
+                continue;
+            }
+            let v = img.get_clamped(x as i64 + dx, y as i64 + dy) as f64;
+            m10 += dx as f64 * v;
+            m01 += dy as f64 * v;
+        }
+    }
+    m01.atan2(m10) as f32
+}
+
+/// The 256 BRIEF sampling pairs, generated once from a fixed seed inside a
+/// 31×31 patch (σ = 5 Gaussian-ish via clamped normal draws).
+fn brief_pattern() -> Vec<((f64, f64), (f64, f64))> {
+    let mut rng = StdRng::seed_from_u64(0x0b5e55ed);
+    let draw = |rng: &mut StdRng| -> f64 {
+        // Approximate normal via sum of uniforms, clamped to the patch.
+        let s: f64 = (0..4).map(|_| rng.random_range(-1.0..1.0)).sum::<f64>() * 3.75;
+        s.clamp(-15.0, 15.0)
+    };
+    (0..256)
+        .map(|_| {
+            (
+                (draw(&mut rng), draw(&mut rng)),
+                (draw(&mut rng), draw(&mut rng)),
+            )
+        })
+        .collect()
+}
+
+/// Computes the rotated BRIEF descriptor at a keypoint location on the
+/// level image where it was detected.
+fn brief_descriptor(
+    img: &GrayImage,
+    x: f64,
+    y: f64,
+    angle: f32,
+    pattern: &[((f64, f64), (f64, f64))],
+) -> Descriptor {
+    let (sin, cos) = (angle as f64).sin_cos();
+    let mut bits = [0u64; 4];
+    for (i, &((ax, ay), (bx, by))) in pattern.iter().enumerate() {
+        let ra = (cos * ax - sin * ay, sin * ax + cos * ay);
+        let rb = (cos * bx - sin * by, sin * bx + cos * by);
+        let va = img.sample_bilinear(x + ra.0, y + ra.1);
+        let vb = img.sample_bilinear(x + rb.0, y + rb.1);
+        if va < vb {
+            bits[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+    Descriptor(bits)
+}
+
+/// Detects ORB features over a pyramid and computes descriptors.
+///
+/// Returns keypoints (full-resolution coordinates) with aligned descriptors.
+/// Results are deterministic for a given image and configuration.
+pub fn detect_orb(img: &GrayImage, config: &OrbConfig) -> (Vec<Keypoint>, Vec<Descriptor>) {
+    let pattern = brief_pattern();
+    let mut keypoints = Vec::new();
+    let mut descriptors = Vec::new();
+
+    let mut level_img = img.box_blur3();
+    let mut scale = 1.0f64;
+    for level in 0..config.n_levels {
+        if level_img.width() < 32 || level_img.height() < 32 {
+            break;
+        }
+        let mut candidates: Vec<(u32, u32, f32)> = Vec::new();
+        let border = 16u32;
+        for y in border..level_img.height() - border {
+            for x in border..level_img.width() - border {
+                if let Some(resp) = fast9_response(&level_img, x, y, config.fast_threshold) {
+                    candidates.push((x, y, resp));
+                }
+            }
+        }
+        // Greedy NMS: strongest first, suppress a disc around each winner.
+        candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        let mut suppressed =
+            vec![false; (level_img.width() * level_img.height()) as usize];
+        let r = config.nms_radius as i64;
+        let w = level_img.width() as i64;
+        let h = level_img.height() as i64;
+        for (x, y, resp) in candidates {
+            if suppressed[(y as i64 * w + x as i64) as usize] {
+                continue;
+            }
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    let nx = x as i64 + dx;
+                    let ny = y as i64 + dy;
+                    if nx >= 0 && ny >= 0 && nx < w && ny < h {
+                        suppressed[(ny * w + nx) as usize] = true;
+                    }
+                }
+            }
+            let angle = orientation(&level_img, x, y, 7);
+            let desc = brief_descriptor(&level_img, x as f64, y as f64, angle, &pattern);
+            keypoints.push(Keypoint {
+                x: x as f64 * scale,
+                y: y as f64 * scale,
+                level,
+                response: resp,
+                angle,
+            });
+            descriptors.push(desc);
+        }
+
+        level_img = level_img.downsample_half();
+        scale *= 2.0;
+    }
+
+    // Keep the strongest max_features across all levels.
+    if keypoints.len() > config.max_features {
+        let mut order: Vec<usize> = (0..keypoints.len()).collect();
+        order.sort_by(|&a, &b| {
+            keypoints[b]
+                .response
+                .partial_cmp(&keypoints[a].response)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        order.truncate(config.max_features);
+        order.sort_unstable();
+        let kps = order.iter().map(|&i| keypoints[i]).collect();
+        let descs = order.iter().map(|&i| descriptors[i]).collect();
+        return (kps, descs);
+    }
+
+    (keypoints, descriptors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Renders scattered bright squares on a dark background (square corners
+    /// are strong FAST corners, unlike ideal checkerboard saddles whose
+    /// contiguous arc is exactly 8 < 9).
+    fn textured_image(w: u32, h: u32, phase: f64) -> GrayImage {
+        let mut img = GrayImage::new(w, h);
+        img.fill(30);
+        let mut sx = 20i64;
+        let mut sy = 20i64;
+        let mut k = 0u32;
+        while sy + 12 < h as i64 {
+            let x0 = sx + phase.round() as i64;
+            for yy in sy..sy + 10 {
+                for xx in x0..x0 + 10 {
+                    if xx >= 0 && yy >= 0 && (xx as u32) < w && (yy as u32) < h {
+                        img.set(xx as u32, yy as u32, 200 + ((k * 13) % 50) as u8);
+                    }
+                }
+            }
+            sx += 28;
+            k += 1;
+            if sx + 12 >= w as i64 {
+                sx = 20 + ((k % 3) as i64) * 6;
+                sy += 26;
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn detects_corners_of_squares() {
+        let img = textured_image(128, 128, 0.0);
+        let (kps, descs) = detect_orb(&img, &OrbConfig::default());
+        assert!(!kps.is_empty(), "no features detected");
+        assert_eq!(kps.len(), descs.len());
+        // Every keypoint should sit near a square boundary: its local
+        // sharpness must be well above the flat background's.
+        for k in &kps {
+            if k.level == 0 {
+                assert!(
+                    img.sharpness(k.x as u32, k.y as u32, 3) > 5.0,
+                    "keypoint at ({:.0},{:.0}) in flat area",
+                    k.x,
+                    k.y
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_features_on_flat_image() {
+        let mut img = GrayImage::new(64, 64);
+        img.fill(128);
+        let (kps, _) = detect_orb(&img, &OrbConfig::default());
+        assert!(kps.is_empty());
+    }
+
+    #[test]
+    fn descriptor_distance_self_is_zero() {
+        let img = textured_image(96, 96, 0.0);
+        let (_, descs) = detect_orb(&img, &OrbConfig::default());
+        assert!(descs[0].distance(&descs[0]) == 0);
+    }
+
+    #[test]
+    fn descriptors_stable_under_small_shift() {
+        // The same physical corner viewed with a small sub-checker shift
+        // should produce similar descriptors at the matching location.
+        let a = textured_image(128, 128, 0.0);
+        let b = textured_image(128, 128, 2.0);
+        let cfg = OrbConfig::default();
+        let (ka, da) = detect_orb(&a, &cfg);
+        let (kb, db) = detect_orb(&b, &cfg);
+        // For each keypoint in a, find the spatially nearest in b and check
+        // the descriptor distance beats a random pairing on average.
+        let mut matched = 0;
+        let mut total = 0;
+        for (i, kp) in ka.iter().enumerate() {
+            if kp.level != 0 {
+                continue;
+            }
+            let mut best_j = None;
+            let mut best_d2 = f64::INFINITY;
+            for (j, kq) in kb.iter().enumerate() {
+                if kq.level != 0 {
+                    continue;
+                }
+                let d2 = (kp.x - (kq.x - 2.0)).powi(2) + (kp.y - kq.y).powi(2);
+                if d2 < best_d2 {
+                    best_d2 = d2;
+                    best_j = Some(j);
+                }
+            }
+            if let Some(j) = best_j {
+                if best_d2 < 25.0 {
+                    total += 1;
+                    if da[i].distance(&db[j]) < 80 {
+                        matched += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 5, "too few co-located keypoints: {total}");
+        assert!(
+            matched * 10 >= total * 6,
+            "only {matched}/{total} descriptors stable"
+        );
+    }
+
+    #[test]
+    fn max_features_is_respected() {
+        let img = textured_image(256, 256, 0.0);
+        let cfg = OrbConfig { max_features: 50, ..Default::default() };
+        let (kps, descs) = detect_orb(&img, &cfg);
+        assert!(kps.len() <= 50);
+        assert_eq!(kps.len(), descs.len());
+    }
+
+    #[test]
+    fn determinism() {
+        let img = textured_image(128, 128, 0.0);
+        let cfg = OrbConfig::default();
+        let (k1, d1) = detect_orb(&img, &cfg);
+        let (k2, d2) = detect_orb(&img, &cfg);
+        assert_eq!(k1.len(), k2.len());
+        assert_eq!(d1, d2);
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn fast_circle_has_16_unique_offsets() {
+        let mut set = std::collections::HashSet::new();
+        for p in FAST_CIRCLE {
+            assert!(set.insert(p));
+            let r2 = p.0 * p.0 + p.1 * p.1;
+            assert!((8..=10).contains(&r2), "offset {p:?} not on radius-3 circle");
+        }
+        assert_eq!(set.len(), 16);
+    }
+}

@@ -1,0 +1,278 @@
+//! 8-bit grayscale images.
+
+use serde::{Deserialize, Serialize};
+
+/// An 8-bit grayscale image, row-major.
+///
+/// # Example
+///
+/// ```
+/// use edgeis_imaging::GrayImage;
+/// let mut img = GrayImage::new(4, 3);
+/// img.set(1, 2, 200);
+/// assert_eq!(img.get(1, 2), 200);
+/// assert_eq!(img.get_clamped(-5, 100), img.get(0, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GrayImage {
+    width: u32,
+    height: u32,
+    data: Vec<u8>,
+}
+
+impl GrayImage {
+    /// Creates a black image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        Self { width, height, data: vec![0; (width * height) as usize] }
+    }
+
+    /// Creates an image from raw row-major bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height`.
+    pub fn from_raw(width: u32, height: u32, data: Vec<u8>) -> Self {
+        assert_eq!(
+            data.len(),
+            (width * height) as usize,
+            "pixel buffer does not match dimensions"
+        );
+        Self { width, height, data }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Raw pixel buffer, row-major.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable raw pixel buffer.
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    #[inline]
+    fn idx(&self, x: u32, y: u32) -> usize {
+        (y * self.width + x) as usize
+    }
+
+    /// Pixel value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[self.idx(x, y)]
+    }
+
+    /// Pixel value with coordinates clamped to the image border.
+    #[inline]
+    pub fn get_clamped(&self, x: i64, y: i64) -> u8 {
+        let x = x.clamp(0, self.width as i64 - 1) as u32;
+        let y = y.clamp(0, self.height as i64 - 1) as u32;
+        self.data[self.idx(x, y)]
+    }
+
+    /// Sets pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, v: u8) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        let i = self.idx(x, y);
+        self.data[i] = v;
+    }
+
+    /// Bilinear sample at sub-pixel coordinates, clamped at borders.
+    pub fn sample_bilinear(&self, x: f64, y: f64) -> f64 {
+        let x0 = x.floor() as i64;
+        let y0 = y.floor() as i64;
+        let fx = x - x0 as f64;
+        let fy = y - y0 as f64;
+        let p00 = self.get_clamped(x0, y0) as f64;
+        let p10 = self.get_clamped(x0 + 1, y0) as f64;
+        let p01 = self.get_clamped(x0, y0 + 1) as f64;
+        let p11 = self.get_clamped(x0 + 1, y0 + 1) as f64;
+        p00 * (1.0 - fx) * (1.0 - fy)
+            + p10 * fx * (1.0 - fy)
+            + p01 * (1.0 - fx) * fy
+            + p11 * fx * fy
+    }
+
+    /// Half-resolution downsample by 2×2 box averaging (pyramid level).
+    pub fn downsample_half(&self) -> GrayImage {
+        let w = (self.width / 2).max(1);
+        let h = (self.height / 2).max(1);
+        let mut out = GrayImage::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let sx = (x * 2).min(self.width - 1);
+                let sy = (y * 2).min(self.height - 1);
+                let sx1 = (sx + 1).min(self.width - 1);
+                let sy1 = (sy + 1).min(self.height - 1);
+                let sum = self.get(sx, sy) as u32
+                    + self.get(sx1, sy) as u32
+                    + self.get(sx, sy1) as u32
+                    + self.get(sx1, sy1) as u32;
+                out.set(x, y, (sum / 4) as u8);
+            }
+        }
+        out
+    }
+
+    /// 3×3 box blur; approximates the smoothing applied before BRIEF tests.
+    pub fn box_blur3(&self) -> GrayImage {
+        let mut out = GrayImage::new(self.width, self.height);
+        for y in 0..self.height as i64 {
+            for x in 0..self.width as i64 {
+                let mut sum = 0u32;
+                for dy in -1..=1 {
+                    for dx in -1..=1 {
+                        sum += self.get_clamped(x + dx, y + dy) as u32;
+                    }
+                }
+                out.set(x as u32, y as u32, (sum / 9) as u8);
+            }
+        }
+        out
+    }
+
+    /// Mean absolute Laplacian response inside a window — a simple
+    /// blurriness score. Sharp regions score high; the paper filters
+    /// "too blurred" features during initialization (§III-A).
+    pub fn sharpness(&self, cx: u32, cy: u32, radius: u32) -> f64 {
+        let mut acc = 0.0;
+        let mut n = 0u32;
+        let r = radius as i64;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let x = cx as i64 + dx;
+                let y = cy as i64 + dy;
+                let c = self.get_clamped(x, y) as f64;
+                let lap = 4.0 * c
+                    - self.get_clamped(x - 1, y) as f64
+                    - self.get_clamped(x + 1, y) as f64
+                    - self.get_clamped(x, y - 1) as f64
+                    - self.get_clamped(x, y + 1) as f64;
+                acc += lap.abs();
+                n += 1;
+            }
+        }
+        acc / n as f64
+    }
+
+    /// Fills the whole image with value `v`.
+    pub fn fill(&mut self, v: u8) {
+        self.data.fill(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_black() {
+        let img = GrayImage::new(3, 2);
+        assert_eq!(img.as_bytes(), &[0; 6]);
+        assert_eq!(img.width(), 3);
+        assert_eq!(img.height(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_size_panics() {
+        let _ = GrayImage::new(0, 5);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut img = GrayImage::new(5, 5);
+        img.set(4, 4, 255);
+        img.set(0, 0, 7);
+        assert_eq!(img.get(4, 4), 255);
+        assert_eq!(img.get(0, 0), 7);
+    }
+
+    #[test]
+    fn clamped_access() {
+        let mut img = GrayImage::new(2, 2);
+        img.set(0, 0, 10);
+        img.set(1, 1, 20);
+        assert_eq!(img.get_clamped(-100, -100), 10);
+        assert_eq!(img.get_clamped(100, 100), 20);
+    }
+
+    #[test]
+    fn bilinear_interpolates() {
+        let mut img = GrayImage::new(2, 1);
+        img.set(0, 0, 0);
+        img.set(1, 0, 100);
+        assert_eq!(img.sample_bilinear(0.5, 0.0), 50.0);
+        assert_eq!(img.sample_bilinear(0.0, 0.0), 0.0);
+        assert_eq!(img.sample_bilinear(1.0, 0.0), 100.0);
+    }
+
+    #[test]
+    fn downsample_preserves_mean() {
+        let mut img = GrayImage::new(4, 4);
+        img.fill(80);
+        let half = img.downsample_half();
+        assert_eq!(half.width(), 2);
+        assert_eq!(half.height(), 2);
+        assert!(half.as_bytes().iter().all(|&v| v == 80));
+    }
+
+    #[test]
+    fn sharpness_flat_vs_edge() {
+        let mut flat = GrayImage::new(11, 11);
+        flat.fill(128);
+        let mut edge = GrayImage::new(11, 11);
+        for y in 0..11 {
+            for x in 0..11 {
+                edge.set(x, y, if x < 5 { 0 } else { 255 });
+            }
+        }
+        assert_eq!(flat.sharpness(5, 5, 3), 0.0);
+        assert!(edge.sharpness(5, 5, 3) > 10.0);
+    }
+
+    #[test]
+    fn box_blur_smooths_impulse() {
+        let mut img = GrayImage::new(5, 5);
+        img.set(2, 2, 255);
+        let blurred = img.box_blur3();
+        assert!(blurred.get(2, 2) < 255);
+        assert!(blurred.get(1, 1) > 0);
+    }
+
+    #[test]
+    fn from_raw_validates_length() {
+        let img = GrayImage::from_raw(2, 2, vec![1, 2, 3, 4]);
+        assert_eq!(img.get(1, 1), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_raw_wrong_length_panics() {
+        let _ = GrayImage::from_raw(2, 2, vec![1, 2, 3]);
+    }
+}

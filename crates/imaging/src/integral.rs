@@ -1,0 +1,155 @@
+//! Integral images and gradient-energy maps.
+//!
+//! The content-based tile selection (§V) classifies tiles by their content;
+//! we measure content complexity as gradient energy, computed in O(1) per
+//! tile through an integral image.
+
+use crate::image::GrayImage;
+
+/// A summed-area table over `u64` for O(1) rectangular sums.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegralImage {
+    width: u32,
+    height: u32,
+    /// `(width+1) x (height+1)` table, row-major, first row/col zero.
+    sums: Vec<u64>,
+}
+
+impl IntegralImage {
+    /// Builds the integral image of `img`.
+    pub fn new(img: &GrayImage) -> Self {
+        let w = img.width() as usize;
+        let h = img.height() as usize;
+        let mut sums = vec![0u64; (w + 1) * (h + 1)];
+        for y in 0..h {
+            let mut row_acc = 0u64;
+            for x in 0..w {
+                row_acc += img.get(x as u32, y as u32) as u64;
+                sums[(y + 1) * (w + 1) + (x + 1)] = sums[y * (w + 1) + (x + 1)] + row_acc;
+            }
+        }
+        Self { width: img.width(), height: img.height(), sums }
+    }
+
+    /// Builds an integral image over arbitrary per-pixel `u64` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != width * height`.
+    pub fn from_values(width: u32, height: u32, values: &[u64]) -> Self {
+        assert_eq!(values.len(), (width * height) as usize, "value buffer mismatch");
+        let w = width as usize;
+        let h = height as usize;
+        let mut sums = vec![0u64; (w + 1) * (h + 1)];
+        for y in 0..h {
+            let mut row_acc = 0u64;
+            for x in 0..w {
+                row_acc += values[y * w + x];
+                sums[(y + 1) * (w + 1) + (x + 1)] = sums[y * (w + 1) + (x + 1)] + row_acc;
+            }
+        }
+        Self { width, height, sums }
+    }
+
+    /// Sum over the rectangle `[x, x+w) × [y, y+h)`, clipped to the image.
+    pub fn rect_sum(&self, x: u32, y: u32, w: u32, h: u32) -> u64 {
+        let x1 = (x + w).min(self.width) as usize;
+        let y1 = (y + h).min(self.height) as usize;
+        let x0 = x.min(self.width) as usize;
+        let y0 = y.min(self.height) as usize;
+        let stride = self.width as usize + 1;
+        self.sums[y1 * stride + x1] + self.sums[y0 * stride + x0]
+            - self.sums[y0 * stride + x1]
+            - self.sums[y1 * stride + x0]
+    }
+
+    /// Mean value over a rectangle; 0 for empty rectangles.
+    pub fn rect_mean(&self, x: u32, y: u32, w: u32, h: u32) -> f64 {
+        let x1 = (x + w).min(self.width);
+        let y1 = (y + h).min(self.height);
+        let area = (x1.saturating_sub(x) as u64) * (y1.saturating_sub(y) as u64);
+        if area == 0 {
+            0.0
+        } else {
+            self.rect_sum(x, y, w, h) as f64 / area as f64
+        }
+    }
+}
+
+/// Per-pixel gradient magnitude (Sobel-lite: central differences), returned
+/// as a `u64` buffer suitable for [`IntegralImage::from_values`].
+pub fn gradient_energy(img: &GrayImage) -> Vec<u64> {
+    let w = img.width() as i64;
+    let h = img.height() as i64;
+    let mut out = Vec::with_capacity((w * h) as usize);
+    for y in 0..h {
+        for x in 0..w {
+            let gx = img.get_clamped(x + 1, y) as i64 - img.get_clamped(x - 1, y) as i64;
+            let gy = img.get_clamped(x, y + 1) as i64 - img.get_clamped(x, y - 1) as i64;
+            out.push((gx * gx + gy * gy) as u64);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_sum_matches_naive() {
+        let mut img = GrayImage::new(7, 5);
+        for y in 0..5 {
+            for x in 0..7 {
+                img.set(x, y, (x * 3 + y * 11) as u8);
+            }
+        }
+        let ii = IntegralImage::new(&img);
+        for (x, y, w, h) in [(0, 0, 7, 5), (1, 1, 3, 2), (4, 2, 10, 10), (6, 4, 1, 1)] {
+            let mut naive = 0u64;
+            for yy in y..(y + h).min(5) {
+                for xx in x..(x + w).min(7) {
+                    naive += img.get(xx, yy) as u64;
+                }
+            }
+            assert_eq!(ii.rect_sum(x, y, w, h), naive, "rect ({x},{y},{w},{h})");
+        }
+    }
+
+    #[test]
+    fn rect_mean_uniform() {
+        let mut img = GrayImage::new(8, 8);
+        img.fill(42);
+        let ii = IntegralImage::new(&img);
+        assert_eq!(ii.rect_mean(2, 2, 4, 4), 42.0);
+        assert_eq!(ii.rect_mean(8, 8, 2, 2), 0.0);
+    }
+
+    #[test]
+    fn gradient_energy_flat_is_zero() {
+        let mut img = GrayImage::new(10, 10);
+        img.fill(100);
+        assert!(gradient_energy(&img).iter().all(|&g| g == 0));
+    }
+
+    #[test]
+    fn gradient_energy_edge_detected() {
+        let mut img = GrayImage::new(10, 10);
+        for y in 0..10 {
+            for x in 0..10 {
+                img.set(x, y, if x < 5 { 0 } else { 255 });
+            }
+        }
+        let g = gradient_energy(&img);
+        let ii = IntegralImage::from_values(10, 10, &g);
+        let left = ii.rect_sum(0, 0, 3, 10);
+        let edge = ii.rect_sum(3, 0, 4, 10);
+        assert!(edge > left * 10, "edge {edge} vs flat {left}");
+    }
+
+    #[test]
+    fn from_values_mismatch_panics() {
+        let r = std::panic::catch_unwind(|| IntegralImage::from_values(3, 3, &[1, 2]));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! Image-processing substrate for the edgeIS reproduction.
+//!
+//! The paper's mobile side consumes camera frames through OpenCV and ORB
+//! features; this crate rebuilds those primitives from scratch:
+//!
+//! - [`GrayImage`] — 8-bit images with bilinear sampling,
+//! - [`Mask`] / [`LabelMap`] — pixel-accurate instance masks with RLE,
+//!   IoU ([`mask::iou`]) and morphology,
+//! - [`contour`] — border-following contour extraction (the paper's
+//!   `findContours`) and scanline polygon fill,
+//! - [`features`] — FAST-9 keypoints and rotated-BRIEF (ORB) descriptors
+//!   over an image pyramid,
+//! - [`matching`] — brute-force Hamming matching with ratio and symmetry
+//!   tests,
+//! - [`tracker`] — the baselines' local trackers: a motion-vector block
+//!   tracker (EAAR) and a correlation template tracker (EdgeDuet's KCF
+//!   stand-in),
+//! - [`integral`] — integral images and gradient-energy maps used by the
+//!   tile codec.
+
+pub mod contour;
+pub mod debug;
+pub mod features;
+pub mod image;
+pub mod integral;
+pub mod mask;
+pub mod matching;
+pub mod tracker;
+
+pub use contour::{extract_contours, fill_polygon, Contour};
+pub use debug::{write_overlay_ppm, write_pgm};
+pub use features::{detect_orb, Descriptor, Keypoint, OrbConfig};
+pub use image::GrayImage;
+pub use integral::{gradient_energy, IntegralImage};
+pub use mask::{iou, LabelMap, Mask, RleMask};
+pub use matching::{match_descriptors, Match, MatchConfig};
+pub use tracker::{CorrelationTracker, MotionVectorField};

@@ -1,0 +1,552 @@
+//! Instance masks, label maps, RLE compression and IoU (Eq. 8 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// A binary instance mask over an image.
+///
+/// # Example
+///
+/// ```
+/// use edgeis_imaging::Mask;
+/// let mut m = Mask::new(10, 10);
+/// m.fill_rect(2, 2, 5, 5);
+/// assert_eq!(m.area(), 25);
+/// assert_eq!(m.bounding_box(), Some((2, 2, 7, 7)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mask {
+    width: u32,
+    height: u32,
+    bits: Vec<bool>,
+}
+
+impl Mask {
+    /// Creates an empty (all-false) mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "mask must be non-empty");
+        Self { width, height, bits: vec![false; (width * height) as usize] }
+    }
+
+    /// Mask width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Mask height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    #[inline]
+    fn idx(&self, x: u32, y: u32) -> usize {
+        (y * self.width + x) as usize
+    }
+
+    /// Whether pixel `(x, y)` is inside the mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> bool {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.bits[self.idx(x, y)]
+    }
+
+    /// Out-of-bounds-tolerant accessor: pixels outside return `false`.
+    #[inline]
+    pub fn get_or_false(&self, x: i64, y: i64) -> bool {
+        if x < 0 || y < 0 || x >= self.width as i64 || y >= self.height as i64 {
+            false
+        } else {
+            self.bits[(y as u32 * self.width + x as u32) as usize]
+        }
+    }
+
+    /// Sets pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, v: bool) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        let i = self.idx(x, y);
+        self.bits[i] = v;
+    }
+
+    /// Sets pixel if inside bounds; ignores outside writes.
+    #[inline]
+    pub fn set_checked(&mut self, x: i64, y: i64, v: bool) {
+        if x >= 0 && y >= 0 && x < self.width as i64 && y < self.height as i64 {
+            let i = (y as u32 * self.width + x as u32) as usize;
+            self.bits[i] = v;
+        }
+    }
+
+    /// Fills an axis-aligned rectangle `[x, x+w) × [y, y+h)`, clipped to the
+    /// image.
+    pub fn fill_rect(&mut self, x: u32, y: u32, w: u32, h: u32) {
+        for yy in y..(y + h).min(self.height) {
+            for xx in x..(x + w).min(self.width) {
+                let i = self.idx(xx, yy);
+                self.bits[i] = true;
+            }
+        }
+    }
+
+    /// Number of set pixels.
+    pub fn area(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Whether no pixel is set.
+    pub fn is_empty(&self) -> bool {
+        !self.bits.iter().any(|&b| b)
+    }
+
+    /// Tight bounding box `(x0, y0, x1, y1)` with exclusive max, or `None`
+    /// for an empty mask.
+    pub fn bounding_box(&self) -> Option<(u32, u32, u32, u32)> {
+        let mut min_x = u32::MAX;
+        let mut min_y = u32::MAX;
+        let mut max_x = 0u32;
+        let mut max_y = 0u32;
+        let mut any = false;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if self.bits[self.idx(x, y)] {
+                    any = true;
+                    min_x = min_x.min(x);
+                    min_y = min_y.min(y);
+                    max_x = max_x.max(x);
+                    max_y = max_y.max(y);
+                }
+            }
+        }
+        any.then_some((min_x, min_y, max_x + 1, max_y + 1))
+    }
+
+    /// Centroid of the set pixels, or `None` for an empty mask.
+    pub fn centroid(&self) -> Option<(f64, f64)> {
+        let mut sx = 0.0;
+        let mut sy = 0.0;
+        let mut n = 0usize;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if self.bits[self.idx(x, y)] {
+                    sx += x as f64;
+                    sy += y as f64;
+                    n += 1;
+                }
+            }
+        }
+        (n > 0).then(|| (sx / n as f64, sy / n as f64))
+    }
+
+    /// Morphological dilation by a square structuring element of the given
+    /// radius.
+    pub fn dilate(&self, radius: u32) -> Mask {
+        let mut out = Mask::new(self.width, self.height);
+        let r = radius as i64;
+        for y in 0..self.height as i64 {
+            for x in 0..self.width as i64 {
+                'search: for dy in -r..=r {
+                    for dx in -r..=r {
+                        if self.get_or_false(x + dx, y + dy) {
+                            out.set(x as u32, y as u32, true);
+                            break 'search;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Morphological erosion by a square structuring element.
+    pub fn erode(&self, radius: u32) -> Mask {
+        let mut out = Mask::new(self.width, self.height);
+        let r = radius as i64;
+        for y in 0..self.height as i64 {
+            for x in 0..self.width as i64 {
+                let mut all = true;
+                'win: for dy in -r..=r {
+                    for dx in -r..=r {
+                        if !self.get_or_false(x + dx, y + dy) {
+                            all = false;
+                            break 'win;
+                        }
+                    }
+                }
+                if all {
+                    out.set(x as u32, y as u32, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Intersection area with another mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes differ.
+    pub fn intersection_area(&self, other: &Mask) -> usize {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "mask size mismatch"
+        );
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .filter(|(&a, &b)| a && b)
+            .count()
+    }
+
+    /// Union area with another mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes differ.
+    pub fn union_area(&self, other: &Mask) -> usize {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "mask size mismatch"
+        );
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .filter(|(&a, &b)| a || b)
+            .count()
+    }
+
+    /// Run-length encodes the mask.
+    pub fn to_rle(&self) -> RleMask {
+        let mut runs = Vec::new();
+        let mut current = false;
+        let mut len = 0u32;
+        for &b in &self.bits {
+            if b == current {
+                len += 1;
+            } else {
+                runs.push(len);
+                current = b;
+                len = 1;
+            }
+        }
+        runs.push(len);
+        RleMask { width: self.width, height: self.height, runs }
+    }
+
+    /// Iterates over set pixel coordinates.
+    pub fn iter_set(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let w = self.width;
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(move |(i, _)| ((i as u32) % w, (i as u32) / w))
+    }
+}
+
+/// Intersection-over-union between two masks (Eq. 8).
+///
+/// Two empty masks have IoU 1 (a correct "nothing there" prediction).
+///
+/// # Panics
+///
+/// Panics if sizes differ.
+pub fn iou(a: &Mask, b: &Mask) -> f64 {
+    let union = a.union_area(b);
+    if union == 0 {
+        return 1.0;
+    }
+    a.intersection_area(b) as f64 / union as f64
+}
+
+/// A run-length-encoded mask: alternating false/true run lengths starting
+/// with false. This is the wire format for mask transmission between the
+/// edge and the mobile device.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RleMask {
+    width: u32,
+    height: u32,
+    runs: Vec<u32>,
+}
+
+impl RleMask {
+    /// Reassembles an RLE mask from raw parts (wire decoding). Returns
+    /// `None` when the runs do not sum to `width * height`.
+    pub fn from_parts(width: u32, height: u32, runs: Vec<u32>) -> Option<Self> {
+        if width == 0 || height == 0 {
+            return None;
+        }
+        let total: u64 = runs.iter().map(|&r| r as u64).sum();
+        if total != width as u64 * height as u64 {
+            return None;
+        }
+        Some(Self { width, height, runs })
+    }
+
+    /// The alternating false/true run lengths (starting with false).
+    pub fn runs(&self) -> &[u32] {
+        &self.runs
+    }
+
+    /// Decodes back into a bitmap mask.
+    pub fn to_mask(&self) -> Mask {
+        let mut mask = Mask::new(self.width, self.height);
+        let mut i = 0usize;
+        let mut value = false;
+        for &run in &self.runs {
+            for _ in 0..run {
+                if value {
+                    let x = (i as u32) % self.width;
+                    let y = (i as u32) / self.width;
+                    mask.set(x, y, true);
+                }
+                i += 1;
+            }
+            value = !value;
+        }
+        mask
+    }
+
+    /// Size of the encoded representation in bytes (4 bytes per run plus an
+    /// 8-byte header) — used by the transmission model.
+    pub fn encoded_bytes(&self) -> usize {
+        8 + 4 * self.runs.len()
+    }
+
+    /// Number of runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+}
+
+/// A per-pixel instance label map: 0 is background, values ≥ 1 identify
+/// instances. This is the ground-truth format the scene renderer produces
+/// and the metric code consumes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelMap {
+    width: u32,
+    height: u32,
+    labels: Vec<u16>,
+}
+
+impl LabelMap {
+    /// Creates an all-background map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "label map must be non-empty");
+        Self { width, height, labels: vec![0; (width * height) as usize] }
+    }
+
+    /// Map width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Map height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Label at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> u16 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.labels[(y * self.width + x) as usize]
+    }
+
+    /// Label with outside pixels reported as background.
+    #[inline]
+    pub fn get_or_background(&self, x: i64, y: i64) -> u16 {
+        if x < 0 || y < 0 || x >= self.width as i64 || y >= self.height as i64 {
+            0
+        } else {
+            self.labels[(y as u32 * self.width + x as u32) as usize]
+        }
+    }
+
+    /// Sets the label at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, label: u16) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.labels[(y * self.width + x) as usize] = label;
+    }
+
+    /// The sorted list of distinct non-background labels present.
+    pub fn instance_ids(&self) -> Vec<u16> {
+        let mut ids: Vec<u16> = self.labels.iter().copied().filter(|&l| l != 0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Extracts the binary mask of one instance.
+    pub fn instance_mask(&self, label: u16) -> Mask {
+        let mut m = Mask::new(self.width, self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if self.get(x, y) == label {
+                    m.set(x, y, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Fraction of pixels that are non-background.
+    pub fn foreground_fraction(&self) -> f64 {
+        let fg = self.labels.iter().filter(|&&l| l != 0).count();
+        fg as f64 / self.labels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_bbox() {
+        let mut m = Mask::new(8, 8);
+        m.fill_rect(1, 2, 3, 4);
+        assert_eq!(m.area(), 12);
+        assert_eq!(m.bounding_box(), Some((1, 2, 4, 6)));
+    }
+
+    #[test]
+    fn empty_mask_properties() {
+        let m = Mask::new(4, 4);
+        assert!(m.is_empty());
+        assert_eq!(m.bounding_box(), None);
+        assert_eq!(m.centroid(), None);
+    }
+
+    #[test]
+    fn iou_identical_is_one() {
+        let mut m = Mask::new(6, 6);
+        m.fill_rect(0, 0, 3, 3);
+        assert_eq!(iou(&m, &m), 1.0);
+    }
+
+    #[test]
+    fn iou_disjoint_is_zero() {
+        let mut a = Mask::new(6, 6);
+        a.fill_rect(0, 0, 2, 2);
+        let mut b = Mask::new(6, 6);
+        b.fill_rect(4, 4, 2, 2);
+        assert_eq!(iou(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        let mut a = Mask::new(10, 10);
+        a.fill_rect(0, 0, 4, 1); // 4 px
+        let mut b = Mask::new(10, 10);
+        b.fill_rect(2, 0, 4, 1); // 4 px, overlap 2 -> union 6
+        assert!((iou(&a, &b) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_both_empty_is_one() {
+        let a = Mask::new(3, 3);
+        let b = Mask::new(3, 3);
+        assert_eq!(iou(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn rle_roundtrip() {
+        let mut m = Mask::new(16, 9);
+        m.fill_rect(3, 1, 7, 5);
+        m.set(15, 8, true);
+        let rle = m.to_rle();
+        assert_eq!(rle.to_mask(), m);
+        assert!(rle.encoded_bytes() < 16 * 9); // compresses vs raw bitmap
+    }
+
+    #[test]
+    fn rle_empty_and_full() {
+        let empty = Mask::new(5, 5);
+        assert_eq!(empty.to_rle().to_mask(), empty);
+        let mut full = Mask::new(5, 5);
+        full.fill_rect(0, 0, 5, 5);
+        assert_eq!(full.to_rle().to_mask(), full);
+        assert_eq!(full.to_rle().run_count(), 2); // leading zero-run + one run
+    }
+
+    #[test]
+    fn dilate_then_erode_contains_original() {
+        let mut m = Mask::new(20, 20);
+        m.fill_rect(8, 8, 4, 4);
+        let closed = m.dilate(2).erode(2);
+        for (x, y) in m.iter_set() {
+            assert!(closed.get(x, y), "closing lost pixel ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn erode_shrinks() {
+        let mut m = Mask::new(10, 10);
+        m.fill_rect(2, 2, 6, 6);
+        let e = m.erode(1);
+        assert_eq!(e.area(), 16); // 4x4 core
+        assert!(e.get(4, 4));
+        assert!(!e.get(2, 2));
+    }
+
+    #[test]
+    fn centroid_of_rect() {
+        let mut m = Mask::new(10, 10);
+        m.fill_rect(2, 4, 3, 2); // x: 2,3,4 y: 4,5
+        let (cx, cy) = m.centroid().unwrap();
+        assert!((cx - 3.0).abs() < 1e-12);
+        assert!((cy - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_map_instances() {
+        let mut lm = LabelMap::new(6, 6);
+        lm.set(1, 1, 3);
+        lm.set(2, 1, 3);
+        lm.set(4, 4, 7);
+        assert_eq!(lm.instance_ids(), vec![3, 7]);
+        assert_eq!(lm.instance_mask(3).area(), 2);
+        assert_eq!(lm.instance_mask(7).area(), 1);
+        assert!((lm.foreground_fraction() - 3.0 / 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_map_out_of_bounds_is_background() {
+        let lm = LabelMap::new(4, 4);
+        assert_eq!(lm.get_or_background(-1, 0), 0);
+        assert_eq!(lm.get_or_background(10, 10), 0);
+    }
+
+    #[test]
+    fn mask_size_mismatch_panics() {
+        let a = Mask::new(3, 3);
+        let b = Mask::new(4, 4);
+        let r = std::panic::catch_unwind(|| a.intersection_area(&b));
+        assert!(r.is_err());
+    }
+}

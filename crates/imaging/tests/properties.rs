@@ -1,0 +1,125 @@
+//! Property-based tests of mask / contour / RLE invariants.
+
+use edgeis_imaging::{extract_contours, fill_polygon, iou, GrayImage, IntegralImage, Mask};
+use proptest::prelude::*;
+
+/// Strategy: a mask with up to 4 random rectangles.
+fn mask_strategy() -> impl Strategy<Value = Mask> {
+    let rect = (0u32..56, 0u32..40, 1u32..24, 1u32..24);
+    proptest::collection::vec(rect, 0..4).prop_map(|rects| {
+        let mut m = Mask::new(64, 48);
+        for (x, y, w, h) in rects {
+            m.fill_rect(x, y, w, h);
+        }
+        m
+    })
+}
+
+proptest! {
+    #[test]
+    fn rle_roundtrip(mask in mask_strategy()) {
+        prop_assert_eq!(mask.to_rle().to_mask(), mask);
+    }
+
+    #[test]
+    fn iou_bounds_and_symmetry(a in mask_strategy(), b in mask_strategy()) {
+        let v = iou(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert!((v - iou(&b, &a)).abs() < 1e-12);
+        prop_assert_eq!(iou(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn intersection_leq_union(a in mask_strategy(), b in mask_strategy()) {
+        prop_assert!(a.intersection_area(&b) <= a.union_area(&b));
+        prop_assert!(a.intersection_area(&b) <= a.area());
+        prop_assert!(a.union_area(&b) >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn dilate_grows_erode_shrinks(mask in mask_strategy()) {
+        let d = mask.dilate(1);
+        let e = mask.erode(1);
+        prop_assert!(d.area() >= mask.area());
+        prop_assert!(e.area() <= mask.area());
+        // Every original pixel survives dilation.
+        for (x, y) in mask.iter_set() {
+            prop_assert!(d.get(x, y));
+        }
+        // Every eroded pixel was in the original.
+        for (x, y) in e.iter_set() {
+            prop_assert!(mask.get(x, y));
+        }
+    }
+
+    #[test]
+    fn contours_lie_on_mask(mask in mask_strategy()) {
+        for contour in extract_contours(&mask) {
+            for &(x, y) in &contour.points {
+                prop_assert!(mask.get(x, y), "contour pixel ({x},{y}) outside mask");
+            }
+        }
+    }
+
+    #[test]
+    fn contour_refill_covers_core(x in 4u32..30, y in 4u32..20, w in 6u32..24, h in 6u32..20) {
+        // For a single solid rectangle, contour -> fill recovers it well.
+        let mut m = Mask::new(64, 48);
+        m.fill_rect(x, y, w, h);
+        let contours = extract_contours(&m);
+        prop_assert_eq!(contours.len(), 1);
+        let poly: Vec<(f64, f64)> = contours[0]
+            .points
+            .iter()
+            .map(|&(px, py)| (px as f64, py as f64))
+            .collect();
+        let refilled = fill_polygon(64, 48, &poly);
+        prop_assert!(iou(&m, &refilled) > 0.8, "IoU {}", iou(&m, &refilled));
+    }
+
+    #[test]
+    fn integral_image_matches_naive(
+        seed in 0u64..1000, x in 0u32..32, y in 0u32..24, w in 1u32..32, h in 1u32..24,
+    ) {
+        let mut img = GrayImage::new(32, 24);
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        for yy in 0..24 {
+            for xx in 0..32 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                img.set(xx, yy, (state & 0xff) as u8);
+            }
+        }
+        let ii = IntegralImage::new(&img);
+        let mut naive = 0u64;
+        for yy in y..(y + h).min(24) {
+            for xx in x..(x + w).min(32) {
+                naive += img.get(xx, yy) as u64;
+            }
+        }
+        prop_assert_eq!(ii.rect_sum(x, y, w, h), naive);
+    }
+
+    #[test]
+    fn bounding_box_contains_all_pixels(mask in mask_strategy()) {
+        if let Some((x0, y0, x1, y1)) = mask.bounding_box() {
+            for (x, y) in mask.iter_set() {
+                prop_assert!(x >= x0 && x < x1 && y >= y0 && y < y1);
+            }
+            // The box is tight: its edges touch set pixels.
+            prop_assert!(mask.iter_set().any(|(x, _)| x == x0));
+            prop_assert!(mask.iter_set().any(|(x, _)| x == x1 - 1));
+        } else {
+            prop_assert!(mask.is_empty());
+        }
+    }
+
+    #[test]
+    fn centroid_inside_bbox(mask in mask_strategy()) {
+        if let (Some((cx, cy)), Some((x0, y0, x1, y1))) = (mask.centroid(), mask.bounding_box()) {
+            prop_assert!(cx >= x0 as f64 - 0.5 && cx <= x1 as f64);
+            prop_assert!(cy >= y0 as f64 - 0.5 && cy <= y1 as f64);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Network link models over a virtual clock.
+//!
+//! The paper evaluates under WiFi 2.4 GHz, WiFi 5 GHz and LTE (§VI-C2,
+//! §VI-G). Transmission latency — the quantity the evaluation varies — is
+//! modeled as queueing + serialization + propagation with deterministic
+//! seeded jitter and loss-induced retransmission, over a virtual clock so
+//! every experiment is reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Virtual time in milliseconds.
+pub type SimMs = f64;
+
+/// The network types of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// 2.4 GHz WiFi: moderate bandwidth, more contention jitter.
+    Wifi24,
+    /// 5 GHz WiFi: high bandwidth, low jitter.
+    Wifi5,
+    /// LTE: lower uplink bandwidth, higher RTT (the oil-field deployment).
+    Lte,
+    /// A custom link.
+    Custom,
+}
+
+/// Link parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkProfile {
+    /// Which preset this is.
+    pub kind: LinkKind,
+    /// Uplink bandwidth in Mbit/s.
+    pub uplink_mbps: f64,
+    /// Downlink bandwidth in Mbit/s.
+    pub downlink_mbps: f64,
+    /// One-way base latency, ms.
+    pub base_latency_ms: f64,
+    /// Uniform jitter half-width, ms.
+    pub jitter_ms: f64,
+    /// Packet/burst loss probability per transfer (triggers one
+    /// retransmission of the affected tail).
+    pub loss: f64,
+}
+
+impl LinkProfile {
+    /// Preset for a link kind (calibrated to typical effective-throughput
+    /// figures for a busy single client: WiFi-5 ≈ 120 Mbps, WiFi-2.4 ≈ 35
+    /// Mbps, LTE uplink ≈ 12 Mbps).
+    pub fn of(kind: LinkKind) -> Self {
+        match kind {
+            LinkKind::Wifi24 => Self {
+                kind,
+                uplink_mbps: 35.0,
+                downlink_mbps: 35.0,
+                base_latency_ms: 4.0,
+                jitter_ms: 4.0,
+                loss: 0.015,
+            },
+            LinkKind::Wifi5 => Self {
+                kind,
+                uplink_mbps: 120.0,
+                downlink_mbps: 120.0,
+                base_latency_ms: 2.0,
+                jitter_ms: 1.5,
+                loss: 0.004,
+            },
+            LinkKind::Lte => Self {
+                kind,
+                uplink_mbps: 12.0,
+                downlink_mbps: 40.0,
+                base_latency_ms: 28.0,
+                jitter_ms: 10.0,
+                loss: 0.02,
+            },
+            LinkKind::Custom => Self {
+                kind,
+                uplink_mbps: 50.0,
+                downlink_mbps: 50.0,
+                base_latency_ms: 5.0,
+                jitter_ms: 2.0,
+                loss: 0.0,
+            },
+        }
+    }
+}
+
+/// Transfer direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Mobile → edge (frames).
+    Uplink,
+    /// Edge → mobile (masks / contours).
+    Downlink,
+}
+
+/// A bidirectional link with per-direction FIFO queues.
+///
+/// `transmit` returns the virtual arrival time of the payload, accounting
+/// for the queue (a transfer cannot start before the previous one on the
+/// same direction finished), serialization at the link bandwidth, base
+/// propagation latency, jitter and loss-induced retransmission.
+#[derive(Debug, Clone)]
+pub struct Link {
+    profile: LinkProfile,
+    rng: StdRng,
+    up_busy_until: SimMs,
+    down_busy_until: SimMs,
+}
+
+impl Link {
+    /// Creates a link from a profile with a deterministic jitter seed.
+    pub fn new(profile: LinkProfile, seed: u64) -> Self {
+        Self {
+            profile,
+            rng: StdRng::seed_from_u64(seed),
+            up_busy_until: 0.0,
+            down_busy_until: 0.0,
+        }
+    }
+
+    /// Preset constructor.
+    pub fn of_kind(kind: LinkKind, seed: u64) -> Self {
+        Self::new(LinkProfile::of(kind), seed)
+    }
+
+    /// The link profile.
+    pub fn profile(&self) -> &LinkProfile {
+        &self.profile
+    }
+
+    /// Sends `bytes` at virtual time `now`; returns the arrival time.
+    pub fn transmit(&mut self, bytes: usize, now: SimMs, dir: Direction) -> SimMs {
+        let (mbps, busy) = match dir {
+            Direction::Uplink => (self.profile.uplink_mbps, &mut self.up_busy_until),
+            Direction::Downlink => (self.profile.downlink_mbps, &mut self.down_busy_until),
+        };
+        let start = now.max(*busy);
+        let serialize_ms = (bytes as f64 * 8.0) / (mbps * 1000.0);
+        let mut finish = start + serialize_ms;
+        // Loss: retransmit a random tail fraction once.
+        if self.profile.loss > 0.0 && self.rng.random_bool(self.profile.loss.clamp(0.0, 1.0)) {
+            let tail: f64 = self.rng.random_range(0.1..0.6);
+            finish += serialize_ms * tail + self.profile.base_latency_ms;
+        }
+        *busy = finish;
+        let jitter = if self.profile.jitter_ms > 0.0 {
+            self.rng.random_range(0.0..self.profile.jitter_ms)
+        } else {
+            0.0
+        };
+        finish + self.profile.base_latency_ms + jitter
+    }
+
+    /// Expected (jitter-free, loss-free) one-way latency for a payload.
+    pub fn nominal_latency_ms(&self, bytes: usize, dir: Direction) -> SimMs {
+        let mbps = match dir {
+            Direction::Uplink => self.profile.uplink_mbps,
+            Direction::Downlink => self.profile.downlink_mbps,
+        };
+        (bytes as f64 * 8.0) / (mbps * 1000.0) + self.profile.base_latency_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_time_scales_with_bytes() {
+        let mut link = Link::new(
+            LinkProfile { jitter_ms: 0.0, loss: 0.0, ..LinkProfile::of(LinkKind::Wifi5) },
+            1,
+        );
+        let t1 = link.transmit(120_000, 0.0, Direction::Uplink);
+        // 120 kB at 120 Mbps = 8 ms + 2 ms base.
+        assert!((t1 - 10.0).abs() < 1e-9, "t1 = {t1}");
+    }
+
+    #[test]
+    fn queueing_serializes_back_to_back_transfers() {
+        let mut link = Link::new(
+            LinkProfile { jitter_ms: 0.0, loss: 0.0, ..LinkProfile::of(LinkKind::Wifi5) },
+            1,
+        );
+        let a = link.transmit(120_000, 0.0, Direction::Uplink);
+        let b = link.transmit(120_000, 0.0, Direction::Uplink);
+        assert!((b - a - 8.0).abs() < 1e-9, "second transfer must queue");
+    }
+
+    #[test]
+    fn directions_do_not_block_each_other() {
+        let mut link = Link::new(
+            LinkProfile { jitter_ms: 0.0, loss: 0.0, ..LinkProfile::of(LinkKind::Wifi5) },
+            1,
+        );
+        let up = link.transmit(1_200_000, 0.0, Direction::Uplink);
+        let down = link.transmit(1_000, 0.0, Direction::Downlink);
+        assert!(down < up, "downlink should not queue behind uplink");
+    }
+
+    #[test]
+    fn wifi24_slower_than_wifi5() {
+        let mut w24 = Link::of_kind(LinkKind::Wifi24, 3);
+        let mut w5 = Link::of_kind(LinkKind::Wifi5, 3);
+        let payload = 200_000;
+        let mut sum24 = 0.0;
+        let mut sum5 = 0.0;
+        for i in 0..20 {
+            let t0 = i as f64 * 1000.0;
+            sum24 += w24.transmit(payload, t0, Direction::Uplink) - t0;
+            sum5 += w5.transmit(payload, t0, Direction::Uplink) - t0;
+        }
+        assert!(sum24 > sum5 * 2.0, "wifi2.4 {sum24} vs wifi5 {sum5}");
+    }
+
+    #[test]
+    fn lte_has_highest_rtt() {
+        let lte = LinkProfile::of(LinkKind::Lte);
+        assert!(lte.base_latency_ms > LinkProfile::of(LinkKind::Wifi24).base_latency_ms);
+        assert!(lte.uplink_mbps < lte.downlink_mbps);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut link = Link::of_kind(LinkKind::Wifi24, 42);
+            (0..50)
+                .map(|i| link.transmit(50_000, i as f64 * 33.0, Direction::Uplink))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn nominal_latency_matches_zero_jitter_transmit() {
+        let profile =
+            LinkProfile { jitter_ms: 0.0, loss: 0.0, ..LinkProfile::of(LinkKind::Lte) };
+        let mut link = Link::new(profile, 9);
+        let nominal = link.nominal_latency_ms(60_000, Direction::Uplink);
+        let actual = link.transmit(60_000, 0.0, Direction::Uplink);
+        assert!((nominal - actual).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,46 @@
+//! Property-based tests of link-model invariants.
+
+use edgeis_netsim::{Direction, Link, LinkKind, LinkProfile};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn arrival_never_before_send(bytes in 1usize..2_000_000, now in 0.0..100_000.0f64, seed in 0u64..500) {
+        let mut link = Link::of_kind(LinkKind::Wifi24, seed);
+        let arrival = link.transmit(bytes, now, Direction::Uplink);
+        prop_assert!(arrival > now);
+    }
+
+    #[test]
+    fn arrivals_monotone_per_direction(seed in 0u64..200, sizes in proptest::collection::vec(1usize..500_000, 2..12)) {
+        let mut link = Link::of_kind(LinkKind::Lte, seed);
+        let mut last = 0.0;
+        for (i, &b) in sizes.iter().enumerate() {
+            let t = i as f64 * 5.0;
+            let a = link.transmit(b, t, Direction::Uplink);
+            // FIFO queueing: a later submission cannot finish serializing
+            // before an earlier one (jitter may reorder final delivery by
+            // at most the jitter width).
+            prop_assert!(a + 10.0 >= last, "arrival {a} way before previous {last}");
+            last = last.max(a);
+        }
+    }
+
+    #[test]
+    fn bigger_payloads_take_longer_nominal(b1 in 1usize..100_000, extra in 1usize..100_000) {
+        let profile = LinkProfile { jitter_ms: 0.0, loss: 0.0, ..LinkProfile::of(LinkKind::Wifi5) };
+        let link = Link::new(profile, 1);
+        let t1 = link.nominal_latency_ms(b1, Direction::Uplink);
+        let t2 = link.nominal_latency_ms(b1 + extra, Direction::Uplink);
+        prop_assert!(t2 > t1);
+    }
+
+    #[test]
+    fn determinism(seed in 0u64..500) {
+        let run = || {
+            let mut l = Link::of_kind(LinkKind::Wifi24, seed);
+            (0..20).map(|i| l.transmit(10_000, i as f64 * 33.0, Direction::Uplink)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

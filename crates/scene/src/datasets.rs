@@ -1,0 +1,490 @@
+//! Dataset presets mirroring the paper's four evaluation datasets and the
+//! scene-complexity levels of Fig. 13.
+//!
+//! Each preset is a [`World`]: a [`Scene`] plus a camera [`Trajectory`].
+//! The presets are parameterized by a seed so experiments can average over
+//! many distinct worlds, like the paper averages over video clips.
+
+use crate::object::{MotionModel, ObjectClass, SceneObject, Shape};
+use crate::render::Scene;
+use crate::trajectory::{MotionSpeed, Trajectory};
+use edgeis_geometry::{SO3, Vec3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A complete experimental world: scene content plus camera motion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct World {
+    /// The renderable scene.
+    pub scene: Scene,
+    /// The camera trajectory.
+    pub trajectory: Trajectory,
+    /// Human-readable description for experiment logs.
+    pub name: String,
+}
+
+/// The dataset families used in the paper's evaluation (§VI-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetPreset {
+    /// DAVIS-like: one or two large dynamic foreground objects, moving
+    /// camera.
+    DavisLike,
+    /// KITTI-like: street scene, several cars at varying depth, forward
+    /// camera motion.
+    KittiLike,
+    /// Xiph-like: mostly static indoor content, panning camera.
+    XiphLike,
+    /// The self-labeled AR dataset: indoor/outdoor inspection scenarios.
+    ArHandheld,
+    /// Oil-field equipment cluster for the case study (Fig. 17).
+    OilField,
+}
+
+impl DatasetPreset {
+    /// All presets, for sweep experiments.
+    pub const ALL: [DatasetPreset; 5] = [
+        DatasetPreset::DavisLike,
+        DatasetPreset::KittiLike,
+        DatasetPreset::XiphLike,
+        DatasetPreset::ArHandheld,
+        DatasetPreset::OilField,
+    ];
+
+    /// Instantiates the preset with a seed.
+    pub fn build(self, seed: u64) -> World {
+        match self {
+            DatasetPreset::DavisLike => davis_like(seed),
+            DatasetPreset::KittiLike => kitti_like(seed),
+            DatasetPreset::XiphLike => xiph_like(seed),
+            DatasetPreset::ArHandheld => ar_handheld(seed),
+            DatasetPreset::OilField => oil_field(seed),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetPreset::DavisLike => "davis-like",
+            DatasetPreset::KittiLike => "kitti-like",
+            DatasetPreset::XiphLike => "xiph-like",
+            DatasetPreset::ArHandheld => "ar-handheld",
+            DatasetPreset::OilField => "oil-field",
+        }
+    }
+}
+
+fn rng_for(seed: u64, salt: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15) ^ salt)
+}
+
+/// A large textured back wall. Real indoor/outdoor scenes are never a bare
+/// ground plane; walls add off-plane structure, which keeps two-view
+/// initialization away from the single-plane degeneracy of the fundamental
+/// matrix.
+fn back_wall(id: u16, z: f64, half_width: f64) -> SceneObject {
+    SceneObject::new(
+        id,
+        ObjectClass::Generic,
+        Shape::Cuboid { half_extents: Vec3::new(half_width, 2.5, 0.2) },
+        Vec3::new(0.0, -0.5, z),
+    )
+    .as_background()
+}
+
+/// A textured side pillar at a given x/z, for extra depth variety.
+fn pillar(id: u16, x: f64, z: f64) -> SceneObject {
+    SceneObject::new(
+        id,
+        ObjectClass::Generic,
+        Shape::Cuboid { half_extents: Vec3::new(0.25, 1.8, 0.25) },
+        Vec3::new(x, -0.1, z),
+    )
+    .as_background()
+}
+
+/// A simple static indoor scene with three furniture objects — the "easy"
+/// complexity level and the quickstart example world.
+pub fn indoor_simple(seed: u64) -> World {
+    let mut rng = rng_for(seed, 1);
+    let mut objects = Vec::new();
+    for i in 0..3u16 {
+        let x = -1.5 + i as f64 * 1.5 + rng.random_range(-0.2..0.2);
+        let z = 4.0 + rng.random_range(-0.5..1.5);
+        let size = rng.random_range(0.3..0.5);
+        objects.push(SceneObject::new(
+            i + 1,
+            ObjectClass::Furniture,
+            Shape::Cuboid { half_extents: Vec3::new(size, size * 1.2, size) },
+            Vec3::new(x, 1.6 - size * 1.2, z),
+        ));
+    }
+    objects.push(back_wall(100, 9.0, 8.0));
+    objects.push(pillar(101, -3.0, 6.0));
+    objects.push(pillar(102, 3.2, 7.0));
+    World {
+        scene: Scene::new(objects),
+        trajectory: Trajectory::lateral(MotionSpeed::Walk),
+        name: format!("indoor-simple-{seed}"),
+    }
+}
+
+/// DAVIS-like: 1–2 large dynamic objects close to the camera.
+pub fn davis_like(seed: u64) -> World {
+    let mut rng = rng_for(seed, 2);
+    let mut objects = vec![SceneObject::new(
+        1,
+        ObjectClass::Person,
+        Shape::Cylinder { radius: 0.35, half_height: 0.85 },
+        Vec3::new(rng.random_range(-0.5..0.5), 0.7, 3.5),
+    )
+    .with_motion(MotionModel::Linear {
+        velocity: Vec3::new(rng.random_range(0.15..0.35), 0.0, 0.0),
+    })];
+    if rng.random_bool(0.5) {
+        objects.push(
+            SceneObject::new(
+                2,
+                ObjectClass::Car,
+                Shape::Cuboid { half_extents: Vec3::new(0.9, 0.5, 0.45) },
+                Vec3::new(rng.random_range(1.0..2.0), 1.1, 6.0),
+            )
+            .with_motion(MotionModel::Linear {
+                velocity: Vec3::new(-rng.random_range(0.2..0.5), 0.0, 0.0),
+            }),
+        );
+    }
+    objects.push(back_wall(100, 10.0, 9.0));
+    objects.push(pillar(101, -2.5, 5.5));
+    World {
+        scene: Scene::new(objects),
+        trajectory: Trajectory::lateral(MotionSpeed::Walk),
+        name: format!("davis-like-{seed}"),
+    }
+}
+
+/// KITTI-like: forward motion down a street of cars.
+pub fn kitti_like(seed: u64) -> World {
+    let mut rng = rng_for(seed, 3);
+    let mut objects = Vec::new();
+    let n_cars = rng.random_range(3..6);
+    for i in 0..n_cars {
+        let side = if i % 2 == 0 { -2.5 } else { 2.5 };
+        let z = 4.0 + i as f64 * 4.0 + rng.random_range(-1.0..1.0);
+        let moving = rng.random_bool(0.4);
+        let mut car = SceneObject::new(
+            (i + 1) as u16,
+            ObjectClass::Car,
+            Shape::Cuboid { half_extents: Vec3::new(0.85, 0.55, 1.9) },
+            Vec3::new(side + rng.random_range(-0.3..0.3), 1.05, z),
+        );
+        if moving {
+            car = car.with_motion(MotionModel::Linear {
+                velocity: Vec3::new(0.0, 0.0, -rng.random_range(0.5..1.5)),
+            });
+        }
+        objects.push(car);
+    }
+    // Street facades on both sides (background structure).
+    for (k, side) in [(-1.0f64, 0u16), (1.0, 1)] {
+        objects.push(
+            SceneObject::new(
+                100 + side,
+                ObjectClass::Generic,
+                Shape::Cuboid { half_extents: Vec3::new(0.3, 2.5, 25.0) },
+                Vec3::new(k * 5.5, -0.5, 20.0),
+            )
+            .as_background(),
+        );
+    }
+    World {
+        scene: Scene::new(objects),
+        // Forward motion with a slight oblique component: a camera moving
+        // exactly along its optical axis has zero parallax at the epipole,
+        // which starves monocular initialization; street footage is rarely
+        // perfectly axial.
+        trajectory: Trajectory::Dolly {
+            start: Vec3::ZERO,
+            direction: Vec3::new(0.30, 0.0, 0.954),
+            speed: MotionSpeed::Stride,
+            view_yaw: 0.0,
+        },
+        name: format!("kitti-like-{seed}"),
+    }
+}
+
+/// Xiph-like: static mid-distance content, slow lateral pan.
+pub fn xiph_like(seed: u64) -> World {
+    let mut rng = rng_for(seed, 4);
+    let mut objects = Vec::new();
+    let n = rng.random_range(2..5);
+    for i in 0..n {
+        let x = -2.0 + i as f64 * 1.4 + rng.random_range(-0.3..0.3);
+        objects.push(SceneObject::new(
+            (i + 1) as u16,
+            ObjectClass::Generic,
+            Shape::Cuboid {
+                half_extents: Vec3::new(
+                    rng.random_range(0.3..0.6),
+                    rng.random_range(0.4..0.8),
+                    rng.random_range(0.3..0.6),
+                ),
+            },
+            Vec3::new(x, 0.8, 5.0 + rng.random_range(-0.8..0.8)),
+        ));
+    }
+    objects.push(back_wall(100, 8.5, 7.0));
+    objects.push(pillar(101, -3.5, 5.0));
+    objects.push(pillar(102, 3.5, 6.5));
+    World {
+        scene: Scene::new(objects),
+        trajectory: Trajectory::lateral(MotionSpeed::Walk),
+        name: format!("xiph-like-{seed}"),
+    }
+}
+
+/// AR-handheld: a tabletop arrangement viewed while orbiting — matches the
+/// paper's self-recorded indoor/outdoor AR clips.
+pub fn ar_handheld(seed: u64) -> World {
+    let mut rng = rng_for(seed, 5);
+    let mut objects = Vec::new();
+    let n = rng.random_range(3..6);
+    for i in 0..n {
+        let ang = i as f64 / n as f64 * std::f64::consts::TAU;
+        let r = rng.random_range(0.6..1.4);
+        objects.push(SceneObject::new(
+            (i + 1) as u16,
+            ObjectClass::Furniture,
+            Shape::Cuboid {
+                half_extents: Vec3::new(
+                    rng.random_range(0.2..0.4),
+                    rng.random_range(0.2..0.5),
+                    rng.random_range(0.2..0.4),
+                ),
+            },
+            Vec3::new(ang.cos() * r, 1.0, 5.0 + ang.sin() * r),
+        ));
+    }
+    for (i, ang) in [0.0f64, 1.57, 3.14, 4.71].iter().enumerate() {
+        objects.push(pillar(100 + i as u16, ang.cos() * 6.0, 5.0 + ang.sin() * 6.0));
+    }
+    World {
+        scene: Scene::new(objects),
+        trajectory: Trajectory::Orbit {
+            center: Vec3::new(0.0, 0.6, 5.0),
+            radius: 3.2,
+            rate: 0.25,
+            speed: MotionSpeed::Walk,
+        },
+        name: format!("ar-handheld-{seed}"),
+    }
+}
+
+/// Oil-field: separators (large cylinders), pumps and tube runs, orbited by
+/// an inspector — the Fig. 1 / Fig. 17 scenario.
+pub fn oil_field(seed: u64) -> World {
+    let mut rng = rng_for(seed, 6);
+    let mut objects = vec![
+        SceneObject::new(
+            1,
+            ObjectClass::OilSeparator,
+            Shape::Cylinder { radius: 0.8, half_height: 1.2 },
+            Vec3::new(-1.5, 0.4, 6.0),
+        ),
+        SceneObject::new(
+            2,
+            ObjectClass::Pump,
+            Shape::Cuboid { half_extents: Vec3::new(0.5, 0.5, 0.7) },
+            Vec3::new(1.2, 1.1, 5.5),
+        ),
+        SceneObject::new(
+            3,
+            ObjectClass::Tube,
+            Shape::Cylinder { radius: 0.12, half_height: 1.8 },
+            Vec3::new(0.0, 0.6, 7.0),
+        )
+        .with_rotation(SO3::from_axis_angle(Vec3::Z, std::f64::consts::FRAC_PI_2)),
+    ];
+    if rng.random_bool(0.6) {
+        objects.push(
+            SceneObject::new(
+                4,
+                ObjectClass::Person,
+                Shape::Cylinder { radius: 0.3, half_height: 0.85 },
+                Vec3::new(rng.random_range(-2.5..-1.8), 0.7, 4.0),
+            )
+            .with_motion(MotionModel::Oscillate {
+                amplitude: Vec3::new(0.8, 0.0, 0.3),
+                omega: 0.4,
+            }),
+        );
+    }
+    for (i, ang) in [0.6f64, 2.2, 3.9, 5.4].iter().enumerate() {
+        objects.push(pillar(100 + i as u16, ang.cos() * 7.0, 6.0 + ang.sin() * 7.0));
+    }
+    World {
+        scene: Scene::new(objects),
+        trajectory: Trajectory::Orbit {
+            center: Vec3::new(0.0, 0.6, 6.0),
+            radius: 4.0,
+            rate: 0.18,
+            speed: MotionSpeed::Walk,
+        },
+        name: format!("oil-field-{seed}"),
+    }
+}
+
+/// Scene-complexity levels from Fig. 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Complexity {
+    /// ≤ 3 static objects.
+    Easy,
+    /// Up to ~10 static objects.
+    Medium,
+    /// Objects move during the run.
+    Hard,
+}
+
+/// Builds a world at a Fig. 13 complexity level.
+pub fn complexity_world(level: Complexity, seed: u64) -> World {
+    let mut rng = rng_for(seed, 7);
+    let (n, dynamic) = match level {
+        Complexity::Easy => (rng.random_range(2..=3usize), false),
+        Complexity::Medium => (rng.random_range(7..=10usize), false),
+        Complexity::Hard => (rng.random_range(5..=8usize), true),
+    };
+    let mut objects = Vec::new();
+    for i in 0..n {
+        // Ring placement so objects do not all overlap.
+        let ang = i as f64 / n as f64 * std::f64::consts::TAU + rng.random_range(-0.1..0.1);
+        let r = rng.random_range(1.2..2.8);
+        let mut obj = SceneObject::new(
+            (i + 1) as u16,
+            if i % 3 == 0 { ObjectClass::Person } else { ObjectClass::Furniture },
+            if i % 2 == 0 {
+                Shape::Cuboid {
+                    half_extents: Vec3::new(
+                        rng.random_range(0.25..0.45),
+                        rng.random_range(0.3..0.6),
+                        rng.random_range(0.25..0.45),
+                    ),
+                }
+            } else {
+                Shape::Cylinder {
+                    radius: rng.random_range(0.2..0.35),
+                    half_height: rng.random_range(0.4..0.8),
+                }
+            },
+            Vec3::new(ang.cos() * r, 0.9, 6.0 + ang.sin() * r),
+        );
+        if dynamic && i % 2 == 0 {
+            obj = obj.with_motion(MotionModel::Oscillate {
+                amplitude: Vec3::new(
+                    rng.random_range(0.3..0.7),
+                    0.0,
+                    rng.random_range(0.1..0.3),
+                ),
+                omega: rng.random_range(0.3..0.7),
+            });
+        }
+        objects.push(obj);
+    }
+    for (i, ang) in [0.3f64, 1.9, 3.5, 5.1].iter().enumerate() {
+        objects.push(pillar(100 + i as u16, ang.cos() * 6.5, 6.0 + ang.sin() * 6.5));
+    }
+    World {
+        scene: Scene::new(objects),
+        trajectory: Trajectory::Orbit {
+            center: Vec3::new(0.0, 0.6, 6.0),
+            radius: 3.5,
+            rate: 0.2,
+            speed: MotionSpeed::Walk,
+        },
+        name: format!("complexity-{level:?}-{seed}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgeis_geometry::Camera;
+
+    #[test]
+    fn all_presets_build_and_render() {
+        let cam = Camera::with_hfov(1.2, 80, 60);
+        for preset in DatasetPreset::ALL {
+            let world = preset.build(3);
+            let pose = world.trajectory.pose_at(0.0);
+            let frame = world.scene.render(&cam, &pose);
+            assert!(
+                !frame.labels.instance_ids().is_empty(),
+                "{}: no objects visible at t=0",
+                world.name
+            );
+        }
+    }
+
+    #[test]
+    fn presets_deterministic() {
+        for preset in DatasetPreset::ALL {
+            let a = preset.build(5);
+            let b = preset.build(5);
+            assert_eq!(a.scene, b.scene, "{} not deterministic", a.name);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = kitti_like(1);
+        let b = kitti_like(2);
+        assert_ne!(a.scene, b.scene);
+    }
+
+    #[test]
+    fn davis_has_dynamic_object() {
+        let w = davis_like(1);
+        assert!(w.scene.objects().iter().any(|o| o.is_dynamic()));
+    }
+
+    #[test]
+    fn complexity_levels_scale_object_count() {
+        let count = |w: &World| {
+            w.scene
+                .objects()
+                .iter()
+                .filter(|o| !o.is_background)
+                .count()
+        };
+        let easy = complexity_world(Complexity::Easy, 9);
+        let medium = complexity_world(Complexity::Medium, 9);
+        let hard = complexity_world(Complexity::Hard, 9);
+        assert!(count(&easy) <= 3);
+        assert!(count(&medium) >= 7);
+        assert!(hard.scene.objects().iter().any(|o| o.is_dynamic()));
+        assert!(!easy.scene.objects().iter().any(|o| o.is_dynamic()));
+    }
+
+    #[test]
+    fn oil_field_has_equipment_classes() {
+        let w = oil_field(2);
+        let classes: Vec<ObjectClass> = w.scene.objects().iter().map(|o| o.class).collect();
+        assert!(classes.contains(&ObjectClass::OilSeparator));
+        assert!(classes.contains(&ObjectClass::Tube));
+        assert!(classes.contains(&ObjectClass::Pump));
+    }
+
+    #[test]
+    fn indoor_simple_static_scene() {
+        let w = indoor_simple(1);
+        let instances = w
+            .scene
+            .objects()
+            .iter()
+            .filter(|o| !o.is_background)
+            .count();
+        assert_eq!(instances, 3);
+        assert!(w.scene.objects().iter().all(|o| !o.is_dynamic()));
+        // Background structure exists for VO stability.
+        assert!(w.scene.objects().iter().any(|o| o.is_background));
+    }
+}

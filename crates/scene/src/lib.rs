@@ -1,0 +1,41 @@
+//! Synthetic 3-D scene simulator — the dataset substitute.
+//!
+//! The paper evaluates on DAVIS/KITTI/Xiph videos plus a self-recorded
+//! oil-field dataset, none of which ship with per-pixel ground truth usable
+//! offline. This crate replaces them with deterministic synthetic worlds:
+//!
+//! - [`SceneObject`] — textured cuboids and cylinders with optional motion,
+//! - [`Scene`] — a ray-cast renderer producing a grayscale frame *and* the
+//!   exact per-pixel instance [`LabelMap`](edgeis_imaging::LabelMap),
+//! - [`trajectory`] — camera paths at the paper's walking / striding /
+//!   jogging speeds (Fig. 12),
+//! - [`datasets`] — presets mirroring each evaluation dataset's character
+//!   (street scene, indoor objects, oil-field equipment, scene-complexity
+//!   levels of Fig. 13).
+//!
+//! World convention: the camera looks down +Z and image `v` grows downward,
+//! so world +Y also points down; the ground plane sits at `y = GROUND_Y`
+//! below the camera origin.
+//!
+//! # Example
+//!
+//! ```
+//! use edgeis_scene::datasets;
+//! use edgeis_geometry::Camera;
+//!
+//! let camera = Camera::with_hfov(1.2, 160, 120);
+//! let mut world = datasets::indoor_simple(7);
+//! let pose = world.trajectory.pose_at(0.0);
+//! let frame = world.scene.render(&camera, &pose);
+//! assert_eq!(frame.image.width(), 160);
+//! ```
+
+pub mod datasets;
+pub mod object;
+pub mod render;
+pub mod trajectory;
+
+pub use datasets::{DatasetPreset, World};
+pub use object::{MotionModel, ObjectClass, SceneObject, Shape};
+pub use render::{RenderedFrame, Scene, GROUND_Y};
+pub use trajectory::{MotionSpeed, Trajectory};

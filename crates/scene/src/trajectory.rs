@@ -1,0 +1,250 @@
+//! Camera trajectory generators.
+//!
+//! Fig. 12 of the paper evaluates robustness against camera motion by
+//! recording "the same route with people walking, striding and jogging";
+//! [`MotionSpeed`] encodes those three regimes (speed plus head bob / sway
+//! intensity), and [`Trajectory`] produces the camera pose at any time.
+
+use edgeis_geometry::{SE3, SO3, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Camera carrier speed regimes from the paper's robustness study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MotionSpeed {
+    /// Slow walking (~0.8 m/s, gentle bob).
+    Walk,
+    /// Brisk striding (~1.6 m/s).
+    Stride,
+    /// Jogging (~3.2 m/s, strong bob and sway).
+    Jog,
+}
+
+impl MotionSpeed {
+    /// Forward speed in m/s.
+    pub fn speed(self) -> f64 {
+        match self {
+            Self::Walk => 0.8,
+            Self::Stride => 1.6,
+            Self::Jog => 3.2,
+        }
+    }
+
+    /// Vertical bob amplitude in meters.
+    pub fn bob_amplitude(self) -> f64 {
+        match self {
+            Self::Walk => 0.01,
+            Self::Stride => 0.03,
+            Self::Jog => 0.08,
+        }
+    }
+
+    /// Bob frequency in Hz (steps per second).
+    pub fn bob_frequency(self) -> f64 {
+        match self {
+            Self::Walk => 1.6,
+            Self::Stride => 2.2,
+            Self::Jog => 3.0,
+        }
+    }
+
+    /// Yaw sway amplitude in radians.
+    pub fn sway_amplitude(self) -> f64 {
+        match self {
+            Self::Walk => 0.01,
+            Self::Stride => 0.03,
+            Self::Jog => 0.08,
+        }
+    }
+}
+
+/// A parametric camera trajectory producing `T_cw` poses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Trajectory {
+    /// Stationary camera at a pose.
+    Fixed {
+        /// The constant pose.
+        pose: SE3,
+    },
+    /// Straight-line motion from `start` along `direction` while looking at
+    /// a (possibly different) target direction, with gait bob/sway.
+    Dolly {
+        /// Starting camera center.
+        start: Vec3,
+        /// Unit motion direction.
+        direction: Vec3,
+        /// Gait regime.
+        speed: MotionSpeed,
+        /// Fixed yaw of the viewing direction (radians about +Y).
+        view_yaw: f64,
+    },
+    /// Orbit around a center point at fixed radius and height, always
+    /// looking at the center — the inspection pattern of the oil-field
+    /// deployment.
+    Orbit {
+        /// Orbit center (world frame).
+        center: Vec3,
+        /// Orbit radius in meters.
+        radius: f64,
+        /// Angular rate in rad/s.
+        rate: f64,
+        /// Gait regime controlling bob.
+        speed: MotionSpeed,
+    },
+}
+
+impl Trajectory {
+    /// A dolly trajectory moving along +X while looking down +Z.
+    pub fn lateral(speed: MotionSpeed) -> Self {
+        Self::Dolly {
+            start: Vec3::ZERO,
+            direction: Vec3::X,
+            speed,
+            view_yaw: 0.0,
+        }
+    }
+
+    /// A dolly trajectory moving forward along +Z.
+    pub fn forward(speed: MotionSpeed) -> Self {
+        Self::Dolly {
+            start: Vec3::ZERO,
+            direction: Vec3::Z,
+            speed,
+            view_yaw: 0.0,
+        }
+    }
+
+    /// The camera pose `T_cw` at time `t` seconds.
+    pub fn pose_at(&self, t: f64) -> SE3 {
+        match self {
+            Trajectory::Fixed { pose } => *pose,
+            Trajectory::Dolly { start, direction, speed, view_yaw } => {
+                let bob = speed.bob_amplitude()
+                    * (2.0 * std::f64::consts::PI * speed.bob_frequency() * t).sin();
+                let sway = speed.sway_amplitude()
+                    * (2.0 * std::f64::consts::PI * speed.bob_frequency() * 0.5 * t).sin();
+                let center = *start + *direction * (speed.speed() * t) + Vec3::new(0.0, bob, 0.0);
+                let r_wc = SO3::from_yaw(view_yaw + sway);
+                // T_cw = [R_cw | -R_cw * center]; R_cw = R_wc^T.
+                let r_cw = r_wc.inverse();
+                SE3::new(r_cw, -(r_cw * center))
+            }
+            Trajectory::Orbit { center, radius, rate, speed } => {
+                let ang = rate * t;
+                let bob = speed.bob_amplitude()
+                    * (2.0 * std::f64::consts::PI * speed.bob_frequency() * t).sin();
+                let cam_center = *center
+                    + Vec3::new(radius * ang.sin(), -0.0 + bob, -radius * ang.cos());
+                // Look at the orbit center.
+                look_at(cam_center, *center)
+            }
+        }
+    }
+
+    /// Samples poses at `fps` for `n` frames starting at t = 0.
+    pub fn sample(&self, fps: f64, n: usize) -> Vec<SE3> {
+        (0..n).map(|i| self.pose_at(i as f64 / fps)).collect()
+    }
+}
+
+/// Builds a `T_cw` pose for a camera at `eye` looking toward `target`
+/// (with +Y-down world convention; the camera's down axis stays aligned
+/// with world +Y as much as possible).
+pub fn look_at(eye: Vec3, target: Vec3) -> SE3 {
+    let forward = (target - eye).normalized(); // camera +Z
+    let world_down = Vec3::Y;
+    let mut right = world_down.cross(forward);
+    if right.norm() < 1e-9 {
+        right = Vec3::X;
+    } else {
+        right = right.normalized();
+    }
+    let down = forward.cross(right);
+    // Rows of R_cw are the camera axes expressed in world coordinates.
+    let r_cw = SO3::from_matrix_orthogonalized(edgeis_geometry::Mat3::from_row_vecs(
+        right, down, forward,
+    ));
+    SE3::new(r_cw, -(r_cw * eye))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_trajectory_constant() {
+        let tr = Trajectory::Fixed { pose: SE3::identity() };
+        assert_eq!(tr.pose_at(0.0), tr.pose_at(42.0));
+    }
+
+    #[test]
+    fn dolly_moves_at_speed() {
+        let tr = Trajectory::lateral(MotionSpeed::Walk);
+        let p0 = tr.pose_at(0.0).camera_center();
+        let p1 = tr.pose_at(1.0).camera_center();
+        let dx = p1.x - p0.x;
+        assert!((dx - 0.8).abs() < 0.05, "moved {dx}");
+    }
+
+    #[test]
+    fn jog_faster_than_walk() {
+        let walk = Trajectory::lateral(MotionSpeed::Walk);
+        let jog = Trajectory::lateral(MotionSpeed::Jog);
+        let dw = walk.pose_at(2.0).camera_center().distance(walk.pose_at(0.0).camera_center());
+        let dj = jog.pose_at(2.0).camera_center().distance(jog.pose_at(0.0).camera_center());
+        assert!(dj > dw * 3.0);
+    }
+
+    #[test]
+    fn jog_bobs_more_than_walk() {
+        assert!(MotionSpeed::Jog.bob_amplitude() > MotionSpeed::Walk.bob_amplitude() * 3.0);
+        assert!(MotionSpeed::Jog.sway_amplitude() > MotionSpeed::Walk.sway_amplitude());
+    }
+
+    #[test]
+    fn look_at_points_camera_at_target() {
+        let eye = Vec3::new(3.0, -1.0, -2.0);
+        let target = Vec3::new(0.0, 0.5, 4.0);
+        let pose = look_at(eye, target);
+        // Target should project onto the optical axis: camera coordinates of
+        // target have x = y = 0, z > 0.
+        let tc = pose.transform(target);
+        assert!(tc.x.abs() < 1e-9 && tc.y.abs() < 1e-9);
+        assert!(tc.z > 0.0);
+        // Eye maps to the camera origin.
+        assert!(pose.transform(eye).norm() < 1e-9);
+    }
+
+    #[test]
+    fn orbit_keeps_distance_and_aim() {
+        let tr = Trajectory::Orbit {
+            center: Vec3::new(0.0, 0.5, 5.0),
+            radius: 3.0,
+            rate: 0.5,
+            speed: MotionSpeed::Walk,
+        };
+        for i in 0..10 {
+            let t = i as f64 * 0.7;
+            let pose = tr.pose_at(t);
+            let c = pose.camera_center();
+            let d = c.distance(Vec3::new(0.0, 0.5, 5.0));
+            assert!((d - 3.0).abs() < 0.15, "distance {d} at t={t}");
+            let target_cam = pose.transform(Vec3::new(0.0, 0.5, 5.0));
+            assert!(target_cam.z > 0.0, "center behind camera at t={t}");
+            assert!(target_cam.x.abs() < 0.2 && target_cam.y.abs() < 0.3);
+        }
+    }
+
+    #[test]
+    fn sample_produces_n_poses() {
+        let tr = Trajectory::forward(MotionSpeed::Stride);
+        let poses = tr.sample(30.0, 90);
+        assert_eq!(poses.len(), 90);
+        // 3 seconds at 1.6 m/s ~ 4.8 m traveled.
+        let dist = poses
+            .last()
+            .unwrap()
+            .camera_center()
+            .distance(poses[0].camera_center());
+        assert!((dist - 4.8 * 89.0 / 90.0).abs() < 0.3, "traveled {dist}");
+    }
+}

@@ -1,0 +1,121 @@
+//! The op-count cost model: latency as a function of work actually done.
+//!
+//! CIIA's acceleration claims (Fig. 14) are about *discarding work*:
+//! fewer anchors evaluated by the RPN and fewer RoIs reaching the second
+//! stage. Modeling latency as an affine function of those counts lets the
+//! speedups emerge from the counts themselves.
+
+use crate::profile::ModelProfile;
+use serde::{Deserialize, Serialize};
+
+/// Work and latency accounting for one inference.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct InferenceStats {
+    /// Anchors scored by the RPN.
+    pub anchors_evaluated: usize,
+    /// Proposals entering NMS / selection.
+    pub proposals: usize,
+    /// RoIs before pruning.
+    pub rois_before_prune: usize,
+    /// RoIs pruned by the paper's dominance rule.
+    pub rois_pruned: usize,
+    /// RoIs processed by the second stage.
+    pub rois_processed: usize,
+    /// Backbone latency, ms.
+    pub backbone_ms: f64,
+    /// RPN latency, ms.
+    pub rpn_ms: f64,
+    /// Second-stage (classification + mask head) latency, ms.
+    pub head_ms: f64,
+}
+
+impl InferenceStats {
+    /// Total model latency in ms.
+    pub fn total_ms(&self) -> f64 {
+        self.backbone_ms + self.rpn_ms + self.head_ms
+    }
+}
+
+/// Latency calculator bound to a model profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    profile: ModelProfile,
+    /// Reference frame area (pixels) the backbone cost was calibrated at.
+    reference_pixels: f64,
+}
+
+impl CostModel {
+    /// Creates a cost model; `backbone_ms` scales with frame area relative
+    /// to the 640×480 calibration frame.
+    pub fn new(profile: ModelProfile) -> Self {
+        Self { profile, reference_pixels: 640.0 * 480.0 }
+    }
+
+    /// The underlying profile.
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    /// Computes latency numbers for the given work counts on a
+    /// `width`×`height` frame. `rois_processed` is post-pruning.
+    pub fn evaluate(
+        &self,
+        width: u32,
+        height: u32,
+        anchors_evaluated: usize,
+        rois_processed: usize,
+    ) -> (f64, f64, f64) {
+        let scale = (width as f64 * height as f64) / self.reference_pixels;
+        let backbone = self.profile.backbone_ms * scale;
+        let rpn = if anchors_evaluated > 0 {
+            self.profile.rpn_base_ms * scale
+                + self.profile.rpn_ms_per_kanchor * anchors_evaluated as f64 / 1000.0
+        } else {
+            0.0
+        };
+        let head = self.profile.fixed_head_ms
+            + self.profile.head_ms_per_roi * rois_processed as f64;
+        (backbone, rpn, head)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{ModelKind, ModelProfile};
+
+    #[test]
+    fn latency_scales_with_anchor_count() {
+        let cm = CostModel::new(ModelProfile::of(ModelKind::MaskRcnn));
+        let (_, rpn_full, _) = cm.evaluate(640, 480, 300_000, 300);
+        let (_, rpn_guided, _) = cm.evaluate(640, 480, 30_000, 300);
+        assert!(rpn_full > rpn_guided + 200.0);
+    }
+
+    #[test]
+    fn latency_scales_with_rois() {
+        let cm = CostModel::new(ModelProfile::of(ModelKind::MaskRcnn));
+        let (_, _, head_full) = cm.evaluate(640, 480, 0, 300);
+        let (_, _, head_half) = cm.evaluate(640, 480, 0, 150);
+        assert!((head_full / head_half - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backbone_scales_with_area() {
+        let cm = CostModel::new(ModelProfile::of(ModelKind::MaskRcnn));
+        let (b_full, _, _) = cm.evaluate(640, 480, 0, 0);
+        let (b_quarter, _, _) = cm.evaluate(320, 240, 0, 0);
+        assert!((b_full / b_quarter - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_total_is_sum() {
+        let stats = InferenceStats {
+            backbone_ms: 10.0,
+            rpn_ms: 20.0,
+            head_ms: 30.0,
+            ..Default::default()
+        };
+        assert_eq!(stats.total_ms(), 60.0);
+    }
+}

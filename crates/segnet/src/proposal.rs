@@ -1,0 +1,164 @@
+//! RPN proposal generation: anchor scoring against image content.
+//!
+//! A trained RPN scores each anchor's objectness from learned features;
+//! the simulator scores anchors by their geometric agreement with the
+//! (ground-truth) object boxes plus noise, which reproduces the relevant
+//! downstream behaviour: many near-duplicate proposals per object whose
+//! selection is exactly the work NMS / RoI pruning must cut down.
+
+use crate::anchors::Anchor;
+use crate::roi::{BBox, Roi};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Configuration of proposal generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProposalConfig {
+    /// Minimum (noisy) objectness for an anchor to become a proposal.
+    pub objectness_threshold: f64,
+    /// Standard deviation of objectness noise.
+    pub score_noise: f64,
+    /// Cap on proposals kept (top-k by score), like the pre-NMS top-N.
+    pub max_proposals: usize,
+}
+
+impl Default for ProposalConfig {
+    fn default() -> Self {
+        Self { objectness_threshold: 0.20, score_noise: 0.08, max_proposals: 2000 }
+    }
+}
+
+/// Approximately normal noise from the sum of uniforms.
+fn noise(rng: &mut StdRng, sigma: f64) -> f64 {
+    let s: f64 = (0..4).map(|_| rng.random_range(-1.0..1.0)).sum();
+    s * sigma / 1.155 // Var(sum of 4 U(-1,1)) = 4/3; scale to sigma.
+}
+
+/// Scores `anchors` against ground-truth boxes and emits proposals.
+///
+/// Each proposal's box is the anchor box regressed toward its best ground
+/// truth (higher overlap ⇒ tighter regression), mimicking the RPN's
+/// box-delta head.
+pub fn generate_proposals(
+    anchors: &[Anchor],
+    gt_boxes: &[BBox],
+    config: &ProposalConfig,
+    rng: &mut StdRng,
+) -> Vec<Roi> {
+    let mut proposals: Vec<Roi> = Vec::new();
+    for anchor in anchors {
+        let mut best_iou = 0.0;
+        let mut best_gt: Option<&BBox> = None;
+        for gt in gt_boxes {
+            let v = anchor.bbox.iou(gt);
+            if v > best_iou {
+                best_iou = v;
+                best_gt = Some(gt);
+            }
+        }
+        let score = (best_iou + noise(rng, config.score_noise)).clamp(0.0, 1.0);
+        if score < config.objectness_threshold {
+            continue;
+        }
+        let Some(gt) = best_gt else {
+            // Background clutter: texture that excites the objectness head
+            // with no object nearby. These false proposals are spatially
+            // sparse, survive NMS, and are exactly what the second stage
+            // wastes time discarding in the unguided model.
+            proposals.push(Roi { bbox: anchor.bbox, score, area_id: anchor.area_id });
+            continue;
+        };
+        // Box regression: interpolate anchor -> gt, stronger when overlap
+        // is higher (the head sees clearer evidence).
+        let alpha = 0.5 + 0.5 * best_iou;
+        let reg = |a: f64, g: f64| a + alpha * (g - a);
+        let bbox = BBox::new(
+            reg(anchor.bbox.x0, gt.x0),
+            reg(anchor.bbox.y0, gt.y0),
+            reg(anchor.bbox.x1, gt.x1),
+            reg(anchor.bbox.y1, gt.y1),
+        );
+        proposals.push(Roi { bbox, score, area_id: anchor.area_id });
+    }
+    // Keep top-k by score.
+    proposals.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    proposals.truncate(config.max_proposals);
+    proposals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anchors::{AnchorGrid, FpnConfig, Guidance};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn proposals_cluster_on_objects() {
+        let grid = AnchorGrid::new(FpnConfig::default(), 320, 240);
+        let anchors = grid.guided(&Guidance::default(), 0.0);
+        let gt = vec![BBox::new(100.0, 80.0, 180.0, 160.0)];
+        let props = generate_proposals(&anchors, &gt, &ProposalConfig::default(), &mut rng());
+        assert!(!props.is_empty());
+        // Every proposal overlaps the object decently after regression.
+        let near = props.iter().filter(|p| p.bbox.iou(&gt[0]) > 0.3).count();
+        assert!(
+            near * 10 >= props.len() * 8,
+            "only {near}/{} proposals near the object",
+            props.len()
+        );
+    }
+
+    #[test]
+    fn no_objects_only_sparse_clutter() {
+        let grid = AnchorGrid::new(FpnConfig::default(), 320, 240);
+        let anchors = grid.full_frame();
+        let props =
+            generate_proposals(&anchors, &[], &ProposalConfig::default(), &mut rng());
+        // Background clutter exists but is a small fraction of anchors.
+        assert!(
+            props.len() * 50 < anchors.len(),
+            "clutter too dense: {} of {}",
+            props.len(),
+            anchors.len()
+        );
+    }
+
+    #[test]
+    fn cap_respected() {
+        let grid = AnchorGrid::new(FpnConfig::default(), 320, 240);
+        let anchors = grid.full_frame();
+        let gt = vec![BBox::new(40.0, 40.0, 280.0, 200.0)]; // huge object
+        let cfg = ProposalConfig { max_proposals: 50, ..Default::default() };
+        let props = generate_proposals(&anchors, &gt, &cfg, &mut rng());
+        assert!(props.len() <= 50);
+        assert!(!props.is_empty());
+    }
+
+    #[test]
+    fn regression_tightens_high_overlap_anchors() {
+        let anchor = Anchor {
+            bbox: BBox::new(95.0, 75.0, 185.0, 165.0),
+            level: 0,
+            area_id: None,
+        };
+        let gt = vec![BBox::new(100.0, 80.0, 180.0, 160.0)];
+        let cfg = ProposalConfig { objectness_threshold: 0.1, ..Default::default() };
+        let props = generate_proposals(&[anchor], &gt, &cfg, &mut rng());
+        assert_eq!(props.len(), 1);
+        assert!(props[0].bbox.iou(&gt[0]) > anchor.bbox.iou(&gt[0]));
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let grid = AnchorGrid::new(FpnConfig::default(), 160, 120);
+        let anchors = grid.full_frame();
+        let gt = vec![BBox::new(40.0, 30.0, 100.0, 90.0)];
+        let a = generate_proposals(&anchors, &gt, &ProposalConfig::default(), &mut rng());
+        let b = generate_proposals(&anchors, &gt, &ProposalConfig::default(), &mut rng());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,152 @@
+//! Processed frames and the bounded frame store.
+
+use edgeis_geometry::SE3;
+use edgeis_imaging::{Descriptor, Keypoint};
+use std::collections::VecDeque;
+
+/// A frame after feature extraction, with tracking results attached once
+/// they are known.
+#[derive(Debug, Clone)]
+pub struct ProcessedFrame {
+    /// Monotonic frame id.
+    pub id: u64,
+    /// Capture time in seconds.
+    pub time: f64,
+    /// Detected keypoints.
+    pub keypoints: Vec<Keypoint>,
+    /// Descriptors aligned with `keypoints`.
+    pub descriptors: Vec<Descriptor>,
+    /// Estimated camera pose `T_cw` (map frame), if tracking succeeded.
+    pub pose: Option<SE3>,
+    /// For each keypoint, the matched map-point *index* if any.
+    pub map_matches: Vec<Option<usize>>,
+}
+
+impl ProcessedFrame {
+    /// Creates a frame record before tracking.
+    pub fn new(id: u64, time: f64, keypoints: Vec<Keypoint>, descriptors: Vec<Descriptor>) -> Self {
+        let n = keypoints.len();
+        Self {
+            id,
+            time,
+            keypoints,
+            descriptors,
+            pose: None,
+            map_matches: vec![None; n],
+        }
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.keypoints.len()
+    }
+
+    /// Whether the frame has no features.
+    pub fn is_empty(&self) -> bool {
+        self.keypoints.is_empty()
+    }
+}
+
+/// A bounded ring of recent frames, so edge results that arrive with a few
+/// hundred milliseconds of latency can still be applied to the exact frame
+/// they were computed for.
+#[derive(Debug, Clone)]
+pub struct FrameStore {
+    frames: VecDeque<ProcessedFrame>,
+    capacity: usize,
+}
+
+impl FrameStore {
+    /// Creates a store holding up to `capacity` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "frame store capacity must be positive");
+        Self { frames: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Inserts a frame, evicting the oldest when full.
+    pub fn push(&mut self, frame: ProcessedFrame) {
+        if self.frames.len() == self.capacity {
+            self.frames.pop_front();
+        }
+        self.frames.push_back(frame);
+    }
+
+    /// Looks up a frame by id.
+    pub fn get(&self, id: u64) -> Option<&ProcessedFrame> {
+        self.frames.iter().find(|f| f.id == id)
+    }
+
+    /// Mutable lookup by id.
+    pub fn get_mut(&mut self, id: u64) -> Option<&mut ProcessedFrame> {
+        self.frames.iter_mut().find(|f| f.id == id)
+    }
+
+    /// The most recent frame.
+    pub fn latest(&self) -> Option<&ProcessedFrame> {
+        self.frames.back()
+    }
+
+    /// Number of stored frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Iterates stored frames oldest-first (double-ended).
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = &ProcessedFrame> {
+        self.frames.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(id: u64) -> ProcessedFrame {
+        ProcessedFrame::new(id, id as f64 / 30.0, Vec::new(), Vec::new())
+    }
+
+    #[test]
+    fn push_and_get() {
+        let mut store = FrameStore::new(3);
+        store.push(frame(1));
+        store.push(frame(2));
+        assert_eq!(store.get(1).unwrap().id, 1);
+        assert_eq!(store.latest().unwrap().id, 2);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn eviction_order() {
+        let mut store = FrameStore::new(3);
+        for i in 0..5 {
+            store.push(frame(i));
+        }
+        assert!(store.get(0).is_none());
+        assert!(store.get(1).is_none());
+        assert!(store.get(2).is_some());
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn get_mut_mutates() {
+        let mut store = FrameStore::new(2);
+        store.push(frame(7));
+        store.get_mut(7).unwrap().pose = Some(SE3::identity());
+        assert!(store.get(7).unwrap().pose.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = FrameStore::new(0);
+    }
+}

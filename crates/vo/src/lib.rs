@@ -1,0 +1,49 @@
+//! Visual odometry with mask-assisted mapping and motion-aware mask
+//! transfer — the paper's §III, built from scratch on
+//! [`edgeis_geometry`] and [`edgeis_imaging`].
+//!
+//! The pipeline follows Fig. 5 of the paper:
+//!
+//! 1. **Initialization** ([`VisualOdometry::apply_edge_masks`] before the
+//!    map exists): two annotated frames with enough parallax are matched,
+//!    the relative pose is recovered with the normalized 8-point algorithm
+//!    (Eq. 1–2), map points are triangulated (Eq. 3) and labeled from the
+//!    edge-provided masks ("mask-assisted mapping").
+//! 2. **Motion tracking** ([`VisualOdometry::process_frame`]): each frame's
+//!    ORB features are matched against the labeled map; the device pose is
+//!    solved by bundle adjustment over *background* points (Eq. 4) and each
+//!    object's relative pose over *its own* points (Eq. 6–7), so dynamic
+//!    objects are tracked individually.
+//! 3. **Mask prediction** ([`VisualOdometry::process_frame`] output): the
+//!    cached mask contour is projected into the current frame, borrowing
+//!    each contour pixel's depth from its `k` nearest in-mask features
+//!    (§III-C, k = 5), and the polygon is re-filled.
+//!
+//! The map is monocular-scale (the initial baseline is normalized), which
+//! is irrelevant for mask transfer: only reprojection consistency matters.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use edgeis_vo::{VisualOdometry, VoConfig};
+//! use edgeis_geometry::Camera;
+//! # let image = edgeis_imaging::GrayImage::new(2, 2);
+//! # let labels = edgeis_imaging::LabelMap::new(2, 2);
+//!
+//! let mut vo = VisualOdometry::new(Camera::with_hfov(1.2, 320, 240), VoConfig::default());
+//! let out = vo.process_frame(&image, 0.0);
+//! vo.apply_edge_masks(out.frame_id, &labels).ok();
+//! ```
+
+pub mod frame;
+pub mod map;
+pub mod objects;
+pub mod selection;
+pub mod transfer;
+pub mod vo;
+
+pub use frame::{FrameStore, ProcessedFrame};
+pub use map::{Map, MapPoint};
+pub use objects::TrackedObject;
+pub use selection::{select_features, SelectionConfig};
+pub use vo::{TrackOutput, VisualOdometry, VoConfig, VoError};

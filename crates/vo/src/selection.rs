@@ -1,0 +1,260 @@
+//! Initialization-time feature selection (§III-A).
+//!
+//! "For background features, edgeIS will check whether they are too blurred
+//! or too close to neighboring ones and filter out features that fail the
+//! check. For features within masks, edgeIS first preserves all features
+//! near the edge of the mask since pixels on the contour are more
+//! representative for the object's shape, and then performs blurriness
+//! check on features inside the mask."
+
+use edgeis_imaging::{GrayImage, Keypoint, LabelMap};
+
+/// Parameters of the §III-A selection pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectionConfig {
+    /// Minimum local sharpness (mean |Laplacian|) for a feature to count as
+    /// non-blurred.
+    pub min_sharpness: f64,
+    /// Minimum pixel distance between two kept background features.
+    pub min_spacing: f64,
+    /// Distance to the mask boundary within which an in-mask feature is
+    /// "near the edge" and kept unconditionally.
+    pub edge_band: u32,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        Self { min_sharpness: 2.0, min_spacing: 6.0, edge_band: 3 }
+    }
+}
+
+/// Selects the indices of `keypoints` that survive the §III-A filter,
+/// given the frame image and its instance annotation.
+///
+/// Mask-edge features are always kept; interior object features must pass
+/// the blurriness check; background features must pass both the blurriness
+/// and the spacing check (greedy by detection order, which is
+/// response-sorted upstream).
+pub fn select_features(
+    image: &GrayImage,
+    labels: &LabelMap,
+    keypoints: &[Keypoint],
+    config: &SelectionConfig,
+) -> Vec<usize> {
+    let mut kept: Vec<usize> = Vec::with_capacity(keypoints.len());
+    let mut kept_bg_positions: Vec<(f64, f64)> = Vec::new();
+
+    for (i, kp) in keypoints.iter().enumerate() {
+        let x = kp.x.round() as i64;
+        let y = kp.y.round() as i64;
+        let label = labels.get_or_background(x, y);
+
+        if label != 0 {
+            // In-mask: keep unconditionally when near the mask edge.
+            if near_mask_edge(labels, x, y, label, config.edge_band) {
+                kept.push(i);
+                continue;
+            }
+            // Interior: blurriness check only.
+            if sharpness_at(image, kp) >= config.min_sharpness {
+                kept.push(i);
+            }
+        } else {
+            // Background: blurriness + spacing.
+            if sharpness_at(image, kp) < config.min_sharpness {
+                continue;
+            }
+            let too_close = kept_bg_positions.iter().any(|&(px, py)| {
+                let dx = px - kp.x;
+                let dy = py - kp.y;
+                (dx * dx + dy * dy).sqrt() < config.min_spacing
+            });
+            if too_close {
+                continue;
+            }
+            kept_bg_positions.push((kp.x, kp.y));
+            kept.push(i);
+        }
+    }
+    kept
+}
+
+/// Variant of [`select_features`] for contexts where the source image is no
+/// longer available (e.g. stored frames): the blurriness check uses the
+/// FAST corner response (which is proportional to local contrast) instead
+/// of re-measuring the Laplacian.
+pub fn select_features_by_response(
+    labels: &LabelMap,
+    keypoints: &[Keypoint],
+    min_response: f32,
+    config: &SelectionConfig,
+) -> Vec<usize> {
+    let mut kept: Vec<usize> = Vec::with_capacity(keypoints.len());
+    let mut kept_bg_positions: Vec<(f64, f64)> = Vec::new();
+    for (i, kp) in keypoints.iter().enumerate() {
+        let x = kp.x.round() as i64;
+        let y = kp.y.round() as i64;
+        let label = labels.get_or_background(x, y);
+        if label != 0 {
+            if near_mask_edge(labels, x, y, label, config.edge_band)
+                || kp.response >= min_response
+            {
+                kept.push(i);
+            }
+        } else {
+            if kp.response < min_response {
+                continue;
+            }
+            let too_close = kept_bg_positions.iter().any(|&(px, py)| {
+                let dx = px - kp.x;
+                let dy = py - kp.y;
+                (dx * dx + dy * dy).sqrt() < config.min_spacing
+            });
+            if too_close {
+                continue;
+            }
+            kept_bg_positions.push((kp.x, kp.y));
+            kept.push(i);
+        }
+    }
+    kept
+}
+
+fn sharpness_at(image: &GrayImage, kp: &Keypoint) -> f64 {
+    let x = (kp.x.round() as i64).clamp(0, image.width() as i64 - 1) as u32;
+    let y = (kp.y.round() as i64).clamp(0, image.height() as i64 - 1) as u32;
+    image.sharpness(x, y, 2)
+}
+
+/// Whether any pixel within `band` of `(x, y)` carries a different label
+/// (i.e. the point sits on the instance boundary).
+fn near_mask_edge(labels: &LabelMap, x: i64, y: i64, label: u16, band: u32) -> bool {
+    let b = band as i64;
+    for dy in -b..=b {
+        for dx in -b..=b {
+            if labels.get_or_background(x + dx, y + dy) != label {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keypoint(x: f64, y: f64) -> Keypoint {
+        Keypoint { x, y, level: 0, response: 100.0, angle: 0.0 }
+    }
+
+    /// Image: left half sharp texture, right half flat.
+    fn split_image() -> GrayImage {
+        let mut img = GrayImage::new(64, 64);
+        for y in 0..64 {
+            for x in 0..64 {
+                let v = if x < 32 {
+                    ((x * 97 + y * 61) % 251) as u8
+                } else {
+                    128
+                };
+                img.set(x, y, v);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn blurred_background_features_filtered() {
+        let img = split_image();
+        let labels = LabelMap::new(64, 64);
+        let kps = vec![keypoint(10.0, 10.0), keypoint(50.0, 10.0)];
+        let kept = select_features(&img, &labels, &kps, &SelectionConfig::default());
+        assert_eq!(kept, vec![0], "flat-region feature should be filtered");
+    }
+
+    #[test]
+    fn crowded_background_features_thinned() {
+        let img = split_image();
+        let labels = LabelMap::new(64, 64);
+        let kps = vec![
+            keypoint(10.0, 10.0),
+            keypoint(12.0, 10.0), // within min_spacing of the first
+            keypoint(25.0, 10.0),
+        ];
+        let kept = select_features(&img, &labels, &kps, &SelectionConfig::default());
+        assert_eq!(kept, vec![0, 2]);
+    }
+
+    #[test]
+    fn mask_edge_features_always_kept() {
+        let img = split_image();
+        let mut labels = LabelMap::new(64, 64);
+        // Object in the FLAT half: interior features are blurred, but edge
+        // features must survive anyway.
+        for y in 20..40 {
+            for x in 40..60 {
+                labels.set(x, y, 1);
+            }
+        }
+        let kps = vec![
+            keypoint(41.0, 21.0), // on the mask edge (flat area)
+            keypoint(50.0, 30.0), // interior, flat -> filtered
+        ];
+        let kept = select_features(&img, &labels, &kps, &SelectionConfig::default());
+        assert_eq!(kept, vec![0]);
+    }
+
+    #[test]
+    fn sharp_interior_object_features_kept() {
+        let img = split_image();
+        let mut labels = LabelMap::new(64, 64);
+        // Object in the SHARP half.
+        for y in 10..30 {
+            for x in 5..25 {
+                labels.set(x, y, 2);
+            }
+        }
+        let kps = vec![keypoint(15.0, 20.0)]; // interior, textured
+        let kept = select_features(&img, &labels, &kps, &SelectionConfig::default());
+        assert_eq!(kept, vec![0]);
+    }
+
+    #[test]
+    fn response_variant_filters_weak_background() {
+        let mut labels = LabelMap::new(64, 64);
+        for y in 10..20 {
+            for x in 10..20 {
+                labels.set(x, y, 1);
+            }
+        }
+        let mut weak_edge = keypoint(10.0, 10.0); // on mask edge
+        weak_edge.response = 1.0;
+        let mut weak_bg = keypoint(40.0, 40.0);
+        weak_bg.response = 1.0;
+        let strong_bg = keypoint(50.0, 50.0);
+        let kept = select_features_by_response(
+            &labels,
+            &[weak_edge, weak_bg, strong_bg],
+            50.0,
+            &SelectionConfig::default(),
+        );
+        // Edge feature survives despite weak response; weak background dies.
+        assert_eq!(kept, vec![0, 2]);
+    }
+
+    #[test]
+    fn object_features_not_spacing_limited() {
+        // Spacing applies to background only; dense contour features stay.
+        let img = split_image();
+        let mut labels = LabelMap::new(64, 64);
+        for y in 10..30 {
+            for x in 5..25 {
+                labels.set(x, y, 1);
+            }
+        }
+        let kps = vec![keypoint(5.0, 15.0), keypoint(5.0, 17.0), keypoint(5.0, 19.0)];
+        let kept = select_features(&img, &labels, &kps, &SelectionConfig::default());
+        assert_eq!(kept.len(), 3);
+    }
+}

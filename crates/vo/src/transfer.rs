@@ -1,0 +1,284 @@
+//! Contour-projection mask transfer (§III-C).
+//!
+//! The shape of a mask is determined by its contour; if the contour pixels
+//! can be located in the new frame, the mask follows. Each contour pixel
+//! borrows its depth from the `k` nearest in-mask features (the paper's
+//! observation: a small neighbourhood of the mask "is not likely to
+//! experience shape changes in depth", k = 5), is unprojected in the source
+//! camera frame, moved through the relative transform and re-projected.
+
+use edgeis_geometry::{Camera, SE3, Vec2};
+use edgeis_imaging::{extract_contours, fill_polygon, Mask};
+
+/// A feature anchored inside the source mask with a known depth in the
+/// source camera frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DepthAnchor {
+    /// Pixel location in the source frame.
+    pub pixel: Vec2,
+    /// Depth (camera-frame z) of the corresponding 3-D point at source
+    /// time.
+    pub depth: f64,
+}
+
+/// Configuration for [`transfer_mask`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferConfig {
+    /// Number of nearest anchors averaged per contour pixel (paper: 5).
+    pub k_nearest: usize,
+    /// Maximum contour vertices projected per component (controls cost).
+    pub max_contour_points: usize,
+    /// Minimum fraction of contour points that must project in front of the
+    /// camera for the transfer to be considered valid.
+    pub min_valid_fraction: f64,
+}
+
+impl Default for TransferConfig {
+    fn default() -> Self {
+        Self { k_nearest: 5, max_contour_points: 160, min_valid_fraction: 0.6 }
+    }
+}
+
+/// Transfers `source_mask` into the current frame.
+///
+/// * `t_rel` maps source-camera-frame coordinates to current-camera-frame
+///   coordinates. For a static object this is
+///   `T_cw(now) · T_cw(src)⁻¹`; for a dynamic one the camera poses are
+///   taken relative to the object frame (Eq. 6–7).
+/// * `anchors` are in-mask features with known depths at source time.
+///
+/// Returns `None` when there are no anchors or too few contour pixels
+/// project validly (object left the view or the geometry degenerated).
+pub fn transfer_mask(
+    camera: &Camera,
+    source_mask: &Mask,
+    anchors: &[DepthAnchor],
+    t_rel: &SE3,
+    config: &TransferConfig,
+) -> Option<Mask> {
+    if anchors.is_empty() {
+        return None;
+    }
+    let contours = extract_contours(source_mask);
+    if contours.is_empty() {
+        return None;
+    }
+
+    let mut out: Option<Mask> = None;
+    let mut total_pts = 0usize;
+    let mut valid_pts = 0usize;
+
+    for contour in &contours {
+        if contour.len() < 3 {
+            continue;
+        }
+        let contour = contour.subsample(config.max_contour_points);
+        let mut polygon: Vec<(f64, f64)> = Vec::with_capacity(contour.len());
+        for &(sx, sy) in &contour.points {
+            total_pts += 1;
+            let s = Vec2::new(sx as f64, sy as f64);
+            let depth = knn_depth(s, anchors, config.k_nearest);
+            if depth <= 1e-9 {
+                continue;
+            }
+            let p_src = camera.unproject(s, depth);
+            let p_now = t_rel.transform(p_src);
+            if let Some(px) = camera.project_camera(p_now) {
+                polygon.push((px.x, px.y));
+                valid_pts += 1;
+            }
+        }
+        if polygon.len() < 3 {
+            continue;
+        }
+        let filled = fill_polygon(camera.width, camera.height, &polygon);
+        out = Some(match out {
+            None => filled,
+            Some(acc) => union(acc, filled),
+        });
+    }
+
+    if total_pts == 0 || (valid_pts as f64) < config.min_valid_fraction * total_pts as f64 {
+        return None;
+    }
+    out.filter(|m| !m.is_empty())
+}
+
+/// Mean depth of the `k` anchors nearest to `pixel`.
+fn knn_depth(pixel: Vec2, anchors: &[DepthAnchor], k: usize) -> f64 {
+    debug_assert!(!anchors.is_empty());
+    let k = k.max(1).min(anchors.len());
+    // Partial selection of the k smallest distances.
+    let mut dists: Vec<(f64, f64)> = anchors
+        .iter()
+        .map(|a| (a.pixel.distance(pixel), a.depth))
+        .collect();
+    dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    dists.iter().take(k).map(|&(_, d)| d).sum::<f64>() / k as f64
+}
+
+fn union(mut a: Mask, b: Mask) -> Mask {
+    for (x, y) in b.iter_set() {
+        a.set(x, y, true);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgeis_geometry::{SO3, Vec3};
+    use edgeis_imaging::iou;
+
+    fn cam() -> Camera {
+        Camera::new(120.0, 120.0, 80.0, 60.0, 160, 120)
+    }
+
+    /// Builds a square mask plus a grid of anchors at constant depth.
+    fn square_fixture(depth: f64) -> (Mask, Vec<DepthAnchor>) {
+        let mut mask = Mask::new(160, 120);
+        mask.fill_rect(60, 40, 40, 40);
+        let mut anchors = Vec::new();
+        for gy in 0..5 {
+            for gx in 0..5 {
+                anchors.push(DepthAnchor {
+                    pixel: Vec2::new(62.0 + gx as f64 * 9.0, 42.0 + gy as f64 * 9.0),
+                    depth,
+                });
+            }
+        }
+        (mask, anchors)
+    }
+
+    #[test]
+    fn identity_transform_reproduces_mask() {
+        let (mask, anchors) = square_fixture(3.0);
+        let out = transfer_mask(
+            &cam(),
+            &mask,
+            &anchors,
+            &SE3::identity(),
+            &TransferConfig::default(),
+        )
+        .unwrap();
+        assert!(iou(&mask, &out) > 0.9, "IoU {}", iou(&mask, &out));
+    }
+
+    #[test]
+    fn translation_shifts_mask() {
+        let (mask, anchors) = square_fixture(3.0);
+        // Camera moves right by 0.25 m: t_rel = [I | (-0.25, 0, 0)] maps
+        // source camera coords to current camera coords.
+        let t_rel = SE3::new(SO3::identity(), Vec3::new(-0.25, 0.0, 0.0));
+        let out = transfer_mask(&cam(), &mask, &anchors, &t_rel, &TransferConfig::default())
+            .unwrap();
+        // Expected pixel shift: fx * tx / z = 120 * -0.25 / 3 = -10 px.
+        let mut expected = Mask::new(160, 120);
+        expected.fill_rect(50, 40, 40, 40);
+        assert!(iou(&expected, &out) > 0.8, "IoU {}", iou(&expected, &out));
+    }
+
+    #[test]
+    fn forward_motion_scales_mask_up() {
+        let (mask, anchors) = square_fixture(3.0);
+        // Camera moves 1m toward the object.
+        let t_rel = SE3::new(SO3::identity(), Vec3::new(0.0, 0.0, -1.0));
+        let out = transfer_mask(&cam(), &mask, &anchors, &t_rel, &TransferConfig::default())
+            .unwrap();
+        assert!(
+            out.area() as f64 > mask.area() as f64 * 1.5,
+            "area {} -> {}",
+            mask.area(),
+            out.area()
+        );
+        // Still centered.
+        let (cx, cy) = out.centroid().unwrap();
+        assert!((cx - 80.0).abs() < 4.0 && (cy - 60.0).abs() < 4.0);
+    }
+
+    #[test]
+    fn no_anchors_gives_none() {
+        let (mask, _) = square_fixture(3.0);
+        assert!(transfer_mask(
+            &cam(),
+            &mask,
+            &[],
+            &SE3::identity(),
+            &TransferConfig::default()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn object_leaving_view_gives_none() {
+        let (mask, anchors) = square_fixture(2.0);
+        // Moving the camera 5 m forward, past the object, puts it behind
+        // the camera: z = 2 - 5 < 0 in current-camera coordinates.
+        let t_rel = SE3::new(SO3::identity(), Vec3::new(0.0, 0.0, -5.0));
+        assert!(
+            transfer_mask(&cam(), &mask, &anchors, &t_rel, &TransferConfig::default())
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn knn_depth_averages_nearest() {
+        let anchors = vec![
+            DepthAnchor { pixel: Vec2::new(0.0, 0.0), depth: 1.0 },
+            DepthAnchor { pixel: Vec2::new(1.0, 0.0), depth: 2.0 },
+            DepthAnchor { pixel: Vec2::new(100.0, 0.0), depth: 50.0 },
+        ];
+        let d = knn_depth(Vec2::new(0.5, 0.0), &anchors, 2);
+        assert!((d - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knn_depth_k_larger_than_anchor_count() {
+        let anchors = vec![DepthAnchor { pixel: Vec2::ZERO, depth: 4.0 }];
+        assert_eq!(knn_depth(Vec2::new(3.0, 3.0), &anchors, 5), 4.0);
+    }
+
+    #[test]
+    fn rotation_transfers_mask() {
+        let (mask, anchors) = square_fixture(3.0);
+        // Small camera yaw.
+        let t_rel = SE3::new(SO3::from_yaw(0.05), Vec3::ZERO);
+        let out = transfer_mask(&cam(), &mask, &anchors, &t_rel, &TransferConfig::default())
+            .unwrap();
+        let (cx, _) = out.centroid().unwrap();
+        // Yaw about +Y moves the projection; just require a clear shift.
+        assert!((cx - 80.0).abs() > 2.0, "centroid barely moved: {cx}");
+        assert!((out.area() as f64 - mask.area() as f64).abs() < mask.area() as f64 * 0.3);
+    }
+
+    #[test]
+    fn varying_depth_anchors_respected() {
+        // Anchors encode a slanted surface; nearer side should move more
+        // under camera translation.
+        let mut mask = Mask::new(160, 120);
+        mask.fill_rect(40, 40, 80, 40);
+        let mut anchors = Vec::new();
+        for gx in 0..9 {
+            let px = 42.0 + gx as f64 * 9.5;
+            let depth = 2.0 + gx as f64 * 0.25; // left near, right far
+            for gy in 0..4 {
+                anchors.push(DepthAnchor {
+                    pixel: Vec2::new(px, 43.0 + gy as f64 * 11.0),
+                    depth,
+                });
+            }
+        }
+        let t_rel = SE3::new(SO3::identity(), Vec3::new(-0.3, 0.0, 0.0));
+        let out = transfer_mask(&cam(), &mask, &anchors, &t_rel, &TransferConfig::default())
+            .unwrap();
+        let bbox = out.bounding_box().unwrap();
+        let src_bbox = mask.bounding_box().unwrap();
+        // Left (near) edge shifts more than right (far) edge.
+        let left_shift = src_bbox.0 as i64 - bbox.0 as i64;
+        let right_shift = src_bbox.2 as i64 - bbox.2 as i64;
+        assert!(
+            left_shift > right_shift,
+            "near edge should shift more: left {left_shift}, right {right_shift}"
+        );
+    }
+}

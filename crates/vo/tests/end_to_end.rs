@@ -1,0 +1,261 @@
+//! End-to-end VO tests on the synthetic scene: initialization from two
+//! annotated frames, continuous tracking and mask transfer quality.
+
+use edgeis_geometry::Camera;
+use edgeis_imaging::iou;
+use edgeis_scene::datasets;
+use edgeis_scene::trajectory::{MotionSpeed, Trajectory};
+use edgeis_vo::vo::AnnotationOutcome;
+use edgeis_vo::{VisualOdometry, VoConfig};
+
+const FPS: f64 = 30.0;
+
+fn camera() -> Camera {
+    Camera::with_hfov(1.2, 320, 240)
+}
+
+/// Drives VO through a world: processes `n` frames, annotating (with exact
+/// ground truth, i.e. a perfect edge model with zero latency) every
+/// `annotate_every` frames. Returns per-frame IoUs of predicted masks
+/// against ground truth for frames where prediction was attempted.
+fn run_world(
+    world: &edgeis_scene::World,
+    n: usize,
+    annotate_every: usize,
+) -> (VisualOdometry, Vec<f64>) {
+    let cam = camera();
+    let mut vo = VisualOdometry::new(cam, VoConfig::default());
+    let mut ious = Vec::new();
+
+    for i in 0..n {
+        let t = i as f64 / FPS;
+        let pose = world.trajectory.pose_at(t);
+        let frame = world.scene.render_at(&cam, &pose, t);
+        let out = vo.process_frame(&frame.image, t);
+
+        if vo.is_tracking() {
+            for id in frame.labels.instance_ids() {
+                let gt = frame.labels.instance_mask(id);
+                if gt.area() < 60 {
+                    continue; // tiny slivers are not scored
+                }
+                if let Some(pred) = out.mask_for(id) {
+                    ious.push(iou(&gt, pred));
+                } else if vo.objects().any(|o| o.label == id) {
+                    // Known object but transfer failed entirely.
+                    ious.push(0.0);
+                }
+            }
+        }
+
+        if i % annotate_every == 0 {
+            let _ = vo.apply_edge_masks(out.frame_id, &frame.labels);
+        }
+    }
+    (vo, ious)
+}
+
+#[test]
+fn initializes_from_two_annotated_frames() {
+    let world = datasets::indoor_simple(1);
+    let cam = camera();
+    let mut vo = VisualOdometry::new(cam, VoConfig::default());
+
+    let mut initialized_at = None;
+    for i in 0..30 {
+        let t = i as f64 / FPS;
+        let pose = world.trajectory.pose_at(t);
+        let frame = world.scene.render_at(&cam, &pose, t);
+        let out = vo.process_frame(&frame.image, t);
+        if i % 5 == 0 {
+            match vo.apply_edge_masks(out.frame_id, &frame.labels).unwrap() {
+                AnnotationOutcome::Initialized { map_points } => {
+                    assert!(map_points >= 15, "too few init points: {map_points}");
+                    initialized_at = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    let at = initialized_at.expect("VO failed to initialize within 30 frames");
+    assert!(at <= 25, "initialization took too long: frame {at}");
+    assert!(vo.is_tracking());
+    // Objects with enough points are tracked.
+    assert!(vo.objects().count() >= 1, "no objects registered");
+}
+
+#[test]
+fn tracks_and_transfers_masks_static_scene() {
+    let world = datasets::indoor_simple(2);
+    let (vo, ious) = run_world(&world, 60, 10);
+    assert!(vo.is_tracking(), "lost tracking");
+    assert!(ious.len() >= 20, "too few scored masks: {}", ious.len());
+    let mean: f64 = ious.iter().sum::<f64>() / ious.len() as f64;
+    assert!(mean > 0.7, "mean transfer IoU too low: {mean:.3} ({ious:?})");
+}
+
+#[test]
+fn map_is_labeled_after_initialization() {
+    let world = datasets::indoor_simple(3);
+    let (vo, _) = run_world(&world, 40, 8);
+    assert!(vo.is_tracking());
+    let labels = vo.map().labels();
+    assert!(!labels.is_empty(), "no labeled map points");
+    // Background points exist too.
+    assert!(
+        vo.map().points().iter().any(|p| p.label == 0),
+        "no background points"
+    );
+}
+
+#[test]
+fn pose_estimates_follow_trajectory_short_horizon() {
+    // Monocular VO without global bundle adjustment accumulates scale and
+    // direction drift over long horizons; what the edgeIS pipeline relies
+    // on is *short-horizon* consistency between consecutive edge
+    // annotations (~10 frames). Check that within such windows the
+    // estimated motion is dominantly along the true (lateral) axis.
+    let world = datasets::indoor_simple(4);
+    let cam = camera();
+    // Trajectory fidelity wants precise (strict) matching; the default
+    // map-matching profile trades precision for the recall that mask
+    // transfer needs. Run this test with the strict profile.
+    let mut config = VoConfig::default();
+    config.map_matching = edgeis_imaging::MatchConfig::default();
+    let mut vo = VisualOdometry::new(cam, config);
+    let mut centers = Vec::new();
+    for i in 0..50usize {
+        let t = i as f64 / FPS;
+        let pose = world.trajectory.pose_at(t);
+        let frame = world.scene.render_at(&cam, &pose, t);
+        let out = vo.process_frame(&frame.image, t);
+        if i % 10 == 0 {
+            let _ = vo.apply_edge_masks(out.frame_id, &frame.labels);
+        }
+        if let Some(p) = out.pose {
+            centers.push((i, p.camera_center()));
+        }
+    }
+    assert!(centers.len() >= 20, "too few tracked frames: {}", centers.len());
+    // Per-frame BA jitter is comparable to per-frame motion, so evaluate
+    // the displacement across each full annotation window (10 frames).
+    let mut windows = 0usize;
+    let mut lateral = 0usize;
+    for decade in 0..5usize {
+        let in_window: Vec<_> = centers
+            .iter()
+            .filter(|(i, _)| i / 10 == decade)
+            .collect();
+        if in_window.len() < 5 {
+            continue;
+        }
+        let d = in_window.last().unwrap().1 - in_window.first().unwrap().1;
+        if d.norm() < 1e-6 {
+            continue;
+        }
+        windows += 1;
+        if d.x.abs() >= d.y.abs() && d.x.abs() >= d.z.abs() {
+            lateral += 1;
+        }
+    }
+    assert!(windows >= 3, "too few motion windows: {windows}");
+    assert!(
+        lateral * 2 >= windows,
+        "lateral axis should dominate short-horizon windows: {lateral}/{windows}"
+    );
+}
+
+#[test]
+fn dynamic_object_tracked_individually() {
+    let world = datasets::davis_like(5);
+    let (vo, ious) = run_world(&world, 60, 6);
+    assert!(vo.is_tracking());
+    // The dynamic person must be a tracked object with nonzero motion.
+    let dynamic_ok = vo.objects().any(|o| o.label == 1 && o.trackable());
+    assert!(dynamic_ok, "dynamic object not tracked");
+    let mean: f64 = ious.iter().sum::<f64>() / ious.len().max(1) as f64;
+    assert!(mean > 0.5, "dynamic-scene transfer IoU too low: {mean:.3}");
+}
+
+#[test]
+fn new_area_fraction_drops_after_annotation() {
+    let world = datasets::indoor_simple(6);
+    let cam = camera();
+    let mut vo = VisualOdometry::new(cam, VoConfig::default());
+    let mut fractions = Vec::new();
+    for i in 0..40 {
+        let t = i as f64 / FPS;
+        let pose = world.trajectory.pose_at(t);
+        let frame = world.scene.render_at(&cam, &pose, t);
+        let out = vo.process_frame(&frame.image, t);
+        if vo.is_tracking() {
+            fractions.push(out.new_area_fraction);
+        }
+        if i % 8 == 0 {
+            let _ = vo.apply_edge_masks(out.frame_id, &frame.labels);
+        }
+    }
+    assert!(!fractions.is_empty());
+    let tail_mean: f64 =
+        fractions.iter().rev().take(10).sum::<f64>() / 10.0_f64.min(fractions.len() as f64);
+    // Rotated-BRIEF repeatability bounds the absolute match rate; the
+    // requirement is that a clearly sub-1.0 fraction of features reads as
+    // "new" once the map covers the view.
+    assert!(
+        tail_mean < 0.9,
+        "most features should match the map late in the run: {tail_mean}"
+    );
+    let head_mean: f64 = fractions.iter().take(3).sum::<f64>() / 3.0_f64.min(fractions.len() as f64);
+    assert!(
+        tail_mean <= head_mean + 0.05,
+        "new-area fraction should not grow: head {head_mean} tail {tail_mean}"
+    );
+}
+
+#[test]
+fn init_feature_selection_path_still_initializes() {
+    // The §III-A filter is opt-in; switching it on must not break
+    // bootstrap on a feature-rich scene.
+    let world = datasets::indoor_simple(1);
+    let cam = camera();
+    let mut config = VoConfig::default();
+    config.init_feature_selection = true;
+    let mut vo = VisualOdometry::new(cam, config);
+    for i in 0..40 {
+        let t = i as f64 / FPS;
+        let pose = world.trajectory.pose_at(t);
+        let frame = world.scene.render_at(&cam, &pose, t);
+        let out = vo.process_frame(&frame.image, t);
+        if i % 8 == 0 {
+            let _ = vo.apply_edge_masks(out.frame_id, &frame.labels);
+        }
+    }
+    assert!(vo.is_tracking(), "selection-enabled init failed to bootstrap");
+}
+
+#[test]
+fn faster_motion_degrades_tracking() {
+    // Fig. 12's premise: jogging hurts. Compare scored IoUs.
+    let mut walk_world = datasets::indoor_simple(7);
+    walk_world.trajectory = Trajectory::lateral(MotionSpeed::Walk);
+    let mut jog_world = datasets::indoor_simple(7);
+    jog_world.trajectory = Trajectory::lateral(MotionSpeed::Jog);
+
+    let (_, walk_ious) = run_world(&walk_world, 45, 10);
+    let (_, jog_ious) = run_world(&jog_world, 45, 10);
+
+    let score = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let sw = score(&walk_ious);
+    let sj = score(&jog_ious);
+    assert!(
+        sw >= sj - 0.05,
+        "walking should not be worse than jogging: walk {sw:.3} vs jog {sj:.3}"
+    );
+}

@@ -1,0 +1,62 @@
+//! Dynamic-scene demo: a moving person crosses the view (DAVIS-like
+//! preset). Shows per-object tracking — the VO estimates the person's pose
+//! separately from the camera's (§III-B) — and compares edgeIS with the
+//! motion-vector baseline on the same world.
+
+use edgeis::experiment::{run_system, ExperimentConfig, SystemKind};
+use edgeis_netsim::LinkKind;
+use edgeis_scene::datasets;
+
+fn main() {
+    let config = ExperimentConfig {
+        frames: 180,
+        ..Default::default()
+    };
+    let world = datasets::davis_like(13);
+    let dynamic: Vec<u16> = world
+        .scene
+        .objects()
+        .iter()
+        .filter(|o| o.is_dynamic())
+        .map(|o| o.id)
+        .collect();
+    println!("Scenario: {} — dynamic instance ids {:?}\n", world.name, dynamic);
+
+    for kind in [SystemKind::EdgeIs, SystemKind::BestEffort, SystemKind::Eaar] {
+        let report = run_system(kind, &world, LinkKind::Wifi5, &config);
+
+        // Split scores into static vs dynamic instances.
+        let mut dyn_scores = Vec::new();
+        let mut static_scores = Vec::new();
+        for rec in &report.records {
+            for &(label, v) in &rec.ious {
+                if dynamic.contains(&label) {
+                    dyn_scores.push(v);
+                } else {
+                    static_scores.push(v);
+                }
+            }
+        }
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                f64::NAN
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        println!(
+            "{:<16} overall IoU {:.3} | dynamic objects {:.3} | static objects {:.3}",
+            report.system,
+            report.mean_iou(),
+            mean(&dyn_scores),
+            mean(&static_scores),
+        );
+    }
+
+    println!(
+        "\nedgeIS tracks each moving object's pose individually (Eq. 6-7), keeping its \
+         dynamic-object IoU close to its static-object IoU. Single-motion-field \
+         trackers remain competitive when one large mover dominates the frame, but \
+         fall behind as soon as static and dynamic content mix."
+    );
+}

@@ -1,0 +1,58 @@
+//! Quickstart: run edgeIS over a simple synthetic indoor scene and print
+//! per-frame accuracy.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use edgeis::experiment::{run_system, ExperimentConfig, SystemKind};
+use edgeis_netsim::LinkKind;
+use edgeis_scene::datasets;
+
+fn main() {
+    let config = ExperimentConfig {
+        frames: 150,
+        ..Default::default()
+    };
+    let world = datasets::indoor_simple(7);
+    println!("Scenario: {} ({} frames at {} fps)", world.name, config.frames, config.fps);
+    println!("Running edgeIS over a WiFi-5GHz link...\n");
+
+    let report = run_system(SystemKind::EdgeIs, &world, LinkKind::Wifi5, &config);
+
+    println!("frame  mean-IoU  latency  transmitted");
+    for chunk in report.records.chunks(15) {
+        let Some(first) = chunk.first() else { continue };
+        let ious: Vec<f64> = chunk
+            .iter()
+            .flat_map(|r| r.ious.iter().map(|&(_, v)| v))
+            .collect();
+        let mean = if ious.is_empty() {
+            f64::NAN
+        } else {
+            ious.iter().sum::<f64>() / ious.len() as f64
+        };
+        let lat: f64 =
+            chunk.iter().map(|r| r.mobile_ms).sum::<f64>() / chunk.len() as f64;
+        let tx = chunk.iter().filter(|r| r.transmitted).count();
+        println!(
+            "{:>5}  {:>8.3}  {:>6.1}ms  {:>2}/{} frames",
+            first.frame,
+            mean,
+            lat,
+            tx,
+            chunk.len()
+        );
+    }
+
+    println!("\n== Summary ==");
+    println!("mean IoU          : {:.3}", report.mean_iou());
+    println!("false rate @0.75  : {:.1}%", report.false_rate(0.75) * 100.0);
+    println!("false rate @0.50  : {:.1}%", report.false_rate(0.5) * 100.0);
+    println!("mobile latency    : {:.1} ms/frame", report.mean_latency_ms());
+    println!(
+        "uplink bandwidth  : {:.2} Mbps ({:.0}% of frames offloaded)",
+        report.mean_uplink_mbps(config.fps),
+        report.transmit_fraction() * 100.0
+    );
+}

@@ -1,0 +1,98 @@
+//! Module-level ablations (the Fig. 16 mechanisms, asserted as invariants):
+//! CIIA must cut edge-side work, CFRS must cut uplink traffic, and MAMT
+//! must beat motion-vector warping on dynamic scenes.
+
+use edgeis::experiment::{run_system, ExperimentConfig, SystemKind};
+use edgeis_netsim::LinkKind;
+use edgeis_scene::datasets;
+
+fn config() -> ExperimentConfig {
+    ExperimentConfig { frames: 120, ..Default::default() }
+}
+
+#[test]
+fn cfrs_cuts_uplink_traffic() {
+    let cfg = config();
+    let world = datasets::indoor_simple(2);
+    // Full edgeIS (CFRS on) vs the CIIA+MAMT variant with back-to-back
+    // uniform-quality offloading.
+    let with_cfrs = run_system(SystemKind::EdgeIs, &world, LinkKind::Wifi5, &cfg);
+    let without = run_system(SystemKind::EdgeIsMamtOnly, &world, LinkKind::Wifi5, &cfg);
+    let mbps_with = with_cfrs.mean_uplink_mbps(30.0);
+    let mbps_without = without.mean_uplink_mbps(30.0);
+    assert!(
+        mbps_with < mbps_without,
+        "CFRS should reduce traffic: {mbps_with:.2} vs {mbps_without:.2} Mbps"
+    );
+    // And not at a catastrophic accuracy cost.
+    assert!(with_cfrs.mean_iou() + 0.1 > without.mean_iou());
+}
+
+#[test]
+fn mamt_beats_motion_vector_tracking() {
+    let cfg = config();
+    // Dynamic scene: per-object pose tracking is MAMT's advantage.
+    let world = datasets::davis_like(3);
+    let mamt = run_system(SystemKind::EdgeIsMamtOnly, &world, LinkKind::Wifi5, &cfg);
+    let mv = run_system(SystemKind::BestEffort, &world, LinkKind::Wifi5, &cfg);
+    assert!(
+        mamt.mean_iou() > mv.mean_iou(),
+        "MAMT {:.3} should beat MV tracking {:.3}",
+        mamt.mean_iou(),
+        mv.mean_iou()
+    );
+}
+
+#[test]
+fn full_system_at_least_matches_each_single_module() {
+    let cfg = config();
+    let world = datasets::indoor_simple(5);
+    let full = run_system(SystemKind::EdgeIs, &world, LinkKind::Wifi5, &cfg);
+    for kind in [
+        SystemKind::BestEffort,
+        SystemKind::EdgeIsCfrsOnly,
+        SystemKind::EdgeIsCiiaOnly,
+    ] {
+        let partial = run_system(kind, &world, LinkKind::Wifi5, &cfg);
+        assert!(
+            full.mean_iou() + 0.05 >= partial.mean_iou(),
+            "full edgeIS ({:.3}) should not lose to {} ({:.3})",
+            full.mean_iou(),
+            partial.system,
+            partial.mean_iou()
+        );
+    }
+}
+
+#[test]
+fn trigger_threshold_trades_bandwidth_for_accuracy() {
+    use edgeis::pipeline::{class_map, run_pipeline, PipelineConfig};
+    use edgeis::system::{EdgeIsConfig, EdgeIsSystem};
+
+    let cfg = config();
+    let world = datasets::indoor_simple(2);
+    let classes = class_map(&world);
+    let run_with_threshold = |t: f64| {
+        let mut sys_cfg = EdgeIsConfig::full(cfg.camera, 2);
+        sys_cfg.cfrs.new_area_threshold = t;
+        let mut system = EdgeIsSystem::new(sys_cfg, LinkKind::Wifi5);
+        let pipe = PipelineConfig { frames: cfg.frames, ..Default::default() };
+        run_pipeline(&mut system, &world, &cfg.camera, &classes, &pipe)
+    };
+    let eager = run_with_threshold(0.05);
+    let lazy = run_with_threshold(0.95);
+    // Backpressure and mask-correction triggers add noise, so allow slack;
+    // the trend (lower threshold => more traffic) must still show.
+    assert!(
+        eager.total_tx_bytes() as f64 >= lazy.total_tx_bytes() as f64 * 0.75,
+        "lower threshold should not transmit much less: {} vs {}",
+        eager.total_tx_bytes(),
+        lazy.total_tx_bytes()
+    );
+    assert!(
+        eager.transmit_fraction() >= lazy.transmit_fraction() * 0.75,
+        "eager transmit fraction {} vs lazy {}",
+        eager.transmit_fraction(),
+        lazy.transmit_fraction()
+    );
+}

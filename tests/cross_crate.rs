@@ -1,0 +1,158 @@
+//! Cross-crate integration: compose the public APIs of every substrate
+//! into a miniature offloading loop by hand — scene rendering, VO tracking
+//! and mask transfer, tile encoding, link transmission, edge inference and
+//! the wire format — without going through the `edgeis` system layer.
+
+use edgeis::wire::{decode_response, encode_response};
+use edgeis_codec::{encode, QualityLevel, TileGrid, TilePlan};
+use edgeis_geometry::Camera;
+use edgeis_imaging::iou;
+use edgeis_netsim::{Direction, Link, LinkKind};
+use edgeis_scene::datasets;
+use edgeis_segnet::{EdgeModel, FrameObservation, ModelKind};
+use edgeis_vo::{VisualOdometry, VoConfig};
+use std::collections::BTreeMap;
+
+const FPS: f64 = 30.0;
+
+#[test]
+fn manual_offloading_loop() {
+    let camera = Camera::with_hfov(1.2, 320, 240);
+    let world = datasets::indoor_simple(2);
+    let classes: BTreeMap<u16, u8> = world
+        .scene
+        .objects()
+        .iter()
+        .filter(|o| !o.is_background)
+        .map(|o| (o.id, o.class.index() as u8))
+        .collect();
+
+    let mut vo = VisualOdometry::new(camera, VoConfig::default());
+    let mut edge = EdgeModel::new(ModelKind::MaskRcnn, 320, 240, 7);
+    let mut link = Link::of_kind(LinkKind::Wifi5, 7);
+    let grid = TileGrid::new(32, 320, 240);
+
+    let mut scored = Vec::new();
+    let mut total_uplink = 0usize;
+
+    for i in 0..60u64 {
+        let t = i as f64 / FPS;
+        let now = t * 1000.0;
+        let pose = world.trajectory.pose_at(t);
+        let frame = world.scene.render_at(&camera, &pose, t);
+        let out = vo.process_frame(&frame.image, t);
+
+        // Score transferred masks whenever tracking is live.
+        if vo.is_tracking() {
+            for id in frame.labels.instance_ids() {
+                let gt = frame.labels.instance_mask(id);
+                if gt.area() < 80 {
+                    continue;
+                }
+                if let Some(pred) = out.mask_for(id) {
+                    scored.push(iou(&gt, pred));
+                }
+            }
+        }
+
+        // Offload every 6th frame: encode, "send", infer, wire-encode the
+        // response, "receive", apply to the VO.
+        if i % 6 == 0 {
+            let plan = TilePlan::uniform(grid, QualityLevel::High);
+            let encoded = encode(&frame.image, &plan);
+            total_uplink += encoded.total_bytes();
+            let sent_at = link.transmit(encoded.total_bytes(), now, Direction::Uplink);
+            assert!(sent_at > now);
+
+            let mut quality = BTreeMap::new();
+            for id in frame.labels.instance_ids() {
+                quality.insert(id, encoded.instance_quality(&frame.labels.instance_mask(id)));
+            }
+            let obs = FrameObservation {
+                labels: frame.labels.clone(),
+                classes: classes.clone(),
+                quality,
+            };
+            let result = edge.infer(&obs, None);
+            assert!(result.stats.total_ms() > 0.0);
+
+            // Serialize through the wire format and back.
+            let message = encode_response(out.frame_id, &result.detections);
+            let (frame_id, detections) = decode_response(message).expect("wire roundtrip");
+            assert_eq!(frame_id, out.frame_id);
+
+            // Rebuild a label map from the decoded detections.
+            let mut lm = edgeis_imaging::LabelMap::new(320, 240);
+            for d in &detections {
+                for (x, y) in d.mask.iter_set() {
+                    lm.set(x, y, d.instance);
+                }
+            }
+            let _ = vo.apply_edge_masks(frame_id, &lm);
+        }
+    }
+
+    assert!(vo.is_tracking(), "VO never initialized in the manual loop");
+    assert!(scored.len() > 20, "too few scored masks: {}", scored.len());
+    let mean = scored.iter().sum::<f64>() / scored.len() as f64;
+    assert!(mean > 0.6, "manual-loop transfer quality too low: {mean:.3}");
+    assert!(total_uplink > 0);
+}
+
+#[test]
+fn codec_quality_propagates_to_edge_accuracy() {
+    // Encode the same frame at high and low quality and verify the edge
+    // model's mask quality tracks the tile quality end to end.
+    let camera = Camera::with_hfov(1.2, 320, 240);
+    let world = datasets::indoor_simple(4);
+    let frame = world.scene.render(&camera, &world.trajectory.pose_at(0.0));
+    let classes: BTreeMap<u16, u8> = world
+        .scene
+        .objects()
+        .iter()
+        .filter(|o| !o.is_background)
+        .map(|o| (o.id, o.class.index() as u8))
+        .collect();
+    let grid = TileGrid::new(32, 320, 240);
+
+    let mut score = |level: QualityLevel, seed_base: u64| -> f64 {
+        let encoded = encode(&frame.image, &TilePlan::uniform(grid, level));
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for seed in 0..8u64 {
+            let mut quality = BTreeMap::new();
+            for id in frame.labels.instance_ids() {
+                quality
+                    .insert(id, encoded.instance_quality(&frame.labels.instance_mask(id)));
+            }
+            let obs = FrameObservation {
+                labels: frame.labels.clone(),
+                classes: classes.clone(),
+                quality,
+            };
+            let mut edge = EdgeModel::new(ModelKind::MaskRcnn, 320, 240, seed_base + seed);
+            let result = edge.infer(&obs, None);
+            for id in frame.labels.instance_ids() {
+                let gt = frame.labels.instance_mask(id);
+                if gt.area() < 80 {
+                    continue;
+                }
+                sum += result
+                    .detections
+                    .iter()
+                    .find(|d| d.instance == id)
+                    .map(|d| iou(&gt, &d.mask))
+                    .unwrap_or(0.0);
+                n += 1;
+            }
+        }
+        sum / n as f64
+    };
+
+    let hi = score(QualityLevel::High, 100);
+    let lo = score(QualityLevel::Low, 200);
+    assert!(
+        hi > lo + 0.1,
+        "edge accuracy should track encode quality: high {hi:.3} vs low {lo:.3}"
+    );
+}

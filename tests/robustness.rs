@@ -1,0 +1,109 @@
+//! Robustness invariants across scenario difficulty (the Fig. 12/13
+//! mechanisms) and multi-device contention.
+
+use edgeis::experiment::{run_system, ExperimentConfig, SystemKind};
+use edgeis::multi::{run_multi_device, MultiDeviceConfig};
+use edgeis_netsim::LinkKind;
+use edgeis_scene::datasets::{self, Complexity};
+use edgeis_scene::trajectory::{MotionSpeed, Trajectory};
+
+fn config() -> ExperimentConfig {
+    ExperimentConfig { frames: 120, ..Default::default() }
+}
+
+fn run_at_speed(speed: MotionSpeed, seed: u64) -> f64 {
+    let cfg = config();
+    let mut world = datasets::indoor_simple(seed);
+    world.trajectory = Trajectory::lateral(speed);
+    run_system(SystemKind::EdgeIs, &world, LinkKind::Wifi5, &cfg).mean_iou()
+}
+
+#[test]
+fn walking_not_worse_than_jogging() {
+    // Pool two seeds to damp noise.
+    let walk = (run_at_speed(MotionSpeed::Walk, 2) + run_at_speed(MotionSpeed::Walk, 5)) / 2.0;
+    let jog = (run_at_speed(MotionSpeed::Jog, 2) + run_at_speed(MotionSpeed::Jog, 5)) / 2.0;
+    assert!(
+        walk + 0.03 >= jog,
+        "walking ({walk:.3}) should not be worse than jogging ({jog:.3})"
+    );
+    assert!(walk > 0.5, "walking accuracy collapsed: {walk:.3}");
+}
+
+#[test]
+fn easy_scenes_not_worse_than_hard() {
+    let cfg = config();
+    let run = |level: Complexity| {
+        let mut sum = 0.0;
+        for seed in [3u64, 7] {
+            let world = datasets::complexity_world(level, seed);
+            sum += run_system(SystemKind::EdgeIs, &world, LinkKind::Wifi5, &cfg).mean_iou();
+        }
+        sum / 2.0
+    };
+    let easy = run(Complexity::Easy);
+    let hard = run(Complexity::Hard);
+    assert!(
+        easy + 0.05 >= hard,
+        "easy ({easy:.3}) should not be worse than hard ({hard:.3})"
+    );
+    assert!(easy > 0.42, "easy-scene accuracy collapsed: {easy:.3}");
+}
+
+#[test]
+fn wifi5_not_worse_than_lte() {
+    let cfg = config();
+    let world = datasets::indoor_simple(2);
+    let wifi = run_system(SystemKind::EdgeIs, &world, LinkKind::Wifi5, &cfg);
+    let lte = run_system(SystemKind::EdgeIs, &world, LinkKind::Lte, &cfg);
+    assert!(
+        wifi.false_rate(0.75) <= lte.false_rate(0.75) + 0.08,
+        "WiFi-5 false rate {:.3} should not exceed LTE {:.3}",
+        wifi.false_rate(0.75),
+        lte.false_rate(0.75)
+    );
+}
+
+#[test]
+fn shared_edge_scales_to_a_small_fleet() {
+    let cfg = MultiDeviceConfig { devices: 3, frames: 100, ..Default::default() };
+    let reports = run_multi_device(datasets::indoor_simple, &cfg);
+    assert_eq!(reports.len(), 3);
+    let fleet_mean: f64 =
+        reports.iter().map(|r| r.mean_iou()).sum::<f64>() / reports.len() as f64;
+    assert!(
+        fleet_mean > 0.3,
+        "fleet collapsed under contention: {fleet_mean:.3}"
+    );
+    // No device may be starved entirely.
+    for r in &reports {
+        assert!(
+            !r.iou_samples().is_empty(),
+            "{} produced no scored frames",
+            r.system
+        );
+    }
+}
+
+#[test]
+fn every_dataset_preset_runs_end_to_end() {
+    let cfg = ExperimentConfig { frames: 90, ..Default::default() };
+    for preset in edgeis_scene::DatasetPreset::ALL {
+        let world = preset.build(2);
+        let report = run_system(SystemKind::EdgeIs, &world, LinkKind::Wifi5, &cfg);
+        assert!(
+            !report.iou_samples().is_empty(),
+            "{}: nothing scored",
+            world.name
+        );
+        // The KITTI-like forward preset is the hardest for monocular VO
+        // (epipole-centered parallax); require functionality, not parity.
+        let bar = if world.name.starts_with("kitti") { 0.10 } else { 0.2 };
+        assert!(
+            report.mean_iou() > bar,
+            "{}: collapsed ({:.3})",
+            world.name,
+            report.mean_iou()
+        );
+    }
+}
