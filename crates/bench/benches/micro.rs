@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use edgeis_geometry::{
     fundamental_eight_point, ransac, refine_pose, sampson_distance, triangulate_dlt, BaConfig,
-    Camera, Observation, RansacConfig, SE3, SO3, Vec2, Vec3,
+    Camera, Observation, RansacConfig, Vec2, Vec3, SE3, SO3,
 };
 use edgeis_imaging::{
     detect_orb, extract_contours, fill_polygon, match_descriptors, GrayImage, Mask, MatchConfig,
@@ -48,7 +48,10 @@ fn bench_features(c: &mut Criterion) {
 
 fn two_view_points(n: usize) -> (Vec<Vec2>, Vec<Vec2>) {
     let cam = Camera::with_hfov(1.2, 320, 240);
-    let pose = SE3::new(SO3::exp(Vec3::new(0.0, -0.02, 0.0)), Vec3::new(0.3, 0.0, 0.0));
+    let pose = SE3::new(
+        SO3::exp(Vec3::new(0.0, -0.02, 0.0)),
+        Vec3::new(0.3, 0.0, 0.0),
+    );
     let mut rng = StdRng::seed_from_u64(3);
     let mut a = Vec::new();
     let mut b = Vec::new();
@@ -113,11 +116,17 @@ fn bench_geometry(c: &mut Criterion) {
         );
         if let Some(px) = cam.project(&SE3::identity(), p) {
             if cam.contains(px) {
-                obs.push(Observation { point: p, pixel: px });
+                obs.push(Observation {
+                    point: p,
+                    pixel: px,
+                });
             }
         }
     }
-    let init = SE3::new(SO3::exp(Vec3::new(0.01, 0.01, 0.0)), Vec3::new(0.02, 0.0, 0.0));
+    let init = SE3::new(
+        SO3::exp(Vec3::new(0.01, 0.01, 0.0)),
+        Vec3::new(0.02, 0.0, 0.0),
+    );
     c.bench_function("pose_ba_80obs", |b| {
         b.iter(|| refine_pose(&cam, &init, &obs, &BaConfig::default()))
     });
@@ -168,7 +177,12 @@ fn random_rois(n: usize) -> Vec<Roi> {
             let x = rng.random_range(0.0..280.0);
             let y = rng.random_range(0.0..200.0);
             Roi {
-                bbox: BBox::new(x, y, x + rng.random_range(20.0..60.0), y + rng.random_range(20.0..60.0)),
+                bbox: BBox::new(
+                    x,
+                    y,
+                    x + rng.random_range(20.0..60.0),
+                    y + rng.random_range(20.0..60.0),
+                ),
                 score: rng.random_range(0.2..1.0),
                 area_id: if rng.random_bool(0.5) { Some(0) } else { None },
             }
@@ -179,14 +193,22 @@ fn random_rois(n: usize) -> Vec<Roi> {
 fn bench_selection(c: &mut Criterion) {
     let rois = random_rois(400);
     c.bench_function("greedy_nms_400", |b| {
-        b.iter_batched(|| rois.clone(), |r| greedy_nms(r, 0.5), BatchSize::SmallInput)
+        b.iter_batched(
+            || rois.clone(),
+            |r| greedy_nms(r, 0.5),
+            BatchSize::SmallInput,
+        )
     });
     c.bench_function("fast_nms_400", |b| {
         b.iter_batched(|| rois.clone(), |r| fast_nms(r, 0.5), BatchSize::SmallInput)
     });
     let init = [BBox::new(100.0, 80.0, 200.0, 160.0)];
     c.bench_function("roi_pruning_400", |b| {
-        b.iter_batched(|| rois.clone(), |r| prune_rois(r, &init), BatchSize::SmallInput)
+        b.iter_batched(
+            || rois.clone(),
+            |r| prune_rois(r, &init),
+            BatchSize::SmallInput,
+        )
     });
 
     let grid = AnchorGrid::new(FpnConfig::default(), 640, 480);

@@ -5,10 +5,18 @@ use edgeis_bench::figures::{self, pct};
 fn main() {
     let config = figures::default_config();
     println!("Ablation — CFRS new-area trigger threshold t (paper uses 0.25)\n");
-    println!("{:<6} {:>9} {:>12} {:>10} {:>10}", "t", "IoU", "false@0.75", "Mbps", "tx frames");
+    println!(
+        "{:<6} {:>9} {:>12} {:>10} {:>10}",
+        "t", "IoU", "false@0.75", "Mbps", "tx frames"
+    );
     for (t, r) in figures::ablation_trigger(&config) {
-        println!("{:<6} {:>9.3} {:>12} {:>10.2} {:>9.0}%",
-                 t, r.mean_iou(), pct(r.false_rate(0.75)),
-                 r.mean_uplink_mbps(30.0), r.transmit_fraction() * 100.0);
+        println!(
+            "{:<6} {:>9.3} {:>12} {:>10.2} {:>9.0}%",
+            t,
+            r.mean_iou(),
+            pct(r.false_rate(0.75)),
+            r.mean_uplink_mbps(30.0),
+            r.transmit_fraction() * 100.0
+        );
     }
 }

@@ -5,11 +5,20 @@ use edgeis_bench::figures;
 fn main() {
     println!("Fig. 2b — model trade-off on the edge (640x480, full frame)\n");
     println!("{:<18} {:>8} {:>12}   paper", "model", "IoU", "latency");
-    let paper = [("YOLOv3 (boxes)", "0.98 IoU, <30 ms"),
-                 ("YOLACT", "0.75 IoU, ~120 ms"),
-                 ("Mask R-CNN", "0.92 IoU, ~400 ms")];
+    let paper = [
+        ("YOLOv3 (boxes)", "0.98 IoU, <30 ms"),
+        ("YOLACT", "0.75 IoU, ~120 ms"),
+        ("Mask R-CNN", "0.92 IoU, ~400 ms"),
+    ];
     for row in figures::fig02_tradeoff() {
-        let p = paper.iter().find(|(m, _)| *m == row.model).map(|(_, v)| *v).unwrap_or("");
-        println!("{:<18} {:>8.3} {:>10.1}ms   {p}", row.model, row.iou, row.latency_ms);
+        let p = paper
+            .iter()
+            .find(|(m, _)| *m == row.model)
+            .map(|(_, v)| *v)
+            .unwrap_or("");
+        println!(
+            "{:<18} {:>8.3} {:>10.1}ms   {p}",
+            row.model, row.iou, row.latency_ms
+        );
     }
 }

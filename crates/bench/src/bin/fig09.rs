@@ -4,20 +4,42 @@ use edgeis_bench::figures::{self, pct};
 
 fn main() {
     let config = figures::default_config();
-    println!("Fig. 9 — overall accuracy (WiFi 5GHz, mixed datasets, {} frames x {} clips)\n",
-             config.frames, figures::SEEDS.len());
-    let paper = [("pure-mobile", 0.783), ("best-effort", 0.601), ("EdgeDuet", 0.39),
-                 ("EAAR", 0.21), ("edgeIS", 0.039)];
-    println!("{:<14} {:>9} {:>12} {:>12}   paper false@0.75", "system", "mean IoU", "false@0.5", "false@0.75");
+    println!(
+        "Fig. 9 — overall accuracy (WiFi 5GHz, mixed datasets, {} frames x {} clips)\n",
+        config.frames,
+        figures::SEEDS.len()
+    );
+    let paper = [
+        ("pure-mobile", 0.783),
+        ("best-effort", 0.601),
+        ("EdgeDuet", 0.39),
+        ("EAAR", 0.21),
+        ("edgeIS", 0.039),
+    ];
+    println!(
+        "{:<14} {:>9} {:>12} {:>12}   paper false@0.75",
+        "system", "mean IoU", "false@0.5", "false@0.75"
+    );
     let reports = figures::fig09_overall(&config);
     for r in &reports {
-        let p = paper.iter().find(|(n, _)| *n == r.system).map(|(_, v)| pct(*v)).unwrap_or_default();
-        println!("{:<14} {:>9.3} {:>12} {:>12}   {p}",
-                 r.system, r.mean_iou(), pct(r.false_rate(0.5)), pct(r.false_rate(0.75)));
+        let p = paper
+            .iter()
+            .find(|(n, _)| *n == r.system)
+            .map(|(_, v)| pct(*v))
+            .unwrap_or_default();
+        println!(
+            "{:<14} {:>9.3} {:>12} {:>12}   {p}",
+            r.system,
+            r.mean_iou(),
+            pct(r.false_rate(0.5)),
+            pct(r.false_rate(0.75))
+        );
     }
     println!("\nIoU CDF (fraction of samples <= threshold):");
     print!("{:<14}", "threshold");
-    for t in [0.2, 0.4, 0.5, 0.6, 0.75, 0.9] { print!(" {:>7.2}", t); }
+    for t in [0.2, 0.4, 0.5, 0.6, 0.75, 0.9] {
+        print!(" {:>7.2}", t);
+    }
     println!();
     for r in &reports {
         let cdf = r.iou_cdf(100);

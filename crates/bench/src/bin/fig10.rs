@@ -5,7 +5,10 @@ use edgeis_bench::figures::{self, pct};
 fn main() {
     let config = figures::default_config();
     println!("Fig. 10 — false rate (IoU<0.75) by network\n");
-    println!("{:<12} {:>12} {:>12}   paper", "system", "WiFi 2.4GHz", "WiFi 5GHz");
+    println!(
+        "{:<12} {:>12} {:>12}   paper",
+        "system", "WiFi 2.4GHz", "WiFi 5GHz"
+    );
     let rows = figures::fig10_network(&config);
     for chunk in rows.chunks(2) {
         let name = chunk[0].0.name();
@@ -15,7 +18,11 @@ fn main() {
             "EdgeDuet" => "- / 41%",
             _ => "",
         };
-        println!("{:<12} {:>12} {:>12}   {paper}",
-                 name, pct(chunk[0].2.false_rate(0.75)), pct(chunk[1].2.false_rate(0.75)));
+        println!(
+            "{:<12} {:>12} {:>12}   {paper}",
+            name,
+            pct(chunk[0].2.false_rate(0.75)),
+            pct(chunk[1].2.false_rate(0.75))
+        );
     }
 }

@@ -5,10 +5,26 @@ use edgeis_bench::figures;
 fn main() {
     let config = figures::default_config();
     println!("Fig. 11 — latency & accuracy (WiFi 5GHz)\n");
-    println!("{:<12} {:>9} {:>12}   paper (latency, IoU)", "system", "IoU", "latency");
-    let paper = [("edgeIS", "28 ms, 0.89"), ("EAAR", "41 ms, 0.83"), ("EdgeDuet", "49 ms, 0.78")];
+    println!(
+        "{:<12} {:>9} {:>12}   paper (latency, IoU)",
+        "system", "IoU", "latency"
+    );
+    let paper = [
+        ("edgeIS", "28 ms, 0.89"),
+        ("EAAR", "41 ms, 0.83"),
+        ("EdgeDuet", "49 ms, 0.78"),
+    ];
     for r in figures::fig11_latency(&config) {
-        let p = paper.iter().find(|(n, _)| *n == r.system).map(|(_, v)| *v).unwrap_or("");
-        println!("{:<12} {:>9.3} {:>10.1}ms   {p}", r.system, r.mean_iou(), r.mean_latency_ms());
+        let p = paper
+            .iter()
+            .find(|(n, _)| *n == r.system)
+            .map(|(_, v)| *v)
+            .unwrap_or("");
+        println!(
+            "{:<12} {:>9.3} {:>10.1}ms   {p}",
+            r.system,
+            r.mean_iou(),
+            r.mean_latency_ms()
+        );
     }
 }

@@ -5,11 +5,19 @@ use edgeis_bench::figures::{self, pct};
 fn main() {
     let config = figures::default_config();
     println!("Fig. 12 — camera-motion robustness (edgeIS)\n");
-    println!("{:<10} {:>9} {:>12}   paper false rate", "motion", "IoU", "false@0.75");
+    println!(
+        "{:<10} {:>9} {:>12}   paper false rate",
+        "motion", "IoU", "false@0.75"
+    );
     let paper = ["4.7%", "9.8%", "29.9%"];
     for (i, (speed, r)) in figures::fig12_motion(&config).iter().enumerate() {
-        println!("{:<10} {:>9.3} {:>12}   {}", format!("{speed:?}"), r.mean_iou(),
-                 pct(r.false_rate(0.75)), paper[i]);
+        println!(
+            "{:<10} {:>9.3} {:>12}   {}",
+            format!("{speed:?}"),
+            r.mean_iou(),
+            pct(r.false_rate(0.75)),
+            paper[i]
+        );
     }
     println!("\n(paper: worst case still reaches 0.82 mean IoU)");
 }

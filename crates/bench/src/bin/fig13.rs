@@ -5,10 +5,18 @@ use edgeis_bench::figures::{self, pct};
 fn main() {
     let config = figures::default_config();
     println!("Fig. 13 — scene complexity (edgeIS)\n");
-    println!("{:<10} {:>9} {:>12}   paper IoU", "level", "IoU", "false@0.75");
+    println!(
+        "{:<10} {:>9} {:>12}   paper IoU",
+        "level", "IoU", "false@0.75"
+    );
     let paper = ["0.91", "0.88", "0.83 (false 19.7% dynamic)"];
     for (i, (level, r)) in figures::fig13_complexity(&config).iter().enumerate() {
-        println!("{:<10} {:>9.3} {:>12}   {}", format!("{level:?}"), r.mean_iou(),
-                 pct(r.false_rate(0.75)), paper[i]);
+        println!(
+            "{:<10} {:>9.3} {:>12}   {}",
+            format!("{level:?}"),
+            r.mean_iou(),
+            pct(r.false_rate(0.75)),
+            paper[i]
+        );
     }
 }

@@ -4,17 +4,35 @@ use edgeis_bench::figures;
 
 fn main() {
     println!("Fig. 14 — Mask R-CNN acceleration (640x480, 2 objects + 1 new area)\n");
-    println!("{:<20} {:>9} {:>9} {:>9} {:>7}", "config", "RPN", "heads", "total", "IoU");
+    println!(
+        "{:<20} {:>9} {:>9} {:>9} {:>7}",
+        "config", "RPN", "heads", "total", "IoU"
+    );
     let rows = figures::fig14_acceleration();
     for r in &rows {
-        println!("{:<20} {:>7.1}ms {:>7.1}ms {:>7.1}ms {:>7.3}", r.config, r.rpn_ms, r.head_ms, r.total_ms, r.iou);
+        println!(
+            "{:<20} {:>7.1}ms {:>7.1}ms {:>7.1}ms {:>7.3}",
+            r.config, r.rpn_ms, r.head_ms, r.total_ms, r.iou
+        );
     }
     let base = &rows[0];
     let anchors = &rows[1];
     let full = &rows[2];
     println!("\nreductions vs vanilla (paper in parens):");
-    println!("  RPN latency        : -{:.0}%  (paper -46%)", (1.0 - anchors.rpn_ms / base.rpn_ms) * 100.0);
-    println!("  heads w/ anchors   : -{:.0}%  (paper -21%)", (1.0 - anchors.head_ms / base.head_ms) * 100.0);
-    println!("  heads w/ pruning   : -{:.0}%  (paper -43%)", (1.0 - full.head_ms / anchors.head_ms) * 100.0);
-    println!("  total w/ both      : -{:.0}%  (paper -48%, accuracy stays >0.92)", (1.0 - full.total_ms / base.total_ms) * 100.0);
+    println!(
+        "  RPN latency        : -{:.0}%  (paper -46%)",
+        (1.0 - anchors.rpn_ms / base.rpn_ms) * 100.0
+    );
+    println!(
+        "  heads w/ anchors   : -{:.0}%  (paper -21%)",
+        (1.0 - anchors.head_ms / base.head_ms) * 100.0
+    );
+    println!(
+        "  heads w/ pruning   : -{:.0}%  (paper -43%)",
+        (1.0 - full.head_ms / anchors.head_ms) * 100.0
+    );
+    println!(
+        "  total w/ both      : -{:.0}%  (paper -48%, accuracy stays >0.92)",
+        (1.0 - full.total_ms / base.total_ms) * 100.0
+    );
 }

@@ -10,19 +10,33 @@ fn main() {
     let world = figures::mixed_world(2);
     let mut system = EdgeIsSystem::new(EdgeIsConfig::full(config.camera, 2), LinkKind::Wifi5);
     let classes = class_map(&world);
-    let pipe = PipelineConfig { frames: 600, ..Default::default() }; // 20 s
+    let pipe = PipelineConfig {
+        frames: 600,
+        ..Default::default()
+    }; // 20 s
     let _ = run_pipeline(&mut system, &world, &config.camera, &classes, &pipe);
 
     let ledger = system.resources().expect("edgeIS tracks resources");
     println!("Fig. 15 — mobile resource usage (20 s simulated)\n");
     println!("{:<8} {:>8} {:>12}", "time", "CPU %", "memory MB");
     for s in ledger.samples().iter().step_by(60) {
-        println!("{:>6.1}s {:>8.1} {:>12.1}", s.time_ms / 1000.0, s.cpu_percent,
-                 s.memory_bytes as f64 / 1048576.0);
+        println!(
+            "{:>6.1}s {:>8.1} {:>12.1}",
+            s.time_ms / 1000.0,
+            s.cpu_percent,
+            s.memory_bytes as f64 / 1048576.0
+        );
     }
-    println!("\nmean CPU      : {:.1}%   (paper ~75%)", ledger.mean_cpu_percent());
-    println!("peak memory   : {:.0} MB (paper: capped <1 GB, ~2 MB/s growth)",
-             ledger.peak_memory() as f64 / 1048576.0);
-    println!("battery/10min : {:.1}%   (paper: 4.2% iPhone 11 / 5.4% Galaxy S10)",
-             ledger.battery_percent_per_10min());
+    println!(
+        "\nmean CPU      : {:.1}%   (paper ~75%)",
+        ledger.mean_cpu_percent()
+    );
+    println!(
+        "peak memory   : {:.0} MB (paper: capped <1 GB, ~2 MB/s growth)",
+        ledger.peak_memory() as f64 / 1048576.0
+    );
+    println!(
+        "battery/10min : {:.1}%   (paper: 4.2% iPhone 11 / 5.4% Galaxy S10)",
+        ledger.battery_percent_per_10min()
+    );
 }

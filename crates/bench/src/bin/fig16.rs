@@ -14,10 +14,21 @@ fn main() {
         if name == "best-effort" {
             base = ious;
         }
-        let delta = |i: usize| if base[i] > 0.0 && name != "best-effort" {
-            format!(" (+{:.0}%)", (ious[i] / base[i] - 1.0) * 100.0)
-        } else { String::new() };
-        println!("{:<16} {:>7.3}{:<6} {:>7.3}{:<6}", name, ious[0], delta(0), ious[1], delta(1));
+        let delta = |i: usize| {
+            if base[i] > 0.0 && name != "best-effort" {
+                format!(" (+{:.0}%)", (ious[i] / base[i] - 1.0) * 100.0)
+            } else {
+                String::new()
+            }
+        };
+        println!(
+            "{:<16} {:>7.3}{:<6} {:>7.3}{:<6}",
+            name,
+            ious[0],
+            delta(0),
+            ious[1],
+            delta(1)
+        );
     }
     println!("\npaper gains: CFRS +3-7%, CIIA +12-14%, MAMT +19%, all modules +27%");
 }

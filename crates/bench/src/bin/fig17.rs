@@ -6,8 +6,20 @@ fn main() {
     let config = figures::default_config();
     let study = figures::fig17_field(&config);
     println!("Fig. 17 — oil-field case study\n");
-    println!("segmentation accuracy : {}   (paper 87%)", pct(study.seg_accuracy));
-    println!("false segmentation    : {}   (paper 8%)", pct(study.false_seg));
-    println!("rendered info accuracy: {}   (paper 92%)", pct(study.render_accuracy));
-    println!("false rendering       : {}   (paper 2%)", pct(study.false_render));
+    println!(
+        "segmentation accuracy : {}   (paper 87%)",
+        pct(study.seg_accuracy)
+    );
+    println!(
+        "false segmentation    : {}   (paper 8%)",
+        pct(study.false_seg)
+    );
+    println!(
+        "rendered info accuracy: {}   (paper 92%)",
+        pct(study.render_accuracy)
+    );
+    println!(
+        "false rendering       : {}   (paper 2%)",
+        pct(study.false_render)
+    );
 }

@@ -1,0 +1,93 @@
+//! Outage figure: per-frame IoU across a scripted 2-second total LTE
+//! outage, edgeIS vs pure offload. Prints a summary table and writes the
+//! full time series as JSON to `results/fig_outage.json` for plotting.
+
+use edgeis::metrics::Report;
+use edgeis_bench::figures::{self, OutageStudy};
+use std::fmt::Write as _;
+
+/// Mean IoU of one frame record, or -1.0 when nothing was scorable
+/// (warmup, or every instance left the view) so plotters can skip it.
+fn frame_iou(r: &edgeis::metrics::FrameRecord) -> f64 {
+    if r.ious.is_empty() {
+        -1.0
+    } else {
+        r.ious.iter().map(|&(_, v)| v).sum::<f64>() / r.ious.len() as f64
+    }
+}
+
+/// Serializes the study by hand — the stack has no JSON dependency and
+/// the shape is flat enough not to need one.
+fn to_json(study: &OutageStudy) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"outage_start_ms\": {:.1},", study.outage_start_ms);
+    let _ = writeln!(out, "  \"outage_end_ms\": {:.1},", study.outage_end_ms);
+    out.push_str("  \"series\": [\n");
+    for (i, (label, report)) in study.runs.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"system\": \"{label}\",");
+        let res = &report.resilience;
+        let _ = writeln!(
+            out,
+            "      \"resilience\": {{\"timeouts\": {}, \"retries\": {}, \"probes_sent\": {}, \
+             \"outages_detected\": {}, \"recoveries\": {}, \"mean_recovery_ms\": {:.1}}},",
+            res.timeouts,
+            res.retries,
+            res.probes_sent,
+            res.outages_detected,
+            res.recoveries,
+            res.mean_recovery_ms()
+        );
+        out.push_str("      \"frames\": [");
+        for (j, r) in report.records.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[{:.1}, {:.4}]", r.time_ms, frame_iou(r));
+        }
+        out.push_str("]\n");
+        out.push_str(if i + 1 < study.runs.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn summarize(label: &str, report: &Report, study: &OutageStudy) {
+    let before = report.mean_iou_in_window(1200.0, study.outage_start_ms);
+    let during = report.mean_iou_in_window(study.outage_start_ms, study.outage_end_ms);
+    let after = report.frames_to_recover(study.outage_end_ms, 0.9 * before);
+    let recover = match after {
+        Some(n) => format!("{n} frames"),
+        None => "never".to_string(),
+    };
+    println!(
+        "{:<14} {:>8.3} {:>8.3} {:>12}   (timeouts {}, recoveries {})",
+        label, before, during, recover, report.resilience.timeouts, report.resilience.recoveries
+    );
+}
+
+fn main() {
+    let config = figures::default_config();
+    let study = figures::fig_outage(&config);
+
+    println!("Outage ride-through — 2 s total LTE outage at t=2.0 s\n");
+    println!(
+        "{:<14} {:>8} {:>8} {:>12}",
+        "system", "before", "during", "recovery"
+    );
+    for (label, report) in &study.runs {
+        summarize(label, report, &study);
+    }
+
+    let json = to_json(&study);
+    let path = "results/fig_outage.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+}

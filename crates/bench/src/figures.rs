@@ -2,7 +2,9 @@
 //! rows/series of one figure or table of the paper; the `bin/` targets are
 //! thin printers around these.
 
-use edgeis::experiment::{run_pooled, run_system, ExperimentConfig, SystemKind};
+use edgeis::experiment::{
+    run_pooled, run_system, run_system_with_faults, ExperimentConfig, FaultPlan, SystemKind,
+};
 use edgeis::metrics::Report;
 use edgeis_imaging::{iou, LabelMap};
 use edgeis_netsim::LinkKind;
@@ -17,7 +19,10 @@ pub const SEEDS: [u64; 3] = [2, 5, 9];
 
 /// Default experiment configuration used by the figure harnesses.
 pub fn default_config() -> ExperimentConfig {
-    ExperimentConfig { frames: 150, ..Default::default() }
+    ExperimentConfig {
+        frames: 150,
+        ..Default::default()
+    }
 }
 
 /// A mixed-dataset world generator (the paper pools DAVIS/KITTI/Xiph plus
@@ -145,8 +150,7 @@ pub fn fig12_motion(config: &ExperimentConfig) -> Vec<(MotionSpeed, Report)> {
                 world.name = format!("motion-{speed:?}-{seed}");
                 world
             };
-            let report =
-                run_pooled(SystemKind::EdgeIs, make, &SEEDS, LinkKind::Wifi5, config);
+            let report = run_pooled(SystemKind::EdgeIs, make, &SEEDS, LinkKind::Wifi5, config);
             (speed, report)
         })
         .collect()
@@ -162,8 +166,7 @@ pub fn fig13_complexity(config: &ExperimentConfig) -> Vec<(Complexity, Report)> 
         .iter()
         .map(|&level| {
             let make = move |seed: u64| datasets::complexity_world(level, seed);
-            let report =
-                run_pooled(SystemKind::EdgeIs, make, &SEEDS, LinkKind::Wifi5, config);
+            let report = run_pooled(SystemKind::EdgeIs, make, &SEEDS, LinkKind::Wifi5, config);
             (level, report)
         })
         .collect()
@@ -363,9 +366,54 @@ pub fn ablation_trigger(config: &ExperimentConfig) -> Vec<(f64, Report)> {
                 &pipe,
             ));
         }
-        out.push((threshold, Report::pooled("edgeIS", "trigger-sweep", &reports)));
+        out.push((
+            threshold,
+            Report::pooled("edgeIS", "trigger-sweep", &reports),
+        ));
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// Outage figure — IoU over time across a scripted total link outage
+// ---------------------------------------------------------------------------
+
+/// Result of the outage experiment: one report per system, plus the
+/// scripted outage window so the plotter can shade it.
+#[derive(Debug, Clone)]
+pub struct OutageStudy {
+    /// Outage start, virtual ms.
+    pub outage_start_ms: f64,
+    /// Outage end, virtual ms.
+    pub outage_end_ms: f64,
+    /// (system label, report) per compared system.
+    pub runs: Vec<(&'static str, Report)>,
+}
+
+/// Runs edgeIS and the pure-offload baseline through the headline
+/// robustness scenario: a scripted 2-second total LTE outage mid-run.
+/// edgeIS coasts on local tracking and re-syncs after the link heals;
+/// the baseline has nothing to fall back on.
+pub fn fig_outage(config: &ExperimentConfig) -> OutageStudy {
+    let (outage_start_ms, outage_end_ms) = (2000.0, 4000.0);
+    let world = datasets::indoor_simple(config.seed);
+    let faults = FaultPlan::outage(config.seed, outage_start_ms, outage_end_ms);
+    let runs = [SystemKind::EdgeIs, SystemKind::BestEffort]
+        .into_iter()
+        .map(|kind| {
+            let label = match kind {
+                SystemKind::EdgeIs => "edgeIS",
+                _ => "pure offload",
+            };
+            let report = run_system_with_faults(kind, &world, LinkKind::Lte, config, &faults);
+            (label, report)
+        })
+        .collect();
+    OutageStudy {
+        outage_start_ms,
+        outage_end_ms,
+        runs,
+    }
 }
 
 /// Formats a fraction as a percentage string.

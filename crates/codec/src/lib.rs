@@ -74,7 +74,11 @@ impl TileGrid {
     /// Panics if `tile_size == 0`.
     pub fn new(tile_size: u32, width: u32, height: u32) -> Self {
         assert!(tile_size > 0, "tile size must be positive");
-        Self { tile_size, width, height }
+        Self {
+            tile_size,
+            width,
+            height,
+        }
     }
 
     /// Number of tile columns.
@@ -144,7 +148,10 @@ pub struct TilePlan {
 impl TilePlan {
     /// A uniform plan (e.g. all-high for naive offloading baselines).
     pub fn uniform(grid: TileGrid, level: QualityLevel) -> Self {
-        Self { levels: vec![level; grid.len()], grid }
+        Self {
+            levels: vec![level; grid.len()],
+            grid,
+        }
     }
 
     /// Upgrades the tiles in `indices` to `level` if higher than current.
@@ -216,7 +223,11 @@ impl EncodedFrame {
 /// a real transform codec).
 pub fn encode(frame: &GrayImage, plan: &TilePlan) -> EncodedFrame {
     assert_eq!(frame.width(), plan.grid.width, "frame/grid width mismatch");
-    assert_eq!(frame.height(), plan.grid.height, "frame/grid height mismatch");
+    assert_eq!(
+        frame.height(),
+        plan.grid.height,
+        "frame/grid height mismatch"
+    );
     let energy = gradient_energy(frame);
     let ii = IntegralImage::from_values(frame.width(), frame.height(), &energy);
 
@@ -237,7 +248,10 @@ pub fn encode(frame: &GrayImage, plan: &TilePlan) -> EncodedFrame {
         })
         .collect();
 
-    EncodedFrame { plan: plan.clone(), tile_bytes }
+    EncodedFrame {
+        plan: plan.clone(),
+        tile_bytes,
+    }
 }
 
 #[cfg(test)]

@@ -14,7 +14,11 @@ fn frame_strategy() -> impl Strategy<Value = GrayImage> {
                 s ^= s >> 7;
                 s ^= s << 17;
                 // Mix flat areas and texture.
-                let v = if (x / 24 + y / 16) % 2 == 0 { 120 } else { (s & 0xff) as u8 };
+                let v = if (x / 24 + y / 16) % 2 == 0 {
+                    120
+                } else {
+                    (s & 0xff) as u8
+                };
                 img.set(x, y, v);
             }
         }

@@ -185,10 +185,14 @@ impl SegmentationSystem for EaarSystem {
             .partition(|(p, _)| p.arrive_ms <= now);
         self.pending = later;
         for (resp, disp_at_send) in ready {
+            // Responses come back wire-encoded; undecodable ones (fault
+            // injection) are dropped on the floor — EAAR has no retry.
+            let Ok((_, detections)) = resp.decode() else {
+                continue;
+            };
             let dx = (accum.0 - disp_at_send.0).round() as i64;
             let dy = (accum.1 - disp_at_send.1).round() as i64;
-            self.cached = resp
-                .detections
+            self.cached = detections
                 .iter()
                 .filter(|d| d.confidence >= min_conf)
                 .map(|d| (d.instance, translate_mask(&d.mask, dx, dy)))
@@ -216,10 +220,12 @@ impl SegmentationSystem for EaarSystem {
             let arrival = self
                 .link
                 .transmit(tx_bytes, now + mobile_ms, Direction::Uplink);
-            let resp = self
+            if let Some(resp) = self
                 .server
-                .submit(input.index, &obs, None, arrival, &mut self.link);
-            self.pending.push((resp, self.accum_disp));
+                .submit(input.index, &obs, None, arrival, &mut self.link)
+            {
+                self.pending.push((resp, self.accum_disp));
+            }
         }
 
         self.ledger.record_frame(now, mobile_ms, tx_bytes);
@@ -302,8 +308,13 @@ impl SegmentationSystem for EdgeDuetSystem {
             self.pending.drain(..).partition(|p| p.arrive_ms <= now);
         self.pending = later;
         for resp in ready {
+            // Wire-decode; corrupted responses are silently dropped
+            // (EdgeDuet has no resilience policy).
+            let Ok((_, detections)) = resp.decode() else {
+                continue;
+            };
             self.tracked.clear();
-            for d in resp.detections.iter().filter(|d| d.confidence >= min_conf) {
+            for d in detections.iter().filter(|d| d.confidence >= min_conf) {
                 let x = d.bbox.x0.max(0.0) as u32;
                 let y = d.bbox.y0.max(0.0) as u32;
                 let w = ((d.bbox.x1 - d.bbox.x0) as u32).clamp(8, 48);
@@ -338,10 +349,12 @@ impl SegmentationSystem for EdgeDuetSystem {
             let arrival = self
                 .link
                 .transmit(tx_bytes, now + mobile_ms, Direction::Uplink);
-            let resp = self
+            if let Some(resp) = self
                 .server
-                .submit(input.index, &obs, None, arrival, &mut self.link);
-            self.pending.push(resp);
+                .submit(input.index, &obs, None, arrival, &mut self.link)
+            {
+                self.pending.push(resp);
+            }
         }
 
         self.ledger.record_frame(now, mobile_ms, tx_bytes);

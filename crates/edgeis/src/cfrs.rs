@@ -63,6 +63,11 @@ pub enum TransmitReason {
     Periodic,
     /// Back-to-back offloading without CFRS (best-effort ablations).
     Continuous,
+    /// Resilience: re-sending a request that timed out.
+    Retry,
+    /// Resilience: forced full-quality keyframe after an outage healed,
+    /// re-syncing the edge annotations with the drifted local state.
+    Recovery,
 }
 
 /// The CFRS planner: holds the trigger state across frames.
@@ -93,6 +98,13 @@ impl CfrsPlanner {
     /// object's world-motion delta this frame).
     pub fn record_motion(&mut self, label: u16, delta: f64) {
         *self.motion_accum.entry(label).or_insert(0.0) += delta;
+    }
+
+    /// Records a transmission made outside [`Self::decide`] (retries,
+    /// recovery keyframes) so the interval triggers stay rate-limited.
+    pub fn record_transmission(&mut self, frame_idx: u64) {
+        self.last_tx_frame = Some(frame_idx);
+        self.motion_accum.clear();
     }
 
     /// Makes the transmit decision for frame `frame_idx`.

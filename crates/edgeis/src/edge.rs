@@ -1,8 +1,16 @@
-//! The edge server: model inference behind a busy queue and a link.
+//! The edge server: model inference behind a busy queue and a link, plus
+//! the edge-side fault model (crash/restart, overload shedding).
+//!
+//! Responses travel as *wire-encoded bytes* (see [`crate::wire`]): the
+//! mobile side must decode them, so corrupted payloads are rejected by the
+//! real framing checks instead of being silently trusted.
 
+use bytes::Bytes;
 use edgeis_netsim::{Direction, Link, SimMs};
-use edgeis_segnet::{Detection, EdgeModel, FrameObservation, Guidance, InferenceStats};
+use edgeis_segnet::{EdgeModel, FrameObservation, Guidance, InferenceStats};
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// An inference response travelling back to the mobile device.
@@ -10,12 +18,70 @@ use std::sync::Arc;
 pub struct PendingResponse {
     /// The mobile frame id the request was made for.
     pub frame_id: u64,
-    /// Detections computed by the edge.
-    pub detections: Vec<Detection>,
+    /// The wire-encoded response message (possibly corrupted en route).
+    pub payload: Bytes,
     /// Inference accounting.
     pub stats: InferenceStats,
     /// Virtual time the response reaches the mobile device.
     pub arrive_ms: SimMs,
+    /// The edge shed this request (queue beyond its horizon) and returned
+    /// a cheap reject instead of results.
+    pub shed: bool,
+}
+
+impl PendingResponse {
+    /// Decodes the wire payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::wire::WireError`] when the payload is truncated,
+    /// misframed or carries a corrupt mask — exactly what a fault-injected
+    /// corruption produces.
+    pub fn decode(&self) -> Result<(u64, Vec<crate::wire::WireDetection>), crate::wire::WireError> {
+        crate::wire::decode_response(self.payload.clone())
+    }
+}
+
+/// Edge-side fault model: scripted crash windows and overload shedding.
+#[derive(Debug, Clone)]
+pub struct EdgeFaultConfig {
+    /// Crash windows `[start, end)` on the virtual clock. Requests that
+    /// arrive inside a window, or whose processing is in flight when a
+    /// window opens, are lost without a response; the restarted server
+    /// comes back with an empty queue at `end + restart_ms`.
+    pub crash_windows: Vec<(SimMs, SimMs)>,
+    /// Extra model-reload time after a crash, ms.
+    pub restart_ms: f64,
+    /// Overload shedding: a request that would wait longer than this in
+    /// the GPU queue is rejected with a cheap shed response instead of
+    /// being processed. `f64::INFINITY` disables shedding.
+    pub shed_queue_horizon_ms: f64,
+}
+
+impl Default for EdgeFaultConfig {
+    fn default() -> Self {
+        Self {
+            crash_windows: Vec::new(),
+            restart_ms: 0.0,
+            shed_queue_horizon_ms: f64::INFINITY,
+        }
+    }
+}
+
+impl EdgeFaultConfig {
+    /// Whether virtual time `at` falls inside a crash window.
+    pub fn crashed_at(&self, at: SimMs) -> bool {
+        self.crash_windows.iter().any(|&(s, e)| at >= s && at < e)
+    }
+
+    /// The first crash window opening inside `[from, to)`, if any.
+    fn crash_opening_in(&self, from: SimMs, to: SimMs) -> Option<(SimMs, SimMs)> {
+        self.crash_windows
+            .iter()
+            .copied()
+            .filter(|&(s, _)| s >= from && s < to)
+            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
+    }
 }
 
 /// The edge node: a single model instance processed in FIFO order (one
@@ -24,6 +90,13 @@ pub struct PendingResponse {
 pub struct EdgeServer {
     model: EdgeModel,
     busy_until: SimMs,
+    faults: EdgeFaultConfig,
+    /// Deterministic source for corruption byte flips.
+    corrupt_rng: StdRng,
+    /// Requests lost to crashes (simulator-side accounting).
+    crash_losses: u64,
+    /// Requests shed for overload.
+    shed_count: u64,
 }
 
 impl EdgeServer {
@@ -32,12 +105,33 @@ impl EdgeServer {
         Self {
             model,
             busy_until: 0.0,
+            faults: EdgeFaultConfig::default(),
+            corrupt_rng: StdRng::seed_from_u64(0xe6fa_u64),
+            crash_losses: 0,
+            shed_count: 0,
         }
     }
 
+    /// Installs the edge fault model.
+    pub fn set_faults(&mut self, faults: EdgeFaultConfig) {
+        self.faults = faults;
+    }
+
+    /// Requests lost to crash windows so far.
+    pub fn crash_losses(&self) -> u64 {
+        self.crash_losses
+    }
+
+    /// Requests shed for overload so far.
+    pub fn shed_count(&self) -> u64 {
+        self.shed_count
+    }
+
     /// Submits a request arriving (fully received) at `arrival_ms`;
-    /// serializes the masks back over `link`. Returns the pending response
-    /// carrying its delivery time.
+    /// serializes the wire-encoded masks back over `link`. Returns `None`
+    /// when no response will ever reach the mobile device: the edge was
+    /// crashed (request or in-flight processing lost), or the downlink
+    /// transfer itself was lost to a link fault.
     pub fn submit(
         &mut self,
         frame_id: u64,
@@ -45,30 +139,95 @@ impl EdgeServer {
         guidance: Option<&Guidance>,
         arrival_ms: SimMs,
         link: &mut Link,
-    ) -> PendingResponse {
+    ) -> Option<PendingResponse> {
+        // Crash model: a request arriving during a crash is lost; the
+        // server restarts with an empty queue after the window.
+        if self.faults.crashed_at(arrival_ms) {
+            self.recover_from_crash(arrival_ms);
+            self.crash_losses += 1;
+            return None;
+        }
+
         let start = arrival_ms.max(self.busy_until);
+
+        // Overload shedding: reject instead of queuing beyond the horizon.
+        if start - arrival_ms > self.faults.shed_queue_horizon_ms {
+            self.shed_count += 1;
+            let payload = crate::wire::encode_response(frame_id, &[]);
+            let bytes = payload.len();
+            let delivery = link.transmit_faulty(bytes, arrival_ms, Direction::Downlink)?;
+            return Some(PendingResponse {
+                frame_id,
+                payload,
+                stats: InferenceStats::default(),
+                arrive_ms: delivery.arrive_ms,
+                shed: true,
+            });
+        }
+
         let result = self.model.infer(obs, guidance);
         let done = start + result.stats.total_ms();
+
+        // Crash model: processing in flight when a crash window opens is
+        // lost with the process.
+        if let Some((_, crash_end)) = self.faults.crash_opening_in(start, done) {
+            self.recover_from_crash(crash_end);
+            self.crash_losses += 1;
+            return None;
+        }
         self.busy_until = done;
 
         // Response payload: the actual wire-encoded message (header +
         // per-detection metadata + RLE mask; the paper serializes contour
         // vertices, which is the same order of magnitude).
-        let bytes = crate::wire::encode_response(frame_id, &result.detections).len();
-        let arrive_ms = link.transmit(bytes, done, Direction::Downlink);
+        let payload = crate::wire::encode_response(frame_id, &result.detections);
+        let bytes = payload.len();
+        let delivery = link.transmit_faulty(bytes, done, Direction::Downlink)?;
+        let payload = if delivery.corrupted {
+            corrupt_payload(payload, &mut self.corrupt_rng)
+        } else {
+            payload
+        };
 
-        PendingResponse {
+        Some(PendingResponse {
             frame_id,
-            detections: result.detections,
+            payload,
             stats: result.stats,
-            arrive_ms,
-        }
+            arrive_ms: delivery.arrive_ms,
+            shed: false,
+        })
+    }
+
+    fn recover_from_crash(&mut self, at: SimMs) {
+        let window_end = self
+            .faults
+            .crash_windows
+            .iter()
+            .filter(|&&(s, e)| at >= s && at <= e)
+            .map(|&(_, e)| e)
+            .fold(at, f64::max);
+        self.busy_until = self.busy_until.max(window_end + self.faults.restart_ms);
     }
 
     /// When the server becomes free.
     pub fn busy_until(&self) -> SimMs {
         self.busy_until
     }
+}
+
+/// Deterministically damages a wire payload: a handful of byte flips at
+/// seeded positions (sometimes the header, sometimes the mask runs).
+fn corrupt_payload(payload: Bytes, rng: &mut StdRng) -> Bytes {
+    let mut raw = payload.to_vec();
+    if raw.is_empty() {
+        return payload;
+    }
+    let flips = 1 + rng.random_range(0..4usize).min(raw.len() - 1);
+    for _ in 0..flips {
+        let pos = rng.random_range(0..raw.len());
+        raw[pos] ^= 1 << rng.random_range(0..8u32);
+    }
+    Bytes::from(raw)
 }
 
 /// A shareable handle to one edge server, so several mobile devices can
@@ -82,7 +241,14 @@ pub struct SharedEdge {
 impl SharedEdge {
     /// Wraps a server for sharing.
     pub fn new(server: EdgeServer) -> Self {
-        Self { inner: Arc::new(Mutex::new(server)) }
+        Self {
+            inner: Arc::new(Mutex::new(server)),
+        }
+    }
+
+    /// Installs the edge fault model on the shared server.
+    pub fn set_faults(&self, faults: EdgeFaultConfig) {
+        self.inner.lock().set_faults(faults);
     }
 
     /// Submits a request through the shared server (FIFO across devices).
@@ -93,13 +259,25 @@ impl SharedEdge {
         guidance: Option<&Guidance>,
         arrival_ms: SimMs,
         link: &mut Link,
-    ) -> PendingResponse {
-        self.inner.lock().submit(frame_id, obs, guidance, arrival_ms, link)
+    ) -> Option<PendingResponse> {
+        self.inner
+            .lock()
+            .submit(frame_id, obs, guidance, arrival_ms, link)
     }
 
     /// When the server becomes free.
     pub fn busy_until(&self) -> SimMs {
         self.inner.lock().busy_until()
+    }
+
+    /// Requests lost to crash windows so far.
+    pub fn crash_losses(&self) -> u64 {
+        self.inner.lock().crash_losses()
+    }
+
+    /// Requests shed for overload so far.
+    pub fn shed_count(&self) -> u64 {
+        self.inner.lock().shed_count()
     }
 }
 
@@ -128,9 +306,11 @@ mod tests {
         let mut server = EdgeServer::new(EdgeModel::new(ModelKind::MaskRcnn, 160, 120, 1));
         let mut link = Link::of_kind(LinkKind::Wifi5, 1);
         let obs = observation();
-        let resp = server.submit(0, &obs, None, 10.0, &mut link);
+        let resp = server.submit(0, &obs, None, 10.0, &mut link).unwrap();
         assert!(resp.arrive_ms > 10.0 + resp.stats.total_ms());
-        assert!(!resp.detections.is_empty());
+        let (frame_id, detections) = resp.decode().unwrap();
+        assert_eq!(frame_id, 0);
+        assert!(!detections.is_empty());
     }
 
     #[test]
@@ -138,11 +318,103 @@ mod tests {
         let mut server = EdgeServer::new(EdgeModel::new(ModelKind::MaskRcnn, 160, 120, 2));
         let mut link = Link::of_kind(LinkKind::Wifi5, 2);
         let obs = observation();
-        let r1 = server.submit(0, &obs, None, 0.0, &mut link);
+        let r1 = server.submit(0, &obs, None, 0.0, &mut link).unwrap();
         let busy_after_first = server.busy_until();
-        let r2 = server.submit(1, &obs, None, 1.0, &mut link);
+        let r2 = server.submit(1, &obs, None, 1.0, &mut link).unwrap();
         // Second inference starts only after the first finished.
         assert!(server.busy_until() >= busy_after_first + r2.stats.total_ms() - 1e-9);
         assert!(r2.arrive_ms > r1.arrive_ms);
+    }
+
+    #[test]
+    fn crash_window_loses_requests_and_restarts() {
+        let mut server = EdgeServer::new(EdgeModel::new(ModelKind::MaskRcnn, 160, 120, 3));
+        server.set_faults(EdgeFaultConfig {
+            crash_windows: vec![(1000.0, 2000.0)],
+            restart_ms: 100.0,
+            ..Default::default()
+        });
+        let mut link = Link::of_kind(LinkKind::Wifi5, 3);
+        let obs = observation();
+        // Before the crash: fine.
+        assert!(server.submit(0, &obs, None, 0.0, &mut link).is_some());
+        // During the crash: lost.
+        assert!(server.submit(1, &obs, None, 1500.0, &mut link).is_none());
+        assert_eq!(server.crash_losses(), 1);
+        // After restart (window end + restart), the server serves again but
+        // cannot start before the restart completed.
+        let resp = server.submit(2, &obs, None, 2050.0, &mut link).unwrap();
+        assert!(resp.arrive_ms >= 2100.0);
+    }
+
+    #[test]
+    fn in_flight_processing_lost_when_crash_opens() {
+        let mut server = EdgeServer::new(EdgeModel::new(ModelKind::MaskRcnn, 160, 120, 4));
+        // Find the model latency first so we can place the window inside it.
+        let mut probe_link = Link::of_kind(LinkKind::Wifi5, 4);
+        let obs = observation();
+        let probe = server.submit(0, &obs, None, 0.0, &mut probe_link).unwrap();
+        let infer_ms = probe.stats.total_ms();
+        assert!(infer_ms > 1.0, "model too fast to test in-flight crash");
+
+        let mut server = EdgeServer::new(EdgeModel::new(ModelKind::MaskRcnn, 160, 120, 4));
+        let start = 5000.0;
+        server.set_faults(EdgeFaultConfig {
+            crash_windows: vec![(start + infer_ms * 0.5, start + infer_ms * 0.5 + 50.0)],
+            ..Default::default()
+        });
+        let mut link = Link::of_kind(LinkKind::Wifi5, 4);
+        assert!(server.submit(1, &obs, None, start, &mut link).is_none());
+        assert_eq!(server.crash_losses(), 1);
+    }
+
+    #[test]
+    fn overload_sheds_beyond_queue_horizon() {
+        let mut server = EdgeServer::new(EdgeModel::new(ModelKind::MaskRcnn, 160, 120, 5));
+        server.set_faults(EdgeFaultConfig {
+            shed_queue_horizon_ms: 50.0,
+            ..Default::default()
+        });
+        let mut link = Link::of_kind(LinkKind::Wifi5, 5);
+        let obs = observation();
+        // Pile up requests at the same arrival time until the queue horizon
+        // is exceeded.
+        let mut shed_seen = false;
+        for i in 0..20 {
+            if let Some(resp) = server.submit(i, &obs, None, 0.0, &mut link) {
+                if resp.shed {
+                    shed_seen = true;
+                    let (_, detections) = resp.decode().unwrap();
+                    assert!(detections.is_empty(), "shed reject carries no results");
+                }
+            }
+        }
+        assert!(shed_seen, "queue never exceeded the shed horizon");
+        assert!(server.shed_count() > 0);
+    }
+
+    #[test]
+    fn corrupted_delivery_fails_decode() {
+        use edgeis_netsim::FaultSchedule;
+        let mut server = EdgeServer::new(EdgeModel::new(ModelKind::MaskRcnn, 160, 120, 6));
+        let mut link = Link::of_kind(LinkKind::Wifi5, 6);
+        link.set_faults(FaultSchedule::new(6).corruption(0.0, 1e9, 1.0));
+        let obs = observation();
+        let mut corrupt_rejections = 0;
+        for i in 0..8 {
+            let resp = server
+                .submit(i, &obs, None, i as f64 * 500.0, &mut link)
+                .expect("corruption delivers, never drops");
+            if resp.decode().is_err() {
+                corrupt_rejections += 1;
+            }
+        }
+        // Byte flips overwhelmingly break framing/RLE checks; a flip can
+        // land in a don't-care float without breaking decode, so require
+        // most — not all — to be rejected.
+        assert!(
+            corrupt_rejections >= 6,
+            "only {corrupt_rejections}/8 corrupted payloads rejected"
+        );
     }
 }

@@ -1,11 +1,12 @@
 //! Experiment runner: builds a system and drives it over a world.
 
 use crate::baselines::{EaarSystem, EdgeDuetSystem, PureMobileSystem};
+use crate::edge::EdgeFaultConfig;
 use crate::metrics::Report;
 use crate::pipeline::{class_map, run_pipeline, PipelineConfig};
 use crate::system::{EdgeIsConfig, EdgeIsSystem, SegmentationSystem};
 use edgeis_geometry::Camera;
-use edgeis_netsim::LinkKind;
+use edgeis_netsim::{FaultSchedule, LinkKind};
 use edgeis_scene::World;
 use serde::{Deserialize, Serialize};
 
@@ -86,6 +87,37 @@ impl Default for ExperimentConfig {
     }
 }
 
+/// The configuration behind a [`SystemKind`] that is an [`EdgeIsSystem`]
+/// variant (`None` for the independent baselines).
+fn edgeis_variant(kind: SystemKind, camera: Camera, seed: u64) -> Option<EdgeIsConfig> {
+    let mut cfg = EdgeIsConfig::full(camera, seed);
+    match kind {
+        SystemKind::PureMobile | SystemKind::Eaar | SystemKind::EdgeDuet => return None,
+        SystemKind::EdgeIs => {}
+        SystemKind::BestEffort => {
+            cfg.use_mamt = false;
+            cfg.use_ciia = false;
+            cfg.use_cfrs = false;
+            // The point of this baseline is naive offloading: no
+            // deadlines, no retries, no outage handling.
+            cfg.resilience.enabled = false;
+        }
+        SystemKind::EdgeIsMamtOnly => {
+            cfg.use_ciia = false;
+            cfg.use_cfrs = false;
+        }
+        SystemKind::EdgeIsCiiaOnly => {
+            cfg.use_mamt = false;
+            cfg.use_cfrs = false;
+        }
+        SystemKind::EdgeIsCfrsOnly => {
+            cfg.use_mamt = false;
+            cfg.use_ciia = false;
+        }
+    }
+    Some(cfg)
+}
+
 /// Builds a system instance.
 pub fn build_system(
     kind: SystemKind,
@@ -97,31 +129,54 @@ pub fn build_system(
         SystemKind::PureMobile => Box::new(PureMobileSystem::new(camera, seed)),
         SystemKind::Eaar => Box::new(EaarSystem::new(camera, link, seed)),
         SystemKind::EdgeDuet => Box::new(EdgeDuetSystem::new(camera, link, seed)),
-        SystemKind::BestEffort => {
-            let mut cfg = EdgeIsConfig::full(camera, seed);
-            cfg.use_mamt = false;
-            cfg.use_ciia = false;
-            cfg.use_cfrs = false;
+        _ => {
+            let cfg = edgeis_variant(kind, camera, seed).expect("edgeIS variant");
             Box::new(EdgeIsSystem::new(cfg, link))
         }
-        SystemKind::EdgeIs => Box::new(EdgeIsSystem::new(EdgeIsConfig::full(camera, seed), link)),
-        SystemKind::EdgeIsMamtOnly => {
-            let mut cfg = EdgeIsConfig::full(camera, seed);
-            cfg.use_ciia = false;
-            cfg.use_cfrs = false;
-            Box::new(EdgeIsSystem::new(cfg, link))
+    }
+}
+
+/// The scripted fault environment of a run: link faults (outages, drops,
+/// RTT spikes, corruption) and edge faults (crashes, shedding).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Faults on the mobile↔edge link.
+    pub link: Option<FaultSchedule>,
+    /// Faults on the edge server.
+    pub edge: Option<EdgeFaultConfig>,
+}
+
+impl FaultPlan {
+    /// A total link outage over `[start_ms, end_ms)`, seeded.
+    pub fn outage(seed: u64, start_ms: f64, end_ms: f64) -> Self {
+        Self {
+            link: Some(FaultSchedule::new(seed).outage(start_ms, end_ms)),
+            edge: None,
         }
-        SystemKind::EdgeIsCiiaOnly => {
-            let mut cfg = EdgeIsConfig::full(camera, seed);
-            cfg.use_mamt = false;
-            cfg.use_cfrs = false;
-            Box::new(EdgeIsSystem::new(cfg, link))
-        }
-        SystemKind::EdgeIsCfrsOnly => {
-            let mut cfg = EdgeIsConfig::full(camera, seed);
-            cfg.use_mamt = false;
-            cfg.use_ciia = false;
-            Box::new(EdgeIsSystem::new(cfg, link))
+    }
+}
+
+/// Builds a system with the fault plan installed. Fault injection is
+/// wired for the [`EdgeIsSystem`] variants (including the best-effort
+/// baseline); the independent baselines ignore the plan.
+pub fn build_system_with_faults(
+    kind: SystemKind,
+    camera: Camera,
+    link: LinkKind,
+    seed: u64,
+    faults: &FaultPlan,
+) -> Box<dyn SegmentationSystem> {
+    match edgeis_variant(kind, camera, seed) {
+        None => build_system(kind, camera, link, seed),
+        Some(cfg) => {
+            let mut sys = EdgeIsSystem::new(cfg, link);
+            if let Some(schedule) = &faults.link {
+                sys.install_link_faults(schedule.clone());
+            }
+            if let Some(edge) = &faults.edge {
+                sys.install_edge_faults(edge.clone());
+            }
+            Box::new(sys)
         }
     }
 }
@@ -133,7 +188,18 @@ pub fn run_system(
     link: LinkKind,
     config: &ExperimentConfig,
 ) -> Report {
-    let mut system = build_system(kind, config.camera, link, config.seed);
+    run_system_with_faults(kind, world, link, config, &FaultPlan::default())
+}
+
+/// Runs one system over one world under a scripted fault plan.
+pub fn run_system_with_faults(
+    kind: SystemKind,
+    world: &World,
+    link: LinkKind,
+    config: &ExperimentConfig,
+    faults: &FaultPlan,
+) -> Report {
+    let mut system = build_system_with_faults(kind, config.camera, link, config.seed, faults);
     let classes = class_map(world);
     let pipeline = PipelineConfig {
         fps: config.fps,
@@ -171,7 +237,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("run panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("run panicked"))
+            .collect()
     })
     .expect("scope panicked");
     let scenario = reports

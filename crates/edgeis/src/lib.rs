@@ -43,8 +43,11 @@ pub mod system;
 pub mod wire;
 
 pub use cfrs::{CfrsConfig, CfrsDecision, CfrsPlanner};
-pub use edge::{EdgeServer, PendingResponse};
-pub use experiment::{run_system, ExperimentConfig, SystemKind};
-pub use metrics::{FrameRecord, Report};
+pub use edge::{EdgeFaultConfig, EdgeServer, PendingResponse};
+pub use experiment::{run_system, run_system_with_faults, ExperimentConfig, FaultPlan, SystemKind};
+pub use metrics::{FrameRecord, Report, ResilienceStats};
 pub use pipeline::run_pipeline;
-pub use system::{EdgeIsConfig, EdgeIsSystem, FrameInput, FrameOutput, SegmentationSystem};
+pub use system::{
+    EdgeIsConfig, EdgeIsSystem, FrameInput, FrameOutput, LinkHealth, ResilienceConfig,
+    SegmentationSystem,
+};

@@ -21,6 +21,56 @@ pub struct FrameRecord {
     pub stale_frames: usize,
 }
 
+/// Resilience accounting: what the mobile-side policy did about faults.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceStats {
+    /// Requests that hit their response deadline without a usable answer.
+    pub timeouts: u64,
+    /// Requests re-sent after a timeout (bounded, backed off).
+    pub retries: u64,
+    /// Responses that arrived but were discarded as too stale.
+    pub stale_drops: u64,
+    /// Responses rejected by the wire decoder (corrupted payloads).
+    pub corrupt_responses: u64,
+    /// Overload-shed rejects received from the edge.
+    pub shed_responses: u64,
+    /// Link probes sent while in the outage state.
+    pub probes_sent: u64,
+    /// Frames processed while the policy believed the link was down.
+    pub outage_frames: u64,
+    /// Outages detected (transitions into the outage state).
+    pub outages_detected: u64,
+    /// Recoveries completed (first good mask applied after an outage).
+    pub recoveries: u64,
+    /// Summed time from link-heal detection to the first good mask, ms.
+    pub recovery_ms_total: f64,
+}
+
+impl ResilienceStats {
+    /// Mean time from link-heal detection to the first applied mask, ms.
+    pub fn mean_recovery_ms(&self) -> f64 {
+        if self.recoveries == 0 {
+            0.0
+        } else {
+            self.recovery_ms_total / self.recoveries as f64
+        }
+    }
+
+    /// Accumulates another run's counters into this one.
+    pub fn merge(&mut self, other: &ResilienceStats) {
+        self.timeouts += other.timeouts;
+        self.retries += other.retries;
+        self.stale_drops += other.stale_drops;
+        self.corrupt_responses += other.corrupt_responses;
+        self.shed_responses += other.shed_responses;
+        self.probes_sent += other.probes_sent;
+        self.outage_frames += other.outage_frames;
+        self.outages_detected += other.outages_detected;
+        self.recoveries += other.recoveries;
+        self.recovery_ms_total += other.recovery_ms_total;
+    }
+}
+
 /// Aggregated results of one experiment run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Report {
@@ -30,6 +80,8 @@ pub struct Report {
     pub scenario: String,
     /// Per-frame records.
     pub records: Vec<FrameRecord>,
+    /// Resilience counters (all zero for systems without the policy).
+    pub resilience: ResilienceStats,
 }
 
 impl Report {
@@ -119,12 +171,47 @@ impl Report {
             / self.records.len() as f64
     }
 
+    /// Mean IoU over samples whose frame time falls in `[t0_ms, t1_ms)` —
+    /// e.g. the accuracy inside a scripted outage window.
+    pub fn mean_iou_in_window(&self, t0_ms: f64, t1_ms: f64) -> f64 {
+        let samples: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| r.time_ms >= t0_ms && r.time_ms < t1_ms)
+            .flat_map(|r| r.ious.iter().map(|&(_, v)| v))
+            .collect();
+        if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().sum::<f64>() / samples.len() as f64
+        }
+    }
+
+    /// Frames after `after_ms` until the per-frame mean IoU first reaches
+    /// `target_iou` (`None` if it never does). Frames without scored
+    /// instances are skipped, not counted as recovered.
+    pub fn frames_to_recover(&self, after_ms: f64, target_iou: f64) -> Option<usize> {
+        self.records
+            .iter()
+            .filter(|r| r.time_ms >= after_ms)
+            .position(|r| {
+                !r.ious.is_empty()
+                    && r.ious.iter().map(|&(_, v)| v).sum::<f64>() / r.ious.len() as f64
+                        >= target_iou
+            })
+    }
+
     /// Merges several runs (e.g. different seeds) into one pooled report.
     pub fn pooled(system: &str, scenario: &str, reports: &[Report]) -> Report {
+        let mut resilience = ResilienceStats::default();
+        for r in reports {
+            resilience.merge(&r.resilience);
+        }
         Report {
             system: system.to_string(),
             scenario: scenario.to_string(),
             records: reports.iter().flat_map(|r| r.records.clone()).collect(),
+            resilience,
         }
     }
 }
@@ -150,6 +237,7 @@ mod tests {
             system: "t".into(),
             scenario: "s".into(),
             records,
+            resilience: ResilienceStats::default(),
         }
     }
 
@@ -189,6 +277,46 @@ mod tests {
         assert!((r.mean_latency_ms() - 25.0).abs() < 1e-12);
         // 2 frames at 30 fps = 1/15 s; 50 kB = 0.4 Mbit -> 6 Mbps.
         assert!((r.mean_uplink_mbps(30.0) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windowed_iou_and_recovery() {
+        let mut records = Vec::new();
+        for i in 0..10u64 {
+            let v = if i < 5 { 0.2 } else { 0.8 };
+            let mut rec = record(&[v], 0.0, 0);
+            rec.frame = i;
+            rec.time_ms = i as f64 * 100.0;
+            records.push(rec);
+        }
+        let r = report(records);
+        assert!((r.mean_iou_in_window(0.0, 500.0) - 0.2).abs() < 1e-12);
+        assert!((r.mean_iou_in_window(500.0, 1000.0) - 0.8).abs() < 1e-12);
+        assert_eq!(r.frames_to_recover(0.0, 0.75), Some(5));
+        assert_eq!(r.frames_to_recover(500.0, 0.75), Some(0));
+        assert_eq!(r.frames_to_recover(0.0, 0.95), None);
+    }
+
+    #[test]
+    fn resilience_merge_adds_counters() {
+        let mut a = ResilienceStats {
+            timeouts: 2,
+            retries: 1,
+            recoveries: 1,
+            recovery_ms_total: 300.0,
+            ..Default::default()
+        };
+        let b = ResilienceStats {
+            timeouts: 3,
+            stale_drops: 4,
+            recoveries: 1,
+            recovery_ms_total: 100.0,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.timeouts, 5);
+        assert_eq!(a.stale_drops, 4);
+        assert!((a.mean_recovery_ms() - 200.0).abs() < 1e-12);
     }
 
     #[test]

@@ -6,13 +6,13 @@
 //! contend for the shared GPU FIFO, so per-device result latency grows
 //! with fleet size — the effect this module measures.
 
-use crate::edge::{EdgeServer, SharedEdge};
+use crate::edge::{EdgeFaultConfig, EdgeServer, SharedEdge};
 use crate::metrics::{FrameRecord, Report};
 use crate::pipeline::class_map;
 use crate::system::{EdgeIsConfig, EdgeIsSystem, FrameInput, SegmentationSystem};
 use edgeis_geometry::Camera;
 use edgeis_imaging::iou;
-use edgeis_netsim::LinkKind;
+use edgeis_netsim::{FaultSchedule, LinkKind};
 use edgeis_scene::World;
 use edgeis_segnet::{EdgeModel, ModelKind};
 
@@ -35,6 +35,12 @@ pub struct MultiDeviceConfig {
     pub min_scored_area: usize,
     /// Base seed.
     pub seed: u64,
+    /// Scripted link faults, installed on every device's link (each
+    /// device re-seeds the schedule so probabilistic faults stay
+    /// independent across devices).
+    pub link_faults: Option<FaultSchedule>,
+    /// Edge-side fault model, installed on the shared server.
+    pub edge_faults: Option<EdgeFaultConfig>,
 }
 
 impl Default for MultiDeviceConfig {
@@ -48,6 +54,8 @@ impl Default for MultiDeviceConfig {
             warmup_frames: 30,
             min_scored_area: 80,
             seed: 1,
+            link_faults: None,
+            edge_faults: None,
         }
     }
 }
@@ -65,6 +73,9 @@ where
         config.camera.height,
         config.seed ^ 0x777,
     )));
+    if let Some(edge_faults) = &config.edge_faults {
+        shared.set_faults(edge_faults.clone());
+    }
 
     struct Device {
         system: EdgeIsSystem,
@@ -81,8 +92,10 @@ where
             let world = make_world(config.seed + d as u64);
             let classes = class_map(&world);
             let sys_cfg = EdgeIsConfig::full(config.camera, config.seed + d as u64);
-            let system =
-                EdgeIsSystem::with_shared_edge(sys_cfg, config.link, shared.clone());
+            let mut system = EdgeIsSystem::with_shared_edge(sys_cfg, config.link, shared.clone());
+            if let Some(faults) = &config.link_faults {
+                system.install_link_faults(faults.reseeded(config.seed ^ ((d as u64) << 8)));
+            }
             Device {
                 system,
                 world,
@@ -156,6 +169,7 @@ where
             system: format!("edgeIS (device {d})"),
             scenario: dev.world.name,
             records: dev.records,
+            resilience: dev.system.resilience_stats().cloned().unwrap_or_default(),
         })
         .collect()
 }
@@ -167,8 +181,16 @@ mod tests {
 
     #[test]
     fn fleet_contention_degrades_gracefully() {
-        let solo = MultiDeviceConfig { devices: 1, frames: 90, ..Default::default() };
-        let fleet = MultiDeviceConfig { devices: 4, frames: 90, ..Default::default() };
+        let solo = MultiDeviceConfig {
+            devices: 1,
+            frames: 90,
+            ..Default::default()
+        };
+        let fleet = MultiDeviceConfig {
+            devices: 4,
+            frames: 90,
+            ..Default::default()
+        };
         let solo_reports = run_multi_device(datasets::indoor_simple, &solo);
         let fleet_reports = run_multi_device(datasets::indoor_simple, &fleet);
         assert_eq!(solo_reports.len(), 1);
@@ -184,5 +206,43 @@ mod tests {
         // Four devices on one TX2-class edge saturate the GPU queue; the
         // admission control must keep the fleet degraded-but-functional.
         assert!(fleet_iou > 0.2, "fleet collapsed: {fleet_iou:.3}");
+    }
+
+    #[test]
+    fn fleet_survives_shared_faults() {
+        use crate::edge::EdgeFaultConfig;
+        use edgeis_netsim::FaultSchedule;
+
+        // Mid-run: the shared edge crashes for half a second while every
+        // device's link also drops a third of responses.
+        let config = MultiDeviceConfig {
+            devices: 3,
+            frames: 120,
+            link_faults: Some(FaultSchedule::new(5).drop_responses(1500.0, 3000.0, 0.33)),
+            edge_faults: Some(EdgeFaultConfig {
+                crash_windows: vec![(1800.0, 2300.0)],
+                restart_ms: 100.0,
+                shed_queue_horizon_ms: 900.0,
+            }),
+            ..Default::default()
+        };
+        let reports = run_multi_device(datasets::indoor_simple, &config);
+        assert_eq!(reports.len(), 3);
+        // Faulted contention degrades accuracy but must not collapse the
+        // fleet. (Individual devices can starve under contention — the
+        // last device in the FIFO is admission-held the most — so the
+        // floor is on the fleet, as in the benign contention test.)
+        let fleet_iou: f64 =
+            reports.iter().map(|r| r.mean_iou()).sum::<f64>() / reports.len() as f64;
+        assert!(
+            fleet_iou > 0.12,
+            "fleet collapsed under faults: {fleet_iou:.3}"
+        );
+        // The faults must actually have bitten, and the policy must have
+        // brought at least one device back.
+        let total_timeouts: u64 = reports.iter().map(|r| r.resilience.timeouts).sum();
+        let total_recoveries: u64 = reports.iter().map(|r| r.resilience.recoveries).sum();
+        assert!(total_timeouts > 0, "fault plan never fired");
+        assert!(total_recoveries > 0, "no device completed a recovery");
     }
 }

@@ -118,6 +118,7 @@ pub fn run_pipeline(
         system: system.name().to_string(),
         scenario: world.name.clone(),
         records,
+        resilience: system.resilience_stats().cloned().unwrap_or_default(),
     }
 }
 

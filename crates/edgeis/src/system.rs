@@ -1,15 +1,23 @@
 //! The [`SegmentationSystem`] trait and the full edgeIS system.
+//!
+//! Besides the paper's steady-state pipeline, the mobile side carries a
+//! resilience policy for hostile conditions (scripted link faults, edge
+//! crashes): per-request deadlines, bounded backed-off retries, an
+//! outage detector that degrades to pure local tracking, and a recovery
+//! re-sync once the link heals. See `DESIGN.md` for the state machine.
 
-use crate::cfrs::{CfrsConfig, CfrsDecision, CfrsPlanner};
+use crate::cfrs::{CfrsConfig, CfrsDecision, CfrsPlanner, TransmitReason};
 use crate::cost::MobileCostModel;
-use crate::edge::{EdgeServer, PendingResponse, SharedEdge};
+use crate::edge::{EdgeFaultConfig, EdgeServer, PendingResponse, SharedEdge};
+use crate::metrics::ResilienceStats;
 use crate::resources::{ResourceConfig, ResourceLedger};
+use crate::wire::WireDetection;
 use edgeis_codec::{encode, QualityLevel, TileGrid, TilePlan};
 use edgeis_geometry::Camera;
 use edgeis_imaging::{GrayImage, LabelMap, Mask, MotionVectorField};
-use edgeis_netsim::{Direction, Link, LinkKind, SimMs};
+use edgeis_netsim::{Direction, FaultSchedule, Link, LinkKind, SimMs};
 use edgeis_scene::RenderedFrame;
-use edgeis_segnet::{Detection, EdgeModel, FrameObservation, ModelKind};
+use edgeis_segnet::{EdgeModel, FrameObservation, ModelKind};
 use edgeis_vo::{VisualOdometry, VoConfig};
 use std::collections::BTreeMap;
 
@@ -53,16 +61,21 @@ pub trait SegmentationSystem {
     fn resources(&self) -> Option<&ResourceLedger> {
         None
     }
+
+    /// Resilience counters, when the system tracks them.
+    fn resilience_stats(&self) -> Option<&ResilienceStats> {
+        None
+    }
 }
 
-/// Paints detections into a label map (ascending confidence so the most
-/// confident detection wins contested pixels).
+/// Paints decoded detections into a label map (ascending confidence so
+/// the most confident detection wins contested pixels).
 pub(crate) fn label_map_from_detections(
     width: u32,
     height: u32,
-    detections: &[Detection],
+    detections: &[WireDetection],
 ) -> LabelMap {
-    let mut sorted: Vec<&Detection> = detections.iter().collect();
+    let mut sorted: Vec<&WireDetection> = detections.iter().collect();
     sorted.sort_by(|a, b| {
         a.confidence
             .partial_cmp(&b.confidence)
@@ -75,6 +88,80 @@ pub(crate) fn label_map_from_detections(
         }
     }
     lm
+}
+
+/// Health of the mobile↔edge path as the resilience policy perceives it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LinkHealth {
+    /// Responses flowing normally.
+    #[default]
+    Healthy,
+    /// At least one recent timeout; retries in progress.
+    Degraded,
+    /// Consecutive timeouts crossed the threshold: the device assumes the
+    /// link (or edge) is down, stops offloading and probes periodically.
+    Outage,
+    /// A probe got through; waiting for the recovery keyframe's response.
+    Recovering,
+}
+
+/// Mobile-side resilience policy parameters.
+///
+/// The first two fields are the backpressure bounds that used to be magic
+/// numbers in the transmit decision; the rest drive the fault handling.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Master switch: when off, the system keeps the plain best-effort
+    /// behaviour (no deadlines/retries/outage handling) except for a very
+    /// lax request reaper that stops lost requests from wedging the
+    /// pipeline forever.
+    pub enabled: bool,
+    /// Bounded request pipelining per device: hold transmissions while
+    /// this many requests are outstanding.
+    pub max_pending: usize,
+    /// Admission control against the edge queue: hold transmissions while
+    /// the edge is busy beyond `now + horizon`.
+    pub edge_backlog_horizon_ms: f64,
+    /// A request without a usable response this long after sending is
+    /// declared timed out; responses arriving later are discarded as
+    /// stale rather than applied to the (much newer) local state.
+    pub response_deadline_ms: f64,
+    /// Retries per timed-out request before giving up.
+    pub max_retries: u32,
+    /// Exponential backoff base: retry `k` waits `base * 2^(k-1)` ms.
+    pub retry_backoff_base_ms: f64,
+    /// Backoff ceiling, ms.
+    pub retry_backoff_max_ms: f64,
+    /// Consecutive timeouts that trip the outage detector.
+    pub outage_after_timeouts: u32,
+    /// Spacing of link probes while in the outage state, ms.
+    pub probe_interval_ms: f64,
+    /// Size of a link probe, bytes (a ping-sized datagram).
+    pub probe_bytes: usize,
+    /// Forced full-scan keyframes sent after a probe succeeds. One is not
+    /// enough: its response is already a round-trip stale by the time it
+    /// applies, and the frozen VO map needs several fresh annotations
+    /// before mask transfer is trustworthy again — until then, planner
+    /// guidance would anchor the edge onto drifted masks.
+    pub recovery_keyframes: u32,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            max_pending: 3,
+            edge_backlog_horizon_ms: 400.0,
+            response_deadline_ms: 1200.0,
+            max_retries: 2,
+            retry_backoff_base_ms: 100.0,
+            retry_backoff_max_ms: 1600.0,
+            outage_after_timeouts: 2,
+            probe_interval_ms: 66.0,
+            probe_bytes: 256,
+            recovery_keyframes: 4,
+        }
+    }
 }
 
 /// Configuration of the edgeIS system (and its ablations).
@@ -90,6 +177,8 @@ pub struct EdgeIsConfig {
     pub cost: MobileCostModel,
     /// Resource-model calibration.
     pub resources: ResourceConfig,
+    /// Resilience policy parameters.
+    pub resilience: ResilienceConfig,
     /// Edge model (Mask R-CNN in the paper).
     pub model: ModelKind,
     /// Enable motion-aware mobile mask transfer; when off, the mobile side
@@ -116,6 +205,7 @@ impl EdgeIsConfig {
             cfrs: CfrsConfig::default(),
             cost: MobileCostModel::default(),
             resources: ResourceConfig::default(),
+            resilience: ResilienceConfig::default(),
             model: ModelKind::MaskRcnn,
             use_mamt: true,
             use_ciia: true,
@@ -130,7 +220,7 @@ impl EdgeIsConfig {
 enum MobileTracker {
     /// The paper's §III VO-based transfer.
     Vo {
-        vo: VisualOdometry,
+        vo: Box<VisualOdometry>,
         /// Previous world-motion translation per object, for the CFRS
         /// motion trigger.
         prev_motion: BTreeMap<u16, edgeis_geometry::Vec3>,
@@ -145,6 +235,21 @@ enum MobileTracker {
     },
 }
 
+/// One outstanding offload request, as the mobile side sees it. The
+/// device cannot observe a lost request directly — `response` being
+/// `None` (uplink lost, edge crashed, downlink dropped) only manifests
+/// when the deadline expires.
+struct InFlight {
+    /// When the device gives up waiting.
+    deadline_ms: SimMs,
+    /// The response travelling back, if any ever will.
+    response: Option<PendingResponse>,
+    /// The deadline fired: the request slot is freed (retries allowed),
+    /// but the socket keeps listening — a response that still shows up is
+    /// stale, not invisible.
+    timed_out: bool,
+}
+
 /// The edgeIS system: mobile (VO + CFRS) + edge (CIIA) over a link.
 pub struct EdgeIsSystem {
     config: EdgeIsConfig,
@@ -152,7 +257,7 @@ pub struct EdgeIsSystem {
     planner: CfrsPlanner,
     link: Link,
     server: SharedEdge,
-    pending: Vec<PendingResponse>,
+    pending: Vec<InFlight>,
     ledger: ResourceLedger,
     /// Last frame index each object was successfully rendered, with its
     /// last known mask — drives the lost-object mask-correction regions.
@@ -160,6 +265,21 @@ pub struct EdgeIsSystem {
     /// Transmissions issued so far (drives periodic full scans in
     /// continuous mode).
     tx_count: u64,
+    // --- Resilience state (see DESIGN.md). ---
+    health: LinkHealth,
+    consecutive_timeouts: u32,
+    /// A timed-out request is owed a re-send.
+    retry_pending: bool,
+    /// Retry attempts since the last good response (bounds the backoff).
+    retry_attempt: u32,
+    /// Backoff gate: no transmission before this time.
+    next_tx_allowed_ms: SimMs,
+    /// Remaining forced recovery keyframes (set on probe success).
+    recovery_tx_left: u32,
+    last_probe_ms: SimMs,
+    /// When the probe detected the healed link (recovery timer start).
+    recovery_started_ms: Option<SimMs>,
+    stats: ResilienceStats,
     name: &'static str,
 }
 
@@ -169,7 +289,7 @@ impl EdgeIsSystem {
         let camera = config.camera;
         let tracker = if config.use_mamt {
             MobileTracker::Vo {
-                vo: VisualOdometry::new(camera, config.vo.clone()),
+                vo: Box::new(VisualOdometry::new(camera, config.vo.clone())),
                 prev_motion: BTreeMap::new(),
             }
         } else {
@@ -200,6 +320,15 @@ impl EdgeIsSystem {
             ledger: ResourceLedger::new(config.resources),
             last_seen: BTreeMap::new(),
             tx_count: 0,
+            health: LinkHealth::Healthy,
+            consecutive_timeouts: 0,
+            retry_pending: false,
+            retry_attempt: 0,
+            next_tx_allowed_ms: 0.0,
+            recovery_tx_left: 0,
+            last_probe_ms: f64::NEG_INFINITY,
+            recovery_started_ms: None,
+            stats: ResilienceStats::default(),
             tracker,
             config,
             name,
@@ -209,14 +338,27 @@ impl EdgeIsSystem {
     /// Builds the system against an existing (shared) edge server — used
     /// for multi-device experiments where several mobiles contend for one
     /// GPU.
-    pub fn with_shared_edge(
-        config: EdgeIsConfig,
-        link_kind: LinkKind,
-        server: SharedEdge,
-    ) -> Self {
+    pub fn with_shared_edge(config: EdgeIsConfig, link_kind: LinkKind, server: SharedEdge) -> Self {
         let mut sys = Self::new(config, link_kind);
         sys.server = server;
         sys
+    }
+
+    /// Installs a scripted link fault schedule (outages, drops, spikes,
+    /// corruption) on this device's link.
+    pub fn install_link_faults(&mut self, schedule: FaultSchedule) {
+        self.link.set_faults(schedule);
+    }
+
+    /// Installs the edge-side fault model (crash windows, shedding) on
+    /// this system's edge server.
+    pub fn install_edge_faults(&self, faults: EdgeFaultConfig) {
+        self.server.set_faults(faults);
+    }
+
+    /// The resilience policy's current view of the link.
+    pub fn health(&self) -> LinkHealth {
+        self.health
     }
 
     /// Whether the mobile map / cache is initialized.
@@ -227,34 +369,182 @@ impl EdgeIsSystem {
         }
     }
 
+    /// Applies a decoded, confidence-filtered response to the tracker.
+    fn apply_detections(&mut self, frame_id: u64, detections: &[WireDetection]) {
+        let kept: Vec<WireDetection> = detections
+            .iter()
+            .filter(|d| d.confidence >= self.config.min_confidence)
+            .cloned()
+            .collect();
+        // An empty detection set never overwrites live local state: the
+        // paper's annotation pipeline relabels map points from the edge's
+        // masks, so applying "edge saw nothing" while objects are tracked
+        // would erase every label (and with it every tracked object) on a
+        // single guided miss.
+        if kept.is_empty() && self.initialized() {
+            return;
+        }
+        match &mut self.tracker {
+            MobileTracker::Vo { vo, .. } => {
+                let lm = label_map_from_detections(
+                    self.config.camera.width,
+                    self.config.camera.height,
+                    &kept,
+                );
+                let _ = vo.apply_edge_masks(frame_id, &lm);
+            }
+            MobileTracker::MotionVector {
+                cached,
+                motion_since_tx,
+                ..
+            } => {
+                *cached = kept.into_iter().map(|d| (d.instance, d.mask)).collect();
+                *motion_since_tx = 0.0;
+            }
+        }
+    }
+
+    /// Records a link-failure signal (timeout / corrupt response) and
+    /// advances the health state machine, possibly into `Outage`.
+    fn note_failures(&mut self, failures: u32, now: SimMs) {
+        if failures == 0 || !self.config.resilience.enabled {
+            return;
+        }
+        let res = self.config.resilience.clone();
+        self.consecutive_timeouts += failures;
+        if self.retry_attempt < res.max_retries {
+            self.retry_attempt += 1;
+            self.retry_pending = true;
+            let backoff = (res.retry_backoff_base_ms * 2f64.powi(self.retry_attempt as i32 - 1))
+                .min(res.retry_backoff_max_ms);
+            self.next_tx_allowed_ms = now + backoff;
+        }
+        if self.consecutive_timeouts >= res.outage_after_timeouts {
+            if self.health != LinkHealth::Outage {
+                self.health = LinkHealth::Outage;
+                self.stats.outages_detected += 1;
+                // Whatever is still in flight is presumed lost with the
+                // link; waiting for those deadlines tells us nothing new.
+                self.pending.clear();
+                self.retry_pending = false;
+                self.recovery_started_ms = None;
+                self.last_probe_ms = f64::NEG_INFINITY;
+            }
+        } else if self.health == LinkHealth::Healthy {
+            self.health = LinkHealth::Degraded;
+        }
+    }
+
+    /// A usable response arrived: reset the failure machinery, complete a
+    /// recovery if one was underway.
+    fn note_success(&mut self, now: SimMs) {
+        if !self.config.resilience.enabled {
+            return;
+        }
+        self.consecutive_timeouts = 0;
+        self.retry_pending = false;
+        self.retry_attempt = 0;
+        self.next_tx_allowed_ms = 0.0;
+        if self.health == LinkHealth::Recovering {
+            self.stats.recoveries += 1;
+            if let Some(t0) = self.recovery_started_ms.take() {
+                self.stats.recovery_ms_total += now - t0;
+            }
+        }
+        self.health = LinkHealth::Healthy;
+    }
+
+    /// Outstanding requests the device is still actively waiting on
+    /// (timed-out ones no longer hold a pipelining slot).
+    fn active_pending(&self) -> usize {
+        self.pending.iter().filter(|i| !i.timed_out).count()
+    }
+
     fn deliver_responses(&mut self, now: SimMs) {
-        let (ready, later): (Vec<PendingResponse>, Vec<PendingResponse>) =
-            self.pending.drain(..).partition(|p| p.arrive_ms <= now);
-        self.pending = later;
-        for resp in ready {
-            let kept: Vec<&Detection> = resp
-                .detections
-                .iter()
-                .filter(|d| d.confidence >= self.config.min_confidence)
-                .collect();
-            match &mut self.tracker {
-                MobileTracker::Vo { vo, .. } => {
-                    let lm = label_map_from_detections(
-                        self.config.camera.width,
-                        self.config.camera.height,
-                        &kept.iter().map(|d| (*d).clone()).collect::<Vec<_>>(),
-                    );
-                    let _ = vo.apply_edge_masks(resp.frame_id, &lm);
+        let enabled = self.config.resilience.enabled;
+        let mut keep: Vec<InFlight> = Vec::new();
+        let mut arrived: Vec<(PendingResponse, bool)> = Vec::new();
+        let mut failures = 0u32;
+        for mut inf in self.pending.drain(..) {
+            if inf.response.as_ref().is_some_and(|r| r.arrive_ms <= now) {
+                let resp = inf.response.take().expect("checked above");
+                let late = inf.timed_out || resp.arrive_ms > inf.deadline_ms;
+                arrived.push((resp, late));
+                continue;
+            }
+            if now >= inf.deadline_ms && !inf.timed_out {
+                // The device gives up on this request: the slot is freed
+                // and the failure machinery fires. (Without the policy
+                // this reaper is the only fault handling — it keeps a
+                // naive pipeline from wedging forever.)
+                inf.timed_out = true;
+                self.stats.timeouts += 1;
+                failures += 1;
+            }
+            if inf.response.is_some() || !inf.timed_out {
+                keep.push(inf);
+            }
+        }
+        self.pending = keep;
+
+        for (resp, late) in arrived {
+            if resp.shed {
+                // The edge rejected the request for overload; the link is
+                // fine, so this is not an outage signal.
+                self.stats.shed_responses += 1;
+                continue;
+            }
+            match resp.decode() {
+                Err(_) => {
+                    // The real wire decoder rejected the payload.
+                    self.stats.corrupt_responses += 1;
+                    failures += 1;
                 }
-                MobileTracker::MotionVector {
-                    cached,
-                    motion_since_tx,
-                    ..
-                } => {
-                    *cached = kept.iter().map(|d| (d.instance, d.mask.clone())).collect();
-                    *motion_since_tx = 0.0;
+                Ok((frame_id, detections)) => {
+                    // A late response would drag the (much newer) local
+                    // state backwards — discard it, unless the device has
+                    // no state at all yet (a stale bootstrap annotation
+                    // beats rendering nothing).
+                    if late && enabled && self.initialized() {
+                        self.stats.stale_drops += 1;
+                    } else {
+                        self.apply_detections(frame_id, &detections);
+                        self.note_success(now);
+                    }
                 }
             }
+        }
+
+        self.note_failures(failures, now);
+    }
+
+    /// While in `Outage`: probe the link; on success switch to
+    /// `Recovering`, reset the planner and owe a recovery keyframe.
+    fn probe_if_outage(&mut self, now: SimMs) {
+        if !self.config.resilience.enabled || self.health != LinkHealth::Outage {
+            return;
+        }
+        self.stats.outage_frames += 1;
+        if now - self.last_probe_ms < self.config.resilience.probe_interval_ms {
+            return;
+        }
+        self.last_probe_ms = now;
+        self.stats.probes_sent += 1;
+        let probe =
+            self.link
+                .transmit_faulty(self.config.resilience.probe_bytes, now, Direction::Uplink);
+        if probe.is_some() {
+            // The probe got through: the link healed. Re-sync from a
+            // clean slate — the planner's triggers were tuned against
+            // state that is now minutes stale in link terms.
+            self.health = LinkHealth::Recovering;
+            self.recovery_started_ms = Some(now);
+            self.planner = CfrsPlanner::new(*self.planner.config());
+            self.recovery_tx_left = self.config.resilience.recovery_keyframes.max(1);
+            self.consecutive_timeouts = 0;
+            self.retry_pending = false;
+            self.retry_attempt = 0;
+            self.next_tx_allowed_ms = now;
         }
     }
 }
@@ -266,6 +556,7 @@ impl SegmentationSystem for EdgeIsSystem {
 
     fn process_frame(&mut self, input: &FrameInput<'_>, now: SimMs) -> FrameOutput {
         self.deliver_responses(now);
+        self.probe_if_outage(now);
 
         // --- Mobile tracking & mask prediction. ---
         let (masks, new_area_fraction, new_pixels, vo_frame_id, features, matches, poses) =
@@ -352,33 +643,70 @@ impl SegmentationSystem for EdgeIsSystem {
             .collect();
         let object_lost = !lost.is_empty();
 
+        // --- Outage self-annotation. ---
+        // Map points are only triangulated when an annotation arrives, so
+        // a long outage freezes the map while the camera keeps moving:
+        // pose quality and mask transfer then decay with distance
+        // travelled, and the first post-outage annotation lands on
+        // dead-reckoned geometry it cannot fix. Feeding the tracker's own
+        // predicted masks back as pseudo-annotations keeps the map
+        // growing along the trajectory; the labels drift with the coasted
+        // masks, but the geometry stays fresh and the first real edge
+        // annotation snaps the labels back.
+        if self.config.resilience.enabled
+            && self.health == LinkHealth::Outage
+            && input.index.is_multiple_of(8)
+        {
+            if let MobileTracker::Vo { vo, .. } = &mut self.tracker {
+                if vo.is_tracking() && !masks.is_empty() {
+                    let mut lm = LabelMap::new(self.config.camera.width, self.config.camera.height);
+                    for (label, mask) in &masks {
+                        for (x, y) in mask.iter_set() {
+                            lm.set(x, y, *label);
+                        }
+                    }
+                    let _ = vo.apply_edge_masks(vo_frame_id, &lm);
+                }
+            }
+        }
+
         // --- Transmission decision. ---
         // Backpressure: bounded request pipelining per device plus
         // admission control against the edge queue horizon. Without this,
         // a shared edge (multi-device deployments) builds an unbounded FIFO
-        // and every response arrives too stale to use.
-        let edge_backlogged = self.server.busy_until() > now + 400.0;
-        let decision = if self.pending.len() >= 3 || edge_backlogged {
+        // and every response arrives too stale to use. On top of that, the
+        // resilience policy gates offloading: nothing during an outage or
+        // inside a backoff window; owed recovery keyframes and retries go
+        // out before regular planner traffic.
+        let res_enabled = self.config.resilience.enabled;
+        let edge_backlogged =
+            self.server.busy_until() > now + self.config.resilience.edge_backlog_horizon_ms;
+        let held = (res_enabled
+            && (self.health == LinkHealth::Outage || now < self.next_tx_allowed_ms))
+            || self.active_pending() >= self.config.resilience.max_pending
+            || edge_backlogged;
+        let decision = if held {
             CfrsDecision::Hold
+        } else if res_enabled && self.recovery_tx_left > 0 {
+            CfrsDecision::Transmit(TransmitReason::Recovery)
+        } else if res_enabled && self.retry_pending {
+            CfrsDecision::Transmit(TransmitReason::Retry)
         } else if self.config.use_cfrs {
             // A lost object counts as significant change (mask correction).
-            let effective_new_area = if object_lost {
-                1.0
-            } else {
-                new_area_fraction
-            };
+            let effective_new_area = if object_lost { 1.0 } else { new_area_fraction };
             self.planner
                 .decide(input.index, self.initialized(), effective_new_area)
         } else {
             // Non-CFRS: back-to-back best-effort offloading (a new frame is
             // sent whenever no request is outstanding).
-            if self.pending.is_empty() {
-                CfrsDecision::Transmit(crate::cfrs::TransmitReason::Continuous)
+            if self.active_pending() == 0 {
+                CfrsDecision::Transmit(TransmitReason::Continuous)
             } else {
                 CfrsDecision::Hold
             }
         };
         let transmit = matches!(decision, CfrsDecision::Transmit(_));
+        let recovery_tx = matches!(decision, CfrsDecision::Transmit(TransmitReason::Recovery));
 
         // --- Mobile latency model. ---
         let mobile_ms = match &self.tracker {
@@ -395,6 +723,19 @@ impl SegmentationSystem for EdgeIsSystem {
         // --- Encode + offload. ---
         let mut tx_bytes = 0;
         if transmit {
+            match decision {
+                CfrsDecision::Transmit(TransmitReason::Recovery) => {
+                    self.recovery_tx_left -= 1;
+                    self.retry_pending = false;
+                    self.planner.record_transmission(input.index);
+                }
+                CfrsDecision::Transmit(TransmitReason::Retry) => {
+                    self.retry_pending = false;
+                    self.stats.retries += 1;
+                    self.planner.record_transmission(input.index);
+                }
+                _ => {}
+            }
             let w = self.config.camera.width;
             let h = self.config.camera.height;
             // Lost objects' last known regions are treated as new areas:
@@ -410,13 +751,26 @@ impl SegmentationSystem for EdgeIsSystem {
                     }
                 }
             }
-            let plan = if self.config.use_cfrs {
-                self.planner.tile_plan(w, h, &masks, &area_pixels)
-            } else {
+            let plan = if recovery_tx {
+                // Recovery keyframes re-sync the edge from scratch at a
+                // uniform quality: the coasted masks are untrustworthy
+                // after a blind outage, so any plan that budgets quality
+                // around them can anchor the edge onto the wrong regions
+                // and never re-converge. Medium rather than high keeps the
+                // burst small enough to pipeline on a thin uplink — the
+                // round-trip staleness of a high-quality frame costs more
+                // accuracy than the encoding quality buys.
+                TilePlan::uniform(
+                    TileGrid::new(self.config.cfrs.tile_size, w, h),
+                    QualityLevel::Medium,
+                )
+            } else if !self.config.use_cfrs {
                 TilePlan::uniform(
                     TileGrid::new(self.config.cfrs.tile_size, w, h),
                     QualityLevel::High,
                 )
+            } else {
+                self.planner.tile_plan(w, h, &masks, &area_pixels)
             };
             let encoded = encode(&input.frame.image, &plan);
             tx_bytes = encoded.total_bytes();
@@ -433,21 +787,20 @@ impl SegmentationSystem for EdgeIsSystem {
                 classes: input.classes.clone(),
                 quality,
             };
-            // Periodic / bootstrap refreshes scan the full frame so objects
-            // the mobile cache lost entirely can be rediscovered; guided
-            // anchors only cover cached and new regions. Continuous-mode
-            // (non-CFRS) transmissions interleave a full scan every 8th
-            // request for the same reason.
+            // Periodic / bootstrap / recovery refreshes scan the full frame
+            // so objects the mobile cache lost entirely can be rediscovered;
+            // guided anchors only cover cached and new regions.
+            // Continuous-mode (non-CFRS) transmissions interleave a full
+            // scan every 8th request for the same reason.
             self.tx_count += 1;
             let full_scan = matches!(
                 decision,
                 CfrsDecision::Transmit(
-                    crate::cfrs::TransmitReason::Periodic
-                        | crate::cfrs::TransmitReason::Bootstrap
+                    TransmitReason::Periodic | TransmitReason::Bootstrap | TransmitReason::Recovery
                 )
             ) || (matches!(
                 decision,
-                CfrsDecision::Transmit(crate::cfrs::TransmitReason::Continuous)
+                CfrsDecision::Transmit(TransmitReason::Continuous)
             ) && self.tx_count % 8 == 1);
             let guidance = if self.config.use_ciia && !full_scan {
                 Some(
@@ -458,17 +811,37 @@ impl SegmentationSystem for EdgeIsSystem {
                 None
             };
 
-            let arrival = self
+            // The request rides the faulty link: it can be lost outright
+            // (outage at send time) or arrive mangled — the mobile side
+            // learns about either only through the response deadline.
+            let sent_ms = now + mobile_ms;
+            let deadline_ms = if res_enabled {
+                sent_ms + self.config.resilience.response_deadline_ms
+            } else {
+                // Naive reaper: very lax, so the plain system still shows
+                // its characteristic stall under faults without wedging
+                // permanently.
+                sent_ms + self.config.resilience.response_deadline_ms * 4.0
+            };
+            let response = match self
                 .link
-                .transmit(tx_bytes, now + mobile_ms, Direction::Uplink);
-            let resp = self.server.submit(
-                vo_frame_id,
-                &obs,
-                guidance.as_ref().filter(|g| !g.is_empty()),
-                arrival,
-                &mut self.link,
-            );
-            self.pending.push(resp);
+                .transmit_faulty(tx_bytes, sent_ms, Direction::Uplink)
+            {
+                None => None,
+                Some(delivery) if delivery.corrupted => None,
+                Some(delivery) => self.server.submit(
+                    vo_frame_id,
+                    &obs,
+                    guidance.as_ref().filter(|g| !g.is_empty()),
+                    delivery.arrive_ms,
+                    &mut self.link,
+                ),
+            };
+            self.pending.push(InFlight {
+                deadline_ms,
+                response,
+                timed_out: false,
+            });
         }
 
         self.ledger.record_frame(now, mobile_ms, tx_bytes);
@@ -484,6 +857,10 @@ impl SegmentationSystem for EdgeIsSystem {
     fn resources(&self) -> Option<&ResourceLedger> {
         Some(&self.ledger)
     }
+
+    fn resilience_stats(&self) -> Option<&ResilienceStats> {
+        Some(&self.stats)
+    }
 }
 
 #[cfg(test)]
@@ -498,14 +875,14 @@ mod tests {
         let mut m2 = Mask::new(10, 10);
         m2.fill_rect(3, 3, 6, 6);
         let detections = vec![
-            Detection {
+            WireDetection {
                 instance: 1,
                 class_id: 0,
                 confidence: 0.9,
                 bbox: BBox::new(0.0, 0.0, 6.0, 6.0),
                 mask: m1,
             },
-            Detection {
+            WireDetection {
                 instance: 2,
                 class_id: 1,
                 confidence: 0.6,
@@ -519,5 +896,44 @@ mod tests {
         assert_eq!(lm.get(8, 8), 2);
         assert_eq!(lm.get(0, 0), 1);
         assert_eq!(lm.get(9, 0), 0);
+    }
+
+    #[test]
+    fn failure_signals_walk_the_state_machine() {
+        let camera = Camera::with_hfov(1.2, 64, 48);
+        let mut sys = EdgeIsSystem::new(EdgeIsConfig::full(camera, 9), LinkKind::Wifi5);
+        assert_eq!(sys.health(), LinkHealth::Healthy);
+        sys.note_failures(1, 100.0);
+        assert_eq!(sys.health(), LinkHealth::Degraded);
+        assert!(sys.retry_pending);
+        assert!(sys.next_tx_allowed_ms > 100.0);
+        sys.note_failures(1, 200.0);
+        assert_eq!(sys.health(), LinkHealth::Outage);
+        assert_eq!(sys.stats.outages_detected, 1);
+        assert!(!sys.retry_pending, "outage cancels pending retries");
+        // A good response from a probe-triggered recovery closes the loop.
+        sys.health = LinkHealth::Recovering;
+        sys.recovery_started_ms = Some(300.0);
+        sys.note_success(450.0);
+        assert_eq!(sys.health(), LinkHealth::Healthy);
+        assert_eq!(sys.stats.recoveries, 1);
+        assert!((sys.stats.recovery_ms_total - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backoff_grows_and_is_capped() {
+        let camera = Camera::with_hfov(1.2, 64, 48);
+        let mut cfg = EdgeIsConfig::full(camera, 9);
+        cfg.resilience.max_retries = 10;
+        cfg.resilience.retry_backoff_base_ms = 100.0;
+        cfg.resilience.retry_backoff_max_ms = 350.0;
+        cfg.resilience.outage_after_timeouts = 100; // keep out of Outage
+        let mut sys = EdgeIsSystem::new(cfg, LinkKind::Wifi5);
+        sys.note_failures(1, 0.0);
+        assert!((sys.next_tx_allowed_ms - 100.0).abs() < 1e-9);
+        sys.note_failures(1, 0.0);
+        assert!((sys.next_tx_allowed_ms - 200.0).abs() < 1e-9);
+        sys.note_failures(1, 0.0);
+        assert!((sys.next_tx_allowed_ms - 350.0).abs() < 1e-9, "capped");
     }
 }

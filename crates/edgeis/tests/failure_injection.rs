@@ -1,9 +1,11 @@
 //! Failure injection: the system must degrade gracefully, not crash or
 //! collapse, under hostile link conditions.
 
+use edgeis::experiment::{run_system_with_faults, ExperimentConfig, FaultPlan, SystemKind};
 use edgeis::pipeline::{class_map, run_pipeline, PipelineConfig};
 use edgeis::system::{EdgeIsConfig, EdgeIsSystem};
-use edgeis_netsim::LinkKind;
+use edgeis::EdgeFaultConfig;
+use edgeis_netsim::{FaultSchedule, LinkKind};
 use edgeis_scene::datasets;
 
 #[test]
@@ -14,7 +16,10 @@ fn survives_terrible_lte() {
     let camera = cfg.camera;
     let mut system = EdgeIsSystem::new(cfg, LinkKind::Lte);
     let classes = class_map(&world);
-    let pipe = PipelineConfig { frames: 120, ..Default::default() };
+    let pipe = PipelineConfig {
+        frames: 120,
+        ..Default::default()
+    };
     let report = run_pipeline(&mut system, &world, &camera, &classes, &pipe);
     assert!(
         report.mean_iou() > 0.3,
@@ -42,10 +47,205 @@ fn no_objects_in_scene_is_fine() {
     let camera = cfg.camera;
     let mut system = EdgeIsSystem::new(cfg, LinkKind::Wifi5);
     let classes = class_map(&world);
-    let pipe = PipelineConfig { frames: 60, ..Default::default() };
+    let pipe = PipelineConfig {
+        frames: 60,
+        ..Default::default()
+    };
     let report = run_pipeline(&mut system, &world, &camera, &classes, &pipe);
     // Nothing scored (no instances), and no panic.
     assert!(report.iou_samples().is_empty());
+}
+
+/// The headline robustness scenario: a scripted 2-second total LTE
+/// outage mid-run. edgeIS must coast on MAMT local tracking during the
+/// outage, then re-sync once the link heals.
+#[test]
+fn edgeis_rides_through_total_outage_and_recovers() {
+    let world = datasets::indoor_simple(7);
+    let config = ExperimentConfig {
+        frames: 180,
+        seed: 7,
+        ..Default::default()
+    };
+    // Late enough that the system is past warmup and in steady state,
+    // early enough that the scene still holds scorable objects through
+    // the recovery window.
+    let (outage_start, outage_end) = (2000.0, 4000.0);
+    let faults = FaultPlan::outage(7, outage_start, outage_end);
+
+    let report =
+        run_system_with_faults(SystemKind::EdgeIs, &world, LinkKind::Lte, &config, &faults);
+
+    // Pre-outage steady state, measured after warmup settles.
+    let steady = report.mean_iou_in_window(1200.0, outage_start);
+    assert!(steady > 0.3, "no steady state to lose: {steady:.3}");
+
+    // During the outage, local tracking keeps masks usable.
+    let during = report.mean_iou_in_window(outage_start, outage_end);
+    assert!(
+        during > 0.25,
+        "collapsed during outage: {during:.3} (steady {steady:.3})"
+    );
+
+    // After the link heals, recovery (probe → forced keyframe → CFRS
+    // reset) restores 90% of the steady state within 15 frames.
+    let frames = report.frames_to_recover(outage_end, 0.9 * steady);
+    assert!(
+        matches!(frames, Some(n) if n <= 15),
+        "slow recovery: {frames:?} frames to reach {:.3}",
+        0.9 * steady
+    );
+
+    // The policy must have actually noticed: outage detected, probes
+    // sent, at least one full recovery completed.
+    let res = &report.resilience;
+    assert!(res.outages_detected >= 1, "outage never detected");
+    assert!(res.probes_sent >= 1, "no probes during outage");
+    assert!(res.recoveries >= 1, "recovery never completed");
+    assert!(res.outage_frames > 0);
+}
+
+/// Under the same outage the naive best-effort offloader — no deadlines,
+/// no retries, no outage detection — demonstrably collapses.
+#[test]
+fn pure_offload_baseline_collapses_in_outage() {
+    let world = datasets::indoor_simple(7);
+    let config = ExperimentConfig {
+        frames: 180,
+        seed: 7,
+        ..Default::default()
+    };
+    let (outage_start, outage_end) = (2000.0, 4000.0);
+    let faults = FaultPlan::outage(7, outage_start, outage_end);
+
+    let edgeis =
+        run_system_with_faults(SystemKind::EdgeIs, &world, LinkKind::Lte, &config, &faults);
+    let naive = run_system_with_faults(
+        SystemKind::BestEffort,
+        &world,
+        LinkKind::Lte,
+        &config,
+        &faults,
+    );
+
+    let edgeis_during = edgeis.mean_iou_in_window(outage_start, outage_end);
+    let naive_during = naive.mean_iou_in_window(outage_start, outage_end);
+    assert!(
+        naive_during < edgeis_during,
+        "baseline {naive_during:.3} should trail edgeIS {edgeis_during:.3} during outage"
+    );
+    assert!(
+        naive_during < 0.5 * edgeis_during.max(0.25),
+        "baseline did not collapse: {naive_during:.3} vs edgeIS {edgeis_during:.3}"
+    );
+}
+
+/// An edge crash mid-run loses every in-flight request; the mobile-side
+/// deadlines must reap them and the run must not panic.
+#[test]
+fn edge_crash_loses_inflight_requests() {
+    let world = datasets::indoor_simple(9);
+    let config = ExperimentConfig {
+        frames: 180,
+        seed: 9,
+        ..Default::default()
+    };
+    let faults = FaultPlan {
+        link: None,
+        edge: Some(EdgeFaultConfig {
+            crash_windows: vec![(2000.0, 2600.0)],
+            restart_ms: 150.0,
+            shed_queue_horizon_ms: f64::INFINITY,
+        }),
+    };
+    let report = run_system_with_faults(
+        SystemKind::EdgeIs,
+        &world,
+        LinkKind::Wifi5,
+        &config,
+        &faults,
+    );
+    assert!(
+        report.resilience.timeouts > 0,
+        "crash lost no requests: {:?}",
+        report.resilience
+    );
+    assert!(
+        report.mean_iou() > 0.3,
+        "crash should dent, not destroy: {:.3}",
+        report.mean_iou()
+    );
+}
+
+/// Corrupted downlink payloads must be rejected by the wire decoder —
+/// counted, never rendered as garbage masks, never a panic.
+#[test]
+fn corrupted_responses_are_rejected() {
+    let world = datasets::indoor_simple(11);
+    let config = ExperimentConfig {
+        frames: 150,
+        seed: 11,
+        ..Default::default()
+    };
+    let faults = FaultPlan {
+        link: Some(FaultSchedule::new(11).corruption(1000.0, 2500.0, 0.5)),
+        edge: None,
+    };
+    let report = run_system_with_faults(
+        SystemKind::EdgeIs,
+        &world,
+        LinkKind::Wifi5,
+        &config,
+        &faults,
+    );
+    assert!(
+        report.resilience.corrupt_responses > 0,
+        "corruption window never bit: {:?}",
+        report.resilience
+    );
+    // Rejected payloads leave local tracking in charge; accuracy dips
+    // but every scored mask is still a real decoded mask.
+    assert!(
+        report.mean_iou() > 0.2,
+        "corruption collapsed the run: {:.3}",
+        report.mean_iou()
+    );
+    for r in &report.records {
+        for (_, iou) in &r.ious {
+            assert!(iou.is_finite() && *iou >= 0.0 && *iou <= 1.0);
+        }
+    }
+}
+
+/// The whole faulted pipeline is deterministic: one seed, one report.
+#[test]
+fn same_seed_same_faults_same_report() {
+    let world = datasets::indoor_simple(5);
+    let config = ExperimentConfig {
+        frames: 120,
+        seed: 5,
+        ..Default::default()
+    };
+    let faults = FaultPlan {
+        link: Some(
+            FaultSchedule::new(5)
+                .outage(1500.0, 2200.0)
+                .drop_responses(2500.0, 3200.0, 0.5),
+        ),
+        edge: Some(EdgeFaultConfig {
+            crash_windows: vec![(900.0, 1100.0)],
+            restart_ms: 80.0,
+            shed_queue_horizon_ms: 700.0,
+        }),
+    };
+    let a = run_system_with_faults(SystemKind::EdgeIs, &world, LinkKind::Lte, &config, &faults);
+    let b = run_system_with_faults(SystemKind::EdgeIs, &world, LinkKind::Lte, &config, &faults);
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "faulted run is not reproducible"
+    );
+    assert_eq!(a.resilience, b.resilience);
 }
 
 #[test]
@@ -55,7 +255,10 @@ fn tiny_frames_do_not_break_the_stack() {
     let cfg = EdgeIsConfig::full(camera, 4);
     let mut system = EdgeIsSystem::new(cfg, LinkKind::Wifi5);
     let classes = class_map(&world);
-    let pipe = PipelineConfig { frames: 45, ..Default::default() };
+    let pipe = PipelineConfig {
+        frames: 45,
+        ..Default::default()
+    };
     // At 96x72 the feature budget is tiny; tracking may fail — the
     // requirement is only that nothing panics and records are produced.
     let report = run_pipeline(&mut system, &world, &camera, &classes, &pipe);

@@ -1,0 +1,117 @@
+//! Property tests of the edge→mobile wire format: encode/decode is a
+//! faithful round trip, and the decoder never panics on hostile bytes —
+//! it is the first thing a corrupted delivery hits on the mobile side.
+
+use bytes::Bytes;
+use edgeis::wire::{decode_response, encode_response};
+use edgeis_imaging::Mask;
+use edgeis_segnet::{BBox, Detection};
+use proptest::prelude::*;
+
+/// A pseudo-random but deterministic detection derived from a seed.
+fn detection_from(seed: u64, instance: u16) -> Detection {
+    let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let w = 16 + (next() % 80) as u32;
+    let h = 16 + (next() % 60) as u32;
+    let mut mask = Mask::new(w, h);
+    for _ in 0..(next() % 4) {
+        let x = (next() % w as u64) as u32;
+        let y = (next() % h as u64) as u32;
+        mask.fill_rect(x, y, 1 + (next() % 20) as u32, 1 + (next() % 16) as u32);
+    }
+    let conf = (next() % 1000) as f64 / 1000.0;
+    Detection {
+        instance,
+        class_id: (next() % 7) as u8,
+        confidence: conf,
+        bbox: BBox::new(
+            (next() % 50) as f64,
+            (next() % 40) as f64,
+            50.0 + (next() % 50) as f64,
+            40.0 + (next() % 40) as f64,
+        ),
+        mask,
+    }
+}
+
+proptest! {
+    /// Whatever the edge encodes, the mobile decodes back bit-exact (up
+    /// to the f32 quantization the format specifies for confidences and
+    /// box coordinates).
+    #[test]
+    fn roundtrip_is_faithful(
+        frame_id in 0u64..u64::MAX,
+        seed in 0u64..u64::MAX,
+        n in 0usize..6,
+    ) {
+        let dets: Vec<Detection> =
+            (0..n).map(|i| detection_from(seed ^ i as u64, i as u16 * 3 + 1)).collect();
+        let encoded = encode_response(frame_id, &dets);
+        let (got_id, decoded) = decode_response(encoded).expect("clean payload decodes");
+        prop_assert_eq!(got_id, frame_id);
+        prop_assert_eq!(decoded.len(), dets.len());
+        for (a, b) in dets.iter().zip(decoded.iter()) {
+            prop_assert_eq!(a.instance, b.instance);
+            prop_assert_eq!(a.class_id, b.class_id);
+            prop_assert!((a.confidence - b.confidence).abs() < 1e-6);
+            prop_assert!((a.bbox.x0 - b.bbox.x0).abs() < 1e-3);
+            prop_assert!((a.bbox.y0 - b.bbox.y0).abs() < 1e-3);
+            prop_assert!((a.bbox.x1 - b.bbox.x1).abs() < 1e-3);
+            prop_assert!((a.bbox.y1 - b.bbox.y1).abs() < 1e-3);
+            prop_assert_eq!(&a.mask, &b.mask);
+        }
+    }
+
+    /// Fuzz: arbitrary bytes must decode without panicking. (The chance
+    /// of random bytes starting with the 32-bit magic is ~2^-32, so
+    /// every case here should come back `Err` — but the only hard
+    /// requirement is no panic.)
+    #[test]
+    fn decode_of_arbitrary_bytes_never_panics(
+        raw in collection::vec(0u8..=255, 0..512),
+    ) {
+        let _ = decode_response(Bytes::from(raw));
+    }
+
+    /// Any truncation of a valid message is rejected, not panicked on —
+    /// this is exactly what a mid-transfer outage produces.
+    #[test]
+    fn truncated_messages_are_rejected(
+        seed in 0u64..u64::MAX,
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let dets = vec![detection_from(seed, 1), detection_from(seed ^ 1, 2)];
+        let encoded = encode_response(9, &dets);
+        let cut = ((encoded.len() - 1) as f64 * cut_fraction) as usize;
+        let result = decode_response(encoded.slice(0..cut));
+        prop_assert!(result.is_err(), "truncation to {cut} bytes decoded");
+    }
+
+    /// Single-bit flips anywhere in the payload either decode to an
+    /// error or to a structurally valid message — never a panic. A flip
+    /// that slips past framing must still yield masks whose RLE totals
+    /// were validated against their declared dimensions.
+    #[test]
+    fn bit_flips_never_panic(
+        seed in 0u64..u64::MAX,
+        idx_raw in 0usize..1_000_000,
+        bit in 0u8..8,
+    ) {
+        let dets = vec![detection_from(seed, 1)];
+        let mut raw = encode_response(3, &dets).to_vec();
+        let idx = idx_raw % raw.len();
+        raw[idx] ^= 1 << bit;
+        if let Ok((_, decoded)) = decode_response(Bytes::from(raw)) {
+            for d in &decoded {
+                let cells = (d.mask.width() * d.mask.height()) as usize;
+                prop_assert!(d.mask.area() <= cells);
+            }
+        }
+    }
+}

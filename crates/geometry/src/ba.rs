@@ -122,9 +122,7 @@ pub fn refine_pose(
             // Full 2x6 Jacobian.
             let mut jac = [[0.0f64; 6]; 2];
             for (row, duv) in duv_dpc.iter().enumerate() {
-                for col in 0..3 {
-                    jac[row][col] = duv[col];
-                }
+                jac[row][..3].copy_from_slice(duv);
                 for col in 0..3 {
                     jac[row][3 + col] = duv[0] * neg_hat.m[0][col]
                         + duv[1] * neg_hat.m[1][col]
@@ -237,7 +235,10 @@ mod tests {
                         rng.random_range(-noise_px..noise_px.max(1e-12)),
                     )
                 };
-                out.push(Observation { point: p, pixel: px });
+                out.push(Observation {
+                    point: p,
+                    pixel: px,
+                });
             }
         }
         out
@@ -264,7 +265,10 @@ mod tests {
     fn robust_to_outliers() {
         let true_pose = SE3::new(SO3::identity(), Vec3::new(0.0, 0.0, 0.5));
         let obs = make_observations(2, 100, &true_pose, 0.3, 0.2);
-        let init = SE3::new(SO3::exp(Vec3::new(0.02, 0.02, 0.0)), Vec3::new(0.05, 0.0, 0.4));
+        let init = SE3::new(
+            SO3::exp(Vec3::new(0.02, 0.02, 0.0)),
+            Vec3::new(0.05, 0.0, 0.4),
+        );
         let result = refine_pose(&cam(), &init, &obs, &BaConfig::default()).unwrap();
         assert!(result.pose.translation_distance(&true_pose) < 0.05);
         assert!(result.inliers >= 70);

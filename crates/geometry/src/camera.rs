@@ -46,7 +46,14 @@ impl Camera {
     pub fn new(fx: f64, fy: f64, cx: f64, cy: f64, width: u32, height: u32) -> Self {
         assert!(fx > 0.0 && fy > 0.0, "focal lengths must be positive");
         assert!(width > 0 && height > 0, "image must be non-empty");
-        Self { fx, fy, cx, cy, width, height }
+        Self {
+            fx,
+            fy,
+            cx,
+            cy,
+            width,
+            height,
+        }
     }
 
     /// A camera with a given horizontal field of view (radians) and the
@@ -119,10 +126,7 @@ impl Camera {
 
     /// Whether a pixel lies inside the image bounds.
     pub fn contains(&self, px: Vec2) -> bool {
-        px.x >= 0.0
-            && px.y >= 0.0
-            && px.x < self.width as f64
-            && px.y < self.height as f64
+        px.x >= 0.0 && px.y >= 0.0 && px.x < self.width as f64 && px.y < self.height as f64
     }
 
     /// Whether a pixel lies inside the image with a `margin`-pixel border.

@@ -28,7 +28,10 @@ impl std::fmt::Display for FundamentalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::NotEnoughMatches { got } => {
-                write!(f, "need at least 8 matches for the 8-point algorithm, got {got}")
+                write!(
+                    f,
+                    "need at least 8 matches for the 8-point algorithm, got {got}"
+                )
             }
             Self::Degenerate => write!(f, "degenerate correspondence configuration"),
         }
@@ -75,10 +78,7 @@ fn normalization_transform(pts: &[Vec2]) -> (Mat3, Vec<Vec2>) {
 ///
 /// Returns [`FundamentalError::NotEnoughMatches`] for fewer than 8 pairs and
 /// [`FundamentalError::Degenerate`] for degenerate configurations.
-pub fn fundamental_eight_point(
-    pts0: &[Vec2],
-    pts1: &[Vec2],
-) -> Result<Mat3, FundamentalError> {
+pub fn fundamental_eight_point(pts0: &[Vec2], pts1: &[Vec2]) -> Result<Mat3, FundamentalError> {
     assert_eq!(pts0.len(), pts1.len(), "correspondence lists must align");
     if pts0.len() < 8 {
         return Err(FundamentalError::NotEnoughMatches { got: pts0.len() });
@@ -131,9 +131,7 @@ pub fn fundamental_eight_point(
     if svd.s.x < 1e-12 {
         return Err(FundamentalError::Degenerate);
     }
-    let f_rank2 = svd.u
-        * Mat3::from_diagonal(Vec3::new(svd.s.x, svd.s.y, 0.0))
-        * svd.v.transpose();
+    let f_rank2 = svd.u * Mat3::from_diagonal(Vec3::new(svd.s.x, svd.s.y, 0.0)) * svd.v.transpose();
 
     // De-normalize: F = T1ᵀ F̂ T0.
     let f = t1.transpose() * f_rank2 * t0;
@@ -187,7 +185,11 @@ pub fn decompose_essential(e: &Mat3) -> [(SO3, Vec3); 4] {
     let r1 = SO3::from_matrix_orthogonalized(u * w * v.transpose());
     let r2 = SO3::from_matrix_orthogonalized(u * w.transpose() * v.transpose());
     let t = u.col(2);
-    let t = if t.norm() > 1e-12 { t.normalized() } else { Vec3::Z };
+    let t = if t.norm() > 1e-12 {
+        t.normalized()
+    } else {
+        Vec3::Z
+    };
 
     [(r1, t), (r1, -t), (r2, t), (r2, -t)]
 }
@@ -221,7 +223,7 @@ pub fn recover_pose(
                 }
             }
         }
-        if best.as_ref().map_or(true, |(_, g)| good > *g) {
+        if best.as_ref().is_none_or(|(_, g)| good > *g) {
             best = Some((pose, good));
         }
     }
@@ -239,11 +241,7 @@ mod tests {
     }
 
     /// Generates a synthetic two-view problem with known relative pose.
-    fn synthetic_pair(
-        seed: u64,
-        n: usize,
-        pose10: SE3,
-    ) -> (Vec<Vec2>, Vec<Vec2>, Vec<Vec3>) {
+    fn synthetic_pair(seed: u64, n: usize, pose10: SE3) -> (Vec<Vec2>, Vec<Vec2>, Vec<Vec3>) {
         let cam = camera();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut p0 = Vec::new();
@@ -307,7 +305,10 @@ mod tests {
         let cam = camera();
         let e = essential_from_fundamental(&f, &cam);
         let (pose, good) = recover_pose(&e, &cam, &p0, &p1).unwrap();
-        assert!(good > 50, "cheirality should pass for most points, got {good}");
+        assert!(
+            good > 50,
+            "cheirality should pass for most points, got {good}"
+        );
         // Rotation close to truth.
         assert!(
             pose.rotation.angle_to(&true_pose.rotation) < 1e-3,
@@ -337,9 +338,9 @@ mod tests {
         let t_true = Vec3::new(0.6, -0.1, 0.2).normalized();
         let e = Mat3::hat(t_true) * r_true.matrix();
         let cands = decompose_essential(&e);
-        let found = cands.iter().any(|(r, t)| {
-            r.angle_to(&r_true) < 1e-6 && (*t - t_true).norm() < 1e-6
-        });
+        let found = cands
+            .iter()
+            .any(|(r, t)| r.angle_to(&r_true) < 1e-6 && (*t - t_true).norm() < 1e-6);
         assert!(found, "true decomposition not among candidates");
     }
 }

@@ -40,8 +40,8 @@ pub mod vec;
 pub use ba::{refine_pose, BaConfig, BaResult, Observation};
 pub use camera::Camera;
 pub use epipolar::{
-    decompose_essential, essential_from_fundamental, fundamental_eight_point,
-    recover_pose, sampson_distance, FundamentalError,
+    decompose_essential, essential_from_fundamental, fundamental_eight_point, recover_pose,
+    sampson_distance, FundamentalError,
 };
 pub use mat::Mat3;
 pub use ransac::{ransac, RansacConfig, RansacResult};

@@ -18,7 +18,10 @@ pub struct SymMat {
 impl SymMat {
     /// Creates an `n`×`n` zero matrix.
     pub fn zeros(n: usize) -> Self {
-        Self { n, a: vec![0.0; n * n] }
+        Self {
+            n,
+            a: vec![0.0; n * n],
+        }
     }
 
     /// Dimension.
@@ -217,7 +220,11 @@ pub fn solve_spd6(h: &[[f64; 6]; 6], g: &[f64; 6]) -> Option<[f64; 6]> {
         let mut a = Vec::with_capacity(36);
         for (r, row) in h.iter().enumerate() {
             for (c, &v) in row.iter().enumerate() {
-                a.push(if r == c { v + 1e-6 * (1.0 + v.abs()) } else { v });
+                a.push(if r == c {
+                    v + 1e-6 * (1.0 + v.abs())
+                } else {
+                    v
+                });
             }
         }
         solve_dense(a, g.to_vec())
@@ -276,15 +283,15 @@ pub fn svd3(m: &Mat3) -> Svd3 {
     // Orthonormalize / fill degenerate columns.
     for i in 0..3 {
         let mut u = ucols[i];
-        for j in 0..i {
-            u -= ucols[j] * ucols[j].dot(u);
+        for prev in &ucols[..i] {
+            u -= *prev * prev.dot(u);
         }
         if u.norm() < 1e-9 {
             // Choose any vector orthogonal to previous columns.
             for cand in [Vec3::X, Vec3::Y, Vec3::Z] {
                 let mut c = cand;
-                for j in 0..i {
-                    c -= ucols[j] * ucols[j].dot(c);
+                for prev in &ucols[..i] {
+                    c -= *prev * prev.dot(c);
                 }
                 if c.norm() > 1e-6 {
                     u = c;
@@ -296,7 +303,11 @@ pub fn svd3(m: &Mat3) -> Svd3 {
     }
     let u = Mat3::from_col_vecs(ucols[0], ucols[1], ucols[2]);
 
-    Svd3 { u, s: Vec3::new(svals[0], svals[1], svals[2]), v }
+    Svd3 {
+        u,
+        s: Vec3::new(svals[0], svals[1], svals[2]),
+        v,
+    }
 }
 
 #[cfg(test)]

@@ -62,11 +62,7 @@ impl Mat3 {
 
     /// The skew-symmetric (hat) matrix of `v`, so that `hat(v) * w = v × w`.
     pub fn hat(v: Vec3) -> Self {
-        Self::from_rows([
-            [0.0, -v.z, v.y],
-            [v.z, 0.0, -v.x],
-            [-v.y, v.x, 0.0],
-        ])
+        Self::from_rows([[0.0, -v.z, v.y], [v.z, 0.0, -v.x], [-v.y, v.x, 0.0]])
     }
 
     /// Row `r` as a vector.
@@ -133,12 +129,7 @@ impl Mat3 {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.m
-            .iter()
-            .flatten()
-            .map(|v| v * v)
-            .sum::<f64>()
-            .sqrt()
+        self.m.iter().flatten().map(|v| v * v).sum::<f64>().sqrt()
     }
 
     /// Scales all entries by `s`.

@@ -85,18 +85,22 @@ where
         }
         let better = best
             .as_ref()
-            .map_or(true, |b| inliers.len() > b.inliers.len());
+            .is_none_or(|b| inliers.len() > b.inliers.len());
         if better {
             // Adaptive termination: iterations needed for the current ratio.
             let w = inliers.len() as f64 / n as f64;
             let p_all_inliers = w.powi(sample_size as i32);
             if p_all_inliers > 1e-9 {
-                let needed =
-                    ((1.0 - config.confidence).ln() / (1.0 - p_all_inliers).max(1e-12).ln())
-                        .ceil() as usize;
+                let needed = ((1.0 - config.confidence).ln()
+                    / (1.0 - p_all_inliers).max(1e-12).ln())
+                .ceil() as usize;
                 max_iters = max_iters.min(iter + needed);
             }
-            best = Some(RansacResult { model, inliers, iterations: iter });
+            best = Some(RansacResult {
+                model,
+                inliers,
+                iterations: iter,
+            });
         }
     }
 
@@ -128,7 +132,10 @@ mod tests {
             xs.push(x);
             ys.push(y);
         }
-        let cfg = RansacConfig { inlier_threshold: 0.1, ..Default::default() };
+        let cfg = RansacConfig {
+            inlier_threshold: 0.1,
+            ..Default::default()
+        };
         let result = ransac(
             100,
             2,
@@ -171,20 +178,18 @@ mod tests {
 
     #[test]
     fn all_estimates_fail_returns_none() {
-        let out: Option<RansacResult<()>> = ransac(
-            10,
-            2,
-            &RansacConfig::default(),
-            |_| None,
-            |_: &(), _| 0.0,
-        );
+        let out: Option<RansacResult<()>> =
+            ransac(10, 2, &RansacConfig::default(), |_| None, |_: &(), _| 0.0);
         assert!(out.is_none());
     }
 
     #[test]
     fn early_exit_with_perfect_data() {
         let data: Vec<f64> = vec![5.0; 30];
-        let cfg = RansacConfig { max_iterations: 10_000, ..Default::default() };
+        let cfg = RansacConfig {
+            max_iterations: 10_000,
+            ..Default::default()
+        };
         let r = ransac(
             data.len(),
             1,
@@ -194,7 +199,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.inliers.len(), 30);
-        assert!(r.iterations < 100, "should terminate early, took {}", r.iterations);
+        assert!(
+            r.iterations < 100,
+            "should terminate early, took {}",
+            r.iterations
+        );
     }
 
     #[test]

@@ -29,7 +29,9 @@ impl Default for SO3 {
 impl SO3 {
     /// The identity rotation.
     pub fn identity() -> Self {
-        Self { m: Mat3::identity() }
+        Self {
+            m: Mat3::identity(),
+        }
     }
 
     /// Wraps a rotation matrix.
@@ -47,7 +49,9 @@ impl SO3 {
         let mut c1 = m.col(1) - c0 * c0.dot(m.col(1));
         c1 = c1.normalized();
         let c2 = c0.cross(c1);
-        Self { m: Mat3::from_col_vecs(c0, c1, c2) }
+        Self {
+            m: Mat3::from_col_vecs(c0, c1, c2),
+        }
     }
 
     /// Exponential map: axis-angle vector `w` (angle = |w|) to rotation
@@ -118,7 +122,9 @@ impl SO3 {
 
     /// The inverse rotation (transpose).
     pub fn inverse(&self) -> Self {
-        Self { m: self.m.transpose() }
+        Self {
+            m: self.m.transpose(),
+        }
     }
 
     /// The underlying matrix.
@@ -170,7 +176,10 @@ pub struct SE3 {
 impl SE3 {
     /// Creates a transform from rotation and translation.
     pub fn new(rotation: SO3, translation: Vec3) -> Self {
-        Self { rotation, translation }
+        Self {
+            rotation,
+            translation,
+        }
     }
 
     /// The identity transform.
@@ -248,7 +257,10 @@ mod tests {
         ] {
             let r = SO3::exp(w);
             let w2 = r.log();
-            assert!((w - w2).norm() < 1e-8, "roundtrip failed for {w:?} -> {w2:?}");
+            assert!(
+                (w - w2).norm() < 1e-8,
+                "roundtrip failed for {w:?} -> {w2:?}"
+            );
         }
     }
 

@@ -1,6 +1,6 @@
 //! Property-based tests of the geometric invariants.
 
-use edgeis_geometry::{Camera, Mat3, SE3, SO3, Vec2, Vec3};
+use edgeis_geometry::{Camera, Mat3, Vec2, Vec3, SE3, SO3};
 use proptest::prelude::*;
 
 fn small_vec3() -> impl Strategy<Value = Vec3> {

@@ -109,7 +109,11 @@ mod tests {
         };
         assert_eq!(px(0, 0), (100, 100, 100), "background untinted");
         let (r, g, b) = px(1, 1);
-        assert!(r > g && r > b, "mask pixel should be red-tinted: {:?}", (r, g, b));
+        assert!(
+            r > g && r > b,
+            "mask pixel should be red-tinted: {:?}",
+            (r, g, b)
+        );
         std::fs::remove_file(&path).ok();
     }
 }

@@ -153,7 +153,7 @@ fn orientation(img: &GrayImage, x: u32, y: u32, r: i64) -> f32 {
 
 /// The 256 BRIEF sampling pairs, generated once from a fixed seed inside a
 /// 31×31 patch (σ = 5 Gaussian-ish via clamped normal draws).
-fn brief_pattern() -> Vec<((f64, f64), (f64, f64))> {
+fn brief_pattern() -> Vec<BriefPair> {
     let mut rng = StdRng::seed_from_u64(0x0b5e55ed);
     let draw = |rng: &mut StdRng| -> f64 {
         // Approximate normal via sum of uniforms, clamped to the patch.
@@ -170,6 +170,9 @@ fn brief_pattern() -> Vec<((f64, f64), (f64, f64))> {
         .collect()
 }
 
+/// One BRIEF comparison: a pair of (x, y) offsets around the keypoint.
+type BriefPair = ((f64, f64), (f64, f64));
+
 /// Computes the rotated BRIEF descriptor at a keypoint location on the
 /// level image where it was detected.
 fn brief_descriptor(
@@ -177,7 +180,7 @@ fn brief_descriptor(
     x: f64,
     y: f64,
     angle: f32,
-    pattern: &[((f64, f64), (f64, f64))],
+    pattern: &[BriefPair],
 ) -> Descriptor {
     let (sin, cos) = (angle as f64).sin_cos();
     let mut bits = [0u64; 4];
@@ -219,8 +222,7 @@ pub fn detect_orb(img: &GrayImage, config: &OrbConfig) -> (Vec<Keypoint>, Vec<De
         }
         // Greedy NMS: strongest first, suppress a disc around each winner.
         candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
-        let mut suppressed =
-            vec![false; (level_img.width() * level_img.height()) as usize];
+        let mut suppressed = vec![false; (level_img.width() * level_img.height()) as usize];
         let r = config.nms_radius as i64;
         let w = level_img.width() as i64;
         let h = level_img.height() as i64;
@@ -387,7 +389,10 @@ mod tests {
     #[test]
     fn max_features_is_respected() {
         let img = textured_image(256, 256, 0.0);
-        let cfg = OrbConfig { max_features: 50, ..Default::default() };
+        let cfg = OrbConfig {
+            max_features: 50,
+            ..Default::default()
+        };
         let (kps, descs) = detect_orb(&img, &cfg);
         assert!(kps.len() <= 50);
         assert_eq!(kps.len(), descs.len());
@@ -410,7 +415,10 @@ mod tests {
         for p in FAST_CIRCLE {
             assert!(set.insert(p));
             let r2 = p.0 * p.0 + p.1 * p.1;
-            assert!((8..=10).contains(&r2), "offset {p:?} not on radius-3 circle");
+            assert!(
+                (8..=10).contains(&r2),
+                "offset {p:?} not on radius-3 circle"
+            );
         }
         assert_eq!(set.len(), 16);
     }

@@ -28,7 +28,11 @@ impl GrayImage {
     /// Panics if either dimension is zero.
     pub fn new(width: u32, height: u32) -> Self {
         assert!(width > 0 && height > 0, "image must be non-empty");
-        Self { width, height, data: vec![0; (width * height) as usize] }
+        Self {
+            width,
+            height,
+            data: vec![0; (width * height) as usize],
+        }
     }
 
     /// Creates an image from raw row-major bytes.
@@ -42,7 +46,11 @@ impl GrayImage {
             (width * height) as usize,
             "pixel buffer does not match dimensions"
         );
-        Self { width, height, data }
+        Self {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Image width in pixels.

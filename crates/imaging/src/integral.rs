@@ -28,7 +28,11 @@ impl IntegralImage {
                 sums[(y + 1) * (w + 1) + (x + 1)] = sums[y * (w + 1) + (x + 1)] + row_acc;
             }
         }
-        Self { width: img.width(), height: img.height(), sums }
+        Self {
+            width: img.width(),
+            height: img.height(),
+            sums,
+        }
     }
 
     /// Builds an integral image over arbitrary per-pixel `u64` values.
@@ -37,7 +41,11 @@ impl IntegralImage {
     ///
     /// Panics if `values.len() != width * height`.
     pub fn from_values(width: u32, height: u32, values: &[u64]) -> Self {
-        assert_eq!(values.len(), (width * height) as usize, "value buffer mismatch");
+        assert_eq!(
+            values.len(),
+            (width * height) as usize,
+            "value buffer mismatch"
+        );
         let w = width as usize;
         let h = height as usize;
         let mut sums = vec![0u64; (w + 1) * (h + 1)];
@@ -48,7 +56,11 @@ impl IntegralImage {
                 sums[(y + 1) * (w + 1) + (x + 1)] = sums[y * (w + 1) + (x + 1)] + row_acc;
             }
         }
-        Self { width, height, sums }
+        Self {
+            width,
+            height,
+            sums,
+        }
     }
 
     /// Sum over the rectangle `[x, x+w) × [y, y+h)`, clipped to the image.

@@ -28,7 +28,11 @@ impl Mask {
     /// Panics if either dimension is zero.
     pub fn new(width: u32, height: u32) -> Self {
         assert!(width > 0 && height > 0, "mask must be non-empty");
-        Self { width, height, bits: vec![false; (width * height) as usize] }
+        Self {
+            width,
+            height,
+            bits: vec![false; (width * height) as usize],
+        }
     }
 
     /// Mask width.
@@ -242,7 +246,11 @@ impl Mask {
             }
         }
         runs.push(len);
-        RleMask { width: self.width, height: self.height, runs }
+        RleMask {
+            width: self.width,
+            height: self.height,
+            runs,
+        }
     }
 
     /// Iterates over set pixel coordinates.
@@ -292,7 +300,11 @@ impl RleMask {
         if total != width as u64 * height as u64 {
             return None;
         }
-        Some(Self { width, height, runs })
+        Some(Self {
+            width,
+            height,
+            runs,
+        })
     }
 
     /// The alternating false/true run lengths (starting with false).
@@ -349,7 +361,11 @@ impl LabelMap {
     /// Panics if either dimension is zero.
     pub fn new(width: u32, height: u32) -> Self {
         assert!(width > 0 && height > 0, "label map must be non-empty");
-        Self { width, height, labels: vec![0; (width * height) as usize] }
+        Self {
+            width,
+            height,
+            labels: vec![0; (width * height) as usize],
+        }
     }
 
     /// Map width.

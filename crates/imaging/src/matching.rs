@@ -28,7 +28,11 @@ pub struct MatchConfig {
 
 impl Default for MatchConfig {
     fn default() -> Self {
-        Self { max_distance: 64, ratio: 0.8, cross_check: true }
+        Self {
+            max_distance: 64,
+            ratio: 0.8,
+            cross_check: true,
+        }
     }
 }
 
@@ -81,7 +85,11 @@ pub fn match_descriptors(
                 }
             }
         }
-        matches.push(Match { query_idx: i, train_idx: j, distance: d });
+        matches.push(Match {
+            query_idx: i,
+            train_idx: j,
+            distance: d,
+        });
     }
     matches
 }
@@ -136,7 +144,10 @@ mod tests {
     fn distance_cap_rejects() {
         let train: Vec<Descriptor> = (0..5).map(desc).collect();
         let query = vec![flip_bits(&train[0], 100)];
-        let cfg = MatchConfig { max_distance: 32, ..Default::default() };
+        let cfg = MatchConfig {
+            max_distance: 32,
+            ..Default::default()
+        };
         assert!(match_descriptors(&query, &train, &cfg).is_empty());
     }
 
@@ -146,7 +157,11 @@ mod tests {
         let base = desc(1);
         let train = vec![flip_bits(&base, 1), flip_bits(&base, 2)];
         let query = vec![base];
-        let cfg = MatchConfig { ratio: 0.5, cross_check: false, max_distance: 256 };
+        let cfg = MatchConfig {
+            ratio: 0.5,
+            cross_check: false,
+            max_distance: 256,
+        };
         assert!(match_descriptors(&query, &train, &cfg).is_empty());
     }
 
@@ -157,7 +172,11 @@ mod tests {
         let q0 = flip_bits(&a, 8);
         let q1 = flip_bits(&a, 2);
         let train = vec![a, desc(99)];
-        let cfg = MatchConfig { cross_check: true, ratio: 1.0, max_distance: 256 };
+        let cfg = MatchConfig {
+            cross_check: true,
+            ratio: 1.0,
+            max_distance: 256,
+        };
         let m = match_descriptors(&[q0, q1], &train, &cfg);
         // Only q1 survives cross-check against t0.
         assert_eq!(m.len(), 1);

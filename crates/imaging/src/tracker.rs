@@ -76,7 +76,12 @@ impl MotionVectorField {
                 vectors.push(best);
             }
         }
-        Self { block, cols, rows, vectors }
+        Self {
+            block,
+            cols,
+            rows,
+            vectors,
+        }
     }
 
     /// Block size in pixels.
@@ -201,7 +206,12 @@ impl CorrelationTracker {
                 template.set(tx, ty, frame.get_clamped((x + tx) as i64, (y + ty) as i64));
             }
         }
-        Self { template, x: x as i64, y: y as i64, search: search as i64 }
+        Self {
+            template,
+            x: x as i64,
+            y: y as i64,
+            search: search as i64,
+        }
     }
 
     /// Template width.
@@ -367,7 +377,10 @@ mod tests {
         let mut tracker = CorrelationTracker::new(&f0, 20, 20, 12, 12, 4);
         let f1 = frame_with_square(60, 60);
         tracker.update(&f1);
-        assert!((tracker.x - 60).abs() > 10, "tracker should have lost the target");
+        assert!(
+            (tracker.x - 60).abs() > 10,
+            "tracker should have lost the target"
+        );
     }
 
     #[test]

@@ -5,6 +5,11 @@
 //! modeled as queueing + serialization + propagation with deterministic
 //! seeded jitter and loss-induced retransmission, over a virtual clock so
 //! every experiment is reproducible.
+//!
+//! Beyond the benign model, a [`FaultSchedule`] scripts hostile link
+//! behaviour — total outage windows, bandwidth collapse, RTT spikes,
+//! response drops and payload corruption — all seeded, so a run under
+//! faults is exactly as reproducible as a clean one.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -95,18 +100,197 @@ pub enum Direction {
     Downlink,
 }
 
+/// One kind of scripted link fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LinkFault {
+    /// Total outage: every transfer started inside the window is lost.
+    Outage,
+    /// Both directions' bandwidth is multiplied by this factor (< 1).
+    BandwidthFactor(f64),
+    /// Extra one-way latency added to every transfer, ms.
+    ExtraLatencyMs(f64),
+    /// Each downlink transfer is silently dropped with this probability
+    /// (the uplink request succeeded; the response never arrives).
+    DropResponse(f64),
+    /// Each transfer is delivered but its payload is bit-corrupted with
+    /// this probability.
+    Corrupt(f64),
+}
+
+/// A fault active over `[start_ms, end_ms)` of the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// Window start (inclusive), ms.
+    pub start_ms: SimMs,
+    /// Window end (exclusive), ms.
+    pub end_ms: SimMs,
+    /// What goes wrong inside the window.
+    pub fault: LinkFault,
+}
+
+impl FaultWindow {
+    /// Whether the window covers virtual time `at`.
+    pub fn contains(&self, at: SimMs) -> bool {
+        at >= self.start_ms && at < self.end_ms
+    }
+}
+
+/// A scripted, seeded fault plan for one link. Faults are evaluated at the
+/// send time of each transfer; probabilistic faults (drops, corruption)
+/// draw from a dedicated RNG so the jitter stream is not perturbed and the
+/// whole schedule is reproducible from its seed.
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    windows: Vec<FaultWindow>,
+    rng: StdRng,
+}
+
+impl FaultSchedule {
+    /// An empty schedule drawing probabilistic faults from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            windows: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Adds an arbitrary fault window.
+    pub fn with_window(mut self, window: FaultWindow) -> Self {
+        self.windows.push(window);
+        self
+    }
+
+    /// Adds a total outage over `[start_ms, end_ms)`.
+    pub fn outage(self, start_ms: SimMs, end_ms: SimMs) -> Self {
+        self.with_window(FaultWindow {
+            start_ms,
+            end_ms,
+            fault: LinkFault::Outage,
+        })
+    }
+
+    /// Adds a bandwidth collapse (both directions scaled by `factor`).
+    pub fn bandwidth_collapse(self, start_ms: SimMs, end_ms: SimMs, factor: f64) -> Self {
+        self.with_window(FaultWindow {
+            start_ms,
+            end_ms,
+            fault: LinkFault::BandwidthFactor(factor),
+        })
+    }
+
+    /// Adds an RTT spike (`extra_ms` added one-way).
+    pub fn rtt_spike(self, start_ms: SimMs, end_ms: SimMs, extra_ms: f64) -> Self {
+        self.with_window(FaultWindow {
+            start_ms,
+            end_ms,
+            fault: LinkFault::ExtraLatencyMs(extra_ms),
+        })
+    }
+
+    /// Adds probabilistic downlink response drops.
+    pub fn drop_responses(self, start_ms: SimMs, end_ms: SimMs, probability: f64) -> Self {
+        self.with_window(FaultWindow {
+            start_ms,
+            end_ms,
+            fault: LinkFault::DropResponse(probability),
+        })
+    }
+
+    /// Adds probabilistic payload corruption.
+    pub fn corruption(self, start_ms: SimMs, end_ms: SimMs, probability: f64) -> Self {
+        self.with_window(FaultWindow {
+            start_ms,
+            end_ms,
+            fault: LinkFault::Corrupt(probability),
+        })
+    }
+
+    /// The scripted windows.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// The same scripted windows with a fresh probabilistic stream — use
+    /// when installing one plan on several links (e.g. a device fleet) so
+    /// their drop/corruption rolls stay independent.
+    pub fn reseeded(&self, seed: u64) -> Self {
+        Self {
+            windows: self.windows.clone(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Whether a total outage covers virtual time `at`.
+    pub fn is_outage(&self, at: SimMs) -> bool {
+        self.windows
+            .iter()
+            .any(|w| matches!(w.fault, LinkFault::Outage) && w.contains(at))
+    }
+
+    /// Deterministic (bandwidth factor, extra latency) modifiers at `at`.
+    fn modifiers(&self, at: SimMs) -> (f64, f64) {
+        let mut bw = 1.0;
+        let mut extra = 0.0;
+        for w in self.windows.iter().filter(|w| w.contains(at)) {
+            match w.fault {
+                LinkFault::BandwidthFactor(f) => bw *= f.max(1e-6),
+                LinkFault::ExtraLatencyMs(ms) => extra += ms,
+                _ => {}
+            }
+        }
+        (bw, extra)
+    }
+
+    /// Rolls the probabilistic drop fault for a transfer sent at `at`.
+    fn roll_drop(&mut self, at: SimMs, dir: Direction) -> bool {
+        if dir != Direction::Downlink {
+            return false;
+        }
+        let mut p = 0.0f64;
+        for w in self.windows.iter().filter(|w| w.contains(at)) {
+            if let LinkFault::DropResponse(q) = w.fault {
+                p = p.max(q);
+            }
+        }
+        p > 0.0 && self.rng.random_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Rolls the probabilistic corruption fault for a transfer sent at `at`.
+    fn roll_corrupt(&mut self, at: SimMs) -> bool {
+        let mut p = 0.0f64;
+        for w in self.windows.iter().filter(|w| w.contains(at)) {
+            if let LinkFault::Corrupt(q) = w.fault {
+                p = p.max(q);
+            }
+        }
+        p > 0.0 && self.rng.random_bool(p.clamp(0.0, 1.0))
+    }
+}
+
+/// Outcome of a transfer routed through the fault schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    /// Virtual arrival time.
+    pub arrive_ms: SimMs,
+    /// The payload arrived but its bytes are damaged; the receiver must
+    /// reject it at decode time.
+    pub corrupted: bool,
+}
+
 /// A bidirectional link with per-direction FIFO queues.
 ///
 /// `transmit` returns the virtual arrival time of the payload, accounting
 /// for the queue (a transfer cannot start before the previous one on the
 /// same direction finished), serialization at the link bandwidth, base
 /// propagation latency, jitter and loss-induced retransmission.
+/// `transmit_faulty` additionally consults the installed [`FaultSchedule`].
 #[derive(Debug, Clone)]
 pub struct Link {
     profile: LinkProfile,
     rng: StdRng,
     up_busy_until: SimMs,
     down_busy_until: SimMs,
+    faults: Option<FaultSchedule>,
 }
 
 impl Link {
@@ -117,6 +301,7 @@ impl Link {
             rng: StdRng::seed_from_u64(seed),
             up_busy_until: 0.0,
             down_busy_until: 0.0,
+            faults: None,
         }
     }
 
@@ -130,12 +315,83 @@ impl Link {
         &self.profile
     }
 
+    /// Installs a scripted fault schedule consulted by `transmit_faulty`.
+    pub fn set_faults(&mut self, schedule: FaultSchedule) {
+        self.faults = Some(schedule);
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn faults(&self) -> Option<&FaultSchedule> {
+        self.faults.as_ref()
+    }
+
+    /// Whether the link is up (no outage window) at virtual time `at`.
+    pub fn is_up(&self, at: SimMs) -> bool {
+        self.faults.as_ref().is_none_or(|f| !f.is_outage(at))
+    }
+
     /// Sends `bytes` at virtual time `now`; returns the arrival time.
+    /// Ignores any installed fault schedule (benign path).
     pub fn transmit(&mut self, bytes: usize, now: SimMs, dir: Direction) -> SimMs {
+        self.transmit_shaped(bytes, now, dir, 1.0, 0.0)
+    }
+
+    /// Sends `bytes` at virtual time `now` through the fault schedule.
+    /// Returns `None` when the transfer is lost (outage at send time, or a
+    /// probabilistic response drop); otherwise the delivery carries the
+    /// arrival time and whether the payload was corrupted en route.
+    /// Without an installed schedule this is `transmit` with a clean
+    /// delivery.
+    pub fn transmit_faulty(
+        &mut self,
+        bytes: usize,
+        now: SimMs,
+        dir: Direction,
+    ) -> Option<Delivery> {
+        let Some(mut faults) = self.faults.take() else {
+            let arrive_ms = self.transmit(bytes, now, dir);
+            return Some(Delivery {
+                arrive_ms,
+                corrupted: false,
+            });
+        };
+        let result = if faults.is_outage(now) {
+            // The radio is gone: nothing is serialized, the queue does not
+            // advance, the payload is simply lost.
+            None
+        } else if faults.roll_drop(now, dir) {
+            // The transfer occupies the channel before being lost.
+            let (bw, extra) = faults.modifiers(now);
+            let _ = self.transmit_shaped(bytes, now, dir, bw, extra);
+            None
+        } else {
+            let (bw, extra) = faults.modifiers(now);
+            let arrive_ms = self.transmit_shaped(bytes, now, dir, bw, extra);
+            let corrupted = faults.roll_corrupt(now);
+            Some(Delivery {
+                arrive_ms,
+                corrupted,
+            })
+        };
+        self.faults = Some(faults);
+        result
+    }
+
+    /// The shared queue/serialization/propagation model, with fault-window
+    /// modifiers applied.
+    fn transmit_shaped(
+        &mut self,
+        bytes: usize,
+        now: SimMs,
+        dir: Direction,
+        bandwidth_factor: f64,
+        extra_latency_ms: f64,
+    ) -> SimMs {
         let (mbps, busy) = match dir {
             Direction::Uplink => (self.profile.uplink_mbps, &mut self.up_busy_until),
             Direction::Downlink => (self.profile.downlink_mbps, &mut self.down_busy_until),
         };
+        let mbps = (mbps * bandwidth_factor).max(1e-6);
         let start = now.max(*busy);
         let serialize_ms = (bytes as f64 * 8.0) / (mbps * 1000.0);
         let mut finish = start + serialize_ms;
@@ -150,7 +406,7 @@ impl Link {
         } else {
             0.0
         };
-        finish + self.profile.base_latency_ms + jitter
+        finish + self.profile.base_latency_ms + extra_latency_ms + jitter
     }
 
     /// Expected (jitter-free, loss-free) one-way latency for a payload.
@@ -170,7 +426,11 @@ mod tests {
     #[test]
     fn serialization_time_scales_with_bytes() {
         let mut link = Link::new(
-            LinkProfile { jitter_ms: 0.0, loss: 0.0, ..LinkProfile::of(LinkKind::Wifi5) },
+            LinkProfile {
+                jitter_ms: 0.0,
+                loss: 0.0,
+                ..LinkProfile::of(LinkKind::Wifi5)
+            },
             1,
         );
         let t1 = link.transmit(120_000, 0.0, Direction::Uplink);
@@ -181,7 +441,11 @@ mod tests {
     #[test]
     fn queueing_serializes_back_to_back_transfers() {
         let mut link = Link::new(
-            LinkProfile { jitter_ms: 0.0, loss: 0.0, ..LinkProfile::of(LinkKind::Wifi5) },
+            LinkProfile {
+                jitter_ms: 0.0,
+                loss: 0.0,
+                ..LinkProfile::of(LinkKind::Wifi5)
+            },
             1,
         );
         let a = link.transmit(120_000, 0.0, Direction::Uplink);
@@ -192,7 +456,11 @@ mod tests {
     #[test]
     fn directions_do_not_block_each_other() {
         let mut link = Link::new(
-            LinkProfile { jitter_ms: 0.0, loss: 0.0, ..LinkProfile::of(LinkKind::Wifi5) },
+            LinkProfile {
+                jitter_ms: 0.0,
+                loss: 0.0,
+                ..LinkProfile::of(LinkKind::Wifi5)
+            },
             1,
         );
         let up = link.transmit(1_200_000, 0.0, Direction::Uplink);
@@ -234,9 +502,126 @@ mod tests {
     }
 
     #[test]
+    fn outage_window_loses_transfers_and_heals() {
+        let mut link = Link::of_kind(LinkKind::Lte, 7);
+        link.set_faults(FaultSchedule::new(7).outage(1000.0, 3000.0));
+        assert!(link.is_up(500.0));
+        assert!(!link.is_up(1000.0));
+        assert!(!link.is_up(2999.0));
+        assert!(link.is_up(3000.0));
+        assert!(link
+            .transmit_faulty(10_000, 500.0, Direction::Uplink)
+            .is_some());
+        assert!(link
+            .transmit_faulty(10_000, 1500.0, Direction::Uplink)
+            .is_none());
+        assert!(link
+            .transmit_faulty(10_000, 3500.0, Direction::Uplink)
+            .is_some());
+    }
+
+    #[test]
+    fn bandwidth_collapse_slows_transfers() {
+        let profile = LinkProfile {
+            jitter_ms: 0.0,
+            loss: 0.0,
+            ..LinkProfile::of(LinkKind::Wifi5)
+        };
+        let mut clean = Link::new(profile, 1);
+        let mut faulty = Link::new(profile, 1);
+        faulty.set_faults(FaultSchedule::new(1).bandwidth_collapse(0.0, 10_000.0, 0.1));
+        let t_clean = clean
+            .transmit_faulty(120_000, 0.0, Direction::Uplink)
+            .unwrap();
+        let t_slow = faulty
+            .transmit_faulty(120_000, 0.0, Direction::Uplink)
+            .unwrap();
+        // 10x less bandwidth: 8 ms serialization becomes 80 ms.
+        assert!(t_slow.arrive_ms > t_clean.arrive_ms + 60.0);
+    }
+
+    #[test]
+    fn rtt_spike_adds_latency() {
+        let profile = LinkProfile {
+            jitter_ms: 0.0,
+            loss: 0.0,
+            ..LinkProfile::of(LinkKind::Wifi5)
+        };
+        let mut link = Link::new(profile, 1);
+        link.set_faults(FaultSchedule::new(1).rtt_spike(0.0, 1000.0, 150.0));
+        let spiked = link.transmit_faulty(1_000, 0.0, Direction::Uplink).unwrap();
+        let normal = link
+            .transmit_faulty(1_000, 2000.0, Direction::Uplink)
+            .unwrap();
+        assert!((spiked.arrive_ms - (normal.arrive_ms - 2000.0) - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn response_drops_only_affect_downlink() {
+        let mut link = Link::of_kind(LinkKind::Wifi5, 3);
+        link.set_faults(FaultSchedule::new(3).drop_responses(0.0, 1e9, 1.0));
+        assert!(link
+            .transmit_faulty(1_000, 0.0, Direction::Uplink)
+            .is_some());
+        assert!(link
+            .transmit_faulty(1_000, 0.0, Direction::Downlink)
+            .is_none());
+    }
+
+    #[test]
+    fn corruption_marks_but_delivers() {
+        let mut link = Link::of_kind(LinkKind::Wifi5, 4);
+        link.set_faults(FaultSchedule::new(4).corruption(0.0, 1e9, 1.0));
+        let d = link.transmit_faulty(1_000, 0.0, Direction::Uplink).unwrap();
+        assert!(d.corrupted);
+        let mut clean = Link::of_kind(LinkKind::Wifi5, 4);
+        clean.set_faults(FaultSchedule::new(4).corruption(5000.0, 6000.0, 1.0));
+        assert!(
+            !clean
+                .transmit_faulty(1_000, 0.0, Direction::Uplink)
+                .unwrap()
+                .corrupted
+        );
+    }
+
+    #[test]
+    fn faulty_transmit_without_schedule_is_clean_transmit() {
+        let profile = LinkProfile {
+            jitter_ms: 0.0,
+            loss: 0.0,
+            ..LinkProfile::of(LinkKind::Lte)
+        };
+        let mut a = Link::new(profile, 9);
+        let mut b = Link::new(profile, 9);
+        let d = a.transmit_faulty(60_000, 0.0, Direction::Uplink).unwrap();
+        assert_eq!(d.arrive_ms, b.transmit(60_000, 0.0, Direction::Uplink));
+        assert!(!d.corrupted);
+    }
+
+    #[test]
+    fn fault_schedule_deterministic_given_seed() {
+        let run = || {
+            let mut link = Link::of_kind(LinkKind::Lte, 11);
+            link.set_faults(
+                FaultSchedule::new(11)
+                    .outage(1000.0, 2000.0)
+                    .drop_responses(0.0, 10_000.0, 0.3)
+                    .corruption(0.0, 10_000.0, 0.2),
+            );
+            (0..200)
+                .map(|i| link.transmit_faulty(20_000, i as f64 * 33.0, Direction::Downlink))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
     fn nominal_latency_matches_zero_jitter_transmit() {
-        let profile =
-            LinkProfile { jitter_ms: 0.0, loss: 0.0, ..LinkProfile::of(LinkKind::Lte) };
+        let profile = LinkProfile {
+            jitter_ms: 0.0,
+            loss: 0.0,
+            ..LinkProfile::of(LinkKind::Lte)
+        };
         let mut link = Link::new(profile, 9);
         let nominal = link.nominal_latency_ms(60_000, Direction::Uplink);
         let actual = link.transmit(60_000, 0.0, Direction::Uplink);

@@ -8,7 +8,7 @@
 use crate::object::{MotionModel, ObjectClass, SceneObject, Shape};
 use crate::render::Scene;
 use crate::trajectory::{MotionSpeed, Trajectory};
-use edgeis_geometry::{SO3, Vec3};
+use edgeis_geometry::{Vec3, SO3};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -86,7 +86,9 @@ fn back_wall(id: u16, z: f64, half_width: f64) -> SceneObject {
     SceneObject::new(
         id,
         ObjectClass::Generic,
-        Shape::Cuboid { half_extents: Vec3::new(half_width, 2.5, 0.2) },
+        Shape::Cuboid {
+            half_extents: Vec3::new(half_width, 2.5, 0.2),
+        },
         Vec3::new(0.0, -0.5, z),
     )
     .as_background()
@@ -97,7 +99,9 @@ fn pillar(id: u16, x: f64, z: f64) -> SceneObject {
     SceneObject::new(
         id,
         ObjectClass::Generic,
-        Shape::Cuboid { half_extents: Vec3::new(0.25, 1.8, 0.25) },
+        Shape::Cuboid {
+            half_extents: Vec3::new(0.25, 1.8, 0.25),
+        },
         Vec3::new(x, -0.1, z),
     )
     .as_background()
@@ -115,7 +119,9 @@ pub fn indoor_simple(seed: u64) -> World {
         objects.push(SceneObject::new(
             i + 1,
             ObjectClass::Furniture,
-            Shape::Cuboid { half_extents: Vec3::new(size, size * 1.2, size) },
+            Shape::Cuboid {
+                half_extents: Vec3::new(size, size * 1.2, size),
+            },
             Vec3::new(x, 1.6 - size * 1.2, z),
         ));
     }
@@ -135,7 +141,10 @@ pub fn davis_like(seed: u64) -> World {
     let mut objects = vec![SceneObject::new(
         1,
         ObjectClass::Person,
-        Shape::Cylinder { radius: 0.35, half_height: 0.85 },
+        Shape::Cylinder {
+            radius: 0.35,
+            half_height: 0.85,
+        },
         Vec3::new(rng.random_range(-0.5..0.5), 0.7, 3.5),
     )
     .with_motion(MotionModel::Linear {
@@ -146,7 +155,9 @@ pub fn davis_like(seed: u64) -> World {
             SceneObject::new(
                 2,
                 ObjectClass::Car,
-                Shape::Cuboid { half_extents: Vec3::new(0.9, 0.5, 0.45) },
+                Shape::Cuboid {
+                    half_extents: Vec3::new(0.9, 0.5, 0.45),
+                },
                 Vec3::new(rng.random_range(1.0..2.0), 1.1, 6.0),
             )
             .with_motion(MotionModel::Linear {
@@ -175,7 +186,9 @@ pub fn kitti_like(seed: u64) -> World {
         let mut car = SceneObject::new(
             (i + 1) as u16,
             ObjectClass::Car,
-            Shape::Cuboid { half_extents: Vec3::new(0.85, 0.55, 1.9) },
+            Shape::Cuboid {
+                half_extents: Vec3::new(0.85, 0.55, 1.9),
+            },
             Vec3::new(side + rng.random_range(-0.3..0.3), 1.05, z),
         );
         if moving {
@@ -191,7 +204,9 @@ pub fn kitti_like(seed: u64) -> World {
             SceneObject::new(
                 100 + side,
                 ObjectClass::Generic,
-                Shape::Cuboid { half_extents: Vec3::new(0.3, 2.5, 25.0) },
+                Shape::Cuboid {
+                    half_extents: Vec3::new(0.3, 2.5, 25.0),
+                },
                 Vec3::new(k * 5.5, -0.5, 20.0),
             )
             .as_background(),
@@ -265,8 +280,16 @@ pub fn ar_handheld(seed: u64) -> World {
             Vec3::new(ang.cos() * r, 1.0, 5.0 + ang.sin() * r),
         ));
     }
+    // Not `PI`-derived on purpose: these literals are part of the seeded
+    // world definition, and nudging them to the exact constants would
+    // move every pillar and invalidate the calibrated IoU baselines.
+    #[allow(clippy::approx_constant)]
     for (i, ang) in [0.0f64, 1.57, 3.14, 4.71].iter().enumerate() {
-        objects.push(pillar(100 + i as u16, ang.cos() * 6.0, 5.0 + ang.sin() * 6.0));
+        objects.push(pillar(
+            100 + i as u16,
+            ang.cos() * 6.0,
+            5.0 + ang.sin() * 6.0,
+        ));
     }
     World {
         scene: Scene::new(objects),
@@ -288,19 +311,27 @@ pub fn oil_field(seed: u64) -> World {
         SceneObject::new(
             1,
             ObjectClass::OilSeparator,
-            Shape::Cylinder { radius: 0.8, half_height: 1.2 },
+            Shape::Cylinder {
+                radius: 0.8,
+                half_height: 1.2,
+            },
             Vec3::new(-1.5, 0.4, 6.0),
         ),
         SceneObject::new(
             2,
             ObjectClass::Pump,
-            Shape::Cuboid { half_extents: Vec3::new(0.5, 0.5, 0.7) },
+            Shape::Cuboid {
+                half_extents: Vec3::new(0.5, 0.5, 0.7),
+            },
             Vec3::new(1.2, 1.1, 5.5),
         ),
         SceneObject::new(
             3,
             ObjectClass::Tube,
-            Shape::Cylinder { radius: 0.12, half_height: 1.8 },
+            Shape::Cylinder {
+                radius: 0.12,
+                half_height: 1.8,
+            },
             Vec3::new(0.0, 0.6, 7.0),
         )
         .with_rotation(SO3::from_axis_angle(Vec3::Z, std::f64::consts::FRAC_PI_2)),
@@ -310,7 +341,10 @@ pub fn oil_field(seed: u64) -> World {
             SceneObject::new(
                 4,
                 ObjectClass::Person,
-                Shape::Cylinder { radius: 0.3, half_height: 0.85 },
+                Shape::Cylinder {
+                    radius: 0.3,
+                    half_height: 0.85,
+                },
                 Vec3::new(rng.random_range(-2.5..-1.8), 0.7, 4.0),
             )
             .with_motion(MotionModel::Oscillate {
@@ -320,7 +354,11 @@ pub fn oil_field(seed: u64) -> World {
         );
     }
     for (i, ang) in [0.6f64, 2.2, 3.9, 5.4].iter().enumerate() {
-        objects.push(pillar(100 + i as u16, ang.cos() * 7.0, 6.0 + ang.sin() * 7.0));
+        objects.push(pillar(
+            100 + i as u16,
+            ang.cos() * 7.0,
+            6.0 + ang.sin() * 7.0,
+        ));
     }
     World {
         scene: Scene::new(objects),
@@ -360,7 +398,11 @@ pub fn complexity_world(level: Complexity, seed: u64) -> World {
         let r = rng.random_range(1.2..2.8);
         let mut obj = SceneObject::new(
             (i + 1) as u16,
-            if i % 3 == 0 { ObjectClass::Person } else { ObjectClass::Furniture },
+            if i % 3 == 0 {
+                ObjectClass::Person
+            } else {
+                ObjectClass::Furniture
+            },
             if i % 2 == 0 {
                 Shape::Cuboid {
                     half_extents: Vec3::new(
@@ -379,18 +421,18 @@ pub fn complexity_world(level: Complexity, seed: u64) -> World {
         );
         if dynamic && i % 2 == 0 {
             obj = obj.with_motion(MotionModel::Oscillate {
-                amplitude: Vec3::new(
-                    rng.random_range(0.3..0.7),
-                    0.0,
-                    rng.random_range(0.1..0.3),
-                ),
+                amplitude: Vec3::new(rng.random_range(0.3..0.7), 0.0, rng.random_range(0.1..0.3)),
                 omega: rng.random_range(0.3..0.7),
             });
         }
         objects.push(obj);
     }
     for (i, ang) in [0.3f64, 1.9, 3.5, 5.1].iter().enumerate() {
-        objects.push(pillar(100 + i as u16, ang.cos() * 6.5, 6.0 + ang.sin() * 6.5));
+        objects.push(pillar(
+            100 + i as u16,
+            ang.cos() * 6.5,
+            6.0 + ang.sin() * 6.5,
+        ));
     }
     World {
         scene: Scene::new(objects),

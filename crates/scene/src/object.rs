@@ -1,6 +1,6 @@
 //! Scene objects: shapes, classes, textures and motion models.
 
-use edgeis_geometry::{SE3, SO3, Vec3};
+use edgeis_geometry::{Vec3, SE3, SO3};
 use serde::{Deserialize, Serialize};
 
 /// Semantic class of an object — mirrors the label vocabulary the paper's
@@ -76,9 +76,10 @@ impl Shape {
     pub fn bounding_radius(&self) -> f64 {
         match *self {
             Shape::Cuboid { half_extents } => half_extents.norm(),
-            Shape::Cylinder { radius, half_height } => {
-                (radius * radius + half_height * half_height).sqrt()
-            }
+            Shape::Cylinder {
+                radius,
+                half_height,
+            } => (radius * radius + half_height * half_height).sqrt(),
         }
     }
 
@@ -86,12 +87,11 @@ impl Shape {
     /// positive `t` along `origin + t * dir`.
     pub fn intersect_local(&self, origin: Vec3, dir: Vec3) -> Option<f64> {
         match *self {
-            Shape::Cuboid { half_extents } => {
-                ray_aabb(origin, dir, half_extents)
-            }
-            Shape::Cylinder { radius, half_height } => {
-                ray_cylinder(origin, dir, radius, half_height)
-            }
+            Shape::Cuboid { half_extents } => ray_aabb(origin, dir, half_extents),
+            Shape::Cylinder {
+                radius,
+                half_height,
+            } => ray_cylinder(origin, dir, radius, half_height),
         }
     }
 }
@@ -138,7 +138,7 @@ fn ray_cylinder(o: Vec3, d: Vec3, radius: f64, half_height: f64) -> Option<f64> 
             for t in [(-b - sq) / (2.0 * a), (-b + sq) / (2.0 * a)] {
                 if t > 1e-9 {
                     let y = o.y + t * d.y;
-                    if y.abs() <= half_height && best.map_or(true, |bt| t < bt) {
+                    if y.abs() <= half_height && best.is_none_or(|bt| t < bt) {
                         best = Some(t);
                     }
                 }
@@ -152,7 +152,7 @@ fn ray_cylinder(o: Vec3, d: Vec3, radius: f64, half_height: f64) -> Option<f64> 
             if t > 1e-9 {
                 let x = o.x + t * d.x;
                 let z = o.z + t * d.z;
-                if x * x + z * z <= radius * radius && best.map_or(true, |bt| t < bt) {
+                if x * x + z * z <= radius * radius && best.is_none_or(|bt| t < bt) {
                     best = Some(t);
                 }
             }
@@ -285,7 +285,9 @@ mod tests {
 
     #[test]
     fn ray_hits_cuboid_front_face() {
-        let s = Shape::Cuboid { half_extents: Vec3::new(1.0, 1.0, 1.0) };
+        let s = Shape::Cuboid {
+            half_extents: Vec3::new(1.0, 1.0, 1.0),
+        };
         let t = s
             .intersect_local(Vec3::new(0.0, 0.0, -5.0), Vec3::Z)
             .unwrap();
@@ -294,7 +296,9 @@ mod tests {
 
     #[test]
     fn ray_misses_cuboid() {
-        let s = Shape::Cuboid { half_extents: Vec3::new(1.0, 1.0, 1.0) };
+        let s = Shape::Cuboid {
+            half_extents: Vec3::new(1.0, 1.0, 1.0),
+        };
         assert!(s
             .intersect_local(Vec3::new(5.0, 0.0, -5.0), Vec3::Z)
             .is_none());
@@ -302,14 +306,19 @@ mod tests {
 
     #[test]
     fn ray_inside_cuboid_exits() {
-        let s = Shape::Cuboid { half_extents: Vec3::new(1.0, 1.0, 1.0) };
+        let s = Shape::Cuboid {
+            half_extents: Vec3::new(1.0, 1.0, 1.0),
+        };
         let t = s.intersect_local(Vec3::ZERO, Vec3::Z).unwrap();
         assert!((t - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn ray_hits_cylinder_side() {
-        let s = Shape::Cylinder { radius: 1.0, half_height: 2.0 };
+        let s = Shape::Cylinder {
+            radius: 1.0,
+            half_height: 2.0,
+        };
         let t = s
             .intersect_local(Vec3::new(0.0, 0.0, -4.0), Vec3::Z)
             .unwrap();
@@ -318,7 +327,10 @@ mod tests {
 
     #[test]
     fn ray_hits_cylinder_cap() {
-        let s = Shape::Cylinder { radius: 1.0, half_height: 2.0 };
+        let s = Shape::Cylinder {
+            radius: 1.0,
+            half_height: 2.0,
+        };
         let t = s
             .intersect_local(Vec3::new(0.3, -5.0, 0.0), Vec3::Y)
             .unwrap();
@@ -327,7 +339,10 @@ mod tests {
 
     #[test]
     fn ray_misses_cylinder_above() {
-        let s = Shape::Cylinder { radius: 1.0, half_height: 1.0 };
+        let s = Shape::Cylinder {
+            radius: 1.0,
+            half_height: 1.0,
+        };
         assert!(s
             .intersect_local(Vec3::new(0.0, 3.0, -4.0), Vec3::Z)
             .is_none());
@@ -338,10 +353,14 @@ mod tests {
         let obj = SceneObject::new(
             1,
             ObjectClass::Car,
-            Shape::Cuboid { half_extents: Vec3::new(1.0, 0.5, 2.0) },
+            Shape::Cuboid {
+                half_extents: Vec3::new(1.0, 0.5, 2.0),
+            },
             Vec3::new(0.0, 0.0, 10.0),
         )
-        .with_motion(MotionModel::Linear { velocity: Vec3::new(1.0, 0.0, 0.0) });
+        .with_motion(MotionModel::Linear {
+            velocity: Vec3::new(1.0, 0.0, 0.0),
+        });
         let p = obj.pose_at(2.5);
         assert!((p.translation - Vec3::new(2.5, 0.0, 10.0)).norm() < 1e-12);
         assert!(obj.is_dynamic());
@@ -352,7 +371,10 @@ mod tests {
         let obj = SceneObject::new(
             2,
             ObjectClass::Person,
-            Shape::Cylinder { radius: 0.3, half_height: 0.9 },
+            Shape::Cylinder {
+                radius: 0.3,
+                half_height: 0.9,
+            },
             Vec3::new(1.0, 0.0, 5.0),
         )
         .with_motion(MotionModel::Oscillate {
@@ -368,7 +390,9 @@ mod tests {
         let obj = SceneObject::new(
             3,
             ObjectClass::Furniture,
-            Shape::Cuboid { half_extents: Vec3::new(0.5, 0.5, 0.5) },
+            Shape::Cuboid {
+                half_extents: Vec3::new(0.5, 0.5, 0.5),
+            },
             Vec3::new(0.0, 0.5, 3.0),
         );
         assert_eq!(obj.pose_at(0.0), obj.pose_at(100.0));
@@ -381,16 +405,23 @@ mod tests {
         let _ = SceneObject::new(
             0,
             ObjectClass::Generic,
-            Shape::Cuboid { half_extents: Vec3::new(1.0, 1.0, 1.0) },
+            Shape::Cuboid {
+                half_extents: Vec3::new(1.0, 1.0, 1.0),
+            },
             Vec3::ZERO,
         );
     }
 
     #[test]
     fn bounding_radius() {
-        let c = Shape::Cuboid { half_extents: Vec3::new(3.0, 4.0, 0.0) };
+        let c = Shape::Cuboid {
+            half_extents: Vec3::new(3.0, 4.0, 0.0),
+        };
         assert!((c.bounding_radius() - 5.0).abs() < 1e-12);
-        let cy = Shape::Cylinder { radius: 3.0, half_height: 4.0 };
+        let cy = Shape::Cylinder {
+            radius: 3.0,
+            half_height: 4.0,
+        };
         assert!((cy.bounding_radius() - 5.0).abs() < 1e-12);
     }
 

@@ -1,7 +1,7 @@
 //! Ray-cast renderer producing frames with exact instance ground truth.
 
 use crate::object::SceneObject;
-use edgeis_geometry::{Camera, SE3, Vec3};
+use edgeis_geometry::{Camera, Vec3, SE3};
 use edgeis_imaging::{GrayImage, LabelMap};
 use serde::{Deserialize, Serialize};
 
@@ -42,7 +42,10 @@ impl Scene {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), objects.len(), "duplicate object ids");
-        Self { objects, background_seed: 0xbead }
+        Self {
+            objects,
+            background_seed: 0xbead,
+        }
     }
 
     /// The objects in the scene.
@@ -86,7 +89,8 @@ impl Scene {
 
         for v in 0..h {
             for u in 0..w {
-                let n = camera.normalize(edgeis_geometry::Vec2::new(u as f64 + 0.5, v as f64 + 0.5));
+                let n =
+                    camera.normalize(edgeis_geometry::Vec2::new(u as f64 + 0.5, v as f64 + 0.5));
                 let dir = (r_wc * Vec3::new(n.x, n.y, 1.0)).normalized();
 
                 let mut best_t = f64::INFINITY;
@@ -144,7 +148,12 @@ impl Scene {
             }
         }
 
-        RenderedFrame { image, labels, pose: *t_cw, time: t }
+        RenderedFrame {
+            image,
+            labels,
+            pose: *t_cw,
+            time: t,
+        }
     }
 
     /// Convenience: renders at `t = 0`.
@@ -220,7 +229,9 @@ mod tests {
         Scene::new(vec![SceneObject::new(
             1,
             ObjectClass::Furniture,
-            Shape::Cuboid { half_extents: Vec3::new(0.5, 0.5, 0.5) },
+            Shape::Cuboid {
+                half_extents: Vec3::new(0.5, 0.5, 0.5),
+            },
             Vec3::new(0.0, 0.5, 4.0),
         )])
     }
@@ -234,7 +245,11 @@ mod tests {
         assert_eq!(frame.labels.get(cx, cy), 1);
         // Object pixels brighter than ground pixels on average.
         let obj_mask = frame.labels.instance_mask(1);
-        assert!(obj_mask.area() > 50, "object too small: {}", obj_mask.area());
+        assert!(
+            obj_mask.area() > 50,
+            "object too small: {}",
+            obj_mask.area()
+        );
     }
 
     #[test]
@@ -261,13 +276,17 @@ mod tests {
             SceneObject::new(
                 1,
                 ObjectClass::Furniture,
-                Shape::Cuboid { half_extents: Vec3::new(1.0, 1.0, 0.5) },
+                Shape::Cuboid {
+                    half_extents: Vec3::new(1.0, 1.0, 0.5),
+                },
                 Vec3::new(0.0, 0.0, 6.0),
             ),
             SceneObject::new(
                 2,
                 ObjectClass::Furniture,
-                Shape::Cuboid { half_extents: Vec3::new(0.3, 0.3, 0.3) },
+                Shape::Cuboid {
+                    half_extents: Vec3::new(0.3, 0.3, 0.3),
+                },
                 Vec3::new(0.0, 0.0, 3.0),
             ),
         ]);
@@ -280,8 +299,9 @@ mod tests {
     #[test]
     fn moving_object_changes_labels_over_time() {
         let mut scene = one_box_scene();
-        scene.objects_mut()[0].motion =
-            MotionModel::Linear { velocity: Vec3::new(1.0, 0.0, 0.0) };
+        scene.objects_mut()[0].motion = MotionModel::Linear {
+            velocity: Vec3::new(1.0, 0.0, 0.0),
+        };
         let cam = small_camera();
         let f0 = scene.render_at(&cam, &SE3::identity(), 0.0);
         let f1 = scene.render_at(&cam, &SE3::identity(), 1.0);
@@ -310,8 +330,9 @@ mod tests {
         // A translating object carries its texture: the pixel values inside
         // the mask should be (mostly) a shifted copy.
         let mut scene = one_box_scene();
-        scene.objects_mut()[0].motion =
-            MotionModel::Linear { velocity: Vec3::new(0.5, 0.0, 0.0) };
+        scene.objects_mut()[0].motion = MotionModel::Linear {
+            velocity: Vec3::new(0.5, 0.0, 0.0),
+        };
         let cam = small_camera();
         let f0 = scene.render_at(&cam, &SE3::identity(), 0.0);
         let f1 = scene.render_at(&cam, &SE3::identity(), 0.2);
@@ -325,14 +346,17 @@ mod tests {
         for (x, y) in m0.iter_set() {
             let nx = (x as f64 + dx).round() as i64;
             let ny = (y as f64 + dy).round() as i64;
-            if nx >= 0 && ny >= 0 && (nx as u32) < 96 && (ny as u32) < 72 {
-                if f1.labels.get_or_background(nx, ny) == 1 {
-                    total += 1;
-                    let v0 = f0.image.get(x, y) as i32;
-                    let v1 = f1.image.get(nx as u32, ny as u32) as i32;
-                    if (v0 - v1).abs() < 30 {
-                        same += 1;
-                    }
+            if nx >= 0
+                && ny >= 0
+                && (nx as u32) < 96
+                && (ny as u32) < 72
+                && f1.labels.get_or_background(nx, ny) == 1
+            {
+                total += 1;
+                let v0 = f0.image.get(x, y) as i32;
+                let v1 = f1.image.get(nx as u32, ny as u32) as i32;
+                if (v0 - v1).abs() < 30 {
+                    same += 1;
                 }
             }
         }
@@ -349,7 +373,9 @@ mod tests {
         let o = SceneObject::new(
             1,
             ObjectClass::Generic,
-            Shape::Cuboid { half_extents: Vec3::new(1.0, 1.0, 1.0) },
+            Shape::Cuboid {
+                half_extents: Vec3::new(1.0, 1.0, 1.0),
+            },
             Vec3::ZERO,
         );
         let _ = Scene::new(vec![o.clone(), o]);

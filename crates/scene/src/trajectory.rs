@@ -5,7 +5,7 @@
 //! [`MotionSpeed`] encodes those three regimes (speed plus head bob / sway
 //! intensity), and [`Trajectory`] produces the camera pose at any time.
 
-use edgeis_geometry::{SE3, SO3, Vec3};
+use edgeis_geometry::{Vec3, SE3, SO3};
 use serde::{Deserialize, Serialize};
 
 /// Camera carrier speed regimes from the paper's robustness study.
@@ -117,7 +117,12 @@ impl Trajectory {
     pub fn pose_at(&self, t: f64) -> SE3 {
         match self {
             Trajectory::Fixed { pose } => *pose,
-            Trajectory::Dolly { start, direction, speed, view_yaw } => {
+            Trajectory::Dolly {
+                start,
+                direction,
+                speed,
+                view_yaw,
+            } => {
                 let bob = speed.bob_amplitude()
                     * (2.0 * std::f64::consts::PI * speed.bob_frequency() * t).sin();
                 let sway = speed.sway_amplitude()
@@ -128,12 +133,17 @@ impl Trajectory {
                 let r_cw = r_wc.inverse();
                 SE3::new(r_cw, -(r_cw * center))
             }
-            Trajectory::Orbit { center, radius, rate, speed } => {
+            Trajectory::Orbit {
+                center,
+                radius,
+                rate,
+                speed,
+            } => {
                 let ang = rate * t;
                 let bob = speed.bob_amplitude()
                     * (2.0 * std::f64::consts::PI * speed.bob_frequency() * t).sin();
-                let cam_center = *center
-                    + Vec3::new(radius * ang.sin(), -0.0 + bob, -radius * ang.cos());
+                let cam_center =
+                    *center + Vec3::new(radius * ang.sin(), -0.0 + bob, -radius * ang.cos());
                 // Look at the orbit center.
                 look_at(cam_center, *center)
             }
@@ -160,9 +170,8 @@ pub fn look_at(eye: Vec3, target: Vec3) -> SE3 {
     }
     let down = forward.cross(right);
     // Rows of R_cw are the camera axes expressed in world coordinates.
-    let r_cw = SO3::from_matrix_orthogonalized(edgeis_geometry::Mat3::from_row_vecs(
-        right, down, forward,
-    ));
+    let r_cw =
+        SO3::from_matrix_orthogonalized(edgeis_geometry::Mat3::from_row_vecs(right, down, forward));
     SE3::new(r_cw, -(r_cw * eye))
 }
 
@@ -172,7 +181,9 @@ mod tests {
 
     #[test]
     fn fixed_trajectory_constant() {
-        let tr = Trajectory::Fixed { pose: SE3::identity() };
+        let tr = Trajectory::Fixed {
+            pose: SE3::identity(),
+        };
         assert_eq!(tr.pose_at(0.0), tr.pose_at(42.0));
     }
 
@@ -189,8 +200,14 @@ mod tests {
     fn jog_faster_than_walk() {
         let walk = Trajectory::lateral(MotionSpeed::Walk);
         let jog = Trajectory::lateral(MotionSpeed::Jog);
-        let dw = walk.pose_at(2.0).camera_center().distance(walk.pose_at(0.0).camera_center());
-        let dj = jog.pose_at(2.0).camera_center().distance(jog.pose_at(0.0).camera_center());
+        let dw = walk
+            .pose_at(2.0)
+            .camera_center()
+            .distance(walk.pose_at(0.0).camera_center());
+        let dj = jog
+            .pose_at(2.0)
+            .camera_center()
+            .distance(jog.pose_at(0.0).camera_center());
         assert!(dj > dw * 3.0);
     }
 

@@ -100,7 +100,11 @@ pub struct AnchorGrid {
 impl AnchorGrid {
     /// Creates a grid for a frame size.
     pub fn new(config: FpnConfig, width: u32, height: u32) -> Self {
-        Self { config, width, height }
+        Self {
+            config,
+            width,
+            height,
+        }
     }
 
     /// The FPN configuration.
@@ -152,7 +156,10 @@ impl AnchorGrid {
         let expanded: Vec<BBox> = guidance
             .boxes
             .iter()
-            .map(|g| g.bbox.expanded(margin, self.width as f64, self.height as f64))
+            .map(|g| {
+                g.bbox
+                    .expanded(margin, self.width as f64, self.height as f64)
+            })
             .collect();
 
         let mut anchors = Vec::new();
@@ -167,8 +174,7 @@ impl AnchorGrid {
                 for gx in 0..self.width.div_ceil(stride) {
                     let cx = (gx * stride) as f64 + stride as f64 / 2.0;
                     let cy = (gy * stride) as f64 + stride as f64 / 2.0;
-                    let Some(area) = expanded.iter().position(|b| b.contains(cx, cy))
-                    else {
+                    let Some(area) = expanded.iter().position(|b| b.contains(cx, cy)) else {
                         continue;
                     };
                     // Area id is only meaningful for known-class boxes.
@@ -201,10 +207,7 @@ mod tests {
     fn full_frame_count_matches_formula() {
         let g = grid();
         let anchors = g.full_frame();
-        assert_eq!(
-            anchors.len(),
-            g.config().full_frame_anchor_count(320, 240)
-        );
+        assert_eq!(anchors.len(), g.config().full_frame_anchor_count(320, 240));
         // 320x240: P2 80*60*3 = 14400 dominates.
         assert!(anchors.len() > 14_000);
     }
@@ -235,7 +238,10 @@ mod tests {
     #[test]
     fn empty_guidance_falls_back_to_full() {
         let g = grid();
-        assert_eq!(g.guided(&Guidance::default(), 16.0).len(), g.full_frame().len());
+        assert_eq!(
+            g.guided(&Guidance::default(), 16.0).len(),
+            g.full_frame().len()
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl CostModel {
     /// Creates a cost model; `backbone_ms` scales with frame area relative
     /// to the 640×480 calibration frame.
     pub fn new(profile: ModelProfile) -> Self {
-        Self { profile, reference_pixels: 640.0 * 480.0 }
+        Self {
+            profile,
+            reference_pixels: 640.0 * 480.0,
+        }
     }
 
     /// The underlying profile.
@@ -73,8 +76,8 @@ impl CostModel {
         } else {
             0.0
         };
-        let head = self.profile.fixed_head_ms
-            + self.profile.head_ms_per_roi * rois_processed as f64;
+        let head =
+            self.profile.fixed_head_ms + self.profile.head_ms_per_roi * rois_processed as f64;
         (backbone, rpn, head)
     }
 }

@@ -63,16 +63,11 @@ pub fn degrade_mask(mask: &Mask, target_iou: f64, rng: &mut StdRng) -> Mask {
         .enumerate()
         .map(|(i, &(x, y))| {
             let t = i as f64 / n * std::f64::consts::TAU;
-            let offset = amplitude
-                * ((t * k1 + p1).sin() + w2 * (t * k2 + p2).sin())
-                / (1.0 + w2);
+            let offset = amplitude * ((t * k1 + p1).sin() + w2 * (t * k2 + p2).sin()) / (1.0 + w2);
             let dx = x as f64 - cx;
             let dy = y as f64 - cy;
             let norm = (dx * dx + dy * dy).sqrt().max(1e-9);
-            (
-                x as f64 + offset * dx / norm,
-                y as f64 + offset * dy / norm,
-            )
+            (x as f64 + offset * dx / norm, y as f64 + offset * dy / norm)
         })
         .collect();
     let out = fill_polygon(mask.width(), mask.height(), &polygon);

@@ -30,7 +30,11 @@ pub struct FrameObservation {
 impl FrameObservation {
     /// A pristine observation (no compression loss).
     pub fn pristine(labels: LabelMap, classes: BTreeMap<u16, u8>) -> Self {
-        Self { labels, classes, quality: BTreeMap::new() }
+        Self {
+            labels,
+            classes,
+            quality: BTreeMap::new(),
+        }
     }
 
     fn quality_of(&self, instance: u16) -> f64 {
@@ -158,7 +162,11 @@ impl EdgeModel {
             // visible instance.
             instances
                 .iter()
-                .map(|(_, b, _)| Roi { bbox: *b, score: 0.8, area_id: None })
+                .map(|(_, b, _)| Roi {
+                    bbox: *b,
+                    score: 0.8,
+                    area_id: None,
+                })
                 .collect()
         };
         stats.rois_processed = rois.len();
@@ -261,7 +269,10 @@ mod tests {
         let mut model = EdgeModel::new(ModelKind::MaskRcnn, 320, 240, 42);
         let result = model.infer(&obs, None);
         let ids: Vec<u16> = result.detections.iter().map(|d| d.instance).collect();
-        assert!(ids.contains(&1) && ids.contains(&2), "missing detections: {ids:?}");
+        assert!(
+            ids.contains(&1) && ids.contains(&2),
+            "missing detections: {ids:?}"
+        );
         for d in &result.detections {
             let gt = obs.labels.instance_mask(d.instance);
             let v = iou(&gt, &d.mask);
@@ -346,7 +357,10 @@ mod tests {
                 None => miss_lo += 1,
             }
         }
-        assert!(miss_lo > miss_hi, "low quality should miss more: {miss_lo} vs {miss_hi}");
+        assert!(
+            miss_lo > miss_hi,
+            "low quality should miss more: {miss_lo} vs {miss_hi}"
+        );
         if n_hi > 0 && n_lo > 0 {
             assert!(iou_hi / n_hi as f64 > iou_lo / n_lo as f64);
         }

@@ -24,7 +24,11 @@ pub struct ProposalConfig {
 
 impl Default for ProposalConfig {
     fn default() -> Self {
-        Self { objectness_threshold: 0.20, score_noise: 0.08, max_proposals: 2000 }
+        Self {
+            objectness_threshold: 0.20,
+            score_noise: 0.08,
+            max_proposals: 2000,
+        }
     }
 }
 
@@ -65,7 +69,11 @@ pub fn generate_proposals(
             // with no object nearby. These false proposals are spatially
             // sparse, survive NMS, and are exactly what the second stage
             // wastes time discarding in the unguided model.
-            proposals.push(Roi { bbox: anchor.bbox, score, area_id: anchor.area_id });
+            proposals.push(Roi {
+                bbox: anchor.bbox,
+                score,
+                area_id: anchor.area_id,
+            });
             continue;
         };
         // Box regression: interpolate anchor -> gt, stronger when overlap
@@ -78,10 +86,18 @@ pub fn generate_proposals(
             reg(anchor.bbox.x1, gt.x1),
             reg(anchor.bbox.y1, gt.y1),
         );
-        proposals.push(Roi { bbox, score, area_id: anchor.area_id });
+        proposals.push(Roi {
+            bbox,
+            score,
+            area_id: anchor.area_id,
+        });
     }
     // Keep top-k by score.
-    proposals.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    proposals.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     proposals.truncate(config.max_proposals);
     proposals
 }
@@ -116,8 +132,7 @@ mod tests {
     fn no_objects_only_sparse_clutter() {
         let grid = AnchorGrid::new(FpnConfig::default(), 320, 240);
         let anchors = grid.full_frame();
-        let props =
-            generate_proposals(&anchors, &[], &ProposalConfig::default(), &mut rng());
+        let props = generate_proposals(&anchors, &[], &ProposalConfig::default(), &mut rng());
         // Background clutter exists but is a small fraction of anchors.
         assert!(
             props.len() * 50 < anchors.len(),
@@ -132,7 +147,10 @@ mod tests {
         let grid = AnchorGrid::new(FpnConfig::default(), 320, 240);
         let anchors = grid.full_frame();
         let gt = vec![BBox::new(40.0, 40.0, 280.0, 200.0)]; // huge object
-        let cfg = ProposalConfig { max_proposals: 50, ..Default::default() };
+        let cfg = ProposalConfig {
+            max_proposals: 50,
+            ..Default::default()
+        };
         let props = generate_proposals(&anchors, &gt, &cfg, &mut rng());
         assert!(props.len() <= 50);
         assert!(!props.is_empty());
@@ -146,7 +164,10 @@ mod tests {
             area_id: None,
         };
         let gt = vec![BBox::new(100.0, 80.0, 180.0, 160.0)];
-        let cfg = ProposalConfig { objectness_threshold: 0.1, ..Default::default() };
+        let cfg = ProposalConfig {
+            objectness_threshold: 0.1,
+            ..Default::default()
+        };
         let props = generate_proposals(&[anchor], &gt, &cfg, &mut rng());
         assert_eq!(props.len(), 1);
         assert!(props[0].bbox.iou(&gt[0]) > anchor.bbox.iou(&gt[0]));

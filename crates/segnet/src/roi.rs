@@ -92,7 +92,11 @@ pub struct Roi {
 /// Classical greedy NMS: keep the highest-scored box, suppress overlaps
 /// above `iou_threshold`, repeat.
 pub fn greedy_nms(mut rois: Vec<Roi>, iou_threshold: f64) -> Vec<Roi> {
-    rois.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    rois.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut kept: Vec<Roi> = Vec::new();
     'cand: for roi in rois {
         for k in &kept {
@@ -110,7 +114,11 @@ pub fn greedy_nms(mut rois: Vec<Roi>, iou_threshold: f64) -> Vec<Roi> {
 /// suppressed. Slightly over-suppresses but needs only one triangular
 /// IoU pass; the paper applies it to RoIs from unknown areas.
 pub fn fast_nms(mut rois: Vec<Roi>, iou_threshold: f64) -> Vec<Roi> {
-    rois.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    rois.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut suppressed = vec![false; rois.len()];
     for i in 0..rois.len() {
         for j in (i + 1)..rois.len() {
@@ -155,9 +163,7 @@ pub fn prune_rois(rois: Vec<Roi>, initial_boxes: &[BBox]) -> (Vec<Roi>, usize) {
             .map(|&i| (i, rois[i].score, rois[i].bbox.iou(init)))
             .collect();
         for &(i, s, q) in &scored {
-            let dominated = scored
-                .iter()
-                .any(|&(j, s2, q2)| j != i && s2 > s && q2 > q);
+            let dominated = scored.iter().any(|&(j, s2, q2)| j != i && s2 > s && q2 > q);
             if dominated {
                 pruned += 1;
             } else {
@@ -176,7 +182,11 @@ mod tests {
     use super::*;
 
     fn roi(x: f64, y: f64, w: f64, h: f64, score: f64, area: Option<usize>) -> Roi {
-        Roi { bbox: BBox::new(x, y, x + w, y + h), score, area_id: area }
+        Roi {
+            bbox: BBox::new(x, y, x + w, y + h),
+            score,
+            area_id: area,
+        }
     }
 
     #[test]

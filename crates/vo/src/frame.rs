@@ -64,7 +64,10 @@ impl FrameStore {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "frame store capacity must be positive");
-        Self { frames: VecDeque::with_capacity(capacity), capacity }
+        Self {
+            frames: VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Inserts a frame, evicting the oldest when full.

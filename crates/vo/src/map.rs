@@ -170,8 +170,7 @@ impl Map {
         let excess = self.points.len() - max_points;
         // Sort by (last_seen, observations) ascending and drop the head,
         // then restore the sorted-by-id invariant that `index_of` needs.
-        self.points
-            .sort_by_key(|p| (p.last_seen, p.observations));
+        self.points.sort_by_key(|p| (p.last_seen, p.observations));
         self.points.drain(0..excess);
         self.points.sort_by_key(|p| p.id);
         excess

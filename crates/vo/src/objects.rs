@@ -70,7 +70,8 @@ impl TrackedObject {
     /// so the delta captures object motion *and* camera motion — the
     /// transfer code uses it directly).
     pub fn relative_motion(&self) -> Option<SE3> {
-        self.t_co_current.map(|cur| cur * self.t_co_source.inverse())
+        self.t_co_current
+            .map(|cur| cur * self.t_co_source.inverse())
     }
 
     /// Updates the source annotation after a fresh edge mask arrives.
@@ -85,7 +86,7 @@ impl TrackedObject {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use edgeis_geometry::{SO3, Vec3};
+    use edgeis_geometry::{Vec3, SO3};
 
     fn mask() -> Mask {
         let mut m = Mask::new(8, 8);

@@ -24,7 +24,11 @@ pub struct SelectionConfig {
 
 impl Default for SelectionConfig {
     fn default() -> Self {
-        Self { min_sharpness: 2.0, min_spacing: 6.0, edge_band: 3 }
+        Self {
+            min_sharpness: 2.0,
+            min_spacing: 6.0,
+            edge_band: 3,
+        }
     }
 }
 
@@ -96,8 +100,7 @@ pub fn select_features_by_response(
         let y = kp.y.round() as i64;
         let label = labels.get_or_background(x, y);
         if label != 0 {
-            if near_mask_edge(labels, x, y, label, config.edge_band)
-                || kp.response >= min_response
+            if near_mask_edge(labels, x, y, label, config.edge_band) || kp.response >= min_response
             {
                 kept.push(i);
             }
@@ -145,7 +148,13 @@ mod tests {
     use super::*;
 
     fn keypoint(x: f64, y: f64) -> Keypoint {
-        Keypoint { x, y, level: 0, response: 100.0, angle: 0.0 }
+        Keypoint {
+            x,
+            y,
+            level: 0,
+            response: 100.0,
+            angle: 0.0,
+        }
     }
 
     /// Image: left half sharp texture, right half flat.
@@ -253,7 +262,11 @@ mod tests {
                 labels.set(x, y, 1);
             }
         }
-        let kps = vec![keypoint(5.0, 15.0), keypoint(5.0, 17.0), keypoint(5.0, 19.0)];
+        let kps = vec![
+            keypoint(5.0, 15.0),
+            keypoint(5.0, 17.0),
+            keypoint(5.0, 19.0),
+        ];
         let kept = select_features(&img, &labels, &kps, &SelectionConfig::default());
         assert_eq!(kept.len(), 3);
     }

@@ -7,7 +7,7 @@
 //! experience shape changes in depth", k = 5), is unprojected in the source
 //! camera frame, moved through the relative transform and re-projected.
 
-use edgeis_geometry::{Camera, SE3, Vec2};
+use edgeis_geometry::{Camera, Vec2, SE3};
 use edgeis_imaging::{extract_contours, fill_polygon, Mask};
 
 /// A feature anchored inside the source mask with a known depth in the
@@ -35,7 +35,11 @@ pub struct TransferConfig {
 
 impl Default for TransferConfig {
     fn default() -> Self {
-        Self { k_nearest: 5, max_contour_points: 160, min_valid_fraction: 0.6 }
+        Self {
+            k_nearest: 5,
+            max_contour_points: 160,
+            min_valid_fraction: 0.6,
+        }
     }
 }
 
@@ -127,7 +131,7 @@ fn union(mut a: Mask, b: Mask) -> Mask {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use edgeis_geometry::{SO3, Vec3};
+    use edgeis_geometry::{Vec3, SO3};
     use edgeis_imaging::iou;
 
     fn cam() -> Camera {
@@ -170,8 +174,8 @@ mod tests {
         // Camera moves right by 0.25 m: t_rel = [I | (-0.25, 0, 0)] maps
         // source camera coords to current camera coords.
         let t_rel = SE3::new(SO3::identity(), Vec3::new(-0.25, 0.0, 0.0));
-        let out = transfer_mask(&cam(), &mask, &anchors, &t_rel, &TransferConfig::default())
-            .unwrap();
+        let out =
+            transfer_mask(&cam(), &mask, &anchors, &t_rel, &TransferConfig::default()).unwrap();
         // Expected pixel shift: fx * tx / z = 120 * -0.25 / 3 = -10 px.
         let mut expected = Mask::new(160, 120);
         expected.fill_rect(50, 40, 40, 40);
@@ -183,8 +187,8 @@ mod tests {
         let (mask, anchors) = square_fixture(3.0);
         // Camera moves 1m toward the object.
         let t_rel = SE3::new(SO3::identity(), Vec3::new(0.0, 0.0, -1.0));
-        let out = transfer_mask(&cam(), &mask, &anchors, &t_rel, &TransferConfig::default())
-            .unwrap();
+        let out =
+            transfer_mask(&cam(), &mask, &anchors, &t_rel, &TransferConfig::default()).unwrap();
         assert!(
             out.area() as f64 > mask.area() as f64 * 1.5,
             "area {} -> {}",
@@ -216,17 +220,25 @@ mod tests {
         // the camera: z = 2 - 5 < 0 in current-camera coordinates.
         let t_rel = SE3::new(SO3::identity(), Vec3::new(0.0, 0.0, -5.0));
         assert!(
-            transfer_mask(&cam(), &mask, &anchors, &t_rel, &TransferConfig::default())
-                .is_none()
+            transfer_mask(&cam(), &mask, &anchors, &t_rel, &TransferConfig::default()).is_none()
         );
     }
 
     #[test]
     fn knn_depth_averages_nearest() {
         let anchors = vec![
-            DepthAnchor { pixel: Vec2::new(0.0, 0.0), depth: 1.0 },
-            DepthAnchor { pixel: Vec2::new(1.0, 0.0), depth: 2.0 },
-            DepthAnchor { pixel: Vec2::new(100.0, 0.0), depth: 50.0 },
+            DepthAnchor {
+                pixel: Vec2::new(0.0, 0.0),
+                depth: 1.0,
+            },
+            DepthAnchor {
+                pixel: Vec2::new(1.0, 0.0),
+                depth: 2.0,
+            },
+            DepthAnchor {
+                pixel: Vec2::new(100.0, 0.0),
+                depth: 50.0,
+            },
         ];
         let d = knn_depth(Vec2::new(0.5, 0.0), &anchors, 2);
         assert!((d - 1.5).abs() < 1e-12);
@@ -234,7 +246,10 @@ mod tests {
 
     #[test]
     fn knn_depth_k_larger_than_anchor_count() {
-        let anchors = vec![DepthAnchor { pixel: Vec2::ZERO, depth: 4.0 }];
+        let anchors = vec![DepthAnchor {
+            pixel: Vec2::ZERO,
+            depth: 4.0,
+        }];
         assert_eq!(knn_depth(Vec2::new(3.0, 3.0), &anchors, 5), 4.0);
     }
 
@@ -243,8 +258,8 @@ mod tests {
         let (mask, anchors) = square_fixture(3.0);
         // Small camera yaw.
         let t_rel = SE3::new(SO3::from_yaw(0.05), Vec3::ZERO);
-        let out = transfer_mask(&cam(), &mask, &anchors, &t_rel, &TransferConfig::default())
-            .unwrap();
+        let out =
+            transfer_mask(&cam(), &mask, &anchors, &t_rel, &TransferConfig::default()).unwrap();
         let (cx, _) = out.centroid().unwrap();
         // Yaw about +Y moves the projection; just require a clear shift.
         assert!((cx - 80.0).abs() > 2.0, "centroid barely moved: {cx}");
@@ -269,8 +284,8 @@ mod tests {
             }
         }
         let t_rel = SE3::new(SO3::identity(), Vec3::new(-0.3, 0.0, 0.0));
-        let out = transfer_mask(&cam(), &mask, &anchors, &t_rel, &TransferConfig::default())
-            .unwrap();
+        let out =
+            transfer_mask(&cam(), &mask, &anchors, &t_rel, &TransferConfig::default()).unwrap();
         let bbox = out.bounding_box().unwrap();
         let src_bbox = mask.bounding_box().unwrap();
         // Left (near) edge shifts more than right (far) edge.

@@ -7,11 +7,9 @@ use crate::objects::TrackedObject;
 use crate::transfer::{transfer_mask, DepthAnchor, TransferConfig};
 use edgeis_geometry::{
     essential_from_fundamental, fundamental_eight_point, ransac, recover_pose, refine_pose,
-    sampson_distance, triangulate_dlt, BaConfig, Camera, Observation, RansacConfig, SE3, Vec2,
+    sampson_distance, triangulate_dlt, BaConfig, Camera, Observation, RansacConfig, Vec2, SE3,
 };
-use edgeis_imaging::{
-    detect_orb, match_descriptors, LabelMap, Mask, MatchConfig, OrbConfig,
-};
+use edgeis_imaging::{detect_orb, match_descriptors, LabelMap, Mask, MatchConfig, OrbConfig};
 use std::collections::BTreeMap;
 
 /// Configuration of the whole VO stack.
@@ -255,11 +253,7 @@ impl VisualOdometry {
     /// Processes a camera frame: extracts features, tracks the device and
     /// object poses, and predicts instance masks (the per-frame mobile-side
     /// work of Fig. 5).
-    pub fn process_frame(
-        &mut self,
-        image: &edgeis_imaging::GrayImage,
-        time: f64,
-    ) -> TrackOutput {
+    pub fn process_frame(&mut self, image: &edgeis_imaging::GrayImage, time: f64) -> TrackOutput {
         let frame_id = self.next_frame_id;
         self.next_frame_id += 1;
 
@@ -323,21 +317,20 @@ impl VisualOdometry {
             // background" for the device pose; when background support is
             // thin (object-dominated views) we fall back to all matched
             // points and let the Huber kernel discount movers.
-            let pose_obs: Vec<Observation> =
-                if bg_obs.len() >= self.config.min_tracked_points {
-                    bg_obs
-                } else {
-                    matches
-                        .iter()
-                        .map(|m| Observation {
-                            point: self.map.point(m.train_idx).position,
-                            pixel: Vec2::new(
-                                frame.keypoints[m.query_idx].x,
-                                frame.keypoints[m.query_idx].y,
-                            ),
-                        })
-                        .collect()
-                };
+            let pose_obs: Vec<Observation> = if bg_obs.len() >= self.config.min_tracked_points {
+                bg_obs
+            } else {
+                matches
+                    .iter()
+                    .map(|m| Observation {
+                        point: self.map.point(m.train_idx).position,
+                        pixel: Vec2::new(
+                            frame.keypoints[m.query_idx].x,
+                            frame.keypoints[m.query_idx].y,
+                        ),
+                    })
+                    .collect()
+            };
             let pose = if pose_obs.len() >= self.config.min_tracked_points {
                 refine_pose(&self.camera, &self.last_pose, &pose_obs, &self.config.ba)
                     .map(|r| r.pose)
@@ -372,9 +365,7 @@ impl VisualOdometry {
             let mut unannotated_pixels = Vec::new();
             let mut unannotated = 0usize;
             for (i, kp) in frame.keypoints.iter().enumerate() {
-                let Some(point) =
-                    frame.map_matches[i].and_then(|id| self.map.get_by_id(id))
-                else {
+                let Some(point) = frame.map_matches[i].and_then(|id| self.map.get_by_id(id)) else {
                     continue;
                 };
                 if !point.annotated {
@@ -466,9 +457,7 @@ impl VisualOdometry {
             if obj_obs.len() >= 3 {
                 let inside = obj_obs
                     .iter()
-                    .filter(|o| {
-                        m.get_or_false(o.pixel.x.round() as i64, o.pixel.y.round() as i64)
-                    })
+                    .filter(|o| m.get_or_false(o.pixel.x.round() as i64, o.pixel.y.round() as i64))
                     .count();
                 if inside * 2 < obj_obs.len() {
                     mask = None;
@@ -591,16 +580,8 @@ impl VisualOdometry {
         id1: u64,
         labels1: &LabelMap,
     ) -> Result<usize, InitFailure> {
-        let f0 = self
-            .frames
-            .get(id0)
-            .ok_or(InitFailure::FrameGone)?
-            .clone();
-        let f1 = self
-            .frames
-            .get(id1)
-            .ok_or(InitFailure::FrameGone)?
-            .clone();
+        let f0 = self.frames.get(id0).ok_or(InitFailure::FrameGone)?.clone();
+        let f1 = self.frames.get(id1).ok_or(InitFailure::FrameGone)?.clone();
         if f0.is_empty() || f1.is_empty() {
             return Err(InitFailure::TooFewMatches);
         }
@@ -608,31 +589,31 @@ impl VisualOdometry {
         // §III-A feature selection: drop blurred / overcrowded background
         // features and keep mask-edge features before estimating geometry.
         let matches: Vec<edgeis_imaging::Match> = if self.config.init_feature_selection {
-        let sel_cfg = crate::selection::SelectionConfig {
-            // NMS in the detector already spaces features by ~4 px; only
-            // thin truly stacked background corners here, and only filter
-            // genuinely weak (blur-level) responses.
-            min_spacing: 3.0,
-            ..Default::default()
-        };
-        let keep0: std::collections::BTreeSet<usize> =
-            crate::selection::select_features_by_response(
-                labels0,
-                &f0.keypoints,
-                20.0,
-                &sel_cfg,
-            )
-            .into_iter()
-            .collect();
-        let keep1: std::collections::BTreeSet<usize> =
-            crate::selection::select_features_by_response(
-                labels1,
-                &f1.keypoints,
-                20.0,
-                &sel_cfg,
-            )
-            .into_iter()
-            .collect();
+            let sel_cfg = crate::selection::SelectionConfig {
+                // NMS in the detector already spaces features by ~4 px; only
+                // thin truly stacked background corners here, and only filter
+                // genuinely weak (blur-level) responses.
+                min_spacing: 3.0,
+                ..Default::default()
+            };
+            let keep0: std::collections::BTreeSet<usize> =
+                crate::selection::select_features_by_response(
+                    labels0,
+                    &f0.keypoints,
+                    20.0,
+                    &sel_cfg,
+                )
+                .into_iter()
+                .collect();
+            let keep1: std::collections::BTreeSet<usize> =
+                crate::selection::select_features_by_response(
+                    labels1,
+                    &f1.keypoints,
+                    20.0,
+                    &sel_cfg,
+                )
+                .into_iter()
+                .collect();
 
             match_descriptors(&f0.descriptors, &f1.descriptors, &self.config.matching)
                 .into_iter()
@@ -704,8 +685,7 @@ impl VisualOdometry {
         // Refit on all inliers for accuracy.
         let in0: Vec<Vec2> = result.inliers.iter().map(|&i| p0[i]).collect();
         let in1: Vec<Vec2> = result.inliers.iter().map(|&i| p1[i]).collect();
-        let f_mat =
-            fundamental_eight_point(&in0, &in1).map_err(|_| InitFailure::Degenerate)?;
+        let f_mat = fundamental_eight_point(&in0, &in1).map_err(|_| InitFailure::Degenerate)?;
         let e = essential_from_fundamental(&f_mat, &self.camera);
         let (mut pose10, good) =
             recover_pose(&e, &self.camera, &in0, &in1).ok_or(InitFailure::Degenerate)?;
@@ -725,7 +705,10 @@ impl VisualOdometry {
                 let Ok(p) = triangulate_dlt(&self.camera, &t_ident, *a, &pose10, *b) else {
                     continue;
                 };
-                obs.push(Observation { point: p, pixel: *b });
+                obs.push(Observation {
+                    point: p,
+                    pixel: *b,
+                });
             }
             let Some(r) = refine_pose(&self.camera, &pose10, &obs, &self.config.ba) else {
                 break;
@@ -753,7 +736,9 @@ impl VisualOdometry {
             // Reprojection gate.
             let ra = self.camera.project(&t0, point);
             let rb = self.camera.project(&pose10, point);
-            let (Some(ra), Some(rb)) = (ra, rb) else { continue };
+            let (Some(ra), Some(rb)) = (ra, rb) else {
+                continue;
+            };
             if (ra - pa).norm() > 3.0 || (rb - pb).norm() > 3.0 {
                 continue;
             }
@@ -765,9 +750,9 @@ impl VisualOdometry {
             let la = labels0.get_or_background(a.x.round() as i64, a.y.round() as i64);
             let lb = labels1.get_or_background(b.x.round() as i64, b.y.round() as i64);
             let label = if la == lb { la } else { 0 };
-            let point_id =
-                self.map
-                    .add_point(point, label, f1.descriptors[m.train_idx], id1);
+            let point_id = self
+                .map
+                .add_point(point, label, f1.descriptors[m.train_idx], id1);
             // Record the match in frame 1 so anchors can find depths.
             if let Some(fr) = self.frames.get_mut(id1) {
                 fr.map_matches[m.train_idx] = Some(point_id);
@@ -824,8 +809,7 @@ impl VisualOdometry {
         for (i, kp) in frame.keypoints.iter().enumerate() {
             if let Some(point_id) = frame.map_matches[i] {
                 if let Some(idx) = self.map.index_of(point_id) {
-                    let label =
-                        labels.get_or_background(kp.x.round() as i64, kp.y.round() as i64);
+                    let label = labels.get_or_background(kp.x.round() as i64, kp.y.round() as i64);
                     self.map.set_label(idx, label);
                 }
             }
@@ -853,8 +837,7 @@ impl VisualOdometry {
             if !self.camera.contains_with_margin(px, 2.0) {
                 continue;
             }
-            let new_label =
-                labels.get_or_background(px.x.round() as i64, px.y.round() as i64);
+            let new_label = labels.get_or_background(px.x.round() as i64, px.y.round() as i64);
             self.map.set_label(idx, new_label);
         }
 
@@ -990,8 +973,7 @@ impl VisualOdometry {
             let i_prev = unmatched_prev[m.train_idx];
             let p_now = Vec2::new(frame.keypoints[i_now].x, frame.keypoints[i_now].y);
             let p_prev = Vec2::new(prev.keypoints[i_prev].x, prev.keypoints[i_prev].y);
-            let Ok(point) = triangulate_dlt(&self.camera, prev_pose, p_prev, pose, p_now)
-            else {
+            let Ok(point) = triangulate_dlt(&self.camera, prev_pose, p_prev, pose, p_now) else {
                 continue;
             };
             let r_now = self.camera.project(pose, point);

@@ -68,13 +68,12 @@ fn initializes_from_two_annotated_frames() {
         let frame = world.scene.render_at(&cam, &pose, t);
         let out = vo.process_frame(&frame.image, t);
         if i % 5 == 0 {
-            match vo.apply_edge_masks(out.frame_id, &frame.labels).unwrap() {
-                AnnotationOutcome::Initialized { map_points } => {
-                    assert!(map_points >= 15, "too few init points: {map_points}");
-                    initialized_at = Some(i);
-                    break;
-                }
-                _ => {}
+            if let AnnotationOutcome::Initialized { map_points } =
+                vo.apply_edge_masks(out.frame_id, &frame.labels).unwrap()
+            {
+                assert!(map_points >= 15, "too few init points: {map_points}");
+                initialized_at = Some(i);
+                break;
             }
         }
     }
@@ -92,7 +91,10 @@ fn tracks_and_transfers_masks_static_scene() {
     assert!(vo.is_tracking(), "lost tracking");
     assert!(ious.len() >= 20, "too few scored masks: {}", ious.len());
     let mean: f64 = ious.iter().sum::<f64>() / ious.len() as f64;
-    assert!(mean > 0.7, "mean transfer IoU too low: {mean:.3} ({ious:?})");
+    assert!(
+        mean > 0.7,
+        "mean transfer IoU too low: {mean:.3} ({ious:?})"
+    );
 }
 
 #[test]
@@ -121,8 +123,10 @@ fn pose_estimates_follow_trajectory_short_horizon() {
     // Trajectory fidelity wants precise (strict) matching; the default
     // map-matching profile trades precision for the recall that mask
     // transfer needs. Run this test with the strict profile.
-    let mut config = VoConfig::default();
-    config.map_matching = edgeis_imaging::MatchConfig::default();
+    let config = VoConfig {
+        map_matching: edgeis_imaging::MatchConfig::default(),
+        ..Default::default()
+    };
     let mut vo = VisualOdometry::new(cam, config);
     let mut centers = Vec::new();
     for i in 0..50usize {
@@ -137,16 +141,17 @@ fn pose_estimates_follow_trajectory_short_horizon() {
             centers.push((i, p.camera_center()));
         }
     }
-    assert!(centers.len() >= 20, "too few tracked frames: {}", centers.len());
+    assert!(
+        centers.len() >= 20,
+        "too few tracked frames: {}",
+        centers.len()
+    );
     // Per-frame BA jitter is comparable to per-frame motion, so evaluate
     // the displacement across each full annotation window (10 frames).
     let mut windows = 0usize;
     let mut lateral = 0usize;
     for decade in 0..5usize {
-        let in_window: Vec<_> = centers
-            .iter()
-            .filter(|(i, _)| i / 10 == decade)
-            .collect();
+        let in_window: Vec<_> = centers.iter().filter(|(i, _)| i / 10 == decade).collect();
         if in_window.len() < 5 {
             continue;
         }
@@ -206,7 +211,8 @@ fn new_area_fraction_drops_after_annotation() {
         tail_mean < 0.9,
         "most features should match the map late in the run: {tail_mean}"
     );
-    let head_mean: f64 = fractions.iter().take(3).sum::<f64>() / 3.0_f64.min(fractions.len() as f64);
+    let head_mean: f64 =
+        fractions.iter().take(3).sum::<f64>() / 3.0_f64.min(fractions.len() as f64);
     assert!(
         tail_mean <= head_mean + 0.05,
         "new-area fraction should not grow: head {head_mean} tail {tail_mean}"
@@ -219,8 +225,10 @@ fn init_feature_selection_path_still_initializes() {
     // bootstrap on a feature-rich scene.
     let world = datasets::indoor_simple(1);
     let cam = camera();
-    let mut config = VoConfig::default();
-    config.init_feature_selection = true;
+    let config = VoConfig {
+        init_feature_selection: true,
+        ..Default::default()
+    };
     let mut vo = VisualOdometry::new(cam, config);
     for i in 0..40 {
         let t = i as f64 / FPS;
@@ -231,7 +239,10 @@ fn init_feature_selection_path_still_initializes() {
             let _ = vo.apply_edge_masks(out.frame_id, &frame.labels);
         }
     }
-    assert!(vo.is_tracking(), "selection-enabled init failed to bootstrap");
+    assert!(
+        vo.is_tracking(),
+        "selection-enabled init failed to bootstrap"
+    );
 }
 
 #[test]

@@ -20,7 +20,10 @@ fn main() {
         .filter(|o| o.is_dynamic())
         .map(|o| o.id)
         .collect();
-    println!("Scenario: {} — dynamic instance ids {:?}\n", world.name, dynamic);
+    println!(
+        "Scenario: {} — dynamic instance ids {:?}\n",
+        world.name, dynamic
+    );
 
     for kind in [SystemKind::EdgeIs, SystemKind::BestEffort, SystemKind::Eaar] {
         let report = run_system(kind, &world, LinkKind::Wifi5, &config);

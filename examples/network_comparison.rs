@@ -18,7 +18,10 @@ fn main() {
     ];
 
     println!("False segmentation rate (IoU < 0.75) by network condition\n");
-    println!("{:<14} {:>12} {:>12} {:>12}", "system", "WiFi 2.4", "WiFi 5", "LTE");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "system", "WiFi 2.4", "WiFi 5", "LTE"
+    );
     for kind in systems {
         let mut row = format!("{:<14}", kind.name());
         for (_, link) in &links {

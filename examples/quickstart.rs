@@ -15,7 +15,10 @@ fn main() {
         ..Default::default()
     };
     let world = datasets::indoor_simple(7);
-    println!("Scenario: {} ({} frames at {} fps)", world.name, config.frames, config.fps);
+    println!(
+        "Scenario: {} ({} frames at {} fps)",
+        world.name, config.frames, config.fps
+    );
     println!("Running edgeIS over a WiFi-5GHz link...\n");
 
     let report = run_system(SystemKind::EdgeIs, &world, LinkKind::Wifi5, &config);
@@ -32,8 +35,7 @@ fn main() {
         } else {
             ious.iter().sum::<f64>() / ious.len() as f64
         };
-        let lat: f64 =
-            chunk.iter().map(|r| r.mobile_ms).sum::<f64>() / chunk.len() as f64;
+        let lat: f64 = chunk.iter().map(|r| r.mobile_ms).sum::<f64>() / chunk.len() as f64;
         let tx = chunk.iter().filter(|r| r.transmitted).count();
         println!(
             "{:>5}  {:>8.3}  {:>6.1}ms  {:>2}/{} frames",
@@ -47,9 +49,15 @@ fn main() {
 
     println!("\n== Summary ==");
     println!("mean IoU          : {:.3}", report.mean_iou());
-    println!("false rate @0.75  : {:.1}%", report.false_rate(0.75) * 100.0);
+    println!(
+        "false rate @0.75  : {:.1}%",
+        report.false_rate(0.75) * 100.0
+    );
     println!("false rate @0.50  : {:.1}%", report.false_rate(0.5) * 100.0);
-    println!("mobile latency    : {:.1} ms/frame", report.mean_latency_ms());
+    println!(
+        "mobile latency    : {:.1} ms/frame",
+        report.mean_latency_ms()
+    );
     println!(
         "uplink bandwidth  : {:.2} Mbps ({:.0}% of frames offloaded)",
         report.mean_uplink_mbps(config.fps),

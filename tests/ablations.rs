@@ -7,7 +7,10 @@ use edgeis_netsim::LinkKind;
 use edgeis_scene::datasets;
 
 fn config() -> ExperimentConfig {
-    ExperimentConfig { frames: 120, ..Default::default() }
+    ExperimentConfig {
+        frames: 120,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -76,7 +79,10 @@ fn trigger_threshold_trades_bandwidth_for_accuracy() {
         let mut sys_cfg = EdgeIsConfig::full(cfg.camera, 2);
         sys_cfg.cfrs.new_area_threshold = t;
         let mut system = EdgeIsSystem::new(sys_cfg, LinkKind::Wifi5);
-        let pipe = PipelineConfig { frames: cfg.frames, ..Default::default() };
+        let pipe = PipelineConfig {
+            frames: cfg.frames,
+            ..Default::default()
+        };
         run_pipeline(&mut system, &world, &cfg.camera, &classes, &pipe)
     };
     let eager = run_with_threshold(0.05);

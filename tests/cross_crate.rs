@@ -66,7 +66,10 @@ fn manual_offloading_loop() {
 
             let mut quality = BTreeMap::new();
             for id in frame.labels.instance_ids() {
-                quality.insert(id, encoded.instance_quality(&frame.labels.instance_mask(id)));
+                quality.insert(
+                    id,
+                    encoded.instance_quality(&frame.labels.instance_mask(id)),
+                );
             }
             let obs = FrameObservation {
                 labels: frame.labels.clone(),
@@ -95,7 +98,10 @@ fn manual_offloading_loop() {
     assert!(vo.is_tracking(), "VO never initialized in the manual loop");
     assert!(scored.len() > 20, "too few scored masks: {}", scored.len());
     let mean = scored.iter().sum::<f64>() / scored.len() as f64;
-    assert!(mean > 0.6, "manual-loop transfer quality too low: {mean:.3}");
+    assert!(
+        mean > 0.6,
+        "manual-loop transfer quality too low: {mean:.3}"
+    );
     assert!(total_uplink > 0);
 }
 
@@ -115,15 +121,17 @@ fn codec_quality_propagates_to_edge_accuracy() {
         .collect();
     let grid = TileGrid::new(32, 320, 240);
 
-    let mut score = |level: QualityLevel, seed_base: u64| -> f64 {
+    let score = |level: QualityLevel, seed_base: u64| -> f64 {
         let encoded = encode(&frame.image, &TilePlan::uniform(grid, level));
         let mut sum = 0.0;
         let mut n = 0usize;
         for seed in 0..8u64 {
             let mut quality = BTreeMap::new();
             for id in frame.labels.instance_ids() {
-                quality
-                    .insert(id, encoded.instance_quality(&frame.labels.instance_mask(id)));
+                quality.insert(
+                    id,
+                    encoded.instance_quality(&frame.labels.instance_mask(id)),
+                );
             }
             let obs = FrameObservation {
                 labels: frame.labels.clone(),

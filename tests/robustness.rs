@@ -8,7 +8,10 @@ use edgeis_scene::datasets::{self, Complexity};
 use edgeis_scene::trajectory::{MotionSpeed, Trajectory};
 
 fn config() -> ExperimentConfig {
-    ExperimentConfig { frames: 120, ..Default::default() }
+    ExperimentConfig {
+        frames: 120,
+        ..Default::default()
+    }
 }
 
 fn run_at_speed(speed: MotionSpeed, seed: u64) -> f64 {
@@ -66,11 +69,14 @@ fn wifi5_not_worse_than_lte() {
 
 #[test]
 fn shared_edge_scales_to_a_small_fleet() {
-    let cfg = MultiDeviceConfig { devices: 3, frames: 100, ..Default::default() };
+    let cfg = MultiDeviceConfig {
+        devices: 3,
+        frames: 100,
+        ..Default::default()
+    };
     let reports = run_multi_device(datasets::indoor_simple, &cfg);
     assert_eq!(reports.len(), 3);
-    let fleet_mean: f64 =
-        reports.iter().map(|r| r.mean_iou()).sum::<f64>() / reports.len() as f64;
+    let fleet_mean: f64 = reports.iter().map(|r| r.mean_iou()).sum::<f64>() / reports.len() as f64;
     assert!(
         fleet_mean > 0.3,
         "fleet collapsed under contention: {fleet_mean:.3}"
@@ -87,7 +93,10 @@ fn shared_edge_scales_to_a_small_fleet() {
 
 #[test]
 fn every_dataset_preset_runs_end_to_end() {
-    let cfg = ExperimentConfig { frames: 90, ..Default::default() };
+    let cfg = ExperimentConfig {
+        frames: 90,
+        ..Default::default()
+    };
     for preset in edgeis_scene::DatasetPreset::ALL {
         let world = preset.build(2);
         let report = run_system(SystemKind::EdgeIs, &world, LinkKind::Wifi5, &cfg);
@@ -98,7 +107,11 @@ fn every_dataset_preset_runs_end_to_end() {
         );
         // The KITTI-like forward preset is the hardest for monocular VO
         // (epipole-centered parallax); require functionality, not parity.
-        let bar = if world.name.starts_with("kitti") { 0.10 } else { 0.2 };
+        let bar = if world.name.starts_with("kitti") {
+            0.10
+        } else {
+            0.2
+        };
         assert!(
             report.mean_iou() > bar,
             "{}: collapsed ({:.3})",
