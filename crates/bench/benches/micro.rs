@@ -8,8 +8,8 @@ use edgeis_geometry::{
     Camera, Observation, RansacConfig, Vec2, Vec3, SE3, SO3,
 };
 use edgeis_imaging::{
-    detect_orb, extract_contours, fill_polygon, match_descriptors, GrayImage, Mask, MatchConfig,
-    MotionVectorField, OrbConfig,
+    detect_orb, extract_contours, fill_polygon, match_descriptors, match_descriptors_spatial,
+    Descriptor, GrayImage, Mask, MatchConfig, MotionVectorField, OrbConfig,
 };
 use edgeis_scene::datasets;
 use edgeis_segnet::{fast_nms, greedy_nms, prune_rois, AnchorGrid, BBox, FpnConfig, Roi};
@@ -43,6 +43,113 @@ fn bench_features(c: &mut Criterion) {
     let (_, descs2) = detect_orb(&frame2, &config);
     c.bench_function("match_descriptors", |b| {
         b.iter(|| match_descriptors(&descs, &descs2, &MatchConfig::default()))
+    });
+}
+
+/// Random descriptor clouds with spatially-correlated positions: each
+/// query point sits near its train counterpart (small offset, ~8 bit
+/// flips), mimicking inter-frame tracking at ~1000 features per side.
+fn descriptor_cloud(n: usize, seed: u64) -> (Vec<Descriptor>, Vec<(f64, f64)>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut descs = Vec::with_capacity(n);
+    let mut pos = Vec::with_capacity(n);
+    for _ in 0..n {
+        descs.push(Descriptor([
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+        ]));
+        pos.push((rng.random_range(0.0..320.0), rng.random_range(0.0..240.0)));
+    }
+    (descs, pos)
+}
+
+fn perturb_cloud(
+    descs: &[Descriptor],
+    pos: &[(f64, f64)],
+    seed: u64,
+) -> (Vec<Descriptor>, Vec<(f64, f64)>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let out_d = descs
+        .iter()
+        .map(|d| {
+            let mut bits = d.0;
+            for _ in 0..8 {
+                let b = rng.random_range(0..256usize);
+                bits[b >> 6] ^= 1u64 << (b & 63);
+            }
+            Descriptor(bits)
+        })
+        .collect();
+    let out_p = pos
+        .iter()
+        .map(|&(x, y)| {
+            (
+                (x + rng.random_range(-6.0..6.0)).clamp(0.0, 319.0),
+                (y + rng.random_range(-6.0..6.0)).clamp(0.0, 239.0),
+            )
+        })
+        .collect();
+    (out_d, out_p)
+}
+
+fn bench_matching_scale(c: &mut Criterion) {
+    let (train, train_pos) = descriptor_cloud(1000, 21);
+    let (query, query_pos) = perturb_cloud(&train, &train_pos, 22);
+    let brute = MatchConfig::default();
+
+    // Full O(query x train) scan at the paper's feature budget squared.
+    c.bench_function("match_descriptors_1000x1000_brute", |b| {
+        b.iter(|| match_descriptors(&query, &train, &brute))
+    });
+
+    // Register-blocked scan off: the scalar pre-optimization inner loop.
+    let scalar = MatchConfig {
+        use_blocked_scan: false,
+        ..MatchConfig::default()
+    };
+    c.bench_function("match_descriptors_1000x1000_scalar", |b| {
+        b.iter(|| match_descriptors(&query, &train, &scalar))
+    });
+
+    // Bucket-grid candidate gating (opt-in path; different match
+    // semantics — the ratio test runs against the local neighbourhood).
+    c.bench_function("match_descriptors_1000x1000_spatial_r24", |b| {
+        b.iter(|| match_descriptors_spatial(&query, &query_pos, &train, &train_pos, &brute, 24.0))
+    });
+}
+
+fn bench_knn_depth(c: &mut Criterion) {
+    use edgeis_vo::transfer::{knn_depth_linear, AnchorIndex};
+    let mut rng = StdRng::seed_from_u64(31);
+    let anchors: Vec<DepthAnchor> = (0..500)
+        .map(|_| DepthAnchor {
+            pixel: Vec2::new(rng.random_range(0.0..320.0), rng.random_range(0.0..240.0)),
+            depth: rng.random_range(1.0..8.0),
+        })
+        .collect();
+    let queries: Vec<Vec2> = (0..1000)
+        .map(|_| Vec2::new(rng.random_range(0.0..320.0), rng.random_range(0.0..240.0)))
+        .collect();
+
+    c.bench_function("knn_depth_linear_500a_1000q", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|&q| knn_depth_linear(q, &anchors, 4))
+                .sum::<f64>()
+        })
+    });
+    c.bench_function("knn_depth_grid_500a_1000q", |b| {
+        b.iter(|| {
+            let index = AnchorIndex::build(&anchors);
+            let mut scratch = Vec::new();
+            queries
+                .iter()
+                .map(|&q| index.knn_depth(q, 4, &mut scratch))
+                .sum::<f64>()
+        })
     });
 }
 
@@ -226,6 +333,8 @@ fn bench_codec(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_features,
+    bench_matching_scale,
+    bench_knn_depth,
     bench_geometry,
     bench_masks,
     bench_selection,

@@ -123,10 +123,19 @@ impl TileGrid {
     }
 
     /// Marks every tile that any set pixel of `mask` touches.
+    ///
+    /// Only the mask's bounding box is scanned, so the cost tracks the
+    /// object size rather than the frame size.
     pub fn tiles_touching(&self, mask: &Mask) -> Vec<usize> {
         let mut hit = vec![false; self.len()];
-        for (x, y) in mask.iter_set() {
-            hit[self.tile_of(x, y)] = true;
+        if let Some((x0, y0, x1, y1)) = mask.bounding_box() {
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    if mask.get(x, y) {
+                        hit[self.tile_of(x, y)] = true;
+                    }
+                }
+            }
         }
         hit.iter()
             .enumerate()
@@ -201,13 +210,23 @@ impl EncodedFrame {
 
     /// Decoded quality of an instance region: the area-weighted mean of the
     /// decoded quality of the tiles its mask covers.
+    ///
+    /// Scans only the mask's bounding box, visiting set pixels in the same
+    /// row-major order as `iter_set`, so the floating-point sum — and the
+    /// result — is bit-identical to the full-frame scan.
     pub fn instance_quality(&self, mask: &Mask) -> f64 {
         let mut sum = 0.0;
         let mut n = 0usize;
-        for (x, y) in mask.iter_set() {
-            let t = self.plan.grid.tile_of(x, y);
-            sum += self.plan.levels[t].decoded_quality();
-            n += 1;
+        if let Some((x0, y0, x1, y1)) = mask.bounding_box() {
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    if mask.get(x, y) {
+                        let t = self.plan.grid.tile_of(x, y);
+                        sum += self.plan.levels[t].decoded_quality();
+                        n += 1;
+                    }
+                }
+            }
         }
         if n == 0 {
             0.0
@@ -231,22 +250,21 @@ pub fn encode(frame: &GrayImage, plan: &TilePlan) -> EncodedFrame {
     let energy = gradient_energy(frame);
     let ii = IntegralImage::from_values(frame.width(), frame.height(), &energy);
 
-    let tile_bytes = plan
-        .levels
-        .iter()
-        .enumerate()
-        .map(|(i, level)| {
-            if *level == QualityLevel::Skip {
-                return 2; // skip flag
-            }
-            let (x, y, w, h) = plan.grid.tile_rect(i);
-            let complexity = ii.rect_sum(x, y, w, h) as f64;
-            // ~0.02 bits per unit of gradient energy at high quality, with
-            // a floor representing headers + DC coefficients.
-            let bits = 96.0 + 0.02 * complexity * level.rate_factor();
-            (bits / 8.0).ceil() as usize
-        })
-        .collect();
+    // Tiles are independent given the integral image, so the rate model
+    // runs tile-parallel with an ordered merge (bit-identical to the
+    // serial map for any thread count).
+    let tile_bytes = edgeis_parallel::par_map_idx(plan.levels.len(), 16, |i| {
+        let level = plan.levels[i];
+        if level == QualityLevel::Skip {
+            return 2; // skip flag
+        }
+        let (x, y, w, h) = plan.grid.tile_rect(i);
+        let complexity = ii.rect_sum(x, y, w, h) as f64;
+        // ~0.02 bits per unit of gradient energy at high quality, with
+        // a floor representing headers + DC coefficients.
+        let bits = 96.0 + 0.02 * complexity * level.rate_factor();
+        (bits / 8.0).ceil() as usize
+    });
 
     EncodedFrame {
         plan: plan.clone(),
@@ -357,6 +375,56 @@ mod tests {
             &TilePlan::uniform(grid, QualityLevel::High),
         );
         assert_eq!(encoded.instance_quality(&Mask::new(32, 32)), 0.0);
+    }
+
+    #[test]
+    fn parallel_encode_bit_identical_to_serial_across_seeds() {
+        for (seed, tile) in [(1u32, 8u32), (37, 16), (91, 20)] {
+            let mut frame = GrayImage::new(96, 80);
+            for y in 0..80 {
+                for x in 0..96 {
+                    frame.set(
+                        x,
+                        y,
+                        (x.wrapping_mul(seed) ^ y.wrapping_mul(seed + 7)) as u8,
+                    );
+                }
+            }
+            let grid = TileGrid::new(tile, 96, 80);
+            let mut plan = TilePlan::uniform(grid, QualityLevel::Low);
+            plan.raise(&[0, 3, 7], QualityLevel::High);
+            let serial = edgeis_parallel::with_threads(1, || encode(&frame, &plan));
+            for threads in [2usize, 4, 8] {
+                let par = edgeis_parallel::with_threads(threads, || encode(&frame, &plan));
+                assert_eq!(serial, par, "seed {seed}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn bbox_scan_matches_full_scan_semantics() {
+        // A sparse mask away from the origin: tiles and quality computed
+        // through the bounding-box scan must agree with a straightforward
+        // iter_set pass.
+        let grid = TileGrid::new(16, 128, 128);
+        let mut m = Mask::new(128, 128);
+        m.fill_rect(70, 90, 21, 9);
+        m.set(100, 100, true);
+        let tiles = grid.tiles_touching(&m);
+        let mut expect: Vec<usize> = m.iter_set().map(|(x, y)| grid.tile_of(x, y)).collect();
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(tiles, expect);
+
+        let frame = textured_frame(128, 128);
+        let encoded = encode(&frame, &TilePlan::uniform(grid, QualityLevel::Medium));
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (x, y) in m.iter_set() {
+            sum += encoded.plan.levels[grid.tile_of(x, y)].decoded_quality();
+            n += 1;
+        }
+        assert_eq!(encoded.instance_quality(&m), sum / n as f64);
     }
 
     #[test]

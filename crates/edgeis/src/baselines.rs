@@ -101,6 +101,7 @@ impl SegmentationSystem for PureMobileSystem {
             mobile_ms,
             tx_bytes: 0,
             transmitted: false,
+            stages: Default::default(),
         }
     }
 
@@ -234,6 +235,7 @@ impl SegmentationSystem for EaarSystem {
             mobile_ms,
             tx_bytes,
             transmitted: transmit,
+            stages: Default::default(),
         }
     }
 
@@ -363,6 +365,7 @@ impl SegmentationSystem for EdgeDuetSystem {
             mobile_ms,
             tx_bytes,
             transmitted: transmit,
+            stages: Default::default(),
         }
     }
 

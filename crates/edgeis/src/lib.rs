@@ -45,7 +45,9 @@ pub mod wire;
 pub use cfrs::{CfrsConfig, CfrsDecision, CfrsPlanner};
 pub use edge::{EdgeFaultConfig, EdgeServer, PendingResponse};
 pub use experiment::{run_system, run_system_with_faults, ExperimentConfig, FaultPlan, SystemKind};
-pub use metrics::{FrameRecord, Report, ResilienceStats};
+pub use metrics::{
+    percentile, FrameRecord, Report, ResilienceStats, StageBreakdownMs, StageSummary,
+};
 pub use pipeline::run_pipeline;
 pub use system::{
     EdgeIsConfig, EdgeIsSystem, FrameInput, FrameOutput, LinkHealth, ResilienceConfig,

@@ -2,6 +2,89 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Wall-clock time actually spent in each pipeline stage for one frame, ms.
+///
+/// Unlike [`FrameRecord::mobile_ms`] (the *modeled* mobile latency used by
+/// the simulation clock), these are host-side measurements of where the
+/// reproduction's compute goes — the instrumentation behind the
+/// `BENCH_pipeline.json` stage profile. Stages that did not run this frame
+/// (e.g. `encode` on a held frame) stay at zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageBreakdownMs {
+    /// ORB keypoint detection (FAST scan + NMS + descriptors).
+    pub detect: f64,
+    /// Descriptor matching against the map.
+    pub matching: f64,
+    /// Bundle adjustment / camera pose refinement.
+    pub ba: f64,
+    /// Per-object tracking + mask transfer (includes per-object BA).
+    pub transfer: f64,
+    /// Tile-plan encoding of the offloaded frame.
+    pub encode: f64,
+    /// Edge-side model inference (request submission through the simulated
+    /// edge server, which runs the actual segnet model).
+    pub edge_infer: f64,
+    /// Decoding responses off the wire and applying masks to the tracker
+    /// (measured at the start of the frame, covering everything that
+    /// arrived since the previous one).
+    pub decode_apply: f64,
+}
+
+impl StageBreakdownMs {
+    /// Stage names, in pipeline order (matches [`Self::as_array`]).
+    pub const NAMES: [&'static str; 7] = [
+        "detect",
+        "match",
+        "ba",
+        "transfer",
+        "encode",
+        "edge_infer",
+        "decode_apply",
+    ];
+
+    /// The stage values in the same order as [`Self::NAMES`].
+    pub fn as_array(&self) -> [f64; 7] {
+        [
+            self.detect,
+            self.matching,
+            self.ba,
+            self.transfer,
+            self.encode,
+            self.edge_infer,
+            self.decode_apply,
+        ]
+    }
+
+    /// Total measured time across all stages, ms.
+    pub fn total_ms(&self) -> f64 {
+        self.as_array().iter().sum()
+    }
+}
+
+/// p50/p95 summary for one pipeline stage over a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSummary {
+    /// Stage name (one of [`StageBreakdownMs::NAMES`]).
+    pub stage: String,
+    /// Median per-frame time, ms.
+    pub p50_ms: f64,
+    /// 95th-percentile per-frame time, ms.
+    pub p95_ms: f64,
+    /// Mean per-frame time, ms.
+    pub mean_ms: f64,
+}
+
+/// Nearest-rank percentile of an unsorted sample set (`q` in `[0, 1]`).
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 /// Everything recorded about one rendered frame.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FrameRecord {
@@ -19,6 +102,10 @@ pub struct FrameRecord {
     pub transmitted: bool,
     /// How many frames behind the rendered result was (backlog staleness).
     pub stale_frames: usize,
+    /// Measured wall-clock per pipeline stage (zero for dropped frames and
+    /// for reports written before this field existed).
+    #[serde(default)]
+    pub stages: StageBreakdownMs,
 }
 
 /// Resilience accounting: what the mobile-side policy did about faults.
@@ -201,6 +288,52 @@ impl Report {
             })
     }
 
+    /// Per-stage p50/p95/mean over frames that were actually processed
+    /// (dropped frames carry all-zero stage rows and are excluded so they
+    /// do not drag the percentiles down).
+    pub fn stage_summaries(&self) -> Vec<StageSummary> {
+        let rows: Vec<[f64; 7]> = self
+            .records
+            .iter()
+            .map(|r| r.stages.as_array())
+            .filter(|row| row.iter().any(|&v| v > 0.0))
+            .collect();
+        StageBreakdownMs::NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let samples: Vec<f64> = rows.iter().map(|row| row[i]).collect();
+                let mean = if samples.is_empty() {
+                    0.0
+                } else {
+                    samples.iter().sum::<f64>() / samples.len() as f64
+                };
+                StageSummary {
+                    stage: (*name).to_string(),
+                    p50_ms: percentile(&samples, 0.5),
+                    p95_ms: percentile(&samples, 0.95),
+                    mean_ms: mean,
+                }
+            })
+            .collect()
+    }
+
+    /// Mean measured wall-clock per frame (sum of all stages), ms — the
+    /// end-to-end compute cost the stage timers account for.
+    pub fn mean_stage_total_ms(&self) -> f64 {
+        let totals: Vec<f64> = self
+            .records
+            .iter()
+            .map(|r| r.stages.total_ms())
+            .filter(|&v| v > 0.0)
+            .collect();
+        if totals.is_empty() {
+            0.0
+        } else {
+            totals.iter().sum::<f64>() / totals.len() as f64
+        }
+    }
+
     /// Merges several runs (e.g. different seeds) into one pooled report.
     pub fn pooled(system: &str, scenario: &str, reports: &[Report]) -> Report {
         let mut resilience = ResilienceStats::default();
@@ -229,6 +362,7 @@ mod tests {
             tx_bytes: tx,
             transmitted: tx > 0,
             stale_frames: 0,
+            stages: StageBreakdownMs::default(),
         }
     }
 
@@ -317,6 +451,58 @@ mod tests {
         assert_eq!(a.timeouts, 5);
         assert_eq!(a.stale_drops, 4);
         assert!((a.mean_recovery_ms() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s = [3.0, 1.0, 2.0, 4.0];
+        assert_eq!(percentile(&s, 0.5), 2.0);
+        assert_eq!(percentile(&s, 0.95), 4.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn stage_summaries_skip_dropped_frames() {
+        let mut a = record(&[1.0], 10.0, 0);
+        a.stages = StageBreakdownMs {
+            detect: 2.0,
+            matching: 1.0,
+            ..Default::default()
+        };
+        let mut b = record(&[1.0], 10.0, 0);
+        b.stages = StageBreakdownMs {
+            detect: 4.0,
+            matching: 3.0,
+            ..Default::default()
+        };
+        // All-zero row = dropped frame, must not dilute the stats.
+        let dropped = record(&[1.0], 10.0, 0);
+        let r = report(vec![a, b, dropped]);
+        let summaries = r.stage_summaries();
+        assert_eq!(summaries.len(), StageBreakdownMs::NAMES.len());
+        let detect = summaries.iter().find(|s| s.stage == "detect").unwrap();
+        assert_eq!(detect.p50_ms, 2.0);
+        assert_eq!(detect.p95_ms, 4.0);
+        assert!((detect.mean_ms - 3.0).abs() < 1e-12);
+        assert!((r.mean_stage_total_ms() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_breakdown_array_matches_names() {
+        let s = StageBreakdownMs {
+            detect: 1.0,
+            matching: 2.0,
+            ba: 3.0,
+            transfer: 4.0,
+            encode: 5.0,
+            edge_infer: 6.0,
+            decode_apply: 7.0,
+        };
+        assert_eq!(s.as_array(), [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(StageBreakdownMs::NAMES.len(), s.as_array().len());
+        assert!((s.total_ms() - 28.0).abs() < 1e-12);
+        assert_eq!(StageBreakdownMs::default().total_ms(), 0.0);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! with fleet size — the effect this module measures.
 
 use crate::edge::{EdgeFaultConfig, EdgeServer, SharedEdge};
-use crate::metrics::{FrameRecord, Report};
+use crate::metrics::{FrameRecord, Report, StageBreakdownMs};
 use crate::pipeline::class_map;
 use crate::system::{EdgeIsConfig, EdgeIsSystem, FrameInput, SegmentationSystem};
 use edgeis_geometry::Camera;
@@ -122,16 +122,16 @@ where
                 classes: &dev.classes,
             };
 
-            let (mobile_ms, tx_bytes, transmitted) = if dev.backlog >= interval {
+            let (mobile_ms, tx_bytes, transmitted, stages) = if dev.backlog >= interval {
                 dev.backlog -= interval;
                 dev.stale += 1;
-                (interval, 0, false)
+                (interval, 0, false, StageBreakdownMs::default())
             } else {
                 let out = dev.system.process_frame(&input, now);
                 dev.backlog = (dev.backlog + out.mobile_ms - interval).max(0.0);
                 dev.last_masks = out.masks;
                 dev.stale = 0;
-                (out.mobile_ms, out.tx_bytes, out.transmitted)
+                (out.mobile_ms, out.tx_bytes, out.transmitted, out.stages)
             };
 
             let mut ious = Vec::new();
@@ -158,6 +158,7 @@ where
                 tx_bytes,
                 transmitted,
                 stale_frames: dev.stale,
+                stages,
             });
         }
     }

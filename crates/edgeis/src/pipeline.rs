@@ -1,7 +1,7 @@
 //! Drives a [`SegmentationSystem`] over a synthetic world on a virtual
 //! clock, applies the backlog/staleness model and scores every frame.
 
-use crate::metrics::{FrameRecord, Report};
+use crate::metrics::{FrameRecord, Report, StageBreakdownMs};
 use crate::system::{FrameInput, SegmentationSystem};
 use edgeis_geometry::Camera;
 use edgeis_imaging::{iou, Mask};
@@ -72,16 +72,16 @@ pub fn run_pipeline(
         // past the camera interval, the device is still busy — this frame
         // is dropped and the previous masks are re-rendered (the paper's
         // "delayed mask rendering on a later frame").
-        let (mobile_ms, tx_bytes, transmitted) = if backlog >= interval {
+        let (mobile_ms, tx_bytes, transmitted, stages) = if backlog >= interval {
             backlog -= interval;
             stale += 1;
-            (interval, 0, false)
+            (interval, 0, false, StageBreakdownMs::default())
         } else {
             let out = system.process_frame(&input, now);
             backlog = (backlog + out.mobile_ms - interval).max(0.0);
             last_masks = out.masks;
             stale = 0;
-            (out.mobile_ms, out.tx_bytes, out.transmitted)
+            (out.mobile_ms, out.tx_bytes, out.transmitted, out.stages)
         };
         let rendered = &last_masks;
 
@@ -111,6 +111,7 @@ pub fn run_pipeline(
             tx_bytes,
             transmitted,
             stale_frames: stale,
+            stages,
         });
     }
 

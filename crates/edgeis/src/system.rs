@@ -9,7 +9,7 @@
 use crate::cfrs::{CfrsConfig, CfrsDecision, CfrsPlanner, TransmitReason};
 use crate::cost::MobileCostModel;
 use crate::edge::{EdgeFaultConfig, EdgeServer, PendingResponse, SharedEdge};
-use crate::metrics::ResilienceStats;
+use crate::metrics::{ResilienceStats, StageBreakdownMs};
 use crate::resources::{ResourceConfig, ResourceLedger};
 use crate::wire::WireDetection;
 use edgeis_codec::{encode, QualityLevel, TileGrid, TilePlan};
@@ -20,6 +20,12 @@ use edgeis_scene::RenderedFrame;
 use edgeis_segnet::{EdgeModel, FrameObservation, ModelKind};
 use edgeis_vo::{VisualOdometry, VoConfig};
 use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Milliseconds elapsed since `start` (host wall clock, not sim time).
+fn elapsed_ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1000.0
+}
 
 /// Input to one frame step: the rendered frame plus scene class metadata.
 #[derive(Debug)]
@@ -46,6 +52,9 @@ pub struct FrameOutput {
     pub tx_bytes: usize,
     /// Whether a frame was offloaded.
     pub transmitted: bool,
+    /// Measured wall-clock per pipeline stage (host time, for the perf
+    /// profile; all zero for systems without instrumentation).
+    pub stages: StageBreakdownMs,
 }
 
 /// A mobile+edge segmentation system under test.
@@ -361,6 +370,16 @@ impl EdgeIsSystem {
         self.health
     }
 
+    /// Peak bytes held by the tracker's reusable scratch buffers (an
+    /// allocation proxy for the perf profile; 0 for the MV tracker, which
+    /// keeps no scratch).
+    pub fn scratch_peak_bytes(&self) -> usize {
+        match &self.tracker {
+            MobileTracker::Vo { vo, .. } => vo.scratch_peak_bytes(),
+            MobileTracker::MotionVector { .. } => 0,
+        }
+    }
+
     /// Whether the mobile map / cache is initialized.
     fn initialized(&self) -> bool {
         match &self.tracker {
@@ -555,7 +574,10 @@ impl SegmentationSystem for EdgeIsSystem {
     }
 
     fn process_frame(&mut self, input: &FrameInput<'_>, now: SimMs) -> FrameOutput {
+        let mut stages = StageBreakdownMs::default();
+        let decode_start = Instant::now();
         self.deliver_responses(now);
+        stages.decode_apply = elapsed_ms(decode_start);
         self.probe_if_outage(now);
 
         // --- Mobile tracking & mask prediction. ---
@@ -563,6 +585,10 @@ impl SegmentationSystem for EdgeIsSystem {
             match &mut self.tracker {
                 MobileTracker::Vo { vo, prev_motion } => {
                     let out = vo.process_frame(&input.frame.image, input.time_ms / 1000.0);
+                    stages.detect = out.detect_ms;
+                    stages.matching = out.match_ms;
+                    stages.ba = out.ba_ms;
+                    stages.transfer = out.transfer_ms;
                     // Feed the CFRS motion trigger from per-object motion.
                     for obj in &out.objects {
                         if let Some(d) = obj.world_motion {
@@ -772,7 +798,9 @@ impl SegmentationSystem for EdgeIsSystem {
             } else {
                 self.planner.tile_plan(w, h, &masks, &area_pixels)
             };
+            let encode_start = Instant::now();
             let encoded = encode(&input.frame.image, &plan);
+            stages.encode = elapsed_ms(encode_start);
             tx_bytes = encoded.total_bytes();
 
             // Edge-side observation: ground-truth labels through the
@@ -823,6 +851,10 @@ impl SegmentationSystem for EdgeIsSystem {
                 // permanently.
                 sent_ms + self.config.resilience.response_deadline_ms * 4.0
             };
+            // The submit call runs the actual segnet model, so this timer
+            // captures the edge inference compute (the link simulation
+            // around it is negligible).
+            let infer_start = Instant::now();
             let response = match self
                 .link
                 .transmit_faulty(tx_bytes, sent_ms, Direction::Uplink)
@@ -837,6 +869,7 @@ impl SegmentationSystem for EdgeIsSystem {
                     &mut self.link,
                 ),
             };
+            stages.edge_infer = elapsed_ms(infer_start);
             self.pending.push(InFlight {
                 deadline_ms,
                 response,
@@ -851,6 +884,7 @@ impl SegmentationSystem for EdgeIsSystem {
             mobile_ms,
             tx_bytes,
             transmitted: transmit,
+            stages,
         }
     }
 

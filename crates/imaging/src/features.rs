@@ -39,6 +39,23 @@ impl Descriptor {
             .map(|(a, b)| (a ^ b).count_ones())
             .sum()
     }
+
+    /// Hamming distance with an early exit at the half-way point: the
+    /// return value is exact when below `cap` and otherwise only guaranteed
+    /// to be `>= cap`, which is all a best-two scan needs to discard the
+    /// candidate. A single mid-point check is used because a branch per
+    /// word costs more than the two XOR+popcounts it saves — and on this
+    /// 256-bit layout even the single check measures slower than the plain
+    /// four-word sum (see `MatchConfig::use_capped_distance`), so this is
+    /// an opt-in, kept with its exactness test for reference.
+    #[inline]
+    pub fn distance_capped(&self, other: &Descriptor, cap: u32) -> u32 {
+        let half = (self.0[0] ^ other.0[0]).count_ones() + (self.0[1] ^ other.0[1]).count_ones();
+        if half >= cap {
+            return half;
+        }
+        half + (self.0[2] ^ other.0[2]).count_ones() + (self.0[3] ^ other.0[3]).count_ones()
+    }
 }
 
 /// Configuration for [`detect_orb`].
@@ -52,6 +69,14 @@ pub struct OrbConfig {
     pub n_levels: u8,
     /// Suppression radius in pixels for greedy non-maximum suppression.
     pub nms_radius: u32,
+    /// Use the direct-indexing detector fast paths: the 4-pixel compass
+    /// pre-test with precomputed circle offsets in the FAST scan, row-extent
+    /// orientation sums, and margin-gated unclamped bilinear sampling in
+    /// BRIEF. `false` runs the straightforward clamped reference
+    /// implementations — kept so the perf harness can measure the
+    /// pre-optimization detector; the output is bit-identical either way
+    /// (test-enforced).
+    pub use_fast_paths: bool,
 }
 
 impl Default for OrbConfig {
@@ -61,6 +86,7 @@ impl Default for OrbConfig {
             max_features: 500,
             n_levels: 3,
             nms_radius: 4,
+            use_fast_paths: true,
         }
     }
 }
@@ -85,8 +111,47 @@ const FAST_CIRCLE: [(i64, i64); 16] = [
     (-1, -3),
 ];
 
+/// Longest circular run of `true` over the 16 circle flags.
+fn longest_arc(flags: &[bool; 16]) -> usize {
+    let mut best = 0;
+    let mut run = 0;
+    for i in 0..32 {
+        if flags[i % 16] {
+            run += 1;
+            best = best.max(run);
+            if best >= 16 {
+                break;
+            }
+        } else {
+            run = 0;
+        }
+    }
+    best.min(16)
+}
+
+/// Shared FAST-9 decision on the loaded circle: compass quick-reject, then
+/// the ≥ 9 contiguous arc test, then the SAD response.
+fn fast9_decide(brighter: &[bool; 16], darker: &[bool; 16], diffs: &[i32; 16]) -> Option<f32> {
+    // Quick reject using the 4 compass points: a contiguous arc of 9 always
+    // covers at least 2 of the 4 points spaced 4 apart.
+    let compass = [0usize, 4, 8, 12];
+    let nb = compass.iter().filter(|&&i| brighter[i]).count();
+    let nd = compass.iter().filter(|&&i| darker[i]).count();
+    if nb < 2 && nd < 2 {
+        return None;
+    }
+    if longest_arc(brighter) >= 9 || longest_arc(darker) >= 9 {
+        let response: i32 = diffs.iter().map(|d| d.abs()).sum();
+        Some(response as f32)
+    } else {
+        None
+    }
+}
+
 /// FAST-9 corner test: returns the response if ≥ 9 contiguous circle pixels
-/// are all brighter or all darker than center ± threshold.
+/// are all brighter or all darker than center ± threshold. Reference
+/// implementation: loads the full 16-pixel circle through the clamping
+/// accessor before deciding.
 fn fast9_response(img: &GrayImage, x: u32, y: u32, threshold: u8) -> Option<f32> {
     let c = img.get(x, y) as i32;
     let t = threshold as i32;
@@ -99,34 +164,55 @@ fn fast9_response(img: &GrayImage, x: u32, y: u32, threshold: u8) -> Option<f32>
         brighter[i] = v > c + t;
         darker[i] = v < c - t;
     }
-    // Quick reject using the 4 compass points: a contiguous arc of 9 always
-    // covers at least 2 of the 4 points spaced 4 apart.
-    let compass = [0usize, 4, 8, 12];
-    let nb = compass.iter().filter(|&&i| brighter[i]).count();
-    let nd = compass.iter().filter(|&&i| darker[i]).count();
+    fast9_decide(&brighter, &darker, &diffs)
+}
+
+/// [`fast9_response`] for interior pixels: the scan border (16 px) exceeds
+/// the circle radius (3 px), so every circle pixel is in-bounds and the
+/// clamped loads reduce to direct indexing with per-level linear offsets.
+/// Only the 4 compass pixels are loaded on the reject path (the
+/// overwhelmingly common case); a contiguous arc of 9 always covers at
+/// least 2 of the 4 points spaced 4 apart, so the decision — and on accept
+/// the response, computed from the same pixel values — is bit-identical
+/// to the reference path.
+fn fast9_response_fast(
+    data: &[u8],
+    center: usize,
+    threshold: i32,
+    offsets: &[isize; 16],
+) -> Option<f32> {
+    let c = data[center] as i32;
+    let t = threshold;
+    let at = |i: usize| data[(center as isize + offsets[i]) as usize] as i32;
+    let mut nb = 0u32;
+    let mut nd = 0u32;
+    for i in [0usize, 4, 8, 12] {
+        let v = at(i);
+        if v > c + t {
+            nb += 1;
+        } else if v < c - t {
+            nd += 1;
+        }
+    }
     if nb < 2 && nd < 2 {
         return None;
     }
-
-    let arc_len = |flags: &[bool; 16]| -> usize {
-        // Longest circular run of true.
-        let mut best = 0;
-        let mut run = 0;
-        for i in 0..32 {
-            if flags[i % 16] {
-                run += 1;
-                best = best.max(run);
-                if best >= 16 {
-                    break;
-                }
-            } else {
-                run = 0;
-            }
-        }
-        best.min(16)
-    };
-
-    if arc_len(&brighter) >= 9 || arc_len(&darker) >= 9 {
+    let mut bright_mask = 0u16;
+    let mut dark_mask = 0u16;
+    let mut diffs = [0i32; 16];
+    for (i, d) in diffs.iter_mut().enumerate() {
+        let v = at(i);
+        *d = v - c;
+        bright_mask |= ((v > c + t) as u16) << i;
+        dark_mask |= ((v < c - t) as u16) << i;
+    }
+    // Compass quick-reject on the same bits (positions 0, 4, 8, 12 =
+    // mask 0x1111) — repeats the prefilter's decision, like the reference
+    // path repeats its compass count.
+    if (bright_mask & 0x1111).count_ones() < 2 && (dark_mask & 0x1111).count_ones() < 2 {
+        return None;
+    }
+    if has_circular_run9(bright_mask) || has_circular_run9(dark_mask) {
         let response: i32 = diffs.iter().map(|d| d.abs()).sum();
         Some(response as f32)
     } else {
@@ -134,7 +220,24 @@ fn fast9_response(img: &GrayImage, x: u32, y: u32, threshold: u8) -> Option<f32>
     }
 }
 
+/// True iff the 16-bit circular mask contains ≥ 9 contiguous set bits —
+/// the same predicate as `longest_arc(flags) >= 9`, evaluated with eight
+/// shift-ANDs on the doubled mask instead of a 32-iteration loop: bit `i`
+/// of the accumulator survives iff bits `i..=i+8` of the doubled mask are
+/// all set, i.e. a wrapping run of 9 starts at `i`.
+#[inline]
+fn has_circular_run9(mask: u16) -> bool {
+    let m = (mask as u32) | ((mask as u32) << 16);
+    let mut acc = m;
+    for k in 1..9 {
+        acc &= m >> k;
+    }
+    acc & 0xFFFF != 0
+}
+
 /// Intensity-centroid orientation in a circular patch of radius `r`.
+/// Reference implementation: scans the bounding square and skips pixels
+/// outside the disc, loading through the clamping accessor.
 fn orientation(img: &GrayImage, x: u32, y: u32, r: i64) -> f32 {
     let mut m01 = 0.0f64;
     let mut m10 = 0.0f64;
@@ -144,6 +247,33 @@ fn orientation(img: &GrayImage, x: u32, y: u32, r: i64) -> f32 {
                 continue;
             }
             let v = img.get_clamped(x as i64 + dx, y as i64 + dy) as f64;
+            m10 += dx as f64 * v;
+            m01 += dy as f64 * v;
+        }
+    }
+    m01.atan2(m10) as f32
+}
+
+/// [`orientation`] for keypoints at least `r` pixels from every border
+/// (guaranteed by the scan border, 16 ≥ r = 7): walks each row only across
+/// its in-disc extent with direct loads. The pixels visited, their visit
+/// order and the f64 accumulation are exactly those of the reference loop,
+/// so the angle is bit-identical.
+fn orientation_fast(img: &GrayImage, x: u32, y: u32, r: i64) -> f32 {
+    let data = img.as_bytes();
+    let w = img.width() as i64;
+    let mut m01 = 0.0f64;
+    let mut m10 = 0.0f64;
+    for dy in -r..=r {
+        // Largest |dx| with dx² + dy² ≤ r² — the same pixels the reference
+        // loop keeps after its in-disc test.
+        let mut ext = 0i64;
+        while (ext + 1) * (ext + 1) + dy * dy <= r * r {
+            ext += 1;
+        }
+        let base = (y as i64 + dy) * w + x as i64;
+        for dx in -ext..=ext {
+            let v = data[(base + dx) as usize] as f64;
             m10 += dx as f64 * v;
             m01 += dy as f64 * v;
         }
@@ -196,37 +326,208 @@ fn brief_descriptor(
     Descriptor(bits)
 }
 
+/// Minimum distance from every border (in pixels) for the direct-indexing
+/// BRIEF path. Pattern offsets are clamped to ±15 per axis, so a rotated
+/// offset has magnitude ≤ 15·√2 ≈ 21.22; at ≥ 23 px from each edge both
+/// bilinear footprint columns/rows of every sample are strictly in-bounds
+/// and clamping can never engage.
+const BRIEF_FAST_MARGIN: u32 = 23;
+
+/// [`brief_descriptor`] for keypoints at least [`BRIEF_FAST_MARGIN`] from
+/// every border: bilinear sampling with direct loads, mirroring
+/// `GrayImage::sample_bilinear`'s f64 arithmetic term for term so the
+/// descriptor bits are identical. Callers fall back to the clamped
+/// reference sampler nearer the border, where the two would diverge.
+fn brief_descriptor_fast(
+    img: &GrayImage,
+    x: f64,
+    y: f64,
+    angle: f32,
+    pattern: &[BriefPair],
+) -> Descriptor {
+    let data = img.as_bytes();
+    let w = img.width() as usize;
+    // `sx`/`sy` are strictly positive here (margin ≥ 23 minus the ≤ 21.22
+    // rotated offset), so `as usize` truncation equals `floor()`; the
+    // interpolation expression below is term-for-term the reference one,
+    // keeping every f64 rounding step identical.
+    let sample = |sx: f64, sy: f64| -> f64 {
+        let x0 = sx as usize;
+        let y0 = sy as usize;
+        let fx = sx - x0 as f64;
+        let fy = sy - y0 as f64;
+        let base = y0 * w + x0;
+        let r0 = &data[base..base + 2];
+        let r1 = &data[base + w..base + w + 2];
+        let p00 = r0[0] as f64;
+        let p10 = r0[1] as f64;
+        let p01 = r1[0] as f64;
+        let p11 = r1[1] as f64;
+        p00 * (1.0 - fx) * (1.0 - fy)
+            + p10 * fx * (1.0 - fy)
+            + p01 * (1.0 - fx) * fy
+            + p11 * fx * fy
+    };
+    // Three straight-line phases over the whole pattern — rotate, sample,
+    // compare — so the rotation loop vectorizes and the gather-bound
+    // sample loop runs branch-free. Each sample's arithmetic is unchanged,
+    // only regrouped across iterations, so every value (and bit) matches
+    // the reference loop.
+    let (sin, cos) = (angle as f64).sin_cos();
+    let mut coords = [0.0f64; 1024];
+    for (i, &((ax, ay), (bx, by))) in pattern.iter().enumerate() {
+        coords[4 * i] = x + (cos * ax - sin * ay);
+        coords[4 * i + 1] = y + (sin * ax + cos * ay);
+        coords[4 * i + 2] = x + (cos * bx - sin * by);
+        coords[4 * i + 3] = y + (sin * bx + cos * by);
+    }
+    let mut vals = [0.0f64; 512];
+    for (v, c) in vals.iter_mut().zip(coords.chunks_exact(2)) {
+        *v = sample(c[0], c[1]);
+    }
+    let mut bits = [0u64; 4];
+    for (i, p) in vals.chunks_exact(2).enumerate() {
+        bits[i >> 6] |= ((p[0] < p[1]) as u64) << (i & 63);
+    }
+    Descriptor(bits)
+}
+
+/// Reusable buffers for [`detect_orb_with_scratch`]: the BRIEF pattern,
+/// the per-level NMS suppression plane (sized once for level 0, shared by
+/// the smaller levels), the FAST candidate/winner lists and the pyramid
+/// level images. Holding one of these per tracker removes every per-frame
+/// allocation from the detector's steady state.
+#[derive(Debug, Default, Clone)]
+pub struct OrbScratch {
+    pattern: Vec<BriefPair>,
+    suppressed: Vec<bool>,
+    candidates: Vec<(u32, u32, f32)>,
+    winners: Vec<(u32, u32, f32, u8)>,
+    selected: Vec<(u32, u32, f32, u8)>,
+    levels: Vec<GrayImage>,
+}
+
+impl OrbScratch {
+    /// Peak scratch footprint in bytes (an allocation proxy for the perf
+    /// harness; counts buffer capacities, not live lengths).
+    pub fn peak_bytes(&self) -> usize {
+        self.suppressed.capacity()
+            + self.candidates.capacity() * std::mem::size_of::<(u32, u32, f32)>()
+            + (self.winners.capacity() + self.selected.capacity())
+                * std::mem::size_of::<(u32, u32, f32, u8)>()
+            + self.pattern.capacity() * std::mem::size_of::<BriefPair>()
+            + self
+                .levels
+                .iter()
+                .map(|i| (i.width() * i.height()) as usize)
+                .sum::<usize>()
+    }
+}
+
 /// Detects ORB features over a pyramid and computes descriptors.
 ///
 /// Returns keypoints (full-resolution coordinates) with aligned descriptors.
-/// Results are deterministic for a given image and configuration.
+/// Results are deterministic for a given image and configuration — the
+/// FAST scan and the descriptor pass run row-striped across threads with
+/// an ordered merge, so the output is bit-identical for any thread count
+/// (see `edgeis-parallel`).
 pub fn detect_orb(img: &GrayImage, config: &OrbConfig) -> (Vec<Keypoint>, Vec<Descriptor>) {
-    let pattern = brief_pattern();
-    let mut keypoints = Vec::new();
-    let mut descriptors = Vec::new();
+    detect_orb_with_scratch(img, config, &mut OrbScratch::default())
+}
 
-    let mut level_img = img.box_blur3();
-    let mut scale = 1.0f64;
+/// [`detect_orb`] with caller-owned scratch buffers, reused across frames.
+pub fn detect_orb_with_scratch(
+    img: &GrayImage,
+    config: &OrbConfig,
+    scratch: &mut OrbScratch,
+) -> (Vec<Keypoint>, Vec<Descriptor>) {
+    if scratch.pattern.is_empty() {
+        scratch.pattern = brief_pattern();
+    }
+    let fast_paths = config.use_fast_paths;
+    let n_levels = (config.n_levels as usize).max(1);
+    while scratch.levels.len() < n_levels {
+        scratch.levels.push(GrayImage::new(1, 1));
+    }
+    if fast_paths {
+        img.box_blur3_fast_into(&mut scratch.levels[0]);
+    } else {
+        img.box_blur3_into(&mut scratch.levels[0]);
+    }
+    // Suppression plane sized once for the largest (first) level; smaller
+    // levels reuse its prefix.
+    scratch.suppressed.resize(
+        (scratch.levels[0].width() * scratch.levels[0].height()) as usize,
+        false,
+    );
+
+    // Pass 1: FAST scan + NMS per pyramid level. Orientation and
+    // descriptors are deferred until after the max_features selection so
+    // they are only ever computed for keypoints that survive it.
+    scratch.winners.clear();
     for level in 0..config.n_levels {
-        if level_img.width() < 32 || level_img.height() < 32 {
+        let width = scratch.levels[level as usize].width();
+        let height = scratch.levels[level as usize].height();
+        if width < 32 || height < 32 {
             break;
         }
-        let mut candidates: Vec<(u32, u32, f32)> = Vec::new();
         let border = 16u32;
-        for y in border..level_img.height() - border {
-            for x in border..level_img.width() - border {
-                if let Some(resp) = fast9_response(&level_img, x, y, config.fast_threshold) {
-                    candidates.push((x, y, resp));
+        let scan_rows = (height - 2 * border) as usize;
+
+        // FAST-9 scan, row-striped: each stripe emits candidates in scan
+        // order and stripes are concatenated in order, matching the serial
+        // y-then-x loop exactly.
+        scratch.candidates.clear();
+        {
+            let level_ref = &scratch.levels[level as usize];
+            let threshold = config.fast_threshold;
+            // Circle pixel positions as linear offsets into this level's
+            // row-major buffer, for the direct-indexing scan.
+            let circle_offsets: [isize; 16] =
+                FAST_CIRCLE.map(|(dx, dy)| (dy * width as i64 + dx) as isize);
+            let found = edgeis_parallel::par_collect_ranges(scan_rows, 8, |range| {
+                let mut out: Vec<(u32, u32, f32)> = Vec::new();
+                for y in (border + range.start as u32)..(border + range.end as u32) {
+                    if fast_paths {
+                        let data = level_ref.as_bytes();
+                        let row = y as usize * width as usize;
+                        for x in border..width - border {
+                            if let Some(resp) = fast9_response_fast(
+                                data,
+                                row + x as usize,
+                                threshold as i32,
+                                &circle_offsets,
+                            ) {
+                                out.push((x, y, resp));
+                            }
+                        }
+                    } else {
+                        for x in border..width - border {
+                            if let Some(resp) = fast9_response(level_ref, x, y, threshold) {
+                                out.push((x, y, resp));
+                            }
+                        }
+                    }
                 }
-            }
+                out
+            });
+            scratch.candidates.extend(found);
         }
+
         // Greedy NMS: strongest first, suppress a disc around each winner.
-        candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
-        let mut suppressed = vec![false; (level_img.width() * level_img.height()) as usize];
+        // Inherently sequential (each winner changes the suppression state
+        // seen by later candidates), so it stays serial; the stable sort
+        // keeps scan order among equal responses.
+        scratch
+            .candidates
+            .sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        let plane = (width * height) as usize;
+        let suppressed = &mut scratch.suppressed[..plane];
+        suppressed.fill(false);
         let r = config.nms_radius as i64;
-        let w = level_img.width() as i64;
-        let h = level_img.height() as i64;
-        for (x, y, resp) in candidates {
+        let w = width as i64;
+        let h = height as i64;
+        for &(x, y, resp) in &scratch.candidates {
             if suppressed[(y as i64 * w + x as i64) as usize] {
                 continue;
             }
@@ -239,23 +540,89 @@ pub fn detect_orb(img: &GrayImage, config: &OrbConfig) -> (Vec<Keypoint>, Vec<De
                     }
                 }
             }
-            let angle = orientation(&level_img, x, y, 7);
-            let desc = brief_descriptor(&level_img, x as f64, y as f64, angle, &pattern);
-            keypoints.push(Keypoint {
-                x: x as f64 * scale,
-                y: y as f64 * scale,
-                level,
-                response: resp,
-                angle,
-            });
-            descriptors.push(desc);
+            scratch.winners.push((x, y, resp, level));
         }
 
-        level_img = level_img.downsample_half();
-        scale *= 2.0;
+        if (level as usize) + 1 < n_levels {
+            let (built, rest) = scratch.levels.split_at_mut(level as usize + 1);
+            if fast_paths {
+                built[level as usize].downsample_half_fast_into(&mut rest[0]);
+            } else {
+                built[level as usize].downsample_half_into(&mut rest[0]);
+            }
+        }
     }
 
-    // Keep the strongest max_features across all levels.
+    // Keep the strongest max_features across all levels: the same stable
+    // response ranking the reference flow applies after computing every
+    // descriptor — hoisting it before the descriptor pass only skips work
+    // for keypoints that were going to be dropped anyway. The reference
+    // path (`use_fast_paths: false`) keeps the original order of
+    // operations — descriptors for every winner, selection last — so the
+    // perf harness baseline pays the pre-optimization cost.
+    scratch.selected.clear();
+    if fast_paths && scratch.winners.len() > config.max_features {
+        let mut order: Vec<usize> = (0..scratch.winners.len()).collect();
+        order.sort_by(|&a, &b| {
+            scratch.winners[b]
+                .2
+                .partial_cmp(&scratch.winners[a].2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        order.truncate(config.max_features);
+        order.sort_unstable();
+        scratch
+            .selected
+            .extend(order.iter().map(|&i| scratch.winners[i]));
+    } else {
+        scratch.selected.extend_from_slice(&scratch.winners);
+    }
+
+    // Pass 2: orientation + descriptor per selected keypoint is pure, so
+    // it parallelizes with an ordered merge.
+    let computed = {
+        let levels = &scratch.levels;
+        let pattern = &scratch.pattern;
+        edgeis_parallel::par_map(&scratch.selected, 4, |&(x, y, _, level)| {
+            let level_ref = &levels[level as usize];
+            if fast_paths {
+                let angle = orientation_fast(level_ref, x, y, 7);
+                let interior = x >= BRIEF_FAST_MARGIN
+                    && y >= BRIEF_FAST_MARGIN
+                    && x + BRIEF_FAST_MARGIN < level_ref.width()
+                    && y + BRIEF_FAST_MARGIN < level_ref.height();
+                let desc = if interior {
+                    brief_descriptor_fast(level_ref, x as f64, y as f64, angle, pattern)
+                } else {
+                    brief_descriptor(level_ref, x as f64, y as f64, angle, pattern)
+                };
+                (angle, desc)
+            } else {
+                let angle = orientation(level_ref, x, y, 7);
+                let desc = brief_descriptor(level_ref, x as f64, y as f64, angle, pattern);
+                (angle, desc)
+            }
+        })
+    };
+
+    let mut keypoints = Vec::with_capacity(scratch.selected.len());
+    let mut descriptors = Vec::with_capacity(scratch.selected.len());
+    for (&(x, y, resp, level), (angle, desc)) in scratch.selected.iter().zip(computed) {
+        // Powers of two are exact in f64, so this matches the reference
+        // flow's per-level `scale *= 2.0` accumulator bit for bit.
+        let scale = (1u64 << level) as f64;
+        keypoints.push(Keypoint {
+            x: x as f64 * scale,
+            y: y as f64 * scale,
+            level,
+            response: resp,
+            angle,
+        });
+        descriptors.push(desc);
+    }
+
+    // Reference path: selection was not hoisted, so apply it here after
+    // the full descriptor pass, exactly as the pre-optimization flow did.
     if keypoints.len() > config.max_features {
         let mut order: Vec<usize> = (0..keypoints.len()).collect();
         order.sort_by(|&a, &b| {
@@ -270,7 +637,6 @@ pub fn detect_orb(img: &GrayImage, config: &OrbConfig) -> (Vec<Keypoint>, Vec<De
         let descs = order.iter().map(|&i| descriptors[i]).collect();
         return (kps, descs);
     }
-
     (keypoints, descriptors)
 }
 
@@ -387,6 +753,51 @@ mod tests {
     }
 
     #[test]
+    fn fast_paths_off_detects_identically() {
+        // The direct-indexing scan/orientation/BRIEF fast paths must be
+        // bit-identical to the clamped reference implementations —
+        // keypoints, responses, angles and descriptor bits alike.
+        for phase in [0.0, 1.0, 3.0] {
+            let img = textured_image(160, 160, phase);
+            let fast = detect_orb(&img, &OrbConfig::default());
+            let slow = detect_orb(
+                &img,
+                &OrbConfig {
+                    use_fast_paths: false,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(fast, slow, "phase {phase}");
+        }
+    }
+
+    #[test]
+    fn fast_paths_identical_near_borders() {
+        // Keypoints between the 16 px scan border and the 23 px BRIEF
+        // margin exercise the clamped-sampler fallback; squares packed
+        // against the border put winners in that band.
+        let mut img = GrayImage::new(96, 96);
+        img.fill(30);
+        for &(sx, sy) in &[(17u32, 17u32), (70, 17), (17, 70), (70, 70), (44, 44)] {
+            for yy in sy..sy + 9 {
+                for xx in sx..sx + 9 {
+                    img.set(xx, yy, 210);
+                }
+            }
+        }
+        let fast = detect_orb(&img, &OrbConfig::default());
+        let slow = detect_orb(
+            &img,
+            &OrbConfig {
+                use_fast_paths: false,
+                ..Default::default()
+            },
+        );
+        assert!(!fast.0.is_empty(), "border fixture detected nothing");
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
     fn max_features_is_respected() {
         let img = textured_image(256, 256, 0.0);
         let cfg = OrbConfig {
@@ -407,6 +818,68 @@ mod tests {
         assert_eq!(k1.len(), k2.len());
         assert_eq!(d1, d2);
         assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn parallel_bit_identical_to_serial_across_seeds() {
+        // Satellite: every parallelized path must be bit-identical to the
+        // one-thread run, across several distinct inputs.
+        let cfg = OrbConfig::default();
+        for phase in [0.0, 1.0, 3.0] {
+            let img = textured_image(160, 160, phase);
+            let serial = edgeis_parallel::with_threads(1, || detect_orb(&img, &cfg));
+            for threads in [2usize, 4, 8] {
+                let par = edgeis_parallel::with_threads(threads, || detect_orb(&img, &cfg));
+                assert_eq!(serial.0, par.0, "keypoints differ at {threads} threads");
+                assert_eq!(serial.1, par.1, "descriptors differ at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_transparent() {
+        // The same scratch carried across frames of different content (and
+        // the pyramid buffers it retains) must not leak state into results.
+        let cfg = OrbConfig::default();
+        let mut scratch = OrbScratch::default();
+        for phase in [2.0, 0.0, 5.0] {
+            let img = textured_image(144, 144, phase);
+            let reused = detect_orb_with_scratch(&img, &cfg, &mut scratch);
+            let fresh = detect_orb(&img, &cfg);
+            assert_eq!(reused, fresh);
+        }
+        assert!(scratch.peak_bytes() > 0);
+    }
+
+    #[test]
+    fn capped_distance_exact_below_cap() {
+        let img = textured_image(96, 96, 0.0);
+        let (_, descs) = detect_orb(&img, &OrbConfig::default());
+        for a in descs.iter().take(8) {
+            for b in descs.iter().take(8) {
+                let full = a.distance(b);
+                assert_eq!(a.distance_capped(b, u32::MAX), full);
+                assert_eq!(a.distance_capped(b, full + 1), full);
+                assert!(a.distance_capped(b, full / 2) >= full / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn circular_run9_matches_longest_arc_exhaustively() {
+        // Exhaustive proof over all 2^16 masks that the shift-AND arc test
+        // agrees with the reference longest-run loop.
+        for mask in 0u32..=0xFFFF {
+            let mut flags = [false; 16];
+            for (i, f) in flags.iter_mut().enumerate() {
+                *f = (mask >> i) & 1 == 1;
+            }
+            assert_eq!(
+                has_circular_run9(mask as u16),
+                longest_arc(&flags) >= 9,
+                "mask {mask:04x}"
+            );
+        }
     }
 
     #[test]

@@ -125,42 +125,142 @@ impl GrayImage {
             + p11 * fx * fy
     }
 
+    /// Re-shapes the buffer to `width × height` without preserving
+    /// contents, reusing the existing allocation when large enough.
+    pub(crate) fn reset(&mut self, width: u32, height: u32) {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        self.width = width;
+        self.height = height;
+        self.data.clear();
+        self.data.resize((width * height) as usize, 0);
+    }
+
     /// Half-resolution downsample by 2×2 box averaging (pyramid level).
     pub fn downsample_half(&self) -> GrayImage {
+        let mut out = GrayImage::new(1, 1);
+        self.downsample_half_into(&mut out);
+        out
+    }
+
+    /// [`GrayImage::downsample_half`] into a reusable buffer. Output rows
+    /// are independent, so the work is row-striped across threads; the
+    /// integer math per pixel is unchanged, keeping results bit-identical
+    /// to the serial loop for any thread count.
+    pub fn downsample_half_into(&self, out: &mut GrayImage) {
         let w = (self.width / 2).max(1);
         let h = (self.height / 2).max(1);
-        let mut out = GrayImage::new(w, h);
-        for y in 0..h {
-            for x in 0..w {
-                let sx = (x * 2).min(self.width - 1);
+        out.reset(w, h);
+        let row_len = w as usize;
+        edgeis_parallel::par_rows_mut(&mut out.data, row_len, 32, |row0, stripe| {
+            for (dy, row) in stripe.chunks_mut(row_len).enumerate() {
+                let y = (row0 + dy) as u32;
                 let sy = (y * 2).min(self.height - 1);
-                let sx1 = (sx + 1).min(self.width - 1);
                 let sy1 = (sy + 1).min(self.height - 1);
-                let sum = self.get(sx, sy) as u32
-                    + self.get(sx1, sy) as u32
-                    + self.get(sx, sy1) as u32
-                    + self.get(sx1, sy1) as u32;
-                out.set(x, y, (sum / 4) as u8);
+                for (x, px) in row.iter_mut().enumerate() {
+                    let sx = (x as u32 * 2).min(self.width - 1);
+                    let sx1 = (sx + 1).min(self.width - 1);
+                    let sum = self.get(sx, sy) as u32
+                        + self.get(sx1, sy) as u32
+                        + self.get(sx, sy1) as u32
+                        + self.get(sx1, sy1) as u32;
+                    *px = (sum / 4) as u8;
+                }
             }
-        }
-        out
+        });
     }
 
     /// 3×3 box blur; approximates the smoothing applied before BRIEF tests.
     pub fn box_blur3(&self) -> GrayImage {
-        let mut out = GrayImage::new(self.width, self.height);
-        for y in 0..self.height as i64 {
-            for x in 0..self.width as i64 {
-                let mut sum = 0u32;
-                for dy in -1..=1 {
-                    for dx in -1..=1 {
-                        sum += self.get_clamped(x + dx, y + dy) as u32;
-                    }
-                }
-                out.set(x as u32, y as u32, (sum / 9) as u8);
-            }
-        }
+        let mut out = GrayImage::new(1, 1);
+        self.box_blur3_into(&mut out);
         out
+    }
+
+    /// [`GrayImage::box_blur3`] into a reusable buffer, row-striped across
+    /// threads (bit-identical to the serial loop for any thread count).
+    pub fn box_blur3_into(&self, out: &mut GrayImage) {
+        out.reset(self.width, self.height);
+        let row_len = self.width as usize;
+        edgeis_parallel::par_rows_mut(&mut out.data, row_len, 32, |row0, stripe| {
+            for (dy, row) in stripe.chunks_mut(row_len).enumerate() {
+                let y = (row0 + dy) as i64;
+                for (x, px) in row.iter_mut().enumerate() {
+                    let mut sum = 0u32;
+                    for ddy in -1..=1 {
+                        for ddx in -1..=1 {
+                            sum += self.get_clamped(x as i64 + ddx, y + ddy) as u32;
+                        }
+                    }
+                    *px = (sum / 9) as u8;
+                }
+            }
+        });
+    }
+
+    /// [`GrayImage::downsample_half_into`] with direct row indexing for
+    /// even dimensions (the edge clamps can only engage when a dimension is
+    /// odd, so those fall back to the reference loop). The u32 sums are the
+    /// same four pixels in the same integer arithmetic — bit-identical
+    /// output either way.
+    pub fn downsample_half_fast_into(&self, out: &mut GrayImage) {
+        if !self.width.is_multiple_of(2) || !self.height.is_multiple_of(2) || self.width < 2 || self.height < 2 {
+            return self.downsample_half_into(out);
+        }
+        let w = (self.width / 2) as usize;
+        let sw = self.width as usize;
+        let src = &self.data;
+        out.reset(self.width / 2, self.height / 2);
+        edgeis_parallel::par_rows_mut(&mut out.data, w, 32, |row0, stripe| {
+            for (dy, row) in stripe.chunks_mut(w).enumerate() {
+                let sy = (row0 + dy) * 2;
+                let r0 = &src[sy * sw..sy * sw + sw];
+                let r1 = &src[(sy + 1) * sw..(sy + 1) * sw + sw];
+                for (px, (a, b)) in row
+                    .iter_mut()
+                    .zip(r0.chunks_exact(2).zip(r1.chunks_exact(2)))
+                {
+                    let sum = a[0] as u32 + a[1] as u32 + b[0] as u32 + b[1] as u32;
+                    *px = (sum / 4) as u8;
+                }
+            }
+        });
+    }
+
+    /// [`GrayImage::box_blur3_into`] via per-row column sums: each output
+    /// row sums three clamped source rows column-wise, then each pixel sums
+    /// three adjacent (clamped) column sums. That is the same nine u8
+    /// values added in u32 — addition is commutative and associative, so
+    /// the `/ 9` result is bit-identical to the nine-load reference loop,
+    /// border clamping included.
+    pub fn box_blur3_fast_into(&self, out: &mut GrayImage) {
+        out.reset(self.width, self.height);
+        let w = self.width as usize;
+        let h = self.height as usize;
+        let src = &self.data;
+        edgeis_parallel::par_rows_mut(&mut out.data, w, 32, |row0, stripe| {
+            let mut colsum: Vec<u32> = vec![0; w];
+            for (dy, row) in stripe.chunks_mut(w).enumerate() {
+                let y = row0 + dy;
+                let ym = y.saturating_sub(1);
+                let yp = (y + 1).min(h - 1);
+                let ra = &src[ym * w..ym * w + w];
+                let rb = &src[y * w..y * w + w];
+                let rc = &src[yp * w..yp * w + w];
+                for (s, ((a, b), c)) in colsum
+                    .iter_mut()
+                    .zip(ra.iter().zip(rb.iter()).zip(rc.iter()))
+                {
+                    *s = *a as u32 + *b as u32 + *c as u32;
+                }
+                row[0] = ((colsum[0] + colsum[0] + colsum[1.min(w - 1)]) / 9) as u8;
+                for (x, win) in colsum.windows(3).enumerate() {
+                    row[x + 1] = ((win[0] + win[1] + win[2]) / 9) as u8;
+                }
+                if w > 1 {
+                    row[w - 1] = ((colsum[w - 2] + colsum[w - 1] + colsum[w - 1]) / 9) as u8;
+                }
+            }
+        });
     }
 
     /// Mean absolute Laplacian response inside a window — a simple
@@ -196,6 +296,44 @@ impl GrayImage {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn noise_image(w: u32, h: u32, seed: u32) -> GrayImage {
+        let mut img = GrayImage::new(w, h);
+        let mut state = seed | 1;
+        for y in 0..h {
+            for x in 0..w {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                img.set(x, y, (state >> 24) as u8);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn box_blur3_fast_matches_reference() {
+        // Odd, even and degenerate sizes; the column-sum formulation must
+        // reproduce the nine-load clamped loop byte for byte.
+        for (w, h) in [(17u32, 13u32), (32, 32), (1, 9), (9, 1), (2, 2)] {
+            let img = noise_image(w, h, w * 31 + h);
+            let slow = img.box_blur3();
+            let mut fast = GrayImage::new(1, 1);
+            img.box_blur3_fast_into(&mut fast);
+            assert_eq!(slow.as_bytes(), fast.as_bytes(), "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn downsample_half_fast_matches_reference() {
+        for (w, h) in [(16u32, 12u32), (17, 12), (16, 13), (3, 3), (2, 2)] {
+            let img = noise_image(w, h, w * 7 + h);
+            let slow = img.downsample_half();
+            let mut fast = GrayImage::new(1, 1);
+            img.downsample_half_fast_into(&mut fast);
+            assert_eq!(slow.width(), fast.width());
+            assert_eq!(slow.height(), fast.height());
+            assert_eq!(slow.as_bytes(), fast.as_bytes(), "{w}x{h}");
+        }
+    }
 
     #[test]
     fn new_is_black() {

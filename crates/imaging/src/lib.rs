@@ -29,9 +29,11 @@ pub mod tracker;
 
 pub use contour::{extract_contours, fill_polygon, Contour};
 pub use debug::{write_overlay_ppm, write_pgm};
-pub use features::{detect_orb, Descriptor, Keypoint, OrbConfig};
+pub use features::{
+    detect_orb, detect_orb_with_scratch, Descriptor, Keypoint, OrbConfig, OrbScratch,
+};
 pub use image::GrayImage;
 pub use integral::{gradient_energy, IntegralImage};
 pub use mask::{iou, LabelMap, Mask, RleMask};
-pub use matching::{match_descriptors, Match, MatchConfig};
+pub use matching::{match_descriptors, match_descriptors_spatial, Match, MatchConfig};
 pub use tracker::{CorrelationTracker, MotionVectorField};

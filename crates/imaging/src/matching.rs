@@ -24,6 +24,19 @@ pub struct MatchConfig {
     pub ratio: f32,
     /// Require the match to also be the best in the reverse direction.
     pub cross_check: bool,
+    /// Use the capped-Hamming early-out when scanning candidates. The match
+    /// set is identical either way (the cap only skips candidates that
+    /// cannot win), but on this 256-bit/4-word layout the extra branch
+    /// measures *slower* than the plain unrolled popcount sum — see
+    /// `results/BENCH_pipeline.json` history — so the default is the full
+    /// distance and the early-out stays available as a measured-and-
+    /// rejected opt-in.
+    pub use_capped_distance: bool,
+    /// Register-block the forward best-two scan (load each train
+    /// descriptor once per block of 8 queries). `false` runs the one-query-
+    /// at-a-time scalar scan — kept so the perf harness can measure the
+    /// pre-optimization matcher; the matches are identical either way.
+    pub use_blocked_scan: bool,
 }
 
 impl Default for MatchConfig {
@@ -32,16 +45,26 @@ impl Default for MatchConfig {
             max_distance: 64,
             ratio: 0.8,
             cross_check: true,
+            use_capped_distance: false,
+            use_blocked_scan: true,
         }
     }
 }
 
-fn best_two(query: &Descriptor, train: &[Descriptor]) -> Option<(usize, u32, u32)> {
+fn best_two(query: &Descriptor, train: &[Descriptor], capped: bool) -> Option<(usize, u32, u32)> {
     let mut best = None;
     let mut best_d = u32::MAX;
     let mut second_d = u32::MAX;
     for (j, t) in train.iter().enumerate() {
-        let d = query.distance(t);
+        // Early out: once the running sum reaches the current second-best,
+        // this candidate can update neither slot. Distances below
+        // `second_d` are still computed exactly, so the returned pair —
+        // and thus the ratio test — is unchanged.
+        let d = if capped {
+            query.distance_capped(t, second_d)
+        } else {
+            query.distance(t)
+        };
         if d < best_d {
             second_d = best_d;
             best_d = d;
@@ -53,45 +76,258 @@ fn best_two(query: &Descriptor, train: &[Descriptor]) -> Option<(usize, u32, u32
     best.map(|j| (j, best_d, second_d))
 }
 
+/// Forward best-two for a block of queries, register-blocked: each train
+/// descriptor is loaded once and compared against `B` queries before
+/// moving on, which keeps the train word in registers and runs `B`
+/// independent min-chains instead of one. Every query still sees every
+/// train descriptor in the same order with the same update rule, so the
+/// (best, best_d, second_d) triples are identical to the scalar scan.
+fn best_two_blocked(qs: &[Descriptor], train: &[Descriptor]) -> Vec<Option<(usize, u32, u32)>> {
+    const B: usize = 8;
+    let mut out = Vec::with_capacity(qs.len());
+    let mut chunks = qs.chunks_exact(B);
+    for chunk in &mut chunks {
+        let mut best = [usize::MAX; B];
+        let mut best_d = [u32::MAX; B];
+        let mut second_d = [u32::MAX; B];
+        for (j, t) in train.iter().enumerate() {
+            for (k, q) in chunk.iter().enumerate() {
+                let d = q.distance(t);
+                if d < best_d[k] {
+                    second_d[k] = best_d[k];
+                    best_d[k] = d;
+                    best[k] = j;
+                } else if d < second_d[k] {
+                    second_d[k] = d;
+                }
+            }
+        }
+        for k in 0..B {
+            out.push((best[k] != usize::MAX).then(|| (best[k], best_d[k], second_d[k])));
+        }
+    }
+    for q in chunks.remainder() {
+        out.push(best_two(q, train, false));
+    }
+    out
+}
+
+/// Applies the acceptance filters to a query's forward best-two result:
+/// absolute distance cap, Lowe ratio, optional cross-check.
+fn accept_match(
+    i: usize,
+    (j, d, d2): (usize, u32, u32),
+    query: &[Descriptor],
+    train: &[Descriptor],
+    config: &MatchConfig,
+) -> Option<Match> {
+    if d > config.max_distance {
+        return None;
+    }
+    if train.len() >= 2 && (d as f32) >= config.ratio * d2 as f32 {
+        return None;
+    }
+    if config.cross_check {
+        if let Some((i_back, _, _)) = best_two(&train[j], query, config.use_capped_distance) {
+            if i_back != i {
+                return None;
+            }
+        }
+    }
+    Some(Match {
+        query_idx: i,
+        train_idx: j,
+        distance: d,
+    })
+}
+
 /// Matches `query` descriptors against `train` descriptors.
 ///
 /// Applies, in order: absolute distance cap, Lowe ratio test (skipped when
 /// the train set has fewer than 2 entries), and an optional cross-check.
 /// Each returned match is unique in `query_idx`; with `cross_check` it is
 /// also unique in `train_idx`.
+///
+/// Queries are independent, so they run in parallel with an ordered merge;
+/// output is bit-identical to the serial loop for any thread count.
 pub fn match_descriptors(
     query: &[Descriptor],
     train: &[Descriptor],
     config: &MatchConfig,
 ) -> Vec<Match> {
-    let mut matches = Vec::new();
-    if train.is_empty() {
-        return matches;
+    if train.is_empty() || query.is_empty() {
+        return Vec::new();
     }
-    for (i, q) in query.iter().enumerate() {
-        let Some((j, d, d2)) = best_two(q, train) else {
-            continue;
+    edgeis_parallel::par_collect_ranges(query.len(), 16, |range| {
+        let qs = &query[range.clone()];
+        // The capped early-out depends on each query's running second-best,
+        // so it cannot be register-blocked; it takes the scalar scan.
+        let forward = if config.use_blocked_scan && !config.use_capped_distance {
+            best_two_blocked(qs, train)
+        } else {
+            qs.iter()
+                .map(|q| best_two(q, train, config.use_capped_distance))
+                .collect()
         };
-        if d > config.max_distance {
-            continue;
+        forward
+            .into_iter()
+            .enumerate()
+            .filter_map(|(k, fwd)| accept_match(range.start + k, fwd?, query, train, config))
+            .collect()
+    })
+}
+
+/// A uniform bucket grid over 2-D keypoint positions, used to restrict
+/// descriptor matching to spatially plausible candidates.
+#[derive(Debug, Clone)]
+struct CellIndex {
+    cell: f64,
+    x0: f64,
+    y0: f64,
+    cols: usize,
+    rows: usize,
+    buckets: Vec<Vec<u32>>,
+}
+
+impl CellIndex {
+    fn build(positions: &[(f64, f64)], cell: f64) -> Self {
+        debug_assert!(cell > 0.0);
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in positions {
+            min_x = min_x.min(x);
+            min_y = min_y.min(y);
+            max_x = max_x.max(x);
+            max_y = max_y.max(y);
         }
-        if train.len() >= 2 && (d as f32) >= config.ratio * d2 as f32 {
-            continue;
+        let cols = (((max_x - min_x) / cell).floor() as usize + 1).max(1);
+        let rows = (((max_y - min_y) / cell).floor() as usize + 1).max(1);
+        let mut buckets = vec![Vec::new(); cols * rows];
+        for (i, &(x, y)) in positions.iter().enumerate() {
+            let cx = (((x - min_x) / cell).floor() as usize).min(cols - 1);
+            let cy = (((y - min_y) / cell).floor() as usize).min(rows - 1);
+            buckets[cy * cols + cx].push(i as u32);
         }
-        if config.cross_check {
-            if let Some((i_back, _, _)) = best_two(&train[j], query) {
-                if i_back != i {
-                    continue;
-                }
+        Self {
+            cell,
+            x0: min_x,
+            y0: min_y,
+            cols,
+            rows,
+            buckets,
+        }
+    }
+
+    /// Appends indices of all points within cells overlapping the square
+    /// window of half-side `radius` around `(x, y)`, in ascending index
+    /// order (buckets are visited row-major and each bucket is sorted by
+    /// construction, so a final merge keeps the order deterministic).
+    fn candidates_within(&self, x: f64, y: f64, radius: f64, out: &mut Vec<u32>) {
+        out.clear();
+        let lo_cx = (((x - radius - self.x0) / self.cell).floor().max(0.0)) as usize;
+        let lo_cy = (((y - radius - self.y0) / self.cell).floor().max(0.0)) as usize;
+        let hi_cx = ((((x + radius - self.x0) / self.cell).floor()) as usize).min(self.cols - 1);
+        let hi_cy = ((((y + radius - self.y0) / self.cell).floor()) as usize).min(self.rows - 1);
+        if lo_cx > hi_cx || lo_cy > hi_cy {
+            return;
+        }
+        for cy in lo_cy..=hi_cy {
+            for cx in lo_cx..=hi_cx {
+                out.extend_from_slice(&self.buckets[cy * self.cols + cx]);
             }
         }
-        matches.push(Match {
-            query_idx: i,
-            train_idx: j,
-            distance: d,
-        });
+        out.sort_unstable();
     }
-    matches
+}
+
+/// Spatially-bucketed variant of [`match_descriptors`] for tracking-style
+/// workloads where corresponding keypoints are known to lie within
+/// `radius` pixels of each other (e.g. frame-to-frame matching at video
+/// rate).
+///
+/// Each query only scans train descriptors whose keypoint falls within a
+/// `radius`-sized window around the query keypoint; when fewer than two
+/// candidates are in the window the query falls back to the brute-force
+/// scan so the ratio test keeps its meaning. This is a different (stricter)
+/// matcher than [`match_descriptors`] — it is opt-in and NOT used by the
+/// default VO path, whose results must stay byte-stable.
+pub fn match_descriptors_spatial(
+    query: &[Descriptor],
+    query_pos: &[(f64, f64)],
+    train: &[Descriptor],
+    train_pos: &[(f64, f64)],
+    config: &MatchConfig,
+    radius: f64,
+) -> Vec<Match> {
+    assert_eq!(query.len(), query_pos.len(), "query positions mismatch");
+    assert_eq!(train.len(), train_pos.len(), "train positions mismatch");
+    assert!(radius > 0.0, "radius must be positive");
+    if train.is_empty() || query.is_empty() {
+        return Vec::new();
+    }
+    let train_index = CellIndex::build(train_pos, radius);
+    let query_index = CellIndex::build(query_pos, radius);
+
+    // Best-two restricted to `cands`; exact distances, same tie-breaking
+    // as the brute scan (lowest index wins) because `cands` is ascending.
+    let best_two_of = |q: &Descriptor, set: &[Descriptor], cands: &[u32]| {
+        let mut best = None;
+        let mut best_d = u32::MAX;
+        let mut second_d = u32::MAX;
+        for &j in cands {
+            let d = q.distance_capped(&set[j as usize], second_d);
+            if d < best_d {
+                second_d = best_d;
+                best_d = d;
+                best = Some(j as usize);
+            } else if d < second_d {
+                second_d = d;
+            }
+        }
+        best.map(|j| (j, best_d, second_d))
+    };
+
+    edgeis_parallel::par_collect_ranges(query.len(), 16, |range| {
+        let mut cands: Vec<u32> = Vec::new();
+        let mut back: Vec<u32> = Vec::new();
+        let mut out = Vec::new();
+        for i in range {
+            let (qx, qy) = query_pos[i];
+            train_index.candidates_within(qx, qy, radius, &mut cands);
+            let found = if cands.len() >= 2 {
+                best_two_of(&query[i], train, &cands)
+            } else {
+                best_two(&query[i], train, config.use_capped_distance)
+            };
+            let Some((j, d, d2)) = found else { continue };
+            if d > config.max_distance {
+                continue;
+            }
+            if train.len() >= 2 && (d as f32) >= config.ratio * d2 as f32 {
+                continue;
+            }
+            if config.cross_check {
+                let (tx, ty) = train_pos[j];
+                query_index.candidates_within(tx, ty, radius, &mut back);
+                let reverse = if back.len() >= 2 {
+                    best_two_of(&train[j], query, &back)
+                } else {
+                    best_two(&train[j], query, config.use_capped_distance)
+                };
+                if let Some((i_back, _, _)) = reverse {
+                    if i_back != i {
+                        continue;
+                    }
+                }
+            }
+            out.push(Match {
+                query_idx: i,
+                train_idx: j,
+                distance: d,
+            });
+        }
+        out
+    })
 }
 
 #[cfg(test)]
@@ -141,6 +377,26 @@ mod tests {
     }
 
     #[test]
+    fn uncapped_matcher_is_identical() {
+        for seed in [3u64, 17, 91] {
+            let train: Vec<Descriptor> = (seed..seed + 120).map(desc).collect();
+            let query: Vec<Descriptor> = (0..60)
+                .map(|i| flip_bits(&train[i * 2], i % 20))
+                .collect();
+            let capped = match_descriptors(&query, &train, &MatchConfig::default());
+            let plain = match_descriptors(
+                &query,
+                &train,
+                &MatchConfig {
+                    use_capped_distance: false,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(capped, plain, "seed {seed}");
+        }
+    }
+
+    #[test]
     fn distance_cap_rejects() {
         let train: Vec<Descriptor> = (0..5).map(desc).collect();
         let query = vec![flip_bits(&train[0], 100)];
@@ -161,6 +417,7 @@ mod tests {
             ratio: 0.5,
             cross_check: false,
             max_distance: 256,
+            ..Default::default()
         };
         assert!(match_descriptors(&query, &train, &cfg).is_empty());
     }
@@ -176,6 +433,7 @@ mod tests {
             cross_check: true,
             ratio: 1.0,
             max_distance: 256,
+            ..Default::default()
         };
         let m = match_descriptors(&[q0, q1], &train, &cfg);
         // Only q1 survives cross-check against t0.
@@ -197,5 +455,117 @@ mod tests {
         let query = vec![flip_bits(&train[0], 3)];
         let m = match_descriptors(&query, &train, &MatchConfig::default());
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn parallel_bit_identical_to_serial_across_seeds() {
+        let cfg = MatchConfig {
+            max_distance: 256,
+            ratio: 0.95,
+            cross_check: true,
+            ..Default::default()
+        };
+        for seed in [7u64, 1234, 987_654] {
+            let train: Vec<Descriptor> = (0..400).map(|i| desc(seed ^ i)).collect();
+            let query: Vec<Descriptor> = (0..300)
+                .map(|i| flip_bits(&train[(i * 7) % train.len()], i % 40))
+                .collect();
+            let serial =
+                edgeis_parallel::with_threads(1, || match_descriptors(&query, &train, &cfg));
+            for threads in [2usize, 4, 16] {
+                let par = edgeis_parallel::with_threads(threads, || {
+                    match_descriptors(&query, &train, &cfg)
+                });
+                assert_eq!(serial, par, "seed {seed}, threads {threads}");
+            }
+        }
+    }
+
+    fn grid_positions(n: usize, jitter: u64) -> Vec<(f64, f64)> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 32) as f64 * 10.0 + ((i as u64 ^ jitter) % 5) as f64;
+                let y = (i / 32) as f64 * 10.0 + (((i as u64 * 3) ^ jitter) % 5) as f64;
+                (x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spatial_with_covering_radius_equals_brute_force() {
+        // A window wide enough to cover every keypoint degrades the
+        // spatial matcher into the brute-force one, candidate-for-
+        // candidate (ascending index order preserves tie-breaking).
+        let train: Vec<Descriptor> = (0..120).map(desc).collect();
+        let query: Vec<Descriptor> = (0..90).map(|i| flip_bits(&train[i], i % 30)).collect();
+        let tp = grid_positions(train.len(), 1);
+        let qp = grid_positions(query.len(), 1);
+        let cfg = MatchConfig::default();
+        let brute = match_descriptors(&query, &train, &cfg);
+        let spatial = match_descriptors_spatial(&query, &qp, &train, &tp, &cfg, 1e6);
+        assert_eq!(brute, spatial);
+    }
+
+    #[test]
+    fn spatial_finds_shifted_neighbours() {
+        // Tracking scenario: train keypoints are the query keypoints
+        // shifted by 3 px with light descriptor noise; a 15 px window must
+        // recover every correspondence.
+        let query: Vec<Descriptor> = (0..200).map(desc).collect();
+        let qp = grid_positions(query.len(), 0);
+        let train: Vec<Descriptor> = query
+            .iter()
+            .enumerate()
+            .map(|(i, d)| flip_bits(d, i % 8))
+            .collect();
+        let tp: Vec<(f64, f64)> = qp.iter().map(|&(x, y)| (x + 3.0, y - 1.0)).collect();
+        let cfg = MatchConfig {
+            max_distance: 64,
+            ratio: 0.9,
+            cross_check: true,
+            ..Default::default()
+        };
+        let m = match_descriptors_spatial(&query, &qp, &train, &tp, &cfg, 15.0);
+        assert!(m.len() > 180, "only {} matches", m.len());
+        assert!(m.iter().all(|mm| mm.query_idx == mm.train_idx));
+    }
+
+    #[test]
+    fn spatial_parallel_bit_identical_to_serial() {
+        for seed in [3u64, 77, 4096] {
+            let train: Vec<Descriptor> = (0..300).map(|i| desc(seed ^ (i * 11))).collect();
+            let query: Vec<Descriptor> = (0..250)
+                .map(|i| flip_bits(&train[i % 300], i % 24))
+                .collect();
+            let tp = grid_positions(train.len(), seed);
+            let qp = grid_positions(query.len(), seed / 2);
+            let cfg = MatchConfig::default();
+            let serial = edgeis_parallel::with_threads(1, || {
+                match_descriptors_spatial(&query, &qp, &train, &tp, &cfg, 25.0)
+            });
+            for threads in [2usize, 8] {
+                let par = edgeis_parallel::with_threads(threads, || {
+                    match_descriptors_spatial(&query, &qp, &train, &tp, &cfg, 25.0)
+                });
+                assert_eq!(serial, par, "seed {seed}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_falls_back_when_window_is_sparse() {
+        // One isolated query far from every train keypoint still matches
+        // via the brute-force fallback.
+        let train: Vec<Descriptor> = (0..40).map(desc).collect();
+        let tp = grid_positions(train.len(), 2);
+        let query = vec![flip_bits(&train[17], 4)];
+        let qp = vec![(5000.0, 5000.0)];
+        let cfg = MatchConfig {
+            cross_check: false,
+            ..Default::default()
+        };
+        let m = match_descriptors_spatial(&query, &qp, &train, &tp, &cfg, 10.0);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].train_idx, 17);
     }
 }

@@ -9,8 +9,11 @@ use edgeis_geometry::{
     essential_from_fundamental, fundamental_eight_point, ransac, recover_pose, refine_pose,
     sampson_distance, triangulate_dlt, BaConfig, Camera, Observation, RansacConfig, Vec2, SE3,
 };
-use edgeis_imaging::{detect_orb, match_descriptors, LabelMap, Mask, MatchConfig, OrbConfig};
+use edgeis_imaging::{
+    detect_orb_with_scratch, match_descriptors, LabelMap, Mask, MatchConfig, OrbConfig, OrbScratch,
+};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Configuration of the whole VO stack.
 #[derive(Debug, Clone)]
@@ -62,6 +65,7 @@ impl Default for VoConfig {
                 max_distance: 80,
                 ratio: 0.85,
                 cross_check: false,
+                ..Default::default()
             },
             ransac: RansacConfig {
                 max_iterations: 150,
@@ -168,6 +172,14 @@ pub struct TrackOutput {
     /// Matched features whose map point is background (drives the camera
     /// pose solve).
     pub background_matches: usize,
+    /// Wall-clock spent in ORB detection this frame (milliseconds).
+    pub detect_ms: f64,
+    /// Wall-clock spent matching against the map (milliseconds).
+    pub match_ms: f64,
+    /// Wall-clock spent in camera-pose bundle adjustment (milliseconds).
+    pub ba_ms: f64,
+    /// Wall-clock spent on per-object pose + mask transfer (milliseconds).
+    pub transfer_ms: f64,
 }
 
 impl TrackOutput {
@@ -211,6 +223,7 @@ pub struct VisualOdometry {
     last_pose: SE3,
     last_annotated: Option<u64>,
     next_frame_id: u64,
+    orb_scratch: OrbScratch,
 }
 
 impl VisualOdometry {
@@ -227,7 +240,14 @@ impl VisualOdometry {
             last_pose: SE3::identity(),
             last_annotated: None,
             next_frame_id: 0,
+            orb_scratch: OrbScratch::default(),
         }
+    }
+
+    /// Peak detector-scratch footprint in bytes — the allocation proxy
+    /// reported by the perf harness.
+    pub fn scratch_peak_bytes(&self) -> usize {
+        self.orb_scratch.peak_bytes()
     }
 
     /// Whether the map is initialized and tracking.
@@ -257,7 +277,10 @@ impl VisualOdometry {
         let frame_id = self.next_frame_id;
         self.next_frame_id += 1;
 
-        let (keypoints, descriptors) = detect_orb(image, &self.config.orb);
+        let detect_start = Instant::now();
+        let (keypoints, descriptors) =
+            detect_orb_with_scratch(image, &self.config.orb, &mut self.orb_scratch);
+        let detect_ms = detect_start.elapsed().as_secs_f64() * 1e3;
         let mut frame = ProcessedFrame::new(frame_id, time, keypoints, descriptors);
         let features = frame.len();
 
@@ -270,9 +293,14 @@ impl VisualOdometry {
             features,
             matches: 0,
             background_matches: 0,
+            detect_ms,
+            match_ms: 0.0,
+            ba_ms: 0.0,
+            transfer_ms: 0.0,
         };
 
         if matches!(self.state, VoState::Tracking) && !self.map.is_empty() && features > 0 {
+            let match_start = Instant::now();
             let map_descs = self.map.descriptors();
             let mut matches =
                 match_descriptors(&frame.descriptors, &map_descs, &self.config.map_matching);
@@ -291,6 +319,7 @@ impl VisualOdometry {
                     None => false,
                 }
             });
+            output.match_ms = match_start.elapsed().as_secs_f64() * 1e3;
             output.matches = matches.len();
             for m in &matches {
                 // Persist the stable point *id*, not the index: cleanup
@@ -331,12 +360,14 @@ impl VisualOdometry {
                     })
                     .collect()
             };
+            let ba_start = Instant::now();
             let pose = if pose_obs.len() >= self.config.min_tracked_points {
                 refine_pose(&self.camera, &self.last_pose, &pose_obs, &self.config.ba)
                     .map(|r| r.pose)
             } else {
                 None
             };
+            output.ba_ms = ba_start.elapsed().as_secs_f64() * 1e3;
 
             if let Some(pose) = pose {
                 frame.pose = Some(pose);
@@ -344,11 +375,15 @@ impl VisualOdometry {
                 output.pose = Some(pose);
 
                 // Per-object poses (Eq. 6–7) and mask prediction (§III-C).
+                // The transfer stage covers per-object BA + contour
+                // reprojection (they are one loop in the paper's MAMT).
+                let transfer_start = Instant::now();
                 let labels: Vec<u16> = self.objects.keys().copied().collect();
                 for label in labels {
                     let track = self.track_object(label, &frame, &matches, &pose);
                     output.objects.push(track);
                 }
+                output.transfer_ms = transfer_start.elapsed().as_secs_f64() * 1e3;
 
                 // Grow the map continuously, like the paper's VO which
                 // "triangulates 3-D points in the newly observed areas ...
