@@ -1,0 +1,273 @@
+//! Fleet-scale edge-serving throughput bench.
+//!
+//! Sweeps fleet size × serving configuration on the shared edge and
+//! writes `results/BENCH_edge_serving.json`:
+//!
+//! - `serial_fifo` — the paper's single-tenant FIFO [`EdgeServer`]
+//!   (`MultiDeviceConfig::serving = None`), the incumbent every serving
+//!   lever is measured against.
+//! - `batch4` — one lane, cross-request batching up to 4.
+//! - `shard4` — four lanes with device affinity, no batching.
+//! - `full` — the default [`ServingConfig`]: 4 lanes × batch 4 +
+//!   guidance cache + deadline admission.
+//!
+//! Per cell: p50/p99 response round-trip (virtual clock, request send →
+//! response arrival), delivered-response throughput, shed rate, batch
+//! occupancy and cache hit rate. The headline is the p99 improvement of
+//! `full` over `serial_fifo` at 8 devices — the paper's field-deployment
+//! fleet size.
+//!
+//! `--smoke` runs a 2-device, 30-frame sanity sweep and writes nothing
+//! (the CI hook).
+
+use edgeis::metrics::percentile;
+use edgeis::multi::{run_multi_device_with_stats, MultiDeviceConfig};
+use edgeis::serving::ServingConfig;
+use std::fmt::Write as _;
+
+const SEED: u64 = 7;
+
+struct Cell {
+    config: &'static str,
+    devices: usize,
+    latency_samples: Vec<f64>,
+    queue_wait_samples: Vec<f64>,
+    responses: usize,
+    sim_seconds: f64,
+    mean_iou: f64,
+    shed_rate: f64,
+    batch_occupancy: f64,
+    cache_hit_rate: f64,
+}
+
+impl Cell {
+    fn p50(&self) -> f64 {
+        percentile(&self.latency_samples, 0.5)
+    }
+    fn p99(&self) -> f64 {
+        percentile(&self.latency_samples, 0.99)
+    }
+    fn throughput_rps(&self) -> f64 {
+        if self.sim_seconds <= 0.0 {
+            0.0
+        } else {
+            self.responses as f64 / self.sim_seconds
+        }
+    }
+    fn mean_queue_wait(&self) -> f64 {
+        if self.queue_wait_samples.is_empty() {
+            0.0
+        } else {
+            self.queue_wait_samples.iter().sum::<f64>() / self.queue_wait_samples.len() as f64
+        }
+    }
+}
+
+fn run_cell(
+    config_name: &'static str,
+    serving: Option<ServingConfig>,
+    devices: usize,
+    frames: usize,
+) -> Cell {
+    let config = MultiDeviceConfig {
+        devices,
+        frames,
+        seed: SEED,
+        serving,
+        ..Default::default()
+    };
+    let (reports, stats) =
+        run_multi_device_with_stats(edgeis_scene::datasets::indoor_simple, &config);
+    let latency_samples: Vec<f64> = reports
+        .iter()
+        .flat_map(|r| r.response_latency_samples())
+        .collect();
+    let queue_wait_samples: Vec<f64> = reports
+        .iter()
+        .flat_map(|r| r.edge_queue_wait_samples())
+        .collect();
+    let mean_iou =
+        reports.iter().map(|r| r.mean_iou()).sum::<f64>() / reports.len().max(1) as f64;
+    let (shed_rate, batch_occupancy, cache_hit_rate) = match &stats {
+        Some(s) => {
+            let attempts = s.served + s.sheds();
+            let shed_rate = if attempts == 0 {
+                0.0
+            } else {
+                s.sheds() as f64 / attempts as f64
+            };
+            (shed_rate, s.batch_occupancy(), s.cache_hit_rate())
+        }
+        None => {
+            // Serial backend: shed rejects are only visible as delivered
+            // shed responses on the mobile side.
+            let sheds: u64 = reports.iter().map(|r| r.resilience.shed_responses).sum();
+            let sent: usize = reports
+                .iter()
+                .flat_map(|r| r.records.iter())
+                .filter(|rec| rec.transmitted)
+                .count();
+            let attempts = sent.max(1) as f64;
+            (sheds as f64 / attempts, 0.0, 0.0)
+        }
+    };
+    Cell {
+        config: config_name,
+        devices,
+        responses: latency_samples.len(),
+        latency_samples,
+        queue_wait_samples,
+        sim_seconds: frames as f64 / config.fps,
+        mean_iou,
+        shed_rate,
+        batch_occupancy,
+        cache_hit_rate,
+    }
+}
+
+fn configs() -> Vec<(&'static str, Option<ServingConfig>)> {
+    let batch4 = ServingConfig {
+        lanes: 1,
+        max_batch: 4,
+        ..ServingConfig::default()
+    };
+    let shard4 = ServingConfig {
+        lanes: 4,
+        max_batch: 1,
+        batch_window_ms: 0.0,
+        ..ServingConfig::default()
+    };
+    vec![
+        ("serial_fifo", None),
+        ("batch4", Some(batch4)),
+        ("shard4", Some(shard4)),
+        ("full", Some(ServingConfig::default())),
+    ]
+}
+
+fn to_json(cells: &[Cell], devices: &[usize], frames: usize, headline: (f64, f64, f64)) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"workload\": {{\"scenario\": \"indoor_simple\", \"seed\": {SEED}, \
+         \"frames\": {frames}, \"fps\": 30.0, \"width\": 320, \"height\": 240}},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"devices_swept\": {:?},",
+        devices
+    );
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"config\": \"{}\", \"devices\": {}, \"responses\": {}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"throughput_rps\": {:.3}, \
+             \"mean_queue_wait_ms\": {:.3}, \"shed_rate\": {:.4}, \
+             \"batch_occupancy\": {:.3}, \"cache_hit_rate\": {:.4}, \
+             \"mean_iou\": {:.4}}}",
+            c.config,
+            c.devices,
+            c.responses,
+            c.p50(),
+            c.p99(),
+            c.throughput_rps(),
+            c.mean_queue_wait(),
+            c.shed_rate,
+            c.batch_occupancy,
+            c.cache_hit_rate,
+            c.mean_iou
+        );
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let (serial_p99, full_p99, speedup) = headline;
+    let _ = writeln!(out, "  \"serial_p99_ms_at_8_devices\": {serial_p99:.3},");
+    let _ = writeln!(out, "  \"full_p99_ms_at_8_devices\": {full_p99:.3},");
+    let _ = writeln!(out, "  \"p99_speedup_at_8_devices\": {speedup:.3}");
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (device_counts, frames): (Vec<usize>, usize) = if smoke {
+        (vec![2], 30)
+    } else {
+        (vec![1, 2, 4, 8, 16], 120)
+    };
+
+    println!(
+        "Edge-serving fleet profile — indoor_simple seed {SEED}, {frames} frames/device{}\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!(
+        "{:<12} {:>7} {:>9} {:>9} {:>9} {:>8} {:>7} {:>6} {:>6}",
+        "config", "devices", "p50", "p99", "thru", "q-wait", "shed", "batch", "cache"
+    );
+
+    let mut cells = Vec::new();
+    for &devices in &device_counts {
+        for (name, serving) in configs() {
+            let cell = run_cell(name, serving, devices, frames);
+            println!(
+                "{:<12} {:>7} {:>7.1}ms {:>7.1}ms {:>7.2}/s {:>6.1}ms {:>6.1}% {:>6.2} {:>5.1}%",
+                cell.config,
+                cell.devices,
+                cell.p50(),
+                cell.p99(),
+                cell.throughput_rps(),
+                cell.mean_queue_wait(),
+                cell.shed_rate * 100.0,
+                cell.batch_occupancy,
+                cell.cache_hit_rate * 100.0
+            );
+            cells.push(cell);
+        }
+    }
+
+    // Headline: p99 at the paper's field fleet size (8 devices on one
+    // edge), serving runtime vs the serial FIFO incumbent.
+    let headline_devices = if smoke { device_counts[0] } else { 8 };
+    let serial_p99 = cells
+        .iter()
+        .find(|c| c.config == "serial_fifo" && c.devices == headline_devices)
+        .map(Cell::p99)
+        .unwrap_or(0.0);
+    let full_p99 = cells
+        .iter()
+        .find(|c| c.config == "full" && c.devices == headline_devices)
+        .map(Cell::p99)
+        .unwrap_or(0.0);
+    let speedup = if full_p99 > 0.0 {
+        serial_p99 / full_p99
+    } else {
+        0.0
+    };
+    println!(
+        "\np99 @ {headline_devices} devices: serial {serial_p99:.1} ms -> full {full_p99:.1} ms \
+         ({speedup:.2}x)"
+    );
+
+    if smoke {
+        // CI sanity: every cell must have delivered something.
+        for c in &cells {
+            assert!(
+                c.responses > 0,
+                "smoke cell {}@{} delivered no responses",
+                c.config,
+                c.devices
+            );
+        }
+        println!("smoke OK ({} cells)", cells.len());
+        return;
+    }
+
+    let json = to_json(&cells, &device_counts, frames, (serial_p99, full_p99, speedup));
+    let path = "results/BENCH_edge_serving.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+}

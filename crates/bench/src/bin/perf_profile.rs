@@ -91,7 +91,10 @@ fn profile(label: &'static str, threads: usize, optimized: bool) -> ProfileRun {
         let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
         ProfileRun {
             label,
-            threads,
+            // Resolved inside the override scope: the count the workload
+            // actually ran with (the requested value after clamping), not
+            // whatever the caller's environment resolved to.
+            threads: edgeis_parallel::num_threads(),
             report,
             wall_ms,
             scratch_peak_bytes: system.scratch_peak_bytes(),

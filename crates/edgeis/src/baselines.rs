@@ -102,6 +102,7 @@ impl SegmentationSystem for PureMobileSystem {
             tx_bytes: 0,
             transmitted: false,
             stages: Default::default(),
+            ..Default::default()
         }
     }
 
@@ -236,6 +237,7 @@ impl SegmentationSystem for EaarSystem {
             tx_bytes,
             transmitted: transmit,
             stages: Default::default(),
+            ..Default::default()
         }
     }
 
@@ -366,6 +368,7 @@ impl SegmentationSystem for EdgeDuetSystem {
             tx_bytes,
             transmitted: transmit,
             stages: Default::default(),
+            ..Default::default()
         }
     }
 

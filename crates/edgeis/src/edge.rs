@@ -24,9 +24,12 @@ pub struct PendingResponse {
     pub stats: InferenceStats,
     /// Virtual time the response reaches the mobile device.
     pub arrive_ms: SimMs,
-    /// The edge shed this request (queue beyond its horizon) and returned
-    /// a cheap reject instead of results.
+    /// The edge shed this request (queue beyond its horizon or past its
+    /// admission deadline) and returned a cheap reject instead of results.
     pub shed: bool,
+    /// Virtual time the request waited in the edge queue before its GPU
+    /// work started (0 for shed rejects, which never queue), ms.
+    pub queue_wait_ms: f64,
 }
 
 impl PendingResponse {
@@ -162,6 +165,7 @@ impl EdgeServer {
                 stats: InferenceStats::default(),
                 arrive_ms: delivery.arrive_ms,
                 shed: true,
+                queue_wait_ms: 0.0,
             });
         }
 
@@ -195,6 +199,7 @@ impl EdgeServer {
             stats: result.stats,
             arrive_ms: delivery.arrive_ms,
             shed: false,
+            queue_wait_ms: start - arrival_ms,
         })
     }
 
@@ -217,7 +222,7 @@ impl EdgeServer {
 
 /// Deterministically damages a wire payload: a handful of byte flips at
 /// seeded positions (sometimes the header, sometimes the mask runs).
-fn corrupt_payload(payload: Bytes, rng: &mut StdRng) -> Bytes {
+pub(crate) fn corrupt_payload(payload: Bytes, rng: &mut StdRng) -> Bytes {
     let mut raw = payload.to_vec();
     if raw.is_empty() {
         return payload;
@@ -230,28 +235,50 @@ fn corrupt_payload(payload: Bytes, rng: &mut StdRng) -> Bytes {
     Bytes::from(raw)
 }
 
-/// A shareable handle to one edge server, so several mobile devices can
+/// The engine behind a [`SharedEdge`] handle: the paper's single-tenant
+/// FIFO server, or the batched/sharded serving runtime.
+#[derive(Debug)]
+enum EdgeBackend {
+    Serial(EdgeServer),
+    Serving(crate::serving::ServingRuntime),
+}
+
+/// A shareable handle to one edge node, so several mobile devices can
 /// contend for the same GPU (the paper's field study attaches 8 devices to
-/// a single Jetson AGX Xavier).
+/// a single Jetson AGX Xavier). The edge is either a serial FIFO
+/// [`EdgeServer`] or a [`crate::serving::ServingRuntime`] with
+/// cross-request batching, sharded lanes, guidance caching and admission
+/// control.
 #[derive(Debug, Clone)]
 pub struct SharedEdge {
-    inner: Arc<Mutex<EdgeServer>>,
+    inner: Arc<Mutex<EdgeBackend>>,
 }
 
 impl SharedEdge {
-    /// Wraps a server for sharing.
+    /// Wraps a serial FIFO server for sharing.
     pub fn new(server: EdgeServer) -> Self {
         Self {
-            inner: Arc::new(Mutex::new(server)),
+            inner: Arc::new(Mutex::new(EdgeBackend::Serial(server))),
         }
     }
 
-    /// Installs the edge fault model on the shared server.
-    pub fn set_faults(&self, faults: EdgeFaultConfig) {
-        self.inner.lock().set_faults(faults);
+    /// Wraps a serving runtime for sharing.
+    pub fn serving(runtime: crate::serving::ServingRuntime) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(EdgeBackend::Serving(runtime))),
+        }
     }
 
-    /// Submits a request through the shared server (FIFO across devices).
+    /// Installs the edge fault model on the shared backend.
+    pub fn set_faults(&self, faults: EdgeFaultConfig) {
+        match &mut *self.inner.lock() {
+            EdgeBackend::Serial(s) => s.set_faults(faults),
+            EdgeBackend::Serving(s) => s.set_faults(faults),
+        }
+    }
+
+    /// Submits a request with no device identity (single-device callers):
+    /// equivalent to [`Self::submit_from`] with device 0.
     pub fn submit(
         &self,
         frame_id: u64,
@@ -260,24 +287,69 @@ impl SharedEdge {
         arrival_ms: SimMs,
         link: &mut Link,
     ) -> Option<PendingResponse> {
-        self.inner
-            .lock()
-            .submit(frame_id, obs, guidance, arrival_ms, link)
+        self.submit_from(0, frame_id, obs, guidance, arrival_ms, link)
     }
 
-    /// When the server becomes free.
+    /// Submits a request from `device`. The serial backend serves FIFO
+    /// across devices; the serving backend uses the device for lane
+    /// affinity, per-request seeding and the guidance cache.
+    pub fn submit_from(
+        &self,
+        device: u64,
+        frame_id: u64,
+        obs: &FrameObservation,
+        guidance: Option<&Guidance>,
+        arrival_ms: SimMs,
+        link: &mut Link,
+    ) -> Option<PendingResponse> {
+        match &mut *self.inner.lock() {
+            EdgeBackend::Serial(s) => s.submit(frame_id, obs, guidance, arrival_ms, link),
+            EdgeBackend::Serving(s) => {
+                s.submit(device, frame_id, obs, guidance, arrival_ms, link)
+            }
+        }
+    }
+
+    /// When the edge next becomes free (any lane, for the serving
+    /// backend).
     pub fn busy_until(&self) -> SimMs {
-        self.inner.lock().busy_until()
+        match &*self.inner.lock() {
+            EdgeBackend::Serial(s) => s.busy_until(),
+            EdgeBackend::Serving(s) => s.busy_until(),
+        }
+    }
+
+    /// When `device`'s queue (its lane, for the serving backend) frees up.
+    pub fn busy_until_for(&self, device: u64) -> SimMs {
+        match &*self.inner.lock() {
+            EdgeBackend::Serial(s) => s.busy_until(),
+            EdgeBackend::Serving(s) => s.busy_until_for(device),
+        }
     }
 
     /// Requests lost to crash windows so far.
     pub fn crash_losses(&self) -> u64 {
-        self.inner.lock().crash_losses()
+        match &*self.inner.lock() {
+            EdgeBackend::Serial(s) => s.crash_losses(),
+            EdgeBackend::Serving(s) => s.crash_losses(),
+        }
     }
 
-    /// Requests shed for overload so far.
+    /// Requests shed so far (overload horizon, plus admission deadline for
+    /// the serving backend).
     pub fn shed_count(&self) -> u64 {
-        self.inner.lock().shed_count()
+        match &*self.inner.lock() {
+            EdgeBackend::Serial(s) => s.shed_count(),
+            EdgeBackend::Serving(s) => s.shed_count(),
+        }
+    }
+
+    /// Serving accounting (`None` for the serial backend).
+    pub fn serving_stats(&self) -> Option<crate::serving::ServingStats> {
+        match &*self.inner.lock() {
+            EdgeBackend::Serial(_) => None,
+            EdgeBackend::Serving(s) => Some(s.stats().clone()),
+        }
     }
 }
 

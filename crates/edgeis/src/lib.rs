@@ -39,11 +39,13 @@ pub mod metrics;
 pub mod multi;
 pub mod pipeline;
 pub mod resources;
+pub mod serving;
 pub mod system;
 pub mod wire;
 
 pub use cfrs::{CfrsConfig, CfrsDecision, CfrsPlanner};
-pub use edge::{EdgeFaultConfig, EdgeServer, PendingResponse};
+pub use edge::{EdgeFaultConfig, EdgeServer, PendingResponse, SharedEdge};
+pub use serving::{ServingConfig, ServingRuntime, ServingStats};
 pub use experiment::{run_system, run_system_with_faults, ExperimentConfig, FaultPlan, SystemKind};
 pub use metrics::{
     percentile, FrameRecord, Report, ResilienceStats, StageBreakdownMs, StageSummary,

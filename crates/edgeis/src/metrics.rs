@@ -106,6 +106,18 @@ pub struct FrameRecord {
     /// for reports written before this field existed).
     #[serde(default)]
     pub stages: StageBreakdownMs,
+    /// Virtual time a delivered edge response spent waiting in the edge
+    /// queue before its GPU work started, ms (worst response applied this
+    /// frame). `None` when no response arrived this frame. This is
+    /// simulated-clock time, so it lives beside — not inside — the
+    /// host-wall-clock [`Self::stages`] breakdown.
+    #[serde(default)]
+    pub edge_queue_wait_ms: Option<f64>,
+    /// Virtual request→response round-trip of a delivered edge response
+    /// (uplink + queue + inference + downlink), ms (worst response applied
+    /// this frame). `None` when no response arrived this frame.
+    #[serde(default)]
+    pub response_latency_ms: Option<f64>,
 }
 
 /// Resilience accounting: what the mobile-side policy did about faults.
@@ -334,6 +346,39 @@ impl Report {
         }
     }
 
+    /// Edge queue-wait samples of every frame that applied a response, ms.
+    pub fn edge_queue_wait_samples(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter_map(|r| r.edge_queue_wait_ms)
+            .collect()
+    }
+
+    /// Mean edge queue wait over frames that applied a response, ms.
+    pub fn mean_edge_queue_wait_ms(&self) -> f64 {
+        let s = self.edge_queue_wait_samples();
+        if s.is_empty() {
+            0.0
+        } else {
+            s.iter().sum::<f64>() / s.len() as f64
+        }
+    }
+
+    /// Request→response round-trip samples of every frame that applied a
+    /// response, ms.
+    pub fn response_latency_samples(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter_map(|r| r.response_latency_ms)
+            .collect()
+    }
+
+    /// Nearest-rank percentile of the response round-trip, ms (0 when no
+    /// responses were delivered).
+    pub fn response_latency_percentile(&self, q: f64) -> f64 {
+        percentile(&self.response_latency_samples(), q)
+    }
+
     /// Merges several runs (e.g. different seeds) into one pooled report.
     pub fn pooled(system: &str, scenario: &str, reports: &[Report]) -> Report {
         let mut resilience = ResilienceStats::default();
@@ -363,6 +408,8 @@ mod tests {
             transmitted: tx > 0,
             stale_frames: 0,
             stages: StageBreakdownMs::default(),
+            edge_queue_wait_ms: None,
+            response_latency_ms: None,
         }
     }
 
@@ -503,6 +550,27 @@ mod tests {
         assert_eq!(StageBreakdownMs::NAMES.len(), s.as_array().len());
         assert!((s.total_ms() - 28.0).abs() < 1e-12);
         assert_eq!(StageBreakdownMs::default().total_ms(), 0.0);
+    }
+
+    #[test]
+    fn edge_latency_aggregates_skip_frames_without_responses() {
+        let mut a = record(&[1.0], 10.0, 0);
+        a.edge_queue_wait_ms = Some(4.0);
+        a.response_latency_ms = Some(100.0);
+        let mut b = record(&[1.0], 10.0, 0);
+        b.edge_queue_wait_ms = Some(8.0);
+        b.response_latency_ms = Some(300.0);
+        // No response this frame: must not drag the means to zero.
+        let idle = record(&[1.0], 10.0, 0);
+        let r = report(vec![a, b, idle]);
+        assert_eq!(r.edge_queue_wait_samples().len(), 2);
+        assert!((r.mean_edge_queue_wait_ms() - 6.0).abs() < 1e-12);
+        assert_eq!(r.response_latency_samples(), vec![100.0, 300.0]);
+        assert_eq!(r.response_latency_percentile(0.5), 100.0);
+        assert_eq!(r.response_latency_percentile(0.99), 300.0);
+        let empty = report(vec![record(&[1.0], 0.0, 0)]);
+        assert_eq!(empty.mean_edge_queue_wait_ms(), 0.0);
+        assert_eq!(empty.response_latency_percentile(0.99), 0.0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::edge::{EdgeFaultConfig, EdgeServer, SharedEdge};
 use crate::metrics::{FrameRecord, Report, StageBreakdownMs};
 use crate::pipeline::class_map;
+use crate::serving::{ServingConfig, ServingRuntime, ServingStats};
 use crate::system::{EdgeIsConfig, EdgeIsSystem, FrameInput, SegmentationSystem};
 use edgeis_geometry::Camera;
 use edgeis_imaging::iou;
@@ -41,6 +42,10 @@ pub struct MultiDeviceConfig {
     pub link_faults: Option<FaultSchedule>,
     /// Edge-side fault model, installed on the shared server.
     pub edge_faults: Option<EdgeFaultConfig>,
+    /// Serving-runtime configuration for the shared edge. `None` keeps the
+    /// paper's serial FIFO [`EdgeServer`]; `Some` enables the batched /
+    /// sharded / cached / admission-controlled [`ServingRuntime`].
+    pub serving: Option<ServingConfig>,
 }
 
 impl Default for MultiDeviceConfig {
@@ -56,6 +61,7 @@ impl Default for MultiDeviceConfig {
             seed: 1,
             link_faults: None,
             edge_faults: None,
+            serving: None,
         }
     }
 }
@@ -67,12 +73,32 @@ pub fn run_multi_device<F>(make_world: F, config: &MultiDeviceConfig) -> Vec<Rep
 where
     F: Fn(u64) -> World,
 {
-    let shared = SharedEdge::new(EdgeServer::new(EdgeModel::new(
+    run_multi_device_with_stats(make_world, config).0
+}
+
+/// [`run_multi_device`], also returning the shared edge's serving
+/// accounting (`None` when the run used the serial FIFO backend).
+pub fn run_multi_device_with_stats<F>(
+    make_world: F,
+    config: &MultiDeviceConfig,
+) -> (Vec<Report>, Option<ServingStats>)
+where
+    F: Fn(u64) -> World,
+{
+    let model = EdgeModel::new(
         ModelKind::MaskRcnn,
         config.camera.width,
         config.camera.height,
         config.seed ^ 0x777,
-    )));
+    );
+    let shared = match &config.serving {
+        None => SharedEdge::new(EdgeServer::new(model)),
+        Some(serving) => SharedEdge::serving(ServingRuntime::new(
+            model,
+            config.seed ^ 0x777,
+            serving.clone(),
+        )),
+    };
     if let Some(edge_faults) = &config.edge_faults {
         shared.set_faults(edge_faults.clone());
     }
@@ -93,6 +119,7 @@ where
             let classes = class_map(&world);
             let sys_cfg = EdgeIsConfig::full(config.camera, config.seed + d as u64);
             let mut system = EdgeIsSystem::with_shared_edge(sys_cfg, config.link, shared.clone());
+            system.set_device_id(d as u64);
             if let Some(faults) = &config.link_faults {
                 system.install_link_faults(faults.reseeded(config.seed ^ ((d as u64) << 8)));
             }
@@ -122,17 +149,25 @@ where
                 classes: &dev.classes,
             };
 
-            let (mobile_ms, tx_bytes, transmitted, stages) = if dev.backlog >= interval {
-                dev.backlog -= interval;
-                dev.stale += 1;
-                (interval, 0, false, StageBreakdownMs::default())
-            } else {
-                let out = dev.system.process_frame(&input, now);
-                dev.backlog = (dev.backlog + out.mobile_ms - interval).max(0.0);
-                dev.last_masks = out.masks;
-                dev.stale = 0;
-                (out.mobile_ms, out.tx_bytes, out.transmitted, out.stages)
-            };
+            let (mobile_ms, tx_bytes, transmitted, stages, edge_queue_wait_ms, response_latency_ms) =
+                if dev.backlog >= interval {
+                    dev.backlog -= interval;
+                    dev.stale += 1;
+                    (interval, 0, false, StageBreakdownMs::default(), None, None)
+                } else {
+                    let out = dev.system.process_frame(&input, now);
+                    dev.backlog = (dev.backlog + out.mobile_ms - interval).max(0.0);
+                    dev.last_masks = out.masks;
+                    dev.stale = 0;
+                    (
+                        out.mobile_ms,
+                        out.tx_bytes,
+                        out.transmitted,
+                        out.stages,
+                        out.edge_queue_wait_ms,
+                        out.response_latency_ms,
+                    )
+                };
 
             let mut ious = Vec::new();
             if i >= config.warmup_frames {
@@ -159,11 +194,13 @@ where
                 transmitted,
                 stale_frames: dev.stale,
                 stages,
+                edge_queue_wait_ms,
+                response_latency_ms,
             });
         }
     }
 
-    devices
+    let reports = devices
         .into_iter()
         .enumerate()
         .map(|(d, dev)| Report {
@@ -172,7 +209,8 @@ where
             records: dev.records,
             resilience: dev.system.resilience_stats().cloned().unwrap_or_default(),
         })
-        .collect()
+        .collect();
+    (reports, shared.serving_stats())
 }
 
 #[cfg(test)]
@@ -207,6 +245,44 @@ mod tests {
         // Four devices on one TX2-class edge saturate the GPU queue; the
         // admission control must keep the fleet degraded-but-functional.
         assert!(fleet_iou > 0.2, "fleet collapsed: {fleet_iou:.3}");
+    }
+
+    #[test]
+    fn serving_backend_keeps_fleet_functional_and_reports_stats() {
+        let serial = MultiDeviceConfig {
+            devices: 4,
+            frames: 90,
+            ..Default::default()
+        };
+        let serving = MultiDeviceConfig {
+            serving: Some(ServingConfig::default()),
+            ..serial.clone()
+        };
+        let (serial_reports, serial_stats) =
+            run_multi_device_with_stats(datasets::indoor_simple, &serial);
+        let (serving_reports, serving_stats) =
+            run_multi_device_with_stats(datasets::indoor_simple, &serving);
+        assert!(serial_stats.is_none(), "serial backend has no serving stats");
+        let stats = serving_stats.expect("serving backend must report stats");
+        assert!(stats.served > 0, "nothing was served");
+
+        // The serving runtime must not cost accuracy relative to the
+        // serial FIFO under the same contention.
+        let serial_iou: f64 =
+            serial_reports.iter().map(|r| r.mean_iou()).sum::<f64>() / serial_reports.len() as f64;
+        let serving_iou: f64 = serving_reports.iter().map(|r| r.mean_iou()).sum::<f64>()
+            / serving_reports.len() as f64;
+        assert!(
+            serving_iou > serial_iou - 0.05,
+            "serving backend lost accuracy: {serving_iou:.3} vs serial {serial_iou:.3}"
+        );
+        // The latency observability must flow end to end: some frame in a
+        // contended run carries a response round-trip.
+        let samples: usize = serving_reports
+            .iter()
+            .map(|r| r.response_latency_samples().len())
+            .sum();
+        assert!(samples > 0, "no response latency ever recorded");
     }
 
     #[test]

@@ -72,17 +72,25 @@ pub fn run_pipeline(
         // past the camera interval, the device is still busy — this frame
         // is dropped and the previous masks are re-rendered (the paper's
         // "delayed mask rendering on a later frame").
-        let (mobile_ms, tx_bytes, transmitted, stages) = if backlog >= interval {
-            backlog -= interval;
-            stale += 1;
-            (interval, 0, false, StageBreakdownMs::default())
-        } else {
-            let out = system.process_frame(&input, now);
-            backlog = (backlog + out.mobile_ms - interval).max(0.0);
-            last_masks = out.masks;
-            stale = 0;
-            (out.mobile_ms, out.tx_bytes, out.transmitted, out.stages)
-        };
+        let (mobile_ms, tx_bytes, transmitted, stages, edge_queue_wait_ms, response_latency_ms) =
+            if backlog >= interval {
+                backlog -= interval;
+                stale += 1;
+                (interval, 0, false, StageBreakdownMs::default(), None, None)
+            } else {
+                let out = system.process_frame(&input, now);
+                backlog = (backlog + out.mobile_ms - interval).max(0.0);
+                last_masks = out.masks;
+                stale = 0;
+                (
+                    out.mobile_ms,
+                    out.tx_bytes,
+                    out.transmitted,
+                    out.stages,
+                    out.edge_queue_wait_ms,
+                    out.response_latency_ms,
+                )
+            };
         let rendered = &last_masks;
 
         // Score: every sufficiently visible ground-truth instance
@@ -112,6 +120,8 @@ pub fn run_pipeline(
             transmitted,
             stale_frames: stale,
             stages,
+            edge_queue_wait_ms,
+            response_latency_ms,
         });
     }
 

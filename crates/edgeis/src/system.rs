@@ -55,6 +55,12 @@ pub struct FrameOutput {
     /// Measured wall-clock per pipeline stage (host time, for the perf
     /// profile; all zero for systems without instrumentation).
     pub stages: StageBreakdownMs,
+    /// Virtual time the worst edge response delivered this frame waited in
+    /// the edge queue, ms (`None` when no response arrived).
+    pub edge_queue_wait_ms: Option<f64>,
+    /// Virtual request→response round-trip of the worst edge response
+    /// delivered this frame, ms (`None` when no response arrived).
+    pub response_latency_ms: Option<f64>,
 }
 
 /// A mobile+edge segmentation system under test.
@@ -249,6 +255,8 @@ enum MobileTracker {
 /// `None` (uplink lost, edge crashed, downlink dropped) only manifests
 /// when the deadline expires.
 struct InFlight {
+    /// When the request left the device (response latency baseline).
+    sent_ms: SimMs,
     /// When the device gives up waiting.
     deadline_ms: SimMs,
     /// The response travelling back, if any ever will.
@@ -274,6 +282,9 @@ pub struct EdgeIsSystem {
     /// Transmissions issued so far (drives periodic full scans in
     /// continuous mode).
     tx_count: u64,
+    /// Identity on a shared edge: lane affinity, per-request seeding and
+    /// the guidance cache key all hang off this (0 for solo runs).
+    device_id: u64,
     // --- Resilience state (see DESIGN.md). ---
     health: LinkHealth,
     consecutive_timeouts: u32,
@@ -329,6 +340,7 @@ impl EdgeIsSystem {
             ledger: ResourceLedger::new(config.resources),
             last_seen: BTreeMap::new(),
             tx_count: 0,
+            device_id: 0,
             health: LinkHealth::Healthy,
             consecutive_timeouts: 0,
             retry_pending: false,
@@ -351,6 +363,12 @@ impl EdgeIsSystem {
         let mut sys = Self::new(config, link_kind);
         sys.server = server;
         sys
+    }
+
+    /// Sets this device's identity on the shared edge (lane affinity,
+    /// per-request seeding, guidance cache key).
+    pub fn set_device_id(&mut self, device: u64) {
+        self.device_id = device;
     }
 
     /// Installs a scripted link fault schedule (outages, drops, spikes,
@@ -479,16 +497,20 @@ impl EdgeIsSystem {
         self.pending.iter().filter(|i| !i.timed_out).count()
     }
 
-    fn deliver_responses(&mut self, now: SimMs) {
+    /// Drains arrived responses into the tracker. Returns `(queue_wait,
+    /// round_trip)` of the worst (largest round-trip) non-shed response
+    /// delivered this call, in virtual ms — the per-frame edge-latency
+    /// observability the serving bench aggregates.
+    fn deliver_responses(&mut self, now: SimMs) -> (Option<f64>, Option<f64>) {
         let enabled = self.config.resilience.enabled;
         let mut keep: Vec<InFlight> = Vec::new();
-        let mut arrived: Vec<(PendingResponse, bool)> = Vec::new();
+        let mut arrived: Vec<(PendingResponse, bool, SimMs)> = Vec::new();
         let mut failures = 0u32;
         for mut inf in self.pending.drain(..) {
             if inf.response.as_ref().is_some_and(|r| r.arrive_ms <= now) {
                 let resp = inf.response.take().expect("checked above");
                 let late = inf.timed_out || resp.arrive_ms > inf.deadline_ms;
-                arrived.push((resp, late));
+                arrived.push((resp, late, inf.sent_ms));
                 continue;
             }
             if now >= inf.deadline_ms && !inf.timed_out {
@@ -506,12 +528,17 @@ impl EdgeIsSystem {
         }
         self.pending = keep;
 
-        for (resp, late) in arrived {
+        let mut worst: Option<(f64, f64)> = None;
+        for (resp, late, sent_ms) in arrived {
             if resp.shed {
                 // The edge rejected the request for overload; the link is
                 // fine, so this is not an outage signal.
                 self.stats.shed_responses += 1;
                 continue;
+            }
+            let round_trip = resp.arrive_ms - sent_ms;
+            if worst.is_none_or(|(_, rt)| round_trip > rt) {
+                worst = Some((resp.queue_wait_ms, round_trip));
             }
             match resp.decode() {
                 Err(_) => {
@@ -535,6 +562,7 @@ impl EdgeIsSystem {
         }
 
         self.note_failures(failures, now);
+        (worst.map(|(qw, _)| qw), worst.map(|(_, rt)| rt))
     }
 
     /// While in `Outage`: probe the link; on success switch to
@@ -576,7 +604,7 @@ impl SegmentationSystem for EdgeIsSystem {
     fn process_frame(&mut self, input: &FrameInput<'_>, now: SimMs) -> FrameOutput {
         let mut stages = StageBreakdownMs::default();
         let decode_start = Instant::now();
-        self.deliver_responses(now);
+        let (edge_queue_wait_ms, response_latency_ms) = self.deliver_responses(now);
         stages.decode_apply = elapsed_ms(decode_start);
         self.probe_if_outage(now);
 
@@ -705,8 +733,8 @@ impl SegmentationSystem for EdgeIsSystem {
         // inside a backoff window; owed recovery keyframes and retries go
         // out before regular planner traffic.
         let res_enabled = self.config.resilience.enabled;
-        let edge_backlogged =
-            self.server.busy_until() > now + self.config.resilience.edge_backlog_horizon_ms;
+        let edge_backlogged = self.server.busy_until_for(self.device_id)
+            > now + self.config.resilience.edge_backlog_horizon_ms;
         let held = (res_enabled
             && (self.health == LinkHealth::Outage || now < self.next_tx_allowed_ms))
             || self.active_pending() >= self.config.resilience.max_pending
@@ -861,7 +889,8 @@ impl SegmentationSystem for EdgeIsSystem {
             {
                 None => None,
                 Some(delivery) if delivery.corrupted => None,
-                Some(delivery) => self.server.submit(
+                Some(delivery) => self.server.submit_from(
+                    self.device_id,
                     vo_frame_id,
                     &obs,
                     guidance.as_ref().filter(|g| !g.is_empty()),
@@ -871,6 +900,7 @@ impl SegmentationSystem for EdgeIsSystem {
             };
             stages.edge_infer = elapsed_ms(infer_start);
             self.pending.push(InFlight {
+                sent_ms,
                 deadline_ms,
                 response,
                 timed_out: false,
@@ -885,6 +915,8 @@ impl SegmentationSystem for EdgeIsSystem {
             tx_bytes,
             transmitted: transmit,
             stages,
+            edge_queue_wait_ms,
+            response_latency_ms,
         }
     }
 

@@ -93,6 +93,99 @@ proptest! {
         prop_assert!(result.is_err(), "truncation to {cut} bytes decoded");
     }
 
+    /// A batch worth of per-request responses (what the serving runtime
+    /// emits for one coalesced GPU pass) round-trips independently: each
+    /// response decodes to its own frame id and detections, with no
+    /// cross-talk between the messages of one batch.
+    #[test]
+    fn batched_responses_roundtrip_independently(
+        seed in 0u64..u64::MAX,
+        batch in 1usize..8,
+        dets_per in 1usize..5,
+    ) {
+        let batch_payloads: Vec<_> = (0..batch)
+            .map(|member| {
+                let dets: Vec<Detection> = (0..dets_per)
+                    .map(|i| detection_from(
+                        seed ^ (member as u64) << 32 ^ i as u64,
+                        (member * dets_per + i) as u16 + 1,
+                    ))
+                    .collect();
+                (member as u64 + 100, encode_response(member as u64 + 100, &dets), dets)
+            })
+            .collect();
+        for (frame_id, payload, dets) in &batch_payloads {
+            let (got_id, decoded) = decode_response(payload.clone()).expect("member decodes");
+            prop_assert_eq!(got_id, *frame_id);
+            prop_assert_eq!(decoded.len(), dets.len());
+            for (a, b) in dets.iter().zip(decoded.iter()) {
+                prop_assert_eq!(a.instance, b.instance);
+                prop_assert_eq!(&a.mask, &b.mask);
+            }
+        }
+    }
+
+    /// Truncation exactly at a detection boundary is still rejected: the
+    /// header's detection count promises more records than the payload
+    /// carries, and the decoder must notice rather than return a short
+    /// (silently lossy) result.
+    #[test]
+    fn truncation_at_detection_boundaries_is_rejected(
+        seed in 0u64..u64::MAX,
+        n in 2usize..6,
+    ) {
+        let dets: Vec<Detection> =
+            (0..n).map(|i| detection_from(seed ^ i as u64, i as u16 + 1)).collect();
+        let full = encode_response(7, &dets);
+        for i in 0..n {
+            // The byte length of the same message with only the first i
+            // detections IS the boundary offset of detection i in `full`
+            // (identical header size, record-after-record layout).
+            let boundary = encode_response(7, &dets[..i]).len();
+            prop_assert!(boundary < full.len());
+            let result = decode_response(full.slice(0..boundary));
+            prop_assert!(
+                result.is_err(),
+                "truncation at detection {i} boundary ({boundary} bytes) decoded"
+            );
+        }
+    }
+
+    /// Corruption confined to one detection's byte span never panics, and
+    /// when the decoder still accepts the message, the *other* detections
+    /// come back untouched — a flip in member `k`'s record cannot bleed
+    /// into its neighbours.
+    #[test]
+    fn per_detection_corruption_does_not_bleed(
+        seed in 0u64..u64::MAX,
+        victim in 0usize..3,
+        offset_raw in 0usize..1_000_000,
+        bit in 0u8..8,
+    ) {
+        let n = 3usize;
+        let dets: Vec<Detection> =
+            (0..n).map(|i| detection_from(seed ^ i as u64, i as u16 + 1)).collect();
+        let full = encode_response(11, &dets);
+        let start = encode_response(11, &dets[..victim]).len();
+        let end = encode_response(11, &dets[..victim + 1]).len();
+        prop_assert!(start < end && end <= full.len());
+        let mut raw = full.to_vec();
+        let idx = start + offset_raw % (end - start);
+        raw[idx] ^= 1 << bit;
+        if let Ok((frame_id, decoded)) = decode_response(Bytes::from(raw)) {
+            prop_assert_eq!(frame_id, 11);
+            prop_assert_eq!(decoded.len(), n);
+            for (i, (a, b)) in dets.iter().zip(decoded.iter()).enumerate() {
+                if i == victim {
+                    continue;
+                }
+                prop_assert_eq!(a.instance, b.instance, "neighbour {} instance", i);
+                prop_assert_eq!(a.class_id, b.class_id, "neighbour {} class", i);
+                prop_assert_eq!(&a.mask, &b.mask, "neighbour {} mask", i);
+            }
+        }
+    }
+
     /// Single-bit flips anywhere in the payload either decode to an
     /// error or to a structurally valid message — never a panic. A flip
     /// that slips past framing must still yield masks whose RLE totals

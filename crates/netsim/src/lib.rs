@@ -419,6 +419,134 @@ impl Link {
     }
 }
 
+/// A fixed set of virtual service lanes (e.g. GPU streams on a shared
+/// edge) with per-lane FIFO occupancy and cumulative queue accounting on
+/// the virtual clock.
+///
+/// A lane is a one-at-a-time server: `occupy` starts service at
+/// `max(arrival, busy_until)` like [`Link::transmit`]'s direction queues,
+/// and `extend` stretches the current occupancy outward (a batch member
+/// joining an in-flight batch). The struct only does time bookkeeping —
+/// what "service" means (inference, serialization, …) is the caller's
+/// business.
+#[derive(Debug, Clone)]
+pub struct LaneSet {
+    busy_until: Vec<SimMs>,
+    served: Vec<u64>,
+    wait_ms: Vec<f64>,
+    busy_ms: Vec<f64>,
+}
+
+impl LaneSet {
+    /// Creates `n` idle lanes (`n` is clamped to at least 1).
+    pub fn new(n: usize) -> Self {
+        let n = n.max(1);
+        Self {
+            busy_until: vec![0.0; n],
+            served: vec![0; n],
+            wait_ms: vec![0.0; n],
+            busy_ms: vec![0.0; n],
+        }
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// Always false: `new` clamps to at least one lane.
+    pub fn is_empty(&self) -> bool {
+        self.busy_until.is_empty()
+    }
+
+    /// When `lane` frees up.
+    pub fn busy_until(&self, lane: usize) -> SimMs {
+        self.busy_until[lane]
+    }
+
+    /// FIFO-occupies `lane` for `service_ms`, starting no earlier than
+    /// `arrival`. Returns `(start, finish)`; the queue wait
+    /// `start - arrival` and the busy time are added to the lane's
+    /// cumulative accounting.
+    pub fn occupy(&mut self, lane: usize, arrival: SimMs, service_ms: f64) -> (SimMs, SimMs) {
+        let start = arrival.max(self.busy_until[lane]);
+        let finish = start + service_ms;
+        self.busy_until[lane] = finish;
+        self.served[lane] += 1;
+        self.wait_ms[lane] += start - arrival;
+        self.busy_ms[lane] += service_ms;
+        (start, finish)
+    }
+
+    /// Stretches `lane`'s current occupancy by `extra_ms` (a request
+    /// joining an in-flight batch), charging `wait_ms` of queue wait to
+    /// the joiner. Returns the new finish time.
+    pub fn extend(&mut self, lane: usize, extra_ms: f64, wait_ms: f64) -> SimMs {
+        self.busy_until[lane] += extra_ms;
+        self.served[lane] += 1;
+        self.wait_ms[lane] += wait_ms;
+        self.busy_ms[lane] += extra_ms;
+        self.busy_until[lane]
+    }
+
+    /// Raises every lane's horizon to at least `until` (an edge crash
+    /// stalls all lanes until the restart completes).
+    pub fn bump_all(&mut self, until: SimMs) {
+        for b in &mut self.busy_until {
+            *b = b.max(until);
+        }
+    }
+
+    /// Requests served by `lane`.
+    pub fn served(&self, lane: usize) -> u64 {
+        self.served[lane]
+    }
+
+    /// Requests served across all lanes.
+    pub fn total_served(&self) -> u64 {
+        self.served.iter().sum()
+    }
+
+    /// Cumulative queue wait endured by requests on `lane`, ms.
+    pub fn queue_wait_ms(&self, lane: usize) -> f64 {
+        self.wait_ms[lane]
+    }
+
+    /// Cumulative queue wait across all lanes, ms.
+    pub fn total_queue_wait_ms(&self) -> f64 {
+        self.wait_ms.iter().sum()
+    }
+
+    /// Cumulative service time charged to `lane`, ms.
+    pub fn busy_ms(&self, lane: usize) -> f64 {
+        self.busy_ms[lane]
+    }
+
+    /// Cumulative service time across all lanes, ms.
+    pub fn total_busy_ms(&self) -> f64 {
+        self.busy_ms.iter().sum()
+    }
+
+    /// Mean lane utilization over `[0, horizon_ms]` of the virtual clock.
+    pub fn utilization(&self, horizon_ms: SimMs) -> f64 {
+        if horizon_ms <= 0.0 {
+            return 0.0;
+        }
+        self.total_busy_ms() / (horizon_ms * self.len() as f64)
+    }
+
+    /// The lane that frees up first (ties break to the lowest index).
+    pub fn least_loaded(&self) -> usize {
+        let mut best = 0;
+        for (i, &b) in self.busy_until.iter().enumerate().skip(1) {
+            if b < self.busy_until[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -613,6 +741,58 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn lanes_queue_independently() {
+        let mut lanes = LaneSet::new(2);
+        let (s0, f0) = lanes.occupy(0, 0.0, 100.0);
+        let (s1, f1) = lanes.occupy(1, 0.0, 100.0);
+        assert_eq!((s0, f0), (0.0, 100.0));
+        assert_eq!((s1, f1), (0.0, 100.0), "lane 1 must not queue behind 0");
+        let (s2, f2) = lanes.occupy(0, 10.0, 50.0);
+        assert_eq!((s2, f2), (100.0, 150.0));
+        assert!((lanes.queue_wait_ms(0) - 90.0).abs() < 1e-9);
+        assert_eq!(lanes.queue_wait_ms(1), 0.0);
+        assert_eq!(lanes.total_served(), 3);
+    }
+
+    #[test]
+    fn extend_stretches_current_occupancy() {
+        let mut lanes = LaneSet::new(1);
+        lanes.occupy(0, 0.0, 100.0);
+        let finish = lanes.extend(0, 30.0, 5.0);
+        assert!((finish - 130.0).abs() < 1e-9);
+        assert_eq!(lanes.served(0), 2);
+        assert!((lanes.busy_ms(0) - 130.0).abs() < 1e-9);
+        assert!((lanes.queue_wait_ms(0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bump_all_models_a_crash_stall() {
+        let mut lanes = LaneSet::new(3);
+        lanes.occupy(1, 0.0, 500.0);
+        lanes.bump_all(200.0);
+        assert_eq!(lanes.busy_until(0), 200.0);
+        assert_eq!(lanes.busy_until(1), 500.0, "longer occupancy not clipped");
+        assert_eq!(lanes.busy_until(2), 200.0);
+    }
+
+    #[test]
+    fn least_loaded_breaks_ties_low() {
+        let mut lanes = LaneSet::new(3);
+        assert_eq!(lanes.least_loaded(), 0);
+        lanes.occupy(0, 0.0, 100.0);
+        lanes.occupy(2, 0.0, 50.0);
+        assert_eq!(lanes.least_loaded(), 1);
+    }
+
+    #[test]
+    fn utilization_averages_over_lanes() {
+        let mut lanes = LaneSet::new(2);
+        lanes.occupy(0, 0.0, 500.0);
+        assert!((lanes.utilization(1000.0) - 0.25).abs() < 1e-9);
+        assert_eq!(lanes.utilization(0.0), 0.0);
     }
 
     #[test]

@@ -51,6 +51,37 @@ pub struct InferenceResult {
     pub stats: InferenceStats,
 }
 
+/// One request in a cross-request batch (see [`EdgeModel::infer_batch`]).
+#[derive(Debug)]
+pub struct BatchRequest<'a> {
+    /// What the edge observes for this request's frame.
+    pub obs: &'a FrameObservation,
+    /// Optional CIIA guidance for this request.
+    pub guidance: Option<&'a Guidance>,
+    /// Per-request RNG seed. Outputs are a pure function of
+    /// `(obs, guidance, seed)`, so the same request produces bit-identical
+    /// detections whether it runs alone, in any batch, or on any lane.
+    pub seed: u64,
+}
+
+/// Batched-inference accounting on top of the per-request results.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BatchStats {
+    /// Requests coalesced into the batch.
+    pub batch_size: usize,
+    /// Charged GPU time of the whole batch (sub-linear in size), ms.
+    pub total_ms: f64,
+    /// What the same requests would have cost run back-to-back, ms.
+    pub serial_ms: f64,
+}
+
+impl BatchStats {
+    /// Charged-time saving of batching over serial execution, ms.
+    pub fn saved_ms(&self) -> f64 {
+        (self.serial_ms - self.total_ms).max(0.0)
+    }
+}
+
 /// The edge-side model instance.
 #[derive(Debug)]
 pub struct EdgeModel {
@@ -105,6 +136,59 @@ impl EdgeModel {
         obs: &FrameObservation,
         guidance: Option<&Guidance>,
     ) -> InferenceResult {
+        let mut rng = std::mem::replace(&mut self.rng, StdRng::seed_from_u64(0));
+        let result = self.infer_with_rng(obs, guidance, &mut rng);
+        self.rng = rng;
+        result
+    }
+
+    /// Runs inference with all randomness drawn from `seed` instead of the
+    /// model's evolving RNG stream.
+    ///
+    /// This makes the output a pure function of `(obs, guidance, seed)` —
+    /// the property the batched serving runtime relies on so a request's
+    /// detections are bit-identical whether it is served alone, inside any
+    /// batch, or on any GPU lane.
+    pub fn infer_seeded(
+        &self,
+        obs: &FrameObservation,
+        guidance: Option<&Guidance>,
+        seed: u64,
+    ) -> InferenceResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.infer_with_rng(obs, guidance, &mut rng)
+    }
+
+    /// Runs a cross-request batch in one call.
+    ///
+    /// Per-request results are bit-identical to running each request
+    /// through [`Self::infer_seeded`] on its own; only the *charged* time
+    /// changes: the batch total follows the profile's sub-linear curve
+    /// ([`ModelProfile::batch_total_ms`]), amortizing the backbone across
+    /// the coalesced frames.
+    pub fn infer_batch(&self, requests: &[BatchRequest<'_>]) -> (Vec<InferenceResult>, BatchStats) {
+        let results: Vec<InferenceResult> = requests
+            .iter()
+            .map(|r| self.infer_seeded(r.obs, r.guidance, r.seed))
+            .collect();
+        let members: Vec<(f64, f64)> = results
+            .iter()
+            .map(|r| (r.stats.backbone_ms, r.stats.rpn_ms + r.stats.head_ms))
+            .collect();
+        let stats = BatchStats {
+            batch_size: results.len(),
+            total_ms: self.profile.batch_total_ms(&members),
+            serial_ms: results.iter().map(|r| r.stats.total_ms()).sum(),
+        };
+        (results, stats)
+    }
+
+    fn infer_with_rng(
+        &self,
+        obs: &FrameObservation,
+        guidance: Option<&Guidance>,
+        rng: &mut StdRng,
+    ) -> InferenceResult {
         // Ground-truth instance boxes (visible content of the frame).
         let mut instances: Vec<(u16, BBox, edgeis_imaging::Mask)> = Vec::new();
         for id in obs.labels.instance_ids() {
@@ -131,7 +215,7 @@ impl EdgeModel {
             };
             stats.anchors_evaluated = anchors.len();
             let proposals =
-                generate_proposals(&anchors, &gt_boxes, &self.proposal_config, &mut self.rng);
+                generate_proposals(&anchors, &gt_boxes, &self.proposal_config, rng);
             stats.proposals = proposals.len();
             stats.rois_before_prune = proposals.len();
 
@@ -210,7 +294,7 @@ impl EdgeModel {
             let q = obs.quality_of(inst);
             // Quality-dependent misses.
             let miss_p = (self.profile.miss_rate + (1.0 - q) * 0.35).clamp(0.0, 0.95);
-            if self.rng.random_bool(miss_p) {
+            if rng.random_bool(miss_p) {
                 continue;
             }
             let (_, _, gt_mask) = instances
@@ -219,13 +303,13 @@ impl EdgeModel {
                 .expect("instance exists");
             let effective_iou = self.profile.base_iou * (0.55 + 0.45 * q);
             let mask = if self.profile.produces_masks {
-                degrade_mask(gt_mask, effective_iou, &mut self.rng)
+                degrade_mask(gt_mask, effective_iou, rng)
             } else {
                 box_to_mask(self.width, self.height, &bbox)
             };
             let class = obs.classes.get(&inst).copied().unwrap_or(6);
             // Rare misclassification, more likely at low quality.
-            let class_id = if self.rng.random_bool(((1.0 - q) * 0.15).clamp(0.0, 0.5)) {
+            let class_id = if rng.random_bool(((1.0 - q) * 0.15).clamp(0.0, 0.5)) {
                 (class + 1) % 7
             } else {
                 class
@@ -392,6 +476,71 @@ mod tests {
         let mut model = EdgeModel::new(ModelKind::MaskRcnn, 320, 240, 9);
         let r = model.infer(&obs, None);
         assert!(r.detections.is_empty());
+    }
+
+    /// Detection fields compared bit-for-bit (no tolerance anywhere).
+    fn assert_detections_identical(a: &[Detection], b: &[Detection]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.instance, y.instance);
+            assert_eq!(x.class_id, y.class_id);
+            assert_eq!(x.confidence.to_bits(), y.confidence.to_bits());
+            assert_eq!(x.bbox.x0.to_bits(), y.bbox.x0.to_bits());
+            assert_eq!(x.bbox.y0.to_bits(), y.bbox.y0.to_bits());
+            assert_eq!(x.bbox.x1.to_bits(), y.bbox.x1.to_bits());
+            assert_eq!(x.bbox.y1.to_bits(), y.bbox.y1.to_bits());
+            assert_eq!(x.mask, y.mask);
+        }
+    }
+
+    #[test]
+    fn seeded_inference_is_a_pure_function() {
+        let obs = observation(320, 240, &[(1, 60, 60, 70, 70), (2, 200, 100, 60, 80)]);
+        let model = EdgeModel::new(ModelKind::MaskRcnn, 320, 240, 42);
+        let a = model.infer_seeded(&obs, None, 17);
+        let b = model.infer_seeded(&obs, None, 17);
+        assert_detections_identical(&a.detections, &b.detections);
+        assert_eq!(a.stats, b.stats);
+        // A different seed draws different noise (the rolls differ even if
+        // all objects happen to be detected both times).
+        let c = model.infer_seeded(&obs, None, 18);
+        assert_eq!(c.detections.len(), a.detections.len());
+    }
+
+    #[test]
+    fn batch_members_bit_identical_to_solo_runs() {
+        let obs1 = observation(320, 240, &[(1, 60, 60, 70, 70)]);
+        let obs2 = observation(320, 240, &[(2, 180, 90, 80, 90), (3, 30, 140, 60, 50)]);
+        let guidance = Guidance {
+            boxes: vec![GuidanceBox {
+                bbox: BBox::new(55.0, 55.0, 135.0, 135.0),
+                class_id: Some(1),
+                instance: Some(1),
+            }],
+        };
+        let model = EdgeModel::new(ModelKind::MaskRcnn, 320, 240, 7);
+        let requests = [
+            BatchRequest {
+                obs: &obs1,
+                guidance: Some(&guidance),
+                seed: 100,
+            },
+            BatchRequest {
+                obs: &obs2,
+                guidance: None,
+                seed: 101,
+            },
+        ];
+        let (results, stats) = model.infer_batch(&requests);
+        assert_eq!(stats.batch_size, 2);
+        for (req, res) in requests.iter().zip(results.iter()) {
+            let solo = model.infer_seeded(req.obs, req.guidance, req.seed);
+            assert_detections_identical(&solo.detections, &res.detections);
+        }
+        // Charged batch time is sub-linear; raw serial time is preserved
+        // for accounting.
+        assert!(stats.total_ms < stats.serial_ms);
+        assert!(stats.saved_ms() > 0.0);
     }
 
     #[test]

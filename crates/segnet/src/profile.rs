@@ -42,6 +42,34 @@ pub struct ModelProfile {
     pub head_ms_per_roi: f64,
     /// One-stage fixed head cost, ms (for YOLACT / YOLOv3 style models).
     pub fixed_head_ms: f64,
+    /// Cross-request batching: marginal backbone cost of each *additional*
+    /// frame in a batch, as a fraction of [`Self::backbone_ms`]. Batched
+    /// convolutions amortize weight fetch and kernel launch across the
+    /// batch, so this is well below 1 on a GPU (YolactEdge reports the
+    /// same effect for cross-frame redundancy); 1.0 means batching buys
+    /// nothing (e.g. the on-device model).
+    #[serde(default = "default_batch_marginal")]
+    pub batch_backbone_marginal: f64,
+    /// Marginal RPN+head cost of each *additional* request in a batch, as
+    /// a fraction of its unbatched RPN+head cost. Per-RoI work batches
+    /// less well than the dense backbone but still amortizes scheduling.
+    #[serde(default = "default_batch_marginal")]
+    pub batch_stage_marginal: f64,
+    /// Largest batch the edge can hold in GPU memory for this model.
+    #[serde(default = "default_max_batch")]
+    pub max_batch: usize,
+}
+
+// Referenced only from the serde-derived Deserialize impl, which the
+// dead-code lint does not count as a use.
+#[allow(dead_code)]
+fn default_batch_marginal() -> f64 {
+    1.0
+}
+
+#[allow(dead_code)]
+fn default_max_batch() -> usize {
+    1
 }
 
 impl ModelProfile {
@@ -67,6 +95,9 @@ impl ModelProfile {
                 rpn_ms_per_kanchor: 1.1,
                 head_ms_per_roi: 0.30,
                 fixed_head_ms: 0.0,
+                batch_backbone_marginal: 0.35,
+                batch_stage_marginal: 0.85,
+                max_batch: 8,
             },
             ModelKind::Yolact => Self {
                 kind,
@@ -78,6 +109,9 @@ impl ModelProfile {
                 rpn_ms_per_kanchor: 0.0,
                 head_ms_per_roi: 0.0,
                 fixed_head_ms: 50.0,
+                batch_backbone_marginal: 0.30,
+                batch_stage_marginal: 0.80,
+                max_batch: 16,
             },
             ModelKind::YoloV3 => Self {
                 kind,
@@ -89,9 +123,13 @@ impl ModelProfile {
                 rpn_ms_per_kanchor: 0.0,
                 head_ms_per_roi: 0.0,
                 fixed_head_ms: 8.0,
+                batch_backbone_marginal: 0.25,
+                batch_stage_marginal: 0.75,
+                max_batch: 32,
             },
             // On-device: Fig. 2a/9 — hundreds of ms per frame on a phone
-            // and markedly lower mask quality.
+            // and markedly lower mask quality. A phone NPU serves one
+            // stream; batching buys nothing.
             ModelKind::MobileLite => Self {
                 kind,
                 base_iou: 0.62,
@@ -102,8 +140,37 @@ impl ModelProfile {
                 rpn_ms_per_kanchor: 0.0,
                 head_ms_per_roi: 0.0,
                 fixed_head_ms: 160.0,
+                batch_backbone_marginal: 1.0,
+                batch_stage_marginal: 1.0,
+                max_batch: 1,
             },
         }
+    }
+
+    /// Charged GPU-lane occupancy of the `index`-th member (0-based) of a
+    /// cross-request batch, given the member's *unbatched* backbone and
+    /// RPN+head costs.
+    ///
+    /// The first member pays full price; every later member pays only the
+    /// marginal fractions, so the batch total is sub-linear in batch size
+    /// while per-member completions stay causally computable as members
+    /// join (member `i`'s completion never depends on members `> i`).
+    pub fn batched_member_ms(&self, index: usize, backbone_ms: f64, stage_ms: f64) -> f64 {
+        if index == 0 {
+            backbone_ms + stage_ms
+        } else {
+            backbone_ms * self.batch_backbone_marginal + stage_ms * self.batch_stage_marginal
+        }
+    }
+
+    /// Total charged GPU time of a batch whose members have the given
+    /// unbatched `(backbone_ms, rpn+head ms)` costs.
+    pub fn batch_total_ms(&self, members: &[(f64, f64)]) -> f64 {
+        members
+            .iter()
+            .enumerate()
+            .map(|(i, &(b, s))| self.batched_member_ms(i, b, s))
+            .sum()
     }
 
     /// Boundary-noise severity for [`crate::detect::degrade_mask`] that
@@ -158,6 +225,40 @@ mod tests {
     fn yolo_is_under_30ms() {
         let p = ModelProfile::of(ModelKind::YoloV3);
         assert!(p.backbone_ms + p.fixed_head_ms < 30.0);
+    }
+
+    #[test]
+    fn batch_first_member_pays_full_price() {
+        let p = ModelProfile::of(ModelKind::MaskRcnn);
+        assert_eq!(p.batched_member_ms(0, 110.0, 200.0), 310.0);
+    }
+
+    #[test]
+    fn batch_total_is_sublinear_and_monotone() {
+        let p = ModelProfile::of(ModelKind::MaskRcnn);
+        let member = (110.0, 200.0);
+        let mut prev = 0.0;
+        for batch in 1..=p.max_batch {
+            let members = vec![member; batch];
+            let total = p.batch_total_ms(&members);
+            let serial = batch as f64 * (member.0 + member.1);
+            assert!(total > prev, "batch {batch} total must grow");
+            if batch > 1 {
+                assert!(
+                    total < serial,
+                    "batch {batch}: {total} ms not below serial {serial} ms"
+                );
+            }
+            prev = total;
+        }
+    }
+
+    #[test]
+    fn mobile_profile_does_not_batch() {
+        let p = ModelProfile::of(ModelKind::MobileLite);
+        assert_eq!(p.max_batch, 1);
+        let total = p.batch_total_ms(&[(450.0, 160.0), (450.0, 160.0)]);
+        assert!((total - 2.0 * 610.0).abs() < 1e-9, "marginal must be 1.0");
     }
 
     #[test]
