@@ -86,8 +86,7 @@ fn run_cell(
         .iter()
         .flat_map(|r| r.edge_queue_wait_samples())
         .collect();
-    let mean_iou =
-        reports.iter().map(|r| r.mean_iou()).sum::<f64>() / reports.len().max(1) as f64;
+    let mean_iou = reports.iter().map(|r| r.mean_iou()).sum::<f64>() / reports.len().max(1) as f64;
     let (shed_rate, batch_occupancy, cache_hit_rate) = match &stats {
         Some(s) => {
             let attempts = s.served + s.sheds();
@@ -153,11 +152,7 @@ fn to_json(cells: &[Cell], devices: &[usize], frames: usize, headline: (f64, f64
         "  \"workload\": {{\"scenario\": \"indoor_simple\", \"seed\": {SEED}, \
          \"frames\": {frames}, \"fps\": 30.0, \"width\": 320, \"height\": 240}},"
     );
-    let _ = writeln!(
-        out,
-        "  \"devices_swept\": {:?},",
-        devices
-    );
+    let _ = writeln!(out, "  \"devices_swept\": {:?},", devices);
     out.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let _ = write!(
@@ -264,7 +259,12 @@ fn main() {
         return;
     }
 
-    let json = to_json(&cells, &device_counts, frames, (serial_p99, full_p99, speedup));
+    let json = to_json(
+        &cells,
+        &device_counts,
+        frames,
+        (serial_p99, full_p99, speedup),
+    );
     let path = "results/BENCH_edge_serving.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),

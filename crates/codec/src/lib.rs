@@ -393,11 +393,11 @@ mod tests {
             let grid = TileGrid::new(tile, 96, 80);
             let mut plan = TilePlan::uniform(grid, QualityLevel::Low);
             plan.raise(&[0, 3, 7], QualityLevel::High);
-            let serial = edgeis_parallel::with_threads(1, || encode(&frame, &plan));
-            for threads in [2usize, 4, 8] {
-                let par = edgeis_parallel::with_threads(threads, || encode(&frame, &plan));
-                assert_eq!(serial, par, "seed {seed}, threads {threads}");
-            }
+            edgeis_conformance::assert_parallel_matches_serial(
+                &format!("codec::encode seed {seed}"),
+                &[2, 4, 8],
+                || encode(&frame, &plan),
+            );
         }
     }
 

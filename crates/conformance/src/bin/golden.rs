@@ -1,0 +1,62 @@
+//! Golden-trace manager.
+//!
+//! ```text
+//! golden            # check every scenario against tests/golden/
+//! golden --bless    # (re)record every golden
+//! golden --bless single_cfrs   # re-record one scenario
+//! ```
+//!
+//! On a check failure the first diverging frame/field is printed and a
+//! structured report is written under `target/conformance/` (uploaded as
+//! a CI artifact).
+
+use edgeis_conformance::{
+    diff_canonical, golden_path, golden_scenarios, load_golden, save_golden,
+    write_divergence_report,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bless = args.iter().any(|a| a == "--bless");
+    let names: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let mut failed = false;
+    for scenario in golden_scenarios() {
+        if !names.is_empty() && !names.iter().any(|n| *n == scenario.name) {
+            continue;
+        }
+        let canonical = scenario.record().canonical_json();
+        if bless {
+            let path = save_golden(scenario.name, &canonical).expect("write golden");
+            println!(
+                "blessed {:<16} -> {} ({} bytes)",
+                scenario.name,
+                path.display(),
+                canonical.len()
+            );
+            continue;
+        }
+        match load_golden(scenario.name) {
+            None => {
+                failed = true;
+                println!(
+                    "MISSING {:<16} (expected {}; run with --bless)",
+                    scenario.name,
+                    golden_path(scenario.name).display()
+                );
+            }
+            Some(golden) => match diff_canonical("golden", &golden, "current", &canonical) {
+                None => println!("ok      {:<16}", scenario.name),
+                Some(d) => {
+                    failed = true;
+                    let report = write_divergence_report(scenario.name, "golden check", &d);
+                    println!("FAIL    {:<16} {d}", scenario.name);
+                    println!("        report: {}", report.display());
+                }
+            },
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

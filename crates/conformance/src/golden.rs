@@ -1,0 +1,59 @@
+//! Golden file storage: `tests/golden/<scenario>.json` at the repo root,
+//! regenerable with `cargo run -p edgeis-conformance --bin golden -- --bless`.
+
+use std::path::{Path, PathBuf};
+
+/// Repository root. Resolution order: `EDGEIS_GOLDEN_DIR`'s parent's
+/// parent (explicit override), the crate's manifest dir (under cargo),
+/// then walking up from the current directory looking for `Cargo.toml` +
+/// `crates/` (direct test-binary invocation).
+pub fn repo_root() -> PathBuf {
+    if let Ok(dir) = std::env::var("EDGEIS_GOLDEN_DIR") {
+        let p = PathBuf::from(dir);
+        if let Some(root) = p.parent().and_then(Path::parent) {
+            return root.to_path_buf();
+        }
+    }
+    if let Some(manifest) = option_env!("CARGO_MANIFEST_DIR") {
+        if let Some(root) = Path::new(manifest).parent().and_then(Path::parent) {
+            return root.to_path_buf();
+        }
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+/// Directory holding the golden traces.
+pub fn golden_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("EDGEIS_GOLDEN_DIR") {
+        return PathBuf::from(dir);
+    }
+    repo_root().join("tests/golden")
+}
+
+/// Path of one scenario's golden file.
+pub fn golden_path(name: &str) -> PathBuf {
+    golden_dir().join(format!("{name}.json"))
+}
+
+/// Loads a golden trace's canonical text, if present.
+pub fn load_golden(name: &str) -> Option<String> {
+    std::fs::read_to_string(golden_path(name)).ok()
+}
+
+/// Writes (blesses) a golden trace.
+pub fn save_golden(name: &str, canonical: &str) -> std::io::Result<PathBuf> {
+    let path = golden_path(name);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(&path, canonical)?;
+    Ok(path)
+}

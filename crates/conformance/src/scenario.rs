@@ -1,0 +1,107 @@
+//! Fixed scenarios the golden traces are recorded over.
+//!
+//! Each scenario is fully determined by its name: world seed, camera,
+//! link, fault plan and frame count are all pinned here, so a golden
+//! recorded today and a trace recorded after any refactor are comparable
+//! frame-by-frame.
+
+use crate::trace::Trace;
+use edgeis::multi::{run_multi_device, MultiDeviceConfig};
+use edgeis::pipeline::{class_map, run_pipeline, PipelineConfig};
+use edgeis::{EdgeIsConfig, EdgeIsSystem, ServingConfig};
+use edgeis_geometry::Camera;
+use edgeis_netsim::{FaultSchedule, LinkKind};
+use edgeis_scene::datasets;
+
+/// Shared camera model for every scenario.
+pub fn camera() -> Camera {
+    Camera::with_hfov(1.2, 320, 240)
+}
+
+/// Records a single-device run of the full edgeIS system, after letting
+/// `tweak` adjust the system configuration (fast-path toggles, ablation
+/// switches). The differential oracles call this with different tweaks
+/// and diff the results.
+pub fn record_single_with(
+    name: &str,
+    frames: usize,
+    seed: u64,
+    faults: Option<FaultSchedule>,
+    tweak: impl FnOnce(&mut EdgeIsConfig),
+) -> Trace {
+    let camera = camera();
+    let world = datasets::indoor_simple(seed);
+    let classes = class_map(&world);
+    let mut config = EdgeIsConfig::full(camera, seed);
+    tweak(&mut config);
+    let mut system = EdgeIsSystem::new(config, LinkKind::Wifi5);
+    if let Some(schedule) = faults {
+        system.install_link_faults(schedule);
+    }
+    let pipeline = PipelineConfig {
+        frames,
+        warmup_frames: 20,
+        ..Default::default()
+    };
+    let report = run_pipeline(&mut system, &world, &camera, &classes, &pipeline);
+    Trace::from_reports(name, &[report])
+}
+
+/// The response-drop fault window used by the `single_faulted` scenario:
+/// long enough to push the resilience policy through Degraded → Outage →
+/// Recovering within the scenario's 90 frames (3 s at 30 fps).
+pub fn faulted_schedule() -> FaultSchedule {
+    FaultSchedule::new(5).drop_responses(700.0, 1900.0, 0.85)
+}
+
+/// Records a fleet run (shared edge), optionally on the serving runtime.
+pub fn record_fleet(
+    name: &str,
+    devices: usize,
+    frames: usize,
+    serving: Option<ServingConfig>,
+) -> Trace {
+    let config = MultiDeviceConfig {
+        camera: camera(),
+        devices,
+        frames,
+        serving,
+        ..Default::default()
+    };
+    let reports = run_multi_device(datasets::indoor_simple, &config);
+    Trace::from_reports(name, &reports)
+}
+
+/// One golden scenario: a name and a deterministic recorder.
+pub struct Scenario {
+    pub name: &'static str,
+    record: fn() -> Trace,
+}
+
+impl Scenario {
+    /// Runs the scenario and returns its canonical trace.
+    pub fn record(&self) -> Trace {
+        (self.record)()
+    }
+}
+
+/// The golden set: every scenario with a committed trace under
+/// `tests/golden/`.
+pub fn golden_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "single_cfrs",
+            record: || record_single_with("single_cfrs", 60, 1, None, |_| {}),
+        },
+        Scenario {
+            name: "single_faulted",
+            record: || {
+                record_single_with("single_faulted", 90, 2, Some(faulted_schedule()), |_| {})
+            },
+        },
+        Scenario {
+            name: "fleet_serving",
+            record: || record_fleet("fleet_serving", 2, 48, Some(ServingConfig::default())),
+        },
+    ]
+}

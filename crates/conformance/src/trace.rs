@@ -1,0 +1,214 @@
+//! Canonical trace serialization.
+//!
+//! A [`Trace`] is the conformance view of one run: one [`TraceFrame`]
+//! per (device, frame), built from the pipeline's `FrameRecord`s. The
+//! canonical form is line-oriented compact JSON — a header line with the
+//! schema version and scenario name, then exactly one object per frame —
+//! so goldens diff cleanly line-by-line and a divergence maps straight
+//! back to a frame.
+//!
+//! The workspace deliberately carries no JSON dependency; the emitter
+//! below is hand-rolled and the comparer in [`crate::diff`] works on the
+//! canonical text, splitting top-level keys without a full parser.
+//!
+//! Float fields are emitted with Rust's `{:?}` (shortest round-trip)
+//! formatting: two equal strings mean bit-equal values, so text equality
+//! is exactly value equality. `u64` digests are emitted as fixed-width
+//! hex strings because JSON numbers cannot hold them losslessly.
+
+use edgeis::metrics::{FrameRecord, Report};
+
+/// Schema tag written to every trace header. Bump when the frame format
+/// changes and re-bless the goldens.
+pub const SCHEMA: &str = "edgeis-trace-v1";
+
+/// One frame of one device, as traced.
+#[derive(Debug, Clone)]
+pub struct TraceFrame {
+    /// Device index (0 for single-device runs).
+    pub device: u64,
+    /// Frame index.
+    pub frame: u64,
+    /// The scored record, including its embedded `FrameTrace`.
+    pub record: FrameRecord,
+}
+
+/// A canonical trace of one scenario run.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Scenario name (also the golden file stem).
+    pub name: String,
+    pub frames: Vec<TraceFrame>,
+}
+
+impl Trace {
+    /// Builds a trace from one report per device.
+    pub fn from_reports(name: &str, reports: &[Report]) -> Self {
+        let mut frames = Vec::new();
+        for (device, report) in reports.iter().enumerate() {
+            for record in &report.records {
+                frames.push(TraceFrame {
+                    device: device as u64,
+                    frame: record.frame,
+                    record: record.clone(),
+                });
+            }
+        }
+        Self {
+            name: name.to_string(),
+            frames,
+        }
+    }
+
+    /// Canonical line-oriented JSON: header line, then one frame per line.
+    pub fn canonical_json(&self) -> String {
+        let mut out = String::with_capacity(self.frames.len() * 256);
+        out.push_str(&format!(
+            "{{\"schema\":\"{SCHEMA}\",\"name\":\"{}\",\"frames\":{}}}\n",
+            self.name,
+            self.frames.len()
+        ));
+        for f in &self.frames {
+            emit_frame(&mut out, f);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    // `{:?}` prints the shortest string that round-trips the exact bits,
+    // so string equality == bit equality.
+    out.push_str(&format!("{v:?}"));
+}
+
+fn push_opt_f64(out: &mut String, v: Option<f64>) {
+    match v {
+        None => out.push_str("null"),
+        Some(v) => push_f64(out, v),
+    }
+}
+
+fn push_hex(out: &mut String, v: u64) {
+    out.push_str(&format!("\"0x{v:016x}\""));
+}
+
+fn emit_frame(out: &mut String, f: &TraceFrame) {
+    let r = &f.record;
+    let t = &r.trace;
+    out.push('{');
+    out.push_str(&format!("\"device\":{},", f.device));
+    out.push_str(&format!("\"frame\":{},", f.frame));
+    out.push_str(&format!("\"transmitted\":{},", r.transmitted));
+    out.push_str(&format!("\"decision\":\"{}\",", t.decision));
+    out.push_str(&format!("\"health\":\"{}\",", t.health));
+    out.push_str("\"pose\":");
+    match &t.pose {
+        None => out.push_str("null"),
+        Some(p) => {
+            out.push('[');
+            for (i, v) in p.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_f64(out, *v);
+            }
+            out.push(']');
+        }
+    }
+    out.push(',');
+    out.push_str(&format!("\"mask_count\":{},", t.mask_count));
+    out.push_str("\"mask_digest\":");
+    push_hex(out, t.mask_digest);
+    out.push(',');
+    out.push_str(&format!(
+        "\"tile_levels\":[{},{},{},{}],",
+        t.tile_levels[0], t.tile_levels[1], t.tile_levels[2], t.tile_levels[3]
+    ));
+    out.push_str("\"uplink_digest\":");
+    push_hex(out, t.uplink_digest);
+    out.push(',');
+    out.push_str(&format!("\"tx_bytes\":{},", r.tx_bytes));
+    out.push_str("\"mobile_ms\":");
+    push_f64(out, r.mobile_ms);
+    out.push(',');
+    out.push_str(&format!("\"responses\":{},", t.responses));
+    out.push_str("\"response_digest\":");
+    push_hex(out, t.response_digest);
+    out.push(',');
+    out.push_str("\"applied_digest\":");
+    push_hex(out, t.applied_digest);
+    out.push(',');
+    out.push_str("\"edge_queue_wait_ms\":");
+    push_opt_f64(out, r.edge_queue_wait_ms);
+    out.push(',');
+    out.push_str("\"response_latency_ms\":");
+    push_opt_f64(out, r.response_latency_ms);
+    out.push(',');
+    out.push_str(&format!("\"stale_frames\":{},", r.stale_frames));
+    out.push_str("\"ious\":[");
+    for (i, (id, v)) in r.ious.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{id},"));
+        push_f64(out, *v);
+        out.push(']');
+    }
+    out.push_str("]}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgeis::metrics::StageBreakdownMs;
+    use edgeis::FrameTrace;
+
+    fn frame(device: u64, idx: u64) -> TraceFrame {
+        TraceFrame {
+            device,
+            frame: idx,
+            record: FrameRecord {
+                frame: idx,
+                time_ms: idx as f64 * 33.0,
+                ious: vec![(1, 0.5), (2, 1.0 / 3.0)],
+                mobile_ms: 12.25,
+                tx_bytes: 100,
+                transmitted: true,
+                stale_frames: 0,
+                stages: StageBreakdownMs::default(),
+                edge_queue_wait_ms: Some(1.5),
+                response_latency_ms: None,
+                trace: FrameTrace {
+                    pose: Some([0.0, -0.125, 1.0, 2.5, 0.0, 0.1]),
+                    mask_digest: 0xdead_beef,
+                    mask_count: 2,
+                    decision: "transmit:Periodic".into(),
+                    tile_levels: [1, 2, 3, 4],
+                    uplink_digest: 7,
+                    responses: 1,
+                    response_digest: 8,
+                    applied_digest: 9,
+                    health: "healthy".into(),
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn canonical_json_is_line_per_frame_and_stable() {
+        let trace = Trace {
+            name: "t".into(),
+            frames: vec![frame(0, 0), frame(0, 1)],
+        };
+        let s = trace.canonical_json();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("edgeis-trace-v1"));
+        assert!(lines[1].starts_with("{\"device\":0,\"frame\":0,"));
+        assert!(lines[1].contains("\"mask_digest\":\"0x00000000deadbeef\""));
+        assert!(lines[1].contains("\"response_latency_ms\":null"));
+        // Emission is deterministic.
+        assert_eq!(s, trace.canonical_json());
+    }
+}

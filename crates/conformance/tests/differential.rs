@@ -1,0 +1,188 @@
+//! Differential oracles: the same scenario run under different
+//! parallelism, fast-path and serving configurations must produce
+//! bit-identical traces. Every failure names the first diverging frame
+//! and field with both values.
+
+use edgeis::fnv1a64;
+use edgeis::serving::{ServingConfig, ServingRuntime};
+use edgeis_conformance::diff::diff_traces;
+use edgeis_conformance::scenario::{record_fleet, record_single_with};
+use edgeis_conformance::{write_divergence_report, Divergence};
+use edgeis_parallel::with_threads;
+
+fn expect_identical(context: &str, d: Option<Divergence>) {
+    if let Some(d) = d {
+        let report = write_divergence_report(context, "differential", &d);
+        panic!("{context}: {d}\nreport: {}", report.display());
+    }
+}
+
+#[test]
+fn single_device_trace_identical_across_thread_counts() {
+    let serial = with_threads(1, || {
+        record_single_with("threads_diff", 45, 11, None, |_| {})
+    });
+    for n in [2usize, 4, 8] {
+        let parallel = with_threads(n, || {
+            record_single_with("threads_diff", 45, 11, None, |_| {})
+        });
+        let label = format!("threads={n}");
+        expect_identical(
+            "single_device_threads",
+            diff_traces("serial", &serial, &label, &parallel),
+        );
+    }
+}
+
+#[test]
+fn fleet_serving_trace_identical_across_thread_counts() {
+    let serial = with_threads(1, || {
+        record_fleet("fleet_diff", 2, 40, Some(ServingConfig::default()))
+    });
+    let parallel = with_threads(4, || {
+        record_fleet("fleet_diff", 2, 40, Some(ServingConfig::default()))
+    });
+    expect_identical(
+        "fleet_serving_threads",
+        diff_traces("serial", &serial, "threads=4", &parallel),
+    );
+}
+
+#[test]
+fn fast_paths_trace_identical_to_reference_shape() {
+    // PR 2's exact-preserving fast paths, end to end through the full
+    // system: toggling every one of them off must not move a single
+    // trace field on any frame.
+    let reference = record_single_with("fastpath_diff", 45, 11, None, |cfg| {
+        cfg.vo.orb.use_fast_paths = false;
+        cfg.vo.matching.use_blocked_scan = false;
+        cfg.vo.map_matching.use_blocked_scan = false;
+        cfg.vo.transfer.use_anchor_index = false;
+    });
+    let fast = record_single_with("fastpath_diff", 45, 11, None, |cfg| {
+        cfg.vo.orb.use_fast_paths = true;
+        cfg.vo.matching.use_blocked_scan = true;
+        cfg.vo.map_matching.use_blocked_scan = true;
+        cfg.vo.transfer.use_anchor_index = true;
+    });
+    expect_identical(
+        "fast_paths",
+        diff_traces("reference", &reference, "fast", &fast),
+    );
+}
+
+mod serving_fixtures {
+    use edgeis_imaging::LabelMap;
+    use edgeis_segnet::{BBox, EdgeModel, FrameObservation, Guidance, GuidanceBox, ModelKind};
+    use std::collections::BTreeMap;
+
+    pub fn model(seed: u64) -> EdgeModel {
+        EdgeModel::new(ModelKind::MaskRcnn, 160, 120, seed)
+    }
+
+    pub fn observation() -> FrameObservation {
+        let mut labels = LabelMap::new(160, 120);
+        for y in 40..90 {
+            for x in 50..110 {
+                labels.set(x, y, 1);
+            }
+        }
+        let mut classes = BTreeMap::new();
+        classes.insert(1u16, 2u8);
+        FrameObservation::pristine(labels, classes)
+    }
+
+    pub fn guidance() -> Guidance {
+        Guidance {
+            boxes: vec![GuidanceBox {
+                bbox: BBox::new(50.0, 40.0, 110.0, 90.0),
+                class_id: Some(2),
+                instance: Some(1),
+            }],
+        }
+    }
+}
+
+/// Runs a fixed submission schedule through one serving configuration and
+/// returns the per-request payload digests.
+fn serving_payload_digests(config: ServingConfig) -> Vec<u64> {
+    use edgeis_netsim::{Link, LinkKind};
+    use serving_fixtures::*;
+
+    let mut runtime = ServingRuntime::new(model(7), 42, config);
+    let obs = observation();
+    let g = guidance();
+    let mut link = Link::of_kind(LinkKind::Wifi5, 9);
+    let schedule: &[(u64, f64)] = &[
+        (0, 0.0),
+        (1, 4.0),
+        (2, 8.0),
+        (0, 40.0),
+        (3, 41.0),
+        (1, 44.0),
+        (2, 80.0),
+        (0, 81.0),
+    ];
+    schedule
+        .iter()
+        .enumerate()
+        .map(|(i, (device, at))| {
+            let guide = (i % 2 == 0).then_some(&g);
+            let resp = runtime
+                .submit(*device, i as u64, &obs, guide, *at, &mut link)
+                .expect("no admission deadline in this schedule");
+            fnv1a64(&resp.payload)
+        })
+        .collect()
+}
+
+#[test]
+fn serving_backends_payload_identical_to_serial_fifo() {
+    // Identical submission schedule, identical base seed: the batched,
+    // sharded and cache-enabled backends must produce bit-identical
+    // response payloads to the serial FIFO — timing may differ, bytes
+    // may not (PR 3's per-request seeding contract).
+    let serial = serving_payload_digests(ServingConfig::serial_fifo());
+    let candidates = [
+        (
+            "batched",
+            ServingConfig {
+                lanes: 1,
+                max_batch: 8,
+                batch_window_ms: 50.0,
+                cache_enabled: false,
+                cache_tolerance_px: 0.0,
+                admission_deadline_ms: f64::INFINITY,
+            },
+        ),
+        (
+            "sharded",
+            ServingConfig {
+                lanes: 4,
+                max_batch: 1,
+                batch_window_ms: 0.0,
+                cache_enabled: false,
+                cache_tolerance_px: 0.0,
+                admission_deadline_ms: f64::INFINITY,
+            },
+        ),
+        (
+            "batched+cache",
+            ServingConfig {
+                lanes: 2,
+                max_batch: 4,
+                batch_window_ms: 30.0,
+                cache_enabled: true,
+                cache_tolerance_px: 4.0,
+                admission_deadline_ms: f64::INFINITY,
+            },
+        ),
+    ];
+    for (label, config) in candidates {
+        let digests = serving_payload_digests(config);
+        expect_identical(
+            "serving_backends",
+            edgeis_conformance::first_slice_divergence("serial_fifo", label, &serial, &digests),
+        );
+    }
+}

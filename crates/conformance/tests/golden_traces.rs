@@ -1,0 +1,46 @@
+//! Golden oracle: every scenario's trace must match the committed golden
+//! byte-for-byte. On mismatch the first diverging frame and field are
+//! named (with both values) and a structured report is written under
+//! `target/conformance/` for the CI artifact.
+//!
+//! To update after an intentional behavior change:
+//! `cargo run -p edgeis-conformance --bin golden -- --bless`
+
+use edgeis_conformance::{
+    diff_canonical, golden_path, golden_scenarios, load_golden, write_divergence_report,
+};
+
+#[test]
+fn traces_match_committed_goldens() {
+    for scenario in golden_scenarios() {
+        let current = scenario.record().canonical_json();
+        let golden = load_golden(scenario.name).unwrap_or_else(|| {
+            panic!(
+                "missing golden {} — record it with `cargo run -p edgeis-conformance --bin golden -- --bless`",
+                golden_path(scenario.name).display()
+            )
+        });
+        if let Some(d) = diff_canonical("golden", &golden, "current", &current) {
+            let report = write_divergence_report(scenario.name, "golden check", &d);
+            panic!(
+                "golden mismatch for `{}`: {d}\nreport: {}\nif intentional, re-bless with `cargo run -p edgeis-conformance --bin golden -- --bless`",
+                scenario.name,
+                report.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn recording_twice_is_deterministic() {
+    // The golden machinery itself must be noise-free: two back-to-back
+    // recordings of the same scenario in the same process must be
+    // byte-identical (catches hidden global state, wall-clock leaks and
+    // RNG reuse in the trace path).
+    let scenario = &golden_scenarios()[0];
+    let a = scenario.record().canonical_json();
+    let b = scenario.record().canonical_json();
+    if let Some(d) = diff_canonical("first", &a, "second", &b) {
+        panic!("re-recording `{}` diverged: {d}", scenario.name);
+    }
+}

@@ -304,9 +304,7 @@ impl SharedEdge {
     ) -> Option<PendingResponse> {
         match &mut *self.inner.lock() {
             EdgeBackend::Serial(s) => s.submit(frame_id, obs, guidance, arrival_ms, link),
-            EdgeBackend::Serving(s) => {
-                s.submit(device, frame_id, obs, guidance, arrival_ms, link)
-            }
+            EdgeBackend::Serving(s) => s.submit(device, frame_id, obs, guidance, arrival_ms, link),
         }
     }
 

@@ -41,17 +41,19 @@ pub mod pipeline;
 pub mod resources;
 pub mod serving;
 pub mod system;
+pub mod trace;
 pub mod wire;
 
 pub use cfrs::{CfrsConfig, CfrsDecision, CfrsPlanner};
 pub use edge::{EdgeFaultConfig, EdgeServer, PendingResponse, SharedEdge};
-pub use serving::{ServingConfig, ServingRuntime, ServingStats};
 pub use experiment::{run_system, run_system_with_faults, ExperimentConfig, FaultPlan, SystemKind};
 pub use metrics::{
     percentile, FrameRecord, Report, ResilienceStats, StageBreakdownMs, StageSummary,
 };
 pub use pipeline::run_pipeline;
+pub use serving::{ServingConfig, ServingRuntime, ServingStats};
 pub use system::{
     EdgeIsConfig, EdgeIsSystem, FrameInput, FrameOutput, LinkHealth, ResilienceConfig,
     SegmentationSystem,
 };
+pub use trace::{digest_masks, fnv1a64, fnv1a64_extend, FrameTrace};

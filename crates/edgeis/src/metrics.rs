@@ -118,6 +118,11 @@ pub struct FrameRecord {
     /// this frame). `None` when no response arrived this frame.
     #[serde(default)]
     pub response_latency_ms: Option<f64>,
+    /// Deterministic conformance trace of this frame (all-default for
+    /// dropped frames and for reports written before this field existed).
+    /// Virtual-clock only — see [`crate::trace::FrameTrace`].
+    #[serde(default)]
+    pub trace: crate::trace::FrameTrace,
 }
 
 /// Resilience accounting: what the mobile-side policy did about faults.
@@ -410,6 +415,7 @@ mod tests {
             stages: StageBreakdownMs::default(),
             edge_queue_wait_ms: None,
             response_latency_ms: None,
+            trace: crate::trace::FrameTrace::default(),
         }
     }
 

@@ -11,6 +11,7 @@ use crate::metrics::{FrameRecord, Report, StageBreakdownMs};
 use crate::pipeline::class_map;
 use crate::serving::{ServingConfig, ServingRuntime, ServingStats};
 use crate::system::{EdgeIsConfig, EdgeIsSystem, FrameInput, SegmentationSystem};
+use crate::trace::FrameTrace;
 use edgeis_geometry::Camera;
 use edgeis_imaging::iou;
 use edgeis_netsim::{FaultSchedule, LinkKind};
@@ -149,25 +150,41 @@ where
                 classes: &dev.classes,
             };
 
-            let (mobile_ms, tx_bytes, transmitted, stages, edge_queue_wait_ms, response_latency_ms) =
-                if dev.backlog >= interval {
-                    dev.backlog -= interval;
-                    dev.stale += 1;
-                    (interval, 0, false, StageBreakdownMs::default(), None, None)
-                } else {
-                    let out = dev.system.process_frame(&input, now);
-                    dev.backlog = (dev.backlog + out.mobile_ms - interval).max(0.0);
-                    dev.last_masks = out.masks;
-                    dev.stale = 0;
-                    (
-                        out.mobile_ms,
-                        out.tx_bytes,
-                        out.transmitted,
-                        out.stages,
-                        out.edge_queue_wait_ms,
-                        out.response_latency_ms,
-                    )
-                };
+            let (
+                mobile_ms,
+                tx_bytes,
+                transmitted,
+                stages,
+                edge_queue_wait_ms,
+                response_latency_ms,
+                trace,
+            ) = if dev.backlog >= interval {
+                dev.backlog -= interval;
+                dev.stale += 1;
+                (
+                    interval,
+                    0,
+                    false,
+                    StageBreakdownMs::default(),
+                    None,
+                    None,
+                    FrameTrace::default(),
+                )
+            } else {
+                let out = dev.system.process_frame(&input, now);
+                dev.backlog = (dev.backlog + out.mobile_ms - interval).max(0.0);
+                dev.last_masks = out.masks;
+                dev.stale = 0;
+                (
+                    out.mobile_ms,
+                    out.tx_bytes,
+                    out.transmitted,
+                    out.stages,
+                    out.edge_queue_wait_ms,
+                    out.response_latency_ms,
+                    out.trace,
+                )
+            };
 
             let mut ious = Vec::new();
             if i >= config.warmup_frames {
@@ -196,6 +213,7 @@ where
                 stages,
                 edge_queue_wait_ms,
                 response_latency_ms,
+                trace,
             });
         }
     }
@@ -262,7 +280,10 @@ mod tests {
             run_multi_device_with_stats(datasets::indoor_simple, &serial);
         let (serving_reports, serving_stats) =
             run_multi_device_with_stats(datasets::indoor_simple, &serving);
-        assert!(serial_stats.is_none(), "serial backend has no serving stats");
+        assert!(
+            serial_stats.is_none(),
+            "serial backend has no serving stats"
+        );
         let stats = serving_stats.expect("serving backend must report stats");
         assert!(stats.served > 0, "nothing was served");
 

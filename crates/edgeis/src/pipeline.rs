@@ -3,6 +3,7 @@
 
 use crate::metrics::{FrameRecord, Report, StageBreakdownMs};
 use crate::system::{FrameInput, SegmentationSystem};
+use crate::trace::FrameTrace;
 use edgeis_geometry::Camera;
 use edgeis_imaging::{iou, Mask};
 use edgeis_scene::World;
@@ -72,25 +73,41 @@ pub fn run_pipeline(
         // past the camera interval, the device is still busy — this frame
         // is dropped and the previous masks are re-rendered (the paper's
         // "delayed mask rendering on a later frame").
-        let (mobile_ms, tx_bytes, transmitted, stages, edge_queue_wait_ms, response_latency_ms) =
-            if backlog >= interval {
-                backlog -= interval;
-                stale += 1;
-                (interval, 0, false, StageBreakdownMs::default(), None, None)
-            } else {
-                let out = system.process_frame(&input, now);
-                backlog = (backlog + out.mobile_ms - interval).max(0.0);
-                last_masks = out.masks;
-                stale = 0;
-                (
-                    out.mobile_ms,
-                    out.tx_bytes,
-                    out.transmitted,
-                    out.stages,
-                    out.edge_queue_wait_ms,
-                    out.response_latency_ms,
-                )
-            };
+        let (
+            mobile_ms,
+            tx_bytes,
+            transmitted,
+            stages,
+            edge_queue_wait_ms,
+            response_latency_ms,
+            trace,
+        ) = if backlog >= interval {
+            backlog -= interval;
+            stale += 1;
+            (
+                interval,
+                0,
+                false,
+                StageBreakdownMs::default(),
+                None,
+                None,
+                FrameTrace::default(),
+            )
+        } else {
+            let out = system.process_frame(&input, now);
+            backlog = (backlog + out.mobile_ms - interval).max(0.0);
+            last_masks = out.masks;
+            stale = 0;
+            (
+                out.mobile_ms,
+                out.tx_bytes,
+                out.transmitted,
+                out.stages,
+                out.edge_queue_wait_ms,
+                out.response_latency_ms,
+                out.trace,
+            )
+        };
         let rendered = &last_masks;
 
         // Score: every sufficiently visible ground-truth instance
@@ -122,6 +139,7 @@ pub fn run_pipeline(
             stages,
             edge_queue_wait_ms,
             response_latency_ms,
+            trace,
         });
     }
 

@@ -195,8 +195,7 @@ fn guidance_key(guidance: &Guidance, tolerance_px: f64) -> GuidanceKey {
 /// batch or lane placement, which is what makes batched and unbatched
 /// outputs bit-identical.
 fn request_seed(base: u64, device: u64, seq: u64) -> u64 {
-    base ^ device.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ seq.wrapping_mul(0xD1B5_4A32_D192_ED03)
+    base ^ device.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seq.wrapping_mul(0xD1B5_4A32_D192_ED03)
 }
 
 /// The serving runtime: one model, N lanes, per-lane batching, a
@@ -343,9 +342,9 @@ impl ServingRuntime {
         // Outputs first: a pure function of (obs, guidance, seed), so
         // nothing below — batching, caching, shedding — can change them.
         let seq = self.seq.get(&device).copied().unwrap_or(0);
-        let result = self
-            .model
-            .infer_seeded(obs, guidance, request_seed(self.base_seed, device, seq));
+        let result =
+            self.model
+                .infer_seeded(obs, guidance, request_seed(self.base_seed, device, seq));
 
         // Guidance cache: a hit reuses the RPN/anchor pass, charging only
         // backbone + heads. Probe only — committed once the request is
@@ -431,11 +430,8 @@ impl ServingRuntime {
                 self.stats.batch_saved_ms += unbatched_ms - marginal;
             }
             None => {
-                self.lanes.occupy(
-                    lane,
-                    arrival_ms,
-                    self.config.batch_window_ms + unbatched_ms,
-                );
+                self.lanes
+                    .occupy(lane, arrival_ms, self.config.batch_window_ms + unbatched_ms);
                 self.open[lane] = Some(OpenBatch {
                     exec_start,
                     finish: completion,
@@ -611,8 +607,13 @@ mod tests {
         }
         let lane0_busy = rt.busy_until_for(0);
         // ...but device 1's lane is idle: its request starts immediately.
-        let r = rt.submit(1, 100, &obs, None, 1.0, &mut clean_link(5)).unwrap();
-        assert!((r.queue_wait_ms - 0.0).abs() < 1e-9, "lane 1 should be idle");
+        let r = rt
+            .submit(1, 100, &obs, None, 1.0, &mut clean_link(5))
+            .unwrap();
+        assert!(
+            (r.queue_wait_ms - 0.0).abs() < 1e-9,
+            "lane 1 should be idle"
+        );
         assert!(rt.busy_until_for(1) < lane0_busy);
     }
 
@@ -758,7 +759,9 @@ mod tests {
         assert!(lane0_shed, "lane 0 never exceeded its horizon");
         assert!(rt.stats().horizon_sheds > 0);
         // Lane 1 is empty: device 1 is served, not shed.
-        let r = rt.submit(1, 100, &obs, None, 0.0, &mut clean_link(10)).unwrap();
+        let r = rt
+            .submit(1, 100, &obs, None, 0.0, &mut clean_link(10))
+            .unwrap();
         assert!(!r.shed, "an idle lane must not shed");
     }
 
@@ -780,13 +783,17 @@ mod tests {
         });
         let obs = observation();
         // A request arriving mid-crash is lost...
-        assert!(rt.submit(0, 0, &obs, None, 1500.0, &mut clean_link(11)).is_none());
+        assert!(rt
+            .submit(0, 0, &obs, None, 1500.0, &mut clean_link(11))
+            .is_none());
         assert_eq!(rt.crash_losses(), 1);
         // ...and BOTH lanes restart only after window end + restart.
         assert!(rt.busy_until_for(0) >= 2100.0);
         assert!(rt.busy_until_for(1) >= 2100.0);
         // Post-restart requests are served again.
-        let r = rt.submit(1, 1, &obs, None, 2050.0, &mut clean_link(11)).unwrap();
+        let r = rt
+            .submit(1, 1, &obs, None, 2050.0, &mut clean_link(11))
+            .unwrap();
         assert!(r.arrive_ms >= 2100.0);
     }
 
@@ -803,7 +810,9 @@ mod tests {
         let mut expected_busy = 0.0f64;
         for i in 0..5u64 {
             let at = i as f64 * 100.0;
-            let r = rt.submit(0, i, &obs, None, at, &mut clean_link(13)).unwrap();
+            let r = rt
+                .submit(0, i, &obs, None, at, &mut clean_link(13))
+                .unwrap();
             let start = at.max(expected_busy);
             assert!(
                 (r.queue_wait_ms - (start - at)).abs() < 1e-9,

@@ -11,6 +11,9 @@ use crate::cost::MobileCostModel;
 use crate::edge::{EdgeFaultConfig, EdgeServer, PendingResponse, SharedEdge};
 use crate::metrics::{ResilienceStats, StageBreakdownMs};
 use crate::resources::{ResourceConfig, ResourceLedger};
+use crate::trace::{
+    digest_masks, digest_uplink, fnv1a64_extend, pose_vector, FrameTrace, FNV_OFFSET,
+};
 use crate::wire::WireDetection;
 use edgeis_codec::{encode, QualityLevel, TileGrid, TilePlan};
 use edgeis_geometry::Camera;
@@ -61,6 +64,8 @@ pub struct FrameOutput {
     /// Virtual request→response round-trip of the worst edge response
     /// delivered this frame, ms (`None` when no response arrived).
     pub response_latency_ms: Option<f64>,
+    /// Deterministic conformance trace of this frame (see [`FrameTrace`]).
+    pub trace: FrameTrace,
 }
 
 /// A mobile+edge segmentation system under test.
@@ -118,6 +123,18 @@ pub enum LinkHealth {
     Outage,
     /// A probe got through; waiting for the recovery keyframe's response.
     Recovering,
+}
+
+impl LinkHealth {
+    /// Canonical lowercase name, used in conformance traces.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LinkHealth::Healthy => "healthy",
+            LinkHealth::Degraded => "degraded",
+            LinkHealth::Outage => "outage",
+            LinkHealth::Recovering => "recovering",
+        }
+    }
 }
 
 /// Mobile-side resilience policy parameters.
@@ -497,11 +514,11 @@ impl EdgeIsSystem {
         self.pending.iter().filter(|i| !i.timed_out).count()
     }
 
-    /// Drains arrived responses into the tracker. Returns `(queue_wait,
-    /// round_trip)` of the worst (largest round-trip) non-shed response
-    /// delivered this call, in virtual ms — the per-frame edge-latency
-    /// observability the serving bench aggregates.
-    fn deliver_responses(&mut self, now: SimMs) -> (Option<f64>, Option<f64>) {
+    /// Drains arrived responses into the tracker. Returns the worst
+    /// (largest round-trip) non-shed response's latency pair — the
+    /// per-frame edge-latency observability the serving bench aggregates
+    /// — plus arrival/application digests for the conformance trace.
+    fn deliver_responses(&mut self, now: SimMs) -> Delivered {
         let enabled = self.config.resilience.enabled;
         let mut keep: Vec<InFlight> = Vec::new();
         let mut arrived: Vec<(PendingResponse, bool, SimMs)> = Vec::new();
@@ -529,6 +546,7 @@ impl EdgeIsSystem {
         self.pending = keep;
 
         let mut worst: Option<(f64, f64)> = None;
+        let mut delivered = Delivered::default();
         for (resp, late, sent_ms) in arrived {
             if resp.shed {
                 // The edge rejected the request for overload; the link is
@@ -536,6 +554,8 @@ impl EdgeIsSystem {
                 self.stats.shed_responses += 1;
                 continue;
             }
+            delivered.responses += 1;
+            delivered.response_digest = fnv1a64_extend(delivered.response_digest, &resp.payload);
             let round_trip = resp.arrive_ms - sent_ms;
             if worst.is_none_or(|(_, rt)| round_trip > rt) {
                 worst = Some((resp.queue_wait_ms, round_trip));
@@ -554,6 +574,8 @@ impl EdgeIsSystem {
                     if late && enabled && self.initialized() {
                         self.stats.stale_drops += 1;
                     } else {
+                        delivered.applied_digest =
+                            fnv1a64_extend(delivered.applied_digest, &resp.payload);
                         self.apply_detections(frame_id, &detections);
                         self.note_success(now);
                     }
@@ -562,7 +584,9 @@ impl EdgeIsSystem {
         }
 
         self.note_failures(failures, now);
-        (worst.map(|(qw, _)| qw), worst.map(|(_, rt)| rt))
+        delivered.edge_queue_wait_ms = worst.map(|(qw, _)| qw);
+        delivered.response_latency_ms = worst.map(|(_, rt)| rt);
+        delivered
     }
 
     /// While in `Outage`: probe the link; on success switch to
@@ -596,6 +620,28 @@ impl EdgeIsSystem {
     }
 }
 
+/// What one `deliver_responses` pass produced: the latency observability
+/// pair plus the arrival/application digests for the conformance trace.
+struct Delivered {
+    edge_queue_wait_ms: Option<f64>,
+    response_latency_ms: Option<f64>,
+    responses: u32,
+    response_digest: u64,
+    applied_digest: u64,
+}
+
+impl Default for Delivered {
+    fn default() -> Self {
+        Self {
+            edge_queue_wait_ms: None,
+            response_latency_ms: None,
+            responses: 0,
+            response_digest: FNV_OFFSET,
+            applied_digest: FNV_OFFSET,
+        }
+    }
+}
+
 impl SegmentationSystem for EdgeIsSystem {
     fn name(&self) -> &'static str {
         self.name
@@ -604,11 +650,12 @@ impl SegmentationSystem for EdgeIsSystem {
     fn process_frame(&mut self, input: &FrameInput<'_>, now: SimMs) -> FrameOutput {
         let mut stages = StageBreakdownMs::default();
         let decode_start = Instant::now();
-        let (edge_queue_wait_ms, response_latency_ms) = self.deliver_responses(now);
+        let delivered = self.deliver_responses(now);
         stages.decode_apply = elapsed_ms(decode_start);
         self.probe_if_outage(now);
 
         // --- Mobile tracking & mask prediction. ---
+        let mut trace_pose: Option<[f64; 6]> = None;
         let (masks, new_area_fraction, new_pixels, vo_frame_id, features, matches, poses) =
             match &mut self.tracker {
                 MobileTracker::Vo { vo, prev_motion } => {
@@ -633,6 +680,7 @@ impl SegmentationSystem for EdgeIsSystem {
                         .filter_map(|o| o.mask.clone().map(|m| (o.label, m)))
                         .collect();
                     let poses = 1 + out.objects.iter().filter(|o| o.matched_points >= 3).count();
+                    trace_pose = out.pose.as_ref().map(pose_vector);
                     (
                         masks,
                         out.new_area_fraction,
@@ -776,6 +824,8 @@ impl SegmentationSystem for EdgeIsSystem {
 
         // --- Encode + offload. ---
         let mut tx_bytes = 0;
+        let mut tile_levels = [0u32; 4];
+        let mut uplink_digest = 0u64;
         if transmit {
             match decision {
                 CfrsDecision::Transmit(TransmitReason::Recovery) => {
@@ -830,6 +880,14 @@ impl SegmentationSystem for EdgeIsSystem {
             let encoded = encode(&input.frame.image, &plan);
             stages.encode = elapsed_ms(encode_start);
             tx_bytes = encoded.total_bytes();
+            let counts = plan.level_counts();
+            tile_levels = [
+                counts.0 as u32,
+                counts.1 as u32,
+                counts.2 as u32,
+                counts.3 as u32,
+            ];
+            uplink_digest = digest_uplink(counts, &encoded.tile_bytes);
 
             // Edge-side observation: ground-truth labels through the
             // encoding quality of each instance's region.
@@ -909,14 +967,31 @@ impl SegmentationSystem for EdgeIsSystem {
 
         self.ledger.record_frame(now, mobile_ms, tx_bytes);
 
+        let trace = FrameTrace {
+            pose: trace_pose,
+            mask_digest: digest_masks(&masks),
+            mask_count: masks.len() as u32,
+            decision: match decision {
+                CfrsDecision::Hold => "hold".to_string(),
+                CfrsDecision::Transmit(reason) => format!("transmit:{reason:?}"),
+            },
+            tile_levels,
+            uplink_digest,
+            responses: delivered.responses,
+            response_digest: delivered.response_digest,
+            applied_digest: delivered.applied_digest,
+            health: self.health.as_str().to_string(),
+        };
+
         FrameOutput {
             masks,
             mobile_ms,
             tx_bytes,
             transmitted: transmit,
             stages,
-            edge_queue_wait_ms,
-            response_latency_ms,
+            edge_queue_wait_ms: delivered.edge_queue_wait_ms,
+            response_latency_ms: delivered.response_latency_ms,
+            trace,
         }
     }
 

@@ -1,0 +1,119 @@
+//! Canonical per-frame trace capture for the conformance suite.
+//!
+//! Every [`FrameOutput`](crate::system::FrameOutput) carries a
+//! [`FrameTrace`]: a compact, digest-based summary of what the system
+//! *decided* and *produced* on that frame — pose, rendered masks, the
+//! CFRS transmit decision and tile plan, the uplink bytes, and the
+//! responses that arrived. Digests are FNV-1a 64 so two runs can be
+//! compared field-by-field without storing megabytes of pixels; the
+//! `edgeis-conformance` crate serializes these into golden traces and
+//! diffs them across configurations.
+//!
+//! Everything in a trace is *virtual-clock deterministic*: wall-clock
+//! stage timings ([`StageBreakdownMs`](crate::metrics::StageBreakdownMs))
+//! are deliberately excluded, because they differ on every host.
+
+use edgeis_geometry::SE3;
+use edgeis_imaging::Mask;
+use serde::{Deserialize, Serialize};
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Extends an FNV-1a 64 digest with `bytes`.
+#[inline]
+pub fn fnv1a64_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// FNV-1a 64 digest of `bytes`.
+#[inline]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_extend(FNV_OFFSET, bytes)
+}
+
+/// Canonical digest of a rendered mask set: labels in ascending order,
+/// each hashed with its mask dimensions and set-pixel coordinates.
+/// Insensitive to render order, sensitive to every pixel.
+pub fn digest_masks(masks: &[(u16, Mask)]) -> u64 {
+    let mut order: Vec<usize> = (0..masks.len()).collect();
+    order.sort_by_key(|&i| masks[i].0);
+    let mut h = FNV_OFFSET;
+    for i in order {
+        let (label, mask) = &masks[i];
+        h = fnv1a64_extend(h, &label.to_le_bytes());
+        h = fnv1a64_extend(h, &mask.width().to_le_bytes());
+        h = fnv1a64_extend(h, &mask.height().to_le_bytes());
+        for (x, y) in mask.iter_set() {
+            h = fnv1a64_extend(h, &x.to_le_bytes());
+            h = fnv1a64_extend(h, &y.to_le_bytes());
+        }
+    }
+    h
+}
+
+/// Digest of an uplink payload: the tile plan's per-level counts plus the
+/// per-tile byte sizes, in tile order. Catches any change to the encode
+/// path or the CFRS tile-plan decision.
+pub fn digest_uplink(level_counts: (usize, usize, usize, usize), tile_bytes: &[usize]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for c in [
+        level_counts.0,
+        level_counts.1,
+        level_counts.2,
+        level_counts.3,
+    ] {
+        h = fnv1a64_extend(h, &(c as u64).to_le_bytes());
+    }
+    for &b in tile_bytes {
+        h = fnv1a64_extend(h, &(b as u64).to_le_bytes());
+    }
+    h
+}
+
+/// Pose as a 6-vector `[log(R), t]` (axis-angle rotation, translation) —
+/// the canonical trace representation of an [`SE3`].
+pub fn pose_vector(pose: &SE3) -> [f64; 6] {
+    let w = pose.rotation.log();
+    let t = pose.translation;
+    [w.x, w.y, w.z, t.x, t.y, t.z]
+}
+
+/// Deterministic per-frame trace of one system's decisions and outputs.
+///
+/// Serialized (by `edgeis-conformance`) into golden traces; compared
+/// field-by-field by the differential oracles. All fields are virtual-
+/// clock deterministic — no wall-clock values belong here.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FrameTrace {
+    /// Camera pose estimate `[log(R), t]`, when the tracker has one.
+    pub pose: Option<[f64; 6]>,
+    /// Digest of the rendered mask set (labels + pixels).
+    pub mask_digest: u64,
+    /// Number of masks rendered this frame.
+    pub mask_count: u32,
+    /// Transmit decision: `"hold"` or `"transmit:<Reason>"`.
+    pub decision: String,
+    /// Tile counts per quality level `[high, medium, low, skip]`
+    /// (all zero when nothing was transmitted).
+    pub tile_levels: [u32; 4],
+    /// Digest of the encoded uplink (tile plan + per-tile bytes);
+    /// zero when nothing was transmitted.
+    pub uplink_digest: u64,
+    /// Non-shed responses that arrived this frame.
+    pub responses: u32,
+    /// Digest of every non-shed response payload that arrived this frame,
+    /// in arrival order.
+    pub response_digest: u64,
+    /// Digest of the response payloads actually applied to the tracker
+    /// (corrupt and stale-dropped responses are excluded).
+    pub applied_digest: u64,
+    /// Resilience health state after this frame's delivery pass.
+    pub health: String,
+}

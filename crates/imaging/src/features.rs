@@ -389,6 +389,9 @@ fn brief_descriptor_fast(
     for (i, p) in vals.chunks_exact(2).enumerate() {
         bits[i >> 6] |= ((p[0] < p[1]) as u64) << (i & 63);
     }
+    if crate::test_hooks::brief_fast_corruption_enabled() {
+        bits[0] ^= 1;
+    }
     Descriptor(bits)
 }
 
@@ -827,12 +830,11 @@ mod tests {
         let cfg = OrbConfig::default();
         for phase in [0.0, 1.0, 3.0] {
             let img = textured_image(160, 160, phase);
-            let serial = edgeis_parallel::with_threads(1, || detect_orb(&img, &cfg));
-            for threads in [2usize, 4, 8] {
-                let par = edgeis_parallel::with_threads(threads, || detect_orb(&img, &cfg));
-                assert_eq!(serial.0, par.0, "keypoints differ at {threads} threads");
-                assert_eq!(serial.1, par.1, "descriptors differ at {threads} threads");
-            }
+            edgeis_conformance::assert_parallel_matches_serial(
+                &format!("imaging::detect_orb phase {phase}"),
+                &[2, 4, 8],
+                || detect_orb(&img, &cfg),
+            );
         }
     }
 

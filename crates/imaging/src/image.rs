@@ -203,7 +203,11 @@ impl GrayImage {
     /// same four pixels in the same integer arithmetic — bit-identical
     /// output either way.
     pub fn downsample_half_fast_into(&self, out: &mut GrayImage) {
-        if !self.width.is_multiple_of(2) || !self.height.is_multiple_of(2) || self.width < 2 || self.height < 2 {
+        if !self.width.is_multiple_of(2)
+            || !self.height.is_multiple_of(2)
+            || self.width < 2
+            || self.height < 2
+        {
             return self.downsample_half_into(out);
         }
         let w = (self.width / 2) as usize;

@@ -27,6 +27,28 @@ pub mod mask;
 pub mod matching;
 pub mod tracker;
 
+/// Test-only fault injection, so the conformance suite can prove a
+/// silently diverged fast path is *caught* (not merely absent). Hidden
+/// from docs; never enabled outside tests.
+#[doc(hidden)]
+pub mod test_hooks {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static CORRUPT_BRIEF_FAST: AtomicBool = AtomicBool::new(false);
+
+    /// When enabled, [`super::features`]' fast BRIEF sampler flips bit 0
+    /// of every descriptor — a deliberate one-bit divergence from the
+    /// reference path for conformance-detection tests. Affects the whole
+    /// process: only use from a dedicated test binary.
+    pub fn set_corrupt_brief_fast(enabled: bool) {
+        CORRUPT_BRIEF_FAST.store(enabled, Ordering::SeqCst);
+    }
+
+    pub(crate) fn brief_fast_corruption_enabled() -> bool {
+        CORRUPT_BRIEF_FAST.load(Ordering::Relaxed)
+    }
+}
+
 pub use contour::{extract_contours, fill_polygon, Contour};
 pub use debug::{write_overlay_ppm, write_pgm};
 pub use features::{

@@ -380,9 +380,8 @@ mod tests {
     fn uncapped_matcher_is_identical() {
         for seed in [3u64, 17, 91] {
             let train: Vec<Descriptor> = (seed..seed + 120).map(desc).collect();
-            let query: Vec<Descriptor> = (0..60)
-                .map(|i| flip_bits(&train[i * 2], i % 20))
-                .collect();
+            let query: Vec<Descriptor> =
+                (0..60).map(|i| flip_bits(&train[i * 2], i % 20)).collect();
             let capped = match_descriptors(&query, &train, &MatchConfig::default());
             let plain = match_descriptors(
                 &query,
@@ -470,14 +469,11 @@ mod tests {
             let query: Vec<Descriptor> = (0..300)
                 .map(|i| flip_bits(&train[(i * 7) % train.len()], i % 40))
                 .collect();
-            let serial =
-                edgeis_parallel::with_threads(1, || match_descriptors(&query, &train, &cfg));
-            for threads in [2usize, 4, 16] {
-                let par = edgeis_parallel::with_threads(threads, || {
-                    match_descriptors(&query, &train, &cfg)
-                });
-                assert_eq!(serial, par, "seed {seed}, threads {threads}");
-            }
+            edgeis_conformance::assert_parallel_matches_serial(
+                &format!("imaging::match_descriptors seed {seed}"),
+                &[2, 4, 16],
+                || match_descriptors(&query, &train, &cfg),
+            );
         }
     }
 
@@ -540,15 +536,11 @@ mod tests {
             let tp = grid_positions(train.len(), seed);
             let qp = grid_positions(query.len(), seed / 2);
             let cfg = MatchConfig::default();
-            let serial = edgeis_parallel::with_threads(1, || {
-                match_descriptors_spatial(&query, &qp, &train, &tp, &cfg, 25.0)
-            });
-            for threads in [2usize, 8] {
-                let par = edgeis_parallel::with_threads(threads, || {
-                    match_descriptors_spatial(&query, &qp, &train, &tp, &cfg, 25.0)
-                });
-                assert_eq!(serial, par, "seed {seed}, threads {threads}");
-            }
+            edgeis_conformance::assert_parallel_matches_serial(
+                &format!("imaging::match_descriptors_spatial seed {seed}"),
+                &[2, 8],
+                || match_descriptors_spatial(&query, &qp, &train, &tp, &cfg, 25.0),
+            );
         }
     }
 

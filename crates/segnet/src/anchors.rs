@@ -307,14 +307,11 @@ mod tests {
                     },
                 ],
             };
-            let serial =
-                edgeis_parallel::with_threads(1, || (g.full_frame(), g.guided(&guidance, 16.0)));
-            for threads in [2usize, 4, 8] {
-                let par = edgeis_parallel::with_threads(threads, || {
-                    (g.full_frame(), g.guided(&guidance, 16.0))
-                });
-                assert_eq!(serial, par, "{w}x{h}, threads {threads}");
-            }
+            edgeis_conformance::assert_parallel_matches_serial(
+                &format!("segnet::anchors {w}x{h}"),
+                &[2, 4, 8],
+                || (g.full_frame(), g.guided(&guidance, 16.0)),
+            );
         }
     }
 

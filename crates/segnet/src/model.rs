@@ -214,8 +214,7 @@ impl EdgeModel {
                 _ => self.grid.full_frame(),
             };
             stats.anchors_evaluated = anchors.len();
-            let proposals =
-                generate_proposals(&anchors, &gt_boxes, &self.proposal_config, rng);
+            let proposals = generate_proposals(&anchors, &gt_boxes, &self.proposal_config, rng);
             stats.proposals = proposals.len();
             stats.rois_before_prune = proposals.len();
 

@@ -316,21 +316,16 @@ mod tests {
                 BBox::new(100.0, 80.0, 200.0, 150.0),
                 BBox::new(20.0, 90.0, 90.0, 150.0),
             ];
-            let serial = edgeis_parallel::with_threads(1, || {
-                (
-                    fast_nms(rois.clone(), 0.4),
-                    prune_rois(rois.clone(), &boxes),
-                )
-            });
-            for threads in [2usize, 4, 16] {
-                let par = edgeis_parallel::with_threads(threads, || {
+            edgeis_conformance::assert_parallel_matches_serial(
+                &format!("segnet::nms+prune seed {seed}"),
+                &[2, 4, 16],
+                || {
                     (
                         fast_nms(rois.clone(), 0.4),
                         prune_rois(rois.clone(), &boxes),
                     )
-                });
-                assert_eq!(serial, par, "seed {seed}, threads {threads}");
-            }
+                },
+            );
         }
     }
 

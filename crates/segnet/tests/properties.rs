@@ -1,0 +1,176 @@
+//! Property tests for the §IV proposal-reduction machinery: the RoI
+//! dominance relation is a strict partial order (so pruning by it is
+//! well-defined), `prune_rois` keeps exactly the maximal elements, and
+//! dynamic anchor placement covers every guidance box.
+
+use edgeis_segnet::{prune_rois, AnchorGrid, BBox, FpnConfig, Guidance, GuidanceBox, Roi};
+use proptest::prelude::*;
+
+/// The exact predicate `prune_rois` uses: candidate `b` is dominated by
+/// `a` when `a` beats it on *both* confidence and overlap-with-initial-box.
+fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
+    a.0 > b.0 && a.1 > b.1
+}
+
+fn score_q() -> impl Strategy<Value = (f64, f64)> {
+    // Coarse grid so ties (the interesting boundary cases for a *strict*
+    // order) actually occur.
+    (0u32..8, 0u32..8).prop_map(|(s, q)| (s as f64 / 8.0, q as f64 / 8.0))
+}
+
+fn rois_strategy() -> impl Strategy<Value = Vec<Roi>> {
+    let roi = (0u32..110, 0u32..70, 4u32..40, 4u32..40, 0u32..16, 0u32..5);
+    proptest::collection::vec(roi, 1..60).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(x, y, w, h, s, a)| Roi {
+                bbox: BBox::new(x as f64, y as f64, (x + w) as f64, (y + h) as f64),
+                score: s as f64 / 16.0,
+                // 4 is out of range for the 3 initial boxes below: these
+                // must pass through untouched, like `None`.
+                area_id: (a < 4).then_some(a as usize),
+            })
+            .collect()
+    })
+}
+
+const INITIAL_BOXES: [BBox; 3] = [
+    BBox {
+        x0: 10.0,
+        y0: 10.0,
+        x1: 60.0,
+        y1: 60.0,
+    },
+    BBox {
+        x0: 50.0,
+        y0: 20.0,
+        x1: 110.0,
+        y1: 70.0,
+    },
+    BBox {
+        x0: 20.0,
+        y0: 50.0,
+        x1: 90.0,
+        y1: 100.0,
+    },
+];
+
+proptest! {
+    #[test]
+    fn dominance_is_a_strict_partial_order(a in score_q(), b in score_q(), c in score_q()) {
+        // Irreflexive: nothing dominates itself (ties don't dominate).
+        prop_assert!(!dominates(a, a));
+        // Asymmetric: mutual domination is impossible.
+        prop_assert!(!(dominates(a, b) && dominates(b, a)));
+        // Transitive: `>` composes componentwise.
+        if dominates(a, b) && dominates(b, c) {
+            prop_assert!(dominates(a, c), "{a:?} > {b:?} > {c:?} but not {a:?} > {c:?}");
+        }
+    }
+
+    #[test]
+    fn prune_keeps_exactly_the_undominated_rois(rois in rois_strategy()) {
+        let (survivors, pruned) = prune_rois(rois.clone(), &INITIAL_BOXES);
+        prop_assert_eq!(survivors.len() + pruned, rois.len());
+        for (i, r) in rois.iter().enumerate() {
+            let survived = survivors.iter().any(|s| s == r);
+            let Some(area) = r.area_id.filter(|&a| a < INITIAL_BOXES.len()) else {
+                prop_assert!(survived, "unknown-area RoI {i} must survive");
+                continue;
+            };
+            let key = |r: &Roi| (r.score, r.bbox.iou(&INITIAL_BOXES[area]));
+            let dominated = rois
+                .iter()
+                .enumerate()
+                .any(|(j, o)| j != i && o.area_id == r.area_id && dominates(key(o), key(r)));
+            // Survivors are exactly the maximal elements of their area:
+            // pruned => dominated, survived => undominated. (A strict
+            // partial order guarantees maximal elements exist, so the
+            // dominator of a pruned RoI — or one above it — survives.)
+            prop_assert_eq!(
+                survived, !dominated,
+                "RoI {i} (area {area}, score {:.3}): survived={survived} dominated={dominated}",
+                r.score
+            );
+        }
+    }
+}
+
+/// Containment with a few-ulp slack: the anchor center is recovered from
+/// `bbox.center()` whose rounding can drift ~1e-13 off the admission
+/// center, which matters exactly when that center sits on a box edge.
+fn contains_eps(b: &BBox, x: f64, y: f64) -> bool {
+    const EPS: f64 = 1e-6;
+    x >= b.x0 - EPS && x < b.x1 + EPS && y >= b.y0 - EPS && y < b.y1 + EPS
+}
+
+fn guidance_strategy() -> impl Strategy<Value = Guidance> {
+    let gbox = (0u32..150, 0u32..110, 1u32..50, 1u32..50, 0u32..4);
+    proptest::collection::vec(gbox, 1..5).prop_map(|raw| Guidance {
+        boxes: raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y, w, h, class))| GuidanceBox {
+                bbox: BBox::new(
+                    x as f64,
+                    y as f64,
+                    ((x + w) as f64).min(160.0),
+                    ((y + h) as f64).min(120.0),
+                ),
+                // Mix transferred-mask boxes (known class) with newly
+                // observed areas (class unknown).
+                class_id: (class > 0).then_some(class as u8),
+                instance: Some(i as u16 + 1),
+            })
+            .collect(),
+    })
+}
+
+proptest! {
+    #[test]
+    fn guided_anchors_cover_every_guidance_box(
+        guidance in guidance_strategy(),
+        margin_step in 1u32..8,
+    ) {
+        // Margin >= the finest stride (4): every expanded box then spans at
+        // least one sliding-window center per axis, so placement that skips
+        // a box is a bug, not a sampling gap.
+        let margin = (margin_step * 4) as f64;
+        let grid = AnchorGrid::new(FpnConfig::default(), 160, 120);
+        let anchors = grid.guided(&guidance, margin);
+        let expanded: Vec<BBox> = guidance
+            .boxes
+            .iter()
+            .map(|g| g.bbox.expanded(margin, 160.0, 120.0))
+            .collect();
+
+        for (i, e) in expanded.iter().enumerate() {
+            let covered = anchors.iter().any(|a| {
+                let (cx, cy) = a.bbox.center();
+                contains_eps(e, cx, cy)
+            });
+            prop_assert!(
+                covered,
+                "guidance box {i} ({:?}, expanded {e:?}, margin {margin}) admitted no anchor",
+                guidance.boxes[i].bbox
+            );
+        }
+        // And the dual: guided placement never strays outside guidance.
+        for a in &anchors {
+            let (cx, cy) = a.bbox.center();
+            prop_assert!(
+                expanded.iter().any(|e| contains_eps(e, cx, cy)),
+                "anchor centered at ({cx},{cy}) lies outside every expanded guidance box"
+            );
+            if let Some(area) = a.area_id {
+                prop_assert!(
+                    contains_eps(&expanded[area], cx, cy),
+                    "anchor at ({cx},{cy}) tagged area {area} but its center is outside that box"
+                );
+                prop_assert!(
+                    guidance.boxes[area].class_id.is_some(),
+                    "area id {area} assigned from a class-unknown guidance box"
+                );
+            }
+        }
+    }
+}

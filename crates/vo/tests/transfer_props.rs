@@ -1,0 +1,106 @@
+//! Property tests for §III-C depth borrowing: every contour pixel takes
+//! the mean depth of its k nearest in-mask features (paper: k = 5). The
+//! estimate must always be a finite depth inside the anchors' range, must
+//! not depend on the order features happened to be extracted in, and the
+//! bucket-grid index must reproduce the linear scan bit-for-bit.
+
+use edgeis_geometry::Vec2;
+use edgeis_vo::transfer::{knn_depth_linear, AnchorIndex, DepthAnchor};
+use proptest::prelude::*;
+
+fn anchors_strategy() -> impl Strategy<Value = Vec<DepthAnchor>> {
+    let anchor = (0.0f64..160.0, 0.0f64..120.0, 0.5f64..6.0);
+    proptest::collection::vec(anchor, 1..40).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(x, y, depth)| DepthAnchor {
+                pixel: Vec2::new(x, y),
+                depth,
+            })
+            .collect()
+    })
+}
+
+fn query_strategy() -> impl Strategy<Value = Vec2> {
+    // Queries may fall outside the anchor hull (contour pixels often do).
+    (-20.0f64..180.0, -20.0f64..140.0).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+/// Distances from `pixel` to every anchor are pairwise distinct — the
+/// precondition for order-independence (ties are broken by input order,
+/// deliberately, to match the stable sort of the reference scan).
+fn distances_distinct(pixel: Vec2, anchors: &[DepthAnchor]) -> bool {
+    let mut d: Vec<f64> = anchors.iter().map(|a| a.pixel.distance(pixel)).collect();
+    d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    d.windows(2).all(|w| w[1] - w[0] > 1e-9)
+}
+
+proptest! {
+    #[test]
+    fn knn_depth_is_finite_and_inside_anchor_range(
+        anchors in anchors_strategy(),
+        pixel in query_strategy(),
+        k in 1usize..9,
+    ) {
+        let d = knn_depth_linear(pixel, &anchors, k);
+        prop_assert!(d.is_finite(), "k={k}, {} anchors: got {d}", anchors.len());
+        let min = anchors.iter().map(|a| a.depth).fold(f64::INFINITY, f64::min);
+        let max = anchors.iter().map(|a| a.depth).fold(0.0, f64::max);
+        // A mean of borrowed depths can never leave the borrowed range.
+        prop_assert!(
+            d >= min - 1e-12 && d <= max + 1e-12,
+            "k={k}: depth {d} outside anchor range [{min}, {max}]"
+        );
+    }
+
+    #[test]
+    fn knn_depth_is_permutation_invariant(
+        anchors in anchors_strategy(),
+        pixel in query_strategy(),
+        rot in 0usize..40,
+    ) {
+        prop_assume!(distances_distinct(pixel, &anchors));
+        let reference = knn_depth_linear(pixel, &anchors, 5);
+
+        let mut reversed = anchors.clone();
+        reversed.reverse();
+        let mut rotated = anchors.clone();
+        rotated.rotate_left(rot % anchors.len());
+
+        // With distinct distances the k selected anchors — and the order
+        // their depths are summed in — are fully determined, so the result
+        // is bit-identical, not merely close.
+        prop_assert_eq!(
+            reference.to_bits(),
+            knn_depth_linear(pixel, &reversed, 5).to_bits(),
+            "depth changed under reversal: {reference} vs {}",
+            knn_depth_linear(pixel, &reversed, 5)
+        );
+        prop_assert_eq!(
+            reference.to_bits(),
+            knn_depth_linear(pixel, &rotated, 5).to_bits(),
+            "depth changed under rotation by {rot}: {reference} vs {}",
+            knn_depth_linear(pixel, &rotated, 5)
+        );
+    }
+
+    #[test]
+    fn anchor_index_matches_linear_scan_bitwise(
+        anchors in anchors_strategy(),
+        pixel in query_strategy(),
+        k in 1usize..9,
+    ) {
+        // The documented contract of the fast path — same ranking, same
+        // summation order, bit-identical result — including with tied
+        // distances, where both break ties by anchor index.
+        let index = AnchorIndex::build(&anchors);
+        let mut scratch = Vec::new();
+        let fast = index.knn_depth(pixel, k, &mut scratch);
+        let slow = knn_depth_linear(pixel, &anchors, k);
+        prop_assert_eq!(
+            fast.to_bits(),
+            slow.to_bits(),
+            "k={k}, {} anchors: index {fast} vs linear {slow}",
+            anchors.len()
+        );
+    }
+}
