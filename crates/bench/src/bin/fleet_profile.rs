@@ -20,9 +20,9 @@
 //! `--smoke` runs a 2-device, 30-frame sanity sweep and writes nothing
 //! (the CI hook).
 
-use edgeis::metrics::percentile;
 use edgeis::multi::{run_multi_device_with_stats, MultiDeviceConfig};
 use edgeis::serving::ServingConfig;
+use edgeis_telemetry::Histogram;
 use std::fmt::Write as _;
 
 const SEED: u64 = 7;
@@ -30,8 +30,10 @@ const SEED: u64 = 7;
 struct Cell {
     config: &'static str,
     devices: usize,
-    latency_samples: Vec<f64>,
-    queue_wait_samples: Vec<f64>,
+    /// Response round-trips: per-device histograms merged into one — the
+    /// same merge-able type the telemetry registry aggregates.
+    latency_hist: Histogram,
+    queue_wait_hist: Histogram,
     responses: usize,
     sim_seconds: f64,
     mean_iou: f64,
@@ -42,10 +44,10 @@ struct Cell {
 
 impl Cell {
     fn p50(&self) -> f64 {
-        percentile(&self.latency_samples, 0.5)
+        self.latency_hist.quantile(0.5)
     }
     fn p99(&self) -> f64 {
-        percentile(&self.latency_samples, 0.99)
+        self.latency_hist.quantile(0.99)
     }
     fn throughput_rps(&self) -> f64 {
         if self.sim_seconds <= 0.0 {
@@ -55,11 +57,7 @@ impl Cell {
         }
     }
     fn mean_queue_wait(&self) -> f64 {
-        if self.queue_wait_samples.is_empty() {
-            0.0
-        } else {
-            self.queue_wait_samples.iter().sum::<f64>() / self.queue_wait_samples.len() as f64
-        }
+        self.queue_wait_hist.mean()
     }
 }
 
@@ -78,14 +76,14 @@ fn run_cell(
     };
     let (reports, stats) =
         run_multi_device_with_stats(edgeis_scene::datasets::indoor_simple, &config);
-    let latency_samples: Vec<f64> = reports
-        .iter()
-        .flat_map(|r| r.response_latency_samples())
-        .collect();
-    let queue_wait_samples: Vec<f64> = reports
-        .iter()
-        .flat_map(|r| r.edge_queue_wait_samples())
-        .collect();
+    // One histogram per device, merged — order-independent, so a sharded
+    // collection pipeline would aggregate to the same percentiles.
+    let latency_hist = Histogram::new();
+    let queue_wait_hist = Histogram::new();
+    for r in &reports {
+        latency_hist.merge_from(&Histogram::from_samples(&r.response_latency_samples()));
+        queue_wait_hist.merge_from(&Histogram::from_samples(&r.edge_queue_wait_samples()));
+    }
     let mean_iou = reports.iter().map(|r| r.mean_iou()).sum::<f64>() / reports.len().max(1) as f64;
     let (shed_rate, batch_occupancy, cache_hit_rate) = match &stats {
         Some(s) => {
@@ -113,9 +111,9 @@ fn run_cell(
     Cell {
         config: config_name,
         devices,
-        responses: latency_samples.len(),
-        latency_samples,
-        queue_wait_samples,
+        responses: latency_hist.count() as usize,
+        latency_hist,
+        queue_wait_hist,
         sim_seconds: frames as f64 / config.fps,
         mean_iou,
         shed_rate,
@@ -183,6 +181,91 @@ fn to_json(cells: &[Cell], devices: &[usize], frames: usize, headline: (f64, f64
     let _ = writeln!(out, "  \"p99_speedup_at_8_devices\": {speedup:.3}");
     out.push_str("}\n");
     out
+}
+
+/// One faulted fleet run with telemetry on (the CI telemetry job):
+/// asserts the three exporters parse, edge spans are children of the
+/// originating mobile frame traces, and a link outage produced an
+/// automatic flight-recorder dump.
+fn run_telemetry_smoke() {
+    use edgeis::edge::EdgeFaultConfig;
+    use edgeis_netsim::FaultSchedule;
+    use edgeis_telemetry::{export, Telemetry, TelemetryConfig};
+
+    let telemetry = Telemetry::new(TelemetryConfig::enabled("fleet_smoke"));
+    let config = MultiDeviceConfig {
+        devices: 2,
+        frames: 90,
+        seed: SEED,
+        serving: Some(ServingConfig::default()),
+        // A 1.2 s mid-run outage: long enough past the 1.2 s response
+        // deadline for timeouts (deadline-miss dumps) and the
+        // Healthy -> Degraded -> Outage transitions to fire in-run.
+        link_faults: Some(FaultSchedule::new(SEED).outage(400.0, 1600.0)),
+        edge_faults: Some(EdgeFaultConfig {
+            shed_queue_horizon_ms: 400.0,
+            ..Default::default()
+        }),
+        telemetry: telemetry.clone(),
+        ..Default::default()
+    };
+    let (reports, _) =
+        run_multi_device_with_stats(edgeis_scene::datasets::indoor_simple, &config);
+    let timeouts: u64 = reports.iter().map(|r| r.resilience.timeouts).sum();
+    assert!(timeouts > 0, "telemetry smoke fault plan never fired");
+
+    // Causality: every edge-side span must be a child inside the trace
+    // its originating mobile frame opened (trace ids are deterministic
+    // functions of device and frame index, propagated over the wire).
+    let spans = telemetry.spans_snapshot();
+    let roots: std::collections::HashMap<u64, u64> = spans
+        .iter()
+        .filter(|s| s.name == "frame")
+        .map(|s| (s.trace_id, s.span_id))
+        .collect();
+    let edge_spans: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name.starts_with("edge."))
+        .collect();
+    assert!(!edge_spans.is_empty(), "no edge-side spans recorded");
+    for s in &edge_spans {
+        let root = roots.get(&s.trace_id).unwrap_or_else(|| {
+            panic!("edge span {} has no frame root for trace {:016x}", s.name, s.trace_id)
+        });
+        assert_eq!(
+            s.parent_id,
+            Some(*root),
+            "edge span {} not parented under its frame root",
+            s.name
+        );
+    }
+
+    // Exporters: all three formats must parse.
+    let files = telemetry
+        .export_all()
+        .expect("telemetry enabled")
+        .expect("export IO");
+    let jsonl = std::fs::read_to_string(&files.jsonl).expect("read spans.jsonl");
+    let lines = export::validate_jsonl(&jsonl).expect("spans.jsonl must parse");
+    assert!(lines > 0, "empty spans.jsonl");
+    let prom = std::fs::read_to_string(&files.prometheus).expect("read metrics.prom");
+    export::validate_prometheus(&prom).expect("metrics.prom must parse");
+    let chrome = std::fs::read_to_string(&files.chrome_trace).expect("read trace.json");
+    export::validate_json(&chrome).expect("trace.json must parse");
+
+    // The outage left Healthy: the flight recorder must have dumped.
+    let dir = telemetry.output_dir().expect("enabled hub has a dir");
+    let dumps = std::fs::read_dir(&dir)
+        .expect("telemetry dir exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("flight_"))
+        .count();
+    assert!(dumps > 0, "no flight dump despite an outage");
+    println!(
+        "telemetry smoke OK ({lines} jsonl lines, {} edge spans, {dumps} flight dumps) in {}",
+        edge_spans.len(),
+        dir.display()
+    );
 }
 
 fn main() {
@@ -255,6 +338,7 @@ fn main() {
                 c.devices
             );
         }
+        run_telemetry_smoke();
         println!("smoke OK ({} cells)", cells.len());
         return;
     }

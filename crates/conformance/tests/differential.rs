@@ -3,7 +3,7 @@
 //! bit-identical traces. Every failure names the first diverging frame
 //! and field with both values.
 
-use edgeis::fnv1a64;
+use edgeis::hash::fnv1a64;
 use edgeis::serving::{ServingConfig, ServingRuntime};
 use edgeis_conformance::diff::diff_traces;
 use edgeis_conformance::scenario::{record_fleet, record_single_with};

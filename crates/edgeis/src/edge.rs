@@ -8,6 +8,7 @@
 use bytes::Bytes;
 use edgeis_netsim::{Direction, Link, SimMs};
 use edgeis_segnet::{EdgeModel, FrameObservation, Guidance, InferenceStats};
+use edgeis_telemetry::{ArgValue, Telemetry, TraceContext};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -100,6 +101,16 @@ pub struct EdgeServer {
     crash_losses: u64,
     /// Requests shed for overload.
     shed_count: u64,
+    /// Telemetry hub handle (disabled by default).
+    telemetry: Telemetry,
+}
+
+/// Decodes the optional observability envelope riding a request into the
+/// trace context the edge should parent its spans under. A mangled or
+/// absent envelope yields `None`: telemetry degrades to unparented edge
+/// spans, never to a request failure.
+pub(crate) fn envelope_context(envelope: Option<&Bytes>) -> Option<TraceContext> {
+    envelope.and_then(|e| crate::wire::RequestEnvelope::decode(e.clone()).ok().map(|env| env.context()))
 }
 
 impl EdgeServer {
@@ -112,12 +123,19 @@ impl EdgeServer {
             corrupt_rng: StdRng::seed_from_u64(0xe6fa_u64),
             crash_losses: 0,
             shed_count: 0,
+            telemetry: Telemetry::disabled(),
         }
     }
 
     /// Installs the edge fault model.
     pub fn set_faults(&mut self, faults: EdgeFaultConfig) {
         self.faults = faults;
+    }
+
+    /// Installs a telemetry hub: queue/inference spans are parented under
+    /// the trace context decoded from each request's wire envelope.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Requests lost to crash windows so far.
@@ -143,11 +161,36 @@ impl EdgeServer {
         arrival_ms: SimMs,
         link: &mut Link,
     ) -> Option<PendingResponse> {
+        self.submit_traced(frame_id, obs, guidance, arrival_ms, link, None)
+    }
+
+    /// [`Self::submit`] with an optional observability envelope (see
+    /// [`crate::wire::RequestEnvelope`]): when telemetry is enabled, the
+    /// edge's queue-wait and inference spans are emitted as children of
+    /// the originating mobile frame's trace.
+    pub fn submit_traced(
+        &mut self,
+        frame_id: u64,
+        obs: &FrameObservation,
+        guidance: Option<&Guidance>,
+        arrival_ms: SimMs,
+        link: &mut Link,
+        envelope: Option<Bytes>,
+    ) -> Option<PendingResponse> {
+        let ctx = if self.telemetry.is_enabled() {
+            envelope_context(envelope.as_ref())
+        } else {
+            None
+        };
         // Crash model: a request arriving during a crash is lost; the
         // server restarts with an empty queue after the window.
         if self.faults.crashed_at(arrival_ms) {
             self.recover_from_crash(arrival_ms);
             self.crash_losses += 1;
+            if let Some(ctx) = &ctx {
+                self.telemetry
+                    .emit_event(ctx, "edge.crash_lost", arrival_ms, Vec::new());
+            }
             return None;
         }
 
@@ -156,6 +199,14 @@ impl EdgeServer {
         // Overload shedding: reject instead of queuing beyond the horizon.
         if start - arrival_ms > self.faults.shed_queue_horizon_ms {
             self.shed_count += 1;
+            if let Some(ctx) = &ctx {
+                self.telemetry.emit_event(
+                    ctx,
+                    "edge.shed",
+                    arrival_ms,
+                    vec![("queue_wait_ms", ArgValue::F64(start - arrival_ms))],
+                );
+            }
             let payload = crate::wire::encode_response(frame_id, &[]);
             let bytes = payload.len();
             let delivery = link.transmit_faulty(bytes, arrival_ms, Direction::Downlink)?;
@@ -177,9 +228,30 @@ impl EdgeServer {
         if let Some((_, crash_end)) = self.faults.crash_opening_in(start, done) {
             self.recover_from_crash(crash_end);
             self.crash_losses += 1;
+            if let Some(ctx) = &ctx {
+                self.telemetry
+                    .emit_event(ctx, "edge.crash_lost", start, Vec::new());
+            }
             return None;
         }
         self.busy_until = done;
+        if let Some(ctx) = &ctx {
+            if start > arrival_ms {
+                self.telemetry
+                    .emit_child_span(ctx, "edge.queue", arrival_ms, start, Vec::new());
+            }
+            self.telemetry.emit_child_span(
+                ctx,
+                "edge.infer",
+                start,
+                done,
+                vec![
+                    ("frame_id", ArgValue::U64(frame_id)),
+                    ("detections", ArgValue::U64(result.detections.len() as u64)),
+                    ("lane", ArgValue::Str("serial".to_string())),
+                ],
+            );
+        }
 
         // Response payload: the actual wire-encoded message (header +
         // per-detection metadata + RLE mask; the paper serializes contour
@@ -277,6 +349,16 @@ impl SharedEdge {
         }
     }
 
+    /// Installs a telemetry hub on the shared backend. Idempotent; each
+    /// device's `EdgeIsSystem::set_telemetry` calls this, and all clones
+    /// of one `SharedEdge` see the same backend.
+    pub fn set_telemetry(&self, telemetry: Telemetry) {
+        match &mut *self.inner.lock() {
+            EdgeBackend::Serial(s) => s.set_telemetry(telemetry),
+            EdgeBackend::Serving(s) => s.set_telemetry(telemetry),
+        }
+    }
+
     /// Submits a request with no device identity (single-device callers):
     /// equivalent to [`Self::submit_from`] with device 0.
     pub fn submit(
@@ -302,9 +384,29 @@ impl SharedEdge {
         arrival_ms: SimMs,
         link: &mut Link,
     ) -> Option<PendingResponse> {
+        self.submit_traced_from(device, frame_id, obs, guidance, arrival_ms, link, None)
+    }
+
+    /// [`Self::submit_from`] with an optional observability envelope so
+    /// edge-side spans attach to the originating mobile frame's trace.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_traced_from(
+        &self,
+        device: u64,
+        frame_id: u64,
+        obs: &FrameObservation,
+        guidance: Option<&Guidance>,
+        arrival_ms: SimMs,
+        link: &mut Link,
+        envelope: Option<Bytes>,
+    ) -> Option<PendingResponse> {
         match &mut *self.inner.lock() {
-            EdgeBackend::Serial(s) => s.submit(frame_id, obs, guidance, arrival_ms, link),
-            EdgeBackend::Serving(s) => s.submit(device, frame_id, obs, guidance, arrival_ms, link),
+            EdgeBackend::Serial(s) => {
+                s.submit_traced(frame_id, obs, guidance, arrival_ms, link, envelope)
+            }
+            EdgeBackend::Serving(s) => s.submit_traced(
+                device, frame_id, obs, guidance, arrival_ms, link, envelope,
+            ),
         }
     }
 

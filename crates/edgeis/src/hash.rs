@@ -1,0 +1,100 @@
+//! The workspace's one FNV-1a 64 implementation.
+//!
+//! Trace digests (`trace.rs`), conformance payload digests, the serving
+//! guidance-cache signature, and telemetry trace ids all hash through
+//! here. Before this module existed the workspace carried three separate
+//! hand-rolled copies; keeping a single implementation (with the official
+//! test vectors below) means a constant or loop tweak cannot silently
+//! fork the digest definitions apart.
+//!
+//! FNV-1a is used for *fingerprinting only* — change detection between
+//! deterministic runs — never for adversarial integrity.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Extends an FNV-1a 64 digest with `bytes`.
+#[inline]
+pub fn fnv1a64_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// FNV-1a 64 digest of `bytes`.
+#[inline]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_extend(FNV_OFFSET, bytes)
+}
+
+/// FNV-1a 64 digest of a sequence of `u64` words (little-endian), used
+/// for structural signatures like the serving guidance cache key and
+/// telemetry trace ids.
+#[inline]
+pub fn fnv1a64_words(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = FNV_OFFSET;
+    for w in words {
+        h = fnv1a64_extend(h, &w.to_le_bytes());
+    }
+    h
+}
+
+/// Deterministic telemetry trace id for one (device, frame) pair.
+/// Stable across runs, hosts, and thread counts — the causal join key
+/// between mobile-side and edge-side spans.
+#[inline]
+pub fn trace_id(device: u64, frame_index: u64) -> u64 {
+    fnv1a64_words([0x7472_6163_6500_0001, device, frame_index])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Official FNV-1a 64 test vectors (Fowler/Noll/Vo reference suite).
+    #[test]
+    fn reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325, "empty = offset basis");
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"b"), 0xaf63_df4c_8601_f1a5);
+        assert_eq!(fnv1a64(b"c"), 0xaf63_de4c_8601_eff2);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn extend_composes_like_concatenation() {
+        let whole = fnv1a64(b"hello world");
+        let split = fnv1a64_extend(fnv1a64(b"hello "), b"world");
+        assert_eq!(whole, split);
+        let byte_at_a_time = b"hello world"
+            .iter()
+            .fold(FNV_OFFSET, |h, &b| fnv1a64_extend(h, &[b]));
+        assert_eq!(whole, byte_at_a_time);
+    }
+
+    #[test]
+    fn word_hash_matches_byte_hash_of_le_encoding() {
+        let words = [1u64, 0xdead_beef, u64::MAX];
+        let mut bytes = Vec::new();
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        assert_eq!(fnv1a64_words(words), fnv1a64(&bytes));
+    }
+
+    #[test]
+    fn trace_ids_are_distinct_across_devices_and_frames() {
+        let mut seen = std::collections::BTreeSet::new();
+        for device in 0..16 {
+            for frame in 0..64 {
+                assert!(seen.insert(trace_id(device, frame)), "collision");
+            }
+        }
+        assert_eq!(trace_id(1, 2), trace_id(1, 2), "deterministic");
+        assert_ne!(trace_id(1, 2), trace_id(2, 1), "order-sensitive");
+    }
+}

@@ -35,6 +35,7 @@ pub mod cfrs;
 pub mod cost;
 pub mod edge;
 pub mod experiment;
+pub mod hash;
 pub mod metrics;
 pub mod multi;
 pub mod pipeline;
@@ -50,7 +51,7 @@ pub use experiment::{run_system, run_system_with_faults, ExperimentConfig, Fault
 pub use metrics::{
     percentile, FrameRecord, Report, ResilienceStats, StageBreakdownMs, StageSummary,
 };
-pub use pipeline::run_pipeline;
+pub use pipeline::{run_pipeline, run_pipeline_with_telemetry};
 pub use serving::{ServingConfig, ServingRuntime, ServingStats};
 pub use system::{
     EdgeIsConfig, EdgeIsSystem, FrameInput, FrameOutput, LinkHealth, ResilienceConfig,

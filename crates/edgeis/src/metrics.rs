@@ -75,12 +75,22 @@ pub struct StageSummary {
 }
 
 /// Nearest-rank percentile of an unsorted sample set (`q` in `[0, 1]`).
+///
+/// Edge cases (all tested):
+/// - empty input → `0.0` (no samples, no latency — callers treat the run
+///   as "nothing measured");
+/// - `q = 0.0` → the minimum (rank clamps to 1, never 0);
+/// - `q = 1.0` → the maximum;
+/// - a single sample is returned for every `q`;
+/// - `NaN` samples sort *after* every finite value and `+∞`
+///   (IEEE 754 `total_cmp` order), so they can only surface at the very
+///   top ranks instead of poisoning the sort with incomparable pairs.
 pub fn percentile(samples: &[f64], q: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(f64::total_cmp);
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
 }
@@ -308,6 +318,10 @@ impl Report {
     /// Per-stage p50/p95/mean over frames that were actually processed
     /// (dropped frames carry all-zero stage rows and are excluded so they
     /// do not drag the percentiles down).
+    /// Percentiles come from the shared log-scale
+    /// [`edgeis_telemetry::Histogram`] (one merge-able type for every
+    /// latency aggregate in the repo): exact at the extremes (min/max),
+    /// within one ~7.5% bucket width mid-distribution.
     pub fn stage_summaries(&self) -> Vec<StageSummary> {
         let rows: Vec<[f64; 7]> = self
             .records
@@ -320,16 +334,12 @@ impl Report {
             .enumerate()
             .map(|(i, name)| {
                 let samples: Vec<f64> = rows.iter().map(|row| row[i]).collect();
-                let mean = if samples.is_empty() {
-                    0.0
-                } else {
-                    samples.iter().sum::<f64>() / samples.len() as f64
-                };
+                let hist = edgeis_telemetry::Histogram::from_samples(&samples);
                 StageSummary {
                     stage: (*name).to_string(),
-                    p50_ms: percentile(&samples, 0.5),
-                    p95_ms: percentile(&samples, 0.95),
-                    mean_ms: mean,
+                    p50_ms: hist.quantile(0.5),
+                    p95_ms: hist.quantile(0.95),
+                    mean_ms: hist.mean(),
                 }
             })
             .collect()
@@ -379,9 +389,11 @@ impl Report {
     }
 
     /// Nearest-rank percentile of the response round-trip, ms (0 when no
-    /// responses were delivered).
+    /// responses were delivered). Served by the shared log-scale
+    /// [`edgeis_telemetry::Histogram`]: exact at the extremes, within one
+    /// ~7.5% bucket width mid-distribution.
     pub fn response_latency_percentile(&self, q: f64) -> f64 {
-        percentile(&self.response_latency_samples(), q)
+        edgeis_telemetry::Histogram::from_samples(&self.response_latency_samples()).quantile(q)
     }
 
     /// Merges several runs (e.g. different seeds) into one pooled report.
@@ -513,6 +525,27 @@ mod tests {
         assert_eq!(percentile(&s, 0.95), 4.0);
         assert_eq!(percentile(&s, 0.0), 1.0);
         assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        // q = 0.0 is the minimum (rank clamps to 1, never an OOB rank 0)
+        // and q = 1.0 the maximum.
+        let s = [5.0, 9.0, 7.0];
+        assert_eq!(percentile(&s, 0.0), 5.0);
+        assert_eq!(percentile(&s, 1.0), 9.0);
+        // A single sample answers every quantile.
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&[42.0], q), 42.0);
+        }
+        // NaN sorts after every finite value and +inf (total_cmp order):
+        // it can only surface at the top ranks, and the rest of the
+        // distribution stays correct.
+        let with_nan = [2.0, f64::NAN, 1.0, 3.0];
+        assert_eq!(percentile(&with_nan, 0.25), 1.0);
+        assert_eq!(percentile(&with_nan, 0.5), 2.0);
+        assert_eq!(percentile(&with_nan, 0.75), 3.0);
+        assert!(percentile(&with_nan, 1.0).is_nan());
     }
 
     #[test]

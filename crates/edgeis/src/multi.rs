@@ -47,6 +47,10 @@ pub struct MultiDeviceConfig {
     /// paper's serial FIFO [`EdgeServer`]; `Some` enables the batched /
     /// sharded / cached / admission-controlled [`ServingRuntime`].
     pub serving: Option<ServingConfig>,
+    /// Telemetry hub installed on every device and the shared edge.
+    /// Disabled by default; the caller owns the hub and exports it after
+    /// the run (`Telemetry::export_all`).
+    pub telemetry: edgeis_telemetry::Telemetry,
 }
 
 impl Default for MultiDeviceConfig {
@@ -63,6 +67,7 @@ impl Default for MultiDeviceConfig {
             link_faults: None,
             edge_faults: None,
             serving: None,
+            telemetry: edgeis_telemetry::Telemetry::disabled(),
         }
     }
 }
@@ -121,6 +126,9 @@ where
             let sys_cfg = EdgeIsConfig::full(config.camera, config.seed + d as u64);
             let mut system = EdgeIsSystem::with_shared_edge(sys_cfg, config.link, shared.clone());
             system.set_device_id(d as u64);
+            if config.telemetry.is_enabled() {
+                system.set_telemetry(config.telemetry.clone());
+            }
             if let Some(faults) = &config.link_faults {
                 system.install_link_faults(faults.reseeded(config.seed ^ ((d as u64) << 8)));
             }
@@ -161,6 +169,17 @@ where
             ) = if dev.backlog >= interval {
                 dev.backlog -= interval;
                 dev.stale += 1;
+                if config.telemetry.is_enabled() {
+                    config.telemetry.emit_event_current(
+                        "frame.dropped",
+                        dev.system.device_id(),
+                        now,
+                        vec![
+                            ("frame", edgeis_telemetry::ArgValue::U64(i as u64)),
+                            ("backlog_ms", edgeis_telemetry::ArgValue::F64(dev.backlog)),
+                        ],
+                    );
+                }
                 (
                     interval,
                     0,

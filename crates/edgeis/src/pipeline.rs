@@ -51,7 +51,34 @@ pub fn run_pipeline(
     classes: &BTreeMap<u16, u8>,
     config: &PipelineConfig,
 ) -> Report {
+    run_pipeline_with_telemetry(
+        system,
+        world,
+        camera,
+        classes,
+        config,
+        &edgeis_telemetry::Telemetry::disabled(),
+    )
+}
+
+/// [`run_pipeline`] with a telemetry hub: dropped frames become
+/// `frame.dropped` events and the driver keeps pipeline-level counters.
+/// The simulation itself is untouched — telemetry only observes.
+pub fn run_pipeline_with_telemetry(
+    system: &mut dyn SegmentationSystem,
+    world: &World,
+    camera: &Camera,
+    classes: &BTreeMap<u16, u8>,
+    config: &PipelineConfig,
+    telemetry: &edgeis_telemetry::Telemetry,
+) -> Report {
     let interval = 1000.0 / config.fps;
+    let drop_counter = telemetry
+        .registry()
+        .map(|r| r.counter("edgeis_pipeline_dropped_frames_total", &[]));
+    let frame_counter = telemetry
+        .registry()
+        .map(|r| r.counter("edgeis_pipeline_frames_total", &[]));
     let mut records = Vec::with_capacity(config.frames);
     let mut backlog = 0.0f64;
     let mut last_masks: Vec<(u16, Mask)> = Vec::new();
@@ -84,6 +111,20 @@ pub fn run_pipeline(
         ) = if backlog >= interval {
             backlog -= interval;
             stale += 1;
+            if telemetry.is_enabled() {
+                telemetry.emit_event_current(
+                    "frame.dropped",
+                    0,
+                    now,
+                    vec![
+                        ("frame", edgeis_telemetry::ArgValue::U64(i as u64)),
+                        ("backlog_ms", edgeis_telemetry::ArgValue::F64(backlog)),
+                    ],
+                );
+                if let Some(c) = &drop_counter {
+                    c.inc();
+                }
+            }
             (
                 interval,
                 0,
@@ -108,6 +149,9 @@ pub fn run_pipeline(
                 out.trace,
             )
         };
+        if let Some(c) = &frame_counter {
+            c.inc();
+        }
         let rendered = &last_masks;
 
         // Score: every sufficiently visible ground-truth instance

@@ -33,9 +33,11 @@
 //! (1 lane, batch 1, window 0) reduces exactly to [`EdgeServer`]'s
 //! `max(arrival, busy_until) + total_ms` FIFO formula.
 
-use crate::edge::{corrupt_payload, EdgeFaultConfig, PendingResponse};
+use crate::edge::{corrupt_payload, envelope_context, EdgeFaultConfig, PendingResponse};
+use bytes::Bytes;
 use edgeis_netsim::{Direction, LaneSet, Link, SimMs};
 use edgeis_segnet::{EdgeModel, FrameObservation, Guidance, InferenceStats};
+use edgeis_telemetry::{ArgValue, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
@@ -165,29 +167,31 @@ struct OpenBatch {
 }
 
 /// Quantized guidance signature: a cache key that tolerates sub-tolerance
-/// coordinate drift.
-type GuidanceKey = Vec<(Option<u16>, Option<u8>, [i64; 4])>;
+/// coordinate drift. The sorted, quantized box tuples are folded into one
+/// FNV-1a word via [`crate::hash`] so the per-device cache stores 8 bytes
+/// instead of a boxed tuple list; hits and misses are unchanged modulo
+/// 64-bit hash collisions.
+type GuidanceKey = u64;
 
 fn guidance_key(guidance: &Guidance, tolerance_px: f64) -> GuidanceKey {
     let q = tolerance_px.max(1e-6);
-    let mut key: GuidanceKey = guidance
+    let mut boxes: Vec<[u64; 6]> = guidance
         .boxes
         .iter()
         .map(|b| {
-            (
-                b.instance,
-                b.class_id,
-                [
-                    (b.bbox.x0 / q).round() as i64,
-                    (b.bbox.y0 / q).round() as i64,
-                    (b.bbox.x1 / q).round() as i64,
-                    (b.bbox.y1 / q).round() as i64,
-                ],
-            )
+            [
+                // Option fields biased by 1 so None and Some(0) differ.
+                b.instance.map_or(0, |v| v as u64 + 1),
+                b.class_id.map_or(0, |v| v as u64 + 1),
+                (b.bbox.x0 / q).round() as i64 as u64,
+                (b.bbox.y0 / q).round() as i64 as u64,
+                (b.bbox.x1 / q).round() as i64 as u64,
+                (b.bbox.y1 / q).round() as i64 as u64,
+            ]
         })
         .collect();
-    key.sort();
-    key
+    boxes.sort_unstable();
+    crate::hash::fnv1a64_words(boxes.into_iter().flatten())
 }
 
 /// Per-request seed: a pure function of the runtime's base seed, the
@@ -215,6 +219,8 @@ pub struct ServingRuntime {
     corrupt_rng: StdRng,
     stats: ServingStats,
     base_seed: u64,
+    /// Telemetry hub handle (disabled by default).
+    telemetry: Telemetry,
 }
 
 impl ServingRuntime {
@@ -233,6 +239,7 @@ impl ServingRuntime {
             corrupt_rng: StdRng::seed_from_u64(base_seed ^ 0xe6fa),
             stats: ServingStats::default(),
             base_seed,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -240,6 +247,13 @@ impl ServingRuntime {
     /// shed horizon is evaluated per lane).
     pub fn set_faults(&mut self, faults: EdgeFaultConfig) {
         self.faults = faults;
+    }
+
+    /// Installs a telemetry hub: queue-wait and inference spans (with
+    /// lane, batch and cache annotations) are parented under the trace
+    /// context decoded from each request's wire envelope.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Serving accounting so far.
@@ -331,9 +345,36 @@ impl ServingRuntime {
         arrival_ms: SimMs,
         link: &mut Link,
     ) -> Option<PendingResponse> {
+        self.submit_traced(device, frame_id, obs, guidance, arrival_ms, link, None)
+    }
+
+    /// [`Self::submit`] with an optional observability envelope (see
+    /// [`crate::wire::RequestEnvelope`]): when telemetry is enabled, the
+    /// lane's queue-wait and batched-inference spans are emitted as
+    /// children of the originating mobile frame's trace.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_traced(
+        &mut self,
+        device: u64,
+        frame_id: u64,
+        obs: &FrameObservation,
+        guidance: Option<&Guidance>,
+        arrival_ms: SimMs,
+        link: &mut Link,
+        envelope: Option<Bytes>,
+    ) -> Option<PendingResponse> {
+        let ctx = if self.telemetry.is_enabled() {
+            envelope_context(envelope.as_ref())
+        } else {
+            None
+        };
         if self.faults.crashed_at(arrival_ms) {
             self.recover_from_crash(arrival_ms);
             self.stats.crash_losses += 1;
+            if let Some(ctx) = &ctx {
+                self.telemetry
+                    .emit_event(ctx, "edge.crash_lost", arrival_ms, Vec::new());
+            }
             return None;
         }
 
@@ -386,12 +427,34 @@ impl ServingRuntime {
         // Per-lane overload shed (the fault model's horizon).
         if queue_wait_ms > self.faults.shed_queue_horizon_ms {
             self.stats.horizon_sheds += 1;
+            if let Some(ctx) = &ctx {
+                self.telemetry.emit_event(
+                    ctx,
+                    "edge.shed",
+                    arrival_ms,
+                    vec![
+                        ("kind", ArgValue::Str("horizon".to_string())),
+                        ("queue_wait_ms", ArgValue::F64(queue_wait_ms)),
+                    ],
+                );
+            }
             return self.shed_response(frame_id, arrival_ms, link);
         }
         // Deadline-aware admission: the virtual clock knows the exact
         // completion; don't serve what nobody will wait for.
         if completion - arrival_ms > self.config.admission_deadline_ms {
             self.stats.admission_sheds += 1;
+            if let Some(ctx) = &ctx {
+                self.telemetry.emit_event(
+                    ctx,
+                    "edge.shed",
+                    arrival_ms,
+                    vec![
+                        ("kind", ArgValue::Str("admission".to_string())),
+                        ("est_latency_ms", ArgValue::F64(completion - arrival_ms)),
+                    ],
+                );
+            }
             return self.shed_response(frame_id, arrival_ms, link);
         }
 
@@ -407,6 +470,10 @@ impl ServingRuntime {
         {
             self.recover_from_crash(crash_end);
             self.stats.crash_losses += 1;
+            if let Some(ctx) = &ctx {
+                self.telemetry
+                    .emit_event(ctx, "edge.crash_lost", exec_start, Vec::new());
+            }
             return None;
         }
 
@@ -446,6 +513,32 @@ impl ServingRuntime {
             self.stats.cache_saved_ms += result.stats.rpn_ms;
         } else if guided {
             self.stats.cache_misses += 1;
+        }
+
+        if let Some(ctx) = &ctx {
+            if queue_wait_ms > 0.0 {
+                self.telemetry.emit_child_span(
+                    ctx,
+                    "edge.queue",
+                    arrival_ms,
+                    exec_start,
+                    vec![("lane", ArgValue::U64(lane as u64))],
+                );
+            }
+            let batch_size = self.open[lane].map_or(1, |b| b.size) as u64;
+            self.telemetry.emit_child_span(
+                ctx,
+                "edge.infer",
+                exec_start,
+                completion,
+                vec![
+                    ("frame_id", ArgValue::U64(frame_id)),
+                    ("lane", ArgValue::U64(lane as u64)),
+                    ("batch_size", ArgValue::U64(batch_size)),
+                    ("cache_hit", ArgValue::U64(cache_hit as u64)),
+                    ("detections", ArgValue::U64(result.detections.len() as u64)),
+                ],
+            );
         }
 
         let payload = crate::wire::encode_response(frame_id, &result.detections);

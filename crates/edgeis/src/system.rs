@@ -14,13 +14,14 @@ use crate::resources::{ResourceConfig, ResourceLedger};
 use crate::trace::{
     digest_masks, digest_uplink, fnv1a64_extend, pose_vector, FrameTrace, FNV_OFFSET,
 };
-use crate::wire::WireDetection;
+use crate::wire::{RequestEnvelope, WireDetection};
 use edgeis_codec::{encode, QualityLevel, TileGrid, TilePlan};
 use edgeis_geometry::Camera;
 use edgeis_imaging::{GrayImage, LabelMap, Mask, MotionVectorField};
 use edgeis_netsim::{Direction, FaultSchedule, Link, LinkKind, SimMs};
 use edgeis_scene::RenderedFrame;
 use edgeis_segnet::{EdgeModel, FrameObservation, ModelKind};
+use edgeis_telemetry::{ArgValue, Counter, Gauge, Histogram, Telemetry};
 use edgeis_vo::{VisualOdometry, VoConfig};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -318,6 +319,59 @@ pub struct EdgeIsSystem {
     recovery_started_ms: Option<SimMs>,
     stats: ResilienceStats,
     name: &'static str,
+    /// Telemetry hub handle (disabled by default: one branch per call).
+    telemetry: Telemetry,
+    /// Cached per-device metric handles (None while telemetry is off, so
+    /// the hot path never pays a registry lookup).
+    tele: Option<DeviceMetrics>,
+}
+
+/// Pre-resolved metric handles for one device. Looked up once in
+/// `set_telemetry` so per-frame updates are plain atomic ops.
+struct DeviceMetrics {
+    frames: Counter,
+    transmits: Counter,
+    tx_bytes: Counter,
+    timeouts: Counter,
+    stale_drops: Counter,
+    corrupt_responses: Counter,
+    shed_responses: Counter,
+    mobile_ms: Histogram,
+    queue_wait_ms: Histogram,
+    response_latency_ms: Histogram,
+    health: Gauge,
+}
+
+impl DeviceMetrics {
+    fn new(telemetry: &Telemetry, device: u64) -> Option<Self> {
+        let registry = telemetry.registry()?;
+        let dev = device.to_string();
+        let labels: &[(&str, &str)] = &[("device", dev.as_str())];
+        Some(Self {
+            frames: registry.counter("edgeis_frames_total", labels),
+            transmits: registry.counter("edgeis_transmits_total", labels),
+            tx_bytes: registry.counter("edgeis_tx_bytes_total", labels),
+            timeouts: registry.counter("edgeis_timeouts_total", labels),
+            stale_drops: registry.counter("edgeis_stale_drops_total", labels),
+            corrupt_responses: registry.counter("edgeis_corrupt_responses_total", labels),
+            shed_responses: registry.counter("edgeis_shed_responses_total", labels),
+            mobile_ms: registry.histogram("edgeis_mobile_frame_ms", labels),
+            queue_wait_ms: registry.histogram("edgeis_edge_queue_wait_ms", labels),
+            response_latency_ms: registry.histogram("edgeis_response_latency_ms", labels),
+            health: registry.gauge("edgeis_link_health", labels),
+        })
+    }
+}
+
+/// Numeric encoding of the health state for the gauge (0 = healthy,
+/// rising with severity so dashboards can threshold on it).
+fn health_level(health: LinkHealth) -> f64 {
+    match health {
+        LinkHealth::Healthy => 0.0,
+        LinkHealth::Recovering => 1.0,
+        LinkHealth::Degraded => 2.0,
+        LinkHealth::Outage => 3.0,
+    }
 }
 
 impl EdgeIsSystem {
@@ -367,6 +421,8 @@ impl EdgeIsSystem {
             last_probe_ms: f64::NEG_INFINITY,
             recovery_started_ms: None,
             stats: ResilienceStats::default(),
+            telemetry: Telemetry::disabled(),
+            tele: None,
             tracker,
             config,
             name,
@@ -386,6 +442,26 @@ impl EdgeIsSystem {
     /// per-request seeding, guidance cache key).
     pub fn set_device_id(&mut self, device: u64) {
         self.device_id = device;
+    }
+
+    /// This system's device identity on the shared edge.
+    pub fn device_id(&self) -> u64 {
+        self.device_id
+    }
+
+    /// Installs a telemetry hub on this system, its link and its edge
+    /// server. Call after `set_device_id` so spans and metrics carry the
+    /// final device identity. Telemetry only observes: virtual-clock
+    /// values, RNG streams and payload bytes are untouched, so traces and
+    /// goldens are byte-identical with telemetry on or off.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.link.set_telemetry(telemetry.clone(), self.device_id);
+        self.server.set_telemetry(telemetry.clone());
+        self.tele = DeviceMetrics::new(&telemetry, self.device_id);
+        if let Some(m) = &self.tele {
+            m.health.set(health_level(self.health));
+        }
+        self.telemetry = telemetry;
     }
 
     /// Installs a scripted link fault schedule (outages, drops, spikes,
@@ -458,6 +534,35 @@ impl EdgeIsSystem {
         }
     }
 
+    /// Moves the health state machine and mirrors the transition into
+    /// telemetry: a `health.transition` event, the health gauge, and —
+    /// when leaving `Healthy` — an automatic flight-recorder dump of the
+    /// recent span/event ring for this device.
+    fn transition_health(&mut self, to: LinkHealth, now: SimMs) {
+        if self.health == to {
+            return;
+        }
+        let from = self.health;
+        self.health = to;
+        if self.telemetry.is_enabled() {
+            self.telemetry.emit_event_current(
+                "health.transition",
+                self.device_id,
+                now,
+                vec![
+                    ("from", ArgValue::Str(from.as_str().to_string())),
+                    ("to", ArgValue::Str(to.as_str().to_string())),
+                ],
+            );
+            if let Some(m) = &self.tele {
+                m.health.set(health_level(to));
+            }
+            if from == LinkHealth::Healthy {
+                self.telemetry.flight_dump(self.device_id, to.as_str(), now);
+            }
+        }
+    }
+
     /// Records a link-failure signal (timeout / corrupt response) and
     /// advances the health state machine, possibly into `Outage`.
     fn note_failures(&mut self, failures: u32, now: SimMs) {
@@ -475,7 +580,7 @@ impl EdgeIsSystem {
         }
         if self.consecutive_timeouts >= res.outage_after_timeouts {
             if self.health != LinkHealth::Outage {
-                self.health = LinkHealth::Outage;
+                self.transition_health(LinkHealth::Outage, now);
                 self.stats.outages_detected += 1;
                 // Whatever is still in flight is presumed lost with the
                 // link; waiting for those deadlines tells us nothing new.
@@ -485,7 +590,7 @@ impl EdgeIsSystem {
                 self.last_probe_ms = f64::NEG_INFINITY;
             }
         } else if self.health == LinkHealth::Healthy {
-            self.health = LinkHealth::Degraded;
+            self.transition_health(LinkHealth::Degraded, now);
         }
     }
 
@@ -505,7 +610,7 @@ impl EdgeIsSystem {
                 self.stats.recovery_ms_total += now - t0;
             }
         }
-        self.health = LinkHealth::Healthy;
+        self.transition_health(LinkHealth::Healthy, now);
     }
 
     /// Outstanding requests the device is still actively waiting on
@@ -538,12 +643,33 @@ impl EdgeIsSystem {
                 inf.timed_out = true;
                 self.stats.timeouts += 1;
                 failures += 1;
+                if self.telemetry.is_enabled() {
+                    self.telemetry.emit_event_current(
+                        "deadline.missed",
+                        self.device_id,
+                        now,
+                        vec![
+                            ("sent_ms", ArgValue::F64(inf.sent_ms)),
+                            ("deadline_ms", ArgValue::F64(inf.deadline_ms)),
+                        ],
+                    );
+                    if let Some(m) = &self.tele {
+                        m.timeouts.inc();
+                    }
+                }
             }
             if inf.response.is_some() || !inf.timed_out {
                 keep.push(inf);
             }
         }
         self.pending = keep;
+        if failures > 0 && self.telemetry.is_enabled() {
+            // A missed deadline is one of the two automatic dump triggers
+            // (the other is leaving `Healthy`): capture the ring while the
+            // evidence that led up to the miss is still in it.
+            self.telemetry
+                .flight_dump(self.device_id, "deadline_missed", now);
+        }
 
         let mut worst: Option<(f64, f64)> = None;
         let mut delivered = Delivered::default();
@@ -552,6 +678,17 @@ impl EdgeIsSystem {
                 // The edge rejected the request for overload; the link is
                 // fine, so this is not an outage signal.
                 self.stats.shed_responses += 1;
+                if self.telemetry.is_enabled() {
+                    self.telemetry.emit_event_current(
+                        "response.shed",
+                        self.device_id,
+                        now,
+                        Vec::new(),
+                    );
+                    if let Some(m) = &self.tele {
+                        m.shed_responses.inc();
+                    }
+                }
                 continue;
             }
             delivered.responses += 1;
@@ -565,6 +702,17 @@ impl EdgeIsSystem {
                     // The real wire decoder rejected the payload.
                     self.stats.corrupt_responses += 1;
                     failures += 1;
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.emit_event_current(
+                            "response.corrupt",
+                            self.device_id,
+                            now,
+                            Vec::new(),
+                        );
+                        if let Some(m) = &self.tele {
+                            m.corrupt_responses.inc();
+                        }
+                    }
                 }
                 Ok((frame_id, detections)) => {
                     // A late response would drag the (much newer) local
@@ -573,10 +721,33 @@ impl EdgeIsSystem {
                     // beats rendering nothing).
                     if late && enabled && self.initialized() {
                         self.stats.stale_drops += 1;
+                        if self.telemetry.is_enabled() {
+                            self.telemetry.emit_event_current(
+                                "response.stale",
+                                self.device_id,
+                                now,
+                                vec![("round_trip_ms", ArgValue::F64(round_trip))],
+                            );
+                            if let Some(m) = &self.tele {
+                                m.stale_drops.inc();
+                            }
+                        }
                     } else {
                         delivered.applied_digest =
                             fnv1a64_extend(delivered.applied_digest, &resp.payload);
                         self.apply_detections(frame_id, &detections);
+                        if self.telemetry.is_enabled() {
+                            self.telemetry.emit_event_current(
+                                "response.applied",
+                                self.device_id,
+                                now,
+                                vec![
+                                    ("frame_id", ArgValue::U64(frame_id)),
+                                    ("round_trip_ms", ArgValue::F64(round_trip)),
+                                    ("detections", ArgValue::U64(detections.len() as u64)),
+                                ],
+                            );
+                        }
                         self.note_success(now);
                     }
                 }
@@ -608,7 +779,7 @@ impl EdgeIsSystem {
             // The probe got through: the link healed. Re-sync from a
             // clean slate — the planner's triggers were tuned against
             // state that is now minutes stale in link terms.
-            self.health = LinkHealth::Recovering;
+            self.transition_health(LinkHealth::Recovering, now);
             self.recovery_started_ms = Some(now);
             self.planner = CfrsPlanner::new(*self.planner.config());
             self.recovery_tx_left = self.config.resilience.recovery_keyframes.max(1);
@@ -648,6 +819,18 @@ impl SegmentationSystem for EdgeIsSystem {
     }
 
     fn process_frame(&mut self, input: &FrameInput<'_>, now: SimMs) -> FrameOutput {
+        // One trace per (device, frame): deterministic id so edge-side
+        // spans decoded from the wire envelope land on the same trace the
+        // mobile opened here. The ambient current-context also parents
+        // link transfer spans and delivery/health events emitted below.
+        let frame_ctx = self.telemetry.frame_context(
+            crate::hash::trace_id(self.device_id, input.index),
+            self.device_id,
+        );
+        if let Some(ctx) = frame_ctx {
+            self.telemetry.set_current(ctx);
+        }
+
         let mut stages = StageBreakdownMs::default();
         let decode_start = Instant::now();
         let delivered = self.deliver_responses(now);
@@ -940,6 +1123,12 @@ impl SegmentationSystem for EdgeIsSystem {
             // The submit call runs the actual segnet model, so this timer
             // captures the edge inference compute (the link simulation
             // around it is negligible).
+            // The trace context rides the request as a fixed 40-byte
+            // observability envelope (wire.rs) so the edge can parent its
+            // queue/inference spans under this frame's trace. Envelope
+            // bytes are deliberately NOT charged to tx_bytes: telemetry
+            // must not perturb the simulated link (see DESIGN.md §12).
+            let envelope = frame_ctx.map(|ctx| RequestEnvelope::from_context(&ctx, vo_frame_id).encode());
             let infer_start = Instant::now();
             let response = match self
                 .link
@@ -947,13 +1136,14 @@ impl SegmentationSystem for EdgeIsSystem {
             {
                 None => None,
                 Some(delivery) if delivery.corrupted => None,
-                Some(delivery) => self.server.submit_from(
+                Some(delivery) => self.server.submit_traced_from(
                     self.device_id,
                     vo_frame_id,
                     &obs,
                     guidance.as_ref().filter(|g| !g.is_empty()),
                     delivery.arrive_ms,
                     &mut self.link,
+                    envelope,
                 ),
             };
             stages.edge_infer = elapsed_ms(infer_start);
@@ -982,6 +1172,63 @@ impl SegmentationSystem for EdgeIsSystem {
             applied_digest: delivered.applied_digest,
             health: self.health.as_str().to_string(),
         };
+
+        if let Some(ctx) = frame_ctx {
+            // Mobile stage spans: host-wall durations laid out end-to-end
+            // from the frame's virtual arrival time (marked clock:"host" —
+            // they show relative cost, not simulated latency).
+            let mut cursor = now;
+            for (name, dur) in [
+                ("mobile.decode_apply", stages.decode_apply),
+                ("mobile.detect", stages.detect),
+                ("mobile.matching", stages.matching),
+                ("mobile.ba", stages.ba),
+                ("mobile.transfer", stages.transfer),
+                ("mobile.encode", stages.encode),
+                ("mobile.edge_submit", stages.edge_infer),
+            ] {
+                if dur > 0.0 {
+                    self.telemetry.emit_child_span(
+                        &ctx,
+                        name,
+                        cursor,
+                        cursor + dur,
+                        vec![("clock", ArgValue::Str("host".to_string()))],
+                    );
+                    cursor += dur;
+                }
+            }
+            // Root span: the frame's modeled mobile residency on the
+            // virtual clock.
+            self.telemetry.emit_root_span(
+                &ctx,
+                "frame",
+                now,
+                now + mobile_ms,
+                vec![
+                    ("frame", ArgValue::U64(input.index)),
+                    ("decision", ArgValue::Str(trace.decision.clone())),
+                    ("health", ArgValue::Str(self.health.as_str().to_string())),
+                    ("tx_bytes", ArgValue::U64(tx_bytes as u64)),
+                ],
+            );
+            if let Some(m) = &self.tele {
+                m.frames.inc();
+                if transmit {
+                    m.transmits.inc();
+                    m.tx_bytes.add(tx_bytes as u64);
+                }
+                m.mobile_ms.observe(mobile_ms);
+                if let Some(qw) = delivered.edge_queue_wait_ms {
+                    m.queue_wait_ms.observe(qw);
+                }
+                if let Some(rt) = delivered.response_latency_ms {
+                    m.response_latency_ms.observe(rt);
+                }
+                m.health.set(health_level(self.health));
+            }
+            self.telemetry.clear_current();
+        }
 
         FrameOutput {
             masks,

@@ -17,26 +17,10 @@ use edgeis_geometry::SE3;
 use edgeis_imaging::Mask;
 use serde::{Deserialize, Serialize};
 
-/// FNV-1a 64-bit offset basis.
-pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-/// FNV-1a 64-bit prime.
-pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// Extends an FNV-1a 64 digest with `bytes`.
-#[inline]
-pub fn fnv1a64_extend(mut hash: u64, bytes: &[u8]) -> u64 {
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(FNV_PRIME);
-    }
-    hash
-}
-
-/// FNV-1a 64 digest of `bytes`.
-#[inline]
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    fnv1a64_extend(FNV_OFFSET, bytes)
-}
+// The digests themselves come from the workspace's single FNV-1a
+// implementation; re-exported here because the trace module is where the
+// conformance suite historically imported them from.
+pub use crate::hash::{fnv1a64, fnv1a64_extend, FNV_OFFSET, FNV_PRIME};
 
 /// Canonical digest of a rendered mask set: labels in ascending order,
 /// each hashed with its mask dimensions and set-pixel coordinates.

@@ -1,10 +1,20 @@
-//! Wire format for edge → mobile result messages.
+//! Wire format for edge → mobile result messages and the mobile → edge
+//! request telemetry header.
 //!
 //! The paper serializes "information such as vertices of the contour" with
 //! Boost and ships it back to the device; this module is the equivalent
 //! binary format: a fixed header plus, per detection, instance / class /
 //! confidence / box and the RLE-encoded mask. The byte counts the network
 //! simulator charges are the *actual* encoded sizes.
+//!
+//! Requests additionally carry a [`RequestEnvelope`]: the frame's
+//! telemetry [`TraceContext`](edgeis_telemetry::TraceContext) encoded as
+//! a fixed 40-byte header, so edge-side spans (queue wait, batching,
+//! inference) can attach to the originating mobile frame's trace. The
+//! envelope is an *observability header*: it is only constructed when
+//! telemetry is enabled, and its bytes are deliberately **not** charged
+//! to `tx_bytes` (see DESIGN.md §12), so uplink accounting — and with it
+//! the conformance goldens — is identical with telemetry on or off.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use edgeis_imaging::Mask;
@@ -12,6 +22,10 @@ use edgeis_segnet::{BBox, Detection};
 
 /// Magic bytes guarding the message framing.
 const MAGIC: u32 = 0xed6e_1500;
+/// Magic bytes guarding the request-envelope framing.
+const MAGIC_REQUEST: u32 = 0xed6e_1501;
+/// Request-envelope format version.
+const REQUEST_VERSION: u32 = 1;
 
 /// Errors from decoding a response message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,6 +147,77 @@ pub fn decode_response(mut data: Bytes) -> Result<(u64, Vec<WireDetection>), Wir
     Ok((frame_id, out))
 }
 
+/// Telemetry context header carried alongside an uplink request: enough
+/// identity for the edge to parent its spans under the originating mobile
+/// frame's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestEnvelope {
+    /// Trace id of the originating mobile frame.
+    pub trace_id: u64,
+    /// Span id of the mobile frame root span (the parent for edge spans).
+    pub parent_span: u64,
+    /// Originating device id.
+    pub device: u64,
+    /// VO frame id of the request (matches the response `frame_id`).
+    pub frame_id: u64,
+}
+
+impl RequestEnvelope {
+    /// Builds an envelope from a frame's telemetry context.
+    pub fn from_context(ctx: &edgeis_telemetry::TraceContext, frame_id: u64) -> Self {
+        Self {
+            trace_id: ctx.trace_id,
+            parent_span: ctx.span_id,
+            device: ctx.device,
+            frame_id,
+        }
+    }
+
+    /// The trace context this envelope restores on the edge side.
+    pub fn context(&self) -> edgeis_telemetry::TraceContext {
+        edgeis_telemetry::TraceContext {
+            trace_id: self.trace_id,
+            span_id: self.parent_span,
+            device: self.device,
+        }
+    }
+
+    /// Encodes the envelope (fixed 40 bytes).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(40);
+        buf.put_u32(MAGIC_REQUEST);
+        buf.put_u32(REQUEST_VERSION);
+        buf.put_u64(self.trace_id);
+        buf.put_u64(self.parent_span);
+        buf.put_u64(self.device);
+        buf.put_u64(self.frame_id);
+        buf.freeze()
+    }
+
+    /// Decodes an envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncation or bad magic/version.
+    pub fn decode(mut data: Bytes) -> Result<Self, WireError> {
+        if data.remaining() < 40 {
+            return Err(WireError::Truncated);
+        }
+        if data.get_u32() != MAGIC_REQUEST {
+            return Err(WireError::BadMagic);
+        }
+        if data.get_u32() != REQUEST_VERSION {
+            return Err(WireError::BadMagic);
+        }
+        Ok(Self {
+            trace_id: data.get_u64(),
+            parent_span: data.get_u64(),
+            device: data.get_u64(),
+            frame_id: data.get_u64(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,5 +279,54 @@ mod tests {
         let one = encode_response(0, &[detection(1)]).len();
         let two = encode_response(0, &[detection(1), detection(2)]).len();
         assert!(two > one);
+    }
+
+    #[test]
+    fn request_envelope_roundtrip() {
+        let env = RequestEnvelope {
+            trace_id: 0xfeed_face_cafe_beef,
+            parent_span: 17,
+            device: 3,
+            frame_id: 99,
+        };
+        let encoded = env.encode();
+        assert_eq!(encoded.len(), 40, "fixed-size header");
+        let decoded = RequestEnvelope::decode(encoded).unwrap();
+        assert_eq!(decoded, env);
+        let ctx = decoded.context();
+        assert_eq!(ctx.trace_id, env.trace_id);
+        assert_eq!(ctx.span_id, env.parent_span);
+        assert_eq!(ctx.device, env.device);
+    }
+
+    #[test]
+    fn request_envelope_rejects_bad_framing() {
+        let env = RequestEnvelope {
+            trace_id: 1,
+            parent_span: 2,
+            device: 3,
+            frame_id: 4,
+        };
+        let good = env.encode();
+        assert!(matches!(
+            RequestEnvelope::decode(good.slice(0..20)),
+            Err(WireError::Truncated)
+        ));
+        let mut bad_magic = good.to_vec();
+        bad_magic[0] ^= 0xff;
+        assert!(matches!(
+            RequestEnvelope::decode(Bytes::from(bad_magic)),
+            Err(WireError::BadMagic)
+        ));
+        let mut bad_version = good.to_vec();
+        bad_version[7] ^= 0x01;
+        assert!(matches!(
+            RequestEnvelope::decode(Bytes::from(bad_version)),
+            Err(WireError::BadMagic)
+        ));
+        assert!(
+            RequestEnvelope::decode(encode_response(1, &[])).is_err(),
+            "a response message is not an envelope"
+        );
     }
 }

@@ -10,7 +10,14 @@
 //! behaviour — total outage windows, bandwidth collapse, RTT spikes,
 //! response drops and payload corruption — all seeded, so a run under
 //! faults is exactly as reproducible as a clean one.
+//!
+//! A [`Link`] can carry an [`edgeis_telemetry::Telemetry`] handle
+//! ([`Link::set_telemetry`]): every shaped transfer then emits a
+//! `net.uplink`/`net.downlink` span under the ambient frame context.
+//! Telemetry is a pure observer — it reads the computed times and never
+//! touches the RNG stream, the queues, or the arrival math.
 
+use edgeis_telemetry::{ArgValue, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -291,6 +298,8 @@ pub struct Link {
     up_busy_until: SimMs,
     down_busy_until: SimMs,
     faults: Option<FaultSchedule>,
+    telemetry: Telemetry,
+    telemetry_device: u64,
 }
 
 impl Link {
@@ -302,7 +311,16 @@ impl Link {
             up_busy_until: 0.0,
             down_busy_until: 0.0,
             faults: None,
+            telemetry: Telemetry::disabled(),
+            telemetry_device: 0,
         }
+    }
+
+    /// Attaches a telemetry handle; shaped transfers emit
+    /// `net.uplink`/`net.downlink` spans tagged with `device`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, device: u64) {
+        self.telemetry = telemetry;
+        self.telemetry_device = device;
     }
 
     /// Preset constructor.
@@ -406,7 +424,25 @@ impl Link {
         } else {
             0.0
         };
-        finish + self.profile.base_latency_ms + extra_latency_ms + jitter
+        let arrive = finish + self.profile.base_latency_ms + extra_latency_ms + jitter;
+        if self.telemetry.is_enabled() {
+            let name = match dir {
+                Direction::Uplink => "net.uplink",
+                Direction::Downlink => "net.downlink",
+            };
+            self.telemetry.emit_span_current(
+                name,
+                self.telemetry_device,
+                start,
+                arrive,
+                vec![
+                    ("bytes", ArgValue::U64(bytes as u64)),
+                    ("queue_ms", ArgValue::F64(start - now)),
+                    ("serialize_ms", ArgValue::F64(serialize_ms)),
+                ],
+            );
+        }
+        arrive
     }
 
     /// Expected (jitter-free, loss-free) one-way latency for a payload.
@@ -806,5 +842,45 @@ mod tests {
         let nominal = link.nominal_latency_ms(60_000, Direction::Uplink);
         let actual = link.transmit(60_000, 0.0, Direction::Uplink);
         assert!((nominal - actual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn telemetry_observes_transfers_without_perturbing_them() {
+        // Two identically-seeded links, one instrumented: every arrival
+        // time must match bit-for-bit, and the instrumented link must
+        // emit one net.* span per shaped transfer under the ambient
+        // frame context.
+        let mut plain = Link::of_kind(LinkKind::Wifi5, 77);
+        let mut traced = Link::of_kind(LinkKind::Wifi5, 77);
+        let telemetry =
+            edgeis_telemetry::Telemetry::new(edgeis_telemetry::TelemetryConfig::enabled(
+                "netsim_unit",
+            ));
+        traced.set_telemetry(telemetry.clone(), 4);
+        let ctx = telemetry.frame_context(0xbeef, 4).unwrap();
+        telemetry.set_current(ctx);
+        let mut now = 0.0;
+        for i in 0..20 {
+            let bytes = 10_000 + i * 777;
+            let dir = if i % 2 == 0 {
+                Direction::Uplink
+            } else {
+                Direction::Downlink
+            };
+            let a = plain.transmit(bytes, now, dir);
+            let b = traced.transmit(bytes, now, dir);
+            assert_eq!(a.to_bits(), b.to_bits(), "transfer {i} perturbed");
+            now += 33.0;
+        }
+        let spans = telemetry.spans_snapshot();
+        assert_eq!(spans.len(), 20);
+        assert!(spans.iter().any(|s| s.name == "net.uplink"));
+        assert!(spans.iter().any(|s| s.name == "net.downlink"));
+        for s in &spans {
+            assert_eq!(s.trace_id, 0xbeef);
+            assert_eq!(s.parent_id, Some(ctx.span_id));
+            assert_eq!(s.device, 4);
+            assert!(s.end_ms > s.start_ms);
+        }
     }
 }

@@ -1,0 +1,453 @@
+//! Exporters and format validators.
+//!
+//! Three output formats, all hand-rolled (the workspace deliberately
+//! carries no JSON dependency, see DESIGN.md §11):
+//!
+//! * **JSONL span/event sink** — one canonical JSON object per line,
+//!   `{"type":"span"|"event", ...}`, in emission order.
+//! * **Prometheus text snapshot** — rendered by
+//!   [`Registry::prometheus_text`](crate::metrics::Registry::prometheus_text).
+//! * **Chrome `trace_event`** — a `{"traceEvents":[...]}` object with
+//!   complete (`"ph":"X"`) events for spans and instant (`"ph":"i"`)
+//!   events, openable in `about:tracing` or Perfetto. Virtual-clock
+//!   milliseconds are mapped to trace microseconds; `pid` is the device.
+//!
+//! The validators ([`validate_json`], [`validate_jsonl`],
+//! [`validate_prometheus`]) are used by CI and the fleet smoke run to
+//! assert that whatever we wrote actually parses.
+
+use crate::span::{EventRecord, SpanRecord};
+
+/// Appends `s` to `out` with JSON string escaping.
+pub fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
+                                    _ => return Err(self.err("bad \\u escape")),
+                                }
+                            }
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control char in string")),
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        text.parse::<f64>()
+            .map(|_| ())
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+/// Validates that `s` is exactly one well-formed JSON value.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let mut p = JsonParser::new(s);
+    p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after JSON value"));
+    }
+    Ok(())
+}
+
+/// Validates that every non-empty line of `s` is a well-formed JSON
+/// object. Returns the number of lines validated.
+pub fn validate_jsonl(s: &str) -> Result<usize, String> {
+    let mut n = 0;
+    for (i, line) in s.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Validates a Prometheus text-format snapshot: every non-comment line is
+/// `name{labels} value` with a parseable float value and balanced label
+/// braces. Returns the number of sample lines validated.
+pub fn validate_prometheus(s: &str) -> Result<usize, String> {
+    let mut n = 0;
+    for (i, line) in s.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = i + 1;
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {lineno}: no value separator"))?;
+        if value != "+Inf" && value != "-Inf" && value.parse::<f64>().is_err() {
+            return Err(format!("line {lineno}: bad value {value:?}"));
+        }
+        let series = series.trim();
+        let name_end = series.find('{').unwrap_or(series.len());
+        let name = &series[..name_end];
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("line {lineno}: bad metric name {name:?}"));
+        }
+        if name_end < series.len() {
+            if !series.ends_with('}') {
+                return Err(format!("line {lineno}: unbalanced label braces"));
+            }
+            let labels = &series[name_end + 1..series.len() - 1];
+            if !labels.is_empty() {
+                for pair in split_label_pairs(labels) {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("line {lineno}: bad label pair {pair:?}"))?;
+                    if k.is_empty() || !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
+                        return Err(format!("line {lineno}: bad label {pair:?}"));
+                    }
+                }
+            }
+        }
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Splits `a="x",b="y"` into label pairs, respecting quoted commas.
+fn split_label_pairs(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_quotes => escaped = true,
+            b'"' => in_quotes = !in_quotes,
+            b',' if !in_quotes => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+/// Renders spans and events as a JSONL document (one object per line),
+/// spans first in emission order, then events.
+pub fn render_jsonl(spans: &[SpanRecord], events: &[EventRecord]) -> String {
+    let mut out = String::with_capacity(spans.len() * 160 + events.len() * 120);
+    for s in spans {
+        out.push_str(&s.to_json());
+        out.push('\n');
+    }
+    for e in events {
+        out.push_str(&e.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders spans and events as a Chrome `trace_event` JSON document.
+///
+/// Spans become complete events (`"ph":"X"`), instants become `"ph":"i"`.
+/// Virtual milliseconds map to trace microseconds; `pid` carries the
+/// device id, `tid` the trace id folded to keep one frame per row; span
+/// identity travels in `args` so the causal tree survives the export.
+pub fn render_chrome_trace(spans: &[SpanRecord], events: &[EventRecord]) -> String {
+    let mut out = String::with_capacity(spans.len() * 220 + events.len() * 160 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for s in spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"edgeis\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":{},\"tid\":{},\"args\":{{\"trace_id\":\"{:016x}\",\"span_id\":{},\"parent_id\":{}",
+            s.name,
+            s.start_ms * 1000.0,
+            (s.end_ms - s.start_ms).max(0.0) * 1000.0,
+            s.device,
+            s.trace_id % 97,
+            s.trace_id,
+            s.span_id,
+            match s.parent_id {
+                Some(p) => p.to_string(),
+                None => "null".to_string(),
+            },
+        ));
+        for (k, v) in &s.args {
+            out.push_str(",\"");
+            json_escape(k, &mut out);
+            out.push_str("\":");
+            match v {
+                crate::span::ArgValue::U64(x) => out.push_str(&x.to_string()),
+                crate::span::ArgValue::F64(x) => {
+                    if x.is_finite() {
+                        out.push_str(&format!("{x:.6}"));
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+                crate::span::ArgValue::Str(x) => {
+                    out.push('"');
+                    json_escape(x, &mut out);
+                    out.push('"');
+                }
+            }
+        }
+        out.push_str("}}");
+    }
+    for e in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"edgeis\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{:.3},\"pid\":{},\"tid\":{},\"args\":{{\"trace_id\":\"{:016x}\"}}}}",
+            e.name,
+            e.ts_ms * 1000.0,
+            e.device,
+            e.trace_id % 97,
+            e.trace_id,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::ArgValue;
+
+    fn sample_span(id: u64, parent: Option<u64>) -> SpanRecord {
+        SpanRecord {
+            trace_id: 0xabc,
+            span_id: id,
+            parent_id: parent,
+            device: 1,
+            name: "edge.queue",
+            start_ms: 3.0,
+            end_ms: 4.5,
+            args: vec![("lane", ArgValue::U64(2))],
+        }
+    }
+
+    fn sample_event() -> EventRecord {
+        EventRecord {
+            trace_id: 0xabc,
+            parent_id: Some(1),
+            device: 1,
+            name: "edge.shed",
+            ts_ms: 4.0,
+            args: vec![("kind", ArgValue::Str("admission".into()))],
+        }
+    }
+
+    #[test]
+    fn validator_accepts_valid_and_rejects_malformed_json() {
+        validate_json(r#"{"a":[1,2.5,-3e2],"b":{"c":"x\n"},"d":null,"e":true}"#).unwrap();
+        assert!(validate_json("{\"a\":1,}").is_err(), "trailing comma");
+        assert!(validate_json("{\"a\"1}").is_err(), "missing colon");
+        assert!(validate_json("[1,2] x").is_err(), "trailing garbage");
+        assert!(validate_json("\"unterminated").is_err());
+        assert!(validate_json("01abc").is_err());
+    }
+
+    #[test]
+    fn jsonl_rendering_round_trips_through_validator() {
+        let spans = vec![sample_span(1, None), sample_span(2, Some(1))];
+        let events = vec![sample_event()];
+        let doc = render_jsonl(&spans, &events);
+        assert_eq!(validate_jsonl(&doc).unwrap(), 3);
+    }
+
+    #[test]
+    fn chrome_trace_is_one_valid_json_object() {
+        let spans = vec![sample_span(1, None), sample_span(2, Some(1))];
+        let events = vec![sample_event()];
+        let doc = render_chrome_trace(&spans, &events);
+        validate_json(&doc).unwrap();
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ph\":\"i\""));
+        assert!(doc.contains("\"ts\":3000.000"), "ms mapped to trace µs");
+    }
+
+    #[test]
+    fn prometheus_validator_checks_names_labels_and_values() {
+        let good = "# TYPE a counter\na 1\nab_c{x=\"1\",y=\"b,c\"} 2.5\nh_bucket{le=\"+Inf\"} 4\n";
+        assert_eq!(validate_prometheus(good).unwrap(), 3);
+        assert!(validate_prometheus("bad name 1\n").is_err());
+        assert!(validate_prometheus("a notanumber\n").is_err());
+        assert!(validate_prometheus("a{x=\"1\" 2\n").is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! Fault flight recorder: a bounded ring of recent spans/events per
+//! device, dumped to disk when something goes wrong.
+//!
+//! Every span/event emitted while the recorder is enabled is rendered to
+//! its JSONL form and appended to the originating device's ring (oldest
+//! lines evicted first). When the resilience state machine leaves
+//! `Healthy`, or a response deadline is missed, the owning subsystem calls
+//! [`FlightRecorder::dump`]; the ring is written to
+//! `<output_dir>/flight_dev<device>_<seq>_<reason>.jsonl` with a leading
+//! `{"type":"meta",...}` line recording the trigger. Dumps are
+//! rate-limited per device on the virtual clock so a flapping link does
+//! not spray hundreds of files.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::export::json_escape;
+
+#[derive(Debug, Default)]
+struct Ring {
+    lines: VecDeque<String>,
+}
+
+/// Bounded per-device ring buffer of rendered span/event lines.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    min_spacing_ms: f64,
+    rings: Mutex<BTreeMap<u64, Ring>>,
+    last_dump_ms: Mutex<BTreeMap<u64, f64>>,
+    dump_seq: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding up to `capacity` lines per device and
+    /// allowing one dump per device per `min_spacing_ms` of virtual time.
+    pub fn new(capacity: usize, min_spacing_ms: f64) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            min_spacing_ms,
+            rings: Mutex::new(BTreeMap::new()),
+            last_dump_ms: Mutex::new(BTreeMap::new()),
+            dump_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends one rendered JSONL line to `device`'s ring.
+    pub fn record(&self, device: u64, line: String) {
+        let mut rings = self.rings.lock().expect("recorder poisoned");
+        let ring = rings.entry(device).or_default();
+        if ring.lines.len() == self.capacity {
+            ring.lines.pop_front();
+        }
+        ring.lines.push_back(line);
+    }
+
+    /// Number of lines currently buffered for `device`.
+    pub fn len(&self, device: u64) -> usize {
+        self.rings
+            .lock()
+            .expect("recorder poisoned")
+            .get(&device)
+            .map_or(0, |r| r.lines.len())
+    }
+
+    /// True when no lines are buffered for `device`.
+    pub fn is_empty(&self, device: u64) -> bool {
+        self.len(device) == 0
+    }
+
+    /// Dumps `device`'s ring to a new file under `dir`, tagged with
+    /// `reason` and the virtual timestamp `now_ms`. Returns `None` when
+    /// suppressed by rate limiting or when the ring is empty; IO errors
+    /// are reported to stderr and also return `None` (telemetry must
+    /// never take the pipeline down).
+    pub fn dump(&self, dir: &Path, device: u64, reason: &str, now_ms: f64) -> Option<PathBuf> {
+        let lines: Vec<String> = {
+            let rings = self.rings.lock().expect("recorder poisoned");
+            match rings.get(&device) {
+                Some(r) if !r.lines.is_empty() => r.lines.iter().cloned().collect(),
+                _ => return None,
+            }
+        };
+        {
+            let mut last = self.last_dump_ms.lock().expect("recorder poisoned");
+            if let Some(&prev) = last.get(&device) {
+                if now_ms - prev < self.min_spacing_ms {
+                    return None;
+                }
+            }
+            last.insert(device, now_ms);
+        }
+        let seq = self.dump_seq.fetch_add(1, Ordering::Relaxed);
+        let safe_reason: String = reason
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = dir.join(format!("flight_dev{device}_{seq:03}_{safe_reason}.jsonl"));
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(dir)?;
+            let mut f = std::fs::File::create(&path)?;
+            let mut meta = String::from("{\"type\":\"meta\",\"reason\":\"");
+            json_escape(reason, &mut meta);
+            meta.push_str(&format!(
+                "\",\"device\":{device},\"ts_ms\":{now_ms:.6},\"lines\":{}}}",
+                lines.len()
+            ));
+            writeln!(f, "{meta}")?;
+            for line in &lines {
+                writeln!(f, "{line}")?;
+            }
+            Ok(())
+        };
+        match write() {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("telemetry: flight recorder dump to {path:?} failed: {e}");
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::validate_jsonl;
+
+    #[test]
+    fn ring_is_bounded_and_evicts_oldest() {
+        let rec = FlightRecorder::new(3, 0.0);
+        for i in 0..5 {
+            rec.record(0, format!("{{\"i\":{i}}}"));
+        }
+        assert_eq!(rec.len(0), 3);
+        assert!(rec.is_empty(1));
+        let dir = std::env::temp_dir().join("edgeis_telemetry_ring_test");
+        let path = rec.dump(&dir, 0, "unit", 10.0).expect("dump written");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(validate_jsonl(&text).unwrap(), 4, "meta line + 3 ring lines");
+        assert!(text.contains("{\"i\":2}"), "oldest surviving line is i=2");
+        assert!(!text.contains("{\"i\":0}"), "i=0 was evicted");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dumps_are_rate_limited_per_device_on_the_virtual_clock() {
+        let rec = FlightRecorder::new(8, 100.0);
+        rec.record(0, "{\"a\":1}".to_string());
+        rec.record(1, "{\"a\":2}".to_string());
+        let dir = std::env::temp_dir().join("edgeis_telemetry_rate_test");
+        assert!(rec.dump(&dir, 0, "first", 10.0).is_some());
+        assert!(
+            rec.dump(&dir, 0, "too-soon", 50.0).is_none(),
+            "within spacing window"
+        );
+        assert!(
+            rec.dump(&dir, 1, "other-device", 50.0).is_some(),
+            "rate limit is per device"
+        );
+        assert!(rec.dump(&dir, 0, "later", 200.0).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_ring_never_dumps() {
+        let rec = FlightRecorder::new(4, 0.0);
+        let dir = std::env::temp_dir().join("edgeis_telemetry_empty_test");
+        assert!(rec.dump(&dir, 7, "nothing", 0.0).is_none());
+        assert!(!dir.exists(), "no directory created for an empty dump");
+    }
+}

@@ -1,0 +1,227 @@
+//! Causal span and event records.
+//!
+//! A *trace* is the causal history of one mobile frame: a deterministic
+//! 64-bit `trace_id` (derived by the caller, typically from the device id
+//! and frame index), a root *frame span* on the mobile side, and child
+//! spans for every stage the frame touches — mobile pipeline stages,
+//! uplink/downlink transfers, edge queueing and inference. Parent links
+//! are explicit span ids, so exporters can rebuild the tree without any
+//! global ordering assumptions.
+//!
+//! Two clock domains coexist (see DESIGN.md §12): network/edge spans are
+//! pure virtual-clock (`SimMs`), while mobile stage spans carry measured
+//! host-wall durations laid out sequentially from the frame's virtual
+//! start. Spans record which domain they belong to via a `clock` arg.
+
+use crate::export::json_escape;
+
+/// The causal coordinates of one in-flight frame: which trace it belongs
+/// to, which span is the current parent, and which device originated it.
+///
+/// Copy-able so it can be stashed, sent over the wire (see
+/// `edgeis::wire::RequestEnvelope`), and restored on the edge side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Deterministic trace id shared by every span of this frame.
+    pub trace_id: u64,
+    /// Span id of the current parent (the frame root span on the mobile).
+    pub span_id: u64,
+    /// Device that originated the trace.
+    pub device: u64,
+}
+
+/// A typed span/event argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer argument (ids, byte counts, lane indices).
+    U64(u64),
+    /// Floating-point argument (durations, rates).
+    F64(f64),
+    /// String argument (decisions, health states, reasons).
+    Str(String),
+}
+
+impl ArgValue {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            ArgValue::U64(v) => out.push_str(&v.to_string()),
+            ArgValue::F64(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v:.6}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            ArgValue::Str(s) => {
+                out.push('"');
+                json_escape(s, out);
+                out.push('"');
+            }
+        }
+    }
+}
+
+fn write_args_json(args: &[(&'static str, ArgValue)], out: &mut String) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        json_escape(k, out);
+        out.push_str("\":");
+        v.write_json(out);
+    }
+    out.push('}');
+}
+
+/// A completed span: a named interval `[start_ms, end_ms]` with explicit
+/// trace/parent identity. Spans are recorded retrospectively (the
+/// simulation knows both endpoints when the work completes), so there is
+/// no open/close guard API.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// Unique span id within the run.
+    pub span_id: u64,
+    /// Parent span id; `None` for the frame root span.
+    pub parent_id: Option<u64>,
+    /// Device the span executed on behalf of.
+    pub device: u64,
+    /// Span name, e.g. `"frame"`, `"mobile.detect"`, `"edge.infer"`.
+    pub name: &'static str,
+    /// Start time in (virtual) milliseconds.
+    pub start_ms: f64,
+    /// End time in (virtual) milliseconds.
+    pub end_ms: f64,
+    /// Typed key/value arguments.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl SpanRecord {
+    /// Renders this span as one canonical JSON object (one JSONL line).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(160);
+        out.push_str("{\"type\":\"span\",\"trace_id\":\"");
+        out.push_str(&format!("{:016x}", self.trace_id));
+        out.push_str("\",\"span_id\":");
+        out.push_str(&self.span_id.to_string());
+        out.push_str(",\"parent_id\":");
+        match self.parent_id {
+            Some(p) => out.push_str(&p.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"device\":");
+        out.push_str(&self.device.to_string());
+        out.push_str(",\"name\":\"");
+        json_escape(self.name, &mut out);
+        out.push_str(&format!(
+            "\",\"start_ms\":{:.6},\"end_ms\":{:.6},\"args\":",
+            self.start_ms, self.end_ms
+        ));
+        write_args_json(&self.args, &mut out);
+        out.push('}');
+        out
+    }
+}
+
+/// A point-in-time event: a named instant with the same causal identity
+/// scheme as spans (sheds, health transitions, deadline misses, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Trace this event belongs to (zero when no frame context was live).
+    pub trace_id: u64,
+    /// Parent span id, when a frame context was live.
+    pub parent_id: Option<u64>,
+    /// Device the event concerns.
+    pub device: u64,
+    /// Event name, e.g. `"health.transition"`, `"deadline.missed"`.
+    pub name: &'static str,
+    /// Timestamp in (virtual) milliseconds.
+    pub ts_ms: f64,
+    /// Typed key/value arguments.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl EventRecord {
+    /// Renders this event as one canonical JSON object (one JSONL line).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(120);
+        out.push_str("{\"type\":\"event\",\"trace_id\":\"");
+        out.push_str(&format!("{:016x}", self.trace_id));
+        out.push_str("\",\"parent_id\":");
+        match self.parent_id {
+            Some(p) => out.push_str(&p.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"device\":");
+        out.push_str(&self.device.to_string());
+        out.push_str(",\"name\":\"");
+        json_escape(self.name, &mut out);
+        out.push_str(&format!("\",\"ts_ms\":{:.6},\"args\":", self.ts_ms));
+        write_args_json(&self.args, &mut out);
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::validate_json;
+
+    #[test]
+    fn span_json_is_valid_and_carries_identity() {
+        let span = SpanRecord {
+            trace_id: 0xdead_beef,
+            span_id: 7,
+            parent_id: Some(3),
+            device: 2,
+            name: "edge.infer",
+            start_ms: 10.5,
+            end_ms: 12.25,
+            args: vec![
+                ("lane", ArgValue::U64(1)),
+                ("cache_hit", ArgValue::Str("false".into())),
+                ("batch_ms", ArgValue::F64(1.75)),
+            ],
+        };
+        let json = span.to_json();
+        validate_json(&json).expect("span JSON parses");
+        assert!(json.contains("\"trace_id\":\"00000000deadbeef\""));
+        assert!(json.contains("\"parent_id\":3"));
+        assert!(json.contains("\"name\":\"edge.infer\""));
+    }
+
+    #[test]
+    fn event_json_handles_missing_parent_and_escapes() {
+        let ev = EventRecord {
+            trace_id: 0,
+            parent_id: None,
+            device: 0,
+            name: "health.transition",
+            ts_ms: 99.0,
+            args: vec![("to", ArgValue::Str("Degraded \"now\"\n".into()))],
+        };
+        let json = ev.to_json();
+        validate_json(&json).expect("event JSON parses");
+        assert!(json.contains("\"parent_id\":null"));
+        assert!(json.contains("\\\"now\\\"\\n"));
+    }
+
+    #[test]
+    fn non_finite_float_args_serialize_as_null() {
+        let ev = EventRecord {
+            trace_id: 1,
+            parent_id: None,
+            device: 0,
+            name: "x",
+            ts_ms: 0.0,
+            args: vec![("bad", ArgValue::F64(f64::NAN))],
+        };
+        let json = ev.to_json();
+        validate_json(&json).expect("NaN arg still yields valid JSON");
+        assert!(json.contains("\"bad\":null"));
+    }
+}
