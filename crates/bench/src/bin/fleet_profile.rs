@@ -20,7 +20,8 @@
 //! `--smoke` runs a 2-device, 30-frame sanity sweep and writes nothing
 //! (the CI hook).
 
-use edgeis::multi::{run_multi_device_with_stats, MultiDeviceConfig};
+use edgeis::fleet::{FleetConfig, PlacementPolicy};
+use edgeis::multi::{run_multi_device_with_fleet, run_multi_device_with_stats, MultiDeviceConfig};
 use edgeis::serving::ServingConfig;
 use edgeis_telemetry::Histogram;
 use std::fmt::Write as _;
@@ -122,6 +123,74 @@ fn run_cell(
     }
 }
 
+/// One multi-edge fleet cell: N serving replicas behind a placement
+/// policy, fault-free (the faulted story lives in `fleet_failover`).
+struct FleetCell {
+    edges: usize,
+    devices: usize,
+    policy: &'static str,
+    latency_hist: Histogram,
+    responses: usize,
+    mean_iou: f64,
+    handoffs: u64,
+    /// Busiest edge's served count over the per-edge mean (1.0 = perfectly
+    /// balanced placement).
+    imbalance: f64,
+}
+
+impl FleetCell {
+    fn p50(&self) -> f64 {
+        self.latency_hist.quantile(0.5)
+    }
+    fn p99(&self) -> f64 {
+        self.latency_hist.quantile(0.99)
+    }
+}
+
+fn run_fleet_cell(
+    edges: usize,
+    devices: usize,
+    policy: PlacementPolicy,
+    frames: usize,
+) -> FleetCell {
+    let config = MultiDeviceConfig {
+        devices,
+        frames,
+        seed: SEED,
+        fleet: Some(FleetConfig {
+            edges,
+            placement: policy,
+            ..FleetConfig::default()
+        }),
+        ..Default::default()
+    };
+    let (reports, _, stats) =
+        run_multi_device_with_fleet(edgeis_scene::datasets::indoor_simple, &config);
+    let stats = stats.expect("fleet backend always reports fleet stats");
+    let latency_hist = Histogram::new();
+    for r in &reports {
+        latency_hist.merge_from(&Histogram::from_samples(&r.response_latency_samples()));
+    }
+    let mean_iou = reports.iter().map(|r| r.mean_iou()).sum::<f64>() / reports.len().max(1) as f64;
+    let total_served: u64 = stats.per_edge_served.iter().sum();
+    let imbalance = if total_served == 0 {
+        0.0
+    } else {
+        let mean = total_served as f64 / stats.per_edge_served.len().max(1) as f64;
+        *stats.per_edge_served.iter().max().unwrap_or(&0) as f64 / mean
+    };
+    FleetCell {
+        edges,
+        devices,
+        policy: policy.as_str(),
+        responses: latency_hist.count() as usize,
+        latency_hist,
+        mean_iou,
+        handoffs: stats.handoffs,
+        imbalance,
+    }
+}
+
 fn configs() -> Vec<(&'static str, Option<ServingConfig>)> {
     let batch4 = ServingConfig {
         lanes: 1,
@@ -142,7 +211,13 @@ fn configs() -> Vec<(&'static str, Option<ServingConfig>)> {
     ]
 }
 
-fn to_json(cells: &[Cell], devices: &[usize], frames: usize, headline: (f64, f64, f64)) -> String {
+fn to_json(
+    cells: &[Cell],
+    fleet_cells: &[FleetCell],
+    devices: &[usize],
+    frames: usize,
+    headline: (f64, f64, f64),
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(
@@ -173,6 +248,30 @@ fn to_json(cells: &[Cell], devices: &[usize], frames: usize, headline: (f64, f64
             c.mean_iou
         );
         out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"fleet_cells\": [\n");
+    for (i, c) in fleet_cells.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"edges\": {}, \"devices\": {}, \"placement\": \"{}\", \
+             \"responses\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"handoffs\": {}, \"imbalance\": {:.3}, \"mean_iou\": {:.4}}}",
+            c.edges,
+            c.devices,
+            c.policy,
+            c.responses,
+            c.p50(),
+            c.p99(),
+            c.handoffs,
+            c.imbalance,
+            c.mean_iou
+        );
+        out.push_str(if i + 1 < fleet_cells.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     out.push_str("  ],\n");
     let (serial_p99, full_p99, speedup) = headline;
@@ -209,8 +308,7 @@ fn run_telemetry_smoke() {
         telemetry: telemetry.clone(),
         ..Default::default()
     };
-    let (reports, _) =
-        run_multi_device_with_stats(edgeis_scene::datasets::indoor_simple, &config);
+    let (reports, _) = run_multi_device_with_stats(edgeis_scene::datasets::indoor_simple, &config);
     let timeouts: u64 = reports.iter().map(|r| r.resilience.timeouts).sum();
     assert!(timeouts > 0, "telemetry smoke fault plan never fired");
 
@@ -230,7 +328,10 @@ fn run_telemetry_smoke() {
     assert!(!edge_spans.is_empty(), "no edge-side spans recorded");
     for s in &edge_spans {
         let root = roots.get(&s.trace_id).unwrap_or_else(|| {
-            panic!("edge span {} has no frame root for trace {:016x}", s.name, s.trace_id)
+            panic!(
+                "edge span {} has no frame root for trace {:016x}",
+                s.name, s.trace_id
+            )
         });
         assert_eq!(
             s.parent_id,
@@ -305,6 +406,36 @@ fn main() {
         }
     }
 
+    // Multi-edge fleet tier: edges x devices (up to 64) x placement
+    // policy, fault-free steady state.
+    let fleet_grid: Vec<(usize, usize)> = if smoke {
+        vec![(2, 2)]
+    } else {
+        vec![(2, 8), (2, 64), (4, 8), (4, 64)]
+    };
+    let fleet_frames = if smoke { 30 } else { 90 };
+    println!(
+        "\n{:<16} {:>6} {:>7} {:>9} {:>9} {:>9} {:>10}",
+        "placement", "edges", "devices", "p50", "p99", "handoffs", "imbalance"
+    );
+    let mut fleet_cells = Vec::new();
+    for &(edges, devices) in &fleet_grid {
+        for policy in [PlacementPolicy::ConsistentHash, PlacementPolicy::LoadAware] {
+            let cell = run_fleet_cell(edges, devices, policy, fleet_frames);
+            println!(
+                "{:<16} {:>6} {:>7} {:>7.1}ms {:>7.1}ms {:>9} {:>10.2}",
+                cell.policy,
+                cell.edges,
+                cell.devices,
+                cell.p50(),
+                cell.p99(),
+                cell.handoffs,
+                cell.imbalance
+            );
+            fleet_cells.push(cell);
+        }
+    }
+
     // Headline: p99 at the paper's field fleet size (8 devices on one
     // edge), serving runtime vs the serial FIFO incumbent.
     let headline_devices = if smoke { device_counts[0] } else { 8 };
@@ -338,13 +469,23 @@ fn main() {
                 c.devices
             );
         }
+        for c in &fleet_cells {
+            assert!(
+                c.responses > 0,
+                "smoke fleet cell {}x{} ({}) delivered no responses",
+                c.edges,
+                c.devices,
+                c.policy
+            );
+        }
         run_telemetry_smoke();
-        println!("smoke OK ({} cells)", cells.len());
+        println!("smoke OK ({} cells)", cells.len() + fleet_cells.len());
         return;
     }
 
     let json = to_json(
         &cells,
+        &fleet_cells,
         &device_counts,
         frames,
         (serial_p99, full_p99, speedup),

@@ -34,5 +34,5 @@ pub use diff::{
     write_divergence_report, Divergence,
 };
 pub use golden::{golden_dir, golden_path, load_golden, repo_root, save_golden};
-pub use scenario::{golden_scenarios, Scenario};
+pub use scenario::{golden_scenarios, record_fleet_failover, Scenario};
 pub use trace::{Trace, TraceFrame};

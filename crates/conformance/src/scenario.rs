@@ -72,6 +72,40 @@ pub fn record_fleet(
     Trace::from_reports(name, &reports)
 }
 
+/// Records the multi-edge failover scenario: a 3-edge fleet, 3 devices,
+/// with the home edge of device 0 crashing for 800 ms mid-run so at
+/// least one live handoff and the warm/cold residency path are on the
+/// recorded trace. Deterministic like every other scenario; its golden
+/// is self-blessed by `tests/fleet_failover.rs` rather than living in
+/// [`golden_scenarios`] (it certifies the fleet tier, which the
+/// committed tier-1 golden set predates).
+pub fn record_fleet_failover(name: &str) -> Trace {
+    use edgeis::fleet::{rendezvous_rank, FleetConfig};
+    use edgeis::multi::run_multi_device_with_fleet;
+    use edgeis_netsim::EdgeFaultScript;
+
+    let home = rendezvous_rank(0, 3)[0];
+    let config = MultiDeviceConfig {
+        camera: camera(),
+        devices: 3,
+        frames: 120,
+        fleet: Some(FleetConfig {
+            edges: 3,
+            script: EdgeFaultScript::new().crash(home, 1600.0, 2400.0, 120.0),
+            ..FleetConfig::default()
+        }),
+        ..Default::default()
+    };
+    let (reports, _, stats) = run_multi_device_with_fleet(datasets::indoor_simple, &config);
+    let stats = stats.expect("fleet backend always reports fleet stats");
+    assert!(
+        stats.handoffs >= 1,
+        "failover scenario recorded no handoff; the trace would not cover the fleet tier"
+    );
+    assert_eq!(stats.dead_edge_responses, 0);
+    Trace::from_reports(name, &reports)
+}
+
 /// One golden scenario: a name and a deterministic recorder.
 pub struct Scenario {
     pub name: &'static str,

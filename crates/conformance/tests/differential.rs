@@ -153,6 +153,7 @@ fn serving_backends_payload_identical_to_serial_fifo() {
                 cache_enabled: false,
                 cache_tolerance_px: 0.0,
                 admission_deadline_ms: f64::INFINITY,
+                residency_transfer_ms: 0.0,
             },
         ),
         (
@@ -164,6 +165,7 @@ fn serving_backends_payload_identical_to_serial_fifo() {
                 cache_enabled: false,
                 cache_tolerance_px: 0.0,
                 admission_deadline_ms: f64::INFINITY,
+                residency_transfer_ms: 0.0,
             },
         ),
         (
@@ -175,6 +177,7 @@ fn serving_backends_payload_identical_to_serial_fifo() {
                 cache_enabled: true,
                 cache_tolerance_px: 4.0,
                 admission_deadline_ms: f64::INFINITY,
+                residency_transfer_ms: 0.0,
             },
         ),
     ];

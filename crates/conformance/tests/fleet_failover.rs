@@ -1,0 +1,50 @@
+//! Conformance coverage for the multi-edge failover fleet: the recorded
+//! trace of a fixed crash-plus-handoff scenario is (a) deterministic and
+//! (b) pinned against a golden.
+//!
+//! Unlike the tier-1 set in `golden_scenarios()`, the `fleet_failover`
+//! golden is *self-blessed*: the first run on a machine without
+//! `tests/golden/fleet_failover.json` records and saves it, and every
+//! later run diffs against that recording. This keeps the committed
+//! tier-1 goldens untouched while still locking the fleet tier's
+//! handoff/redispatch/residency behavior frame-by-frame.
+
+use edgeis_conformance::{
+    diff_canonical, load_golden, record_fleet_failover, save_golden, write_divergence_report,
+};
+
+#[test]
+fn failover_recording_is_deterministic() {
+    // Two back-to-back recordings in one process must be byte-identical:
+    // placement, handoff timing, redispatch and the cold-start penalty
+    // all live on the virtual clock with seeded RNGs, so any divergence
+    // here is hidden global state or wall-clock leakage in the fleet.
+    let a = record_fleet_failover("fleet_failover").canonical_json();
+    let b = record_fleet_failover("fleet_failover").canonical_json();
+    if let Some(d) = diff_canonical("first", &a, "second", &b) {
+        panic!("re-recording `fleet_failover` diverged: {d}");
+    }
+}
+
+#[test]
+fn failover_trace_matches_self_blessed_golden() {
+    let current = record_fleet_failover("fleet_failover").canonical_json();
+    match load_golden("fleet_failover") {
+        None => {
+            let path = save_golden("fleet_failover", &current)
+                .expect("blessing the fleet_failover golden must succeed");
+            println!("blessed fleet_failover golden at {}", path.display());
+        }
+        Some(golden) => {
+            if let Some(d) = diff_canonical("golden", &golden, "current", &current) {
+                let report =
+                    write_divergence_report("fleet_failover", "fleet failover golden check", &d);
+                panic!(
+                    "fleet_failover golden mismatch: {d}\nreport: {}\nif intentional, delete \
+                     tests/golden/fleet_failover.json and re-run to re-bless",
+                    report.display()
+                );
+            }
+        }
+    }
+}

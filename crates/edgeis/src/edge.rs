@@ -60,6 +60,13 @@ pub struct EdgeFaultConfig {
     /// the GPU queue is rejected with a cheap shed response instead of
     /// being processed. `f64::INFINITY` disables shedding.
     pub shed_queue_horizon_ms: f64,
+    /// Brownout windows `(start, end, factor)`: GPU work whose execution
+    /// starts inside a window runs `factor`× slower (thermal throttling,
+    /// co-tenant pressure). Factors of overlapping windows multiply.
+    pub brownout_windows: Vec<(SimMs, SimMs, f64)>,
+    /// Whether a restart after a crash comes back with a cold guidance
+    /// cache and no warm device residency (the serving backend drops both).
+    pub cold_restart: bool,
 }
 
 impl Default for EdgeFaultConfig {
@@ -68,6 +75,8 @@ impl Default for EdgeFaultConfig {
             crash_windows: Vec::new(),
             restart_ms: 0.0,
             shed_queue_horizon_ms: f64::INFINITY,
+            brownout_windows: Vec::new(),
+            cold_restart: true,
         }
     }
 }
@@ -76,6 +85,44 @@ impl EdgeFaultConfig {
     /// Whether virtual time `at` falls inside a crash window.
     pub fn crashed_at(&self, at: SimMs) -> bool {
         self.crash_windows.iter().any(|&(s, e)| at >= s && at < e)
+    }
+
+    /// Combined brownout slowdown factor at virtual time `at` (1.0 when no
+    /// window is active).
+    pub fn slowdown_at(&self, at: SimMs) -> f64 {
+        self.brownout_windows
+            .iter()
+            .filter(|&&(s, e, _)| at >= s && at < e)
+            .map(|&(_, _, f)| f.max(1.0))
+            .product()
+    }
+
+    /// Extracts the fault windows addressed to `edge` from a fleet-level
+    /// [`edgeis_netsim::EdgeFaultScript`] into this per-server config.
+    pub fn from_script(script: &edgeis_netsim::EdgeFaultScript, edge: usize) -> Self {
+        let mut config = Self::default();
+        let mut any_warm = false;
+        for w in script.windows_for(edge) {
+            match w.kind {
+                edgeis_netsim::EdgeFaultKind::Crash {
+                    restart_ms,
+                    cold_cache,
+                } => {
+                    config.crash_windows.push((w.start_ms, w.end_ms));
+                    config.restart_ms = config.restart_ms.max(restart_ms);
+                    if !cold_cache {
+                        any_warm = true;
+                    }
+                }
+                edgeis_netsim::EdgeFaultKind::Brownout(factor) => {
+                    config.brownout_windows.push((w.start_ms, w.end_ms, factor));
+                }
+            }
+        }
+        // A single scripted warm restart keeps the whole server warm: the
+        // script models "process survived, GPU context did not".
+        config.cold_restart = !any_warm;
+        config
     }
 
     /// The first crash window opening inside `[from, to)`, if any.
@@ -110,7 +157,11 @@ pub struct EdgeServer {
 /// absent envelope yields `None`: telemetry degrades to unparented edge
 /// spans, never to a request failure.
 pub(crate) fn envelope_context(envelope: Option<&Bytes>) -> Option<TraceContext> {
-    envelope.and_then(|e| crate::wire::RequestEnvelope::decode(e.clone()).ok().map(|env| env.context()))
+    envelope.and_then(|e| {
+        crate::wire::RequestEnvelope::decode(e.clone())
+            .ok()
+            .map(|env| env.context())
+    })
 }
 
 impl EdgeServer {
@@ -221,7 +272,7 @@ impl EdgeServer {
         }
 
         let result = self.model.infer(obs, guidance);
-        let done = start + result.stats.total_ms();
+        let done = start + result.stats.total_ms() * self.faults.slowdown_at(start);
 
         // Crash model: processing in flight when a crash window opens is
         // lost with the process.
@@ -309,10 +360,14 @@ pub(crate) fn corrupt_payload(payload: Bytes, rng: &mut StdRng) -> Bytes {
 
 /// The engine behind a [`SharedEdge`] handle: the paper's single-tenant
 /// FIFO server, or the batched/sharded serving runtime.
+// One instance per harness, always behind `Arc<Mutex<..>>` — the
+// variant size spread never multiplies across a collection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum EdgeBackend {
     Serial(EdgeServer),
     Serving(crate::serving::ServingRuntime),
+    Fleet(crate::fleet::EdgeFleet),
 }
 
 /// A shareable handle to one edge node, so several mobile devices can
@@ -341,11 +396,21 @@ impl SharedEdge {
         }
     }
 
-    /// Installs the edge fault model on the shared backend.
+    /// Wraps a multi-edge fleet for sharing.
+    pub fn fleet(fleet: crate::fleet::EdgeFleet) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(EdgeBackend::Fleet(fleet))),
+        }
+    }
+
+    /// Installs the edge fault model on the shared backend. For a fleet
+    /// the same config is applied to every edge (the per-edge fault script
+    /// in [`crate::fleet::FleetConfig`] is the targeted alternative).
     pub fn set_faults(&self, faults: EdgeFaultConfig) {
         match &mut *self.inner.lock() {
             EdgeBackend::Serial(s) => s.set_faults(faults),
             EdgeBackend::Serving(s) => s.set_faults(faults),
+            EdgeBackend::Fleet(f) => f.set_faults_all(faults),
         }
     }
 
@@ -356,6 +421,17 @@ impl SharedEdge {
         match &mut *self.inner.lock() {
             EdgeBackend::Serial(s) => s.set_telemetry(telemetry),
             EdgeBackend::Serving(s) => s.set_telemetry(telemetry),
+            EdgeBackend::Fleet(f) => f.set_telemetry(telemetry),
+        }
+    }
+
+    /// Feeds a device's link-health transition to the backend. Only the
+    /// fleet acts on it (outage steers the device away from its current
+    /// edge; a return to health lets it go home); the single-edge backends
+    /// have nowhere to move a device and ignore the signal.
+    pub fn report_health(&self, device: u64, health: crate::system::LinkHealth, now_ms: SimMs) {
+        if let EdgeBackend::Fleet(f) = &mut *self.inner.lock() {
+            f.report_health(device, health, now_ms);
         }
     }
 
@@ -404,26 +480,32 @@ impl SharedEdge {
             EdgeBackend::Serial(s) => {
                 s.submit_traced(frame_id, obs, guidance, arrival_ms, link, envelope)
             }
-            EdgeBackend::Serving(s) => s.submit_traced(
-                device, frame_id, obs, guidance, arrival_ms, link, envelope,
-            ),
+            EdgeBackend::Serving(s) => {
+                s.submit_traced(device, frame_id, obs, guidance, arrival_ms, link, envelope)
+            }
+            EdgeBackend::Fleet(f) => {
+                f.submit_traced(device, frame_id, obs, guidance, arrival_ms, link, envelope)
+            }
         }
     }
 
     /// When the edge next becomes free (any lane, for the serving
-    /// backend).
+    /// backend; any edge, for the fleet).
     pub fn busy_until(&self) -> SimMs {
         match &*self.inner.lock() {
             EdgeBackend::Serial(s) => s.busy_until(),
             EdgeBackend::Serving(s) => s.busy_until(),
+            EdgeBackend::Fleet(f) => f.busy_until(),
         }
     }
 
-    /// When `device`'s queue (its lane, for the serving backend) frees up.
+    /// When `device`'s queue (its lane on its assigned edge, for the
+    /// serving and fleet backends) frees up.
     pub fn busy_until_for(&self, device: u64) -> SimMs {
         match &*self.inner.lock() {
             EdgeBackend::Serial(s) => s.busy_until(),
             EdgeBackend::Serving(s) => s.busy_until_for(device),
+            EdgeBackend::Fleet(f) => f.busy_until_for(device),
         }
     }
 
@@ -432,6 +514,7 @@ impl SharedEdge {
         match &*self.inner.lock() {
             EdgeBackend::Serial(s) => s.crash_losses(),
             EdgeBackend::Serving(s) => s.crash_losses(),
+            EdgeBackend::Fleet(f) => f.crash_losses(),
         }
     }
 
@@ -441,14 +524,25 @@ impl SharedEdge {
         match &*self.inner.lock() {
             EdgeBackend::Serial(s) => s.shed_count(),
             EdgeBackend::Serving(s) => s.shed_count(),
+            EdgeBackend::Fleet(f) => f.shed_count(),
         }
     }
 
-    /// Serving accounting (`None` for the serial backend).
+    /// Serving accounting (`None` for the serial backend; summed across
+    /// edges for the fleet).
     pub fn serving_stats(&self) -> Option<crate::serving::ServingStats> {
         match &*self.inner.lock() {
             EdgeBackend::Serial(_) => None,
             EdgeBackend::Serving(s) => Some(s.stats().clone()),
+            EdgeBackend::Fleet(f) => Some(f.merged_serving_stats()),
+        }
+    }
+
+    /// Fleet accounting (`None` for the single-edge backends).
+    pub fn fleet_stats(&self) -> Option<crate::fleet::FleetStats> {
+        match &*self.inner.lock() {
+            EdgeBackend::Fleet(f) => Some(f.stats().clone()),
+            _ => None,
         }
     }
 }
@@ -588,5 +682,58 @@ mod tests {
             corrupt_rejections >= 6,
             "only {corrupt_rejections}/8 corrupted payloads rejected"
         );
+    }
+
+    #[test]
+    fn brownout_stretches_inference_but_delivers() {
+        let obs = observation();
+        let mut baseline = EdgeServer::new(EdgeModel::new(ModelKind::MaskRcnn, 160, 120, 7));
+        let mut link = Link::of_kind(LinkKind::Wifi5, 7);
+        let clean = baseline.submit(0, &obs, None, 100.0, &mut link).unwrap();
+        let clean_busy = baseline.busy_until();
+
+        let mut slowed = EdgeServer::new(EdgeModel::new(ModelKind::MaskRcnn, 160, 120, 7));
+        slowed.set_faults(EdgeFaultConfig {
+            brownout_windows: vec![(0.0, 10_000.0, 3.0)],
+            ..Default::default()
+        });
+        let mut link = Link::of_kind(LinkKind::Wifi5, 7);
+        let resp = slowed.submit(0, &obs, None, 100.0, &mut link).unwrap();
+        assert!(
+            slowed.busy_until() > clean_busy + resp.stats.total_ms(),
+            "brownout did not stretch occupancy: {} vs {}",
+            slowed.busy_until(),
+            clean_busy
+        );
+        assert!(resp.arrive_ms > clean.arrive_ms);
+        assert!(resp.decode().is_ok(), "brownout slows, never corrupts");
+        // Outside any window the factor is identity.
+        assert_eq!(slowed.faults.slowdown_at(10_000.0), 1.0);
+        // Overlapping windows multiply.
+        let stacked = EdgeFaultConfig {
+            brownout_windows: vec![(0.0, 100.0, 2.0), (50.0, 100.0, 1.5)],
+            ..Default::default()
+        };
+        assert!((stacked.slowdown_at(60.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_config_from_script_is_per_edge() {
+        use edgeis_netsim::EdgeFaultScript;
+        let script = EdgeFaultScript::new()
+            .crash(0, 1000.0, 1500.0, 120.0)
+            .brownout(0, 2000.0, 2500.0, 2.0)
+            .warm_crash(1, 3000.0, 3200.0, 40.0);
+        let edge0 = EdgeFaultConfig::from_script(&script, 0);
+        assert_eq!(edge0.crash_windows, vec![(1000.0, 1500.0)]);
+        assert_eq!(edge0.restart_ms, 120.0);
+        assert_eq!(edge0.brownout_windows, vec![(2000.0, 2500.0, 2.0)]);
+        assert!(edge0.cold_restart);
+        let edge1 = EdgeFaultConfig::from_script(&script, 1);
+        assert_eq!(edge1.crash_windows, vec![(3000.0, 3200.0)]);
+        assert!(!edge1.cold_restart, "warm_crash keeps the cache");
+        let edge2 = EdgeFaultConfig::from_script(&script, 2);
+        assert!(edge2.crash_windows.is_empty());
+        assert!(edge2.brownout_windows.is_empty());
     }
 }

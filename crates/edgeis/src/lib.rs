@@ -32,9 +32,11 @@
 
 pub mod baselines;
 pub mod cfrs;
+pub mod chaos;
 pub mod cost;
 pub mod edge;
 pub mod experiment;
+pub mod fleet;
 pub mod hash;
 pub mod metrics;
 pub mod multi;
@@ -48,6 +50,9 @@ pub mod wire;
 pub use cfrs::{CfrsConfig, CfrsDecision, CfrsPlanner};
 pub use edge::{EdgeFaultConfig, EdgeServer, PendingResponse, SharedEdge};
 pub use experiment::{run_system, run_system_with_faults, ExperimentConfig, FaultPlan, SystemKind};
+pub use fleet::{
+    rendezvous_rank, EdgeFleet, FleetConfig, FleetStats, HandoffRecord, PlacementPolicy,
+};
 pub use metrics::{
     percentile, FrameRecord, Report, ResilienceStats, StageBreakdownMs, StageSummary,
 };

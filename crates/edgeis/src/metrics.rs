@@ -396,6 +396,55 @@ impl Report {
         edgeis_telemetry::Histogram::from_samples(&self.response_latency_samples()).quantile(q)
     }
 
+    /// Duration of every completed outage episode visible in the frame
+    /// traces, ms: from the frame whose post-delivery health first reads
+    /// `"outage"` to the next frame whose health reads `"healthy"` again.
+    /// Episodes still open at the end of the run are excluded — recovery
+    /// SLOs are about recoveries that happened.
+    pub fn outage_recovery_times_ms(&self) -> Vec<f64> {
+        let mut times = Vec::new();
+        let mut outage_since: Option<f64> = None;
+        for r in &self.records {
+            match (&outage_since, r.trace.health.as_str()) {
+                (None, "outage") => outage_since = Some(r.time_ms),
+                (Some(t0), "healthy") => {
+                    times.push(r.time_ms - t0);
+                    outage_since = None;
+                }
+                _ => {}
+            }
+        }
+        times
+    }
+
+    /// Duration of every completed service-degradation episode, ms: from
+    /// the frame whose post-delivery health first leaves `"healthy"`
+    /// (degraded, outage or recovering) to the frame where it reads
+    /// `"healthy"` again. A crash of a *remote edge* behind a healthy
+    /// link never sits in trace-level `"outage"` — the link probe
+    /// succeeds on the very frame the outage is declared, so the machine
+    /// oscillates degraded/recovering instead — which is why the
+    /// failover SLO pools this broader episode definition rather than
+    /// [`Report::outage_recovery_times_ms`]. Open episodes at run end
+    /// are excluded.
+    pub fn unhealthy_episode_times_ms(&self) -> Vec<f64> {
+        let mut times = Vec::new();
+        let mut unhealthy_since: Option<f64> = None;
+        for r in &self.records {
+            match (&unhealthy_since, r.trace.health.as_str()) {
+                (_, "") => {}
+                (None, "healthy") => {}
+                (None, _) => unhealthy_since = Some(r.time_ms),
+                (Some(t0), "healthy") => {
+                    times.push(r.time_ms - t0);
+                    unhealthy_since = None;
+                }
+                _ => {}
+            }
+        }
+        times
+    }
+
     /// Merges several runs (e.g. different seeds) into one pooled report.
     pub fn pooled(system: &str, scenario: &str, reports: &[Report]) -> Report {
         let mut resilience = ResilienceStats::default();
@@ -438,6 +487,66 @@ mod tests {
             records,
             resilience: ResilienceStats::default(),
         }
+    }
+
+    #[test]
+    fn outage_recovery_times_span_outage_to_healthy() {
+        let health_record = |time_ms: f64, health: &str| {
+            let mut r = record(&[], 10.0, 0);
+            r.time_ms = time_ms;
+            r.trace.health = health.to_string();
+            r
+        };
+        // healthy → outage(100..400) → healthy → degraded noise →
+        // outage(900..) never recovered: exactly one closed episode.
+        let r = report(vec![
+            health_record(0.0, "healthy"),
+            health_record(100.0, "outage"),
+            health_record(200.0, "outage"),
+            health_record(300.0, "recovering"),
+            health_record(400.0, "healthy"),
+            health_record(500.0, "degraded"),
+            health_record(900.0, "outage"),
+            health_record(1000.0, "outage"),
+        ]);
+        assert_eq!(r.outage_recovery_times_ms(), vec![300.0]);
+        // Two fully recovered episodes count separately.
+        let r2 = report(vec![
+            health_record(100.0, "outage"),
+            health_record(250.0, "healthy"),
+            health_record(600.0, "outage"),
+            health_record(1000.0, "healthy"),
+        ]);
+        assert_eq!(r2.outage_recovery_times_ms(), vec![150.0, 400.0]);
+        assert!(report(vec![]).outage_recovery_times_ms().is_empty());
+    }
+
+    #[test]
+    fn unhealthy_episodes_span_any_degradation_to_healthy() {
+        let health_record = |time_ms: f64, health: &str| {
+            let mut r = record(&[], 10.0, 0);
+            r.time_ms = time_ms;
+            r.trace.health = health.to_string();
+            r
+        };
+        // A remote-edge crash pattern: degraded → recovering churn with
+        // no trace-level outage frame at all, then healed; later a noise
+        // blip; finally an open episode that must not count.
+        let r = report(vec![
+            health_record(0.0, "healthy"),
+            health_record(100.0, "degraded"),
+            health_record(200.0, "recovering"),
+            health_record(300.0, "degraded"),
+            health_record(600.0, "healthy"),
+            health_record(700.0, ""),
+            health_record(800.0, "degraded"),
+            health_record(900.0, "healthy"),
+            health_record(1000.0, "degraded"),
+        ]);
+        assert_eq!(r.unhealthy_episode_times_ms(), vec![500.0, 100.0]);
+        // The same trace shows zero closed trace-level outages.
+        assert!(r.outage_recovery_times_ms().is_empty());
+        assert!(report(vec![]).unhealthy_episode_times_ms().is_empty());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! with fleet size — the effect this module measures.
 
 use crate::edge::{EdgeFaultConfig, EdgeServer, SharedEdge};
+use crate::fleet::{EdgeFleet, FleetConfig, FleetStats};
 use crate::metrics::{FrameRecord, Report, StageBreakdownMs};
 use crate::pipeline::class_map;
 use crate::serving::{ServingConfig, ServingRuntime, ServingStats};
@@ -47,6 +48,18 @@ pub struct MultiDeviceConfig {
     /// paper's serial FIFO [`EdgeServer`]; `Some` enables the batched /
     /// sharded / cached / admission-controlled [`ServingRuntime`].
     pub serving: Option<ServingConfig>,
+    /// Multi-edge fleet configuration. `Some` replaces the single shared
+    /// edge with an [`EdgeFleet`] of serving replicas (its own
+    /// [`ServingConfig`] lives inside [`FleetConfig`]; the `serving` and
+    /// `edge_faults` fields above are ignored — per-edge faults come from
+    /// the fleet's [`edgeis_netsim::EdgeFaultScript`]).
+    pub fleet: Option<FleetConfig>,
+    /// Per-device link-fault overrides, keyed by device index. A listed
+    /// device uses its own schedule instead of the shared `link_faults`;
+    /// unlisted devices keep the shared one. This is what lets a chaos
+    /// schedule fault *some* devices' links while leaving the rest as a
+    /// bit-exactness control group.
+    pub per_device_link_faults: std::collections::BTreeMap<usize, FaultSchedule>,
     /// Telemetry hub installed on every device and the shared edge.
     /// Disabled by default; the caller owns the hub and exports it after
     /// the run (`Telemetry::export_all`).
@@ -67,6 +80,8 @@ impl Default for MultiDeviceConfig {
             link_faults: None,
             edge_faults: None,
             serving: None,
+            fleet: None,
+            per_device_link_faults: std::collections::BTreeMap::new(),
             telemetry: edgeis_telemetry::Telemetry::disabled(),
         }
     }
@@ -91,22 +106,50 @@ pub fn run_multi_device_with_stats<F>(
 where
     F: Fn(u64) -> World,
 {
-    let model = EdgeModel::new(
-        ModelKind::MaskRcnn,
-        config.camera.width,
-        config.camera.height,
-        config.seed ^ 0x777,
-    );
-    let shared = match &config.serving {
-        None => SharedEdge::new(EdgeServer::new(model)),
-        Some(serving) => SharedEdge::serving(ServingRuntime::new(
-            model,
+    let (reports, serving, _) = run_multi_device_with_fleet(make_world, config);
+    (reports, serving)
+}
+
+/// [`run_multi_device_with_stats`], also returning the fleet-tier
+/// accounting (`None` unless the run used a [`FleetConfig`] backend).
+pub fn run_multi_device_with_fleet<F>(
+    make_world: F,
+    config: &MultiDeviceConfig,
+) -> (Vec<Report>, Option<ServingStats>, Option<FleetStats>)
+where
+    F: Fn(u64) -> World,
+{
+    let shared = if let Some(fleet) = &config.fleet {
+        // Fleet edges are replicas: same model seed, same base seed, so a
+        // handoff changes where a request runs but never its payload.
+        SharedEdge::fleet(EdgeFleet::new(
+            ModelKind::MaskRcnn,
+            config.camera.width,
+            config.camera.height,
             config.seed ^ 0x777,
-            serving.clone(),
-        )),
+            config.seed ^ 0x777,
+            fleet.clone(),
+        ))
+    } else {
+        let model = EdgeModel::new(
+            ModelKind::MaskRcnn,
+            config.camera.width,
+            config.camera.height,
+            config.seed ^ 0x777,
+        );
+        match &config.serving {
+            None => SharedEdge::new(EdgeServer::new(model)),
+            Some(serving) => SharedEdge::serving(ServingRuntime::new(
+                model,
+                config.seed ^ 0x777,
+                serving.clone(),
+            )),
+        }
     };
-    if let Some(edge_faults) = &config.edge_faults {
-        shared.set_faults(edge_faults.clone());
+    if config.fleet.is_none() {
+        if let Some(edge_faults) = &config.edge_faults {
+            shared.set_faults(edge_faults.clone());
+        }
     }
 
     struct Device {
@@ -129,7 +172,11 @@ where
             if config.telemetry.is_enabled() {
                 system.set_telemetry(config.telemetry.clone());
             }
-            if let Some(faults) = &config.link_faults {
+            let faults = config
+                .per_device_link_faults
+                .get(&d)
+                .or(config.link_faults.as_ref());
+            if let Some(faults) = faults {
                 system.install_link_faults(faults.reseeded(config.seed ^ ((d as u64) << 8)));
             }
             Device {
@@ -247,7 +294,7 @@ where
             resilience: dev.system.resilience_stats().cloned().unwrap_or_default(),
         })
         .collect();
-    (reports, shared.serving_stats())
+    (reports, shared.serving_stats(), shared.fleet_stats())
 }
 
 #[cfg(test)]
@@ -340,6 +387,7 @@ mod tests {
                 crash_windows: vec![(1800.0, 2300.0)],
                 restart_ms: 100.0,
                 shed_queue_horizon_ms: 900.0,
+                ..Default::default()
             }),
             ..Default::default()
         };
@@ -361,5 +409,56 @@ mod tests {
         let total_recoveries: u64 = reports.iter().map(|r| r.resilience.recoveries).sum();
         assert!(total_timeouts > 0, "fault plan never fired");
         assert!(total_recoveries > 0, "no device completed a recovery");
+    }
+
+    #[test]
+    fn fleet_backend_fails_over_when_an_edge_crashes() {
+        use crate::fleet::rendezvous_rank;
+        use edgeis_netsim::EdgeFaultScript;
+
+        // Crash device 0's home edge for a full second mid-run. With
+        // failover the fleet evacuates its tenants and keeps serving;
+        // the pinned baseline just eats the losses.
+        let home = rendezvous_rank(0, 3)[0];
+        let script = EdgeFaultScript::new().crash(home, 1500.0, 2500.0, 120.0);
+        let failover = MultiDeviceConfig {
+            devices: 4,
+            frames: 120,
+            fleet: Some(FleetConfig {
+                edges: 3,
+                script: script.clone(),
+                ..FleetConfig::default()
+            }),
+            ..Default::default()
+        };
+        let pinned = MultiDeviceConfig {
+            fleet: Some(FleetConfig {
+                edges: 3,
+                script,
+                failover_enabled: false,
+                ..FleetConfig::default()
+            }),
+            ..failover.clone()
+        };
+
+        let (reports, serving, fleet) =
+            run_multi_device_with_fleet(datasets::indoor_simple, &failover);
+        let stats = fleet.expect("fleet backend must report fleet stats");
+        let serving = serving.expect("fleet backend must report merged serving stats");
+        assert_eq!(reports.len(), 4);
+        assert!(stats.handoffs >= 1, "nobody was evacuated off the crash");
+        assert_eq!(stats.dead_edge_responses, 0, "a dead edge answered");
+        assert_eq!(
+            stats.per_edge_served.iter().sum::<u64>(),
+            serving.served,
+            "fleet and serving accounting disagree"
+        );
+        let fleet_iou: f64 =
+            reports.iter().map(|r| r.mean_iou()).sum::<f64>() / reports.len() as f64;
+        assert!(fleet_iou > 0.2, "failover fleet collapsed: {fleet_iou:.3}");
+
+        let (_, _, pinned_stats) = run_multi_device_with_fleet(datasets::indoor_simple, &pinned);
+        let pinned_stats = pinned_stats.expect("fleet stats");
+        assert_eq!(pinned_stats.handoffs, 0, "baseline must never hand off");
     }
 }

@@ -40,7 +40,7 @@ use edgeis_segnet::{EdgeModel, FrameObservation, Guidance, InferenceStats};
 use edgeis_telemetry::{ArgValue, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Serving-runtime knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +66,11 @@ pub struct ServingConfig {
     /// its (exactly known) completion would land later than
     /// `arrival + admission_deadline_ms`. `INFINITY` disables.
     pub admission_deadline_ms: f64,
+    /// Cold-start surcharge: the first request a device sends to this
+    /// runtime (and the first after a fleet handoff or cold restart) pays
+    /// this extra compute time for model-residency/state transfer, ms.
+    /// 0 disables the model.
+    pub residency_transfer_ms: f64,
 }
 
 impl Default for ServingConfig {
@@ -82,6 +87,7 @@ impl Default for ServingConfig {
             // serving it is pure waste — shed at admission and let the
             // resilience policy treat it as a miss.
             admission_deadline_ms: 300.0,
+            residency_transfer_ms: 0.0,
         }
     }
 }
@@ -98,6 +104,7 @@ impl ServingConfig {
             cache_enabled: false,
             cache_tolerance_px: 0.0,
             admission_deadline_ms: f64::INFINITY,
+            residency_transfer_ms: 0.0,
         }
     }
 }
@@ -150,6 +157,21 @@ impl ServingStats {
         } else {
             self.cache_hits as f64 / total as f64
         }
+    }
+
+    /// Accumulates another runtime's counters into this one (fleet-wide
+    /// totals across edges).
+    pub fn merge(&mut self, other: &ServingStats) {
+        self.served += other.served;
+        self.batches += other.batches;
+        self.batch_joins += other.batch_joins;
+        self.batch_saved_ms += other.batch_saved_ms;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_saved_ms += other.cache_saved_ms;
+        self.admission_sheds += other.admission_sheds;
+        self.horizon_sheds += other.horizon_sheds;
+        self.crash_losses += other.crash_losses;
     }
 }
 
@@ -216,6 +238,9 @@ pub struct ServingRuntime {
     seq: BTreeMap<u64, u64>,
     /// Per-device last guidance key.
     cache: BTreeMap<u64, GuidanceKey>,
+    /// Devices whose model residency/state already lives on this runtime
+    /// (they have been served at least once since the last cold event).
+    warm: BTreeSet<u64>,
     corrupt_rng: StdRng,
     stats: ServingStats,
     base_seed: u64,
@@ -236,6 +261,7 @@ impl ServingRuntime {
             open: vec![None; lanes],
             seq: BTreeMap::new(),
             cache: BTreeMap::new(),
+            warm: BTreeSet::new(),
             corrupt_rng: StdRng::seed_from_u64(base_seed ^ 0xe6fa),
             stats: ServingStats::default(),
             base_seed,
@@ -311,6 +337,20 @@ impl ServingRuntime {
         for b in &mut self.open {
             *b = None;
         }
+        if self.faults.cold_restart {
+            // So did the guidance cache and per-device residency: a
+            // restarted edge must never serve stale pre-crash cache state.
+            self.cache.clear();
+            self.warm.clear();
+        }
+    }
+
+    /// Drops `device`'s warm residency and cached guidance — called by the
+    /// fleet on handoff so the destination edge pays the cold-start
+    /// transfer cost for its new tenant.
+    pub(crate) fn mark_cold(&mut self, device: u64) {
+        self.warm.remove(&device);
+        self.cache.remove(&device);
     }
 
     fn shed_response(
@@ -405,21 +445,37 @@ impl ServingRuntime {
             result.stats.rpn_ms + result.stats.head_ms
         };
         let backbone_ms = result.stats.backbone_ms;
-        let unbatched_ms = backbone_ms + stage_ms;
+        // Cold-start surcharge: a device without residency here (first
+        // contact, fleet handoff, cold restart) pays the transfer cost.
+        let residency_ms =
+            if self.config.residency_transfer_ms > 0.0 && !self.warm.contains(&device) {
+                self.config.residency_transfer_ms
+            } else {
+                0.0
+            };
+        let unbatched_ms = backbone_ms + stage_ms + residency_ms;
 
         // Timing: join the lane's open batch when it has not started
         // executing past this request's arrival, else open a new one.
+        // Brownout windows stretch compute (never outputs) by the factor
+        // active at execution start.
         let profile = self.model.profile();
         let max_batch = self.config.max_batch.clamp(1, profile.max_batch.max(1));
         let join = self.open[lane]
             .filter(|b| arrival_ms <= b.exec_start && b.size < max_batch)
-            .map(|b| (b, profile.batched_member_ms(b.size, backbone_ms, stage_ms)));
-        let (exec_start, completion) = match join {
-            Some((batch, marginal)) => (batch.exec_start, batch.finish + marginal),
+            .map(|b| {
+                let marginal = (profile.batched_member_ms(b.size, backbone_ms, stage_ms)
+                    + residency_ms)
+                    * self.faults.slowdown_at(b.exec_start);
+                (b, marginal)
+            });
+        let (exec_start, completion, solo_compute_ms) = match join {
+            Some((batch, marginal)) => (batch.exec_start, batch.finish + marginal, 0.0),
             None => {
                 let exec_start =
                     arrival_ms.max(self.lanes.busy_until(lane)) + self.config.batch_window_ms;
-                (exec_start, exec_start + unbatched_ms)
+                let compute_ms = unbatched_ms * self.faults.slowdown_at(exec_start);
+                (exec_start, exec_start + compute_ms, compute_ms)
             }
         };
         let queue_wait_ms = exec_start - arrival_ms;
@@ -494,11 +550,15 @@ impl ServingRuntime {
                     size: batch.size + 1,
                 });
                 self.stats.batch_joins += 1;
-                self.stats.batch_saved_ms += unbatched_ms - marginal;
+                self.stats.batch_saved_ms +=
+                    unbatched_ms * self.faults.slowdown_at(exec_start) - marginal;
             }
             None => {
-                self.lanes
-                    .occupy(lane, arrival_ms, self.config.batch_window_ms + unbatched_ms);
+                self.lanes.occupy(
+                    lane,
+                    arrival_ms,
+                    self.config.batch_window_ms + solo_compute_ms,
+                );
                 self.open[lane] = Some(OpenBatch {
                     exec_start,
                     finish: completion,
@@ -507,6 +567,7 @@ impl ServingRuntime {
                 self.stats.batches += 1;
             }
         }
+        self.warm.insert(device);
         self.stats.served += 1;
         if cache_hit {
             self.stats.cache_hits += 1;
@@ -628,6 +689,7 @@ mod tests {
             cache_enabled: true,
             cache_tolerance_px: 4.0,
             admission_deadline_ms: f64::INFINITY,
+            residency_transfer_ms: 0.0,
         };
         let mut batched = ServingRuntime::new(model(7), 42, batched_cfg);
         let mut serial = ServingRuntime::new(model(7), 42, ServingConfig::serial_fifo());
@@ -659,6 +721,7 @@ mod tests {
             cache_enabled: false,
             cache_tolerance_px: 0.0,
             admission_deadline_ms: f64::INFINITY,
+            residency_transfer_ms: 0.0,
         };
         let mut batched = ServingRuntime::new(model(3), 3, batched_cfg);
         let mut serial = ServingRuntime::new(model(3), 3, ServingConfig::serial_fifo());
@@ -688,6 +751,7 @@ mod tests {
             cache_enabled: false,
             cache_tolerance_px: 0.0,
             admission_deadline_ms: f64::INFINITY,
+            residency_transfer_ms: 0.0,
         };
         let mut rt = ServingRuntime::new(model(5), 5, cfg);
         let obs = observation();
@@ -719,6 +783,7 @@ mod tests {
             cache_enabled: true,
             cache_tolerance_px: 4.0,
             admission_deadline_ms: f64::INFINITY,
+            residency_transfer_ms: 0.0,
         };
         let mut rt = ServingRuntime::new(model(6), 6, cfg);
         let obs = observation();
@@ -768,6 +833,7 @@ mod tests {
             cache_enabled: true,
             cache_tolerance_px: 4.0,
             admission_deadline_ms: f64::INFINITY,
+            residency_transfer_ms: 0.0,
         };
         let mut uncached_cfg = cached_cfg.clone();
         uncached_cfg.cache_enabled = false;
@@ -797,6 +863,7 @@ mod tests {
             cache_enabled: false,
             cache_tolerance_px: 0.0,
             admission_deadline_ms: 100.0,
+            residency_transfer_ms: 0.0,
         };
         let mut rt = ServingRuntime::new(model(9), 9, cfg);
         let obs = observation();
@@ -835,6 +902,7 @@ mod tests {
             cache_enabled: false,
             cache_tolerance_px: 0.0,
             admission_deadline_ms: f64::INFINITY,
+            residency_transfer_ms: 0.0,
         };
         let mut rt = ServingRuntime::new(model(10), 10, cfg);
         rt.set_faults(EdgeFaultConfig {
@@ -867,6 +935,7 @@ mod tests {
             cache_enabled: false,
             cache_tolerance_px: 0.0,
             admission_deadline_ms: f64::INFINITY,
+            residency_transfer_ms: 0.0,
         };
         let mut rt = ServingRuntime::new(model(11), 11, cfg);
         rt.set_faults(EdgeFaultConfig {
@@ -927,6 +996,7 @@ mod tests {
             cache_enabled: false,
             cache_tolerance_px: 0.0,
             admission_deadline_ms: f64::INFINITY,
+            residency_transfer_ms: 0.0,
         };
         // MobileLite's profile caps batches at 1: nothing may coalesce no
         // matter what the serving config asks for.
@@ -938,5 +1008,134 @@ mod tests {
         }
         assert_eq!(rt.stats().batch_joins, 0);
         assert_eq!(rt.stats().batches, 3);
+    }
+
+    fn cache_cfg() -> ServingConfig {
+        ServingConfig {
+            lanes: 1,
+            max_batch: 1,
+            batch_window_ms: 0.0,
+            cache_enabled: true,
+            cache_tolerance_px: 4.0,
+            admission_deadline_ms: f64::INFINITY,
+            residency_transfer_ms: 0.0,
+        }
+    }
+
+    #[test]
+    fn crash_restart_invalidates_guidance_cache() {
+        // Regression: a restarted edge must not serve cache state from its
+        // pre-crash life. Warm the cache, crash, and verify the same
+        // guidance misses afterwards.
+        let mut rt = ServingRuntime::new(model(14), 14, cache_cfg());
+        rt.set_faults(EdgeFaultConfig {
+            crash_windows: vec![(5000.0, 5500.0)],
+            restart_ms: 100.0,
+            ..Default::default()
+        });
+        let obs = observation();
+        let g = guidance(50.0);
+        rt.submit(0, 0, &obs, Some(&g), 0.0, &mut clean_link(15))
+            .unwrap();
+        let t = rt.busy_until_for(0);
+        rt.submit(0, 1, &obs, Some(&g), t, &mut clean_link(15))
+            .unwrap();
+        assert_eq!(rt.stats().cache_hits, 1, "cache never warmed up");
+        assert_eq!(rt.stats().cache_misses, 1);
+        // The crash clears the cache with the process.
+        assert!(rt
+            .submit(0, 2, &obs, Some(&g), 5200.0, &mut clean_link(15))
+            .is_none());
+        assert_eq!(rt.crash_losses(), 1);
+        // Identical guidance after the restart: must miss, not hit stale
+        // pre-crash state.
+        let r = rt
+            .submit(0, 3, &obs, Some(&g), 6000.0, &mut clean_link(15))
+            .unwrap();
+        assert!(!r.shed);
+        assert_eq!(
+            rt.stats().cache_hits,
+            1,
+            "restarted edge served stale cache"
+        );
+        assert_eq!(rt.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn warm_restart_keeps_guidance_cache() {
+        // The scripted warm_crash kind models a supervisor restart where
+        // cache state survives: cold_restart=false keeps the entry.
+        let mut rt = ServingRuntime::new(model(15), 15, cache_cfg());
+        rt.set_faults(EdgeFaultConfig {
+            crash_windows: vec![(5000.0, 5500.0)],
+            restart_ms: 50.0,
+            cold_restart: false,
+            ..Default::default()
+        });
+        let obs = observation();
+        let g = guidance(50.0);
+        rt.submit(0, 0, &obs, Some(&g), 0.0, &mut clean_link(16))
+            .unwrap();
+        assert!(rt
+            .submit(0, 1, &obs, Some(&g), 5200.0, &mut clean_link(16))
+            .is_none());
+        let r = rt
+            .submit(0, 2, &obs, Some(&g), 6000.0, &mut clean_link(16))
+            .unwrap();
+        assert!(!r.shed);
+        assert_eq!(rt.stats().cache_hits, 1, "warm restart must keep the cache");
+    }
+
+    #[test]
+    fn residency_transfer_charges_cold_devices_once() {
+        let mut cfg = ServingConfig::serial_fifo();
+        cfg.residency_transfer_ms = 30.0;
+        let mut rt = ServingRuntime::new(model(16), 16, cfg);
+        let obs = observation();
+        // First contact pays the transfer cost on top of inference...
+        let r1 = rt
+            .submit(0, 0, &obs, None, 0.0, &mut clean_link(17))
+            .unwrap();
+        let first_cost = rt.busy_until_for(0);
+        assert!(
+            (first_cost - (r1.stats.total_ms() + 30.0)).abs() < 1e-9,
+            "cold request must pay the residency surcharge"
+        );
+        // ...the second is warm.
+        let t = rt.busy_until_for(0);
+        let r2 = rt.submit(0, 1, &obs, None, t, &mut clean_link(17)).unwrap();
+        assert!((rt.busy_until_for(0) - (t + r2.stats.total_ms())).abs() < 1e-9);
+        // A handoff eviction makes the device cold again.
+        rt.mark_cold(0);
+        let t = rt.busy_until_for(0);
+        let r3 = rt.submit(0, 2, &obs, None, t, &mut clean_link(17)).unwrap();
+        assert!(
+            (rt.busy_until_for(0) - (t + r3.stats.total_ms() + 30.0)).abs() < 1e-9,
+            "evicted device must pay the surcharge again"
+        );
+        // The surcharge is timing-only: payloads match a zero-surcharge run.
+        let mut plain = ServingRuntime::new(model(16), 16, ServingConfig::serial_fifo());
+        let p1 = plain
+            .submit(0, 0, &obs, None, 0.0, &mut clean_link(17))
+            .unwrap();
+        assert_eq!(r1.payload, p1.payload);
+    }
+
+    #[test]
+    fn brownout_stretches_lane_occupancy() {
+        let mut rt = ServingRuntime::new(model(17), 17, ServingConfig::serial_fifo());
+        rt.set_faults(EdgeFaultConfig {
+            brownout_windows: vec![(0.0, 100_000.0, 2.0)],
+            ..Default::default()
+        });
+        let obs = observation();
+        let r = rt
+            .submit(0, 0, &obs, None, 0.0, &mut clean_link(18))
+            .unwrap();
+        assert!(
+            (rt.busy_until_for(0) - 2.0 * r.stats.total_ms()).abs() < 1e-9,
+            "brownout factor 2 must double the lane occupancy"
+        );
+        assert!(r.decode().is_ok());
     }
 }

@@ -101,3 +101,89 @@ pub struct FrameTrace {
     /// Resilience health state after this frame's delivery pass.
     pub health: String,
 }
+
+impl FrameTrace {
+    /// FNV-1a digest of every field, so a whole trace collapses to one
+    /// comparable word. Two frames digest equal iff the system made the
+    /// same decisions and produced the same outputs on them — the
+    /// chaos sweep compares these per-frame on devices a fault schedule
+    /// was supposed to leave untouched.
+    pub fn digest(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        match &self.pose {
+            None => h = fnv1a64_extend(h, &[0]),
+            Some(v) => {
+                h = fnv1a64_extend(h, &[1]);
+                for c in v {
+                    h = fnv1a64_extend(h, &c.to_bits().to_le_bytes());
+                }
+            }
+        }
+        h = fnv1a64_extend(h, &self.mask_digest.to_le_bytes());
+        h = fnv1a64_extend(h, &self.mask_count.to_le_bytes());
+        h = fnv1a64_extend(h, self.decision.as_bytes());
+        h = fnv1a64_extend(h, &[0xff]);
+        for l in &self.tile_levels {
+            h = fnv1a64_extend(h, &l.to_le_bytes());
+        }
+        h = fnv1a64_extend(h, &self.uplink_digest.to_le_bytes());
+        h = fnv1a64_extend(h, &self.responses.to_le_bytes());
+        h = fnv1a64_extend(h, &self.response_digest.to_le_bytes());
+        h = fnv1a64_extend(h, &self.applied_digest.to_le_bytes());
+        h = fnv1a64_extend(h, self.health.as_bytes());
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_trace_digest_separates_every_field() {
+        let base = FrameTrace {
+            pose: Some([0.1, 0.2, 0.3, 1.0, 2.0, 3.0]),
+            mask_digest: 11,
+            mask_count: 2,
+            decision: "transmit:Keyframe".to_string(),
+            tile_levels: [4, 2, 1, 0],
+            uplink_digest: 22,
+            responses: 1,
+            response_digest: 33,
+            applied_digest: 44,
+            health: "healthy".to_string(),
+        };
+        assert_eq!(base.digest(), base.clone().digest(), "digest is pure");
+        let mut variants = vec![base.clone()];
+        variants.push(FrameTrace {
+            pose: None,
+            ..base.clone()
+        });
+        variants.push(FrameTrace {
+            mask_digest: 12,
+            ..base.clone()
+        });
+        variants.push(FrameTrace {
+            decision: "hold".to_string(),
+            ..base.clone()
+        });
+        variants.push(FrameTrace {
+            tile_levels: [4, 2, 0, 1],
+            ..base.clone()
+        });
+        variants.push(FrameTrace {
+            responses: 0,
+            ..base.clone()
+        });
+        variants.push(FrameTrace {
+            health: "outage".to_string(),
+            ..base.clone()
+        });
+        let digests: Vec<u64> = variants.iter().map(FrameTrace::digest).collect();
+        for i in 0..digests.len() {
+            for j in (i + 1)..digests.len() {
+                assert_ne!(digests[i], digests[j], "variants {i} and {j} collide");
+            }
+        }
+    }
+}

@@ -156,6 +156,7 @@ fn edge_crash_loses_inflight_requests() {
             crash_windows: vec![(2000.0, 2600.0)],
             restart_ms: 150.0,
             shed_queue_horizon_ms: f64::INFINITY,
+            ..Default::default()
         }),
     };
     let report = run_system_with_faults(
@@ -236,6 +237,7 @@ fn same_seed_same_faults_same_report() {
             crash_windows: vec![(900.0, 1100.0)],
             restart_ms: 80.0,
             shed_queue_horizon_ms: 700.0,
+            ..Default::default()
         }),
     };
     let mut a = run_system_with_faults(SystemKind::EdgeIs, &world, LinkKind::Lte, &config, &faults);
@@ -251,6 +253,103 @@ fn same_seed_same_faults_same_report() {
         "faulted run is not reproducible"
     );
     assert_eq!(a.resilience, b.resilience);
+}
+
+/// Back-to-back faults: when the uplink outage clears, a response
+/// blackhole immediately takes over. Probes (uplink-only) succeed, so the
+/// machine enters `Recovering` — but every recovery keyframe's response
+/// dies on the downlink, so `Recovering → Healthy` must be unreachable
+/// until the blackhole lifts: the machine falls back to outage (counted
+/// as a second episode), never declaring victory on an unproven link.
+///
+/// Window arithmetic: worst-case detection lag after a fault opens is the
+/// CFRS max keyframe interval (30 frames = 1000 ms) + response deadline
+/// (1200 ms) + one retry cycle (backoff + another deadline ≈ 1300 ms) ≈
+/// 3.5 s, so the uplink window runs 4 s to guarantee in-window detection
+/// under any RNG draw sequence.
+#[test]
+fn back_to_back_outages_cannot_fake_a_recovery() {
+    let world = datasets::indoor_simple(13);
+    let config = ExperimentConfig {
+        frames: 300,
+        seed: 13,
+        ..Default::default()
+    };
+    let faults = FaultPlan {
+        link: Some(
+            FaultSchedule::new(13)
+                .outage(1000.0, 5000.0)
+                .drop_responses(5000.0, 7000.0, 1.0),
+        ),
+        edge: None,
+    };
+    let report =
+        run_system_with_faults(SystemKind::EdgeIs, &world, LinkKind::Lte, &config, &faults);
+    let res = &report.resilience;
+    assert!(
+        res.outages_detected >= 2,
+        "both episodes must be counted separately: {res:?}"
+    );
+    // From the worst-case first-timeout instant until the blackhole
+    // lifts, no response can be delivered, so no frame may report a
+    // healthy link: any "healthy" here is a recovery faked off a probe
+    // alone.
+    for r in &report.records {
+        if r.time_ms > 3500.0 && r.time_ms < 6950.0 {
+            assert_ne!(
+                r.trace.health, "healthy",
+                "frame {} at {:.0} ms claims healthy while responses cannot arrive",
+                r.frame, r.time_ms
+            );
+        }
+    }
+    // After the blackhole lifts the device must make it all the way
+    // back: at least one completed recovery, ending healthy.
+    assert!(res.recoveries >= 1, "never completed a recovery: {res:?}");
+    let final_health = report
+        .records
+        .iter()
+        .rev()
+        .map(|r| r.trace.health.as_str())
+        .find(|h| !h.is_empty());
+    assert_eq!(final_health, Some("healthy"), "device never healed");
+}
+
+/// Well-separated outages each complete a full detect → probe → recover
+/// cycle, and the stats count both.
+#[test]
+fn separated_outages_count_two_full_recoveries() {
+    let world = datasets::indoor_simple(13);
+    let config = ExperimentConfig {
+        frames: 400,
+        seed: 13,
+        ..Default::default()
+    };
+    // Each window is 4 s — longer than the worst-case detection lag (see
+    // the back-to-back test above), so the machine is provably sitting in
+    // `Outage` for a stretch of frames inside each window, and the gap
+    // after each recovery is long enough to re-reach steady healthy state.
+    let faults = FaultPlan {
+        link: Some(
+            FaultSchedule::new(13)
+                .outage(1000.0, 5000.0)
+                .outage(7500.0, 11500.0),
+        ),
+        edge: None,
+    };
+    let report =
+        run_system_with_faults(SystemKind::EdgeIs, &world, LinkKind::Lte, &config, &faults);
+    let res = &report.resilience;
+    assert!(
+        res.outages_detected >= 2,
+        "second episode not counted: {res:?}"
+    );
+    assert!(res.recoveries >= 2, "each episode must recover: {res:?}");
+    // The trace-level recovery times agree: two closed episodes visible.
+    assert!(
+        report.outage_recovery_times_ms().len() >= 2,
+        "trace shows fewer than two closed outage episodes"
+    );
 }
 
 #[test]

@@ -40,8 +40,10 @@ fn enabled_telemetry(test: &str) -> Telemetry {
 #[test]
 fn telemetry_does_not_perturb_frame_traces() {
     let telemetry = enabled_telemetry("identity");
-    let (with_tel, stats_a) =
-        run_multi_device_with_stats(edgeis_scene::datasets::indoor_simple, &faulted_config(telemetry));
+    let (with_tel, stats_a) = run_multi_device_with_stats(
+        edgeis_scene::datasets::indoor_simple,
+        &faulted_config(telemetry),
+    );
     let (without, stats_b) = run_multi_device_with_stats(
         edgeis_scene::datasets::indoor_simple,
         &faulted_config(Telemetry::disabled()),
@@ -98,13 +100,21 @@ fn edge_spans_attach_to_their_mobile_frame_trace() {
 
     // Every edge-side span (decoded from the wire envelope on the edge)
     // must be a child of the span that opened its trace on the mobile.
-    let edge_spans: Vec<_> = spans.iter().filter(|s| s.name.starts_with("edge.")).collect();
+    let edge_spans: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name.starts_with("edge."))
+        .collect();
     assert!(!edge_spans.is_empty(), "no edge spans recorded");
     for s in &edge_spans {
         let root = roots
             .get(&s.trace_id)
             .unwrap_or_else(|| panic!("edge span has no frame root (trace {:016x})", s.trace_id));
-        assert_eq!(s.parent_id, Some(*root), "edge span {} mis-parented", s.name);
+        assert_eq!(
+            s.parent_id,
+            Some(*root),
+            "edge span {} mis-parented",
+            s.name
+        );
     }
 
     // Net transfer spans ride the ambient frame context on the mobile.
@@ -135,7 +145,9 @@ fn faulted_run_dumps_flight_recorder_and_exports_parse() {
         events.iter().any(|e| e.name == "deadline.missed"),
         "no deadline miss recorded"
     );
-    let dir = telemetry.output_dir().expect("enabled hub has an output dir");
+    let dir = telemetry
+        .output_dir()
+        .expect("enabled hub has an output dir");
     let dumps: Vec<_> = std::fs::read_dir(&dir)
         .expect("output dir exists after a dump")
         .filter_map(|e| e.ok())

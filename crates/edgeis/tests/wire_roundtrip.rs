@@ -3,7 +3,7 @@
 //! it is the first thing a corrupted delivery hits on the mobile side.
 
 use bytes::Bytes;
-use edgeis::wire::{decode_response, encode_response};
+use edgeis::wire::{decode_response, encode_response, RequestEnvelope, WireError};
 use edgeis_imaging::Mask;
 use edgeis_segnet::{BBox, Detection};
 use proptest::prelude::*;
@@ -183,6 +183,92 @@ proptest! {
                 prop_assert_eq!(a.class_id, b.class_id, "neighbour {} class", i);
                 prop_assert_eq!(&a.mask, &b.mask, "neighbour {} mask", i);
             }
+        }
+    }
+
+    /// The 40-byte request envelope round-trips bit-exact and ignores
+    /// whatever trails it (the envelope is a prefix header; the request
+    /// body follows in the same buffer).
+    #[test]
+    fn envelope_roundtrips_and_ignores_trailing_bytes(
+        trace_id in 0u64..u64::MAX,
+        parent_span in 0u64..u64::MAX,
+        device in 0u64..u64::MAX,
+        frame_id in 0u64..u64::MAX,
+        trailer in collection::vec(0u8..=255, 0..64),
+    ) {
+        let envelope = RequestEnvelope { trace_id, parent_span, device, frame_id };
+        let mut buf = envelope.encode().to_vec();
+        prop_assert_eq!(buf.len(), 40);
+        buf.extend_from_slice(&trailer);
+        let decoded = RequestEnvelope::decode(Bytes::from(buf)).expect("valid prefix decodes");
+        prop_assert_eq!(decoded, envelope);
+    }
+
+    /// Any truncation below the fixed 40-byte prefix is `Truncated`,
+    /// never a panic or a partial struct.
+    #[test]
+    fn truncated_envelope_prefixes_are_rejected(
+        trace_id in 0u64..u64::MAX,
+        cut in 0usize..40,
+    ) {
+        let envelope = RequestEnvelope { trace_id, parent_span: 1, device: 2, frame_id: 3 };
+        let raw = envelope.encode();
+        let result = RequestEnvelope::decode(raw.slice(0..cut));
+        prop_assert!(
+            matches!(result, Err(WireError::Truncated)),
+            "cut to {cut} bytes gave {result:?}"
+        );
+    }
+
+    /// Best-effort decoding under corruption: flip any bit of the header
+    /// prefix of a combined `envelope ‖ body` uplink buffer. The envelope
+    /// decode may fail (bad magic / bad version) or succeed with skewed
+    /// ids — but it must never panic, and the request *body* that follows
+    /// the fixed-size prefix must still round-trip intact, because
+    /// telemetry framing is observability metadata and may not cost
+    /// payload fidelity.
+    #[test]
+    fn corrupted_envelope_prefix_leaves_request_body_intact(
+        seed in 0u64..u64::MAX,
+        idx in 0usize..40,
+        bit in 0u8..8,
+    ) {
+        let envelope = RequestEnvelope {
+            trace_id: seed,
+            parent_span: seed ^ 0xabcd,
+            device: 4,
+            frame_id: 17,
+        };
+        let dets = vec![detection_from(seed, 1), detection_from(seed ^ 9, 2)];
+        let body = encode_response(17, &dets);
+        let mut buf = envelope.encode().to_vec();
+        buf.extend_from_slice(&body);
+        buf[idx] ^= 1 << bit;
+        let buf = Bytes::from(buf);
+
+        // Envelope decode: best-effort, no panic. A flip in bytes 0..8
+        // breaks magic/version; one in 8..40 skews a field but still
+        // decodes (the header carries no checksum by design — ids are
+        // validated downstream against the span store).
+        match RequestEnvelope::decode(buf.clone()) {
+            Err(e) => prop_assert!(
+                matches!(e, WireError::BadMagic | WireError::Truncated),
+                "unexpected envelope error {e:?}"
+            ),
+            Ok(decoded) => {
+                prop_assert!(idx >= 8, "flip in magic/version must not decode");
+                prop_assert_ne!(decoded, envelope, "flipped bit changed nothing");
+            }
+        }
+        // The body after the fixed prefix is untouched by header damage.
+        let (got_id, decoded) = decode_response(buf.slice(40..))
+            .expect("request body must survive envelope corruption");
+        prop_assert_eq!(got_id, 17);
+        prop_assert_eq!(decoded.len(), dets.len());
+        for (a, b) in dets.iter().zip(decoded.iter()) {
+            prop_assert_eq!(a.instance, b.instance);
+            prop_assert_eq!(&a.mask, &b.mask);
         }
     }
 

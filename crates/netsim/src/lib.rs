@@ -274,6 +274,160 @@ impl FaultSchedule {
     }
 }
 
+/// One kind of scripted fault against a *named edge node* (as opposed to
+/// [`LinkFault`], which scripts a device's link). Edge faults drive the
+/// fleet tier: a crash takes the whole node down for its window, a
+/// brownout slows it without killing it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EdgeFaultKind {
+    /// The node's process dies for the window; it serves again
+    /// `restart_ms` after the window ends. `cold_cache` restarts come
+    /// back with no warm per-device state (model residency must be paid
+    /// again); warm restarts keep residency but still lose in-flight
+    /// work.
+    Crash {
+        /// Extra model-reload time after the window closes, ms.
+        restart_ms: SimMs,
+        /// Whether the restart wipes per-device warm state.
+        cold_cache: bool,
+    },
+    /// Service times on the node are multiplied by this factor (≥ 1)
+    /// inside the window — thermal throttling, a noisy co-tenant.
+    Brownout(f64),
+}
+
+/// An edge fault active on one named edge over `[start_ms, end_ms)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeFaultWindow {
+    /// Index of the edge node the fault applies to.
+    pub edge: usize,
+    /// Window start (inclusive), ms.
+    pub start_ms: SimMs,
+    /// Window end (exclusive), ms.
+    pub end_ms: SimMs,
+    /// What goes wrong inside the window.
+    pub kind: EdgeFaultKind,
+}
+
+impl EdgeFaultWindow {
+    /// Whether the window covers virtual time `at`.
+    pub fn contains(&self, at: SimMs) -> bool {
+        at >= self.start_ms && at < self.end_ms
+    }
+}
+
+/// A scripted fault plan for a *fleet of named edges*: the edge-side
+/// sibling of [`FaultSchedule`]. Purely deterministic (no probabilistic
+/// faults — a node is either scripted down/slow at `t` or it is not), so
+/// a chaos run is exactly reproducible and the checker can reason about
+/// which edges were clean.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EdgeFaultScript {
+    windows: Vec<EdgeFaultWindow>,
+}
+
+impl EdgeFaultScript {
+    /// An empty script.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an arbitrary fault window.
+    pub fn with_window(mut self, window: EdgeFaultWindow) -> Self {
+        self.windows.push(window);
+        self
+    }
+
+    /// Scripts a cold-cache crash of `edge` over `[start_ms, end_ms)`,
+    /// restarting `restart_ms` after the window.
+    pub fn crash(self, edge: usize, start_ms: SimMs, end_ms: SimMs, restart_ms: SimMs) -> Self {
+        self.with_window(EdgeFaultWindow {
+            edge,
+            start_ms,
+            end_ms,
+            kind: EdgeFaultKind::Crash {
+                restart_ms,
+                cold_cache: true,
+            },
+        })
+    }
+
+    /// Scripts a warm-cache crash (residency survives the restart).
+    pub fn warm_crash(
+        self,
+        edge: usize,
+        start_ms: SimMs,
+        end_ms: SimMs,
+        restart_ms: SimMs,
+    ) -> Self {
+        self.with_window(EdgeFaultWindow {
+            edge,
+            start_ms,
+            end_ms,
+            kind: EdgeFaultKind::Crash {
+                restart_ms,
+                cold_cache: false,
+            },
+        })
+    }
+
+    /// Scripts a brownout of `edge` (service times × `factor`).
+    pub fn brownout(self, edge: usize, start_ms: SimMs, end_ms: SimMs, factor: f64) -> Self {
+        self.with_window(EdgeFaultWindow {
+            edge,
+            start_ms,
+            end_ms,
+            kind: EdgeFaultKind::Brownout(factor.max(1.0)),
+        })
+    }
+
+    /// All scripted windows.
+    pub fn windows(&self) -> &[EdgeFaultWindow] {
+        &self.windows
+    }
+
+    /// The windows scripted against one edge.
+    pub fn windows_for(&self, edge: usize) -> impl Iterator<Item = &EdgeFaultWindow> {
+        self.windows.iter().filter(move |w| w.edge == edge)
+    }
+
+    /// Whether `edge` has any scripted fault at all.
+    pub fn touches(&self, edge: usize) -> bool {
+        self.windows.iter().any(|w| w.edge == edge)
+    }
+
+    /// Whether `edge` is crashed (scripted down) at virtual time `at`.
+    pub fn crashed_at(&self, edge: usize, at: SimMs) -> bool {
+        self.windows_for(edge)
+            .any(|w| matches!(w.kind, EdgeFaultKind::Crash { .. }) && w.contains(at))
+    }
+
+    /// Compound brownout slowdown factor on `edge` at `at` (1.0 when
+    /// nothing is scripted).
+    pub fn slowdown_at(&self, edge: usize, at: SimMs) -> f64 {
+        self.windows_for(edge)
+            .filter(|w| w.contains(at))
+            .map(|w| match w.kind {
+                EdgeFaultKind::Brownout(f) => f.max(1.0),
+                _ => 1.0,
+            })
+            .product()
+    }
+
+    /// The last instant any scripted fault (including restart spill-over)
+    /// is still active — chaos generators keep this before the quiet tail
+    /// so every device can return to `Healthy`.
+    pub fn last_fault_ms(&self) -> SimMs {
+        self.windows
+            .iter()
+            .map(|w| match w.kind {
+                EdgeFaultKind::Crash { restart_ms, .. } => w.end_ms + restart_ms,
+                EdgeFaultKind::Brownout(_) => w.end_ms,
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
 /// Outcome of a transfer routed through the fault schedule.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Delivery {
@@ -588,6 +742,53 @@ mod tests {
     use super::*;
 
     #[test]
+    fn edge_fault_script_is_per_edge_and_deterministic() {
+        let script = EdgeFaultScript::new()
+            .crash(0, 1000.0, 1500.0, 100.0)
+            .brownout(1, 2000.0, 3000.0, 2.5)
+            .warm_crash(2, 500.0, 700.0, 20.0);
+        assert_eq!(script.windows().len(), 3);
+        assert_eq!(script.windows_for(0).count(), 1);
+        assert_eq!(script.windows_for(3).count(), 0);
+        assert!(script.touches(1));
+        assert!(!script.touches(3));
+        // Crash state is half-open per edge: [start, end).
+        assert!(script.crashed_at(0, 1000.0));
+        assert!(script.crashed_at(0, 1499.9));
+        assert!(!script.crashed_at(0, 1500.0));
+        assert!(
+            !script.crashed_at(1, 1200.0),
+            "crash must not leak to edge 1"
+        );
+        // Brownouts slow without crashing.
+        assert!(!script.crashed_at(1, 2500.0));
+        assert!((script.slowdown_at(1, 2500.0) - 2.5).abs() < 1e-12);
+        assert_eq!(script.slowdown_at(1, 3000.0), 1.0);
+        assert_eq!(
+            script.slowdown_at(0, 1200.0),
+            1.0,
+            "crash is not a slowdown"
+        );
+        // Restart spill-over counts toward the quiet-tail horizon.
+        assert!((script.last_fault_ms() - 3000.0).abs() < 1e-9);
+        let crash_heavy = EdgeFaultScript::new().crash(0, 2800.0, 3000.0, 500.0);
+        assert!((crash_heavy.last_fault_ms() - 3500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edge_fault_script_overlapping_brownouts_compound() {
+        let script = EdgeFaultScript::new()
+            .brownout(0, 0.0, 100.0, 2.0)
+            .brownout(0, 50.0, 150.0, 3.0)
+            // A sub-1 factor is clamped at construction: brownouts never
+            // speed a node up.
+            .brownout(0, 200.0, 300.0, 0.25);
+        assert!((script.slowdown_at(0, 75.0) - 6.0).abs() < 1e-12);
+        assert!((script.slowdown_at(0, 25.0) - 2.0).abs() < 1e-12);
+        assert_eq!(script.slowdown_at(0, 250.0), 1.0);
+    }
+
+    #[test]
     fn serialization_time_scales_with_bytes() {
         let mut link = Link::new(
             LinkProfile {
@@ -852,10 +1053,9 @@ mod tests {
         // frame context.
         let mut plain = Link::of_kind(LinkKind::Wifi5, 77);
         let mut traced = Link::of_kind(LinkKind::Wifi5, 77);
-        let telemetry =
-            edgeis_telemetry::Telemetry::new(edgeis_telemetry::TelemetryConfig::enabled(
-                "netsim_unit",
-            ));
+        let telemetry = edgeis_telemetry::Telemetry::new(
+            edgeis_telemetry::TelemetryConfig::enabled("netsim_unit"),
+        );
         traced.set_telemetry(telemetry.clone(), 4);
         let ctx = telemetry.frame_context(0xbeef, 4).unwrap();
         telemetry.set_current(ctx);

@@ -106,10 +106,8 @@ impl Telemetry {
         if !config.enabled {
             return Self::disabled();
         }
-        let recorder = recorder::FlightRecorder::new(
-            config.flight_capacity,
-            config.flight_min_spacing_ms,
-        );
+        let recorder =
+            recorder::FlightRecorder::new(config.flight_capacity, config.flight_min_spacing_ms);
         Self {
             hub: Some(Arc::new(Hub {
                 next_span_id: AtomicU64::new(1),

@@ -39,7 +39,7 @@ pub const HIST_BUCKETS: usize = HIST_EDGES + 2;
 /// Bucket `0` is `(-inf, HIST_MIN_MS]`, bucket `HIST_EDGES + 1` is
 /// `(HIST_MAX_MS, +inf)` and reports `f64::INFINITY`.
 pub fn bucket_upper_edge(i: usize) -> f64 {
-    if i >= HIST_EDGES + 1 {
+    if i > HIST_EDGES {
         f64::INFINITY
     } else {
         HIST_MIN_MS * 10f64.powf(i as f64 / HIST_PER_DECADE as f64)
@@ -621,7 +621,10 @@ mod tests {
         // goes to bucket i + 1.
         for (v, expect_edge) in [(1e-3, 0), (1e-2, 32), (1.0, 96), (100.0, 160), (1e5, 256)] {
             let i = bucket_index(v);
-            assert_eq!(i, expect_edge, "value {v} should land on edge {expect_edge}");
+            assert_eq!(
+                i, expect_edge,
+                "value {v} should land on edge {expect_edge}"
+            );
             assert!(v <= bucket_upper_edge(i) || i == 0);
             let above = v * (1.0 + 1e-12);
             if above <= HIST_MAX_MS && i < HIST_EDGES {
@@ -747,7 +750,8 @@ mod tests {
         c1.add(3);
         c2.inc();
         assert_eq!(c1.get(), 4, "same key shares one cell");
-        reg.gauge("edgeis_health_state", &[("device", "0")]).set(2.0);
+        reg.gauge("edgeis_health_state", &[("device", "0")])
+            .set(2.0);
         let h = reg.histogram("edgeis_mobile_ms", &[]);
         h.observe(5.0);
         h.observe(7.0);

@@ -140,7 +140,11 @@ mod tests {
         let dir = std::env::temp_dir().join("edgeis_telemetry_ring_test");
         let path = rec.dump(&dir, 0, "unit", 10.0).expect("dump written");
         let text = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(validate_jsonl(&text).unwrap(), 4, "meta line + 3 ring lines");
+        assert_eq!(
+            validate_jsonl(&text).unwrap(),
+            4,
+            "meta line + 3 ring lines"
+        );
         assert!(text.contains("{\"i\":2}"), "oldest surviving line is i=2");
         assert!(!text.contains("{\"i\":0}"), "i=0 was evicted");
         std::fs::remove_dir_all(&dir).ok();
