@@ -4,7 +4,7 @@
 
 use edgeis::metrics::Report;
 use edgeis_bench::figures::{self, OutageStudy};
-use std::fmt::Write as _;
+use edgeis_bench::json;
 
 /// Mean IoU of one frame record, or -1.0 when nothing was scorable
 /// (warmup, or every instance left the view) so plotters can skip it.
@@ -16,45 +16,36 @@ fn frame_iou(r: &edgeis::metrics::FrameRecord) -> f64 {
     }
 }
 
-/// Serializes the study by hand — the stack has no JSON dependency and
-/// the shape is flat enough not to need one.
+/// Serializes the study through the shared writer (the stack has no JSON
+/// dependency; `edgeis_bench::json` is the one hand-rolled emitter).
 fn to_json(study: &OutageStudy) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(out, "  \"outage_start_ms\": {:.1},", study.outage_start_ms);
-    let _ = writeln!(out, "  \"outage_end_ms\": {:.1},", study.outage_end_ms);
-    out.push_str("  \"series\": [\n");
-    for (i, (label, report)) in study.runs.iter().enumerate() {
-        out.push_str("    {\n");
-        let _ = writeln!(out, "      \"system\": \"{label}\",");
-        let res = &report.resilience;
-        let _ = writeln!(
-            out,
-            "      \"resilience\": {{\"timeouts\": {}, \"retries\": {}, \"probes_sent\": {}, \
-             \"outages_detected\": {}, \"recoveries\": {}, \"mean_recovery_ms\": {:.1}}},",
-            res.timeouts,
-            res.retries,
-            res.probes_sent,
-            res.outages_detected,
-            res.recoveries,
-            res.mean_recovery_ms()
-        );
-        out.push_str("      \"frames\": [");
-        for (j, r) in report.records.iter().enumerate() {
-            if j > 0 {
-                out.push_str(", ");
+    json::document(|o| {
+        o.num("outage_start_ms", study.outage_start_ms, 1);
+        o.num("outage_end_ms", study.outage_end_ms, 1);
+        o.array("series", |a| {
+            for (label, report) in &study.runs {
+                a.object(|run| {
+                    run.str("system", label);
+                    let res = &report.resilience;
+                    run.inline_object("resilience", |r| {
+                        r.int("timeouts", res.timeouts as i64);
+                        r.int("retries", res.retries as i64);
+                        r.int("probes_sent", res.probes_sent as i64);
+                        r.int("outages_detected", res.outages_detected as i64);
+                        r.int("recoveries", res.recoveries as i64);
+                        r.num("mean_recovery_ms", res.mean_recovery_ms(), 1);
+                    });
+                    let frames = report
+                        .records
+                        .iter()
+                        .map(|r| format!("[{:.1}, {:.4}]", r.time_ms, frame_iou(r)))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    run.raw("frames", &format!("[{frames}]"));
+                });
             }
-            let _ = write!(out, "[{:.1}, {:.4}]", r.time_ms, frame_iou(r));
-        }
-        out.push_str("]\n");
-        out.push_str(if i + 1 < study.runs.len() {
-            "    },\n"
-        } else {
-            "    }\n"
         });
-    }
-    out.push_str("  ]\n}\n");
-    out
+    })
 }
 
 fn summarize(label: &str, report: &Report, study: &OutageStudy) {

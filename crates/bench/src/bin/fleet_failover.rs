@@ -29,9 +29,9 @@
 use edgeis::chaos::{run_chaos, ChaosConfig};
 use edgeis::fleet::{rendezvous_rank, FleetConfig};
 use edgeis::multi::{run_multi_device_with_fleet, MultiDeviceConfig};
+use edgeis_bench::json;
 use edgeis_netsim::EdgeFaultScript;
 use edgeis_telemetry::Histogram;
-use std::fmt::Write as _;
 
 const DEVICES: usize = 6;
 const EDGES: usize = 4;
@@ -124,14 +124,13 @@ fn main() {
             }
         }
         total_handoffs += outcome.handoffs;
-        chaos_cells.push(format!(
-            "    {{\"seed\": {seed}, \"ok\": {}, \"handoffs\": {}, \"redispatches\": {}, \
-             \"unaffected_devices\": {}, \"violations\": {}}}",
+        chaos_cells.push((
+            seed,
             outcome.ok(),
             outcome.handoffs,
             outcome.redispatches,
             outcome.unaffected.len(),
-            outcome.violations.len()
+            outcome.violations.len(),
         ));
         if !outcome.ok() {
             failed_seeds.push(seed);
@@ -196,30 +195,47 @@ fn main() {
     );
     assert!(failover_handoffs > 0, "failover arm never handed off");
 
-    let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(
-        out,
-        "  \"workload\": {{\"scenario\": \"indoor_simple\", \"devices\": {DEVICES}, \
-         \"edges\": {EDGES}, \"frames\": {frames}, \"fps\": 30.0, \"seeds\": {seeds}}},"
-    );
-    out.push_str("  \"chaos\": [\n");
-    out.push_str(&chaos_cells.join(",\n"));
-    out.push_str("\n  ],\n");
-    let _ = writeln!(
-        out,
-        "  \"slo\": {{\n    \"crash_window_ms\": [{CRASH_START}, {CRASH_END}],\n    \
-         \"failover\": {{\"recovery_p50_ms\": {fo_p50:.3}, \"recovery_p99_ms\": {fo_p99:.3}, \
-         \"episodes\": {}, \"iou_floor\": {failover_floor:.4}, \"handoffs\": {failover_handoffs}, \
-         \"redispatches\": {failover_redispatches}, \"redispatch_drops\": {failover_drops}}},\n    \
-         \"no_failover\": {{\"recovery_p50_ms\": {base_p50:.3}, \"recovery_p99_ms\": {base_p99:.3}, \
-         \"episodes\": {}, \"iou_floor\": {baseline_floor:.4}}},\n    \
-         \"p99_improvement_ms\": {:.3}\n  }}",
-        failover_hist.count(),
-        baseline_hist.count(),
-        base_p99 - fo_p99
-    );
-    out.push_str("}\n");
+    let out = json::document(|o| {
+        o.inline_object("workload", |w| {
+            w.str("scenario", "indoor_simple");
+            w.int("devices", DEVICES as i64);
+            w.int("edges", EDGES as i64);
+            w.int("frames", frames as i64);
+            w.num("fps", 30.0, 1);
+            w.int("seeds", seeds as i64);
+        });
+        o.array("chaos", |a| {
+            for &(seed, ok, handoffs, redispatches, unaffected, violations) in &chaos_cells {
+                a.inline_object(|row| {
+                    row.int("seed", seed as i64);
+                    row.bool("ok", ok);
+                    row.int("handoffs", handoffs as i64);
+                    row.int("redispatches", redispatches as i64);
+                    row.int("unaffected_devices", unaffected as i64);
+                    row.int("violations", violations as i64);
+                });
+            }
+        });
+        o.object("slo", |slo| {
+            slo.raw("crash_window_ms", &format!("[{CRASH_START}, {CRASH_END}]"));
+            slo.inline_object("failover", |f| {
+                f.num("recovery_p50_ms", fo_p50, 3);
+                f.num("recovery_p99_ms", fo_p99, 3);
+                f.int("episodes", failover_hist.count() as i64);
+                f.num("iou_floor", failover_floor, 4);
+                f.int("handoffs", failover_handoffs as i64);
+                f.int("redispatches", failover_redispatches as i64);
+                f.int("redispatch_drops", failover_drops as i64);
+            });
+            slo.inline_object("no_failover", |f| {
+                f.num("recovery_p50_ms", base_p50, 3);
+                f.num("recovery_p99_ms", base_p99, 3);
+                f.int("episodes", baseline_hist.count() as i64);
+                f.num("iou_floor", baseline_floor, 4);
+            });
+            slo.num("p99_improvement_ms", base_p99 - fo_p99, 3);
+        });
+    });
 
     let path = "results/BENCH_fleet_failover.json";
     let _ = std::fs::create_dir_all("results");

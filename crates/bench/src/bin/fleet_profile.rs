@@ -23,8 +23,8 @@
 use edgeis::fleet::{FleetConfig, PlacementPolicy};
 use edgeis::multi::{run_multi_device_with_fleet, run_multi_device_with_stats, MultiDeviceConfig};
 use edgeis::serving::ServingConfig;
+use edgeis_bench::json;
 use edgeis_telemetry::Histogram;
-use std::fmt::Write as _;
 
 const SEED: u64 = 7;
 
@@ -218,68 +218,63 @@ fn to_json(
     frames: usize,
     headline: (f64, f64, f64),
 ) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(
-        out,
-        "  \"workload\": {{\"scenario\": \"indoor_simple\", \"seed\": {SEED}, \
-         \"frames\": {frames}, \"fps\": 30.0, \"width\": 320, \"height\": 240}},"
-    );
-    let _ = writeln!(out, "  \"devices_swept\": {:?},", devices);
-    out.push_str("  \"cells\": [\n");
-    for (i, c) in cells.iter().enumerate() {
-        let _ = write!(
-            out,
-            "    {{\"config\": \"{}\", \"devices\": {}, \"responses\": {}, \
-             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"throughput_rps\": {:.3}, \
-             \"mean_queue_wait_ms\": {:.3}, \"shed_rate\": {:.4}, \
-             \"batch_occupancy\": {:.3}, \"cache_hit_rate\": {:.4}, \
-             \"mean_iou\": {:.4}}}",
-            c.config,
-            c.devices,
-            c.responses,
-            c.p50(),
-            c.p99(),
-            c.throughput_rps(),
-            c.mean_queue_wait(),
-            c.shed_rate,
-            c.batch_occupancy,
-            c.cache_hit_rate,
-            c.mean_iou
-        );
-        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
-    }
-    out.push_str("  ],\n");
-    out.push_str("  \"fleet_cells\": [\n");
-    for (i, c) in fleet_cells.iter().enumerate() {
-        let _ = write!(
-            out,
-            "    {{\"edges\": {}, \"devices\": {}, \"placement\": \"{}\", \
-             \"responses\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
-             \"handoffs\": {}, \"imbalance\": {:.3}, \"mean_iou\": {:.4}}}",
-            c.edges,
-            c.devices,
-            c.policy,
-            c.responses,
-            c.p50(),
-            c.p99(),
-            c.handoffs,
-            c.imbalance,
-            c.mean_iou
-        );
-        out.push_str(if i + 1 < fleet_cells.len() {
-            ",\n"
-        } else {
-            "\n"
+    json::document(|o| {
+        o.inline_object("workload", |w| {
+            w.str("scenario", "indoor_simple");
+            w.int("seed", SEED as i64);
+            w.int("frames", frames as i64);
+            w.num("fps", 30.0, 1);
+            w.int("width", 320);
+            w.int("height", 240);
         });
-    }
-    out.push_str("  ],\n");
-    let (serial_p99, full_p99, speedup) = headline;
-    let _ = writeln!(out, "  \"serial_p99_ms_at_8_devices\": {serial_p99:.3},");
-    let _ = writeln!(out, "  \"full_p99_ms_at_8_devices\": {full_p99:.3},");
-    let _ = writeln!(out, "  \"p99_speedup_at_8_devices\": {speedup:.3}");
-    out.push_str("}\n");
-    out
+        o.raw(
+            "devices_swept",
+            &format!(
+                "[{}]",
+                devices
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        );
+        o.array("cells", |a| {
+            for c in cells {
+                a.inline_object(|row| {
+                    row.str("config", c.config);
+                    row.int("devices", c.devices as i64);
+                    row.int("responses", c.responses as i64);
+                    row.num("p50_ms", c.p50(), 3);
+                    row.num("p99_ms", c.p99(), 3);
+                    row.num("throughput_rps", c.throughput_rps(), 3);
+                    row.num("mean_queue_wait_ms", c.mean_queue_wait(), 3);
+                    row.num("shed_rate", c.shed_rate, 4);
+                    row.num("batch_occupancy", c.batch_occupancy, 3);
+                    row.num("cache_hit_rate", c.cache_hit_rate, 4);
+                    row.num("mean_iou", c.mean_iou, 4);
+                });
+            }
+        });
+        o.array("fleet_cells", |a| {
+            for c in fleet_cells {
+                a.inline_object(|row| {
+                    row.int("edges", c.edges as i64);
+                    row.int("devices", c.devices as i64);
+                    row.str("placement", c.policy);
+                    row.int("responses", c.responses as i64);
+                    row.num("p50_ms", c.p50(), 3);
+                    row.num("p99_ms", c.p99(), 3);
+                    row.int("handoffs", c.handoffs as i64);
+                    row.num("imbalance", c.imbalance, 3);
+                    row.num("mean_iou", c.mean_iou, 4);
+                });
+            }
+        });
+        let (serial_p99, full_p99, speedup) = headline;
+        o.num("serial_p99_ms_at_8_devices", serial_p99, 3);
+        o.num("full_p99_ms_at_8_devices", full_p99, 3);
+        o.num("p99_speedup_at_8_devices", speedup, 3);
+    })
 }
 
 /// One faulted fleet run with telemetry on (the CI telemetry job):

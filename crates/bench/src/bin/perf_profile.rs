@@ -1,173 +1,80 @@
 //! Stage-level performance profile of the frame pipeline.
 //!
-//! Runs one fixed, seeded workload through the full edgeIS system in three
-//! configurations and writes `results/BENCH_pipeline.json`:
+//! Runs one fixed, seeded workload through the full edgeIS system in four
+//! configurations (see [`edgeis_bench::perf::ProfileMode`]) and writes
+//! `results/BENCH_pipeline.json`:
 //!
-//! - `baseline_serial_linear_knn` — one thread, with every removed hot path
-//!   restored: the pre-grid O(anchors) linear k-NN scan in mask transfer
-//!   and the clamped reference ORB detector (no compass pre-test, no
-//!   direct-indexing scan/orientation/BRIEF paths) — the pre-optimization
-//!   serial pipeline, end to end.
+//! - `baseline_serial_linear_knn` — one thread, with every removed hot
+//!   path restored: the pre-grid O(anchors) linear k-NN scan in mask
+//!   transfer and the clamped reference ORB detector — the
+//!   pre-optimization serial pipeline, end to end.
+//! - `optimized_serial_no_simd` — one thread, all algorithmic fast paths
+//!   on, SIMD kernels pinned off: the pre-SIMD optimized pipeline.
 //! - `optimized_serial` — one thread (`EDGEIS_THREADS=1` equivalent),
-//!   bucket-grid k-NN and all allocation-reuse paths on.
+//!   SIMD kernels on.
 //! - `optimized_parallel` — default thread count.
 //!
-//! All three configurations produce bit-identical masks (the parallel
-//! merge and the grid k-NN are exact), so the profile only moves timing
-//! fields. Per-stage p50/p95/mean, end-to-end frame time, wall-clock fps
-//! and the tracker's peak scratch bytes (allocation proxy) are recorded
-//! per run, plus the headline baseline-vs-optimized speedup.
+//! All four configurations produce bit-identical masks (the parallel
+//! merge, the grid k-NN and the SIMD kernels are exact), so the profile
+//! only moves timing fields. Per-stage p50/p95/mean, end-to-end frame
+//! time, wall-clock fps and the peak scratch bytes (allocation proxy) are
+//! recorded per run, plus the headline baseline-vs-optimized speedup.
 
-use edgeis::metrics::{percentile, Report};
-use edgeis::pipeline::{class_map, run_pipeline, PipelineConfig};
-use edgeis::system::{EdgeIsConfig, EdgeIsSystem};
-use edgeis_geometry::Camera;
-use edgeis_netsim::LinkKind;
-use edgeis_scene::datasets;
-use std::fmt::Write as _;
-use std::time::Instant;
+use edgeis::metrics::percentile;
+use edgeis_bench::json;
+use edgeis_bench::perf::{self, ProfileMode, ProfileRun, FPS, FRAMES, HEIGHT, SEED, WIDTH};
 
-const SEED: u64 = 7;
-const FRAMES: usize = 120;
-const FPS: f64 = 30.0;
-
-struct ProfileRun {
-    label: &'static str,
-    threads: usize,
-    report: Report,
-    /// Host wall-clock for the whole simulated run (includes rendering), ms.
-    wall_ms: f64,
-    scratch_peak_bytes: usize,
-}
-
-impl ProfileRun {
-    /// Per-frame end-to-end pipeline compute (sum of measured stages) for
-    /// frames that were actually processed, ms.
-    fn frame_totals(&self) -> Vec<f64> {
-        self.report
-            .records
-            .iter()
-            .map(|r| r.stages.total_ms())
-            .filter(|&v| v > 0.0)
-            .collect()
-    }
-
-    fn frame_ms_mean(&self) -> f64 {
-        self.report.mean_stage_total_ms()
-    }
-
-    fn wall_fps(&self) -> f64 {
-        if self.wall_ms <= 0.0 {
-            0.0
-        } else {
-            self.report.records.len() as f64 / (self.wall_ms / 1000.0)
-        }
-    }
-}
-
-/// Runs the fixed workload once under `threads` worker threads.
-/// `optimized: false` re-enables the pre-optimization hot paths (linear
-/// k-NN depth lookups, the clamped reference ORB detector) for the
-/// baseline run.
-fn profile(label: &'static str, threads: usize, optimized: bool) -> ProfileRun {
-    let world = datasets::indoor_simple(SEED);
-    let classes = class_map(&world);
-    let camera = Camera::with_hfov(1.2, 320, 240);
-    let mut cfg = EdgeIsConfig::full(camera, SEED);
-    cfg.vo.orb.use_fast_paths = optimized;
-    cfg.vo.transfer.use_anchor_index = optimized;
-    cfg.vo.matching.use_blocked_scan = optimized;
-    cfg.vo.map_matching.use_blocked_scan = optimized;
-    let pipe = PipelineConfig {
-        fps: FPS,
-        frames: FRAMES,
-        min_scored_area: 80,
-        warmup_frames: 30,
-    };
-    edgeis_parallel::with_threads(threads, || {
-        let mut system = EdgeIsSystem::new(cfg.clone(), LinkKind::Wifi5);
-        let start = Instant::now();
-        let report = run_pipeline(&mut system, &world, &camera, &classes, &pipe);
-        let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
-        ProfileRun {
-            label,
-            // Resolved inside the override scope: the count the workload
-            // actually ran with (the requested value after clamping), not
-            // whatever the caller's environment resolved to.
-            threads: edgeis_parallel::num_threads(),
-            report,
-            wall_ms,
-            scratch_peak_bytes: system.scratch_peak_bytes(),
-        }
-    })
-}
-
-fn to_json(runs: &[ProfileRun], width: u32, height: u32) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(
-        out,
-        "  \"workload\": {{\"scenario\": \"indoor_simple\", \"seed\": {SEED}, \
-         \"frames\": {FRAMES}, \"fps\": {FPS:.1}, \"width\": {width}, \"height\": {height}}},"
-    );
-    let _ = writeln!(
-        out,
-        "  \"host_threads\": {},",
-        edgeis_parallel::num_threads()
-    );
-    out.push_str("  \"runs\": [\n");
-    for (i, run) in runs.iter().enumerate() {
-        let totals = run.frame_totals();
-        out.push_str("    {\n");
-        let _ = writeln!(out, "      \"label\": \"{}\",", run.label);
-        let _ = writeln!(out, "      \"threads\": {},", run.threads);
-        let _ = writeln!(
-            out,
-            "      \"frame_ms\": {{\"mean\": {:.4}, \"p50\": {:.4}, \"p95\": {:.4}}},",
-            run.frame_ms_mean(),
-            percentile(&totals, 0.5),
-            percentile(&totals, 0.95)
-        );
-        let _ = writeln!(out, "      \"wall_fps\": {:.2},", run.wall_fps());
-        let _ = writeln!(
-            out,
-            "      \"scratch_peak_bytes\": {},",
-            run.scratch_peak_bytes
-        );
-        out.push_str("      \"stages\": [\n");
-        let summaries = run.report.stage_summaries();
-        for (j, s) in summaries.iter().enumerate() {
-            let _ = write!(
-                out,
-                "        {{\"stage\": \"{}\", \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \
-                 \"mean_ms\": {:.4}}}",
-                s.stage, s.p50_ms, s.p95_ms, s.mean_ms
-            );
-            out.push_str(if j + 1 < summaries.len() { ",\n" } else { "\n" });
-        }
-        out.push_str("      ]\n");
-        out.push_str(if i + 1 < runs.len() {
-            "    },\n"
-        } else {
-            "    }\n"
+fn to_json(runs: &[ProfileRun]) -> String {
+    json::document(|o| {
+        o.inline_object("workload", |w| {
+            w.str("scenario", "indoor_simple");
+            w.int("seed", SEED as i64);
+            w.int("frames", FRAMES as i64);
+            w.num("fps", FPS, 1);
+            w.int("width", WIDTH as i64);
+            w.int("height", HEIGHT as i64);
         });
-    }
-    out.push_str("  ],\n");
-    let baseline = runs[0].frame_ms_mean();
-    let optimized = runs.last().expect("runs").frame_ms_mean();
-    let _ = writeln!(out, "  \"baseline_frame_ms\": {baseline:.4},");
-    let _ = writeln!(out, "  \"optimized_frame_ms\": {optimized:.4},");
-    let _ = writeln!(
-        out,
-        "  \"speedup_end_to_end\": {:.3}",
-        if optimized > 0.0 {
-            baseline / optimized
-        } else {
-            0.0
-        }
-    );
-    out.push_str("}\n");
-    out
+        o.int("host_threads", edgeis_parallel::num_threads() as i64);
+        o.array("runs", |a| {
+            for run in runs {
+                let totals = run.frame_totals();
+                a.object(|r| {
+                    r.str("label", run.label);
+                    r.int("threads", run.threads as i64);
+                    r.inline_object("frame_ms", |f| {
+                        f.num("mean", run.frame_ms_mean(), 4);
+                        f.num("p50", percentile(&totals, 0.5), 4);
+                        f.num("p95", percentile(&totals, 0.95), 4);
+                    });
+                    r.num("wall_fps", run.wall_fps(), 2);
+                    r.int("scratch_peak_bytes", run.scratch_peak_bytes as i64);
+                    r.array("stages", |stages| {
+                        for s in run.report.stage_summaries() {
+                            stages.inline_object(|row| {
+                                row.str("stage", &s.stage);
+                                row.num("p50_ms", s.p50_ms, 4);
+                                row.num("p95_ms", s.p95_ms, 4);
+                                row.num("mean_ms", s.mean_ms, 4);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        let baseline = runs[0].frame_ms_mean();
+        let optimized = runs.last().expect("runs").frame_ms_mean();
+        o.num("baseline_frame_ms", baseline, 4);
+        o.num("optimized_frame_ms", optimized, 4);
+        o.num(
+            "speedup_end_to_end",
+            if optimized > 0.0 {
+                baseline / optimized
+            } else {
+                0.0
+            },
+            3,
+        );
+    })
 }
 
 fn main() {
@@ -178,9 +85,10 @@ fn main() {
     );
 
     let runs = [
-        profile("baseline_serial_linear_knn", 1, false),
-        profile("optimized_serial", 1, true),
-        profile("optimized_parallel", edgeis_parallel::num_threads(), true),
+        perf::profile(ProfileMode::BaselineSerial, FRAMES),
+        perf::profile(ProfileMode::OptimizedSerialNoSimd, FRAMES),
+        perf::profile(ProfileMode::OptimizedSerial, FRAMES),
+        perf::profile(ProfileMode::OptimizedParallel, FRAMES),
     ];
 
     println!(
@@ -222,8 +130,8 @@ fn main() {
         }
     );
 
-    // Masks must be identical across all three runs — the profile only
-    // moves timing fields.
+    // Masks must be identical across all runs — the profile only moves
+    // timing fields.
     let iou0 = runs[0].report.mean_iou();
     for run in &runs[1..] {
         assert!(
@@ -235,8 +143,7 @@ fn main() {
         );
     }
 
-    let camera = Camera::with_hfov(1.2, 320, 240);
-    let json = to_json(&runs, camera.width, camera.height);
+    let json = to_json(&runs);
     let path = "results/BENCH_pipeline.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),

@@ -1,0 +1,575 @@
+//! Hand-rolled JSON writing and reading shared by the bench binaries.
+//!
+//! The stack deliberately has no JSON dependency; every `results/*.json`
+//! artifact is emitted through [`JsonWriter`] so the quoting, float
+//! formatting and indentation rules live in exactly one place instead of
+//! being re-implemented per binary. The [`parse`] side is the minimal
+//! recursive-descent reader the perf gate needs to load checked-in
+//! baselines — not a general-purpose JSON library.
+
+use std::fmt::Write as _;
+
+/// Formats a float with fixed precision; non-finite values become `null`
+/// so the emitted document always parses (a bare `inf`/`NaN` would not).
+pub fn fmt_f64(v: f64, precision: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.precision$}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document (quotes included).
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Builds a pretty-printed JSON document rooted at an object.
+pub fn document(f: impl FnOnce(&mut JsonObject)) -> String {
+    let mut buf = String::new();
+    buf.push('{');
+    {
+        let mut obj = JsonObject {
+            buf: &mut buf,
+            indent: 1,
+            inline: false,
+            first: true,
+        };
+        f(&mut obj);
+    }
+    buf.push('\n');
+    buf.push('}');
+    buf.push('\n');
+    buf
+}
+
+fn push_indent(buf: &mut String, indent: usize) {
+    for _ in 0..indent {
+        buf.push_str("  ");
+    }
+}
+
+/// An object under construction. Pretty objects place one field per line;
+/// inline objects (array rows) stay on a single line.
+pub struct JsonObject<'a> {
+    buf: &'a mut String,
+    indent: usize,
+    inline: bool,
+    first: bool,
+}
+
+impl JsonObject<'_> {
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        if self.inline {
+            if !self.first {
+                self.buf.push(' ');
+            }
+        } else {
+            self.buf.push('\n');
+            push_indent(self.buf, self.indent);
+        }
+        self.first = false;
+        self.buf.push_str(&quote(key));
+        self.buf.push_str(": ");
+    }
+
+    /// A field whose value is already valid JSON text.
+    pub fn raw(&mut self, key: &str, value: &str) {
+        self.key(key);
+        self.buf.push_str(value);
+    }
+
+    /// A string field (escaped).
+    pub fn str(&mut self, key: &str, value: &str) {
+        self.key(key);
+        let quoted = quote(value);
+        self.buf.push_str(&quoted);
+    }
+
+    /// An integer field.
+    pub fn int(&mut self, key: &str, value: impl Into<i128>) {
+        self.key(key);
+        let _ = write!(self.buf, "{}", value.into());
+    }
+
+    /// A float field with fixed precision (`null` when non-finite).
+    pub fn num(&mut self, key: &str, value: f64, precision: usize) {
+        self.key(key);
+        let s = fmt_f64(value, precision);
+        self.buf.push_str(&s);
+    }
+
+    /// A boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+    }
+
+    /// A nested object field, formatted inline (single line).
+    pub fn inline_object(&mut self, key: &str, f: impl FnOnce(&mut JsonObject)) {
+        self.key(key);
+        self.buf.push('{');
+        {
+            let mut obj = JsonObject {
+                buf: self.buf,
+                indent: self.indent,
+                inline: true,
+                first: true,
+            };
+            f(&mut obj);
+        }
+        self.buf.push('}');
+    }
+
+    /// A nested object field, pretty-printed.
+    pub fn object(&mut self, key: &str, f: impl FnOnce(&mut JsonObject)) {
+        self.key(key);
+        self.buf.push('{');
+        let empty = {
+            let mut obj = JsonObject {
+                buf: self.buf,
+                indent: self.indent + 1,
+                inline: false,
+                first: true,
+            };
+            f(&mut obj);
+            obj.first
+        };
+        if !empty {
+            self.buf.push('\n');
+            push_indent(self.buf, self.indent);
+        }
+        self.buf.push('}');
+    }
+
+    /// A nested array field.
+    pub fn array(&mut self, key: &str, f: impl FnOnce(&mut JsonArray)) {
+        self.key(key);
+        self.buf.push('[');
+        let empty = {
+            let mut arr = JsonArray {
+                buf: self.buf,
+                indent: self.indent + 1,
+                first: true,
+            };
+            f(&mut arr);
+            arr.first
+        };
+        if !empty {
+            self.buf.push('\n');
+            push_indent(self.buf, self.indent);
+        }
+        self.buf.push(']');
+    }
+}
+
+/// An array under construction: one element per line.
+pub struct JsonArray<'a> {
+    buf: &'a mut String,
+    indent: usize,
+    first: bool,
+}
+
+impl JsonArray<'_> {
+    fn sep(&mut self) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.buf.push('\n');
+        push_indent(self.buf, self.indent);
+        self.first = false;
+    }
+
+    /// An element that is already valid JSON text.
+    pub fn raw(&mut self, value: &str) {
+        self.sep();
+        self.buf.push_str(value);
+    }
+
+    /// A single-line object element (the usual "row" shape).
+    pub fn inline_object(&mut self, f: impl FnOnce(&mut JsonObject)) {
+        self.sep();
+        self.buf.push('{');
+        {
+            let mut obj = JsonObject {
+                buf: self.buf,
+                indent: self.indent,
+                inline: true,
+                first: true,
+            };
+            f(&mut obj);
+        }
+        self.buf.push('}');
+    }
+
+    /// A pretty-printed object element.
+    pub fn object(&mut self, f: impl FnOnce(&mut JsonObject)) {
+        self.sep();
+        self.buf.push('{');
+        let empty = {
+            let mut obj = JsonObject {
+                buf: self.buf,
+                indent: self.indent + 1,
+                inline: false,
+                first: true,
+            };
+            f(&mut obj);
+            obj.first
+        };
+        if !empty {
+            self.buf.push('\n');
+            push_indent(self.buf, self.indent);
+        }
+        self.buf.push('}');
+    }
+}
+
+/// A parsed JSON value (the reader half, used by the perf gate).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also produced for non-finite floats on the write side).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; integers are represented exactly up to 2^53.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in document order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The bool value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a message with the byte offset of the first syntax error.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, b"true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, b"false", JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, b"null", JsonValue::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_lit(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &[u8],
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(JsonValue::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance one whole UTF-8 scalar, not one byte.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| format!("invalid UTF-8 at byte {}", *pos))?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_emits_parseable_nested_document() {
+        let doc = document(|o| {
+            o.inline_object("workload", |w| {
+                w.str("scenario", "indoor_simple");
+                w.int("frames", 120);
+                w.num("fps", 30.0, 1);
+            });
+            o.int("host_threads", 4);
+            o.array("runs", |a| {
+                for i in 0..2 {
+                    a.object(|r| {
+                        r.str("label", &format!("run{i}"));
+                        r.num("p50_ms", 7.25 + i as f64, 4);
+                        r.array("stages", |s| {
+                            s.inline_object(|st| {
+                                st.str("stage", "detect");
+                                st.num("p50_ms", 3.5, 4);
+                            });
+                        });
+                    });
+                }
+            });
+            o.bool("pass", true);
+            o.num("bad", f64::INFINITY, 3);
+        });
+        let parsed = parse(&doc).expect("round-trip");
+        assert_eq!(
+            parsed
+                .get("workload")
+                .and_then(|w| w.get("frames"))
+                .and_then(JsonValue::as_f64),
+            Some(120.0)
+        );
+        let runs = parsed.get("runs").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(
+            runs[1].get("label").and_then(JsonValue::as_str),
+            Some("run1")
+        );
+        assert_eq!(
+            runs[0]
+                .get("stages")
+                .and_then(JsonValue::as_arr)
+                .map(|s| s.len()),
+            Some(1)
+        );
+        assert_eq!(parsed.get("pass").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(parsed.get("bad"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn strings_are_escaped_and_unescaped() {
+        let doc = document(|o| o.str("msg", "a \"b\"\n\tc\\d"));
+        let parsed = parse(&doc).expect("parse");
+        assert_eq!(
+            parsed.get("msg").and_then(JsonValue::as_str),
+            Some("a \"b\"\n\tc\\d")
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parser_reads_existing_result_shapes() {
+        let text = r#"{
+  "workload": {"scenario": "indoor_simple", "seed": 7, "frames": 120},
+  "cells": [
+    {"config": "serial_fifo", "p99_ms": 103.25, "ok": true},
+    {"config": "full", "p99_ms": 41.5, "ok": false}
+  ],
+  "speedup": 2.488
+}"#;
+        let v = parse(text).expect("parse");
+        let cells = v.get("cells").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(
+            cells[0].get("p99_ms").and_then(JsonValue::as_f64),
+            Some(103.25)
+        );
+        assert_eq!(v.get("speedup").and_then(JsonValue::as_f64), Some(2.488));
+    }
+
+    #[test]
+    fn non_finite_floats_never_break_the_document() {
+        let doc = document(|o| {
+            o.num("nan", f64::NAN, 2);
+            o.num("inf", f64::NEG_INFINITY, 2);
+            o.num("fine", 1.5, 2);
+        });
+        let parsed = parse(&doc).expect("parse");
+        assert_eq!(parsed.get("nan"), Some(&JsonValue::Null));
+        assert_eq!(parsed.get("fine").and_then(JsonValue::as_f64), Some(1.5));
+    }
+}

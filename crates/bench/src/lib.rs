@@ -11,5 +11,13 @@
 //! for f in fig02 fig09 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17; do
 //!     cargo run --release -p edgeis-bench --bin $f; done
 //! ```
+//!
+//! The performance artifacts have their own binaries: `perf_profile`
+//! (stage-level pipeline profile → `results/BENCH_pipeline.json`),
+//! `fleet_profile`, `fleet_failover`, and `perf_gate` — the CI regression
+//! gate over `results/perf_baseline.json` (see [`gate`]).
 
 pub mod figures;
+pub mod gate;
+pub mod json;
+pub mod perf;

@@ -15,7 +15,7 @@
 //! * [`EncodedFrame::instance_quality`] — the decoded quality an object
 //!   region ends up with, consumed by the edge model simulator.
 
-use edgeis_imaging::{gradient_energy, GrayImage, IntegralImage, Mask};
+use edgeis_imaging::{gradient_energy_into, GrayImage, IntegralImage, Mask};
 use serde::{Deserialize, Serialize};
 
 /// Per-tile encoding quality level (Fig. 8c: object areas, newly observed
@@ -236,19 +236,59 @@ impl EncodedFrame {
     }
 }
 
+/// Reusable per-frame scratch for [`encode_with_scratch`]: the gradient
+/// energy buffer and the summed-area table are the encoder's only
+/// transient allocations, and both are frame-sized, so reusing them
+/// removes two large allocations from every encoded frame.
+#[derive(Debug, Default, Clone)]
+pub struct EncodeScratch {
+    energy: Vec<u64>,
+    integral: Option<IntegralImage>,
+}
+
+impl EncodeScratch {
+    /// Current heap bytes held by the scratch (feeds the perf harness'
+    /// scratch accounting; monotone under reuse, so it is its own peak).
+    pub fn peak_bytes(&self) -> usize {
+        self.energy.capacity() * std::mem::size_of::<u64>()
+            + self.integral.as_ref().map_or(0, |ii| ii.heap_bytes())
+    }
+}
+
 /// Encodes a frame under a tile plan: each tile costs
 /// `header + k · complexity · rate_factor` bytes, where complexity is the
 /// tile's gradient energy (detailed content costs more bits, exactly like
 /// a real transform codec).
 pub fn encode(frame: &GrayImage, plan: &TilePlan) -> EncodedFrame {
+    encode_with_scratch(frame, plan, &mut EncodeScratch::default())
+}
+
+/// [`encode`] with caller-owned scratch: the energy map and integral
+/// image are rebuilt in place instead of reallocated, and the result is
+/// bit-identical to [`encode`] (which delegates here).
+pub fn encode_with_scratch(
+    frame: &GrayImage,
+    plan: &TilePlan,
+    scratch: &mut EncodeScratch,
+) -> EncodedFrame {
     assert_eq!(frame.width(), plan.grid.width, "frame/grid width mismatch");
     assert_eq!(
         frame.height(),
         plan.grid.height,
         "frame/grid height mismatch"
     );
-    let energy = gradient_energy(frame);
-    let ii = IntegralImage::from_values(frame.width(), frame.height(), &energy);
+    gradient_energy_into(frame, &mut scratch.energy);
+    let ii = match scratch.integral.as_mut() {
+        Some(ii) => {
+            ii.assign_from_values(frame.width(), frame.height(), &scratch.energy);
+            &*ii
+        }
+        None => scratch.integral.insert(IntegralImage::from_values(
+            frame.width(),
+            frame.height(),
+            &scratch.energy,
+        )),
+    };
 
     // Tiles are independent given the integral image, so the rate model
     // runs tile-parallel with an ordered merge (bit-identical to the
@@ -399,6 +439,25 @@ mod tests {
                 || encode(&frame, &plan),
             );
         }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_encode() {
+        let grid = TileGrid::new(16, 96, 80);
+        let mut scratch = EncodeScratch::default();
+        for seed in [3u32, 19, 77] {
+            let mut frame = GrayImage::new(96, 80);
+            for y in 0..80 {
+                for x in 0..96 {
+                    frame.set(x, y, (x.wrapping_mul(seed) ^ y.wrapping_mul(5)) as u8);
+                }
+            }
+            let mut plan = TilePlan::uniform(grid, QualityLevel::Low);
+            plan.raise(&[1, 2, 9], QualityLevel::High);
+            let reused = encode_with_scratch(&frame, &plan, &mut scratch);
+            assert_eq!(reused, encode(&frame, &plan), "seed {seed}");
+        }
+        assert!(scratch.peak_bytes() > 0, "scratch holds the frame buffers");
     }
 
     #[test]

@@ -61,11 +61,25 @@ pub fn record_fleet(
     frames: usize,
     serving: Option<ServingConfig>,
 ) -> Trace {
+    record_fleet_with(name, devices, frames, serving, |_| {})
+}
+
+/// [`record_fleet`] with a per-device config tweak, the fleet-side
+/// counterpart of [`record_single_with`]. The tweak must be a plain `fn`
+/// (it is applied to every device through [`MultiDeviceConfig::vo_tweak`]).
+pub fn record_fleet_with(
+    name: &str,
+    devices: usize,
+    frames: usize,
+    serving: Option<ServingConfig>,
+    tweak: fn(&mut EdgeIsConfig),
+) -> Trace {
     let config = MultiDeviceConfig {
         camera: camera(),
         devices,
         frames,
         serving,
+        vo_tweak: Some(tweak),
         ..Default::default()
     };
     let reports = run_multi_device(datasets::indoor_simple, &config);

@@ -150,6 +150,8 @@ pub struct EdgeServer {
     shed_count: u64,
     /// Telemetry hub handle (disabled by default).
     telemetry: Telemetry,
+    /// Response-payload buffer pool (see [`crate::wire::encode_response_pooled`]).
+    encode_scratch: Vec<u8>,
 }
 
 /// Decodes the optional observability envelope riding a request into the
@@ -175,6 +177,7 @@ impl EdgeServer {
             crash_losses: 0,
             shed_count: 0,
             telemetry: Telemetry::disabled(),
+            encode_scratch: Vec::new(),
         }
     }
 
@@ -258,7 +261,8 @@ impl EdgeServer {
                     vec![("queue_wait_ms", ArgValue::F64(start - arrival_ms))],
                 );
             }
-            let payload = crate::wire::encode_response(frame_id, &[]);
+            let payload =
+                crate::wire::encode_response_pooled(frame_id, &[], &mut self.encode_scratch);
             let bytes = payload.len();
             let delivery = link.transmit_faulty(bytes, arrival_ms, Direction::Downlink)?;
             return Some(PendingResponse {
@@ -307,7 +311,11 @@ impl EdgeServer {
         // Response payload: the actual wire-encoded message (header +
         // per-detection metadata + RLE mask; the paper serializes contour
         // vertices, which is the same order of magnitude).
-        let payload = crate::wire::encode_response(frame_id, &result.detections);
+        let payload = crate::wire::encode_response_pooled(
+            frame_id,
+            &result.detections,
+            &mut self.encode_scratch,
+        );
         let bytes = payload.len();
         let delivery = link.transmit_faulty(bytes, done, Direction::Downlink)?;
         let payload = if delivery.corrupted {

@@ -64,6 +64,13 @@ pub struct MultiDeviceConfig {
     /// Disabled by default; the caller owns the hub and exports it after
     /// the run (`Telemetry::export_all`).
     pub telemetry: edgeis_telemetry::Telemetry,
+    /// Hook applied to every device's [`EdgeIsConfig`] right after
+    /// construction, before the system is built — the multi-device
+    /// counterpart of the tweak closure in single-device differential
+    /// runs (ablation toggles, forced-scalar kernels). A plain `fn`
+    /// pointer so the config stays `Clone + Debug`; `None` keeps the
+    /// stock full-system config.
+    pub vo_tweak: Option<fn(&mut EdgeIsConfig)>,
 }
 
 impl Default for MultiDeviceConfig {
@@ -83,6 +90,7 @@ impl Default for MultiDeviceConfig {
             fleet: None,
             per_device_link_faults: std::collections::BTreeMap::new(),
             telemetry: edgeis_telemetry::Telemetry::disabled(),
+            vo_tweak: None,
         }
     }
 }
@@ -166,7 +174,10 @@ where
         .map(|d| {
             let world = make_world(config.seed + d as u64);
             let classes = class_map(&world);
-            let sys_cfg = EdgeIsConfig::full(config.camera, config.seed + d as u64);
+            let mut sys_cfg = EdgeIsConfig::full(config.camera, config.seed + d as u64);
+            if let Some(tweak) = config.vo_tweak {
+                tweak(&mut sys_cfg);
+            }
             let mut system = EdgeIsSystem::with_shared_edge(sys_cfg, config.link, shared.clone());
             system.set_device_id(d as u64);
             if config.telemetry.is_enabled() {

@@ -246,6 +246,8 @@ pub struct ServingRuntime {
     base_seed: u64,
     /// Telemetry hub handle (disabled by default).
     telemetry: Telemetry,
+    /// Response-payload buffer pool (see [`crate::wire::encode_response_pooled`]).
+    encode_scratch: Vec<u8>,
 }
 
 impl ServingRuntime {
@@ -266,6 +268,7 @@ impl ServingRuntime {
             stats: ServingStats::default(),
             base_seed,
             telemetry: Telemetry::disabled(),
+            encode_scratch: Vec::new(),
         }
     }
 
@@ -359,7 +362,7 @@ impl ServingRuntime {
         arrival_ms: SimMs,
         link: &mut Link,
     ) -> Option<PendingResponse> {
-        let payload = crate::wire::encode_response(frame_id, &[]);
+        let payload = crate::wire::encode_response_pooled(frame_id, &[], &mut self.encode_scratch);
         let bytes = payload.len();
         let delivery = link.transmit_faulty(bytes, arrival_ms, Direction::Downlink)?;
         Some(PendingResponse {
@@ -602,7 +605,11 @@ impl ServingRuntime {
             );
         }
 
-        let payload = crate::wire::encode_response(frame_id, &result.detections);
+        let payload = crate::wire::encode_response_pooled(
+            frame_id,
+            &result.detections,
+            &mut self.encode_scratch,
+        );
         let bytes = payload.len();
         let delivery = link.transmit_faulty(bytes, completion, Direction::Downlink)?;
         let payload = if delivery.corrupted {

@@ -15,7 +15,7 @@ use crate::trace::{
     digest_masks, digest_uplink, fnv1a64_extend, pose_vector, FrameTrace, FNV_OFFSET,
 };
 use crate::wire::{RequestEnvelope, WireDetection};
-use edgeis_codec::{encode, QualityLevel, TileGrid, TilePlan};
+use edgeis_codec::{encode_with_scratch, QualityLevel, TileGrid, TilePlan};
 use edgeis_geometry::Camera;
 use edgeis_imaging::{GrayImage, LabelMap, Mask, MotionVectorField};
 use edgeis_netsim::{Direction, FaultSchedule, Link, LinkKind, SimMs};
@@ -330,6 +330,10 @@ pub struct EdgeIsSystem {
     /// Cached per-device metric handles (None while telemetry is off, so
     /// the hot path never pays a registry lookup).
     tele: Option<DeviceMetrics>,
+    /// Reusable tile-encoder scratch (energy map + integral image): the
+    /// encode stage rebuilds these in place instead of reallocating them
+    /// every transmitted frame.
+    encode_scratch: edgeis_codec::EncodeScratch,
 }
 
 /// Pre-resolved metric handles for one device. Looked up once in
@@ -429,6 +433,7 @@ impl EdgeIsSystem {
             stats: ResilienceStats::default(),
             telemetry: Telemetry::disabled(),
             tele: None,
+            encode_scratch: edgeis_codec::EncodeScratch::default(),
             tracker,
             config,
             name,
@@ -487,14 +492,16 @@ impl EdgeIsSystem {
         self.health
     }
 
-    /// Peak bytes held by the tracker's reusable scratch buffers (an
-    /// allocation proxy for the perf profile; 0 for the MV tracker, which
-    /// keeps no scratch).
+    /// Peak bytes held by the system's reusable scratch buffers — the
+    /// tracker's detector/matcher scratch (0 for the MV tracker, which
+    /// keeps none) plus the tile encoder's frame-sized buffers. An
+    /// allocation proxy for the perf profile.
     pub fn scratch_peak_bytes(&self) -> usize {
-        match &self.tracker {
+        let tracker = match &self.tracker {
             MobileTracker::Vo { vo, .. } => vo.scratch_peak_bytes(),
             MobileTracker::MotionVector { .. } => 0,
-        }
+        };
+        tracker + self.encode_scratch.peak_bytes()
     }
 
     /// Whether the mobile map / cache is initialized.
@@ -1082,7 +1089,7 @@ impl SegmentationSystem for EdgeIsSystem {
                 self.planner.tile_plan(w, h, &masks, &area_pixels)
             };
             let encode_start = Instant::now();
-            let encoded = encode(&input.frame.image, &plan);
+            let encoded = encode_with_scratch(&input.frame.image, &plan, &mut self.encode_scratch);
             stages.encode = elapsed_ms(encode_start);
             tx_bytes = encoded.total_bytes();
             let counts = plan.level_counts();

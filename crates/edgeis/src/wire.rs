@@ -68,29 +68,59 @@ pub struct WireDetection {
 
 /// Encodes a response message.
 pub fn encode_response(frame_id: u64, detections: &[Detection]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64);
-    buf.put_u32(MAGIC);
-    buf.put_u64(frame_id);
-    buf.put_u16(detections.len() as u16);
+    let mut buf = Vec::with_capacity(64);
+    encode_response_into(frame_id, detections, &mut buf);
+    Bytes::from(buf)
+}
+
+/// Encodes a response message into `buf` (cleared first), streaming each
+/// mask's RLE runs straight into the output with a backpatched run count —
+/// no intermediate `RleMask` or per-detection run vector. Byte-identical
+/// to [`encode_response`] (which delegates here).
+pub fn encode_response_into(frame_id: u64, detections: &[Detection], buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.extend_from_slice(&MAGIC.to_be_bytes());
+    buf.extend_from_slice(&frame_id.to_be_bytes());
+    buf.extend_from_slice(&(detections.len() as u16).to_be_bytes());
     for d in detections {
-        buf.put_u16(d.instance);
-        buf.put_u8(d.class_id);
-        buf.put_f32(d.confidence as f32);
-        buf.put_f32(d.bbox.x0 as f32);
-        buf.put_f32(d.bbox.y0 as f32);
-        buf.put_f32(d.bbox.x1 as f32);
-        buf.put_f32(d.bbox.y1 as f32);
-        // Mask as dimensions + RLE runs.
-        buf.put_u32(d.mask.width());
-        buf.put_u32(d.mask.height());
-        let rle = d.mask.to_rle();
-        let runs = rle.runs();
-        buf.put_u32(runs.len() as u32);
-        for &r in runs {
-            buf.put_u32(r);
-        }
+        buf.extend_from_slice(&d.instance.to_be_bytes());
+        buf.push(d.class_id);
+        buf.extend_from_slice(&(d.confidence as f32).to_be_bytes());
+        buf.extend_from_slice(&(d.bbox.x0 as f32).to_be_bytes());
+        buf.extend_from_slice(&(d.bbox.y0 as f32).to_be_bytes());
+        buf.extend_from_slice(&(d.bbox.x1 as f32).to_be_bytes());
+        buf.extend_from_slice(&(d.bbox.y1 as f32).to_be_bytes());
+        // Mask as dimensions + RLE runs. The run count precedes the runs
+        // on the wire but is only known after streaming them, so reserve
+        // its slot and backpatch.
+        buf.extend_from_slice(&d.mask.width().to_be_bytes());
+        buf.extend_from_slice(&d.mask.height().to_be_bytes());
+        let count_at = buf.len();
+        buf.extend_from_slice(&[0u8; 4]);
+        let mut n_runs = 0u32;
+        d.mask.for_each_rle_run(|run| {
+            buf.extend_from_slice(&run.to_be_bytes());
+            n_runs += 1;
+        });
+        buf[count_at..count_at + 4].copy_from_slice(&n_runs.to_be_bytes());
     }
-    buf.freeze()
+}
+
+/// Encodes a response into a payload whose backing buffer comes from
+/// `scratch`: the vector (left pre-reserved to the previous payload's
+/// capacity) is filled in place and handed over as the frozen payload,
+/// and `scratch` is replaced by an empty buffer of the same capacity. In
+/// steady state every frame writes straight into a single exact-size
+/// allocation — no growth reallocations, no intermediate copies.
+pub fn encode_response_pooled(
+    frame_id: u64,
+    detections: &[Detection],
+    scratch: &mut Vec<u8>,
+) -> Bytes {
+    let mut buf = std::mem::take(scratch);
+    encode_response_into(frame_id, detections, &mut buf);
+    *scratch = Vec::with_capacity(buf.capacity());
+    Bytes::from(buf)
 }
 
 /// Decodes a response message.
@@ -125,17 +155,21 @@ pub fn decode_response(mut data: Bytes) -> Result<(u64, Vec<WireDetection>), Wir
         if data.remaining() < n_runs * 4 {
             return Err(WireError::Truncated);
         }
-        let runs: Vec<u32> = (0..n_runs).map(|_| data.get_u32()).collect();
         if width == 0 || height == 0 {
             return Err(WireError::CorruptMask);
         }
-        let total: u64 = runs.iter().map(|&r| r as u64).sum();
+        // Validate the run total by peeking at the wire bytes in place,
+        // then stream the runs straight into the mask bitmap — no
+        // intermediate run vector or `RleMask`.
+        let total: u64 = data[..n_runs * 4]
+            .chunks_exact(4)
+            .map(|c| u32::from_be_bytes(c.try_into().unwrap()) as u64)
+            .sum();
         if total != width as u64 * height as u64 {
             return Err(WireError::CorruptMask);
         }
-        let mask = edgeis_imaging::RleMask::from_parts(width, height, runs)
-            .ok_or(WireError::CorruptMask)?
-            .to_mask();
+        let mask = Mask::from_rle_runs(width, height, (0..n_runs).map(|_| data.get_u32()))
+            .ok_or(WireError::CorruptMask)?;
         out.push(WireDetection {
             instance,
             class_id,
@@ -232,6 +266,68 @@ mod tests {
             bbox: BBox::new(5.0, 5.0, 15.0, 13.0),
             mask,
         }
+    }
+
+    /// The pre-streaming encoder: materialises each mask's `RleMask`
+    /// before writing. Kept as the byte-layout oracle for the streaming
+    /// path.
+    fn encode_response_reference(frame_id: u64, detections: &[Detection]) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u32(MAGIC);
+        buf.put_u64(frame_id);
+        buf.put_u16(detections.len() as u16);
+        for d in detections {
+            buf.put_u16(d.instance);
+            buf.put_u8(d.class_id);
+            buf.put_f32(d.confidence as f32);
+            buf.put_f32(d.bbox.x0 as f32);
+            buf.put_f32(d.bbox.y0 as f32);
+            buf.put_f32(d.bbox.x1 as f32);
+            buf.put_f32(d.bbox.y1 as f32);
+            buf.put_u32(d.mask.width());
+            buf.put_u32(d.mask.height());
+            let rle = d.mask.to_rle();
+            let runs = rle.runs();
+            buf.put_u32(runs.len() as u32);
+            for &r in runs {
+                buf.put_u32(r);
+            }
+        }
+        buf.freeze()
+    }
+
+    #[test]
+    fn streamed_encode_byte_identical_to_reference() {
+        for dets in [
+            vec![],
+            vec![detection(1)],
+            vec![detection(1), detection(2), detection(7)],
+        ] {
+            let streamed = encode_response(99, &dets);
+            let reference = encode_response_reference(99, &dets);
+            assert_eq!(
+                &streamed[..],
+                &reference[..],
+                "streamed wire bytes diverge for {} detections",
+                dets.len()
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_encode_reuses_capacity_and_matches() {
+        let dets = vec![detection(1), detection(2)];
+        let mut scratch = Vec::new();
+        let first = encode_response_pooled(5, &dets, &mut scratch);
+        assert_eq!(&first[..], &encode_response(5, &dets)[..]);
+        let reserved = scratch.capacity();
+        assert!(
+            reserved >= first.len(),
+            "scratch must be pre-reserved to the payload size"
+        );
+        let second = encode_response_pooled(6, &dets, &mut scratch);
+        assert_eq!(&second[..], &encode_response(6, &dets)[..]);
+        assert_eq!(scratch.capacity(), reserved, "steady state: no regrowth");
     }
 
     #[test]

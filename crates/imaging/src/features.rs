@@ -44,10 +44,13 @@ impl Descriptor {
     /// return value is exact when below `cap` and otherwise only guaranteed
     /// to be `>= cap`, which is all a best-two scan needs to discard the
     /// candidate. A single mid-point check is used because a branch per
-    /// word costs more than the two XOR+popcounts it saves — and on this
-    /// 256-bit layout even the single check measures slower than the plain
-    /// four-word sum (see `MatchConfig::use_capped_distance`), so this is
-    /// an opt-in, kept with its exactness test for reference.
+    /// word costs more than the two XOR+popcounts it saves. On the brute
+    /// matcher's dense scans even that single check measured slower than
+    /// the plain four-word sum, so `match_descriptors` always takes the
+    /// full distance (the opt-in toggle was measured, rejected and
+    /// removed — see DESIGN.md §14); the spatial matcher keeps using this
+    /// against its running second-best, where candidate lists are short
+    /// and the cap is usually tight.
     #[inline]
     pub fn distance_capped(&self, other: &Descriptor, cap: u32) -> u32 {
         let half = (self.0[0] ^ other.0[0]).count_ones() + (self.0[1] ^ other.0[1]).count_ones();
@@ -77,6 +80,16 @@ pub struct OrbConfig {
     /// pre-optimization detector; the output is bit-identical either way
     /// (test-enforced).
     pub use_fast_paths: bool,
+    /// Use the explicit SIMD kernels (runtime-dispatched x86_64
+    /// intrinsics, see [`crate::simd`]) on top of the fast paths: the
+    /// vectorized blur row, the 16-lane FAST compass pre-test and the
+    /// two-lane BRIEF rotate/sample arithmetic. Only consulted when
+    /// `use_fast_paths` is on (the reference path keeps its pre-PR-2
+    /// shape either way); each kernel additionally requires its CPU
+    /// feature at runtime and falls back to the scalar fast path when
+    /// absent. Output is bit-identical in every cell of the toggle
+    /// matrix (test-enforced).
+    pub use_simd: bool,
 }
 
 impl Default for OrbConfig {
@@ -87,6 +100,7 @@ impl Default for OrbConfig {
             n_levels: 3,
             nms_radius: 4,
             use_fast_paths: true,
+            use_simd: true,
         }
     }
 }
@@ -300,8 +314,7 @@ fn brief_pattern() -> Vec<BriefPair> {
         .collect()
 }
 
-/// One BRIEF comparison: a pair of (x, y) offsets around the keypoint.
-type BriefPair = ((f64, f64), (f64, f64));
+use crate::simd::BriefPair;
 
 /// Computes the rotated BRIEF descriptor at a keypoint location on the
 /// level image where it was detected.
@@ -395,6 +408,37 @@ fn brief_descriptor_fast(
     Descriptor(bits)
 }
 
+/// [`brief_descriptor_fast`] with the rotate and sample phases running
+/// through the SIMD kernels ([`crate::simd::brief_rotate`],
+/// [`crate::simd::brief_sample_pairs`]): the same three-phase structure
+/// and the same per-element IEEE operations two lanes at a time, so the
+/// descriptor bits are identical. Same interior-margin contract as the
+/// scalar fast path; callers must have checked
+/// [`crate::simd::brief_available`].
+fn brief_descriptor_simd(
+    img: &GrayImage,
+    x: f64,
+    y: f64,
+    angle: f32,
+    pattern: &[BriefPair],
+) -> Descriptor {
+    let (sin, cos) = (angle as f64).sin_cos();
+    let mut coords = [0.0f64; 1024];
+    crate::simd::brief_rotate(x, y, sin, cos, pattern, &mut coords);
+    let mut vals = [0.0f64; 512];
+    crate::simd::brief_sample_pairs(img.as_bytes(), img.width() as usize, &coords, &mut vals);
+    let mut bits = [0u64; 4];
+    for (i, p) in vals.chunks_exact(2).enumerate() {
+        bits[i >> 6] |= ((p[0] < p[1]) as u64) << (i & 63);
+    }
+    // The conformance canary corrupts every fast-path sampler — this one
+    // included — so a silently diverged SIMD BRIEF is provably caught.
+    if crate::test_hooks::brief_fast_corruption_enabled() {
+        bits[0] ^= 1;
+    }
+    Descriptor(bits)
+}
+
 /// Reusable buffers for [`detect_orb_with_scratch`]: the BRIEF pattern,
 /// the per-level NMS suppression plane (sized once for level 0, shared by
 /// the smaller levels), the FAST candidate/winner lists and the pyramid
@@ -408,17 +452,23 @@ pub struct OrbScratch {
     winners: Vec<(u32, u32, f32, u8)>,
     selected: Vec<(u32, u32, f32, u8)>,
     levels: Vec<GrayImage>,
+    /// Pooled transient buffers (per-stripe blur column sums, the
+    /// selection order) that live inside parallel closures and so cannot
+    /// be plain fields; see [`crate::arena`].
+    arena: crate::ScratchArena,
 }
 
 impl OrbScratch {
     /// Peak scratch footprint in bytes (an allocation proxy for the perf
-    /// harness; counts buffer capacities, not live lengths).
+    /// harness; counts buffer capacities, not live lengths, and includes
+    /// the arena pools' high-water mark).
     pub fn peak_bytes(&self) -> usize {
         self.suppressed.capacity()
             + self.candidates.capacity() * std::mem::size_of::<(u32, u32, f32)>()
             + (self.winners.capacity() + self.selected.capacity())
                 * std::mem::size_of::<(u32, u32, f32, u8)>()
             + self.pattern.capacity() * std::mem::size_of::<BriefPair>()
+            + self.arena.peak_bytes()
             + self
                 .levels
                 .iter()
@@ -448,12 +498,19 @@ pub fn detect_orb_with_scratch(
         scratch.pattern = brief_pattern();
     }
     let fast_paths = config.use_fast_paths;
+    // SIMD rides on top of the fast paths: the reference shape ignores
+    // it, and each kernel also needs its CPU feature at runtime.
+    let simd_blur = fast_paths && config.use_simd && crate::simd::blur_available();
+    let simd_fast = fast_paths && config.use_simd && crate::simd::fast_available();
+    let simd_brief = fast_paths && config.use_simd && crate::simd::brief_available();
     let n_levels = (config.n_levels as usize).max(1);
     while scratch.levels.len() < n_levels {
         scratch.levels.push(GrayImage::new(1, 1));
     }
-    if fast_paths {
-        img.box_blur3_fast_into(&mut scratch.levels[0]);
+    if simd_blur {
+        img.box_blur3_simd_into(&mut scratch.levels[0], &scratch.arena);
+    } else if fast_paths {
+        img.box_blur3_fast_arena_into(&mut scratch.levels[0], &scratch.arena);
     } else {
         img.box_blur3_into(&mut scratch.levels[0]);
     }
@@ -491,7 +548,49 @@ pub fn detect_orb_with_scratch(
             let found = edgeis_parallel::par_collect_ranges(scan_rows, 8, |range| {
                 let mut out: Vec<(u32, u32, f32)> = Vec::new();
                 for y in (border + range.start as u32)..(border + range.end as u32) {
-                    if fast_paths {
+                    if simd_fast {
+                        // 16 scan positions at a time: the SIMD compass
+                        // pre-test rejects exactly the pixels the scalar
+                        // compass rejects; survivors (rare) run the
+                        // unchanged scalar decision in ascending-x order,
+                        // so the candidate stream is identical.
+                        let data = level_ref.as_bytes();
+                        let row = y as usize * width as usize;
+                        let end = (width - border) as usize;
+                        let mut x = border as usize;
+                        while x + 16 <= end {
+                            let mut survivors = crate::simd::fast_compass_mask(
+                                data,
+                                row,
+                                x,
+                                width as usize,
+                                threshold,
+                            );
+                            while survivors != 0 {
+                                let k = survivors.trailing_zeros() as usize;
+                                survivors &= survivors - 1;
+                                if let Some(resp) = fast9_response_fast(
+                                    data,
+                                    row + x + k,
+                                    threshold as i32,
+                                    &circle_offsets,
+                                ) {
+                                    out.push(((x + k) as u32, y, resp));
+                                }
+                            }
+                            x += 16;
+                        }
+                        for x in x..end {
+                            if let Some(resp) = fast9_response_fast(
+                                data,
+                                row + x,
+                                threshold as i32,
+                                &circle_offsets,
+                            ) {
+                                out.push((x as u32, y, resp));
+                            }
+                        }
+                    } else if fast_paths {
                         let data = level_ref.as_bytes();
                         let row = y as usize * width as usize;
                         for x in border..width - border {
@@ -565,7 +664,8 @@ pub fn detect_orb_with_scratch(
     // perf harness baseline pays the pre-optimization cost.
     scratch.selected.clear();
     if fast_paths && scratch.winners.len() > config.max_features {
-        let mut order: Vec<usize> = (0..scratch.winners.len()).collect();
+        let mut order = scratch.arena.take::<usize>(0);
+        order.extend(0..scratch.winners.len());
         order.sort_by(|&a, &b| {
             scratch.winners[b]
                 .2
@@ -594,7 +694,9 @@ pub fn detect_orb_with_scratch(
                     && y >= BRIEF_FAST_MARGIN
                     && x + BRIEF_FAST_MARGIN < level_ref.width()
                     && y + BRIEF_FAST_MARGIN < level_ref.height();
-                let desc = if interior {
+                let desc = if interior && simd_brief {
+                    brief_descriptor_simd(level_ref, x as f64, y as f64, angle, pattern)
+                } else if interior {
                     brief_descriptor_fast(level_ref, x as f64, y as f64, angle, pattern)
                 } else {
                     brief_descriptor(level_ref, x as f64, y as f64, angle, pattern)
@@ -772,6 +874,39 @@ mod tests {
             );
             assert_eq!(fast, slow, "phase {phase}");
         }
+    }
+
+    #[test]
+    fn simd_off_detects_identically() {
+        // The SIMD kernels (blur row, FAST compass pre-test, BRIEF
+        // rotate/sample) must be bit-identical to the scalar fast paths:
+        // keypoints, responses, angles and descriptor bits alike.
+        for phase in [0.0, 1.0, 3.0] {
+            let img = textured_image(160, 160, phase);
+            let simd = detect_orb(&img, &OrbConfig::default());
+            let scalar = detect_orb(
+                &img,
+                &OrbConfig {
+                    use_simd: false,
+                    ..Default::default()
+                },
+            );
+            assert!(!simd.0.is_empty());
+            assert_eq!(simd, scalar, "phase {phase}");
+        }
+    }
+
+    #[test]
+    fn simd_feature_absent_fallback_detects_identically() {
+        // Pin the dispatcher to no-SIMD: `use_simd: true` must silently
+        // fall back to the scalar fast paths with identical output (the
+        // portable behavior on hosts without the CPU features).
+        let img = textured_image(160, 160, 1.0);
+        let with_simd = detect_orb(&img, &OrbConfig::default());
+        crate::simd::force_caps(Some(crate::simd::SimdCaps::SCALAR));
+        let forced = detect_orb(&img, &OrbConfig::default());
+        crate::simd::force_caps(None);
+        assert_eq!(with_simd, forced);
     }
 
     #[test]

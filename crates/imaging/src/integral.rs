@@ -41,6 +41,23 @@ impl IntegralImage {
     ///
     /// Panics if `values.len() != width * height`.
     pub fn from_values(width: u32, height: u32, values: &[u64]) -> Self {
+        let mut out = Self {
+            width: 0,
+            height: 0,
+            sums: Vec::new(),
+        };
+        out.assign_from_values(width, height, values);
+        out
+    }
+
+    /// Rebuilds the table in place over new per-pixel values, reusing the
+    /// existing allocation — the scratch-friendly form of
+    /// [`Self::from_values`] for per-frame encoders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != width * height`.
+    pub fn assign_from_values(&mut self, width: u32, height: u32, values: &[u64]) {
         assert_eq!(
             values.len(),
             (width * height) as usize,
@@ -48,19 +65,22 @@ impl IntegralImage {
         );
         let w = width as usize;
         let h = height as usize;
-        let mut sums = vec![0u64; (w + 1) * (h + 1)];
+        self.width = width;
+        self.height = height;
+        self.sums.clear();
+        self.sums.resize((w + 1) * (h + 1), 0);
         for y in 0..h {
             let mut row_acc = 0u64;
             for x in 0..w {
                 row_acc += values[y * w + x];
-                sums[(y + 1) * (w + 1) + (x + 1)] = sums[y * (w + 1) + (x + 1)] + row_acc;
+                self.sums[(y + 1) * (w + 1) + (x + 1)] = self.sums[y * (w + 1) + (x + 1)] + row_acc;
             }
         }
-        Self {
-            width,
-            height,
-            sums,
-        }
+    }
+
+    /// Heap bytes held by the table (scratch accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.sums.capacity() * std::mem::size_of::<u64>()
     }
 
     /// Sum over the rectangle `[x, x+w) × [y, y+h)`, clipped to the image.
@@ -91,9 +111,18 @@ impl IntegralImage {
 /// Per-pixel gradient magnitude (Sobel-lite: central differences), returned
 /// as a `u64` buffer suitable for [`IntegralImage::from_values`].
 pub fn gradient_energy(img: &GrayImage) -> Vec<u64> {
+    let mut out = Vec::new();
+    gradient_energy_into(img, &mut out);
+    out
+}
+
+/// [`gradient_energy`] writing into a caller-provided buffer (cleared and
+/// refilled), so per-frame encoders can reuse one allocation.
+pub fn gradient_energy_into(img: &GrayImage, out: &mut Vec<u64>) {
     let w = img.width() as i64;
     let h = img.height() as i64;
-    let mut out = Vec::with_capacity((w * h) as usize);
+    out.clear();
+    out.reserve((w * h) as usize);
     for y in 0..h {
         for x in 0..w {
             let gx = img.get_clamped(x + 1, y) as i64 - img.get_clamped(x - 1, y) as i64;
@@ -101,7 +130,6 @@ pub fn gradient_energy(img: &GrayImage) -> Vec<u64> {
             out.push((gx * gx + gy * gy) as u64);
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -157,6 +185,25 @@ mod tests {
         let left = ii.rect_sum(0, 0, 3, 10);
         let edge = ii.rect_sum(3, 0, 4, 10);
         assert!(edge > left * 10, "edge {edge} vs flat {left}");
+    }
+
+    #[test]
+    fn assign_reuses_allocation_and_matches_from_values() {
+        let mut img = GrayImage::new(12, 9);
+        for y in 0..9 {
+            for x in 0..12 {
+                img.set(x, y, (x * 7 + y * 13) as u8);
+            }
+        }
+        let mut energy = Vec::new();
+        gradient_energy_into(&img, &mut energy);
+        assert_eq!(energy, gradient_energy(&img));
+        let fresh = IntegralImage::from_values(12, 9, &energy);
+        let mut reused = IntegralImage::from_values(20, 20, &vec![3u64; 400]);
+        let cap_before = reused.heap_bytes();
+        reused.assign_from_values(12, 9, &energy);
+        assert_eq!(reused, fresh, "in-place rebuild must match from_values");
+        assert_eq!(reused.heap_bytes(), cap_before, "allocation reused");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! - [`integral`] — integral images and gradient-energy maps used by the
 //!   tile codec.
 
+pub mod arena;
 pub mod contour;
 pub mod debug;
 pub mod features;
@@ -25,6 +26,7 @@ pub mod image;
 pub mod integral;
 pub mod mask;
 pub mod matching;
+pub mod simd;
 pub mod tracker;
 
 /// Test-only fault injection, so the conformance suite can prove a
@@ -49,13 +51,15 @@ pub mod test_hooks {
     }
 }
 
+pub use arena::ScratchArena;
 pub use contour::{extract_contours, fill_polygon, Contour};
 pub use debug::{write_overlay_ppm, write_pgm};
 pub use features::{
     detect_orb, detect_orb_with_scratch, Descriptor, Keypoint, OrbConfig, OrbScratch,
 };
 pub use image::GrayImage;
-pub use integral::{gradient_energy, IntegralImage};
+pub use integral::{gradient_energy, gradient_energy_into, IntegralImage};
 pub use mask::{iou, LabelMap, Mask, RleMask};
 pub use matching::{match_descriptors, match_descriptors_spatial, Match, MatchConfig};
+pub use simd::SimdCaps;
 pub use tracker::{CorrelationTracker, MotionVectorField};

@@ -234,23 +234,68 @@ impl Mask {
     /// Run-length encodes the mask.
     pub fn to_rle(&self) -> RleMask {
         let mut runs = Vec::new();
+        self.for_each_rle_run(|r| runs.push(r));
+        RleMask {
+            width: self.width,
+            height: self.height,
+            runs,
+        }
+    }
+
+    /// Streams the mask's RLE run lengths (alternating false/true,
+    /// starting with false — the same sequence [`Self::to_rle`] collects)
+    /// without materialising an [`RleMask`], so a wire encoder can write
+    /// the runs straight into its output buffer.
+    pub fn for_each_rle_run(&self, mut emit: impl FnMut(u32)) {
         let mut current = false;
         let mut len = 0u32;
         for &b in &self.bits {
             if b == current {
                 len += 1;
             } else {
-                runs.push(len);
+                emit(len);
                 current = b;
                 len = 1;
             }
         }
-        runs.push(len);
-        RleMask {
-            width: self.width,
-            height: self.height,
-            runs,
+        emit(len);
+    }
+
+    /// Builds a mask by streaming alternating false/true run lengths
+    /// (starting with false) straight into the bitmap — the decoding dual
+    /// of [`Self::for_each_rle_run`], filling whole runs at a time instead
+    /// of going through an intermediate [`RleMask`] and per-pixel sets.
+    ///
+    /// Returns `None` when a dimension is zero or the runs do not cover
+    /// exactly `width * height` pixels.
+    pub fn from_rle_runs(
+        width: u32,
+        height: u32,
+        runs: impl IntoIterator<Item = u32>,
+    ) -> Option<Self> {
+        if width == 0 || height == 0 {
+            return None;
         }
+        let total = width as u64 * height as u64;
+        let mut bits = vec![false; total as usize];
+        let mut pos = 0u64;
+        let mut value = false;
+        for run in runs {
+            let end = pos + run as u64;
+            if end > total {
+                return None;
+            }
+            if value {
+                bits[pos as usize..end as usize].fill(true);
+            }
+            pos = end;
+            value = !value;
+        }
+        (pos == total).then_some(Self {
+            width,
+            height,
+            bits,
+        })
     }
 
     /// Iterates over set pixel coordinates.
@@ -441,6 +486,42 @@ impl LabelMap {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn streamed_runs_match_to_rle() {
+        let mut m = Mask::new(23, 9);
+        m.fill_rect(3, 1, 7, 4);
+        m.set(0, 0, true);
+        m.set(22, 8, true);
+        let mut streamed = Vec::new();
+        m.for_each_rle_run(|r| streamed.push(r));
+        assert_eq!(streamed, m.to_rle().runs());
+        // All-false and all-true masks stream a single run each way.
+        let empty = Mask::new(5, 4);
+        let mut runs = Vec::new();
+        empty.for_each_rle_run(|r| runs.push(r));
+        assert_eq!(runs, vec![20]);
+    }
+
+    #[test]
+    fn from_rle_runs_roundtrips_and_validates() {
+        let mut m = Mask::new(17, 11);
+        m.fill_rect(2, 3, 9, 5);
+        m.set(16, 10, true);
+        let mut runs = Vec::new();
+        m.for_each_rle_run(|r| runs.push(r));
+        let rebuilt = Mask::from_rle_runs(17, 11, runs.iter().copied()).unwrap();
+        assert_eq!(rebuilt, m);
+        // Undershoot, overshoot and zero dimensions are rejected.
+        assert!(Mask::from_rle_runs(17, 11, [10u32]).is_none());
+        assert!(Mask::from_rle_runs(17, 11, [200u32, 200]).is_none());
+        assert!(Mask::from_rle_runs(0, 11, [0u32]).is_none());
+        // Zero-length runs are tolerated (a mask starting with a set
+        // pixel encodes a leading zero false-run).
+        let lead = Mask::from_rle_runs(4, 1, [0u32, 2, 2]).unwrap();
+        assert!(lead.get(0, 0) && lead.get(1, 0));
+        assert!(!lead.get(2, 0));
+    }
 
     #[test]
     fn area_and_bbox() {

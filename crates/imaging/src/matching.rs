@@ -24,19 +24,22 @@ pub struct MatchConfig {
     pub ratio: f32,
     /// Require the match to also be the best in the reverse direction.
     pub cross_check: bool,
-    /// Use the capped-Hamming early-out when scanning candidates. The match
-    /// set is identical either way (the cap only skips candidates that
-    /// cannot win), but on this 256-bit/4-word layout the extra branch
-    /// measures *slower* than the plain unrolled popcount sum — see
-    /// `results/BENCH_pipeline.json` history — so the default is the full
-    /// distance and the early-out stays available as a measured-and-
-    /// rejected opt-in.
-    pub use_capped_distance: bool,
     /// Register-block the forward best-two scan (load each train
     /// descriptor once per block of 8 queries). `false` runs the one-query-
     /// at-a-time scalar scan — kept so the perf harness can measure the
     /// pre-optimization matcher; the matches are identical either way.
     pub use_blocked_scan: bool,
+    /// Use the SIMD 256-bit Hamming popcount (AVX2 nibble-LUT, upgraded
+    /// to AVX-512 `vpopcntq` when the CPU has it) inside the blocked
+    /// forward scan — see [`crate::simd::best_two_blocked_simd`]. Only
+    /// consulted when `use_blocked_scan` is on; falls back to the scalar
+    /// popcount when the features are absent. Distances are exact
+    /// integers either way, so the match set is identical
+    /// (test-enforced). Default **off**: on the reference host the
+    /// scalar blocked scan (four hardware `popcnt`s per pair) measures
+    /// 2–4× faster than either vector tier, so the vector scan is a
+    /// tested opt-in for hosts where it wins (DESIGN.md §14).
+    pub use_simd: bool,
 }
 
 impl Default for MatchConfig {
@@ -45,26 +48,18 @@ impl Default for MatchConfig {
             max_distance: 64,
             ratio: 0.8,
             cross_check: true,
-            use_capped_distance: false,
             use_blocked_scan: true,
+            use_simd: false,
         }
     }
 }
 
-fn best_two(query: &Descriptor, train: &[Descriptor], capped: bool) -> Option<(usize, u32, u32)> {
+fn best_two(query: &Descriptor, train: &[Descriptor]) -> Option<(usize, u32, u32)> {
     let mut best = None;
     let mut best_d = u32::MAX;
     let mut second_d = u32::MAX;
     for (j, t) in train.iter().enumerate() {
-        // Early out: once the running sum reaches the current second-best,
-        // this candidate can update neither slot. Distances below
-        // `second_d` are still computed exactly, so the returned pair —
-        // and thus the ratio test — is unchanged.
-        let d = if capped {
-            query.distance_capped(t, second_d)
-        } else {
-            query.distance(t)
-        };
+        let d = query.distance(t);
         if d < best_d {
             second_d = best_d;
             best_d = d;
@@ -107,7 +102,7 @@ fn best_two_blocked(qs: &[Descriptor], train: &[Descriptor]) -> Vec<Option<(usiz
         }
     }
     for q in chunks.remainder() {
-        out.push(best_two(q, train, false));
+        out.push(best_two(q, train));
     }
     out
 }
@@ -128,7 +123,7 @@ fn accept_match(
         return None;
     }
     if config.cross_check {
-        if let Some((i_back, _, _)) = best_two(&train[j], query, config.use_capped_distance) {
+        if let Some((i_back, _, _)) = best_two(&train[j], query) {
             if i_back != i {
                 return None;
             }
@@ -160,14 +155,15 @@ pub fn match_descriptors(
     }
     edgeis_parallel::par_collect_ranges(query.len(), 16, |range| {
         let qs = &query[range.clone()];
-        // The capped early-out depends on each query's running second-best,
-        // so it cannot be register-blocked; it takes the scalar scan.
-        let forward = if config.use_blocked_scan && !config.use_capped_distance {
-            best_two_blocked(qs, train)
+        let forward = if config.use_blocked_scan {
+            if config.use_simd {
+                crate::simd::best_two_blocked_simd(qs, train)
+                    .unwrap_or_else(|| best_two_blocked(qs, train))
+            } else {
+                best_two_blocked(qs, train)
+            }
         } else {
-            qs.iter()
-                .map(|q| best_two(q, train, config.use_capped_distance))
-                .collect()
+            qs.iter().map(|q| best_two(q, train)).collect()
         };
         forward
             .into_iter()
@@ -297,7 +293,7 @@ pub fn match_descriptors_spatial(
             let found = if cands.len() >= 2 {
                 best_two_of(&query[i], train, &cands)
             } else {
-                best_two(&query[i], train, config.use_capped_distance)
+                best_two(&query[i], train)
             };
             let Some((j, d, d2)) = found else { continue };
             if d > config.max_distance {
@@ -312,7 +308,7 @@ pub fn match_descriptors_spatial(
                 let reverse = if back.len() >= 2 {
                     best_two_of(&train[j], query, &back)
                 } else {
-                    best_two(&train[j], query, config.use_capped_distance)
+                    best_two(&train[j], query)
                 };
                 if let Some((i_back, _, _)) = reverse {
                     if i_back != i {
@@ -377,21 +373,38 @@ mod tests {
     }
 
     #[test]
-    fn uncapped_matcher_is_identical() {
+    fn simd_matcher_is_identical() {
+        // SIMD popcounts, the scalar blocked scan and the one-query scan
+        // must produce the same match set — including the forced
+        // feature-absent fallback of the SIMD path.
         for seed in [3u64, 17, 91] {
             let train: Vec<Descriptor> = (seed..seed + 120).map(desc).collect();
             let query: Vec<Descriptor> =
                 (0..60).map(|i| flip_bits(&train[i * 2], i % 20)).collect();
-            let capped = match_descriptors(&query, &train, &MatchConfig::default());
-            let plain = match_descriptors(
+            let simd = match_descriptors(&query, &train, &MatchConfig::default());
+            let blocked = match_descriptors(
                 &query,
                 &train,
                 &MatchConfig {
-                    use_capped_distance: false,
+                    use_simd: false,
                     ..Default::default()
                 },
             );
-            assert_eq!(capped, plain, "seed {seed}");
+            let scalar = match_descriptors(
+                &query,
+                &train,
+                &MatchConfig {
+                    use_simd: false,
+                    use_blocked_scan: false,
+                    ..Default::default()
+                },
+            );
+            crate::simd::force_caps(Some(crate::simd::SimdCaps::SCALAR));
+            let fallback = match_descriptors(&query, &train, &MatchConfig::default());
+            crate::simd::force_caps(None);
+            assert_eq!(simd, blocked, "seed {seed}");
+            assert_eq!(simd, scalar, "seed {seed}");
+            assert_eq!(simd, fallback, "seed {seed}");
         }
     }
 

@@ -1,0 +1,182 @@
+//! Property-based SIMD-vs-scalar equivalence: for random images and
+//! descriptor sets, every SIMD kernel must produce output bit-identical
+//! to its scalar reference — same keypoints, same descriptors, same
+//! matches, same blurred bytes. CI runs this suite under the default
+//! thread count *and* `EDGEIS_THREADS=1`, so the parallel merge cannot
+//! mask (or cause) a divergence.
+//!
+//! The `force_caps` tests additionally pin the dispatcher to
+//! [`SimdCaps::SCALAR`], proving the feature-absent fallback — not just
+//! the `use_simd: false` config path — is equivalent. Forcing is
+//! process-global, so those tests serialize on a lock and restore
+//! detection on exit; the toggle-equivalence properties stay valid even
+//! if they observe a forced-scalar window (both arms degrade together).
+
+use edgeis_imaging::{
+    detect_orb, match_descriptors, Descriptor, GrayImage, MatchConfig, OrbConfig, ScratchArena,
+    SimdCaps,
+};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes tests that pin the global SIMD capability set.
+static FORCE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Restores capability detection even when the test body panics.
+struct CapsGuard;
+impl Drop for CapsGuard {
+    fn drop(&mut self) {
+        edgeis_imaging::simd::force_caps(None);
+    }
+}
+
+/// A deterministic textured image: smooth gradients (blur-friendly
+/// content) plus hash noise (dense FAST corners), fully determined by
+/// `(w, h, seed)`.
+fn textured(w: u32, h: u32, seed: u64) -> GrayImage {
+    let mut img = GrayImage::new(w, h);
+    let mut state = seed | 1;
+    for y in 0..h {
+        for x in 0..w {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let noise = (state >> 56) as u32;
+            let grad = (x * 2 + y * 3) % 256;
+            img.set(x, y, ((grad + noise / 2) % 256) as u8);
+        }
+    }
+    img
+}
+
+fn image_strategy() -> impl Strategy<Value = GrayImage> {
+    (48u32..160, 40u32..120, 0u64..1_000_000).prop_map(|(w, h, seed)| textured(w, h, seed))
+}
+
+fn descriptor_strategy(n: core::ops::Range<usize>) -> impl Strategy<Value = Vec<Descriptor>> {
+    proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), n).prop_map(|words| {
+        words
+            .iter()
+            .map(|&(a, b)| Descriptor([a, b, a ^ b, a.rotate_left(17)]))
+            .collect()
+    })
+}
+
+fn orb_config(use_simd: bool) -> OrbConfig {
+    OrbConfig {
+        use_simd,
+        ..OrbConfig::default()
+    }
+}
+
+fn assert_detections_equal(img: &GrayImage, a: &OrbConfig, b: &OrbConfig, what: &str) {
+    let (kps_a, descs_a) = detect_orb(img, a);
+    let (kps_b, descs_b) = detect_orb(img, b);
+    assert_eq!(descs_a, descs_b, "{what}: descriptors diverged");
+    assert_eq!(kps_a.len(), kps_b.len(), "{what}: keypoint count diverged");
+    for (p, q) in kps_a.iter().zip(&kps_b) {
+        // Bit-exact, not approximate: the SIMD kernels promise identical
+        // IEEE operation order.
+        assert!(
+            p.x.to_bits() == q.x.to_bits()
+                && p.y.to_bits() == q.y.to_bits()
+                && p.level == q.level
+                && p.response.to_bits() == q.response.to_bits()
+                && p.angle.to_bits() == q.angle.to_bits(),
+            "{what}: keypoint diverged: {p:?} vs {q:?}"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn orb_simd_matches_scalar(img in image_strategy()) {
+        assert_detections_equal(&img, &orb_config(true), &orb_config(false), "use_simd on/off");
+    }
+
+    #[test]
+    fn blur_simd_matches_reference(img in image_strategy()) {
+        let arena = ScratchArena::default();
+        let mut simd = GrayImage::new(1, 1);
+        let mut fast = GrayImage::new(1, 1);
+        img.box_blur3_simd_into(&mut simd, &arena);
+        img.box_blur3_fast_arena_into(&mut fast, &arena);
+        prop_assert_eq!(&simd, &fast, "simd vs scalar column-sum blur");
+        prop_assert_eq!(&simd, &img.box_blur3(), "simd vs nine-load reference blur");
+    }
+
+    #[test]
+    fn matcher_simd_matches_scalar(
+        query in descriptor_strategy(0..48),
+        train in descriptor_strategy(0..48),
+    ) {
+        let simd = MatchConfig { use_simd: true, ..MatchConfig::default() };
+        let blocked = MatchConfig { use_simd: false, ..MatchConfig::default() };
+        let plain = MatchConfig { use_blocked_scan: false, ..blocked };
+        let m_simd = match_descriptors(&query, &train, &simd);
+        let m_blocked = match_descriptors(&query, &train, &blocked);
+        let m_plain = match_descriptors(&query, &train, &plain);
+        prop_assert_eq!(m_simd.len(), m_blocked.len());
+        for (a, b) in m_simd.iter().zip(&m_blocked) {
+            prop_assert!(
+                a.query_idx == b.query_idx
+                    && a.train_idx == b.train_idx
+                    && a.distance == b.distance,
+                "simd vs blocked-scalar matcher diverged"
+            );
+        }
+        prop_assert_eq!(m_blocked.len(), m_plain.len());
+        for (a, b) in m_blocked.iter().zip(&m_plain) {
+            prop_assert!(
+                a.query_idx == b.query_idx
+                    && a.train_idx == b.train_idx
+                    && a.distance == b.distance,
+                "blocked vs one-at-a-time scalar matcher diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn matcher_distances_are_exact_hamming(
+        query in descriptor_strategy(1..24),
+        train in descriptor_strategy(1..24),
+    ) {
+        // Independent oracle: every reported distance must equal the
+        // plain popcount Hamming distance of the named pair, and the
+        // named train index must be the true argmin for that query.
+        // Run on the vector scan (opt-in) — the scalar scan is itself
+        // the reference the other properties compare against.
+        let config = MatchConfig {
+            cross_check: false,
+            use_simd: true,
+            ..MatchConfig::default()
+        };
+        for m in match_descriptors(&query, &train, &config) {
+            let d = query[m.query_idx].distance(&train[m.train_idx]);
+            prop_assert_eq!(m.distance, d, "reported distance is not the exact Hamming distance");
+            let best = train
+                .iter()
+                .map(|t| query[m.query_idx].distance(t))
+                .min()
+                .unwrap();
+            prop_assert_eq!(d, best, "match is not the true nearest neighbour");
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn forced_scalar_caps_fall_back_identically(img in image_strategy()) {
+        // With detection pinned to no-SIMD, `use_simd: true` must silently
+        // produce the scalar result — the feature-absent fallback.
+        let scalar = {
+            let _lock = FORCE_LOCK.lock().unwrap();
+            let _guard = CapsGuard;
+            edgeis_imaging::simd::force_caps(Some(SimdCaps::SCALAR));
+            detect_orb(&img, &orb_config(true))
+        };
+        let native = detect_orb(&img, &orb_config(false));
+        prop_assert_eq!(scalar.1, native.1, "forced-scalar dispatch diverged from scalar config");
+        prop_assert_eq!(scalar.0.len(), native.0.len());
+    }
+}
