@@ -24,6 +24,7 @@ use edgeis::fleet::{FleetConfig, PlacementPolicy};
 use edgeis::multi::{run_multi_device_with_fleet, run_multi_device_with_stats, MultiDeviceConfig};
 use edgeis::serving::ServingConfig;
 use edgeis_bench::json;
+use edgeis_segnet::ZooConfig;
 use edgeis_telemetry::Histogram;
 
 const SEED: u64 = 7;
@@ -189,6 +190,158 @@ fn run_fleet_cell(
         handoffs: stats.handoffs,
         imbalance,
     }
+}
+
+/// One model-zoo sweep cell: the default serving runtime either shedding
+/// every deadline miss (`single_model_shed`) or routing misses down the
+/// anytime ladder (`route`).
+struct ZooCell {
+    config: &'static str,
+    devices: usize,
+    responses: usize,
+    latency_hist: Histogram,
+    /// served / (served + sheds) at the edge — the deadline hit rate.
+    hit_rate: f64,
+    shed_rate: f64,
+    mean_iou: f64,
+    /// Served requests routed below tier 0, over served.
+    degraded_share: f64,
+    /// Per-tier served counts (largest tier first; empty without a zoo).
+    tier_served: Vec<u64>,
+}
+
+impl ZooCell {
+    fn p50(&self) -> f64 {
+        self.latency_hist.quantile(0.5)
+    }
+    fn p99(&self) -> f64 {
+        self.latency_hist.quantile(0.99)
+    }
+}
+
+fn run_zoo_cell(
+    config_name: &'static str,
+    zoo: Option<ZooConfig>,
+    devices: usize,
+    frames: usize,
+) -> ZooCell {
+    let config = MultiDeviceConfig {
+        devices,
+        frames,
+        seed: SEED,
+        serving: Some(ServingConfig {
+            zoo,
+            ..ServingConfig::default()
+        }),
+        ..Default::default()
+    };
+    let (reports, stats) =
+        run_multi_device_with_stats(edgeis_scene::datasets::indoor_simple, &config);
+    let stats = stats.expect("serving backend always reports serving stats");
+    let latency_hist = Histogram::new();
+    for r in &reports {
+        latency_hist.merge_from(&Histogram::from_samples(&r.response_latency_samples()));
+    }
+    let mean_iou = reports.iter().map(|r| r.mean_iou()).sum::<f64>() / reports.len().max(1) as f64;
+    let attempts = stats.served + stats.sheds();
+    let hit_rate = if attempts == 0 {
+        1.0
+    } else {
+        stats.served as f64 / attempts as f64
+    };
+    let degraded_share = if stats.served == 0 {
+        0.0
+    } else {
+        stats.degraded_served as f64 / stats.served as f64
+    };
+    ZooCell {
+        config: config_name,
+        devices,
+        responses: latency_hist.count() as usize,
+        latency_hist,
+        hit_rate,
+        shed_rate: 1.0 - hit_rate,
+        mean_iou,
+        degraded_share,
+        tier_served: stats.tier_served.clone(),
+    }
+}
+
+fn zoo_to_json(cells: &[ZooCell], devices: &[usize], frames: usize) -> String {
+    let tier_names: Vec<&'static str> = ZooConfig::standard()
+        .tiers
+        .iter()
+        .map(|k| k.as_str())
+        .collect();
+    let at8 = |name: &str| cells.iter().find(|c| c.config == name && c.devices == 8);
+    let shed8 = at8("single_model_shed");
+    let route8 = at8("route");
+    json::document(|o| {
+        o.inline_object("workload", |w| {
+            w.str("scenario", "indoor_simple");
+            w.int("seed", SEED as i64);
+            w.int("frames", frames as i64);
+            w.num("fps", 30.0, 1);
+        });
+        o.raw(
+            "devices_swept",
+            &format!(
+                "[{}]",
+                devices
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        );
+        o.raw(
+            "tiers",
+            &format!(
+                "[{}]",
+                tier_names
+                    .iter()
+                    .map(|n| format!("\"{n}\""))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        );
+        o.array("cells", |a| {
+            for c in cells {
+                a.inline_object(|row| {
+                    row.str("config", c.config);
+                    row.int("devices", c.devices as i64);
+                    row.int("responses", c.responses as i64);
+                    row.num("deadline_hit_rate", c.hit_rate, 4);
+                    row.num("shed_rate", c.shed_rate, 4);
+                    row.num("mean_iou", c.mean_iou, 4);
+                    row.num("degraded_share", c.degraded_share, 4);
+                    row.num("p50_ms", c.p50(), 3);
+                    row.num("p99_ms", c.p99(), 3);
+                    row.raw(
+                        "tier_served",
+                        &format!(
+                            "[{}]",
+                            c.tier_served
+                                .iter()
+                                .map(|n| n.to_string())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                    );
+                });
+            }
+        });
+        if let (Some(s), Some(r)) = (shed8, route8) {
+            o.num("shed_hit_rate_at_8_devices", s.hit_rate, 4);
+            o.num("route_hit_rate_at_8_devices", r.hit_rate, 4);
+            o.num("shed_mean_iou_at_8_devices", s.mean_iou, 4);
+            o.num("route_mean_iou_at_8_devices", r.mean_iou, 4);
+            o.bool(
+                "route_beats_shed_at_8_devices",
+                r.hit_rate >= s.hit_rate && r.mean_iou > s.mean_iou,
+            );
+        }
+    })
 }
 
 fn configs() -> Vec<(&'static str, Option<ServingConfig>)> {
@@ -401,6 +554,39 @@ fn main() {
         }
     }
 
+    // Model-zoo anytime routing tier: the default serving runtime with
+    // and without the zoo, same workload, shed-vs-route head to head.
+    let zoo_devices: Vec<usize> = if smoke {
+        vec![8]
+    } else {
+        vec![2, 4, 8, 16, 32, 64]
+    };
+    println!(
+        "\n{:<18} {:>7} {:>9} {:>7} {:>7} {:>9} {:>9}  tiers",
+        "zoo config", "devices", "hit-rate", "iou", "degr", "p50", "p99"
+    );
+    let mut zoo_cells = Vec::new();
+    for &devices in &zoo_devices {
+        for (name, zoo) in [
+            ("single_model_shed", None),
+            ("route", Some(ZooConfig::standard())),
+        ] {
+            let cell = run_zoo_cell(name, zoo, devices, frames);
+            println!(
+                "{:<18} {:>7} {:>8.1}% {:>7.3} {:>6.1}% {:>7.1}ms {:>7.1}ms  {:?}",
+                cell.config,
+                cell.devices,
+                cell.hit_rate * 100.0,
+                cell.mean_iou,
+                cell.degraded_share * 100.0,
+                cell.p50(),
+                cell.p99(),
+                cell.tier_served
+            );
+            zoo_cells.push(cell);
+        }
+    }
+
     // Multi-edge fleet tier: edges x devices (up to 64) x placement
     // policy, fault-free steady state.
     let fleet_grid: Vec<(usize, usize)> = if smoke {
@@ -473,8 +659,28 @@ fn main() {
                 c.policy
             );
         }
+        // Model-zoo smoke: both head-to-head cells deliver, and routing
+        // never hits the deadline less often than shed-at-admission.
+        let shed = zoo_cells
+            .iter()
+            .find(|c| c.config == "single_model_shed")
+            .expect("smoke zoo sweep ran");
+        let route = zoo_cells
+            .iter()
+            .find(|c| c.config == "route")
+            .expect("smoke zoo sweep ran");
+        assert!(shed.responses > 0 && route.responses > 0);
+        assert!(
+            route.hit_rate >= shed.hit_rate,
+            "routing hit rate {:.3} below shedding's {:.3}",
+            route.hit_rate,
+            shed.hit_rate
+        );
         run_telemetry_smoke();
-        println!("smoke OK ({} cells)", cells.len() + fleet_cells.len());
+        println!(
+            "smoke OK ({} cells)",
+            cells.len() + fleet_cells.len() + zoo_cells.len()
+        );
         return;
     }
 
@@ -489,5 +695,29 @@ fn main() {
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => println!("could not write {path}: {e}"),
+    }
+
+    // Model-zoo headline: at the paper's 8-device fleet, routing must hit
+    // (nearly) every deadline while serving strictly better masks than
+    // shed-at-admission.
+    let at8 = |name: &str| {
+        zoo_cells
+            .iter()
+            .find(|c| c.config == name && c.devices == 8)
+            .expect("8-device zoo cells always swept")
+    };
+    let (shed8, route8) = (at8("single_model_shed"), at8("route"));
+    println!(
+        "\nmodel zoo @ 8 devices: hit-rate {:.1}% -> {:.1}%, mean IoU {:.4} -> {:.4}",
+        shed8.hit_rate * 100.0,
+        route8.hit_rate * 100.0,
+        shed8.mean_iou,
+        route8.mean_iou
+    );
+    let zoo_json = zoo_to_json(&zoo_cells, &zoo_devices, frames);
+    let zoo_path = "results/BENCH_model_zoo.json";
+    match std::fs::write(zoo_path, &zoo_json) {
+        Ok(()) => println!("wrote {zoo_path}"),
+        Err(e) => println!("could not write {zoo_path}: {e}"),
     }
 }

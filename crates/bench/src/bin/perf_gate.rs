@@ -9,11 +9,25 @@
 //! machine-readable verdict to `target/perf_gate/verdict.json`; exits
 //! non-zero when any metric regressed.
 //!
+//! Baselines are **per host**: the gate compares against the entry for
+//! this machine's fingerprint (hostname + SIMD capability set, see
+//! [`edgeis_bench::gate::host_fingerprint`]) in the baseline's `hosts`
+//! block when one exists, and falls back to the top-level reference
+//! metrics — with a printed notice — when it does not. The fallback is
+//! deliberately *not* an auto-bless: an unknown host still gates against
+//! the reference numbers, so CI's negative self-test keeps failing.
+//!
 //! Flags:
 //!
-//! - `--bless` — re-measure and overwrite the baseline instead of gating.
-//!   Run on the reference machine only (see EXPERIMENTS.md) — a baseline
-//!   blessed on a slower host would let real regressions through.
+//! - `--bless` — re-measure and record the baseline instead of gating.
+//!   With an existing baseline this upserts the entry for *this host's*
+//!   fingerprint, leaving the top-level reference metrics and other
+//!   hosts' entries untouched — safe to run on any machine. With no
+//!   baseline file it writes the top-level reference metrics.
+//! - `--bless-reference` — overwrite the top-level reference metrics
+//!   (dropping no host entries). Run on the reference machine only (see
+//!   EXPERIMENTS.md) — a reference baseline blessed on a slower host
+//!   would let real regressions through.
 //! - `--smoke` — single repetition per mode (CI latency budget); the full
 //!   gate takes the best of three repetitions to shed scheduler noise.
 //! - `--inject-slowdown <pct>` — scale every measured time metric up (and
@@ -90,7 +104,8 @@ fn inject_slowdown(metrics: &mut [Metric], pct: f64) {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let bless = args.iter().any(|a| a == "--bless");
+    let bless_reference = args.iter().any(|a| a == "--bless-reference");
+    let bless = bless_reference || args.iter().any(|a| a == "--bless");
     let smoke = args.iter().any(|a| a == "--smoke");
     let slowdown_pct: Option<f64> = args
         .iter()
@@ -113,13 +128,46 @@ fn main() -> ExitCode {
         inject_slowdown(&mut current, pct);
     }
 
+    let fingerprint = gate::host_fingerprint();
+
     if bless {
-        let doc = gate::baseline_to_json(
-            &current,
-            NOISE_MARGIN,
-            perf::FRAMES,
-            edgeis_parallel::num_threads(),
-        );
+        let existing = std::fs::read_to_string(BASELINE_PATH).ok();
+        let threads = edgeis_parallel::num_threads();
+        let doc = match &existing {
+            // No baseline yet (or a reference re-bless): this measurement
+            // becomes the top-level reference, keeping any host entries.
+            None => gate::baseline_to_json(&current, NOISE_MARGIN, perf::FRAMES, threads),
+            Some(text) if bless_reference => {
+                let hosts = gate::hosts_from_json(text).unwrap_or_default();
+                gate::baseline_document(&current, NOISE_MARGIN, perf::FRAMES, threads, &hosts)
+            }
+            // Ordinary bless on a machine with an existing baseline:
+            // upsert this host's entry, touching nothing else.
+            Some(text) => {
+                let (top, margin) = match gate::baseline_from_json(text) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("malformed baseline {BASELINE_PATH}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let mut hosts = gate::hosts_from_json(text).unwrap_or_default();
+                hosts.retain(|h| h.fingerprint != fingerprint);
+                hosts.push(gate::HostBaseline {
+                    fingerprint: fingerprint.clone(),
+                    host_threads: threads,
+                    metrics: current.clone(),
+                });
+                println!("blessing host entry `{fingerprint}` (reference metrics untouched)");
+                gate::baseline_document(
+                    &top,
+                    margin,
+                    gate::frames_from_json(text),
+                    gate::host_threads_from_json(text),
+                    &hosts,
+                )
+            }
+        };
         if let Some(dir) = Path::new(BASELINE_PATH).parent() {
             let _ = std::fs::create_dir_all(dir);
         }
@@ -142,11 +190,31 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (baseline, margin) = match gate::baseline_from_json(&text) {
+    let (reference, margin) = match gate::baseline_from_json(&text) {
         Ok(b) => b,
         Err(e) => {
             eprintln!("malformed baseline {BASELINE_PATH}: {e}");
             return ExitCode::FAILURE;
+        }
+    };
+    let hosts = match gate::hosts_from_json(&text) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("malformed baseline {BASELINE_PATH}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match hosts.into_iter().find(|h| h.fingerprint == fingerprint) {
+        Some(h) => {
+            println!("comparing against host baseline `{fingerprint}`");
+            h.metrics
+        }
+        None => {
+            println!(
+                "no host baseline for `{fingerprint}`; comparing against the \
+                 reference metrics (run `perf_gate --bless` here to record one)"
+            );
+            reference
         }
     };
 

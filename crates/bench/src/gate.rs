@@ -261,12 +261,81 @@ pub fn compare(baseline: &[Metric], current: &[Metric], noise_margin: f64) -> Ga
     GateReport { noise_margin, rows }
 }
 
-/// Renders the baseline document for `--bless`.
-pub fn baseline_to_json(
+/// One per-host baseline entry: fingerprint, thread count on that host,
+/// and the metric set blessed there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostBaseline {
+    /// Stable host fingerprint (see [`host_fingerprint`]).
+    pub fingerprint: String,
+    /// `edgeis_parallel::num_threads()` on the blessing host.
+    pub host_threads: usize,
+    /// Metrics blessed on that host.
+    pub metrics: Vec<Metric>,
+}
+
+/// Fingerprint of the machine the gate is running on: hostname plus the
+/// SIMD capability set the dispatcher honors. Two hosts that agree on
+/// both are close enough to share a perf baseline; anything else (a
+/// laptop vs the reference box, a scalar-only CI runner) gets its own
+/// `hosts` entry instead of skewing the reference numbers.
+pub fn host_fingerprint() -> String {
+    let host = std::fs::read_to_string("/proc/sys/kernel/hostname")
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .or_else(|| std::env::var("HOSTNAME").ok())
+        .unwrap_or_else(|| "unknown-host".into());
+    let caps = edgeis_imaging::simd::caps();
+    let mut flags = Vec::new();
+    if caps.x86_baseline {
+        flags.push("x86");
+    }
+    if caps.sse3 {
+        flags.push("sse3");
+    }
+    if caps.avx2 {
+        flags.push("avx2");
+    }
+    if caps.avx512_vpopcnt {
+        flags.push("avx512vp");
+    }
+    let flags = if flags.is_empty() {
+        "scalar".to_string()
+    } else {
+        flags.join("+")
+    };
+    format!("{host}/{flags}")
+}
+
+fn push_metric_rows(a: &mut json::JsonArray, metrics: &[Metric]) {
+    for m in metrics {
+        a.inline_object(|row| {
+            row.str("name", &m.name);
+            row.num("value", m.value, 4);
+            row.str(
+                "direction",
+                if m.higher_is_better {
+                    "higher"
+                } else {
+                    "lower"
+                },
+            );
+            row.num("min_delta", m.min_delta, 4);
+        });
+    }
+}
+
+/// Renders the full baseline document: the top-level (reference-machine)
+/// metric set plus zero or more per-host entries keyed by fingerprint.
+/// The workload block is reconstructed from the perf module's constants,
+/// so round-tripping through [`baseline_from_json`]/[`hosts_from_json`]
+/// and re-rendering preserves everything that matters.
+pub fn baseline_document(
     metrics: &[Metric],
     noise_margin: f64,
     frames: usize,
     host_threads: usize,
+    hosts: &[HostBaseline],
 ) -> String {
     json::document(|o| {
         o.inline_object("workload", |w| {
@@ -279,24 +348,28 @@ pub fn baseline_to_json(
         });
         o.int("host_threads", host_threads as i64);
         o.num("noise_margin", noise_margin, 3);
-        o.array("metrics", |a| {
-            for m in metrics {
-                a.inline_object(|row| {
-                    row.str("name", &m.name);
-                    row.num("value", m.value, 4);
-                    row.str(
-                        "direction",
-                        if m.higher_is_better {
-                            "higher"
-                        } else {
-                            "lower"
-                        },
-                    );
-                    row.num("min_delta", m.min_delta, 4);
-                });
-            }
-        });
+        o.array("metrics", |a| push_metric_rows(a, metrics));
+        if !hosts.is_empty() {
+            o.object("hosts", |h| {
+                for entry in hosts {
+                    h.object(&entry.fingerprint, |e| {
+                        e.int("host_threads", entry.host_threads as i64);
+                        e.array("metrics", |a| push_metric_rows(a, &entry.metrics));
+                    });
+                }
+            });
+        }
     })
+}
+
+/// Renders the baseline document for `--bless` (no per-host entries).
+pub fn baseline_to_json(
+    metrics: &[Metric],
+    noise_margin: f64,
+    frames: usize,
+    host_threads: usize,
+) -> String {
+    baseline_document(metrics, noise_margin, frames, host_threads, &[])
 }
 
 /// Parses a baseline document produced by [`baseline_to_json`].
@@ -314,6 +387,10 @@ pub fn baseline_from_json(text: &str) -> Result<(Vec<Metric>, f64), String> {
         .get("metrics")
         .and_then(JsonValue::as_arr)
         .ok_or("baseline missing `metrics`")?;
+    Ok((metrics_from_rows(rows)?, margin))
+}
+
+fn metrics_from_rows(rows: &[JsonValue]) -> Result<Vec<Metric>, String> {
     let mut metrics = Vec::with_capacity(rows.len());
     for (i, row) in rows.iter().enumerate() {
         let name = row
@@ -339,7 +416,61 @@ pub fn baseline_from_json(text: &str) -> Result<(Vec<Metric>, f64), String> {
             min_delta,
         });
     }
-    Ok((metrics, margin))
+    Ok(metrics)
+}
+
+/// Parses the per-host entries of a baseline document (empty when the
+/// document has no `hosts` block — every pre-existing baseline).
+///
+/// # Errors
+///
+/// Returns a message describing the first malformed host entry.
+pub fn hosts_from_json(text: &str) -> Result<Vec<HostBaseline>, String> {
+    let doc = json::parse(text)?;
+    let Some(hosts) = doc.get("hosts") else {
+        return Ok(Vec::new());
+    };
+    let JsonValue::Obj(entries) = hosts else {
+        return Err("`hosts` is not an object".into());
+    };
+    let mut out = Vec::with_capacity(entries.len());
+    for (fingerprint, entry) in entries {
+        let rows = entry
+            .get("metrics")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| format!("host `{fingerprint}` missing `metrics`"))?;
+        let host_threads = entry
+            .get("host_threads")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0) as usize;
+        out.push(HostBaseline {
+            fingerprint: fingerprint.clone(),
+            host_threads,
+            metrics: metrics_from_rows(rows).map_err(|e| format!("host `{fingerprint}`: {e}"))?,
+        });
+    }
+    Ok(out)
+}
+
+/// The frames count recorded in a baseline's workload block (falls back
+/// to the perf module's current constant when absent).
+pub fn frames_from_json(text: &str) -> usize {
+    json::parse(text)
+        .ok()
+        .and_then(|doc| {
+            doc.get("workload")
+                .and_then(|w| w.get("frames"))
+                .and_then(JsonValue::as_f64)
+        })
+        .map_or(crate::perf::FRAMES, |v| v as usize)
+}
+
+/// The top-level `host_threads` recorded in a baseline (0 when absent).
+pub fn host_threads_from_json(text: &str) -> usize {
+    json::parse(text)
+        .ok()
+        .and_then(|doc| doc.get("host_threads").and_then(JsonValue::as_f64))
+        .unwrap_or(0.0) as usize
 }
 
 #[cfg(test)]
@@ -452,6 +583,65 @@ mod tests {
             assert!((p.value - orig.value).abs() < 1e-3);
             assert!((p.min_delta - orig.min_delta).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn host_entries_roundtrip_and_leave_the_reference_intact() {
+        let reference = baseline();
+        let laptop = HostBaseline {
+            fingerprint: "laptop/x86+sse3".into(),
+            host_threads: 8,
+            metrics: scaled(&reference, 1.6),
+        };
+        let ci = HostBaseline {
+            fingerprint: "ci-runner/scalar".into(),
+            host_threads: 2,
+            metrics: scaled(&reference, 2.4),
+        };
+        let doc = baseline_document(&reference, 0.15, 120, 16, &[laptop.clone(), ci.clone()]);
+        // Top-level parse is unchanged by the hosts block.
+        let (top, margin) = baseline_from_json(&doc).expect("top-level parses");
+        assert_eq!(margin, 0.15);
+        assert_eq!(top.len(), reference.len());
+        for (p, orig) in top.iter().zip(&reference) {
+            assert_eq!(p.name, orig.name);
+            assert!((p.value - orig.value).abs() < 1e-3);
+        }
+        // Host entries round-trip with fingerprint, threads and values.
+        let hosts = hosts_from_json(&doc).expect("hosts parse");
+        assert_eq!(hosts.len(), 2);
+        let parsed = hosts
+            .iter()
+            .find(|h| h.fingerprint == laptop.fingerprint)
+            .expect("laptop entry survives");
+        assert_eq!(parsed.host_threads, 8);
+        for (p, orig) in parsed.metrics.iter().zip(&laptop.metrics) {
+            assert_eq!(p.name, orig.name);
+            assert_eq!(p.higher_is_better, orig.higher_is_better);
+            assert!((p.value - orig.value).abs() < 1e-3);
+        }
+        // A host-scoped comparison gates against that host's numbers: the
+        // laptop's own (slower) measurement passes against its entry but
+        // would fail against the reference.
+        assert!(compare(&parsed.metrics, &laptop.metrics, 0.15).pass());
+        assert!(!compare(&reference, &laptop.metrics, 0.15).pass());
+    }
+
+    #[test]
+    fn documents_without_hosts_parse_to_no_host_entries() {
+        let doc = baseline_to_json(&baseline(), 0.15, 120, 4);
+        assert!(hosts_from_json(&doc).expect("parses").is_empty());
+        assert_eq!(frames_from_json(&doc), 120);
+        assert_eq!(host_threads_from_json(&doc), 4);
+    }
+
+    #[test]
+    fn host_fingerprint_is_stable_and_names_the_simd_tier() {
+        let fp = host_fingerprint();
+        assert_eq!(fp, host_fingerprint(), "fingerprint must be deterministic");
+        let (host, flags) = fp.split_once('/').expect("host/flags shape");
+        assert!(!host.is_empty());
+        assert!(!flags.is_empty());
     }
 
     #[test]

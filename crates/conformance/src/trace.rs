@@ -139,6 +139,12 @@ fn emit_frame(out: &mut String, f: &TraceFrame) {
     out.push_str("\"applied_digest\":");
     push_hex(out, t.applied_digest);
     out.push(',');
+    // Emitted only when a zoo tier served this frame, so traces of
+    // zoo-less runs — including every committed golden — stay
+    // byte-identical to the pre-zoo format.
+    if !t.tier.is_empty() {
+        out.push_str(&format!("\"tier\":\"{}\",", t.tier));
+    }
     out.push_str("\"edge_queue_wait_ms\":");
     push_opt_f64(out, r.edge_queue_wait_ms);
     out.push(',');
@@ -190,6 +196,7 @@ mod tests {
                     response_digest: 8,
                     applied_digest: 9,
                     health: "healthy".into(),
+                    tier: String::new(),
                 },
             },
         }
@@ -208,7 +215,21 @@ mod tests {
         assert!(lines[1].starts_with("{\"device\":0,\"frame\":0,"));
         assert!(lines[1].contains("\"mask_digest\":\"0x00000000deadbeef\""));
         assert!(lines[1].contains("\"response_latency_ms\":null"));
+        // No zoo tier -> no tier key: the pre-zoo golden byte format.
+        assert!(!lines[1].contains("\"tier\""));
         // Emission is deterministic.
         assert_eq!(s, trace.canonical_json());
+    }
+
+    #[test]
+    fn tier_is_emitted_only_when_a_zoo_tier_served_the_frame() {
+        let mut f = frame(0, 0);
+        f.record.trace.tier = "yolact".into();
+        let trace = Trace {
+            name: "t".into(),
+            frames: vec![f],
+        };
+        let s = trace.canonical_json();
+        assert!(s.lines().nth(1).unwrap().contains("\"tier\":\"yolact\","));
     }
 }

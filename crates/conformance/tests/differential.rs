@@ -154,6 +154,7 @@ fn serving_backends_payload_identical_to_serial_fifo() {
                 cache_tolerance_px: 0.0,
                 admission_deadline_ms: f64::INFINITY,
                 residency_transfer_ms: 0.0,
+                zoo: None,
             },
         ),
         (
@@ -166,6 +167,7 @@ fn serving_backends_payload_identical_to_serial_fifo() {
                 cache_tolerance_px: 0.0,
                 admission_deadline_ms: f64::INFINITY,
                 residency_transfer_ms: 0.0,
+                zoo: None,
             },
         ),
         (
@@ -178,6 +180,7 @@ fn serving_backends_payload_identical_to_serial_fifo() {
                 cache_tolerance_px: 4.0,
                 admission_deadline_ms: f64::INFINITY,
                 residency_transfer_ms: 0.0,
+                zoo: None,
             },
         ),
     ];
@@ -186,6 +189,62 @@ fn serving_backends_payload_identical_to_serial_fifo() {
         expect_identical(
             "serving_backends",
             edgeis_conformance::first_slice_divergence("serial_fifo", label, &serial, &digests),
+        );
+    }
+}
+
+#[test]
+fn zoo_with_one_tier_payload_identical_to_no_zoo() {
+    // The model-zoo routing admission must be a strict generalization of
+    // shed-at-admission: a one-tier zoo plans, serves, caches and sheds
+    // bit-identically to the single-model runtime, across the serving
+    // levers and including a finite deadline that actually sheds.
+    use edgeis_segnet::{ModelKind, ZooConfig};
+    let variants = [
+        ("default", ServingConfig::default()),
+        ("serial_fifo", ServingConfig::serial_fifo()),
+        (
+            "batched+cache",
+            ServingConfig {
+                lanes: 2,
+                max_batch: 4,
+                batch_window_ms: 30.0,
+                cache_enabled: true,
+                cache_tolerance_px: 4.0,
+                admission_deadline_ms: f64::INFINITY,
+                residency_transfer_ms: 0.0,
+                zoo: None,
+            },
+        ),
+        (
+            "tight_deadline",
+            ServingConfig {
+                lanes: 1,
+                max_batch: 1,
+                batch_window_ms: 0.0,
+                cache_enabled: false,
+                cache_tolerance_px: 0.0,
+                admission_deadline_ms: 40.0,
+                residency_transfer_ms: 0.0,
+                zoo: None,
+            },
+        ),
+    ];
+    for (label, bare) in variants {
+        let one_tier = ServingConfig {
+            zoo: Some(ZooConfig::single(ModelKind::MaskRcnn)),
+            ..bare.clone()
+        };
+        let reference = serving_payload_digests(bare);
+        let zoo = serving_payload_digests(one_tier);
+        expect_identical(
+            "zoo_one_tier",
+            edgeis_conformance::first_slice_divergence(
+                &format!("{label}/no_zoo"),
+                &format!("{label}/one_tier"),
+                &reference,
+                &zoo,
+            ),
         );
     }
 }

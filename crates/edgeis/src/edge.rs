@@ -7,7 +7,7 @@
 
 use bytes::Bytes;
 use edgeis_netsim::{Direction, Link, SimMs};
-use edgeis_segnet::{EdgeModel, FrameObservation, Guidance, InferenceStats};
+use edgeis_segnet::{EdgeModel, FrameObservation, Guidance, InferenceStats, TierSet};
 use edgeis_telemetry::{ArgValue, Telemetry, TraceContext};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -31,6 +31,13 @@ pub struct PendingResponse {
     /// Virtual time the request waited in the edge queue before its GPU
     /// work started (0 for shed rejects, which never queue), ms.
     pub queue_wait_ms: f64,
+    /// Stable name of the zoo tier that served this response; empty for
+    /// shed rejects and for edges running a single fixed model (no zoo).
+    pub tier: &'static str,
+    /// Zoo routing degraded this request to a smaller tier than tier 0:
+    /// the response is usable (the resilience policy counts it as partial
+    /// success) but less accurate than the full model's answer.
+    pub degraded_tier: bool,
 }
 
 impl PendingResponse {
@@ -137,9 +144,13 @@ impl EdgeFaultConfig {
 
 /// The edge node: a single model instance processed in FIFO order (one
 /// GPU), i.e. a request cannot start before the previous one finished.
+///
+/// The model lives in a one-tier [`TierSet`] so the serial server and the
+/// zoo-capable [`crate::serving::ServingRuntime`] share the same
+/// tier/profile resolution path.
 #[derive(Debug)]
 pub struct EdgeServer {
-    model: EdgeModel,
+    models: TierSet,
     busy_until: SimMs,
     faults: EdgeFaultConfig,
     /// Deterministic source for corruption byte flips.
@@ -170,7 +181,7 @@ impl EdgeServer {
     /// Wraps a model.
     pub fn new(model: EdgeModel) -> Self {
         Self {
-            model,
+            models: TierSet::single(model),
             busy_until: 0.0,
             faults: EdgeFaultConfig::default(),
             corrupt_rng: StdRng::seed_from_u64(0xe6fa_u64),
@@ -272,10 +283,12 @@ impl EdgeServer {
                 arrive_ms: delivery.arrive_ms,
                 shed: true,
                 queue_wait_ms: 0.0,
+                tier: "",
+                degraded_tier: false,
             });
         }
 
-        let result = self.model.infer(obs, guidance);
+        let result = self.models.model_mut(0).infer(obs, guidance);
         let done = start + result.stats.total_ms() * self.faults.slowdown_at(start);
 
         // Crash model: processing in flight when a crash window opens is
@@ -331,6 +344,8 @@ impl EdgeServer {
             arrive_ms: delivery.arrive_ms,
             shed: false,
             queue_wait_ms: start - arrival_ms,
+            tier: "",
+            degraded_tier: false,
         })
     }
 
@@ -468,11 +483,15 @@ impl SharedEdge {
         arrival_ms: SimMs,
         link: &mut Link,
     ) -> Option<PendingResponse> {
-        self.submit_traced_from(device, frame_id, obs, guidance, arrival_ms, link, None)
+        self.submit_traced_from(
+            device, frame_id, obs, guidance, arrival_ms, link, None, None,
+        )
     }
 
     /// [`Self::submit_from`] with an optional observability envelope so
-    /// edge-side spans attach to the originating mobile frame's trace.
+    /// edge-side spans attach to the originating mobile frame's trace, and
+    /// an optional zoo tier cap (`Some(0)` demands the full model — used
+    /// by CFRS recovery keyframes; ignored by backends without a zoo).
     #[allow(clippy::too_many_arguments)]
     pub fn submit_traced_from(
         &self,
@@ -483,17 +502,18 @@ impl SharedEdge {
         arrival_ms: SimMs,
         link: &mut Link,
         envelope: Option<Bytes>,
+        tier_cap: Option<usize>,
     ) -> Option<PendingResponse> {
         match &mut *self.inner.lock() {
             EdgeBackend::Serial(s) => {
                 s.submit_traced(frame_id, obs, guidance, arrival_ms, link, envelope)
             }
-            EdgeBackend::Serving(s) => {
-                s.submit_traced(device, frame_id, obs, guidance, arrival_ms, link, envelope)
-            }
-            EdgeBackend::Fleet(f) => {
-                f.submit_traced(device, frame_id, obs, guidance, arrival_ms, link, envelope)
-            }
+            EdgeBackend::Serving(s) => s.submit_traced(
+                device, frame_id, obs, guidance, arrival_ms, link, envelope, tier_cap,
+            ),
+            EdgeBackend::Fleet(f) => f.submit_traced(
+                device, frame_id, obs, guidance, arrival_ms, link, envelope, tier_cap,
+            ),
         }
     }
 

@@ -424,6 +424,7 @@ impl EdgeFleet {
         arrival_ms: SimMs,
         link: &mut Link,
         envelope: Option<Bytes>,
+        tier_cap: Option<usize>,
     ) -> Option<PendingResponse> {
         let (target, reason) = self.place(device, arrival_ms);
         let edge = match self.assignment.get(&device).copied() {
@@ -463,6 +464,7 @@ impl EdgeFleet {
                 arrival_ms,
                 link,
                 envelope.clone(),
+                tier_cap,
             );
             match response {
                 Some(resp) => {
@@ -571,7 +573,7 @@ mod tests {
         let obs = observation();
         for i in 0..4u64 {
             let at = i as f64 * 500.0;
-            f.submit_traced(9, i, &obs, None, at, &mut clean_link(1), None)
+            f.submit_traced(9, i, &obs, None, at, &mut clean_link(1), None, None)
                 .unwrap();
         }
         let home = rendezvous_rank(9, 3)[0];
@@ -592,12 +594,12 @@ mod tests {
         });
         let obs = observation();
         // Healthy warm-up on the home edge.
-        f.submit_traced(9, 0, &obs, None, 0.0, &mut clean_link(2), None)
+        f.submit_traced(9, 0, &obs, None, 0.0, &mut clean_link(2), None, None)
             .unwrap();
         assert_eq!(f.assigned_edge(9), home);
         // A request inside the crash window is evacuated and still served.
         let resp = f
-            .submit_traced(9, 1, &obs, None, 1500.0, &mut clean_link(2), None)
+            .submit_traced(9, 1, &obs, None, 1500.0, &mut clean_link(2), None, None)
             .expect("failover must save the request");
         assert!(!resp.shed);
         let next = rendezvous_rank(9, 3)[1];
@@ -618,10 +620,10 @@ mod tests {
             ..FleetConfig::default()
         });
         let obs = observation();
-        f.submit_traced(9, 0, &obs, None, 0.0, &mut clean_link(3), None)
+        f.submit_traced(9, 0, &obs, None, 0.0, &mut clean_link(3), None, None)
             .unwrap();
         assert!(
-            f.submit_traced(9, 1, &obs, None, 1500.0, &mut clean_link(3), None)
+            f.submit_traced(9, 1, &obs, None, 1500.0, &mut clean_link(3), None, None)
                 .is_none(),
             "no-failover baseline must lose the request"
         );
@@ -647,10 +649,10 @@ mod tests {
         });
         let obs = observation();
         let a = faulted
-            .submit_traced(9, 0, &obs, None, 1500.0, &mut clean_link(4), None)
+            .submit_traced(9, 0, &obs, None, 1500.0, &mut clean_link(4), None, None)
             .unwrap();
         let b = clean
-            .submit_traced(9, 0, &obs, None, 1500.0, &mut clean_link(4), None)
+            .submit_traced(9, 0, &obs, None, 1500.0, &mut clean_link(4), None, None)
             .unwrap();
         assert_eq!(a.payload, b.payload, "replicas must be output-identical");
         let away = rendezvous_rank(9, 2)[1];
@@ -666,17 +668,17 @@ mod tests {
         });
         let obs = observation();
         let home = rendezvous_rank(9, 3)[0];
-        f.submit_traced(9, 0, &obs, None, 0.0, &mut clean_link(5), None)
+        f.submit_traced(9, 0, &obs, None, 0.0, &mut clean_link(5), None, None)
             .unwrap();
         // The device reports an outage: placement avoids its current edge.
         f.report_health(9, LinkHealth::Outage, 600.0);
-        f.submit_traced(9, 1, &obs, None, 700.0, &mut clean_link(5), None)
+        f.submit_traced(9, 1, &obs, None, 700.0, &mut clean_link(5), None, None)
             .unwrap();
         let away = f.assigned_edge(9);
         assert_ne!(away, home, "outage must steer the device off its edge");
         // Recovery clears the steer: the device goes home again.
         f.report_health(9, LinkHealth::Healthy, 1200.0);
-        f.submit_traced(9, 2, &obs, None, 1300.0, &mut clean_link(5), None)
+        f.submit_traced(9, 2, &obs, None, 1300.0, &mut clean_link(5), None, None)
             .unwrap();
         assert_eq!(f.assigned_edge(9), home);
         assert!(f.stats().handoffs >= 2);
@@ -693,15 +695,15 @@ mod tests {
         });
         let obs = observation();
         let home = rendezvous_rank(9, 3)[0];
-        f.submit_traced(9, 0, &obs, None, 0.0, &mut clean_link(6), None)
+        f.submit_traced(9, 0, &obs, None, 0.0, &mut clean_link(6), None, None)
             .unwrap();
         f.report_health(9, LinkHealth::Outage, 500.0);
-        f.submit_traced(9, 1, &obs, None, 600.0, &mut clean_link(6), None)
+        f.submit_traced(9, 1, &obs, None, 600.0, &mut clean_link(6), None, None)
             .unwrap();
         assert_ne!(f.assigned_edge(9), home, "first steer is allowed");
         f.report_health(9, LinkHealth::Healthy, 900.0);
         // Going home is voluntary and inside the cooldown: held.
-        f.submit_traced(9, 2, &obs, None, 1000.0, &mut clean_link(6), None)
+        f.submit_traced(9, 2, &obs, None, 1000.0, &mut clean_link(6), None, None)
             .unwrap();
         assert_ne!(f.assigned_edge(9), home, "cooldown must hold the return");
         assert_eq!(f.stats().handoffs, 1);
@@ -720,7 +722,7 @@ mod tests {
         });
         let obs = observation();
         assert!(f
-            .submit_traced(9, 0, &obs, None, 1500.0, &mut clean_link(7), None)
+            .submit_traced(9, 0, &obs, None, 1500.0, &mut clean_link(7), None, None)
             .is_none());
         assert!(f.stats().redispatch_drops >= 1);
         assert!(f.stats().redispatches <= f.config().max_redispatch as u64);
@@ -740,14 +742,14 @@ mod tests {
         });
         let obs = observation();
         let home = rendezvous_rank(9, 2)[0];
-        f.submit_traced(9, 0, &obs, None, 0.0, &mut clean_link(8), None)
+        f.submit_traced(9, 0, &obs, None, 0.0, &mut clean_link(8), None, None)
             .unwrap();
         assert_eq!(f.assigned_edge(9), home, "first request lands on home");
         // Convoy the home edge far beyond the horizon: with no cooldown,
         // load-aware placement must spill the overflow to the idle edge
         // instead of letting the home queue grow without bound.
         for i in 1..13u64 {
-            f.submit_traced(9, i, &obs, None, 0.0, &mut clean_link(8), None);
+            f.submit_traced(9, i, &obs, None, 0.0, &mut clean_link(8), None, None);
         }
         assert!(
             f.stats()

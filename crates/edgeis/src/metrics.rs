@@ -148,6 +148,10 @@ pub struct ResilienceStats {
     pub corrupt_responses: u64,
     /// Overload-shed rejects received from the edge.
     pub shed_responses: u64,
+    /// Applied responses the zoo served from a smaller tier than the full
+    /// model (partial successes: usable, less accurate, never a miss).
+    #[serde(default)]
+    pub degraded_tier_responses: u64,
     /// Link probes sent while in the outage state.
     pub probes_sent: u64,
     /// Frames processed while the policy believed the link was down.
@@ -177,6 +181,7 @@ impl ResilienceStats {
         self.stale_drops += other.stale_drops;
         self.corrupt_responses += other.corrupt_responses;
         self.shed_responses += other.shed_responses;
+        self.degraded_tier_responses += other.degraded_tier_responses;
         self.probes_sent += other.probes_sent;
         self.outage_frames += other.outage_frames;
         self.outages_detected += other.outages_detected;

@@ -36,7 +36,9 @@
 use crate::edge::{corrupt_payload, envelope_context, EdgeFaultConfig, PendingResponse};
 use bytes::Bytes;
 use edgeis_netsim::{Direction, LaneSet, Link, SimMs};
-use edgeis_segnet::{EdgeModel, FrameObservation, Guidance, InferenceStats};
+use edgeis_segnet::{
+    EdgeModel, FrameObservation, Guidance, InferenceResult, InferenceStats, TierSet, ZooConfig,
+};
 use edgeis_telemetry::{ArgValue, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -71,6 +73,12 @@ pub struct ServingConfig {
     /// this extra compute time for model-residency/state transfer, ms.
     /// 0 disables the model.
     pub residency_transfer_ms: f64,
+    /// Model-zoo anytime routing: when set, admission *routes* each
+    /// request to the largest tier whose exactly-known completion meets
+    /// the deadline (and the shed horizon), shedding only when even the
+    /// smallest tier misses. `None` (the default) serves every request
+    /// from the single primary model — the pre-zoo behaviour, bit-exact.
+    pub zoo: Option<ZooConfig>,
 }
 
 impl Default for ServingConfig {
@@ -88,6 +96,7 @@ impl Default for ServingConfig {
             // resilience policy treat it as a miss.
             admission_deadline_ms: 300.0,
             residency_transfer_ms: 0.0,
+            zoo: None,
         }
     }
 }
@@ -105,6 +114,7 @@ impl ServingConfig {
             cache_tolerance_px: 0.0,
             admission_deadline_ms: f64::INFINITY,
             residency_transfer_ms: 0.0,
+            zoo: None,
         }
     }
 }
@@ -132,6 +142,12 @@ pub struct ServingStats {
     pub horizon_sheds: u64,
     /// Requests lost to crash windows.
     pub crash_losses: u64,
+    /// Served requests per zoo tier (index = tier, largest first; empty
+    /// when the runtime has no zoo).
+    pub tier_served: Vec<u64>,
+    /// Served requests routed to a smaller tier than tier 0 (degraded
+    /// but not shed).
+    pub degraded_served: u64,
 }
 
 impl ServingStats {
@@ -172,6 +188,13 @@ impl ServingStats {
         self.admission_sheds += other.admission_sheds;
         self.horizon_sheds += other.horizon_sheds;
         self.crash_losses += other.crash_losses;
+        if self.tier_served.len() < other.tier_served.len() {
+            self.tier_served.resize(other.tier_served.len(), 0);
+        }
+        for (mine, theirs) in self.tier_served.iter_mut().zip(&other.tier_served) {
+            *mine += theirs;
+        }
+        self.degraded_served += other.degraded_served;
     }
 }
 
@@ -186,6 +209,33 @@ struct OpenBatch {
     finish: SimMs,
     /// Members so far.
     size: usize,
+    /// Zoo tier the batch executes on (0 without a zoo). Batched kernels
+    /// run one model, so only same-tier requests may coalesce.
+    tier: usize,
+}
+
+/// A fully costed, uncommitted schedule for serving one request from one
+/// zoo tier: everything admission needs to accept, fall through to a
+/// smaller tier, or shed. Committing a plan is what mutates the runtime.
+struct TierPlan {
+    /// Zoo tier index (0 without a zoo).
+    tier: usize,
+    /// The tier's seeded inference output (also the cost source).
+    result: InferenceResult,
+    /// Whether the guidance cache discounts this tier's RPN pass.
+    cache_hit: bool,
+    /// Unbatched compute (backbone + stages + residency), ms.
+    unbatched_ms: f64,
+    /// Open batch joined plus the marginal cost, if joining.
+    join: Option<(OpenBatch, f64)>,
+    /// When the GPU (lane) starts executing this request's batch.
+    exec_start: SimMs,
+    /// Exactly-known completion time.
+    completion: SimMs,
+    /// Compute charged to the lane when opening a new batch (0 on join).
+    solo_compute_ms: f64,
+    /// Lane wait before execution starts, ms.
+    queue_wait_ms: f64,
 }
 
 /// Quantized guidance signature: a cache key that tolerates sub-tolerance
@@ -224,20 +274,23 @@ fn request_seed(base: u64, device: u64, seq: u64) -> u64 {
     base ^ device.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seq.wrapping_mul(0xD1B5_4A32_D192_ED03)
 }
 
-/// The serving runtime: one model, N lanes, per-lane batching, a
-/// per-device guidance cache and deadline admission, sharing
-/// [`EdgeFaultConfig`]'s crash/shed fault model.
+/// The serving runtime: a tier set (one model without a zoo), N lanes,
+/// per-lane batching, a per-device guidance cache and deadline admission,
+/// sharing [`EdgeFaultConfig`]'s crash/shed fault model.
 #[derive(Debug)]
 pub struct ServingRuntime {
-    model: EdgeModel,
+    models: TierSet,
     config: ServingConfig,
     faults: EdgeFaultConfig,
     lanes: LaneSet,
     open: Vec<Option<OpenBatch>>,
     /// Per-device request sequence (advanced only for served requests).
     seq: BTreeMap<u64, u64>,
-    /// Per-device last guidance key.
-    cache: BTreeMap<u64, GuidanceKey>,
+    /// Per-device last guidance key *and the tier that computed it*: a
+    /// cache hit requires both to match, so a tier switch (routing,
+    /// handoff, restart) can never reuse RPN work from another tier's
+    /// anchor grid.
+    cache: BTreeMap<u64, (GuidanceKey, usize)>,
     /// Devices whose model residency/state already lives on this runtime
     /// (they have been served at least once since the last cold event).
     warm: BTreeSet<u64>,
@@ -252,11 +305,15 @@ pub struct ServingRuntime {
 
 impl ServingRuntime {
     /// Builds a runtime around a model. `base_seed` drives per-request
-    /// seeding (outputs), not timing.
+    /// seeding (outputs), not timing. With `config.zoo` set, the model
+    /// becomes tier 0's *frame size* donor and one sibling is built per
+    /// zoo tier; seeded inference does not depend on construction seeds,
+    /// so fleet replicas resolve identical tier sets.
     pub fn new(model: EdgeModel, base_seed: u64, config: ServingConfig) -> Self {
         let lanes = config.lanes.max(1);
+        let models = TierSet::resolve(model, config.zoo.as_ref(), base_seed);
         Self {
-            model,
+            models,
             config,
             faults: EdgeFaultConfig::default(),
             lanes: LaneSet::new(lanes),
@@ -372,7 +429,97 @@ impl ServingRuntime {
             arrive_ms: delivery.arrive_ms,
             shed: true,
             queue_wait_ms: 0.0,
+            tier: "",
+            degraded_tier: false,
         })
+    }
+
+    /// Costs and schedules a request *as if* served by `tier`, without
+    /// committing anything: runs the tier's seeded inference (outputs are
+    /// needed to know the actual cost), probes the guidance cache under
+    /// the `(key, tier)` rule, and computes the causal-incremental batch
+    /// timing on the device's lane. The float arithmetic is the pre-zoo
+    /// admission math verbatim, so a one-tier zoo plans bit-identically
+    /// to the single-model runtime.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_tier(
+        &self,
+        tier: usize,
+        device: u64,
+        lane: usize,
+        obs: &FrameObservation,
+        guidance: Option<&Guidance>,
+        key: Option<GuidanceKey>,
+        seed: u64,
+        arrival_ms: SimMs,
+    ) -> TierPlan {
+        // Outputs first: a pure function of (obs, guidance, seed), so
+        // nothing below — batching, caching, shedding — can change them.
+        let result = self.models.model(tier).infer_seeded(obs, guidance, seed);
+
+        // Guidance cache: a hit reuses the RPN/anchor pass, charging only
+        // backbone + heads. Probe only — committed once the request is
+        // actually served. The stored tier must match: another tier's
+        // cached anchor work is useless to this tier's grid.
+        let cache_hit = key.is_some_and(|k| self.cache.get(&device) == Some(&(k, tier)));
+        let stage_ms = if cache_hit {
+            result.stats.head_ms
+        } else {
+            result.stats.rpn_ms + result.stats.head_ms
+        };
+        let backbone_ms = result.stats.backbone_ms;
+        // Cold-start surcharge: a device without residency here (first
+        // contact, fleet handoff, cold restart) pays the transfer cost.
+        let residency_ms =
+            if self.config.residency_transfer_ms > 0.0 && !self.warm.contains(&device) {
+                self.config.residency_transfer_ms
+            } else {
+                0.0
+            };
+        let unbatched_ms = backbone_ms + stage_ms + residency_ms;
+
+        // Timing: join the lane's open batch when it is the same tier and
+        // has not started executing past this request's arrival, else
+        // open a new one. Brownout windows stretch compute (never
+        // outputs) by the factor active at execution start.
+        let profile = self.models.profile(tier);
+        let max_batch = self.config.max_batch.clamp(1, profile.max_batch.max(1));
+        let join = self.open[lane]
+            .filter(|b| b.tier == tier && arrival_ms <= b.exec_start && b.size < max_batch)
+            .map(|b| {
+                let marginal = (profile.batched_member_ms(b.size, backbone_ms, stage_ms)
+                    + residency_ms)
+                    * self.faults.slowdown_at(b.exec_start);
+                (b, marginal)
+            });
+        let (exec_start, completion, solo_compute_ms) = match join {
+            Some((batch, marginal)) => (batch.exec_start, batch.finish + marginal, 0.0),
+            None => {
+                let exec_start =
+                    arrival_ms.max(self.lanes.busy_until(lane)) + self.config.batch_window_ms;
+                let compute_ms = unbatched_ms * self.faults.slowdown_at(exec_start);
+                (exec_start, exec_start + compute_ms, compute_ms)
+            }
+        };
+        let queue_wait_ms = exec_start - arrival_ms;
+        TierPlan {
+            tier,
+            result,
+            cache_hit,
+            unbatched_ms,
+            join,
+            exec_start,
+            completion,
+            solo_compute_ms,
+            queue_wait_ms,
+        }
+    }
+
+    /// The routing admission rule: a plan is admissible when it clears
+    /// both the per-lane overload horizon and the response deadline.
+    fn admissible(&self, plan: &TierPlan, arrival_ms: SimMs) -> bool {
+        plan.queue_wait_ms <= self.faults.shed_queue_horizon_ms
+            && plan.completion - arrival_ms <= self.config.admission_deadline_ms
     }
 
     /// Submits a request from `device` arriving (fully received) at
@@ -388,13 +535,19 @@ impl ServingRuntime {
         arrival_ms: SimMs,
         link: &mut Link,
     ) -> Option<PendingResponse> {
-        self.submit_traced(device, frame_id, obs, guidance, arrival_ms, link, None)
+        self.submit_traced(
+            device, frame_id, obs, guidance, arrival_ms, link, None, None,
+        )
     }
 
     /// [`Self::submit`] with an optional observability envelope (see
     /// [`crate::wire::RequestEnvelope`]): when telemetry is enabled, the
     /// lane's queue-wait and batched-inference spans are emitted as
     /// children of the originating mobile frame's trace.
+    ///
+    /// `tier_cap` restricts zoo routing to tiers `0..=cap` — the mobile
+    /// side uses `Some(0)` to demand the full model for recovery
+    /// keyframes (shed rather than degrade). Ignored without a zoo.
     #[allow(clippy::too_many_arguments)]
     pub fn submit_traced(
         &mut self,
@@ -405,6 +558,7 @@ impl ServingRuntime {
         arrival_ms: SimMs,
         link: &mut Link,
         envelope: Option<Bytes>,
+        tier_cap: Option<usize>,
     ) -> Option<PendingResponse> {
         let ctx = if self.telemetry.is_enabled() {
             envelope_context(envelope.as_ref())
@@ -423,99 +577,75 @@ impl ServingRuntime {
 
         let lane = self.lane_of(device);
 
-        // Outputs first: a pure function of (obs, guidance, seed), so
-        // nothing below — batching, caching, shedding — can change them.
         let seq = self.seq.get(&device).copied().unwrap_or(0);
-        let result =
-            self.model
-                .infer_seeded(obs, guidance, request_seed(self.base_seed, device, seq));
-
-        // Guidance cache: a hit reuses the RPN/anchor pass, charging only
-        // backbone + heads. Probe only — committed once the request is
-        // actually served.
+        let seed = request_seed(self.base_seed, device, seq);
         let key = match (self.config.cache_enabled, guidance) {
             (true, Some(g)) if !g.is_empty() => {
                 Some(guidance_key(g, self.config.cache_tolerance_px))
             }
             _ => None,
         };
-        let cache_hit = key
-            .as_ref()
-            .is_some_and(|k| self.cache.get(&device) == Some(k));
-        let stage_ms = if cache_hit {
-            result.stats.head_ms
-        } else {
-            result.stats.rpn_ms + result.stats.head_ms
-        };
-        let backbone_ms = result.stats.backbone_ms;
-        // Cold-start surcharge: a device without residency here (first
-        // contact, fleet handoff, cold restart) pays the transfer cost.
-        let residency_ms =
-            if self.config.residency_transfer_ms > 0.0 && !self.warm.contains(&device) {
-                self.config.residency_transfer_ms
+
+        // Routing admission: walk the zoo largest-tier-first (a single
+        // iteration without a zoo) and serve from the first tier whose
+        // exactly-known completion clears both the shed horizon and the
+        // deadline. Tiers are evaluated lazily — a request the full model
+        // can serve never costs a smaller tier's inference.
+        let tier_limit = tier_cap
+            .unwrap_or(usize::MAX)
+            .min(self.models.tier_count() - 1);
+        let mut plan = self.plan_tier(0, device, lane, obs, guidance, key, seed, arrival_ms);
+        while !self.admissible(&plan, arrival_ms) && plan.tier < tier_limit {
+            let next = plan.tier + 1;
+            plan = self.plan_tier(next, device, lane, obs, guidance, key, seed, arrival_ms);
+        }
+        if !self.admissible(&plan, arrival_ms) {
+            // Even the smallest allowed tier misses. Shed, classifying by
+            // that tier's plan in the pre-zoo precedence: lane-overload
+            // horizon first, then the response deadline.
+            if plan.queue_wait_ms > self.faults.shed_queue_horizon_ms {
+                self.stats.horizon_sheds += 1;
+                if let Some(ctx) = &ctx {
+                    self.telemetry.emit_event(
+                        ctx,
+                        "edge.shed",
+                        arrival_ms,
+                        vec![
+                            ("kind", ArgValue::Str("horizon".to_string())),
+                            ("queue_wait_ms", ArgValue::F64(plan.queue_wait_ms)),
+                        ],
+                    );
+                }
             } else {
-                0.0
-            };
-        let unbatched_ms = backbone_ms + stage_ms + residency_ms;
-
-        // Timing: join the lane's open batch when it has not started
-        // executing past this request's arrival, else open a new one.
-        // Brownout windows stretch compute (never outputs) by the factor
-        // active at execution start.
-        let profile = self.model.profile();
-        let max_batch = self.config.max_batch.clamp(1, profile.max_batch.max(1));
-        let join = self.open[lane]
-            .filter(|b| arrival_ms <= b.exec_start && b.size < max_batch)
-            .map(|b| {
-                let marginal = (profile.batched_member_ms(b.size, backbone_ms, stage_ms)
-                    + residency_ms)
-                    * self.faults.slowdown_at(b.exec_start);
-                (b, marginal)
-            });
-        let (exec_start, completion, solo_compute_ms) = match join {
-            Some((batch, marginal)) => (batch.exec_start, batch.finish + marginal, 0.0),
-            None => {
-                let exec_start =
-                    arrival_ms.max(self.lanes.busy_until(lane)) + self.config.batch_window_ms;
-                let compute_ms = unbatched_ms * self.faults.slowdown_at(exec_start);
-                (exec_start, exec_start + compute_ms, compute_ms)
-            }
-        };
-        let queue_wait_ms = exec_start - arrival_ms;
-
-        // Per-lane overload shed (the fault model's horizon).
-        if queue_wait_ms > self.faults.shed_queue_horizon_ms {
-            self.stats.horizon_sheds += 1;
-            if let Some(ctx) = &ctx {
-                self.telemetry.emit_event(
-                    ctx,
-                    "edge.shed",
-                    arrival_ms,
-                    vec![
-                        ("kind", ArgValue::Str("horizon".to_string())),
-                        ("queue_wait_ms", ArgValue::F64(queue_wait_ms)),
-                    ],
-                );
+                self.stats.admission_sheds += 1;
+                if let Some(ctx) = &ctx {
+                    self.telemetry.emit_event(
+                        ctx,
+                        "edge.shed",
+                        arrival_ms,
+                        vec![
+                            ("kind", ArgValue::Str("admission".to_string())),
+                            (
+                                "est_latency_ms",
+                                ArgValue::F64(plan.completion - arrival_ms),
+                            ),
+                        ],
+                    );
+                }
             }
             return self.shed_response(frame_id, arrival_ms, link);
         }
-        // Deadline-aware admission: the virtual clock knows the exact
-        // completion; don't serve what nobody will wait for.
-        if completion - arrival_ms > self.config.admission_deadline_ms {
-            self.stats.admission_sheds += 1;
-            if let Some(ctx) = &ctx {
-                self.telemetry.emit_event(
-                    ctx,
-                    "edge.shed",
-                    arrival_ms,
-                    vec![
-                        ("kind", ArgValue::Str("admission".to_string())),
-                        ("est_latency_ms", ArgValue::F64(completion - arrival_ms)),
-                    ],
-                );
-            }
-            return self.shed_response(frame_id, arrival_ms, link);
-        }
+        let TierPlan {
+            tier,
+            result,
+            cache_hit,
+            unbatched_ms,
+            join,
+            exec_start,
+            completion,
+            solo_compute_ms,
+            queue_wait_ms,
+        } = plan;
 
         // Crash-in-flight: processing caught by an opening window is lost
         // (per request, mirroring `EdgeServer`'s semantics).
@@ -540,7 +670,7 @@ impl ServingRuntime {
         self.seq.insert(device, seq + 1);
         let guided = key.is_some();
         if let Some(k) = key {
-            self.cache.insert(device, k);
+            self.cache.insert(device, (k, tier));
         } else {
             self.cache.remove(&device);
         }
@@ -551,6 +681,7 @@ impl ServingRuntime {
                     exec_start: batch.exec_start,
                     finish: completion,
                     size: batch.size + 1,
+                    tier,
                 });
                 self.stats.batch_joins += 1;
                 self.stats.batch_saved_ms +=
@@ -566,6 +697,7 @@ impl ServingRuntime {
                     exec_start,
                     finish: completion,
                     size: 1,
+                    tier,
                 });
                 self.stats.batches += 1;
             }
@@ -577,6 +709,30 @@ impl ServingRuntime {
             self.stats.cache_saved_ms += result.stats.rpn_ms;
         } else if guided {
             self.stats.cache_misses += 1;
+        }
+        let zoo_enabled = self.config.zoo.is_some();
+        let tier_name = if zoo_enabled {
+            self.models.tier_name(tier)
+        } else {
+            ""
+        };
+        if zoo_enabled {
+            if self.stats.tier_served.len() < self.models.tier_count() {
+                self.stats.tier_served.resize(self.models.tier_count(), 0);
+            }
+            self.stats.tier_served[tier] += 1;
+            if tier > 0 {
+                self.stats.degraded_served += 1;
+            }
+            // Per-tier serving telemetry: routing distribution and the
+            // end-to-end latency each tier actually delivered.
+            if let Some(registry) = self.telemetry.registry() {
+                let labels: &[(&str, &str)] = &[("tier", tier_name)];
+                registry.counter("edgeis_tier_served_total", labels).inc();
+                registry
+                    .histogram("edgeis_tier_latency_ms", labels)
+                    .observe(completion - arrival_ms);
+            }
         }
 
         if let Some(ctx) = &ctx {
@@ -590,19 +746,18 @@ impl ServingRuntime {
                 );
             }
             let batch_size = self.open[lane].map_or(1, |b| b.size) as u64;
-            self.telemetry.emit_child_span(
-                ctx,
-                "edge.infer",
-                exec_start,
-                completion,
-                vec![
-                    ("frame_id", ArgValue::U64(frame_id)),
-                    ("lane", ArgValue::U64(lane as u64)),
-                    ("batch_size", ArgValue::U64(batch_size)),
-                    ("cache_hit", ArgValue::U64(cache_hit as u64)),
-                    ("detections", ArgValue::U64(result.detections.len() as u64)),
-                ],
-            );
+            let mut args = vec![
+                ("frame_id", ArgValue::U64(frame_id)),
+                ("lane", ArgValue::U64(lane as u64)),
+                ("batch_size", ArgValue::U64(batch_size)),
+                ("cache_hit", ArgValue::U64(cache_hit as u64)),
+                ("detections", ArgValue::U64(result.detections.len() as u64)),
+            ];
+            if zoo_enabled {
+                args.push(("tier", ArgValue::Str(tier_name.to_string())));
+            }
+            self.telemetry
+                .emit_child_span(ctx, "edge.infer", exec_start, completion, args);
         }
 
         let payload = crate::wire::encode_response_pooled(
@@ -624,6 +779,8 @@ impl ServingRuntime {
             arrive_ms: delivery.arrive_ms,
             shed: false,
             queue_wait_ms,
+            tier: tier_name,
+            degraded_tier: zoo_enabled && tier > 0,
         })
     }
 }
@@ -697,6 +854,7 @@ mod tests {
             cache_tolerance_px: 4.0,
             admission_deadline_ms: f64::INFINITY,
             residency_transfer_ms: 0.0,
+            zoo: None,
         };
         let mut batched = ServingRuntime::new(model(7), 42, batched_cfg);
         let mut serial = ServingRuntime::new(model(7), 42, ServingConfig::serial_fifo());
@@ -729,6 +887,7 @@ mod tests {
             cache_tolerance_px: 0.0,
             admission_deadline_ms: f64::INFINITY,
             residency_transfer_ms: 0.0,
+            zoo: None,
         };
         let mut batched = ServingRuntime::new(model(3), 3, batched_cfg);
         let mut serial = ServingRuntime::new(model(3), 3, ServingConfig::serial_fifo());
@@ -759,6 +918,7 @@ mod tests {
             cache_tolerance_px: 0.0,
             admission_deadline_ms: f64::INFINITY,
             residency_transfer_ms: 0.0,
+            zoo: None,
         };
         let mut rt = ServingRuntime::new(model(5), 5, cfg);
         let obs = observation();
@@ -791,6 +951,7 @@ mod tests {
             cache_tolerance_px: 4.0,
             admission_deadline_ms: f64::INFINITY,
             residency_transfer_ms: 0.0,
+            zoo: None,
         };
         let mut rt = ServingRuntime::new(model(6), 6, cfg);
         let obs = observation();
@@ -841,6 +1002,7 @@ mod tests {
             cache_tolerance_px: 4.0,
             admission_deadline_ms: f64::INFINITY,
             residency_transfer_ms: 0.0,
+            zoo: None,
         };
         let mut uncached_cfg = cached_cfg.clone();
         uncached_cfg.cache_enabled = false;
@@ -871,6 +1033,7 @@ mod tests {
             cache_tolerance_px: 0.0,
             admission_deadline_ms: 100.0,
             residency_transfer_ms: 0.0,
+            zoo: None,
         };
         let mut rt = ServingRuntime::new(model(9), 9, cfg);
         let obs = observation();
@@ -910,6 +1073,7 @@ mod tests {
             cache_tolerance_px: 0.0,
             admission_deadline_ms: f64::INFINITY,
             residency_transfer_ms: 0.0,
+            zoo: None,
         };
         let mut rt = ServingRuntime::new(model(10), 10, cfg);
         rt.set_faults(EdgeFaultConfig {
@@ -943,6 +1107,7 @@ mod tests {
             cache_tolerance_px: 0.0,
             admission_deadline_ms: f64::INFINITY,
             residency_transfer_ms: 0.0,
+            zoo: None,
         };
         let mut rt = ServingRuntime::new(model(11), 11, cfg);
         rt.set_faults(EdgeFaultConfig {
@@ -1004,6 +1169,7 @@ mod tests {
             cache_tolerance_px: 0.0,
             admission_deadline_ms: f64::INFINITY,
             residency_transfer_ms: 0.0,
+            zoo: None,
         };
         // MobileLite's profile caps batches at 1: nothing may coalesce no
         // matter what the serving config asks for.
@@ -1026,6 +1192,7 @@ mod tests {
             cache_tolerance_px: 4.0,
             admission_deadline_ms: f64::INFINITY,
             residency_transfer_ms: 0.0,
+            zoo: None,
         }
     }
 
@@ -1144,5 +1311,302 @@ mod tests {
             "brownout factor 2 must double the lane occupancy"
         );
         assert!(r.decode().is_ok());
+    }
+
+    fn zoo_cfg(deadline_ms: f64) -> ServingConfig {
+        ServingConfig {
+            lanes: 1,
+            max_batch: 1,
+            batch_window_ms: 0.0,
+            cache_enabled: false,
+            cache_tolerance_px: 0.0,
+            admission_deadline_ms: deadline_ms,
+            residency_transfer_ms: 0.0,
+            zoo: Some(ZooConfig::standard()),
+        }
+    }
+
+    #[test]
+    fn zoo_routing_serves_the_full_model_when_idle() {
+        let mut rt = ServingRuntime::new(model(7), 42, zoo_cfg(f64::INFINITY));
+        let obs = observation();
+        let r = rt
+            .submit(0, 0, &obs, None, 0.0, &mut clean_link(1))
+            .unwrap();
+        assert_eq!(r.tier, "mask_rcnn", "idle routing must pick tier 0");
+        assert!(!r.degraded_tier);
+        assert_eq!(rt.stats().tier_served, vec![1, 0, 0, 0]);
+        assert_eq!(rt.stats().degraded_served, 0);
+    }
+
+    #[test]
+    fn zoo_routing_degrades_instead_of_shedding_under_load() {
+        // Self-calibrating deadline: the full model fits when idle, but a
+        // convoyed lane pushes later requests down the zoo instead of
+        // shedding them outright as the single-model runtime would.
+        let obs = observation();
+        let oracle = TierSet::resolve(model(7), Some(&ZooConfig::standard()), 0);
+        let c0 = oracle
+            .model(0)
+            .infer_seeded(&obs, None, request_seed(42, 0, 0))
+            .stats
+            .total_ms();
+        let deadline = c0 * 1.4;
+        let mut routed = ServingRuntime::new(model(7), 42, zoo_cfg(deadline));
+        let mut shed_only = ServingRuntime::new(
+            model(7),
+            42,
+            ServingConfig {
+                zoo: None,
+                ..zoo_cfg(deadline)
+            },
+        );
+        for dev in 0..10u64 {
+            routed.submit(dev, dev, &obs, None, 0.0, &mut clean_link(1));
+            shed_only.submit(dev, dev, &obs, None, 0.0, &mut clean_link(1));
+        }
+        assert!(
+            routed.stats().served > shed_only.stats().served,
+            "routing must serve requests the single-model runtime sheds: \
+             routed {} vs shed-only {}",
+            routed.stats().served,
+            shed_only.stats().served
+        );
+        assert!(routed.stats().degraded_served > 0);
+        let distinct = routed
+            .stats()
+            .tier_served
+            .iter()
+            .filter(|&&n| n > 0)
+            .count();
+        assert!(distinct >= 2, "burst must exercise at least two tiers");
+        // Shedding only begins once even the smallest tier misses.
+        assert!(
+            routed.stats().sheds() < shed_only.stats().sheds(),
+            "routing must shed strictly less than shed-at-admission"
+        );
+    }
+
+    #[test]
+    fn zoo_with_one_tier_is_bit_identical_to_no_zoo() {
+        let one_tier = ServingConfig {
+            zoo: Some(ZooConfig::single(ModelKind::MaskRcnn)),
+            ..ServingConfig::default()
+        };
+        let mut zoo = ServingRuntime::new(model(7), 42, one_tier);
+        let mut bare = ServingRuntime::new(model(7), 42, ServingConfig::default());
+        let obs = observation();
+        let g = guidance(50.0);
+        for (i, dev) in [0u64, 1, 2, 0, 1, 2, 0, 1].iter().enumerate() {
+            let at = i as f64 * 6.0;
+            let guide = (i % 2 == 0).then_some(&g);
+            let a = zoo.submit(*dev, i as u64, &obs, guide, at, &mut clean_link(9));
+            let b = bare.submit(*dev, i as u64, &obs, guide, at, &mut clean_link(9));
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.payload, b.payload, "request {i}: payload diverged");
+                    assert_eq!(a.shed, b.shed, "request {i}: shed decision diverged");
+                    assert!(
+                        (a.queue_wait_ms - b.queue_wait_ms).abs() < 1e-12,
+                        "request {i}: queue wait diverged"
+                    );
+                    // The only permitted difference: the zoo names its tier.
+                    if !a.shed {
+                        assert_eq!(a.tier, "mask_rcnn");
+                        assert_eq!(b.tier, "");
+                    }
+                }
+                (a, b) => panic!("request {i}: delivery diverged ({a:?} vs {b:?})"),
+            }
+        }
+        assert_eq!(zoo.stats().served, bare.stats().served);
+        assert_eq!(zoo.stats().sheds(), bare.stats().sheds());
+    }
+
+    #[test]
+    fn routing_soundness_serves_largest_feasible_tier_or_sheds() {
+        // Property: against an LCG-driven schedule, the runtime serves a
+        // request iff *some* tier's exactly-predicted completion meets the
+        // deadline, and always from the largest such tier. The oracle
+        // recomputes each tier's completion independently from sibling
+        // models + the documented per-request seed.
+        let obs = observation();
+        let oracle = TierSet::resolve(model(7), Some(&ZooConfig::standard()), 0xDEAD);
+        let c0 = oracle
+            .model(0)
+            .infer_seeded(&obs, None, request_seed(42, 0, 0))
+            .stats
+            .total_ms();
+        let deadline = c0 * 1.3;
+        let mut rt = ServingRuntime::new(model(7), 42, zoo_cfg(deadline));
+        let mut lcg: u64 = 0x1234_5678;
+        let mut next = || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        let mut t = 0.0;
+        let mut seqs: Map<u64, u64> = Map::new();
+        for i in 0..48u64 {
+            t += (next() % 24) as f64;
+            let dev = next() % 3;
+            let seed = request_seed(42, dev, seqs.get(&dev).copied().unwrap_or(0));
+            let busy = rt.busy_until();
+            let expect = (0..oracle.tier_count()).find(|&k| {
+                let cost = oracle
+                    .model(k)
+                    .infer_seeded(&obs, None, seed)
+                    .stats
+                    .total_ms();
+                t.max(busy) + cost - t <= deadline
+            });
+            let resp = rt
+                .submit(dev, i, &obs, None, t, &mut clean_link(1))
+                .unwrap();
+            match expect {
+                None => assert!(resp.shed, "request {i}: no tier fits but runtime served"),
+                Some(k) => {
+                    assert!(!resp.shed, "request {i}: tier {k} fits but runtime shed");
+                    assert_eq!(resp.tier, oracle.tier_name(k), "request {i}: wrong tier");
+                    *seqs.entry(dev).or_insert(0) += 1;
+                }
+            }
+        }
+        let s = rt.stats();
+        assert!(
+            s.tier_served[0] > 0 && s.degraded_served > 0 && s.sheds() > 0,
+            "schedule failed to exercise full-tier serving, degradation and \
+             shedding together: {s:?}"
+        );
+    }
+
+    #[test]
+    fn tier_cap_sheds_rather_than_degrading_recovery_keyframes() {
+        let obs = observation();
+        let oracle = TierSet::resolve(model(7), Some(&ZooConfig::standard()), 0);
+        let c0 = oracle
+            .model(0)
+            .infer_seeded(&obs, None, request_seed(42, 0, 0))
+            .stats
+            .total_ms();
+        let mut rt = ServingRuntime::new(model(7), 42, zoo_cfg(c0 * 1.4));
+        // Convoy the lane so tier 0 no longer fits...
+        rt.submit(0, 0, &obs, None, 0.0, &mut clean_link(1));
+        // ...an uncapped request degrades; a capped one must shed.
+        let free = rt
+            .submit_traced(1, 1, &obs, None, 0.0, &mut clean_link(1), None, None)
+            .unwrap();
+        assert!(!free.shed && free.degraded_tier);
+        let capped = rt
+            .submit_traced(2, 2, &obs, None, 0.0, &mut clean_link(1), None, Some(0))
+            .unwrap();
+        assert!(
+            capped.shed,
+            "tier-capped recovery keyframe must shed, not degrade"
+        );
+    }
+
+    #[test]
+    fn tier_switch_never_serves_a_cross_tier_cache_hit() {
+        // Regression: the guidance cache is keyed by (signature, tier). A
+        // mid-run tier switch must invalidate it — another tier's cached
+        // anchor work is useless — and a later switch back must also miss,
+        // because the stored entry now belongs to the smaller tier.
+        let obs = observation();
+        let g = guidance(50.0);
+        // Calibrate the deadline so that, behind another device's convoy,
+        // device 0's first guided request misses tier 0 but meets tier 1.
+        let oracle = TierSet::resolve(model(7), Some(&ZooConfig::standard()), 0);
+        let convoy_ms = oracle
+            .model(0)
+            .infer_seeded(&obs, None, request_seed(42, 9, 0))
+            .stats
+            .total_ms();
+        let seed0 = request_seed(42, 0, 0);
+        let c0 = oracle
+            .model(0)
+            .infer_seeded(&obs, Some(&g), seed0)
+            .stats
+            .total_ms();
+        let c1 = oracle
+            .model(1)
+            .infer_seeded(&obs, Some(&g), seed0)
+            .stats
+            .total_ms();
+        assert!(
+            c1 < c0,
+            "INT8 tier must be cheaper for the calibration to hold"
+        );
+        let cfg = ServingConfig {
+            cache_enabled: true,
+            cache_tolerance_px: 4.0,
+            ..zoo_cfg(convoy_ms + (c0 + c1) / 2.0)
+        };
+        let mut rt = ServingRuntime::new(model(7), 42, cfg);
+        // Convoy the single lane with an unguided request from device 9.
+        rt.submit(9, 0, &obs, None, 0.0, &mut clean_link(1));
+        // 1: device 0's guided request degrades to the INT8 tier and
+        // primes the cache with (signature, tier 1).
+        let r1 = rt
+            .submit(0, 1, &obs, Some(&g), 0.0, &mut clean_link(1))
+            .unwrap();
+        assert!(
+            !r1.shed && r1.degraded_tier,
+            "first request must degrade, not {r1:?}"
+        );
+        assert_eq!(r1.tier, "mask_rcnn_int8");
+        assert_eq!((rt.stats().cache_hits, rt.stats().cache_misses), (0, 1));
+        // 2: lane drained -> routing switches back to tier 0. The cached
+        // entry belongs to tier 1: same signature, different tier, MUST
+        // miss — a cross-tier hit would discount RPN work of the wrong
+        // anchor grid.
+        let at = rt.busy_until() + 1.0;
+        let r2 = rt
+            .submit(0, 2, &obs, Some(&g), at, &mut clean_link(1))
+            .unwrap();
+        assert_eq!(r2.tier, "mask_rcnn");
+        assert_eq!(rt.stats().cache_hits, 0, "cross-tier cache hit served");
+        assert_eq!(rt.stats().cache_misses, 2);
+        // 3: same tier, same signature -> finally a legitimate hit.
+        let at = rt.busy_until() + 1.0;
+        let r3 = rt
+            .submit(0, 3, &obs, Some(&g), at, &mut clean_link(1))
+            .unwrap();
+        assert_eq!(r3.tier, "mask_rcnn");
+        assert_eq!(rt.stats().cache_hits, 1);
+        // Payloads are seed-pure: caching and tier bookkeeping never
+        // change bytes for the same (device, seq).
+        assert!(r1.decode().is_ok() && r3.decode().is_ok());
+    }
+
+    #[test]
+    fn mark_cold_invalidates_the_guidance_cache() {
+        let cfg = ServingConfig {
+            lanes: 1,
+            max_batch: 1,
+            batch_window_ms: 0.0,
+            cache_enabled: true,
+            cache_tolerance_px: 4.0,
+            admission_deadline_ms: f64::INFINITY,
+            residency_transfer_ms: 0.0,
+            zoo: Some(ZooConfig::standard()),
+        };
+        let mut rt = ServingRuntime::new(model(7), 42, cfg);
+        let obs = observation();
+        let g = guidance(50.0);
+        rt.submit(0, 0, &obs, Some(&g), 0.0, &mut clean_link(1));
+        let at = rt.busy_until() + 1.0;
+        rt.submit(0, 1, &obs, Some(&g), at, &mut clean_link(1));
+        assert_eq!(rt.stats().cache_hits, 1, "warm same-tier repeat must hit");
+        rt.mark_cold(0);
+        let at = rt.busy_until() + 1.0;
+        rt.submit(0, 2, &obs, Some(&g), at, &mut clean_link(1));
+        assert_eq!(
+            rt.stats().cache_hits,
+            1,
+            "mark_cold must invalidate the cache"
+        );
+        assert_eq!(rt.stats().cache_misses, 2);
     }
 }

@@ -346,6 +346,7 @@ struct DeviceMetrics {
     stale_drops: Counter,
     corrupt_responses: Counter,
     shed_responses: Counter,
+    degraded_tier_responses: Counter,
     mobile_ms: Histogram,
     queue_wait_ms: Histogram,
     response_latency_ms: Histogram,
@@ -365,6 +366,8 @@ impl DeviceMetrics {
             stale_drops: registry.counter("edgeis_stale_drops_total", labels),
             corrupt_responses: registry.counter("edgeis_corrupt_responses_total", labels),
             shed_responses: registry.counter("edgeis_shed_responses_total", labels),
+            degraded_tier_responses: registry
+                .counter("edgeis_degraded_tier_responses_total", labels),
             mobile_ms: registry.histogram("edgeis_mobile_frame_ms", labels),
             queue_wait_ms: registry.histogram("edgeis_edge_queue_wait_ms", labels),
             response_latency_ms: registry.histogram("edgeis_response_latency_ms", labels),
@@ -642,6 +645,24 @@ impl EdgeIsSystem {
         self.transition_health(LinkHealth::Healthy, now);
     }
 
+    /// A degraded-tier response arrived: the mask is usable, so the
+    /// failure machinery resets (this is *not* a miss), but it is not the
+    /// full model's answer — a recovery in progress stays open until a
+    /// tier-0 response completes it (CFRS keeps requesting full-tier
+    /// recovery keyframes meanwhile).
+    fn note_partial_success(&mut self, now: SimMs) {
+        if !self.config.resilience.enabled {
+            return;
+        }
+        self.consecutive_timeouts = 0;
+        self.retry_pending = false;
+        self.retry_attempt = 0;
+        self.next_tx_allowed_ms = 0.0;
+        if self.health == LinkHealth::Degraded {
+            self.transition_health(LinkHealth::Healthy, now);
+        }
+    }
+
     /// Outstanding requests the device is still actively waiting on
     /// (timed-out ones no longer hold a pipelining slot).
     fn active_pending(&self) -> usize {
@@ -764,6 +785,7 @@ impl EdgeIsSystem {
                     } else {
                         delivered.applied_digest =
                             fnv1a64_extend(delivered.applied_digest, &resp.payload);
+                        delivered.tier = resp.tier;
                         self.apply_detections(frame_id, &detections);
                         if self.telemetry.is_enabled() {
                             self.telemetry.emit_event_current(
@@ -777,7 +799,26 @@ impl EdgeIsSystem {
                                 ],
                             );
                         }
-                        self.note_success(now);
+                        if resp.degraded_tier {
+                            // Zoo routing degraded this request to a
+                            // smaller tier: the mask re-anchors tracking,
+                            // so it is a partial success, not a miss.
+                            self.stats.degraded_tier_responses += 1;
+                            if self.telemetry.is_enabled() {
+                                self.telemetry.emit_event_current(
+                                    "response.degraded_tier",
+                                    self.device_id,
+                                    now,
+                                    vec![("tier", ArgValue::Str(resp.tier.to_string()))],
+                                );
+                                if let Some(m) = &self.tele {
+                                    m.degraded_tier_responses.inc();
+                                }
+                            }
+                            self.note_partial_success(now);
+                        } else {
+                            self.note_success(now);
+                        }
                     }
                 }
             }
@@ -828,6 +869,9 @@ struct Delivered {
     responses: u32,
     response_digest: u64,
     applied_digest: u64,
+    /// Zoo tier of the last applied response ("" without a zoo or when
+    /// nothing was applied this pass).
+    tier: &'static str,
 }
 
 impl Default for Delivered {
@@ -838,6 +882,7 @@ impl Default for Delivered {
             responses: 0,
             response_digest: FNV_OFFSET,
             applied_digest: FNV_OFFSET,
+            tier: "",
         }
     }
 }
@@ -1174,6 +1219,11 @@ impl SegmentationSystem for EdgeIsSystem {
                     delivery.arrive_ms,
                     &mut self.link,
                     envelope,
+                    // CFRS demands the full model for recovery keyframes:
+                    // a degraded-tier mask cannot close out a recovery, so
+                    // routing may shed but never degrade them. No-op for
+                    // edges without a zoo.
+                    recovery_tx.then_some(0),
                 ),
             };
             stages.edge_infer = elapsed_ms(infer_start);
@@ -1201,6 +1251,7 @@ impl SegmentationSystem for EdgeIsSystem {
             response_digest: delivered.response_digest,
             applied_digest: delivered.applied_digest,
             health: self.health.as_str().to_string(),
+            tier: delivered.tier.to_string(),
         };
 
         if let Some(ctx) = frame_ctx {

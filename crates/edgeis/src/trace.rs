@@ -100,6 +100,12 @@ pub struct FrameTrace {
     pub applied_digest: u64,
     /// Resilience health state after this frame's delivery pass.
     pub health: String,
+    /// Zoo tier of the last response applied this frame (empty for
+    /// no-zoo edges, shed frames, and reports written before this field
+    /// existed). Routing must be trace-visible: a tier switch changes the
+    /// applied mask, so the tier rides beside the digest that proves it.
+    #[serde(default)]
+    pub tier: String,
 }
 
 impl FrameTrace {
@@ -131,6 +137,8 @@ impl FrameTrace {
         h = fnv1a64_extend(h, &self.response_digest.to_le_bytes());
         h = fnv1a64_extend(h, &self.applied_digest.to_le_bytes());
         h = fnv1a64_extend(h, self.health.as_bytes());
+        h = fnv1a64_extend(h, &[0xff]);
+        h = fnv1a64_extend(h, self.tier.as_bytes());
         h
     }
 }
@@ -152,6 +160,7 @@ mod tests {
             response_digest: 33,
             applied_digest: 44,
             health: "healthy".to_string(),
+            tier: "mask_rcnn".to_string(),
         };
         assert_eq!(base.digest(), base.clone().digest(), "digest is pure");
         let mut variants = vec![base.clone()];
@@ -177,6 +186,10 @@ mod tests {
         });
         variants.push(FrameTrace {
             health: "outage".to_string(),
+            ..base.clone()
+        });
+        variants.push(FrameTrace {
+            tier: "yolact".to_string(),
             ..base.clone()
         });
         let digests: Vec<u64> = variants.iter().map(FrameTrace::digest).collect();

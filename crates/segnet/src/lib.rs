@@ -31,6 +31,7 @@ pub mod model;
 pub mod profile;
 pub mod proposal;
 pub mod roi;
+pub mod zoo;
 
 pub use anchors::{AnchorGrid, FpnConfig, Guidance, GuidanceBox};
 pub use cost::{CostModel, InferenceStats};
@@ -38,3 +39,4 @@ pub use detect::{degrade_mask, Detection};
 pub use model::{EdgeModel, FrameObservation, InferenceResult};
 pub use profile::{ModelKind, ModelProfile};
 pub use roi::{fast_nms, greedy_nms, prune_rois, BBox, Roi};
+pub use zoo::{TierSet, ZooConfig};

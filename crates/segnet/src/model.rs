@@ -126,6 +126,26 @@ impl EdgeModel {
         &self.profile
     }
 
+    /// Frame width this model was built for, px.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Frame height this model was built for, px.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Builds a model of another kind for the same frame size.
+    ///
+    /// Seeded inference ([`Self::infer_seeded`]) is a pure function of
+    /// `(obs, guidance, seed)`, so siblings produce bit-identical outputs
+    /// regardless of the construction seed; only the evolving-RNG
+    /// [`Self::infer`] path depends on it.
+    pub fn sibling(&self, kind: ModelKind, seed: u64) -> Self {
+        Self::new(kind, self.width, self.height, seed)
+    }
+
     /// Runs inference on an observed frame.
     ///
     /// `guidance` enables CIIA: dynamic anchor placement restricts RPN
