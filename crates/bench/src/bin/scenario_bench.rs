@@ -1,0 +1,159 @@
+//! Scenario-matrix sweep → `results/BENCH_scenario_matrix.json`.
+//!
+//! ```text
+//! scenario_bench            # sweep every golden scenario, write the JSON artifact
+//! scenario_bench --tuning   # accuracy-knob grid (depth fold × CFRS refresh cap)
+//! ```
+//!
+//! The default sweep records every scenario in the conformance golden set
+//! (legacy indoor trio plus the stressor matrix), scores each against its
+//! committed SLO and writes one artifact row per scenario: accuracy,
+//! virtual-clock latency tail, uplink spend, and the SLO verdict. The
+//! `--tuning` grid is the measurement harness behind the accuracy-recovery
+//! defaults (see DESIGN.md §16): it re-records a scenario subset under
+//! each knob combination and prints the IoU/uplink trade-off table.
+
+use edgeis::slo::SloOutcome;
+use edgeis::EdgeIsConfig;
+use edgeis_bench::json;
+use edgeis_conformance::scenario::record_world_with;
+use edgeis_conformance::{golden_scenarios, matrix_scenarios, repo_root, Trace};
+use edgeis_vo::transfer::DepthStat;
+
+fn score(trace: &Trace, slo: edgeis::slo::ScenarioSlo) -> (SloOutcome, usize) {
+    let records: Vec<_> = trace.frames.iter().map(|f| f.record.clone()).collect();
+    let tx: usize = records.iter().map(|r| r.tx_bytes).sum();
+    (slo.check(&records), tx)
+}
+
+fn sweep() {
+    let mut rows = Vec::new();
+    for scenario in golden_scenarios() {
+        let trace = scenario.record();
+        let (outcome, tx_bytes) = score(&trace, scenario.slo);
+        println!(
+            "{:<16} iou {:.3}  p99 {:>7.1} ms  uplink {:>8} B  slo {}",
+            scenario.name,
+            outcome.mean_iou,
+            outcome.p99_latency_ms,
+            tx_bytes,
+            if outcome.ok() { "ok" } else { "MISS" }
+        );
+        rows.push((scenario.name.to_string(), scenario.slo, outcome, tx_bytes));
+    }
+
+    let matrix: Vec<_> = matrix_scenarios();
+    let doc = json::document(|o| {
+        o.str("artifact", "scenario_matrix");
+        o.str(
+            "note",
+            "per-scenario accuracy/latency sweep over the conformance golden set; \
+             regenerate with `cargo run --release -p edgeis-bench --bin scenario_bench`",
+        );
+        o.array("scenarios", |a| {
+            for (name, slo, outcome, tx_bytes) in &rows {
+                a.inline_object(|r| {
+                    r.str("scenario", name);
+                    if let Some(m) = matrix.iter().find(|m| m.name == name) {
+                        r.int("frames", m.frames as i64);
+                        r.str("resolution", &format!("{}x{}", m.width, m.height));
+                    }
+                    r.num("mean_iou", outcome.mean_iou, 4);
+                    r.int("iou_samples", outcome.iou_samples as i64);
+                    r.num("p99_latency_ms", outcome.p99_latency_ms, 2);
+                    r.int("latency_samples", outcome.latency_samples as i64);
+                    r.int("uplink_bytes", *tx_bytes as i64);
+                    r.num("slo_min_iou", slo.min_iou, 2);
+                    r.num("slo_max_p99_ms", slo.max_p99_ms, 1);
+                    r.bool("pass", outcome.ok());
+                });
+            }
+        });
+    });
+    let path = repo_root().join("results/BENCH_scenario_matrix.json");
+    std::fs::write(&path, doc).expect("write artifact");
+    println!("wrote {}", path.display());
+}
+
+fn tuning() {
+    // The knob grid behind the accuracy-recovery defaults. Subset of
+    // scenarios: the static headline scene plus the two hardest movers.
+    let subjects: Vec<_> = matrix_scenarios()
+        .into_iter()
+        .filter(|m| matches!(m.name, "urban_rush" | "crowd_occlusion" | "patrol_drift"))
+        .collect();
+    println!(
+        "{:<16} {:<8} {:>12} {:>10} {:>12}",
+        "scenario", "fold", "refresh cap", "mean IoU", "uplink B"
+    );
+    for m in &subjects {
+        for stat in [DepthStat::Mean, DepthStat::Median] {
+            for cap in [30u64, 20, 12] {
+                let world = (m.preset)(m.seed);
+                let tweak = |c: &mut EdgeIsConfig| {
+                    c.vo.transfer.depth_stat = stat;
+                    c.cfrs.max_interval_frames = cap;
+                };
+                let trace =
+                    record_world_with(m.name, &world, m.camera(), m.frames, m.seed, None, tweak);
+                let (outcome, tx) = score(&trace, m.slo);
+                // Per-instance breakdown pinpoints which objects drag the
+                // mean (far/small vs dynamic vs static).
+                let mut per: std::collections::BTreeMap<u16, (f64, usize)> = Default::default();
+                for f in &trace.frames {
+                    for &(id, v) in &f.record.ious {
+                        let e = per.entry(id).or_insert((0.0, 0));
+                        e.0 += v;
+                        e.1 += 1;
+                    }
+                }
+                let breakdown: Vec<String> = per
+                    .iter()
+                    .map(|(id, (s, n))| format!("{id}:{:.2}", s / *n as f64))
+                    .collect();
+                println!(
+                    "{:<16} {:<8} {:>12} {:>10.3} {:>12}  [{}]",
+                    m.name,
+                    format!("{stat:?}"),
+                    cap,
+                    outcome.mean_iou,
+                    tx,
+                    breakdown.join(" ")
+                );
+            }
+        }
+    }
+}
+
+fn seeds() {
+    // Robustness spread behind the committed SLO floors: each matrix
+    // scenario at its pinned seed plus two alternates (the same offsets
+    // the conformance seed-sweep test uses).
+    for m in matrix_scenarios() {
+        for offset in [0u64, 101, 202] {
+            let trace = m.record_seeded(m.seed + offset, m.frames);
+            let (outcome, tx) = score(&trace, m.slo);
+            println!(
+                "{:<16} seed {:>4} iou {:.3} ({} samples) p99 {:>7.1} ms uplink {:>9} B slo {}",
+                m.name,
+                m.seed + offset,
+                outcome.mean_iou,
+                outcome.iou_samples,
+                outcome.p99_latency_ms,
+                tx,
+                if outcome.ok() { "ok" } else { "MISS" }
+            );
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--tuning") {
+        tuning();
+    } else if args.iter().any(|a| a == "--seeds") {
+        seeds();
+    } else {
+        sweep();
+    }
+}

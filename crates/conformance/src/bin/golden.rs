@@ -6,13 +6,19 @@
 //! golden --bless single_cfrs   # re-record one scenario
 //! ```
 //!
+//! Checks respect the bless-environment manifest (`tests/golden/BLESS_ENVS`):
+//! goldens blessed under a different rand build are skipped loudly with a
+//! report instead of failing on incomparable bytes. Blessing records the
+//! current environment's fingerprint into the manifest.
+//!
 //! On a check failure the first diverging frame/field is printed and a
 //! structured report is written under `target/conformance/` (uploaded as
 //! a CI artifact).
 
+use edgeis_conformance::envfp::GoldenVerdict;
 use edgeis_conformance::{
-    diff_canonical, golden_path, golden_scenarios, load_golden, save_golden,
-    write_divergence_report,
+    golden_path, golden_scenarios, rand_fingerprint, save_golden, write_divergence_report,
+    BlessManifest,
 };
 
 fn main() {
@@ -20,14 +26,16 @@ fn main() {
     let bless = args.iter().any(|a| a == "--bless");
     let names: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
+    let mut manifest = BlessManifest::load();
     let mut failed = false;
     for scenario in golden_scenarios() {
         if !names.is_empty() && !names.iter().any(|n| *n == scenario.name) {
             continue;
         }
-        let canonical = scenario.record().canonical_json();
         if bless {
+            let canonical = scenario.record().canonical_json();
             let path = save_golden(scenario.name, &canonical).expect("write golden");
+            manifest.set(scenario.name, rand_fingerprint());
             println!(
                 "blessed {:<16} -> {} ({} bytes)",
                 scenario.name,
@@ -36,8 +44,17 @@ fn main() {
             );
             continue;
         }
-        match load_golden(scenario.name) {
-            None => {
+        match edgeis_conformance::envfp::check_golden_bytes(&manifest, scenario.name, || {
+            scenario.record()
+        }) {
+            GoldenVerdict::Matched => println!("ok      {:<16}", scenario.name),
+            GoldenVerdict::SkippedForeignEnv { golden_tag, .. } => {
+                println!(
+                    "skip    {:<16} (blessed in env `{golden_tag}`)",
+                    scenario.name
+                );
+            }
+            GoldenVerdict::MissingGolden => {
                 failed = true;
                 println!(
                     "MISSING {:<16} (expected {}; run with --bless)",
@@ -45,16 +62,17 @@ fn main() {
                     golden_path(scenario.name).display()
                 );
             }
-            Some(golden) => match diff_canonical("golden", &golden, "current", &canonical) {
-                None => println!("ok      {:<16}", scenario.name),
-                Some(d) => {
-                    failed = true;
-                    let report = write_divergence_report(scenario.name, "golden check", &d);
-                    println!("FAIL    {:<16} {d}", scenario.name);
-                    println!("        report: {}", report.display());
-                }
-            },
+            GoldenVerdict::Diverged(d) => {
+                failed = true;
+                let report = write_divergence_report(scenario.name, "golden check", &d);
+                println!("FAIL    {:<16} {d}", scenario.name);
+                println!("        report: {}", report.display());
+            }
         }
+    }
+    if bless {
+        let path = manifest.save().expect("write bless manifest");
+        println!("manifest {} (env {})", path.display(), rand_fingerprint());
     }
     if failed {
         std::process::exit(1);

@@ -1,0 +1,306 @@
+//! Bless-environment fingerprinting for golden traces.
+//!
+//! A recorded trace is bit-exact only when the *noise stream* is: the
+//! pipeline draws link jitter and model noise from `rand::StdRng`, whose
+//! output is a contract of the rand crate version the host built against.
+//! Two hosts on different rand builds record traces that diverge at frame
+//! 0 even though both are perfectly deterministic locally.
+//!
+//! Rather than letting that surface as a spurious golden mismatch, every
+//! golden carries a **bless-environment tag** in a manifest next to the
+//! golden files (`tests/golden/BLESS_ENVS`; deliberately not `.json`, so
+//! the registry↔files sync check that globs golden traces skips it):
+//!
+//! - a hex tag is the [`rand_fingerprint`] of the environment the golden
+//!   was blessed in. When the current environment's fingerprint matches,
+//!   the golden is byte-checked and any diff is a hard failure; when it
+//!   differs, the check is *skipped loudly* (stderr notice plus an
+//!   `<name>.envskip.json` report under `target/conformance/`) because a
+//!   byte comparison would only measure the dependency tree.
+//! - the literal tag `reference` marks the original golden set, blessed
+//!   before this manifest existed in an environment whose fingerprint was
+//!   never recorded. Those are byte-checked everywhere — unless the
+//!   current fingerprint is already attested as some *other* scenario's
+//!   bless environment, which proves this host's noise stream is a known
+//!   alternate (not the reference one), so the reference goldens are
+//!   skipped loudly instead of failing vacuously.
+//!
+//! An environment that matches *neither* rule still hard-fails the
+//! reference goldens — a genuinely unknown noise stream must be triaged
+//! (and its fingerprint attested) by a human, not waved through.
+
+use crate::golden::golden_dir;
+use crate::trace::Trace;
+use edgeis::hash::fnv1a64_words;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Manifest tag marking the original (pre-manifest) golden set.
+pub const REFERENCE_TAG: &str = "reference";
+
+/// Fixed seed for the fingerprint draw; any value works as long as it
+/// never changes.
+const FP_SEED: u64 = 0xED6E_15FD;
+
+/// Fingerprints the `StdRng` noise stream of the current build: 16 draws
+/// from a fixed seed, folded to one hex word. Equal fingerprints ⇒ the
+/// pipeline's noise draws are bit-identical, so traces are comparable.
+pub fn rand_fingerprint() -> String {
+    let mut rng = StdRng::seed_from_u64(FP_SEED);
+    let digest = fnv1a64_words((0..16).map(|_| rng.random_range(0..=u64::MAX)));
+    format!("{digest:016x}")
+}
+
+/// The scenario → bless-environment-tag manifest.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BlessManifest {
+    entries: BTreeMap<String, String>,
+}
+
+impl BlessManifest {
+    /// Manifest location, beside the golden traces.
+    pub fn path() -> PathBuf {
+        golden_dir().join("BLESS_ENVS")
+    }
+
+    /// Loads the manifest; missing file means an empty manifest (every
+    /// golden then defaults to a plain byte-check).
+    pub fn load() -> Self {
+        let Ok(text) = std::fs::read_to_string(Self::path()) else {
+            return Self::default();
+        };
+        Self::parse(&text)
+    }
+
+    /// Parses manifest text: `# comments` and blank lines ignored,
+    /// otherwise `scenario-name<space>tag` per line.
+    pub fn parse(text: &str) -> Self {
+        let mut entries = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some((name, tag)) = line.split_once(char::is_whitespace) {
+                entries.insert(name.to_string(), tag.trim().to_string());
+            }
+        }
+        Self { entries }
+    }
+
+    /// Serializes back to the committed format (sorted, commented).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# Golden bless-environment manifest. One `scenario tag` per line;\n\
+             # tag is either `reference` (original golden set) or the\n\
+             # `rand_fingerprint()` of the environment that blessed the trace.\n\
+             # See crates/conformance/src/envfp.rs for the check rules.\n",
+        );
+        for (name, tag) in &self.entries {
+            out.push_str(&format!("{name} {tag}\n"));
+        }
+        out
+    }
+
+    /// Writes the manifest next to the goldens.
+    pub fn save(&self) -> std::io::Result<PathBuf> {
+        let path = Self::path();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&path, self.render())?;
+        Ok(path)
+    }
+
+    /// The recorded bless tag of one scenario.
+    pub fn tag(&self, name: &str) -> Option<&str> {
+        self.entries.get(name).map(String::as_str)
+    }
+
+    /// Records that `name` was blessed in the environment tagged `tag`.
+    pub fn set(&mut self, name: &str, tag: impl Into<String>) {
+        self.entries.insert(name.to_string(), tag.into());
+    }
+
+    /// Whether `fp` is attested as some scenario's bless environment.
+    pub fn attests(&self, fp: &str) -> bool {
+        self.entries.values().any(|t| t == fp)
+    }
+}
+
+/// What to do about one scenario's golden in the current environment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GoldenCheck {
+    /// Byte-compare against the committed golden; a diff is a failure.
+    Compare,
+    /// Skip the byte comparison (loudly): the golden was blessed under a
+    /// different rand build, so bytes are incomparable here.
+    SkipForeignEnv {
+        /// Tag the golden was blessed under.
+        golden_tag: String,
+        /// The current environment's fingerprint.
+        current_fp: String,
+    },
+}
+
+/// Applies the manifest rules for one scenario in the current environment.
+pub fn decide(manifest: &BlessManifest, name: &str) -> GoldenCheck {
+    decide_with_fp(manifest, name, &rand_fingerprint())
+}
+
+/// [`decide`] with an explicit current fingerprint (testable).
+pub fn decide_with_fp(manifest: &BlessManifest, name: &str, current_fp: &str) -> GoldenCheck {
+    match manifest.tag(name) {
+        // No entry: pre-manifest behavior, strict byte-check.
+        None => GoldenCheck::Compare,
+        Some(tag) if tag == REFERENCE_TAG => {
+            if manifest.attests(current_fp) {
+                // This host's noise stream is a known *alternate* bless
+                // environment, so it cannot reproduce the reference bytes.
+                GoldenCheck::SkipForeignEnv {
+                    golden_tag: REFERENCE_TAG.to_string(),
+                    current_fp: current_fp.to_string(),
+                }
+            } else {
+                GoldenCheck::Compare
+            }
+        }
+        Some(tag) if tag == current_fp => GoldenCheck::Compare,
+        Some(tag) => GoldenCheck::SkipForeignEnv {
+            golden_tag: tag.to_string(),
+            current_fp: current_fp.to_string(),
+        },
+    }
+}
+
+/// Outcome of one scenario's golden byte-check under the manifest rules.
+#[derive(Debug)]
+pub enum GoldenVerdict {
+    /// Recorded trace is byte-identical to the committed golden.
+    Matched,
+    /// Byte-check skipped: golden blessed under a different rand build.
+    /// A skip report has already been written.
+    SkippedForeignEnv {
+        /// Tag the golden was blessed under.
+        golden_tag: String,
+        /// The current environment's fingerprint.
+        current_fp: String,
+    },
+    /// No committed golden exists for this scenario.
+    MissingGolden,
+    /// Recorded trace diverges from the golden at this first difference.
+    Diverged(crate::diff::Divergence),
+}
+
+impl GoldenVerdict {
+    /// Whether this outcome should fail a gating check.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, Self::MissingGolden | Self::Diverged(_))
+    }
+}
+
+/// Byte-checks one scenario's golden under the manifest rules, recording
+/// the trace lazily (skipped scenarios are never recorded). Skips write
+/// their report as a side effect; divergences do not (callers decide how
+/// to report them).
+pub fn check_golden_bytes(
+    manifest: &BlessManifest,
+    name: &str,
+    record: impl FnOnce() -> Trace,
+) -> GoldenVerdict {
+    match decide(manifest, name) {
+        GoldenCheck::SkipForeignEnv {
+            golden_tag,
+            current_fp,
+        } => {
+            report_env_skip(name, &golden_tag, &current_fp);
+            GoldenVerdict::SkippedForeignEnv {
+                golden_tag,
+                current_fp,
+            }
+        }
+        GoldenCheck::Compare => {
+            let Some(golden) = crate::golden::load_golden(name) else {
+                return GoldenVerdict::MissingGolden;
+            };
+            match crate::diff::diff_canonical(
+                "golden",
+                &golden,
+                "recorded",
+                &record().canonical_json(),
+            ) {
+                None => GoldenVerdict::Matched,
+                Some(d) => GoldenVerdict::Diverged(d),
+            }
+        }
+    }
+}
+
+/// Writes the machine-readable skip report CI uploads on env-skips, and
+/// prints the loud stderr notice. Returns the report path.
+pub fn report_env_skip(name: &str, golden_tag: &str, current_fp: &str) -> PathBuf {
+    let dir = crate::golden::repo_root().join("target/conformance");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}.envskip.json"));
+    let body = format!(
+        "{{\"scenario\":\"{name}\",\"golden_env\":\"{golden_tag}\",\
+         \"current_env\":\"{current_fp}\",\
+         \"action\":\"byte-check skipped: golden blessed under a different rand build\"}}\n",
+    );
+    let _ = std::fs::write(&path, body);
+    eprintln!(
+        "SKIP golden {name}: blessed in env `{golden_tag}`, current env `{current_fp}` \
+         (noise streams differ; report at {})",
+        path.display()
+    );
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_within_a_build() {
+        assert_eq!(rand_fingerprint(), rand_fingerprint());
+        assert_eq!(rand_fingerprint().len(), 16);
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let mut m = BlessManifest::default();
+        m.set("single_cfrs", REFERENCE_TAG);
+        m.set("urban_rush", "deadbeefdeadbeef");
+        let again = BlessManifest::parse(&m.render());
+        assert_eq!(m, again);
+        assert_eq!(again.tag("urban_rush"), Some("deadbeefdeadbeef"));
+        assert!(again.attests("deadbeefdeadbeef"));
+        assert!(!again.attests("0000000000000000"));
+    }
+
+    #[test]
+    fn decide_matches_the_documented_rules() {
+        let mut m = BlessManifest::default();
+        m.set("legacy", REFERENCE_TAG);
+        m.set("matrix", "aaaa");
+        // Unlisted scenario: strict compare.
+        assert_eq!(decide_with_fp(&m, "unknown", "bbbb"), GoldenCheck::Compare);
+        // Matching fingerprint: compare.
+        assert_eq!(decide_with_fp(&m, "matrix", "aaaa"), GoldenCheck::Compare);
+        // Foreign fingerprint: loud skip.
+        assert!(matches!(
+            decide_with_fp(&m, "matrix", "bbbb"),
+            GoldenCheck::SkipForeignEnv { .. }
+        ));
+        // Reference golden in an unknown env: compare (hard gate).
+        assert_eq!(decide_with_fp(&m, "legacy", "bbbb"), GoldenCheck::Compare);
+        // Reference golden in an env attested as an alternate bless env:
+        // skip (this host provably cannot reproduce the reference bytes).
+        assert!(matches!(
+            decide_with_fp(&m, "legacy", "aaaa"),
+            GoldenCheck::SkipForeignEnv { .. }
+        ));
+    }
+}

@@ -25,6 +25,7 @@
 //! timings are excluded by construction (see `edgeis::trace`).
 
 pub mod diff;
+pub mod envfp;
 pub mod golden;
 pub mod scenario;
 pub mod trace;
@@ -33,6 +34,9 @@ pub use diff::{
     assert_identical, assert_parallel_matches_serial, diff_canonical, first_slice_divergence,
     write_divergence_report, Divergence,
 };
+pub use envfp::{rand_fingerprint, BlessManifest, GoldenCheck};
 pub use golden::{golden_dir, golden_path, load_golden, repo_root, save_golden};
-pub use scenario::{golden_scenarios, record_fleet_failover, Scenario};
+pub use scenario::{
+    golden_scenarios, matrix_scenarios, record_fleet_failover, MatrixScenario, Scenario,
+};
 pub use trace::{Trace, TraceFrame};

@@ -8,30 +8,32 @@
 use crate::trace::Trace;
 use edgeis::multi::{run_multi_device, MultiDeviceConfig};
 use edgeis::pipeline::{class_map, run_pipeline, PipelineConfig};
+use edgeis::slo::ScenarioSlo;
 use edgeis::{EdgeIsConfig, EdgeIsSystem, ServingConfig};
 use edgeis_geometry::Camera;
 use edgeis_netsim::{FaultSchedule, LinkKind};
 use edgeis_scene::datasets;
+use edgeis_scene::World;
 
-/// Shared camera model for every scenario.
+/// Shared camera model for every scenario except the hi-res ones.
 pub fn camera() -> Camera {
     Camera::with_hfov(1.2, 320, 240)
 }
 
-/// Records a single-device run of the full edgeIS system, after letting
-/// `tweak` adjust the system configuration (fast-path toggles, ablation
-/// switches). The differential oracles call this with different tweaks
-/// and diff the results.
-pub fn record_single_with(
+/// Records a single-device run of the full edgeIS system over an
+/// arbitrary world, after letting `tweak` adjust the system
+/// configuration. The scenario-matrix recorders and the differential
+/// oracles both bottom out here.
+pub fn record_world_with(
     name: &str,
+    world: &World,
+    camera: Camera,
     frames: usize,
     seed: u64,
     faults: Option<FaultSchedule>,
     tweak: impl FnOnce(&mut EdgeIsConfig),
 ) -> Trace {
-    let camera = camera();
-    let world = datasets::indoor_simple(seed);
-    let classes = class_map(&world);
+    let classes = class_map(world);
     let mut config = EdgeIsConfig::full(camera, seed);
     tweak(&mut config);
     let mut system = EdgeIsSystem::new(config, LinkKind::Wifi5);
@@ -43,8 +45,35 @@ pub fn record_single_with(
         warmup_frames: 20,
         ..Default::default()
     };
-    let report = run_pipeline(&mut system, &world, &camera, &classes, &pipeline);
+    let report = run_pipeline(&mut system, world, &camera, &classes, &pipeline);
     Trace::from_reports(name, &[report])
+}
+
+/// [`record_world_with`] over the legacy `indoor_simple` world at the
+/// shared 320×240 camera — the recorder behind the original golden set
+/// and the differential oracles.
+pub fn record_single_with(
+    name: &str,
+    frames: usize,
+    seed: u64,
+    faults: Option<FaultSchedule>,
+    tweak: impl FnOnce(&mut EdgeIsConfig),
+) -> Trace {
+    let world = datasets::indoor_simple(seed);
+    record_world_with(name, &world, camera(), frames, seed, faults, tweak)
+}
+
+/// Pins the defaults the three *legacy* goldens were recorded under.
+/// `EdgeIsConfig::full()` has since moved to `DepthStat::Median` and an
+/// every-frame bootstrap cadence (the accuracy-recovery defaults,
+/// DESIGN.md §16); re-blessing the legacy trio over a default change
+/// would destroy the history those traces certify, so their recorders
+/// freeze the old behaviour instead.
+pub fn pin_legacy_defaults(config: &mut EdgeIsConfig) {
+    config.vo.transfer.depth_stat = edgeis_vo::transfer::DepthStat::Mean;
+    config.vo.init_match_fallback = false;
+    config.cfrs.bootstrap_min_interval_frames = config.cfrs.min_interval_frames;
+    config.cfrs.bootstrap_urgent_interval_frames = config.cfrs.min_interval_frames;
 }
 
 /// The response-drop fault window used by the `single_faulted` scenario:
@@ -120,10 +149,182 @@ pub fn record_fleet_failover(name: &str) -> Trace {
     Trace::from_reports(name, &reports)
 }
 
-/// One golden scenario: a name and a deterministic recorder.
+/// One scenario of the conformance matrix: a preset world, a pinned
+/// camera/seed/length, and the accuracy/latency budgets it must meet.
+#[derive(Debug, Clone)]
+pub struct MatrixScenario {
+    /// Scenario (and golden file) name.
+    pub name: &'static str,
+    /// World generator from `edgeis_scene::datasets`.
+    pub preset: fn(u64) -> World,
+    /// Pinned world seed for the golden recording.
+    pub seed: u64,
+    /// Frames in the golden (smoke) recording.
+    pub frames: usize,
+    /// Camera width in pixels.
+    pub width: u32,
+    /// Camera height in pixels.
+    pub height: u32,
+    /// Budgets asserted by the `scenario_matrix` suite.
+    pub slo: ScenarioSlo,
+    /// Deployment-specific config adjustment, applied on top of
+    /// [`EdgeIsConfig::full`] for every recording of this scenario (plain
+    /// `fn` so the scenario stays `Clone + Debug`). Scenario tweaks model
+    /// per-deployment tuning and are part of the scenario's pinned
+    /// identity, like its seed and camera. All current entries run stock
+    /// defaults; the hook exists so a future preset can pin its tuning
+    /// without forking the recorder.
+    pub tweak: fn(&mut edgeis::EdgeIsConfig),
+}
+
+impl MatrixScenario {
+    /// The scenario's camera model.
+    pub fn camera(&self) -> Camera {
+        Camera::with_hfov(1.2, self.width, self.height)
+    }
+
+    /// Records the scenario at its pinned seed and length.
+    pub fn record(&self) -> Trace {
+        self.record_seeded(self.seed, self.frames)
+    }
+
+    /// Records the scenario world at an alternate seed or length (the
+    /// seed-sweep robustness test and the 10k drift run use this).
+    pub fn record_seeded(&self, seed: u64, frames: usize) -> Trace {
+        let world = (self.preset)(seed);
+        record_world_with(
+            self.name,
+            &world,
+            self.camera(),
+            frames,
+            seed,
+            None,
+            self.tweak,
+        )
+    }
+}
+
+/// No config adjustment (most matrix scenarios run stock defaults).
+fn stock_config(_: &mut edgeis::EdgeIsConfig) {}
+
+/// Frames in the full long-horizon drift run (`--full` only; the golden
+/// smoke variant records [`matrix_scenarios`]' much shorter prefix).
+pub const PATROL_DRIFT_FULL_FRAMES: usize = 10_000;
+
+/// The scenario matrix: one entry per stressor family.
+///
+/// SLO floors are committed from a 3-seed sweep (`scenario_bench
+/// --seeds`, offsets +0/+101/+202): the worst seed's mean IoU minus a
+/// safety margin, on top of which [`ScenarioSlo::check`] applies the
+/// host tolerance. Latency ceilings are the worst observed p99 plus
+/// ~30% headroom — p99 is mostly virtual-clock but keyframe cadence
+/// (and with it queueing) shifts with measured stage wall-clock, so a
+/// tight ceiling would only measure the host. `EXPERIMENTS.md` has the
+/// re-measurement recipe.
+pub fn matrix_scenarios() -> Vec<MatrixScenario> {
+    vec![
+        // Jog-speed ego-motion is the paper's hardest regime (Fig. 12):
+        // the map dies and rebuilds repeatedly, so the honest floor is
+        // low. Before the accuracy-recovery work (permissive init
+        // fallback, bootstrap urgency, track-loss reset) one of the three
+        // sweep seeds never initialized at all and scored 0.0.
+        MatrixScenario {
+            name: "urban_rush",
+            preset: datasets::urban_rush,
+            seed: 11,
+            frames: 72,
+            width: 320,
+            height: 240,
+            slo: ScenarioSlo {
+                min_iou: 0.15,
+                max_p99_ms: 540.0,
+            },
+            tweak: stock_config,
+        },
+        // Measured 0.512–0.537 across seeds.
+        MatrixScenario {
+            name: "crowd_occlusion",
+            preset: datasets::crowd_occlusion,
+            seed: 12,
+            frames: 72,
+            width: 320,
+            height: 240,
+            slo: ScenarioSlo {
+                min_iou: 0.45,
+                max_p99_ms: 420.0,
+            },
+            tweak: stock_config,
+        },
+        // Measured 0.549–0.790 across seeds.
+        MatrixScenario {
+            name: "lighting_shift",
+            preset: datasets::lighting_shift,
+            seed: 13,
+            frames: 72,
+            width: 320,
+            height: 240,
+            slo: ScenarioSlo {
+                min_iou: 0.48,
+                max_p99_ms: 460.0,
+            },
+            tweak: stock_config,
+        },
+        // Measured 0.571–0.642 across seeds.
+        MatrixScenario {
+            name: "object_churn",
+            preset: datasets::object_churn,
+            seed: 14,
+            frames: 90,
+            width: 320,
+            height: 240,
+            slo: ScenarioSlo {
+                min_iou: 0.50,
+                max_p99_ms: 450.0,
+            },
+            tweak: stock_config,
+        },
+        // Measured 0.547–0.741 across seeds; the same budgets gate the
+        // 10k-frame `--full` drift run.
+        MatrixScenario {
+            name: "patrol_drift",
+            preset: datasets::patrol_drift,
+            seed: 15,
+            frames: 240,
+            width: 320,
+            height: 240,
+            slo: ScenarioSlo {
+                min_iou: 0.48,
+                max_p99_ms: 520.0,
+            },
+            tweak: stock_config,
+        },
+        // 640×480 over Wi-Fi: ~4× the uplink bytes per keyframe pushes
+        // the p99 well past the QVGA scenarios, and the first usable map
+        // lands late, dragging the mean down (per-instance IoU reaches
+        // 0.7–0.9 once warm). Measured 0.334–0.392 across seeds.
+        MatrixScenario {
+            name: "atrium_hires",
+            preset: datasets::atrium_hires,
+            seed: 16,
+            frames: 120,
+            width: 640,
+            height: 480,
+            slo: ScenarioSlo {
+                min_iou: 0.28,
+                max_p99_ms: 920.0,
+            },
+            tweak: stock_config,
+        },
+    ]
+}
+
+/// One golden scenario: a name, a deterministic recorder, and the
+/// budgets its recording must meet.
 pub struct Scenario {
     pub name: &'static str,
-    record: fn() -> Trace,
+    /// Budgets asserted against the recorded trace.
+    pub slo: ScenarioSlo,
+    record: Box<dyn Fn() -> Trace>,
 }
 
 impl Scenario {
@@ -134,22 +335,64 @@ impl Scenario {
 }
 
 /// The golden set: every scenario with a committed trace under
-/// `tests/golden/`.
+/// `tests/golden/` — the three original indoor scenarios plus the full
+/// [`matrix_scenarios`] sweep.
 pub fn golden_scenarios() -> Vec<Scenario> {
-    vec![
+    // Legacy budgets follow the same calibration rule as the matrix
+    // (observed IoU minus margin, observed p99 plus ~30–50% headroom;
+    // measured 0.536/383ms, 0.620/367ms, 0.828/303ms respectively).
+    let mut scenarios = vec![
         Scenario {
             name: "single_cfrs",
-            record: || record_single_with("single_cfrs", 60, 1, None, |_| {}),
+            slo: ScenarioSlo {
+                min_iou: 0.45,
+                max_p99_ms: 520.0,
+            },
+            record: Box::new(|| {
+                record_single_with("single_cfrs", 60, 1, None, pin_legacy_defaults)
+            }),
         },
         Scenario {
             name: "single_faulted",
-            record: || {
-                record_single_with("single_faulted", 90, 2, Some(faulted_schedule()), |_| {})
+            // The 85% response-drop window starves mask refresh for over
+            // a third of the run, so the IoU budget is looser.
+            slo: ScenarioSlo {
+                min_iou: 0.50,
+                max_p99_ms: 520.0,
             },
+            record: Box::new(|| {
+                record_single_with(
+                    "single_faulted",
+                    90,
+                    2,
+                    Some(faulted_schedule()),
+                    pin_legacy_defaults,
+                )
+            }),
         },
         Scenario {
             name: "fleet_serving",
-            record: || record_fleet("fleet_serving", 2, 48, Some(ServingConfig::default())),
+            slo: ScenarioSlo {
+                min_iou: 0.70,
+                max_p99_ms: 450.0,
+            },
+            record: Box::new(|| {
+                record_fleet_with(
+                    "fleet_serving",
+                    2,
+                    48,
+                    Some(ServingConfig::default()),
+                    pin_legacy_defaults,
+                )
+            }),
         },
-    ]
+    ];
+    for m in matrix_scenarios() {
+        scenarios.push(Scenario {
+            name: m.name,
+            slo: m.slo,
+            record: Box::new(move || m.record()),
+        });
+    }
+    scenarios
 }

@@ -1,0 +1,62 @@
+//! Tier-1 smoke over the scenario matrix: every matrix preset records at
+//! canonical length, meets its committed [`ScenarioSlo`], and matches its
+//! golden byte-for-byte under the bless-environment manifest rules. The
+//! 10k-frame drift certification stays behind `scenario_matrix --full`
+//! in the CI job — this test is the always-on floor.
+
+use edgeis_conformance::envfp::{check_golden_bytes, GoldenVerdict};
+use edgeis_conformance::{matrix_scenarios, write_divergence_report, BlessManifest};
+
+#[test]
+fn matrix_scenarios_meet_slo_and_match_goldens() {
+    let manifest = BlessManifest::load();
+    let mut failures: Vec<String> = Vec::new();
+    for scenario in matrix_scenarios() {
+        let trace = scenario.record();
+        let records: Vec<_> = trace.frames.iter().map(|f| f.record.clone()).collect();
+        let outcome = scenario.slo.check(&records);
+        eprintln!(
+            "{}: iou {:.3} ({} samples) p99 {:.1} ms ({} resp)",
+            scenario.name,
+            outcome.mean_iou,
+            outcome.iou_samples,
+            outcome.p99_latency_ms,
+            outcome.latency_samples,
+        );
+        if !outcome.ok() {
+            failures.push(format!(
+                "{}: SLO miss — iou {:.3} (floor {:.2}, ok={}) p99 {:.1} ms (ceiling {:.0}, ok={})",
+                scenario.name,
+                outcome.mean_iou,
+                scenario.slo.min_iou,
+                outcome.iou_ok,
+                outcome.p99_latency_ms,
+                scenario.slo.max_p99_ms,
+                outcome.latency_ok,
+            ));
+        }
+        match check_golden_bytes(&manifest, scenario.name, || trace.clone()) {
+            GoldenVerdict::Matched | GoldenVerdict::SkippedForeignEnv { .. } => {}
+            GoldenVerdict::MissingGolden => {
+                failures.push(format!(
+                    "{}: no committed golden (bless it: cargo run -p edgeis-conformance \
+                     --bin golden -- --bless {})",
+                    scenario.name, scenario.name
+                ));
+            }
+            GoldenVerdict::Diverged(d) => {
+                let report = write_divergence_report(scenario.name, "scenario_matrix_test", &d);
+                failures.push(format!(
+                    "{}: trace diverges from golden — {d} (report: {})",
+                    scenario.name,
+                    report.display()
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "scenario matrix failures:\n{}",
+        failures.join("\n")
+    );
+}

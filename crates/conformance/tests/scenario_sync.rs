@@ -1,0 +1,74 @@
+//! Registry ↔ files sync: every scenario in [`golden_scenarios`] has a
+//! committed golden trace, and every golden trace on disk corresponds to
+//! a registered scenario. Catches both halves of the drift — a preset
+//! added without blessing its golden, and a stale `.json` left behind
+//! after a scenario is renamed or retired.
+
+use edgeis_conformance::golden::golden_dir;
+use edgeis_conformance::golden_scenarios;
+use std::collections::BTreeSet;
+
+/// Goldens that are *recorded by the suite itself* on first run rather
+/// than committed (see `fleet_failover.rs`): allowed on disk without a
+/// registry entry, and allowed in neither place on a fresh checkout.
+const SELF_BLESSED: &[&str] = &["fleet_failover"];
+
+fn golden_files_on_disk() -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for entry in std::fs::read_dir(golden_dir()).expect("golden dir must exist") {
+        let path = entry.expect("read golden dir entry").path();
+        // Only trace files count; the BLESS_ENVS manifest (no extension)
+        // and editor droppings are not goldens.
+        if path.extension().and_then(|e| e.to_str()) == Some("json") {
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .expect("golden file stem")
+                .to_string();
+            names.insert(stem);
+        }
+    }
+    names
+}
+
+#[test]
+fn every_registered_scenario_has_a_committed_golden() {
+    let on_disk = golden_files_on_disk();
+    let missing: Vec<&str> = golden_scenarios()
+        .iter()
+        .map(|s| s.name)
+        .filter(|name| !on_disk.contains(*name) && !SELF_BLESSED.contains(name))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "scenarios registered in golden_scenarios() but with no golden under {}: {missing:?} \
+         (bless them: cargo run -p edgeis-conformance --bin golden -- --bless {})",
+        golden_dir().display(),
+        missing.join(" "),
+    );
+}
+
+#[test]
+fn every_golden_on_disk_is_a_registered_scenario() {
+    let registered: BTreeSet<&str> = golden_scenarios().iter().map(|s| s.name).collect();
+    let stale: Vec<String> = golden_files_on_disk()
+        .into_iter()
+        .filter(|name| {
+            !registered.contains(name.as_str()) && !SELF_BLESSED.contains(&name.as_str())
+        })
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "golden files under {} with no matching scenario in golden_scenarios(): {stale:?} \
+         (delete them or register the scenario)",
+        golden_dir().display(),
+    );
+}
+
+#[test]
+fn scenario_names_are_unique() {
+    let mut seen = BTreeSet::new();
+    for s in golden_scenarios() {
+        assert!(seen.insert(s.name), "duplicate scenario name {:?}", s.name);
+    }
+}

@@ -1,0 +1,91 @@
+//! Seed sweep over the scenario matrix: the presets are parameterized by
+//! seed precisely so experiments can average over distinct worlds, which
+//! only means something if (a) different seeds really do produce
+//! different digest streams and (b) the committed SLOs hold across
+//! seeds, not just on the blessed one.
+//!
+//! The distinctness half is cheap (short recordings — worlds diverge
+//! from frame 0) and runs in tier-1. The SLO half replays every preset
+//! at canonical length under three seeds (~minutes of rendering), so it
+//! is `#[ignore]`d here and exercised by the CI `scenario-matrix` job
+//! via `--ignored` (or `scenario_bench --seeds`).
+
+use edgeis::slo::ScenarioSlo;
+use edgeis_conformance::matrix_scenarios;
+
+/// Seed offsets applied to each scenario's blessed seed. Arbitrary but
+/// fixed, matching `scenario_bench --seeds`.
+const SEED_OFFSETS: [u64; 3] = [0, 101, 202];
+
+#[test]
+fn seeds_produce_distinct_digest_streams() {
+    for scenario in matrix_scenarios() {
+        let traces: Vec<String> = SEED_OFFSETS
+            .iter()
+            .map(|off| {
+                scenario
+                    .record_seeded(scenario.seed + off, 12)
+                    .canonical_json()
+            })
+            .collect();
+        for t in &traces {
+            assert!(
+                !t.is_empty(),
+                "{}: empty trace from a seeded recording",
+                scenario.name
+            );
+        }
+        for i in 0..traces.len() {
+            for j in (i + 1)..traces.len() {
+                assert_ne!(
+                    traces[i], traces[j],
+                    "{}: seeds +{} and +{} produced identical traces — the \
+                     preset is ignoring its seed",
+                    scenario.name, SEED_OFFSETS[i], SEED_OFFSETS[j]
+                );
+            }
+        }
+    }
+}
+
+/// Full-length sweep: every committed SLO must hold on all three seeds.
+/// Run with `cargo test -p edgeis-conformance --test seed_sweep -- --ignored`.
+#[test]
+#[ignore = "records every preset 3x at canonical length; run by the CI scenario-matrix job"]
+fn all_seeds_meet_committed_slos() {
+    let mut misses: Vec<String> = Vec::new();
+    for scenario in matrix_scenarios() {
+        for off in SEED_OFFSETS {
+            let trace = scenario.record_seeded(scenario.seed + off, scenario.frames);
+            let records: Vec<_> = trace.frames.iter().map(|f| f.record.clone()).collect();
+            let outcome = ScenarioSlo {
+                min_iou: scenario.slo.min_iou,
+                max_p99_ms: scenario.slo.max_p99_ms,
+            }
+            .check(&records);
+            eprintln!(
+                "{} seed +{off}: iou {:.3} p99 {:.1} ms (iou {} lat {})",
+                scenario.name,
+                outcome.mean_iou,
+                outcome.p99_latency_ms,
+                if outcome.iou_ok { "ok" } else { "MISS" },
+                if outcome.latency_ok { "ok" } else { "MISS" },
+            );
+            if !outcome.ok() {
+                misses.push(format!(
+                    "{} seed +{off}: iou {:.3} (floor {:.2}) p99 {:.1} (ceiling {:.0})",
+                    scenario.name,
+                    outcome.mean_iou,
+                    scenario.slo.min_iou,
+                    outcome.p99_latency_ms,
+                    scenario.slo.max_p99_ms,
+                ));
+            }
+        }
+    }
+    assert!(
+        misses.is_empty(),
+        "SLO misses across seeds:\n{}",
+        misses.join("\n")
+    );
+}

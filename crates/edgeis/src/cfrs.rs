@@ -25,6 +25,19 @@ pub struct CfrsConfig {
     pub max_interval_frames: u64,
     /// Minimal spacing between transmissions in frames (rate limit).
     pub min_interval_frames: u64,
+    /// Minimal transmission spacing while the map is *not* initialized.
+    /// The default matches `min_interval_frames`: a few frames of spacing
+    /// gives the init pair triangulation baseline, and initializing on the
+    /// shortest possible baseline measurably degrades the map (crowd
+    /// preset: −0.15 mean IoU). When initialization is *failing* on this
+    /// cadence, [`CfrsPlanner::set_bootstrap_urgency`] overrides it to
+    /// every-frame until a map exists.
+    pub bootstrap_min_interval_frames: u64,
+    /// The spacing [`CfrsPlanner::set_bootstrap_urgency`] escalates to
+    /// while initialization is failing. Equal to
+    /// `bootstrap_min_interval_frames` this disables escalation entirely
+    /// (the legacy golden recorders pin that).
+    pub bootstrap_urgent_interval_frames: u64,
     /// Tile side length in pixels.
     pub tile_size: u32,
 }
@@ -36,6 +49,8 @@ impl Default for CfrsConfig {
             motion_threshold: 0.12,
             max_interval_frames: 30,
             min_interval_frames: 3,
+            bootstrap_min_interval_frames: 3,
+            bootstrap_urgent_interval_frames: 1,
             tile_size: 32,
         }
     }
@@ -77,6 +92,9 @@ pub struct CfrsPlanner {
     last_tx_frame: Option<u64>,
     /// Accumulated per-object translation since last transmission.
     motion_accum: BTreeMap<u16, f64>,
+    /// Initialization is failing at the configured bootstrap cadence;
+    /// transmit every frame until it succeeds.
+    bootstrap_urgent: bool,
 }
 
 impl CfrsPlanner {
@@ -86,7 +104,19 @@ impl CfrsPlanner {
             config,
             last_tx_frame: None,
             motion_accum: BTreeMap::new(),
+            bootstrap_urgent: false,
         }
+    }
+
+    /// Escalates (or stands down) the bootstrap cadence. Set this from
+    /// the tracker's view of initialization: when an init attempt failed
+    /// to match or solve geometry across the current pair spacing, each
+    /// extra frame of spacing only widens the baseline further, so the
+    /// planner transmits every frame until a pair close enough to
+    /// initialize from comes back annotated (fast ego-motion needs this;
+    /// see `bootstrap_min_interval_frames`).
+    pub fn set_bootstrap_urgency(&mut self, urgent: bool) {
+        self.bootstrap_urgent = urgent;
     }
 
     /// The configuration.
@@ -121,7 +151,14 @@ impl CfrsPlanner {
             .last_tx_frame
             .map(|f| frame_idx.saturating_sub(f))
             .unwrap_or(u64::MAX);
-        if since < self.config.min_interval_frames {
+        let min_interval = if initialized {
+            self.config.min_interval_frames
+        } else if self.bootstrap_urgent {
+            self.config.bootstrap_urgent_interval_frames
+        } else {
+            self.config.bootstrap_min_interval_frames
+        };
+        if since < min_interval {
             return CfrsDecision::Hold;
         }
         let reason = if !initialized {
@@ -251,10 +288,28 @@ mod tests {
     #[test]
     fn min_interval_rate_limits() {
         let mut p = planner();
+        assert!(matches!(p.decide(0, true, 1.0), CfrsDecision::Transmit(_)));
+        assert_eq!(p.decide(1, true, 1.0), CfrsDecision::Hold);
+        assert_eq!(p.decide(2, true, 1.0), CfrsDecision::Hold);
+        assert!(matches!(p.decide(3, true, 1.0), CfrsDecision::Transmit(_)));
+    }
+
+    #[test]
+    fn bootstrap_urgency_overrides_cadence() {
+        // Default bootstrap cadence equals the normal rate limit.
+        let mut p = planner();
         assert!(matches!(p.decide(0, false, 1.0), CfrsDecision::Transmit(_)));
         assert_eq!(p.decide(1, false, 1.0), CfrsDecision::Hold);
         assert_eq!(p.decide(2, false, 1.0), CfrsDecision::Hold);
         assert!(matches!(p.decide(3, false, 1.0), CfrsDecision::Transmit(_)));
+
+        // A failing initialization escalates to every-frame transmission
+        // until the map exists; urgency never affects the initialized
+        // rate limit.
+        p.set_bootstrap_urgency(true);
+        assert!(matches!(p.decide(4, false, 1.0), CfrsDecision::Transmit(_)));
+        assert!(matches!(p.decide(5, false, 1.0), CfrsDecision::Transmit(_)));
+        assert_eq!(p.decide(6, true, 0.0), CfrsDecision::Hold);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod multi;
 pub mod pipeline;
 pub mod resources;
 pub mod serving;
+pub mod slo;
 pub mod system;
 pub mod trace;
 pub mod wire;
@@ -58,6 +59,7 @@ pub use metrics::{
 };
 pub use pipeline::{run_pipeline, run_pipeline_with_telemetry};
 pub use serving::{ServingConfig, ServingRuntime, ServingStats};
+pub use slo::{ScenarioSlo, SloOutcome};
 pub use system::{
     EdgeIsConfig, EdgeIsSystem, FrameInput, FrameOutput, LinkHealth, ResilienceConfig,
     SegmentationSystem,

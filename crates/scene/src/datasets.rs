@@ -6,7 +6,8 @@
 //! many distinct worlds, like the paper averages over video clips.
 
 use crate::object::{MotionModel, ObjectClass, SceneObject, Shape};
-use crate::render::Scene;
+use crate::render::{Lighting, Scene};
+use crate::rng::SceneRng;
 use crate::trajectory::{MotionSpeed, Trajectory};
 use edgeis_geometry::{Vec3, SO3};
 use rand::rngs::StdRng;
@@ -372,6 +373,311 @@ pub fn oil_field(seed: u64) -> World {
     }
 }
 
+// --- Scenario-matrix presets (conformance scenario suite) -----------------
+//
+// Unlike the paper-figure presets above, these draw their jitter from the
+// scene-local [`SceneRng`], so the generated geometry is identical on every
+// host and toolchain regardless of which `rand` the workspace builds
+// against — a matrix scenario's world is part of its golden contract.
+
+/// Urban driving: a street canyon of parked and oncoming cars under fast
+/// oblique ego-motion (jogging speed — the paper's hardest Fig. 12
+/// regime). Stresses MAMT under large inter-frame displacement.
+pub fn urban_rush(seed: u64) -> World {
+    let mut rng = SceneRng::new(seed, 11);
+    let mut objects = Vec::new();
+    for i in 0..5u16 {
+        let side = if i % 2 == 0 { -2.6 } else { 2.6 };
+        let z = 6.0 + i as f64 * 4.5 + rng.range(-0.8, 0.8);
+        let mut car = SceneObject::new(
+            i + 1,
+            ObjectClass::Car,
+            Shape::Cuboid {
+                half_extents: Vec3::new(0.85, 0.55, 1.9),
+            },
+            Vec3::new(side + rng.range(-0.3, 0.3), 1.05, z),
+        );
+        // Two oncoming cars drive back toward the camera.
+        if i % 2 == 1 {
+            car = car.with_motion(MotionModel::Linear {
+                velocity: Vec3::new(0.0, 0.0, -rng.range(1.0, 2.0)),
+            });
+        }
+        objects.push(car);
+    }
+    // Street facades on both sides plus a far cross-street wall: off-plane
+    // structure that keeps two-view initialization non-degenerate at jog
+    // speed.
+    for (k, side) in [(-1.0f64, 0u16), (1.0, 1)] {
+        objects.push(
+            SceneObject::new(
+                100 + side,
+                ObjectClass::Generic,
+                Shape::Cuboid {
+                    half_extents: Vec3::new(0.3, 2.5, 30.0),
+                },
+                Vec3::new(k * 5.5, -0.5, 24.0),
+            )
+            .as_background(),
+        );
+    }
+    objects.push(back_wall(110, 55.0, 8.0));
+    World {
+        scene: Scene::new(objects),
+        trajectory: Trajectory::Dolly {
+            start: Vec3::ZERO,
+            direction: Vec3::new(0.25, 0.0, 0.968),
+            speed: MotionSpeed::Jog,
+            view_yaw: 0.0,
+        },
+        name: format!("urban-rush-{seed}"),
+    }
+}
+
+/// Crowded scene: eight instances in two depth bands whose oscillations
+/// cross, so near objects repeatedly occlude far ones mid-run. Stresses
+/// contour transfer through partial visibility and re-emergence.
+pub fn crowd_occlusion(seed: u64) -> World {
+    let mut rng = SceneRng::new(seed, 12);
+    let mut objects = Vec::new();
+    for i in 0..8u16 {
+        // Front band (z≈3.6) and back band (z≈5.2); x interleaved so the
+        // bands overlap in the image.
+        let front = i % 2 == 0;
+        let z = if front { 3.6 } else { 5.2 } + rng.range(-0.2, 0.2);
+        let x = -2.1 + i as f64 * 0.6 + rng.range(-0.15, 0.15);
+        let person = i % 3 == 0;
+        let mut obj = SceneObject::new(
+            i + 1,
+            if person {
+                ObjectClass::Person
+            } else {
+                ObjectClass::Furniture
+            },
+            if person {
+                Shape::Cylinder {
+                    radius: rng.range(0.28, 0.36),
+                    half_height: rng.range(0.7, 0.9),
+                }
+            } else {
+                Shape::Cuboid {
+                    half_extents: Vec3::new(
+                        rng.range(0.3, 0.45),
+                        rng.range(0.45, 0.65),
+                        rng.range(0.3, 0.45),
+                    ),
+                }
+            },
+            Vec3::new(x, 0.8, z),
+        );
+        // The front band slides sideways, sweeping across the back band.
+        if front {
+            obj = obj.with_motion(MotionModel::Oscillate {
+                amplitude: Vec3::new(rng.range(0.5, 0.9), 0.0, 0.0),
+                omega: rng.range(0.5, 0.8),
+            });
+        }
+        objects.push(obj);
+    }
+    objects.push(back_wall(100, 9.0, 8.0));
+    objects.push(pillar(101, -3.4, 6.0));
+    objects.push(pillar(102, 3.4, 6.5));
+    World {
+        scene: Scene::new(objects),
+        trajectory: Trajectory::lateral(MotionSpeed::Walk),
+        name: format!("crowd-occlusion-{seed}"),
+    }
+}
+
+/// Static indoor content under sinusoidal exposure drift (±25% gain every
+/// 3 s). Geometry is easy; the photometric shift is the stressor —
+/// brightness-keyed features (FAST thresholds, BRIEF bits) see a scene
+/// whose appearance never settles.
+pub fn lighting_shift(seed: u64) -> World {
+    let mut rng = SceneRng::new(seed, 13);
+    let mut objects = Vec::new();
+    for i in 0..4u16 {
+        objects.push(SceneObject::new(
+            i + 1,
+            ObjectClass::Furniture,
+            Shape::Cuboid {
+                half_extents: Vec3::new(
+                    rng.range(0.32, 0.5),
+                    rng.range(0.4, 0.7),
+                    rng.range(0.32, 0.5),
+                ),
+            },
+            Vec3::new(
+                -1.8 + i as f64 * 1.2 + rng.range(-0.2, 0.2),
+                0.85,
+                4.6 + rng.range(-0.5, 0.7),
+            ),
+        ));
+    }
+    objects.push(back_wall(100, 8.5, 7.5));
+    objects.push(pillar(101, -3.2, 5.5));
+    objects.push(pillar(102, 3.2, 6.0));
+    World {
+        scene: Scene::new(objects).with_lighting(Lighting::Drift {
+            period_s: 3.0,
+            amplitude: 0.25,
+        }),
+        trajectory: Trajectory::lateral(MotionSpeed::Walk),
+        name: format!("lighting-shift-{seed}"),
+    }
+}
+
+/// Birth/death churn: a stable backbone of three objects plus three that
+/// appear or vanish mid-run on staggered lifetimes. Stresses CFRS new-area
+/// triggering (births must force keyframes) and lost-object correction
+/// (deaths must not leave ghost masks).
+pub fn object_churn(seed: u64) -> World {
+    let mut rng = SceneRng::new(seed, 14);
+    let mut objects = Vec::new();
+    for i in 0..3u16 {
+        objects.push(SceneObject::new(
+            i + 1,
+            ObjectClass::Furniture,
+            Shape::Cuboid {
+                half_extents: Vec3::new(
+                    rng.range(0.3, 0.45),
+                    rng.range(0.4, 0.6),
+                    rng.range(0.3, 0.45),
+                ),
+            },
+            Vec3::new(-1.9 + i as f64 * 1.9 + rng.range(-0.2, 0.2), 0.9, 4.5),
+        ));
+    }
+    // Churners: one dies mid-run, one is born mid-run, one blinks through
+    // the middle third. Windows are staggered so every third of the run
+    // sees at least one birth or death event.
+    let churn_shapes = |rng: &mut SceneRng| Shape::Cylinder {
+        radius: rng.range(0.3, 0.38),
+        half_height: rng.range(0.65, 0.85),
+    };
+    let s1 = churn_shapes(&mut rng);
+    let s2 = churn_shapes(&mut rng);
+    let s3 = churn_shapes(&mut rng);
+    objects.push(
+        SceneObject::new(4, ObjectClass::Person, s1, Vec3::new(-0.9, 0.8, 3.4))
+            .with_lifetime(0.0, 1.3),
+    );
+    objects.push(
+        SceneObject::new(5, ObjectClass::Person, s2, Vec3::new(1.1, 0.8, 3.7))
+            .with_lifetime(1.6, 1e9),
+    );
+    objects.push(
+        SceneObject::new(6, ObjectClass::Person, s3, Vec3::new(0.1, 0.8, 5.6))
+            .with_lifetime(0.9, 2.2),
+    );
+    objects.push(back_wall(100, 9.0, 8.0));
+    objects.push(pillar(101, -3.0, 6.0));
+    objects.push(pillar(102, 3.2, 6.5));
+    World {
+        scene: Scene::new(objects),
+        trajectory: Trajectory::lateral(MotionSpeed::Walk),
+        name: format!("object-churn-{seed}"),
+    }
+}
+
+/// Long-horizon drift run: a fixed indoor hall patrolled end-to-end on a
+/// ping-pong trajectory that re-visits the same viewpoints every lap, so
+/// accumulated VO drift shows up as mask misalignment against pixel-exact
+/// ground truth. Designed to sustain 10k+ frames (the camera never leaves
+/// the hall); the conformance smoke variant truncates it.
+pub fn patrol_drift(seed: u64) -> World {
+    let mut rng = SceneRng::new(seed, 15);
+    let mut objects = Vec::new();
+    for i in 0..4u16 {
+        objects.push(SceneObject::new(
+            i + 1,
+            ObjectClass::Furniture,
+            Shape::Cuboid {
+                half_extents: Vec3::new(
+                    rng.range(0.35, 0.5),
+                    rng.range(0.45, 0.65),
+                    rng.range(0.35, 0.5),
+                ),
+            },
+            Vec3::new(-2.4 + i as f64 * 1.6 + rng.range(-0.15, 0.15), 0.9, 5.0),
+        ));
+    }
+    objects.push(back_wall(100, 9.5, 9.0));
+    objects.push(pillar(101, -4.0, 6.5));
+    objects.push(pillar(102, 4.0, 6.5));
+    objects.push(pillar(103, 0.0, 7.5));
+    World {
+        scene: Scene::new(objects),
+        trajectory: Trajectory::Patrol {
+            a: Vec3::new(-1.6, 0.0, 0.0),
+            b: Vec3::new(1.6, 0.0, 0.0),
+            speed: MotionSpeed::Walk,
+            view_yaw: 0.0,
+        },
+        name: format!("patrol-drift-{seed}"),
+    }
+}
+
+/// A wider atrium scene sized for the 640×480 camera: more instances and
+/// more depth spread than `indoor_simple`, so the 4× pixel budget is spent
+/// on real content. Registered in the conformance matrix with a VGA
+/// camera — the only scenario not at 320×240.
+pub fn atrium_hires(seed: u64) -> World {
+    let mut rng = SceneRng::new(seed, 16);
+    let mut objects = Vec::new();
+    for i in 0..6u16 {
+        let z = 4.2 + (i % 3) as f64 * 1.6 + rng.range(-0.3, 0.3);
+        let x = -2.4 + i as f64 * 1.0 + rng.range(-0.2, 0.2);
+        let person = i % 3 == 2;
+        objects.push(SceneObject::new(
+            i + 1,
+            if person {
+                ObjectClass::Person
+            } else {
+                ObjectClass::Furniture
+            },
+            if person {
+                Shape::Cylinder {
+                    radius: rng.range(0.28, 0.36),
+                    half_height: rng.range(0.7, 0.9),
+                }
+            } else {
+                Shape::Cuboid {
+                    half_extents: Vec3::new(
+                        rng.range(0.3, 0.48),
+                        rng.range(0.4, 0.65),
+                        rng.range(0.3, 0.48),
+                    ),
+                }
+            },
+            Vec3::new(x, 0.85, z),
+        ));
+    }
+    objects.push(back_wall(100, 10.0, 9.0));
+    objects.push(pillar(101, -3.8, 6.0));
+    objects.push(pillar(102, 3.8, 6.5));
+    objects.push(pillar(103, 0.4, 8.0));
+    World {
+        scene: Scene::new(objects),
+        trajectory: Trajectory::lateral(MotionSpeed::Walk),
+        name: format!("atrium-hires-{seed}"),
+    }
+}
+
+/// A seeded world generator, as stored in [`MATRIX_PRESETS`].
+pub type PresetFn = fn(u64) -> World;
+
+/// The scenario-matrix presets by name — the sweep and seed-sweep tests
+/// iterate this instead of hard-coding the list in three places.
+pub const MATRIX_PRESETS: [(&str, PresetFn); 6] = [
+    ("urban_rush", urban_rush),
+    ("crowd_occlusion", crowd_occlusion),
+    ("lighting_shift", lighting_shift),
+    ("object_churn", object_churn),
+    ("patrol_drift", patrol_drift),
+    ("atrium_hires", atrium_hires),
+];
+
 /// Scene-complexity levels from Fig. 13.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Complexity {
@@ -528,5 +834,156 @@ mod tests {
         assert!(w.scene.objects().iter().all(|o| !o.is_dynamic()));
         // Background structure exists for VO stability.
         assert!(w.scene.objects().iter().any(|o| o.is_background));
+    }
+
+    #[test]
+    fn matrix_presets_build_render_and_vary_by_seed() {
+        let cam = Camera::with_hfov(1.2, 80, 60);
+        for (name, build) in MATRIX_PRESETS {
+            let world = build(3);
+            let pose = world.trajectory.pose_at(0.0);
+            let frame = world.scene.render(&cam, &pose);
+            assert!(
+                !frame.labels.instance_ids().is_empty(),
+                "{name}: no objects visible at t=0"
+            );
+            assert!(
+                world.scene.objects().iter().any(|o| o.is_background),
+                "{name}: no background structure for VO"
+            );
+            assert_eq!(build(3).scene, world.scene, "{name} not deterministic");
+            assert_ne!(build(4).scene, world.scene, "{name} ignores its seed");
+        }
+    }
+
+    #[test]
+    fn urban_rush_has_oncoming_traffic() {
+        let w = urban_rush(1);
+        assert!(w.scene.objects().iter().any(|o| o.is_dynamic()));
+        assert!(w
+            .scene
+            .objects()
+            .iter()
+            .any(|o| o.class == ObjectClass::Car));
+        assert!(matches!(
+            w.trajectory,
+            Trajectory::Dolly {
+                speed: MotionSpeed::Jog,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn crowd_occlusion_actually_occludes() {
+        // At some point in the run a front-band object must hide part of a
+        // back-band object: the far object's visible pixel count dips below
+        // its maximum across the sweep.
+        let cam = Camera::with_hfov(1.2, 160, 120);
+        let world = crowd_occlusion(1);
+        let far_ids: Vec<u16> = world
+            .scene
+            .objects()
+            .iter()
+            .filter(|o| !o.is_background && !o.is_dynamic())
+            .map(|o| o.id)
+            .collect();
+        assert!(!far_ids.is_empty());
+        let mut min_px = vec![usize::MAX; far_ids.len()];
+        let mut max_px = vec![0usize; far_ids.len()];
+        for step in 0..40 {
+            let t = step as f64 * 0.1;
+            let frame = world.scene.render_at(&cam, &world.trajectory.pose_at(t), t);
+            for (k, &id) in far_ids.iter().enumerate() {
+                let px = frame.labels.instance_mask(id).area();
+                min_px[k] = min_px[k].min(px);
+                max_px[k] = max_px[k].max(px);
+            }
+        }
+        assert!(
+            far_ids
+                .iter()
+                .enumerate()
+                .any(|(k, _)| max_px[k] > 0 && min_px[k] < max_px[k] * 9 / 10),
+            "no back-band object was ever occluded: min {min_px:?} max {max_px:?}"
+        );
+    }
+
+    #[test]
+    fn lighting_shift_modulates_brightness_only() {
+        let cam = Camera::with_hfov(1.2, 160, 120);
+        let world = lighting_shift(1);
+        assert!(matches!(world.scene.lighting, Lighting::Drift { .. }));
+        // Peak of the drift sine (t = period/4 = 0.75 s) vs trough
+        // (t = 2.25 s): same static geometry, different exposure.
+        let pose = world.trajectory.pose_at(0.0);
+        let bright = world.scene.render_at(&cam, &pose, 0.75);
+        let dark = world.scene.render_at(&cam, &pose, 2.25);
+        assert_eq!(bright.labels, dark.labels, "lighting leaked into labels");
+        let mean = |f: &crate::render::RenderedFrame| {
+            f.image.as_bytes().iter().map(|&p| p as f64).sum::<f64>()
+                / f.image.as_bytes().len() as f64
+        };
+        assert!(mean(&bright) > mean(&dark) * 1.2, "no brightness swing");
+    }
+
+    #[test]
+    fn object_churn_has_birth_and_death_events() {
+        let w = object_churn(1);
+        let lifetimes: Vec<(f64, f64)> = w
+            .scene
+            .objects()
+            .iter()
+            .filter_map(|o| o.lifetime)
+            .collect();
+        assert!(lifetimes.len() >= 3, "expected 3 churners");
+        // At least one death after the start and one birth after the start.
+        assert!(lifetimes.iter().any(|&(b, d)| b == 0.0 && d < 3.0));
+        assert!(lifetimes.iter().any(|&(b, _)| b > 0.0));
+        // The churners change the visible instance set over the run.
+        let cam = Camera::with_hfov(1.2, 160, 120);
+        let ids_at = |t: f64| {
+            let frame = w.scene.render_at(&cam, &w.trajectory.pose_at(t), t);
+            let mut ids = frame.labels.instance_ids();
+            ids.sort_unstable();
+            ids
+        };
+        assert_ne!(ids_at(0.0), ids_at(2.0), "churn did not change instances");
+    }
+
+    #[test]
+    fn patrol_drift_sustains_long_runs() {
+        let cam = Camera::with_hfov(1.2, 160, 120);
+        let world = patrol_drift(1);
+        // 10k frames at 30 fps ≈ 333 s; sample across that horizon — the
+        // camera must always see scene content (never walks out).
+        for step in 0..20 {
+            let t = step as f64 * 17.5;
+            let frame = world.scene.render_at(&cam, &world.trajectory.pose_at(t), t);
+            assert!(
+                !frame.labels.instance_ids().is_empty(),
+                "scene empty at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn atrium_hires_is_richer_than_indoor_simple() {
+        let count = |w: &World| {
+            w.scene
+                .objects()
+                .iter()
+                .filter(|o| !o.is_background)
+                .count()
+        };
+        let atrium = atrium_hires(1);
+        assert!(count(&atrium) >= 6);
+        // Renders fine at VGA.
+        let cam = Camera::with_hfov(1.2, 640, 480);
+        let pose = atrium.trajectory.pose_at(0.0);
+        let frame = atrium.scene.render(&cam, &pose);
+        assert_eq!(frame.image.width(), 640);
+        assert_eq!(frame.labels.width(), 640);
+        assert!(frame.labels.instance_ids().len() >= 4);
     }
 }

@@ -33,9 +33,11 @@
 pub mod datasets;
 pub mod object;
 pub mod render;
+pub mod rng;
 pub mod trajectory;
 
 pub use datasets::{DatasetPreset, World};
 pub use object::{MotionModel, ObjectClass, SceneObject, Shape};
-pub use render::{RenderedFrame, Scene, GROUND_Y};
+pub use render::{Lighting, RenderedFrame, Scene, GROUND_Y};
+pub use rng::SceneRng;
 pub use trajectory::{MotionSpeed, Trajectory};

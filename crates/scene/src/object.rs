@@ -213,6 +213,13 @@ pub struct SceneObject {
     /// is never an instance, but still provides visual texture and
     /// off-ground-plane geometry for the VO front end.
     pub is_background: bool,
+    /// Existence window `[birth, death)` in seconds; `None` means the
+    /// object exists for the whole run. Drives the birth/death churn
+    /// scenario: outside the window the object neither renders nor
+    /// occludes. Defaults to `None` so scenes serialized before this field
+    /// existed load unchanged.
+    #[serde(default)]
+    pub lifetime: Option<(f64, f64)>,
 }
 
 impl SceneObject {
@@ -231,6 +238,7 @@ impl SceneObject {
             texture_seed: id as u32 * 7919,
             motion: MotionModel::Static,
             is_background: false,
+            lifetime: None,
         }
     }
 
@@ -252,6 +260,26 @@ impl SceneObject {
     pub fn with_rotation(mut self, rotation: SO3) -> Self {
         self.initial_pose = SE3::new(rotation, self.initial_pose.translation);
         self
+    }
+
+    /// Restricts the object to the existence window `[birth, death)`
+    /// seconds (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `birth >= death`.
+    pub fn with_lifetime(mut self, birth: f64, death: f64) -> Self {
+        assert!(birth < death, "lifetime window must be non-empty");
+        self.lifetime = Some((birth, death));
+        self
+    }
+
+    /// Whether the object exists at time `t`.
+    pub fn is_active_at(&self, t: f64) -> bool {
+        match self.lifetime {
+            None => true,
+            Some((birth, death)) => t >= birth && t < death,
+        }
     }
 
     /// The object's world pose at time `t` seconds.
@@ -410,6 +438,47 @@ mod tests {
             },
             Vec3::ZERO,
         );
+    }
+
+    #[test]
+    fn lifetime_window_half_open() {
+        let obj = SceneObject::new(
+            4,
+            ObjectClass::Generic,
+            Shape::Cuboid {
+                half_extents: Vec3::new(0.5, 0.5, 0.5),
+            },
+            Vec3::new(0.0, 0.5, 3.0),
+        )
+        .with_lifetime(1.0, 2.0);
+        assert!(!obj.is_active_at(0.99));
+        assert!(obj.is_active_at(1.0));
+        assert!(obj.is_active_at(1.99));
+        assert!(!obj.is_active_at(2.0));
+        // Default: always alive.
+        let always = SceneObject::new(
+            5,
+            ObjectClass::Generic,
+            Shape::Cuboid {
+                half_extents: Vec3::new(0.5, 0.5, 0.5),
+            },
+            Vec3::ZERO,
+        );
+        assert!(always.is_active_at(0.0) && always.is_active_at(1e6));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_lifetime_panics() {
+        let _ = SceneObject::new(
+            6,
+            ObjectClass::Generic,
+            Shape::Cuboid {
+                half_extents: Vec3::new(0.5, 0.5, 0.5),
+            },
+            Vec3::ZERO,
+        )
+        .with_lifetime(2.0, 2.0);
     }
 
     #[test]

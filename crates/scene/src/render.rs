@@ -23,12 +23,55 @@ pub struct RenderedFrame {
     pub time: f64,
 }
 
+/// Global illumination model applied to rendered pixel values (labels are
+/// untouched — ground truth is geometric, not photometric).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum Lighting {
+    /// Constant illumination. Pixel values are exactly the procedural
+    /// textures — the only mode that existed before the scenario matrix,
+    /// and still the default, so every pre-matrix scene renders
+    /// bit-identically.
+    #[default]
+    Steady,
+    /// Sinusoidal exposure drift: gain `1 + amplitude·sin(2πt/period)`,
+    /// modeling auto-exposure hunting under shifting light. Stresses the
+    /// brightness-sensitive stages (FAST thresholds, BRIEF descriptors)
+    /// without moving any geometry.
+    Drift {
+        /// Full gain cycle length in seconds.
+        period_s: f64,
+        /// Peak relative gain deviation (e.g. `0.25` → gain in 0.75–1.25).
+        amplitude: f64,
+    },
+}
+
+impl Lighting {
+    /// Applies the model to a texture value at time `t`.
+    fn apply(&self, value: u8, t: f64) -> u8 {
+        match *self {
+            Lighting::Steady => value,
+            Lighting::Drift {
+                period_s,
+                amplitude,
+            } => {
+                let gain = 1.0 + amplitude * (std::f64::consts::TAU * t / period_s).sin();
+                (value as f64 * gain).round().clamp(0.0, 255.0) as u8
+            }
+        }
+    }
+}
+
 /// A renderable world: a set of objects over a textured ground plane.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scene {
     objects: Vec<SceneObject>,
     /// Seed for the ground / sky texture.
     pub background_seed: u32,
+    /// Illumination model (defaults to [`Lighting::Steady`], which is
+    /// bit-identical to the pre-lighting renderer; `serde(default)` keeps
+    /// scenes serialized before this field existed loading unchanged).
+    #[serde(default)]
+    pub lighting: Lighting,
 }
 
 impl Scene {
@@ -45,7 +88,14 @@ impl Scene {
         Self {
             objects,
             background_seed: 0xbead,
+            lighting: Lighting::default(),
         }
+    }
+
+    /// Sets the illumination model (builder style).
+    pub fn with_lighting(mut self, lighting: Lighting) -> Self {
+        self.lighting = lighting;
+        self
     }
 
     /// The objects in the scene.
@@ -77,7 +127,8 @@ impl Scene {
         let cam_center = t_cw.camera_center();
         let r_wc = t_cw.rotation.inverse();
 
-        // Precompute object poses at time t and their inverses.
+        // Precompute object poses at time t and their inverses, and which
+        // objects exist at t (birth/death churn).
         let poses: Vec<(SE3, SE3)> = self
             .objects
             .iter()
@@ -86,6 +137,7 @@ impl Scene {
                 (p, p.inverse())
             })
             .collect();
+        let active: Vec<bool> = self.objects.iter().map(|o| o.is_active_at(t)).collect();
 
         for v in 0..h {
             for u in 0..w {
@@ -97,6 +149,9 @@ impl Scene {
                 let mut best_obj: Option<usize> = None;
 
                 for (i, obj) in self.objects.iter().enumerate() {
+                    if !active[i] {
+                        continue;
+                    }
                     let (pose_wo, pose_ow) = &poses[i];
                     // Cull by bounding sphere.
                     let center = pose_wo.translation;
@@ -143,7 +198,7 @@ impl Scene {
                     (sky_texture(dir, self.background_seed), 0)
                 };
 
-                image.set(u, v, value);
+                image.set(u, v, self.lighting.apply(value, t));
                 labels.set(u, v, label);
             }
         }
@@ -365,6 +420,75 @@ mod tests {
             same * 10 >= total * 6,
             "texture not rigid: {same}/{total} stable"
         );
+    }
+
+    #[test]
+    fn steady_lighting_is_bit_identical_to_default() {
+        // The explicit Steady builder must equal the implicit default, and
+        // rendering must not depend on t through lighting.
+        let scene = one_box_scene();
+        let lit = one_box_scene().with_lighting(Lighting::Steady);
+        let cam = small_camera();
+        let a = scene.render_at(&cam, &SE3::identity(), 0.37);
+        let b = lit.render_at(&cam, &SE3::identity(), 0.37);
+        assert_eq!(a.image, b.image);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn lighting_drift_changes_pixels_not_labels() {
+        let scene = one_box_scene().with_lighting(Lighting::Drift {
+            period_s: 4.0,
+            amplitude: 0.3,
+        });
+        let steady = one_box_scene();
+        let cam = small_camera();
+        // At the gain peak (t = period/4) pixels brighten but ground truth
+        // is untouched.
+        let lit = scene.render_at(&cam, &SE3::identity(), 1.0);
+        let base = steady.render_at(&cam, &SE3::identity(), 1.0);
+        assert_eq!(lit.labels, base.labels);
+        assert_ne!(lit.image, base.image);
+        let mean = |img: &GrayImage| {
+            let mut sum = 0u64;
+            for y in 0..img.height() {
+                for x in 0..img.width() {
+                    sum += img.get(x, y) as u64;
+                }
+            }
+            sum as f64 / (img.width() * img.height()) as f64
+        };
+        assert!(mean(&lit.image) > mean(&base.image) * 1.1);
+    }
+
+    #[test]
+    fn dead_objects_neither_render_nor_occlude() {
+        // A huge occluder that only exists during [1, 2): before birth and
+        // after death the scene must look exactly like it was never there.
+        let occluder = SceneObject::new(
+            7,
+            ObjectClass::Furniture,
+            Shape::Cuboid {
+                half_extents: Vec3::new(2.0, 2.0, 0.2),
+            },
+            Vec3::new(0.0, 0.0, 2.0),
+        )
+        .with_lifetime(1.0, 2.0);
+        let mut objects = one_box_scene().objects().to_vec();
+        objects.push(occluder);
+        let with_churn = Scene::new(objects);
+        let without = one_box_scene();
+        let cam = small_camera();
+        for t in [0.0, 2.5] {
+            let a = with_churn.render_at(&cam, &SE3::identity(), t);
+            let b = without.render_at(&cam, &SE3::identity(), t);
+            assert_eq!(a.image, b.image, "t={t}");
+            assert_eq!(a.labels, b.labels, "t={t}");
+        }
+        // Alive: it fills the view and hides the box.
+        let alive = with_churn.render_at(&cam, &SE3::identity(), 1.5);
+        assert!(alive.labels.instance_ids().contains(&7));
+        assert!(!alive.labels.instance_ids().contains(&1));
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! A tiny scene-local PRNG for world generation.
+//!
+//! The original presets draw their jitter from `rand::StdRng`, which ties
+//! the generated *world geometry* to the exact rand crate version the host
+//! builds against. The scenario-matrix presets instead use this
+//! self-contained SplitMix64 generator so the same seed produces the same
+//! world on every host and toolchain — a preset's geometry is part of its
+//! contract, not an artifact of the dependency tree. (The rest of the
+//! pipeline — link jitter, model noise — still draws from `StdRng`; see
+//! the environment-fingerprint notes in `edgeis-conformance`.)
+//!
+//! The repo already uses this generator shape for test fixtures (the
+//! `anchor_cloud` fixture in `edgeis-vo`); this module just gives it a
+//! home with range helpers.
+
+/// Deterministic SplitMix64 stream with uniform range helpers.
+#[derive(Debug, Clone)]
+pub struct SceneRng {
+    state: u64,
+}
+
+impl SceneRng {
+    /// Seeds the stream. A salt keeps independent draws (object sizes vs
+    /// positions) decorrelated across presets sharing a seed.
+    pub fn new(seed: u64, salt: u64) -> Self {
+        Self {
+            state: seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(salt.wrapping_mul(0xbf58_476d_1ce4_e5b9)),
+        }
+    }
+
+    /// Next raw 64-bit draw (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+
+    /// Uniform integer draw in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SceneRng::new(7, 1);
+        let mut b = SceneRng::new(7, 1);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_and_salts_decorrelate() {
+        let draws = |seed, salt| {
+            let mut r = SceneRng::new(seed, salt);
+            (0..8).map(|_| r.next_u64()).collect::<Vec<_>>()
+        };
+        assert_ne!(draws(1, 1), draws(2, 1));
+        assert_ne!(draws(1, 1), draws(1, 2));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SceneRng::new(3, 9);
+        for _ in 0..1000 {
+            let v = r.range(-2.5, 4.0);
+            assert!((-2.5..4.0).contains(&v));
+            let n = r.range_usize(3, 11);
+            assert!((3..11).contains(&n));
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn chance_tracks_probability() {
+        let mut r = SceneRng::new(42, 0);
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits {hits}");
+    }
+}

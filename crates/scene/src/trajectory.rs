@@ -77,6 +77,21 @@ pub enum Trajectory {
         /// Fixed yaw of the viewing direction (radians about +Y).
         view_yaw: f64,
     },
+    /// Ping-pong patrol between two waypoints with gait bob/sway, facing a
+    /// fixed yaw. Unlike [`Trajectory::Dolly`] it never leaves the scene,
+    /// so it sustains arbitrarily long runs (the 10k-frame drift
+    /// scenario): the camera re-visits the same viewpoints every lap,
+    /// which is exactly what exposes accumulated VO drift.
+    Patrol {
+        /// First waypoint (camera center at t = 0).
+        a: Vec3,
+        /// Second waypoint.
+        b: Vec3,
+        /// Gait regime.
+        speed: MotionSpeed,
+        /// Fixed yaw of the viewing direction (radians about +Y).
+        view_yaw: f64,
+    },
     /// Orbit around a center point at fixed radius and height, always
     /// looking at the center — the inspection pattern of the oil-field
     /// deployment.
@@ -131,6 +146,25 @@ impl Trajectory {
                 let r_wc = SO3::from_yaw(view_yaw + sway);
                 // T_cw = [R_cw | -R_cw * center]; R_cw = R_wc^T.
                 let r_cw = r_wc.inverse();
+                SE3::new(r_cw, -(r_cw * center))
+            }
+            Trajectory::Patrol {
+                a,
+                b,
+                speed,
+                view_yaw,
+            } => {
+                // Triangle-wave position along the segment: 0→1→0 per lap.
+                let span = (*b - *a).norm();
+                let lap = (2.0 * span / speed.speed()).max(1e-9);
+                let phase = (t / lap).fract() * 2.0;
+                let s = if phase <= 1.0 { phase } else { 2.0 - phase };
+                let bob = speed.bob_amplitude()
+                    * (2.0 * std::f64::consts::PI * speed.bob_frequency() * t).sin();
+                let sway = speed.sway_amplitude()
+                    * (2.0 * std::f64::consts::PI * speed.bob_frequency() * 0.5 * t).sin();
+                let center = *a + (*b - *a) * s + Vec3::new(0.0, bob, 0.0);
+                let r_cw = SO3::from_yaw(view_yaw + sway).inverse();
                 SE3::new(r_cw, -(r_cw * center))
             }
             Trajectory::Orbit {
@@ -248,6 +282,29 @@ mod tests {
             let target_cam = pose.transform(Vec3::new(0.0, 0.5, 5.0));
             assert!(target_cam.z > 0.0, "center behind camera at t={t}");
             assert!(target_cam.x.abs() < 0.2 && target_cam.y.abs() < 0.3);
+        }
+    }
+
+    #[test]
+    fn patrol_ping_pongs_and_stays_bounded() {
+        let a = Vec3::new(-2.0, 0.0, 0.0);
+        let b = Vec3::new(2.0, 0.0, 0.0);
+        let tr = Trajectory::Patrol {
+            a,
+            b,
+            speed: MotionSpeed::Walk,
+            view_yaw: 0.0,
+        };
+        // Lap time = 2 · 4 m / 0.8 m/s = 10 s: at t=0 we sit at a, at
+        // t=5 at b, at t=10 back at a.
+        let near = |p: Vec3, q: Vec3| p.distance(q) < 0.1;
+        assert!(near(tr.pose_at(0.0).camera_center(), a));
+        assert!(near(tr.pose_at(5.0).camera_center(), b));
+        assert!(near(tr.pose_at(10.0).camera_center(), a));
+        // Over a very long horizon the camera never escapes the segment.
+        for i in 0..200 {
+            let c = tr.pose_at(i as f64 * 7.3).camera_center();
+            assert!(c.x >= -2.01 && c.x <= 2.01, "escaped at x={}", c.x);
         }
     }
 

@@ -1,0 +1,225 @@
+//! Property tests for the ray-cast renderer — the source of every
+//! ground-truth label the conformance suite scores against, so its own
+//! correctness has to be established independently:
+//!
+//! - **Occlusion**: the label at each pixel is the nearest hit along the
+//!   ray, re-derived here by a brute-force scan over all shapes with no
+//!   bounding-sphere culling (the renderer's only shortcut).
+//! - **Roll invariance**: a 180° roll about the optical axis is an exact
+//!   pixel permutation for a centered principal point, so image and
+//!   labels must be the point-reflection of the unrolled render,
+//!   bit-for-bit.
+//! - **Dimension agreement**: every matrix preset renders image and label
+//!   planes matching the camera geometry at every supported resolution.
+
+use edgeis_geometry::{Camera, Mat3, Vec2, Vec3, SE3, SO3};
+use edgeis_scene::render::GROUND_Y;
+use edgeis_scene::{datasets, MotionModel, ObjectClass, Scene, SceneObject, Shape};
+use proptest::prelude::*;
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    (0u8..2, (0.2f64..1.5, 0.2f64..1.5, 0.2f64..1.5)).prop_map(|(kind, (a, b, c))| match kind {
+        0 => Shape::Cuboid {
+            half_extents: Vec3::new(a, b, c),
+        },
+        _ => Shape::Cylinder {
+            radius: a * 0.7,
+            half_height: b,
+        },
+    })
+}
+
+fn motion_strategy() -> impl Strategy<Value = MotionModel> {
+    (
+        0u8..3,
+        (-0.8f64..0.8, -0.3f64..0.3, -0.8f64..0.8),
+        0.5f64..3.0,
+    )
+        .prop_map(|(kind, (x, y, z), omega)| match kind {
+            0 => MotionModel::Static,
+            1 => MotionModel::Linear {
+                velocity: Vec3::new(x, y, z),
+            },
+            _ => MotionModel::Oscillate {
+                amplitude: Vec3::new(x * 0.6, y, z * 0.6),
+                omega,
+            },
+        })
+}
+
+/// Random scenes: a handful of objects in front of the camera, some
+/// moving, some with finite lifetimes, occasionally tagged background.
+fn scene_strategy() -> impl Strategy<Value = Scene> {
+    let object = (
+        shape_strategy(),
+        motion_strategy(),
+        (-3.0f64..3.0, -1.0f64..1.2, 2.0f64..9.0),
+        (0u8..2, 0.0f64..1.0, 1.5f64..4.0),
+        0u8..4,
+    );
+    proptest::collection::vec(object, 1..6).prop_map(|raw| {
+        let objects = raw
+            .into_iter()
+            .enumerate()
+            .map(
+                |(i, (shape, motion, (x, y, z), (finite, birth, duration), background))| {
+                    let mut obj = SceneObject::new(
+                        (i + 1) as u16,
+                        ObjectClass::Generic,
+                        shape,
+                        Vec3::new(x, y, z),
+                    )
+                    .with_motion(motion);
+                    if finite == 1 {
+                        obj = obj.with_lifetime(birth, birth + duration);
+                    }
+                    if background == 0 {
+                        obj = obj.as_background();
+                    }
+                    obj
+                },
+            )
+            .collect();
+        Scene::new(objects)
+    })
+}
+
+fn pose_strategy() -> impl Strategy<Value = SE3> {
+    (
+        (-0.6f64..0.6, -0.3f64..0.3, -0.6f64..0.6),
+        (-0.25f64..0.25, -0.25f64..0.25, -0.25f64..0.25),
+    )
+        .prop_map(|((tx, ty, tz), (wx, wy, wz))| {
+            SE3::new(SO3::exp(Vec3::new(wx, wy, wz)), Vec3::new(tx, ty, tz))
+        })
+}
+
+/// The expected label at one pixel, by scanning every shape with no
+/// culling: nearest positive hit wins, the ground plane and sky are
+/// background, and `is_background` objects hit as geometry but label 0.
+fn brute_force_label(scene: &Scene, camera: &Camera, t_cw: &SE3, t: f64, u: u32, v: u32) -> u16 {
+    let cam_center = t_cw.camera_center();
+    let r_wc = t_cw.rotation.inverse();
+    let n = camera.normalize(Vec2::new(u as f64 + 0.5, v as f64 + 0.5));
+    let dir = (r_wc * Vec3::new(n.x, n.y, 1.0)).normalized();
+
+    let mut best_t = f64::INFINITY;
+    let mut best_label = 0u16;
+    for obj in scene.objects() {
+        if !obj.is_active_at(t) {
+            continue;
+        }
+        let pose_ow = obj.pose_at(t).inverse();
+        let o_local = pose_ow.transform(cam_center);
+        let d_local = pose_ow.rotation * dir;
+        if let Some(hit_t) = obj.shape.intersect_local(o_local, d_local) {
+            if hit_t < best_t {
+                best_t = hit_t;
+                best_label = if obj.is_background { 0 } else { obj.id };
+            }
+        }
+    }
+    if dir.y.abs() > 1e-9 {
+        let tg = (GROUND_Y - cam_center.y) / dir.y;
+        if tg > 1e-9 && tg < best_t {
+            best_label = 0;
+        }
+    }
+    best_label
+}
+
+proptest! {
+    /// The renderer's bounding-sphere cull and hit ordering never change
+    /// which instance a pixel reports.
+    #[test]
+    fn labels_match_uncached_nearest_hit(
+        scene in scene_strategy(),
+        pose in pose_strategy(),
+        t in 0.0f64..4.0,
+    ) {
+        let camera = Camera::with_hfov(1.2, 64, 48);
+        let frame = scene.render_at(&camera, &pose, t);
+        // Every 3rd pixel keeps the case fast while still sweeping the
+        // whole image (including silhouette boundaries).
+        for v in (0..48u32).step_by(3) {
+            for u in (0..64u32).step_by(3) {
+                let expected = brute_force_label(&scene, &camera, &pose, t, u, v);
+                prop_assert_eq!(
+                    frame.labels.get(u, v),
+                    expected,
+                    "pixel ({}, {}) at t={}",
+                    u,
+                    v,
+                    t
+                );
+            }
+        }
+    }
+
+    /// A 180° optical-axis roll point-reflects the image plane exactly
+    /// (principal point is centered, and the roll matrix is all ±1/0, so
+    /// the rotated ray directions are bit-exact sign flips).
+    #[test]
+    fn half_turn_roll_point_reflects_image_and_labels(
+        scene in scene_strategy(),
+        pose in pose_strategy(),
+        t in 0.0f64..4.0,
+    ) {
+        let camera = Camera::with_hfov(1.2, 64, 48);
+        let roll = SO3::from_matrix_unchecked(Mat3::from_row_vecs(
+            Vec3::new(-1.0, 0.0, 0.0),
+            Vec3::new(0.0, -1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ));
+        let rolled_pose = SE3::new(roll * pose.rotation, roll * pose.translation);
+        let base = scene.render_at(&camera, &pose, t);
+        let rolled = scene.render_at(&camera, &rolled_pose, t);
+        for v in 0..48u32 {
+            for u in 0..64u32 {
+                let (mu, mv) = (63 - u, 47 - v);
+                prop_assert_eq!(
+                    rolled.labels.get(u, v),
+                    base.labels.get(mu, mv),
+                    "label at ({}, {})",
+                    u,
+                    v
+                );
+                prop_assert_eq!(
+                    rolled.image.get(u, v),
+                    base.image.get(mu, mv),
+                    "pixel at ({}, {})",
+                    u,
+                    v
+                );
+            }
+        }
+    }
+}
+
+/// Every scenario-matrix preset renders image and label planes that agree
+/// with each other and with the camera geometry, at every resolution the
+/// conformance suite uses (QQVGA smoke, QVGA matrix, VGA hi-res).
+#[test]
+fn presets_render_consistent_dimensions_at_all_resolutions() {
+    for (name, preset) in datasets::MATRIX_PRESETS {
+        let world = preset(42);
+        for (w, h) in [(80u32, 60u32), (320, 240), (640, 480)] {
+            let camera = Camera::with_hfov(1.2, w, h);
+            let pose = world.trajectory.pose_at(0.5);
+            let frame = world.scene.render_at(&camera, &pose, 0.5);
+            assert_eq!(frame.image.width(), w, "{name} image width at {w}x{h}");
+            assert_eq!(frame.image.height(), h, "{name} image height at {w}x{h}");
+            assert_eq!(frame.labels.width(), w, "{name} label width at {w}x{h}");
+            assert_eq!(frame.labels.height(), h, "{name} label height at {w}x{h}");
+            // Labels only name objects that exist in the scene and are
+            // never the ids of background-tagged geometry.
+            for id in frame.labels.instance_ids() {
+                let obj = world
+                    .scene
+                    .object(id)
+                    .unwrap_or_else(|| panic!("{name}: label {id} has no object"));
+                assert!(!obj.is_background, "{name}: background object {id} labeled");
+            }
+        }
+    }
+}

@@ -107,6 +107,12 @@ impl FrameStore {
     pub fn iter(&self) -> impl DoubleEndedIterator<Item = &ProcessedFrame> {
         self.frames.iter()
     }
+
+    /// Mutable iteration, oldest-first (tracking-loss reset uses this to
+    /// invalidate poses recorded under an abandoned map gauge).
+    pub fn iter_mut(&mut self) -> impl DoubleEndedIterator<Item = &mut ProcessedFrame> {
+        self.frames.iter_mut()
+    }
 }
 
 #[cfg(test)]

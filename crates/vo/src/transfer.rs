@@ -21,11 +21,48 @@ pub struct DepthAnchor {
     pub depth: f64,
 }
 
+/// How a contour pixel's borrowed depth is folded from its k nearest
+/// anchors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepthStat {
+    /// Arithmetic mean of the k depths (the paper's formulation).
+    Mean,
+    /// Median of the k depths (middle by rank; mean of the two middles for
+    /// even k). Robust when a contour pixel's neighbourhood straddles an
+    /// occlusion boundary and some anchors sit on a *different* surface:
+    /// the mean drags the borrowed depth toward the outlier surface and
+    /// warps that stretch of contour, the median ignores it.
+    Median,
+}
+
+impl DepthStat {
+    /// Folds depths listed in (distance, index) rank order.
+    fn fold(self, depths: &[f64]) -> f64 {
+        debug_assert!(!depths.is_empty());
+        match self {
+            DepthStat::Mean => depths.iter().sum::<f64>() / depths.len() as f64,
+            DepthStat::Median => {
+                // Rank order is by pixel distance, not depth: sort a copy.
+                let mut sorted = depths.to_vec();
+                sorted.sort_by(f64::total_cmp);
+                let mid = sorted.len() / 2;
+                if sorted.len() % 2 == 1 {
+                    sorted[mid]
+                } else {
+                    (sorted[mid - 1] + sorted[mid]) / 2.0
+                }
+            }
+        }
+    }
+}
+
 /// Configuration for [`transfer_mask`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransferConfig {
-    /// Number of nearest anchors averaged per contour pixel (paper: 5).
+    /// Number of nearest anchors folded per contour pixel (paper: 5).
     pub k_nearest: usize,
+    /// How the k borrowed depths are folded into one.
+    pub depth_stat: DepthStat,
     /// Maximum contour vertices projected per component (controls cost).
     pub max_contour_points: usize,
     /// Minimum fraction of contour points that must project in front of the
@@ -42,6 +79,7 @@ impl Default for TransferConfig {
     fn default() -> Self {
         Self {
             k_nearest: 5,
+            depth_stat: DepthStat::Mean,
             max_contour_points: 160,
             min_valid_fraction: 0.6,
             use_anchor_index: true,
@@ -96,8 +134,10 @@ pub fn transfer_mask(
             total_pts += 1;
             let s = Vec2::new(sx as f64, sy as f64);
             let depth = match &index {
-                Some(index) => index.knn_depth(s, config.k_nearest, &mut knn_scratch),
-                None => knn_depth_linear(s, anchors, config.k_nearest),
+                Some(index) => {
+                    index.knn_depth_stat(s, config.k_nearest, config.depth_stat, &mut knn_scratch)
+                }
+                None => knn_depth_linear_stat(s, anchors, config.k_nearest, config.depth_stat),
             };
             if depth <= 1e-9 {
                 continue;
@@ -129,6 +169,16 @@ pub fn transfer_mask(
 /// implementation. Kept public for the micro-benchmarks and as the
 /// equivalence oracle for [`AnchorIndex::knn_depth`].
 pub fn knn_depth_linear(pixel: Vec2, anchors: &[DepthAnchor], k: usize) -> f64 {
+    knn_depth_linear_stat(pixel, anchors, k, DepthStat::Mean)
+}
+
+/// [`knn_depth_linear`] with a selectable fold over the k depths.
+pub fn knn_depth_linear_stat(
+    pixel: Vec2,
+    anchors: &[DepthAnchor],
+    k: usize,
+    stat: DepthStat,
+) -> f64 {
     debug_assert!(!anchors.is_empty());
     let k = k.max(1).min(anchors.len());
     // Partial selection of the k smallest distances.
@@ -137,7 +187,8 @@ pub fn knn_depth_linear(pixel: Vec2, anchors: &[DepthAnchor], k: usize) -> f64 {
         .map(|a| (a.pixel.distance(pixel), a.depth))
         .collect();
     dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-    dists.iter().take(k).map(|&(_, d)| d).sum::<f64>() / k as f64
+    let depths: Vec<f64> = dists.iter().take(k).map(|&(_, d)| d).collect();
+    stat.fold(&depths)
 }
 
 /// A uniform bucket grid over depth anchors, replacing the per-contour-
@@ -197,6 +248,19 @@ impl<'a> AnchorIndex<'a> {
     /// Mean depth of the `k` nearest anchors; `scratch` is a reusable
     /// candidate buffer (cleared on entry).
     pub fn knn_depth(&self, pixel: Vec2, k: usize, scratch: &mut Vec<(f64, u32)>) -> f64 {
+        self.knn_depth_stat(pixel, k, DepthStat::Mean, scratch)
+    }
+
+    /// [`Self::knn_depth`] with a selectable fold over the k depths.
+    /// `DepthStat::Mean` stays allocation-free and bit-identical to the
+    /// linear oracle; `Median` copies the ≤ k selected depths.
+    pub fn knn_depth_stat(
+        &self,
+        pixel: Vec2,
+        k: usize,
+        stat: DepthStat,
+        scratch: &mut Vec<(f64, u32)>,
+    ) -> f64 {
         let k = k.max(1).min(self.anchors.len());
         scratch.clear();
         let ccx = (((pixel.x - self.x0) / self.cell).floor().max(0.0) as usize).min(self.cols - 1);
@@ -225,12 +289,24 @@ impl<'a> AnchorIndex<'a> {
             }
         }
         scratch.sort_unstable_by(rank);
-        scratch
-            .iter()
-            .take(k)
-            .map(|&(_, i)| self.anchors[i as usize].depth)
-            .sum::<f64>()
-            / k as f64
+        match stat {
+            DepthStat::Mean => {
+                scratch
+                    .iter()
+                    .take(k)
+                    .map(|&(_, i)| self.anchors[i as usize].depth)
+                    .sum::<f64>()
+                    / k as f64
+            }
+            DepthStat::Median => {
+                let depths: Vec<f64> = scratch
+                    .iter()
+                    .take(k)
+                    .map(|&(_, i)| self.anchors[i as usize].depth)
+                    .collect();
+                stat.fold(&depths)
+            }
+        }
     }
 
     /// Calls `f` with every anchor index in cells at Chebyshev ring `r`
@@ -460,6 +536,48 @@ mod tests {
                             grid.to_bits(),
                             "seed {seed}, n {n}, query {q:?}, k {k}"
                         );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn median_depth_ignores_outlier_surface() {
+        // Four anchors on the object at depth 3, one borrowed from a far
+        // background surface at depth 30: the mean is dragged to 8.4, the
+        // median stays on the object.
+        let anchors: Vec<DepthAnchor> = [3.0, 3.0, 3.0, 3.0, 30.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &depth)| DepthAnchor {
+                pixel: Vec2::new(i as f64, 0.0),
+                depth,
+            })
+            .collect();
+        let q = Vec2::new(2.0, 0.0);
+        let mean = knn_depth_linear_stat(q, &anchors, 5, DepthStat::Mean);
+        let median = knn_depth_linear_stat(q, &anchors, 5, DepthStat::Median);
+        assert!((mean - 8.4).abs() < 1e-12);
+        assert_eq!(median, 3.0);
+        // Even k averages the two middles.
+        let median4 = knn_depth_linear_stat(q, &anchors, 4, DepthStat::Median);
+        assert_eq!(median4, 3.0);
+    }
+
+    #[test]
+    fn grid_median_matches_linear_across_seeds() {
+        for seed in [17u64, 404] {
+            for n in [3usize, 40, 200] {
+                let anchors = anchor_cloud(seed ^ n as u64, n);
+                let index = AnchorIndex::build(&anchors);
+                let mut scratch = Vec::new();
+                for qi in 0..60 {
+                    let q = Vec2::new((qi % 10) as f64 * 31.0, (qi / 10) as f64 * 37.0);
+                    for k in [1usize, 4, 7] {
+                        let lin = knn_depth_linear_stat(q, &anchors, k, DepthStat::Median);
+                        let grid = index.knn_depth_stat(q, k, DepthStat::Median, &mut scratch);
+                        assert_eq!(lin.to_bits(), grid.to_bits(), "seed {seed} n {n} k {k}");
                     }
                 }
             }

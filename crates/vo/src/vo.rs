@@ -54,6 +54,33 @@ pub struct VoConfig {
     /// 500-feature budget additional thinning usually costs accuracy, so
     /// it defaults to off.
     pub init_feature_selection: bool,
+    /// Half-width of the projection-guided matching window, in pixels *at
+    /// a 320-wide frame*; scaled linearly with image width at runtime. The
+    /// same camera motion moves projections twice as many pixels at
+    /// 640×480 as at 320×240, so an absolute window that re-locks tracking
+    /// at one resolution starves it at another. Expressed relative to the
+    /// 320-px reference so the legacy value (48) is applied *exactly* at
+    /// the resolution every committed golden was recorded at.
+    pub projection_gate_px_at_320: f64,
+    /// Retry two-frame initialization with the permissive
+    /// [`Self::map_matching`] parameters when strict frame-to-frame
+    /// matching finds fewer than `min_init_matches` pairs. Fast
+    /// ego-motion starves the strict matcher (ratio + cross-check) well
+    /// before co-visibility actually runs out; the RANSAC and
+    /// reprojection gates behind initialization filter the aliases a
+    /// permissive matcher admits, the same contract guided map matching
+    /// relies on. Off reproduces the legacy strict-only behaviour.
+    pub init_match_fallback: bool,
+    /// Consecutive pose-less frames tolerated in the tracking state before
+    /// the engine declares the map lost and re-enters initialization.
+    /// Fast ego-motion can move every map-point projection outside the
+    /// guided-search window; once that happens `last_pose` is stale and no
+    /// later frame can re-lock, so without a reset the device predicts
+    /// from dead annotations forever (ORB-SLAM relocalizes from a keyframe
+    /// database here; this implementation re-bootstraps, which the edge
+    /// makes cheap: losing the map flips CFRS back to its bootstrap
+    /// cadence and two annotated frames rebuild it).
+    pub track_loss_reset_frames: usize,
 }
 
 impl Default for VoConfig {
@@ -82,6 +109,9 @@ impl Default for VoConfig {
             max_map_points: 4000,
             min_triangulation_angle: 0.015,
             init_feature_selection: false,
+            projection_gate_px_at_320: 48.0,
+            init_match_fallback: true,
+            track_loss_reset_frames: 12,
         }
     }
 }
@@ -223,6 +253,9 @@ pub struct VisualOdometry {
     last_pose: SE3,
     last_annotated: Option<u64>,
     next_frame_id: u64,
+    consecutive_untracked: usize,
+    relocalizations: usize,
+    init_restarts: usize,
     orb_scratch: OrbScratch,
 }
 
@@ -240,8 +273,26 @@ impl VisualOdometry {
             last_pose: SE3::identity(),
             last_annotated: None,
             next_frame_id: 0,
+            consecutive_untracked: 0,
+            relocalizations: 0,
+            init_restarts: 0,
             orb_scratch: OrbScratch::default(),
         }
+    }
+
+    /// How many times tracking was lost and the map rebuilt from scratch.
+    pub fn relocalizations(&self) -> usize {
+        self.relocalizations
+    }
+
+    /// Whether two-frame initialization is failing to match or solve
+    /// geometry across the annotated pairs it is offered. Low-parallax
+    /// pairs do not count — those just need more baseline, which more
+    /// frames at the normal cadence provide; a matching or geometry
+    /// failure means the pair spacing is already too wide, and the CFRS
+    /// planner should offer *closer* pairs (every-frame bootstrap).
+    pub fn init_struggling(&self) -> bool {
+        self.init_restarts > 0
     }
 
     /// Peak detector-scratch footprint in bytes — the allocation proxy
@@ -309,12 +360,15 @@ impl VisualOdometry {
             // the feature lies near the point's projection under the motion
             // prediction (the previous pose), like ORB-SLAM's guided search
             // window.
+            // `width/320` is exactly 1.0 at the legacy resolution, so the
+            // gate stays bit-identical to the original fixed 48 px there.
+            let gate = self.config.projection_gate_px_at_320 * (self.camera.width as f64 / 320.0);
             matches.retain(|m| {
                 let p = self.map.point(m.train_idx).position;
                 match self.camera.project(&self.last_pose, p) {
                     Some(px) => {
                         let kp = &frame.keypoints[m.query_idx];
-                        (px.x - kp.x).abs() < 48.0 && (px.y - kp.y).abs() < 48.0
+                        (px.x - kp.x).abs() < gate && (px.y - kp.y).abs() < gate
                     }
                     None => false,
                 }
@@ -416,9 +470,40 @@ impl VisualOdometry {
             output.unlabeled_feature_pixels = unannotated_pixels;
         }
 
+        if matches!(self.state, VoState::Tracking) {
+            if output.pose.is_some() {
+                self.consecutive_untracked = 0;
+            } else {
+                self.consecutive_untracked += 1;
+                if self.consecutive_untracked >= self.config.track_loss_reset_frames {
+                    self.reset_after_track_loss();
+                }
+            }
+        }
+
         self.frames.push(frame);
         self.map.cleanup(self.config.max_map_points);
         output
+    }
+
+    /// Abandons a lost map and returns to initialization. Stored frames
+    /// are kept (their keypoints can seed the next bootstrap pair) but
+    /// their poses and map matches belong to the dead map's gauge and are
+    /// cleared, so nothing downstream can mix the two coordinate frames.
+    fn reset_after_track_loss(&mut self) {
+        self.map = Map::new();
+        self.objects.clear();
+        self.state = VoState::AwaitingInit { pending: None };
+        self.last_pose = SE3::identity();
+        self.last_annotated = None;
+        self.consecutive_untracked = 0;
+        self.relocalizations += 1;
+        for frame in self.frames.iter_mut() {
+            frame.pose = None;
+            for m in frame.map_matches.iter_mut() {
+                *m = None;
+            }
+        }
     }
 
     /// Per-object pose estimation and mask transfer for one frame.
@@ -582,8 +667,12 @@ impl VisualOdometry {
                         };
                         return Ok(AnnotationOutcome::PendingInitialization);
                     }
-                    match self.try_initialize(first_id, &first_labels, frame_id, labels) {
-                        Ok(points) => Ok(AnnotationOutcome::Initialized { map_points: points }),
+                    let attempt = self.try_initialize(first_id, &first_labels, frame_id, labels);
+                    match attempt {
+                        Ok(points) => {
+                            self.init_restarts = 0;
+                            Ok(AnnotationOutcome::Initialized { map_points: points })
+                        }
                         Err(InitFailure::LowParallax) => {
                             // The pair is consistent but the baseline is too
                             // short: keep the OLD frame so parallax can
@@ -595,6 +684,7 @@ impl VisualOdometry {
                         Err(_) => {
                             // Matching failed or geometry degenerate: the
                             // old frame is stale; restart from this one.
+                            self.init_restarts += 1;
                             self.state = VoState::AwaitingInit {
                                 pending: Some((frame_id, labels.clone())),
                             };
@@ -656,6 +746,23 @@ impl VisualOdometry {
                 .collect()
         } else {
             match_descriptors(&f0.descriptors, &f1.descriptors, &self.config.matching)
+        };
+        // Strict matching (ratio + cross-check) starves under fast
+        // ego-motion: a few frames of jog-speed baseline leaves fewer
+        // matches than `min_init_matches` even though half the features
+        // are still co-visible. Retry with the permissive map-matching
+        // parameters in that case — RANSAC on the fundamental matrix plus
+        // the reprojection/cheirality gates below are the real outlier
+        // filter, exactly as in guided map matching. The strict set is
+        // kept whenever it suffices so well-conditioned scenes initialize
+        // from the cleanest correspondences.
+        let matches = if matches.len() < self.config.min_init_matches
+            && self.config.init_match_fallback
+            && !self.config.init_feature_selection
+        {
+            match_descriptors(&f0.descriptors, &f1.descriptors, &self.config.map_matching)
+        } else {
+            matches
         };
         if matches.len() < self.config.min_init_matches {
             return Err(InitFailure::TooFewMatches);
